@@ -1,0 +1,137 @@
+(** The benchmark harness: regenerates every table and figure of the
+    paper's evaluation and micro-benchmarks the machinery behind each one
+    with Bechamel (one [Test.make] per table/figure).
+
+    Usage:
+      dune exec bench/main.exe             # all experiments + microbenches
+      dune exec bench/main.exe fig16       # one experiment
+      dune exec bench/main.exe micro       # only the Bechamel microbenches *)
+
+open Bechamel
+open Toolkit
+
+(* ---------------- the microbenchmarks (one per table/figure) -------- *)
+
+(* FIG1/FIG2: keyword classification over the synthetic databases. *)
+let bench_fig12 =
+  let entries = lazy (Gen.generate Gen.Cve) in
+  Test.make ~name:"fig1+2: classify CVE database"
+    (Staged.stage (fun () -> ignore (Classify.trends (Lazy.force entries))))
+
+(* TAB1/TAB2/CMP: one representative corpus program under Safe Sulong
+   (the unit of work the effectiveness experiment repeats 68 x 5 times). *)
+let bench_tab12 =
+  let p = List.hd Corpus.all in
+  Test.make ~name:"tab1+2: corpus program under Safe Sulong"
+    (Staged.stage (fun () ->
+         ignore
+           (Engine.run ~argv:p.Groundtruth.argv ~input:p.Groundtruth.input
+              Engine.Safe_sulong p.Groundtruth.source)))
+
+let bench_cmp_asan =
+  let p = List.hd Corpus.all in
+  Test.make ~name:"cmp: corpus program under ASan"
+    (Staged.stage (fun () ->
+         ignore
+           (Engine.run ~argv:p.Groundtruth.argv ~input:p.Groundtruth.input
+              (Engine.Asan Pipeline.O0) p.Groundtruth.source)))
+
+(* STARTUP: front end + libc link for hello world (the work behind the
+   start-up numbers). *)
+let bench_startup =
+  Test.make ~name:"startup: load hello world"
+    (Staged.stage (fun () ->
+         ignore (Loader.load_program Benchprogs.hello.Benchprogs.b_source)))
+
+(* FIG15: one meteor iteration in the managed interpreter (the unit the
+   warm-up experiment repeats). *)
+let bench_fig15 =
+  let m = lazy (Loader.load_program Benchprogs.meteor.Benchprogs.b_source) in
+  Test.make ~name:"fig15: meteor iteration (managed interpreter)"
+    (Staged.stage (fun () ->
+         let st = Interp.create (Irmod.copy (Lazy.force m)) in
+         ignore (Interp.run st)))
+
+(* FIG16: one benchmark under the native engine at -O0, plus the -O3
+   pipeline itself (the peak measurement's units of work). *)
+let bench_fig16_o0 =
+  let m = lazy (Loader.compile_user Benchprogs.whetstone.Benchprogs.b_source) in
+  Test.make ~name:"fig16: whetstone native -O0"
+    (Staged.stage (fun () ->
+         let st = Nexec.create (Irmod.copy (Lazy.force m)) in
+         ignore (Nexec.run st)))
+
+let bench_fig16_o3pipe =
+  Test.make ~name:"fig16: the -O3 pipeline on whetstone"
+    (Staged.stage (fun () ->
+         let m = Loader.compile_user Benchprogs.whetstone.Benchprogs.b_source in
+         Pipeline.compile_native ~level:Pipeline.O3 m))
+
+(* Ablation benches from DESIGN.md par.5. *)
+let bench_ablation_mementos =
+  Test.make ~name:"ablation: binarytrees with allocation mementos"
+    (Staged.stage (fun () ->
+         ignore
+           (Engine.run ~mementos:true Engine.Safe_sulong
+              Benchprogs.binarytrees.Benchprogs.b_source)))
+
+let bench_ablation_no_mementos =
+  Test.make ~name:"ablation: binarytrees without mementos"
+    (Staged.stage (fun () ->
+         ignore
+           (Engine.run ~mementos:false Engine.Safe_sulong
+              Benchprogs.binarytrees.Benchprogs.b_source)))
+
+let bench_ablation_inline =
+  Test.make ~name:"ablation: -O3 + inlining pipeline on whetstone"
+    (Staged.stage (fun () ->
+         let m = Loader.compile_user Benchprogs.whetstone.Benchprogs.b_source in
+         ignore (Inline.run m);
+         Pipeline.compile_native ~level:Pipeline.O3 m))
+
+let all_micro =
+  [
+    bench_fig12; bench_tab12; bench_cmp_asan; bench_startup; bench_fig15;
+    bench_fig16_o0; bench_fig16_o3pipe; bench_ablation_mementos;
+    bench_ablation_no_mementos; bench_ablation_inline;
+  ]
+
+let run_micro () =
+  print_endline "\nMICRO - Bechamel microbenchmarks (one per experiment)";
+  print_endline "=====================================================";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) () in
+  let instances = Instance.[ monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false
+             ~predictors:[| Measure.run |])
+          Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-52s %14.0f ns/run\n" name est
+          | _ -> Printf.printf "  %-52s (no estimate)\n" name)
+        ols)
+    all_micro
+
+(* ---------------- entry point ---------------- *)
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (match which with
+  | "fig1" -> Report.fig1 ()
+  | "fig2" -> Report.fig2 ()
+  | "tab1" | "tab2" | "cmp" -> Report.effectiveness ()
+  | "startup" -> Report.startup ()
+  | "fig15" -> Report.fig15 ()
+  | "fig16" -> Report.fig16 ()
+  | "ablations" -> Report.ablations ()
+  | "micro" -> run_micro ()
+  | "all" | _ ->
+    Report.run_all ();
+    run_micro ());
+  print_newline ()

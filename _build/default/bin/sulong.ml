@@ -1,0 +1,305 @@
+(** The user-facing tool: run a C program under Safe Sulong or one of the
+    baseline engines, inspect its IR, run the bug corpus, or regenerate
+    the paper's experiments.
+
+      sulong run file.c --engine sulong
+      sulong run file.c --engine asan -O3 --arg foo --input "42"
+      sulong ir file.c -O3
+      sulong corpus --id ST-W05
+      sulong report fig16 *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ---------------- run ---------------- *)
+
+let engine_of_string name level =
+  let lv = if level = 3 then Pipeline.O3 else Pipeline.O0 in
+  match name with
+  | "sulong" | "safe-sulong" -> Ok Engine.Safe_sulong
+  | "clang" | "native" -> Ok (Engine.Clang lv)
+  | "asan" -> Ok (Engine.Asan lv)
+  | "valgrind" | "memcheck" -> Ok (Engine.Valgrind lv)
+  | other -> Error (Printf.sprintf "unknown engine %S" other)
+
+let do_run file engine level args input_text detect_uninit detect_leaks
+    trace_calls =
+  let src = read_file file in
+  match engine_of_string engine level with
+  | Error msg ->
+    prerr_endline msg;
+    2
+  | Ok tool -> begin
+    let argv = file :: args in
+    try
+      (* Leak details need the managed run result, so special-case the
+         Safe Sulong engine when leak reporting is requested. *)
+      if (detect_leaks || trace_calls) && tool = Engine.Safe_sulong then begin
+        let m = Loader.load_program src in
+        let st =
+          Interp.create ~detect_uninit ~trace:trace_calls ~input:input_text m
+        in
+        let r = Interp.run ~argv st in
+        if trace_calls then prerr_string r.Interp.trace_output;
+        print_string r.Interp.output;
+        (match r.Interp.error with
+        | Some (cat, msg) ->
+          Printf.eprintf "[Safe Sulong] ERROR DETECTED (%s): %s\n"
+            (Merror.category_name cat) msg
+        | None -> ());
+        if detect_leaks then begin
+          if r.Interp.leaks > 0 then begin
+            Printf.eprintf "[Safe Sulong] %d memory leak(s):\n" r.Interp.leaks;
+            List.iter (Printf.eprintf "  %s\n") r.Interp.leak_details
+          end
+          else Printf.eprintf "[Safe Sulong] no memory leaks\n"
+        end;
+        if r.Interp.error <> None then 1 else r.Interp.exit_code
+      end
+      else begin
+        let r = Engine.run ~argv ~input:input_text ~detect_uninit tool src in
+        print_string r.Engine.output;
+        match r.Engine.outcome with
+        | Outcome.Finished code ->
+          Printf.eprintf "[%s] exited with %d (%d operations)\n"
+            (Engine.tool_name tool) code r.Engine.steps;
+          code
+        | Outcome.Detected { tool = t; kind; message } ->
+          Printf.eprintf "[%s] ERROR DETECTED (%s): %s\n" t kind message;
+          1
+        | Outcome.Crashed what ->
+          Printf.eprintf "[%s] program crashed: %s\n" (Engine.tool_name tool)
+            what;
+          139
+        | Outcome.Timeout ->
+          Printf.eprintf "[%s] step limit exceeded\n" (Engine.tool_name tool);
+          124
+      end
+    with
+    | Diag.Error (pos, msg) ->
+      Printf.eprintf "%s: %s\n" file (Diag.to_string pos msg);
+      2
+    | Lower.Unsupported (pos, msg) ->
+      Printf.eprintf "%s: %d:%d: unsupported: %s\n" file pos.Token.line
+        pos.Token.col msg;
+      2
+  end
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"C source file")
+
+let engine_arg =
+  Arg.(
+    value
+    & opt string "sulong"
+    & info [ "e"; "engine" ] ~docv:"ENGINE"
+        ~doc:"Execution engine: sulong, clang, asan, or valgrind.")
+
+let level_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "O" ] ~docv:"N" ~doc:"Optimization level (0 or 3).")
+
+let args_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "a"; "arg" ] ~docv:"ARG" ~doc:"Program argument (repeatable).")
+
+let input_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "i"; "input" ] ~docv:"TEXT" ~doc:"Standard input for the program.")
+
+let uninit_flag =
+  Arg.(
+    value & flag
+    & info [ "detect-uninit" ]
+        ~doc:
+          "Report reads of uninitialized memory (Safe Sulong only; the \
+           paper's future-work extension).")
+
+let leaks_flag =
+  Arg.(
+    value & flag
+    & info [ "detect-leaks" ]
+        ~doc:"Report heap objects never freed (Safe Sulong only).")
+
+let trace_flag =
+  Arg.(
+    value & flag
+    & info [ "trace-calls" ]
+        ~doc:"Print every function entry/exit to stderr (Safe Sulong only).")
+
+let run_cmd =
+  let doc = "compile and execute a C file under a bug-finding engine" in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const do_run $ file_arg $ engine_arg $ level_arg $ args_arg $ input_arg
+      $ uninit_flag $ leaks_flag $ trace_flag)
+
+(* ---------------- ir ---------------- *)
+
+let do_ir file level with_libc =
+  let src = read_file file in
+  try
+    let m =
+      if with_libc then Loader.load_program src else Loader.compile_user src
+    in
+    if level = 3 then ignore (Pipeline.o3 m);
+    print_string (Irprint.module_to_string m);
+    0
+  with Diag.Error (pos, msg) ->
+    Printf.eprintf "%s: %s\n" file (Diag.to_string pos msg);
+    2
+
+let libc_flag =
+  Arg.(value & flag & info [ "with-libc" ] ~doc:"Link the managed libc in.")
+
+let ir_cmd =
+  let doc = "print the IR the front end (and optionally -O3) produces" in
+  Cmd.v (Cmd.info "ir" ~doc)
+    Term.(const do_ir $ file_arg $ level_arg $ libc_flag)
+
+(* ---------------- run-ir ---------------- *)
+
+let do_run_ir file args input_text =
+  try
+    let m = Irparse.parse (read_file file) in
+    Verify.verify m;
+    (* link the managed libc so textual IR can call printf & friends *)
+    let m = Irmod.link m (Loader.libc_module ()) in
+    let st = Interp.create ~input:input_text m in
+    let r = Interp.run ~argv:(file :: args) st in
+    print_string r.Interp.output;
+    (match r.Interp.error with
+    | Some (cat, msg) ->
+      Printf.eprintf "[Safe Sulong] ERROR DETECTED (%s): %s\n"
+        (Merror.category_name cat) msg
+    | None -> ());
+    r.Interp.exit_code
+  with
+  | Irparse.Parse_error (line, msg) ->
+    Printf.eprintf "%s:%d: %s\n" file line msg;
+    2
+  | Verify.Invalid msg ->
+    Printf.eprintf "%s: invalid IR: %s\n" file msg;
+    2
+
+let ir_file_arg =
+  Arg.(
+    required & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Textual IR file (as printed by 'sulong ir')")
+
+let run_ir_cmd =
+  let doc = "parse a textual IR file and execute it under Safe Sulong" in
+  Cmd.v (Cmd.info "run-ir" ~doc)
+    Term.(const do_run_ir $ ir_file_arg $ args_arg $ input_arg)
+
+(* ---------------- compare ---------------- *)
+
+let do_compare file args input_text =
+  let src = read_file file in
+  let tools =
+    [
+      Engine.Safe_sulong; Engine.Clang Pipeline.O0; Engine.Clang Pipeline.O3;
+      Engine.Asan Pipeline.O0; Engine.Asan Pipeline.O3;
+      Engine.Valgrind Pipeline.O0; Engine.Valgrind Pipeline.O3;
+    ]
+  in
+  try
+    List.iter
+      (fun tool ->
+        let r = Engine.run ~argv:(file :: args) ~input:input_text tool src in
+        Printf.printf "%-14s %s\n" (Engine.tool_name tool)
+          (Outcome.to_string r.Engine.outcome))
+      tools;
+    0
+  with Diag.Error (pos, msg) ->
+    Printf.eprintf "%s: %s\n" file (Diag.to_string pos msg);
+    2
+
+let compare_cmd =
+  let doc = "run a C file under every tool and print the detection matrix" in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const do_compare $ file_arg $ args_arg $ input_arg)
+
+(* ---------------- corpus ---------------- *)
+
+let do_corpus id_opt =
+  match id_opt with
+  | None ->
+    List.iter
+      (fun (p : Groundtruth.program) ->
+        Printf.printf "%-8s %-20s %s\n" p.Groundtruth.id p.Groundtruth.project
+          p.Groundtruth.description)
+      Corpus.all;
+    0
+  | Some id -> begin
+    match Corpus.find id with
+    | None ->
+      Printf.eprintf "no corpus program %S\n" id;
+      2
+    | Some p ->
+      Printf.printf "%s (%s): %s\n\n%s\n" p.Groundtruth.id p.Groundtruth.project
+        p.Groundtruth.description p.Groundtruth.source;
+      let r = Effectiveness.run_program p in
+      List.iter
+        (fun (tool, outcome) ->
+          Printf.printf "  %-14s %s\n" (Engine.tool_name tool)
+            (Outcome.short outcome))
+        r.Effectiveness.results;
+      0
+  end
+
+let id_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "id" ] ~docv:"ID" ~doc:"Show and run one corpus program.")
+
+let corpus_cmd =
+  let doc = "list the 68-bug corpus, or run one bug under every tool" in
+  Cmd.v (Cmd.info "corpus" ~doc) Term.(const do_corpus $ id_arg)
+
+(* ---------------- report ---------------- *)
+
+let do_report which =
+  (match which with
+  | "fig1" -> Report.fig1 ()
+  | "fig2" -> Report.fig2 ()
+  | "tab1" | "tab2" | "cmp" | "effectiveness" -> Report.effectiveness ()
+  | "startup" -> Report.startup ()
+  | "fig15" -> Report.fig15 ()
+  | "fig16" -> Report.fig16 ()
+  | "ablations" -> Report.ablations ()
+  | "all" | _ -> Report.run_all ());
+  0
+
+let which_arg =
+  Arg.(
+    value & pos 0 string "all"
+    & info [] ~docv:"EXPERIMENT"
+        ~doc:
+          "fig1, fig2, tab1, tab2, cmp, startup, fig15, fig16, ablations or \
+           all.")
+
+let report_cmd =
+  let doc = "regenerate the paper's tables and figures" in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const do_report $ which_arg)
+
+(* ---------------- main ---------------- *)
+
+let () =
+  let doc =
+    "Safe Sulong reproduction: find C memory errors by abstracting from the \
+     native execution model"
+  in
+  let info = Cmd.info "sulong" ~version:"1.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info
+       [ run_cmd; ir_cmd; run_ir_cmd; compare_cmd; corpus_cmd; report_cmd ]))

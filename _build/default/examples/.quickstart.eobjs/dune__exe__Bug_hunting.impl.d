@@ -1,0 +1,1 @@
+examples/bug_hunting.ml: Corpus Engine Groundtruth List Outcome Printf

@@ -1,0 +1,1 @@
+examples/ir_tooling.ml: Globaldce Inline Interp Irmod Irparse Irprint List Loader Pipeline Printf String Util Verify

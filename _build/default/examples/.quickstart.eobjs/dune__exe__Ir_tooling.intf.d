@@ -1,0 +1,1 @@
+examples/ir_tooling.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Engine Interp Loader Merror Outcome Pipeline Printf

@@ -1,0 +1,1 @@
+examples/sanitizer_comparison.ml: Engine List Outcome Pipeline Printf String

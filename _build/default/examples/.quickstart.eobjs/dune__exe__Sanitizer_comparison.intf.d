@@ -1,0 +1,1 @@
+examples/sanitizer_comparison.mli:

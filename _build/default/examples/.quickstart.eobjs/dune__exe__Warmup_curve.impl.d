@@ -1,0 +1,1 @@
+examples/warmup_curve.ml: Benchprogs Chart List Printf Simulate

@@ -1,0 +1,37 @@
+(** Bug hunting across a project corpus: run every program of the 68-bug
+    corpus under Safe Sulong, as the paper did for its GitHub projects,
+    and summarize what was found by category — the workflow behind
+    Tables 1 and 2.
+
+    Run with: dune exec examples/bug_hunting.exe *)
+
+let () =
+  Printf.printf "hunting bugs in %d small projects...\n\n"
+    (List.length Corpus.all);
+  let found = ref [] in
+  List.iter
+    (fun (p : Groundtruth.program) ->
+      let r =
+        Engine.run ~argv:p.Groundtruth.argv ~input:p.Groundtruth.input
+          Engine.Safe_sulong p.Groundtruth.source
+      in
+      match r.Engine.outcome with
+      | Outcome.Detected { kind; message; _ } ->
+        found := p :: !found;
+        Printf.printf "%-8s %-18s %s\n         -> %s\n" p.Groundtruth.id
+          p.Groundtruth.project kind message
+      | other ->
+        Printf.printf "%-8s %-18s NOT DETECTED (%s)\n" p.Groundtruth.id
+          p.Groundtruth.project (Outcome.to_string other))
+    Corpus.all;
+  let d = Corpus.distribution !found in
+  Printf.printf
+    "\nsummary (Table 1): %d buffer overflows, %d NULL dereferences, %d \
+     use-after-free, %d varargs\n"
+    d.Corpus.overflows d.Corpus.null_derefs d.Corpus.use_after_free
+    d.Corpus.varargs;
+  Printf.printf
+    "out-of-bounds breakdown (Table 2): %d reads / %d writes; %d underflows \
+     / %d overflows; stack %d, heap %d, global %d, main-args %d\n"
+    d.Corpus.reads d.Corpus.writes d.Corpus.underflows d.Corpus.oob_overflows
+    d.Corpus.stack d.Corpus.heap d.Corpus.global d.Corpus.main_args

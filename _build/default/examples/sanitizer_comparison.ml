@@ -1,0 +1,122 @@
+(** The paper's five case studies (§4.1), live: each is a bug that
+    AddressSanitizer and Valgrind miss for a *structural* reason — and
+    Safe Sulong finds because every access is checked automatically.
+
+    Run with: dune exec examples/sanitizer_comparison.exe *)
+
+let tools =
+  [
+    Engine.Safe_sulong;
+    Engine.Clang Pipeline.O0;
+    Engine.Asan Pipeline.O0;
+    Engine.Asan Pipeline.O3;
+    Engine.Valgrind Pipeline.O0;
+  ]
+
+let show ?(argv = [ "prog" ]) ?(input = "") ~title ~why src =
+  Printf.printf "\n--- %s ---\n%s\n" title why;
+  List.iter
+    (fun tool ->
+      let r = Engine.run ~argv ~input tool src in
+      Printf.printf "  %-14s %s\n" (Engine.tool_name tool)
+        (Outcome.short r.Engine.outcome);
+      (* show what the native run actually printed: the leak! *)
+      if tool = Engine.Clang Pipeline.O0 && String.length r.Engine.output > 0
+      then Printf.printf "                 output: %s" r.Engine.output)
+    tools
+
+let () =
+  show ~title:"case 1: out-of-bounds read of the main() arguments"
+    ~why:
+      "argv is written by the kernel before any instrumented code runs; \
+       past argv[argc] lie the environment pointers (watch the native \
+       output leak a secret)."
+    {|
+int main(int argc, char **argv) {
+  printf("%d %s\n", argc, argv[5]);
+  return 0;
+}
+|};
+  show ~title:"case 2a: strtok has no interceptor"
+    ~why:
+      "The delimiter array is not NUL-terminated; the overread happens \
+       inside the *precompiled libc*, which ASan's instrumentation cannot \
+       see and for which it had no strtok interceptor."
+    {|
+int main(void) {
+  char line[32] = "a b c";
+  char seps[1] = {' '};
+  char *tok = strtok(line, seps);
+  printf("%s\n", tok);
+  return 0;
+}
+|};
+  show ~title:"case 2b: printf(\"%ld\") reads a long where an int was passed"
+    ~why:
+      "ASan's printf interceptor checks only pointer arguments; Safe \
+       Sulong's printf runs on the checked interpreter and the 8-byte \
+       read of the 4-byte variadic cell traps."
+    {|
+int main(void) {
+  int counter = 7;
+  printf("counter: %ld\n", counter);
+  return 0;
+}
+|};
+  show ~title:"case 3: the backend folds the bug away even at -O0"
+    ~why:
+      "count[7] is a constant-index out-of-bounds read; code generation \
+       deletes it (with ASan's check attached), while Safe Sulong executes \
+       the front-end IR where the access still exists."
+    {|
+int count[7] = {0, 0, 0, 0, 0, 0, 0};
+int main(int argc, char **argv) { return count[7]; }
+|};
+  show ~title:"case 4: the access jumps past ASan's redzone"
+    ~input:"50\n"
+    ~why:
+      "strings[50] lands 400 bytes past a 56-byte global -- beyond the \
+       redzone, inside a neighbouring object, where the memory is valid \
+       as far as shadow memory is concerned (P3: redzones are inexact)."
+    {|
+const char *strings[] = {"zero","one","two","three","four","five","six"};
+char scratch[4096];
+int main(void) {
+  int number;
+  fscanf(stdin, "%d", &number);
+  printf("%s\n", strings[number]);
+  return 0;
+}
+|};
+  show ~title:"case 5: missing variadic argument"
+    ~why:
+      "The format string asks for two ints, the call passes one. In Safe \
+       Sulong the variadic-argument array has exactly one element and the \
+       second access is out of bounds (Fig. 9's machinery)."
+    {|
+int main(void) {
+  int done = 3;
+  printf("progress: %d of %d\n", done);
+  return 0;
+}
+|};
+  (* Bonus: the ASan-side fix the paper's authors contributed upstream
+     (the strtok interceptor) can be switched on. *)
+  Printf.printf
+    "\n--- with the strtok interceptor the authors later added to LLVM ---\n";
+  let src = {|
+int main(void) {
+  char line[32] = "a b c";
+  char seps[1] = {' '};
+  char *tok = strtok(line, seps);
+  printf("%s\n", tok);
+  return 0;
+}
+|} in
+  let with_fix =
+    Engine.run
+      ~asan_options:{ Engine.strtok_interceptor = true; quarantine_cap = 1 lsl 18; fno_common = true }
+      (Engine.Asan Pipeline.O0) src
+  in
+  Printf.printf "  ASan -O0 + strtok interceptor: %s\n"
+    (Outcome.short with_fix.Engine.outcome)

@@ -1,0 +1,36 @@
+(** The warm-up experiment (paper Fig. 15): execute meteor repeatedly and
+    watch Safe Sulong go from slowest (AST interpretation) to fastest
+    (compiled under safe semantics), crossing Valgrind and then ASan.
+
+    Run with: dune exec examples/warmup_curve.exe *)
+
+let () =
+  print_endline "measuring meteor under every engine (one profiled run each)...";
+  let ms = Simulate.measure_bench Benchprogs.meteor in
+  let w = Simulate.warmup ~duration_s:30 ms in
+  Printf.printf "first Safe Sulong iteration completed at %.1f s\n"
+    w.Simulate.wr_first_iteration_s;
+  Printf.printf "functions compiled by the (simulated) Graal compiler:\n";
+  List.iter
+    (fun (t, f) -> Printf.printf "  %5.1f s  %s\n" t f)
+    w.Simulate.wr_compiles;
+  print_newline ();
+  List.iter
+    (fun (s : Simulate.warmup_series) ->
+      Printf.printf "%-12s iterations/s: " s.Simulate.ws_tool;
+      List.iter (fun (_, n) -> Printf.printf "%d " n) s.Simulate.ws_points;
+      print_newline ())
+    w.Simulate.wr_series;
+  print_newline ();
+  print_string
+    (Chart.line_chart ~title:"Fig. 15: meteor warm-up (iterations per second)"
+       (List.map
+          (fun (s : Simulate.warmup_series) ->
+            {
+              Chart.name = s.Simulate.ws_tool;
+              points =
+                List.map
+                  (fun (sec, n) -> (float_of_int sec, float_of_int n))
+                  s.Simulate.ws_points;
+            })
+          w.Simulate.wr_series))

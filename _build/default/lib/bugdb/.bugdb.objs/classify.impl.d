@@ -1,0 +1,1 @@
+lib/bugdb/classify.ml: Entry Hashtbl List Util

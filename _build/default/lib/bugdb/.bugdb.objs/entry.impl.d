@@ -1,0 +1,1 @@
+lib/bugdb/entry.ml:

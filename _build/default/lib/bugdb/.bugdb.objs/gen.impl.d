@@ -1,0 +1,1 @@
+lib/bugdb/gen.ml: Entry List Printf Prng Scanf Util

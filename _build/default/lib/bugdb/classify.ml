@@ -1,0 +1,71 @@
+(** The paper's methodology for Figures 1–2: keyword searches over the
+    databases, grouping hits into the §2.1 categories.  Order matters:
+    the first matching category wins (a use-after-free description often
+    also mentions "memory corruption"). *)
+
+let spatial_keywords =
+  [
+    "buffer overflow"; "out-of-bounds read"; "out-of-bounds write";
+    "out of bounds"; "buffer underflow"; "stack-based buffer";
+    "heap-based buffer"; "heap buffer overflow"; "global buffer overflow";
+  ]
+
+let temporal_keywords = [ "use-after-free"; "use after free"; "dangling pointer" ]
+
+let null_keywords = [ "null pointer dereference"; "null dereference" ]
+
+let other_keywords =
+  [
+    "double free"; "invalid free"; "format string"; "variadic argument";
+  ]
+
+let matches_any text keywords =
+  let lower = Util.lowercase text in
+  List.exists (fun k -> Util.string_contains ~needle:k lower) keywords
+
+(** Classify one entry's text; [None] when no keyword hits (vague
+    descriptions — excluded from the counts, as a manual triage would
+    drop them). *)
+let classify (text : string) : Entry.category option =
+  if matches_any text temporal_keywords then Some Entry.Temporal
+  else if matches_any text spatial_keywords then Some Entry.Spatial
+  else if matches_any text null_keywords then Some Entry.Null_deref
+  else if matches_any text other_keywords then Some Entry.Other
+  else None
+
+type yearly = {
+  year : int;
+  spatial : int;
+  temporal : int;
+  null_deref : int;
+  other : int;
+  unclassified : int;
+}
+
+(** Aggregate per year per category, via keyword classification. *)
+let trends (entries : Entry.t list) : yearly list =
+  let table = Hashtbl.create 8 in
+  let get year =
+    match Hashtbl.find_opt table year with
+    | Some y -> y
+    | None ->
+      let fresh =
+        ref { year; spatial = 0; temporal = 0; null_deref = 0; other = 0;
+              unclassified = 0 }
+      in
+      Hashtbl.replace table year fresh;
+      fresh
+  in
+  List.iter
+    (fun (e : Entry.t) ->
+      let cell = get e.Entry.year in
+      let y = !cell in
+      cell :=
+        (match classify e.Entry.text with
+        | Some Entry.Spatial -> { y with spatial = y.spatial + 1 }
+        | Some Entry.Temporal -> { y with temporal = y.temporal + 1 }
+        | Some Entry.Null_deref -> { y with null_deref = y.null_deref + 1 }
+        | Some Entry.Other -> { y with other = y.other + 1 }
+        | None -> { y with unclassified = y.unclassified + 1 }))
+    entries;
+  List.sort compare (Hashtbl.fold (fun _ cell acc -> !cell :: acc) table [])

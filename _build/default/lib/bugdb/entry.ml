@@ -1,0 +1,30 @@
+(** Entries of the synthetic vulnerability databases (Figures 1–2).
+
+    The paper performs keyword searches over CVE and ExploitDB; we have
+    no network, so lib/bugdb synthesizes databases with realistic entry
+    *texts* and reproduces the paper's classification methodology over
+    them.  Trends are sampled from a model matching the shapes the paper
+    reports (spatial errors highest and at an all-time high, temporal
+    second, NULL third). *)
+
+type t = {
+  id : string;         (** CVE-2015-1234 / EDB-38123 style *)
+  year : int;
+  month : int;
+  text : string;       (** the description the classifier searches *)
+}
+
+(** The paper's §2.1 bug categories. *)
+type category =
+  | Spatial    (** out-of-bounds accesses *)
+  | Temporal   (** use-after-free *)
+  | Null_deref
+  | Other      (** invalid free, double free, varargs/format string *)
+
+let category_name = function
+  | Spatial -> "Spatial"
+  | Temporal -> "Temporal"
+  | Null_deref -> "NULL deref"
+  | Other -> "Other"
+
+let all_categories = [ Spatial; Temporal; Null_deref; Other ]

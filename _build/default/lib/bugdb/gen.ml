@@ -1,0 +1,159 @@
+(** Synthetic CVE / ExploitDB generators.
+
+    Per (year, category) the trend model gives an expected count (shaped
+    after Figures 1–2: spatial highest and rising to an all-time high in
+    2016–17, temporal second and growing, NULL third, other flat and
+    low); entries are drawn with Poisson noise, and each gets a
+    description assembled from realistic phrase fragments that the
+    keyword classifier ([Classify]) can or cannot pick up.  A small
+    fraction of descriptions are vague — as in the real databases — and
+    fall through classification; the harness reports them as
+    unclassified, like the paper's manual triage would. *)
+
+let years = [ 2012; 2013; 2014; 2015; 2016; 2017 ]
+
+(* Expected vulnerability counts per month, per category (CVE). *)
+let cve_monthly_rate year (cat : Entry.category) : float =
+  let growth = float_of_int (year - 2012) in
+  match cat with
+  | Entry.Spatial -> 18.0 +. (7.0 *. growth) (* all-time high by 2017 *)
+  | Entry.Temporal -> 8.0 +. (3.4 *. growth)
+  | Entry.Null_deref -> 7.0 +. (1.1 *. growth)
+  | Entry.Other -> 3.0 +. (0.3 *. growth)
+
+(* Exploits are rarer; roughly proportional to vulnerabilities
+   ("bug categories with a high number of vulnerabilities were also
+   exploited more often"). *)
+let exploit_monthly_rate year cat = cve_monthly_rate year cat /. 6.0
+
+(* --- description fragments ----------------------------------------- *)
+
+let components =
+  [
+    "the PNG decoder"; "the HTTP request parser"; "the font rasterizer";
+    "the TIFF reader"; "the SSL handshake code"; "the filesystem driver";
+    "the print spooler"; "the USB descriptor handler"; "the video codec";
+    "the XML entity expander"; "the archive extractor"; "the DNS resolver";
+    "the regular-expression engine"; "the kernel socket layer";
+    "the JavaScript engine"; "the database import routine";
+  ]
+
+let products =
+  [
+    "ImageThing before 2.4.1"; "libworkbench 0.9.x"; "WebServe 3.2";
+    "MediaBox through 1.1.9"; "CoreUtilsX 5.x"; "NetStackd before 7.0.2";
+    "PDFKit 1.4"; "the Frobnicator plugin"; "OpenDoc 2.x"; "RouterOSS 6.1";
+  ]
+
+let spatial_phrases =
+  [
+    "a heap-based buffer overflow in %s in %s allows remote attackers to \
+     execute arbitrary code via a crafted file";
+    "a stack-based buffer overflow in %s in %s allows attackers to cause a \
+     denial of service via a long string";
+    "an out-of-bounds read in %s in %s allows remote attackers to obtain \
+     sensitive information";
+    "an out-of-bounds write in %s in %s allows context-dependent attackers \
+     to corrupt memory";
+    "a global buffer overflow in %s in %s permits code execution via a \
+     malformed header";
+    "a buffer underflow in %s in %s leads to memory corruption";
+    "a heap buffer overflow triggered during parsing in %s in %s";
+  ]
+
+let temporal_phrases =
+  [
+    "a use-after-free in %s in %s allows remote attackers to execute \
+     arbitrary code via vectors involving object destruction";
+    "a dangling pointer in %s in %s is dereferenced after the buffer is \
+     released, causing a crash";
+    "use-after-free vulnerability in %s in %s via crafted nested elements";
+  ]
+
+let null_phrases =
+  [
+    "a NULL pointer dereference in %s in %s allows remote attackers to \
+     cause a denial of service via a malformed packet";
+    "a null dereference in %s in %s crashes the daemon when the optional \
+     field is absent";
+  ]
+
+let other_phrases =
+  [
+    "a double free in %s in %s allows attackers to corrupt the allocator \
+     state";
+    "an invalid free in %s in %s occurs when a static buffer is passed to \
+     free()";
+    "a format string vulnerability in %s in %s allows attackers to read \
+     stack memory via %%x specifiers";
+    "a missing variadic argument in a logging call in %s in %s leads to \
+     disclosure of stack contents";
+  ]
+
+(* Vague texts the keyword search cannot classify (the realistic noise
+   floor of the methodology). *)
+let vague_phrases =
+  [
+    "a memory corruption issue in %s in %s has unspecified impact";
+    "an unspecified vulnerability in %s in %s allows attackers to cause a \
+     denial of service";
+  ]
+
+let phrase_for rng (cat : Entry.category) : string =
+  let pick = Prng.pick rng in
+  let vague = Prng.float rng 1.0 < 0.06 in
+  let template =
+    if vague then pick vague_phrases
+    else
+      match cat with
+      | Entry.Spatial -> pick spatial_phrases
+      | Entry.Temporal -> pick temporal_phrases
+      | Entry.Null_deref -> pick null_phrases
+      | Entry.Other -> pick other_phrases
+  in
+  Printf.sprintf
+    (Scanf.format_from_string template "%s%s")
+    (pick components) (pick products)
+
+(* --- generation ----------------------------------------------------- *)
+
+type kind = Cve | Exploitdb
+
+(** Generate the database.  Ground-truth categories are thrown away —
+    only the texts survive, and [Classify] has to recover the category
+    from keywords, as the paper did. *)
+let generate ?(seed = 2018) (kind : kind) : Entry.t list =
+  let rng = Prng.create (seed + match kind with Cve -> 0 | Exploitdb -> 77) in
+  let rate = match kind with
+    | Cve -> cve_monthly_rate
+    | Exploitdb -> exploit_monthly_rate
+  in
+  let entries = ref [] in
+  let counter = ref 1000 in
+  List.iter
+    (fun year ->
+      List.iter
+        (fun month ->
+          (* the paper's window is 2012-03 to 2017-09 *)
+          let in_window =
+            (year > 2012 || month >= 3) && (year < 2017 || month <= 9)
+          in
+          if in_window then
+            List.iter
+              (fun cat ->
+                let n = Prng.poisson rng ~lambda:(rate year cat) in
+                for _ = 1 to n do
+                  incr counter;
+                  let id =
+                    match kind with
+                    | Cve -> Printf.sprintf "CVE-%d-%d" year !counter
+                    | Exploitdb -> Printf.sprintf "EDB-%d" !counter
+                  in
+                  entries :=
+                    { Entry.id; year; month; text = phrase_for rng cat }
+                    :: !entries
+                done)
+              Entry.all_categories)
+        (Util.range 1 13))
+    years;
+  List.rev !entries

@@ -1,0 +1,1 @@
+lib/cfront/ast.ml: Ctype Token

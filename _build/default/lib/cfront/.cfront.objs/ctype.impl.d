@@ -1,0 +1,1 @@
+lib/cfront/ctype.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/cfront/diag.ml: Format Printf Token

@@ -1,0 +1,1 @@
+lib/cfront/layout.ml: Ast Ctype Hashtbl List Printf Util

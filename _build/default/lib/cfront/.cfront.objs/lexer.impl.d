@@ -1,0 +1,1 @@
+lib/cfront/lexer.ml: Buffer Char Ctype Diag Hashtbl Int64 List String Token

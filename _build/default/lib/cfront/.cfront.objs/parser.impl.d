@@ -1,0 +1,1 @@
+lib/cfront/parser.ml: Array Ast Char Ctype Diag Hashtbl Int64 Lexer List Option Printf Token

@@ -1,0 +1,1 @@
+lib/cfront/sema.ml: Ast Ctype Diag Hashtbl Layout List Option String

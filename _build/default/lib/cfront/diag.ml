@@ -1,0 +1,9 @@
+(** Front-end diagnostics.  All front-end failures raise [Error] with a
+    position and message; the driver formats them uniformly. *)
+
+exception Error of Token.pos * string
+
+let error pos fmt = Format.kasprintf (fun msg -> raise (Error (pos, msg))) fmt
+
+let to_string (pos : Token.pos) msg =
+  Printf.sprintf "%d:%d: error: %s" pos.line pos.col msg

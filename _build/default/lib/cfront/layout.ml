@@ -1,0 +1,78 @@
+(** Memory layout of C types under the LP64 ABI this reproduction
+    targets.  Shared by the lowering (struct field offsets in the IR),
+    the native flat-memory engine (actual addresses) and the managed
+    engine (byte offsets inside managed objects, as in the paper's
+    [Address.offset]). *)
+
+type env = { structs : (string, Ast.field list) Hashtbl.t }
+
+let make_env () = { structs = Hashtbl.create 16 }
+
+let add_struct env tag fields = Hashtbl.replace env.structs tag fields
+
+let struct_fields env tag =
+  match Hashtbl.find_opt env.structs tag with
+  | Some fields -> fields
+  | None -> failwith (Printf.sprintf "layout: incomplete struct %s" tag)
+
+let rec align env (ty : Ctype.t) : int =
+  match ty with
+  | Ctype.Void -> 1
+  | Ctype.Int (k, _) -> Ctype.ikind_size k
+  | Ctype.Float k -> Ctype.fkind_size k
+  | Ctype.Ptr _ | Ctype.Func _ -> 8
+  | Ctype.Array (elem, _) -> align env elem
+  | Ctype.Struct tag ->
+    List.fold_left
+      (fun acc (f : Ast.field) -> max acc (align env f.f_ty))
+      1 (struct_fields env tag)
+
+and size env (ty : Ctype.t) : int =
+  match ty with
+  | Ctype.Void -> 1 (* GNU-style: sizeof(void) = 1 for pointer arithmetic *)
+  | Ctype.Int (k, _) -> Ctype.ikind_size k
+  | Ctype.Float k -> Ctype.fkind_size k
+  | Ctype.Ptr _ | Ctype.Func _ -> 8
+  | Ctype.Array (elem, Some n) -> size env elem * n
+  | Ctype.Array (_, None) -> failwith "layout: unsized array has no size"
+  | Ctype.Struct tag ->
+    let fields = struct_fields env tag in
+    let last =
+      List.fold_left
+        (fun off (f : Ast.field) ->
+          Util.align_up off (align env f.f_ty) + size env f.f_ty)
+        0 fields
+    in
+    Util.align_up (max last 1) (align env ty)
+
+(** Byte offset and type of field [name] in struct [tag]. *)
+let field_offset env tag name : int * Ctype.t =
+  let fields = struct_fields env tag in
+  let rec walk off = function
+    | [] -> failwith (Printf.sprintf "layout: no field %s in struct %s" name tag)
+    | (f : Ast.field) :: rest ->
+      let off = Util.align_up off (align env f.f_ty) in
+      if f.f_name = name then (off, f.f_ty) else walk (off + size env f.f_ty) rest
+  in
+  walk 0 fields
+
+(** Index of field [name] in struct [tag] (declaration order). *)
+let field_index env tag name : int =
+  let fields = struct_fields env tag in
+  let rec walk i = function
+    | [] -> failwith (Printf.sprintf "layout: no field %s in struct %s" name tag)
+    | (f : Ast.field) :: rest -> if f.f_name = name then i else walk (i + 1) rest
+  in
+  walk 0 fields
+
+(** All fields of struct [tag] with their byte offsets. *)
+let fields_with_offsets env tag : (string * Ctype.t * int) list =
+  let fields = struct_fields env tag in
+  let _, acc =
+    List.fold_left
+      (fun (off, acc) (f : Ast.field) ->
+        let off = Util.align_up off (align env f.f_ty) in
+        (off + size env f.f_ty, (f.f_name, f.f_ty, off) :: acc))
+      (0, []) fields
+  in
+  List.rev acc

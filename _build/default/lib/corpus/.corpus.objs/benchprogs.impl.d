@@ -1,0 +1,1 @@
+lib/corpus/benchprogs.ml: List

@@ -1,0 +1,1 @@
+lib/corpus/bugs_heap.ml: Groundtruth

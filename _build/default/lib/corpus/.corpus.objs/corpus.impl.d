@@ -1,0 +1,1 @@
+lib/corpus/corpus.ml: Bugs_global Bugs_heap Bugs_misc Bugs_stack Groundtruth List

@@ -1,0 +1,637 @@
+(** The performance benchmarks (paper §4.2–4.3): the Computer Language
+    Benchmarks Game programs the paper uses, plus whetstone and a hello
+    program for the start-up measurement, rewritten in the supported C
+    subset with problem sizes scaled for interpretation.
+
+    [fastaredux] is the *fixed* version: the paper found the original's
+    probability table failing to reach 1.00 by a rounding error (an
+    out-of-bounds loop) and fixed it upstream; like the authors we
+    benchmark the fix.
+
+    [meteor] is a board-puzzle substitute: counting domino tilings of a
+    5x6 board by exact-cover depth-first search.  The original meteor
+    puzzle (pentominoes on a hex board) is ~500 lines of bit-twiddling;
+    this keeps the same workload character (recursive search over board
+    masks, many small function calls — what Fig. 15's warm-up needs)
+    at a fraction of the code. *)
+
+type bench = {
+  b_name : string;
+  b_source : string;
+  b_description : string;
+}
+
+let hello =
+  {
+    b_name = "hello";
+    b_description = "start-up cost probe (paper §4.2)";
+    b_source = {|
+int main(void) {
+  printf("Hello, World!\n");
+  return 0;
+}
+|};
+  }
+
+let binarytrees =
+  {
+    b_name = "binarytrees";
+    b_description = "allocation-intensive tree building (ASan 14x, Valgrind 58x in the paper)";
+    b_source = {|
+struct tn { struct tn *left; struct tn *right; };
+
+struct tn *make_node(struct tn *l, struct tn *r) {
+  struct tn *n = (struct tn *)malloc(sizeof(struct tn));
+  n->left = l;
+  n->right = r;
+  return n;
+}
+
+struct tn *build(int depth) {
+  if (depth <= 0) { return make_node(0, 0); }
+  return make_node(build(depth - 1), build(depth - 1));
+}
+
+int check(struct tn *n) {
+  if (n->left == 0) { return 1; }
+  return 1 + check(n->left) + check(n->right);
+}
+
+void drop(struct tn *n) {
+  if (n->left != 0) { drop(n->left); drop(n->right); }
+  free(n);
+}
+
+int main(void) {
+  int max_depth = 7;
+  int total = 0;
+  for (int depth = 4; depth <= max_depth; depth += 2) {
+    int iterations = 1 << (max_depth - depth + 4);
+    for (int i = 0; i < iterations; i++) {
+      struct tn *t = build(depth);
+      total += check(t);
+      drop(t);
+    }
+  }
+  struct tn *long_lived = build(max_depth);
+  printf("total %d longlived %d\n", total, check(long_lived));
+  drop(long_lived);
+  return 0;
+}
+|};
+  }
+
+let fannkuchredux =
+  {
+    b_name = "fannkuchredux";
+    b_description = "permutation flipping, pure integer/array work";
+    b_source = {|
+int main(void) {
+  int n = 7;
+  int perm[16];
+  int perm1[16];
+  int count[16];
+  int max_flips = 0;
+  int checksum = 0;
+  int perm_count = 0;
+  for (int i = 0; i < n; i++) { perm1[i] = i; }
+  int r = n;
+  while (1) {
+    while (r != 1) { count[r - 1] = r; r--; }
+    for (int i = 0; i < n; i++) { perm[i] = perm1[i]; }
+    int flips = 0;
+    int k = perm[0];
+    while (k != 0) {
+      for (int i = 0, j = k; i < j; i++, j--) {
+        int t = perm[i];
+        perm[i] = perm[j];
+        perm[j] = t;
+      }
+      flips++;
+      k = perm[0];
+    }
+    if (flips > max_flips) { max_flips = flips; }
+    if (perm_count % 2 == 0) { checksum += flips; } else { checksum -= flips; }
+    while (1) {
+      if (r == n) {
+        printf("%d\nPfannkuchen(%d) = %d\n", checksum, n, max_flips);
+        return 0;
+      }
+      int p0 = perm1[0];
+      for (int i = 0; i < r; i++) { perm1[i] = perm1[i + 1]; }
+      perm1[r] = p0;
+      count[r] = count[r] - 1;
+      if (count[r] > 0) { break; }
+      r++;
+    }
+    perm_count++;
+  }
+}
+|};
+  }
+
+let fasta =
+  {
+    b_name = "fasta";
+    b_description = "pseudo-random DNA sequence generation (cumulative probabilities)";
+    b_source = {|
+int seed = 42;
+
+double gen_random(double max) {
+  int IM = 139968;
+  int IA = 3877;
+  int IC = 29573;
+  seed = (seed * IA + IC) % IM;
+  return max * seed / IM;
+}
+
+struct amino { char c; double p; };
+
+struct amino iub[15];
+struct amino homo[4];
+
+void fill_iub(void) {
+  const char *codes = "acgtBDHKMNRSVWY";
+  double probs[15] = {0.27, 0.12, 0.12, 0.27, 0.02, 0.02, 0.02, 0.02,
+                      0.02, 0.02, 0.02, 0.02, 0.02, 0.02, 0.02};
+  for (int i = 0; i < 15; i++) { iub[i].c = codes[i]; iub[i].p = probs[i]; }
+  homo[0].c = 'a'; homo[0].p = 0.3029549426680;
+  homo[1].c = 'c'; homo[1].p = 0.1979883004921;
+  homo[2].c = 'g'; homo[2].p = 0.1975473066391;
+  homo[3].c = 't'; homo[3].p = 0.3015094502008;
+}
+
+void make_cumulative(struct amino *table, int n) {
+  double cp = 0.0;
+  for (int i = 0; i < n; i++) {
+    cp = cp + table[i].p;
+    table[i].p = cp;
+  }
+}
+
+void make_random_fasta(const char *id, struct amino *table, int n, int count) {
+  printf(">%s\n", id);
+  int line = 0;
+  char buf[64];
+  for (int i = 0; i < count; i++) {
+    double r = gen_random(1.0);
+    int k = 0;
+    while (k < n - 1 && table[k].p < r) { k++; }
+    buf[line] = table[k].c;
+    line++;
+    if (line == 60) { buf[line] = '\0'; puts(buf); line = 0; }
+  }
+  if (line > 0) { buf[line] = '\0'; puts(buf); }
+}
+
+void make_repeat_fasta(const char *id, const char *alu, int count) {
+  printf(">%s\n", id);
+  int len = (int)strlen(alu);
+  int pos = 0;
+  int line = 0;
+  char buf[64];
+  for (int i = 0; i < count; i++) {
+    buf[line] = alu[pos];
+    pos++;
+    if (pos == len) { pos = 0; }
+    line++;
+    if (line == 60) { buf[line] = '\0'; puts(buf); line = 0; }
+  }
+  if (line > 0) { buf[line] = '\0'; puts(buf); }
+}
+
+int main(void) {
+  const char *alu =
+      "GGCCGGGCGCGGTGGCTCACGCCTGTAATCCCAGCACTTTGG"
+      "GAGGCCGAGGCGGGCGGATCACCTGAGGTCAGGAGTTCGAGA";
+  int n = 240;
+  fill_iub();
+  make_cumulative(iub, 15);
+  make_cumulative(homo, 4);
+  make_repeat_fasta("ONE Homo sapiens alu", alu, n * 2);
+  make_random_fasta("TWO IUB ambiguity codes", iub, 15, n * 3);
+  make_random_fasta("THREE Homo sapiens frequency", homo, 4, n * 5);
+  return 0;
+}
+|};
+  }
+
+let fastaredux =
+  {
+    b_name = "fastaredux";
+    b_description = "fasta with a 4096-slot lookup table (the paper's fixed version)";
+    b_source = {|
+int seed = 42;
+
+double gen_random(void) {
+  int IM = 139968;
+  int IA = 3877;
+  int IC = 29573;
+  seed = (seed * IA + IC) % IM;
+  return (double)seed / IM;
+}
+
+char lookup_c[4096];
+
+void fill_lookup(const char *codes, const double *probs, int n) {
+  /* The fix the paper contributed: force the last cumulative
+     probability to 1.0 so the fill loop cannot run out of bounds. */
+  double cum[16];
+  double cp = 0.0;
+  for (int i = 0; i < n; i++) { cp = cp + probs[i]; cum[i] = cp; }
+  cum[n - 1] = 1.0;
+  int k = 0;
+  for (int slot = 0; slot < 4096; slot++) {
+    double r = (double)(slot + 1) / 4096.0;
+    while (cum[k] < r) { k++; }
+    lookup_c[slot] = codes[k];
+  }
+}
+
+void emit(int count) {
+  int line = 0;
+  char buf[64];
+  for (int i = 0; i < count; i++) {
+    int slot = (int)(gen_random() * 4096.0);
+    if (slot > 4095) { slot = 4095; }
+    buf[line] = lookup_c[slot];
+    line++;
+    if (line == 60) { buf[line] = '\0'; puts(buf); line = 0; }
+  }
+  if (line > 0) { buf[line] = '\0'; puts(buf); }
+}
+
+int main(void) {
+  const char *codes = "acgtBDHKMNRSVWY";
+  double probs[15] = {0.27, 0.12, 0.12, 0.27, 0.02, 0.02, 0.02, 0.02,
+                      0.02, 0.02, 0.02, 0.02, 0.02, 0.02, 0.02};
+  fill_lookup(codes, probs, 15);
+  printf(">TWO IUB ambiguity codes\n");
+  emit(1500);
+  return 0;
+}
+|};
+  }
+
+let mandelbrot =
+  {
+    b_name = "mandelbrot";
+    b_description = "escape-time fractal, double-precision inner loop";
+    b_source = {|
+int main(void) {
+  int w = 48;
+  int h = 48;
+  int inside = 0;
+  for (int y = 0; y < h; y++) {
+    for (int x = 0; x < w; x++) {
+      double cr = 2.0 * x / w - 1.5;
+      double ci = 2.0 * y / h - 1.0;
+      double zr = 0.0;
+      double zi = 0.0;
+      int iter = 0;
+      while (iter < 50 && zr * zr + zi * zi <= 4.0) {
+        double t = zr * zr - zi * zi + cr;
+        zi = 2.0 * zr * zi + ci;
+        zr = t;
+        iter++;
+      }
+      if (iter == 50) { inside++; }
+    }
+  }
+  printf("P4-ish %dx%d inside=%d\n", w, h, inside);
+  return 0;
+}
+|};
+  }
+
+let meteor =
+  {
+    b_name = "meteor";
+    b_description = "board-puzzle exact-cover search (domino tilings of 5x6)";
+    b_source = {|
+/* Count domino tilings of a 5x6 board by depth-first exact cover on a
+   30-bit occupancy mask -- a compact stand-in for the meteor pentomino
+   puzzle with the same recursive-search profile. */
+
+int width = 5;
+int height = 6;
+int solutions = 0;
+
+int cell_bit(int x, int y) { return 1 << (y * 5 + x); }
+
+int first_free(int board, int cells) {
+  for (int i = 0; i < cells; i++) {
+    if ((board & (1 << i)) == 0) { return i; }
+  }
+  return -1;
+}
+
+void solve(int board, int cells) {
+  int at = first_free(board, cells);
+  if (at < 0) { solutions++; return; }
+  int x = at % 5;
+  int y = at / 5;
+  /* horizontal domino */
+  if (x + 1 < width && (board & cell_bit(x + 1, y)) == 0) {
+    solve(board | cell_bit(x, y) | cell_bit(x + 1, y), cells);
+  }
+  /* vertical domino */
+  if (y + 1 < height && (board & cell_bit(x, y + 1)) == 0) {
+    solve(board | cell_bit(x, y) | cell_bit(x, y + 1), cells);
+  }
+}
+
+int main(void) {
+  solutions = 0;
+  solve(0, width * height);
+  printf("%d solutions found\n", solutions);
+  return 0;
+}
+|};
+  }
+
+let nbody =
+  {
+    b_name = "nbody";
+    b_description = "planetary orbit integration, dense double math";
+    b_source = {|
+#define PI 3.141592653589793
+#define SOLAR_MASS (4.0 * PI * PI)
+#define DAYS 365.24
+
+struct body {
+  double x; double y; double z;
+  double vx; double vy; double vz;
+  double mass;
+};
+
+struct body bodies[5];
+
+void init_bodies(void) {
+  /* sun */
+  bodies[0].x = 0.0; bodies[0].y = 0.0; bodies[0].z = 0.0;
+  bodies[0].vx = 0.0; bodies[0].vy = 0.0; bodies[0].vz = 0.0;
+  bodies[0].mass = SOLAR_MASS;
+  /* jupiter */
+  bodies[1].x = 4.84143144246472090;
+  bodies[1].y = -1.16032004402742839;
+  bodies[1].z = -0.103622044471123109;
+  bodies[1].vx = 0.00166007664274403694 * DAYS;
+  bodies[1].vy = 0.00769901118419740425 * DAYS;
+  bodies[1].vz = -0.0000690460016972063023 * DAYS;
+  bodies[1].mass = 0.000954791938424326609 * SOLAR_MASS;
+  /* saturn */
+  bodies[2].x = 8.34336671824457987;
+  bodies[2].y = 4.12479856412430479;
+  bodies[2].z = -0.403523417114321381;
+  bodies[2].vx = -0.00276742510726862411 * DAYS;
+  bodies[2].vy = 0.00499852801234917238 * DAYS;
+  bodies[2].vz = 0.0000230417297573763929 * DAYS;
+  bodies[2].mass = 0.000285885980666130812 * SOLAR_MASS;
+  /* uranus */
+  bodies[3].x = 12.8943695621391310;
+  bodies[3].y = -15.1111514016986312;
+  bodies[3].z = -0.223307578892655734;
+  bodies[3].vx = 0.00296460137564761618 * DAYS;
+  bodies[3].vy = 0.00237847173959480950 * DAYS;
+  bodies[3].vz = -0.0000296589568540237556 * DAYS;
+  bodies[3].mass = 0.0000436624404335156298 * SOLAR_MASS;
+  /* neptune */
+  bodies[4].x = 15.3796971148509165;
+  bodies[4].y = -25.9193146099879641;
+  bodies[4].z = 0.179258772950371181;
+  bodies[4].vx = 0.00268067772490389322 * DAYS;
+  bodies[4].vy = 0.00162824170038242295 * DAYS;
+  bodies[4].vz = -0.0000951592254519715870 * DAYS;
+  bodies[4].mass = 0.0000515138902046611451 * SOLAR_MASS;
+}
+
+void offset_momentum(void) {
+  double px = 0.0;
+  double py = 0.0;
+  double pz = 0.0;
+  for (int i = 0; i < 5; i++) {
+    px += bodies[i].vx * bodies[i].mass;
+    py += bodies[i].vy * bodies[i].mass;
+    pz += bodies[i].vz * bodies[i].mass;
+  }
+  bodies[0].vx = -px / SOLAR_MASS;
+  bodies[0].vy = -py / SOLAR_MASS;
+  bodies[0].vz = -pz / SOLAR_MASS;
+}
+
+void advance(double dt) {
+  for (int i = 0; i < 5; i++) {
+    for (int j = i + 1; j < 5; j++) {
+      double dx = bodies[i].x - bodies[j].x;
+      double dy = bodies[i].y - bodies[j].y;
+      double dz = bodies[i].z - bodies[j].z;
+      double dsq = dx * dx + dy * dy + dz * dz;
+      double mag = dt / (dsq * sqrt(dsq));
+      bodies[i].vx -= dx * bodies[j].mass * mag;
+      bodies[i].vy -= dy * bodies[j].mass * mag;
+      bodies[i].vz -= dz * bodies[j].mass * mag;
+      bodies[j].vx += dx * bodies[i].mass * mag;
+      bodies[j].vy += dy * bodies[i].mass * mag;
+      bodies[j].vz += dz * bodies[i].mass * mag;
+    }
+  }
+  for (int i = 0; i < 5; i++) {
+    bodies[i].x += dt * bodies[i].vx;
+    bodies[i].y += dt * bodies[i].vy;
+    bodies[i].z += dt * bodies[i].vz;
+  }
+}
+
+double energy(void) {
+  double e = 0.0;
+  for (int i = 0; i < 5; i++) {
+    e += 0.5 * bodies[i].mass
+         * (bodies[i].vx * bodies[i].vx + bodies[i].vy * bodies[i].vy
+            + bodies[i].vz * bodies[i].vz);
+    for (int j = i + 1; j < 5; j++) {
+      double dx = bodies[i].x - bodies[j].x;
+      double dy = bodies[i].y - bodies[j].y;
+      double dz = bodies[i].z - bodies[j].z;
+      double d = sqrt(dx * dx + dy * dy + dz * dz);
+      e -= bodies[i].mass * bodies[j].mass / d;
+    }
+  }
+  return e;
+}
+
+int main(void) {
+  init_bodies();
+  offset_momentum();
+  printf("%.9f\n", energy());
+  for (int i = 0; i < 600; i++) { advance(0.01); }
+  printf("%.9f\n", energy());
+  return 0;
+}
+|};
+  }
+
+let spectralnorm =
+  {
+    b_name = "spectralnorm";
+    b_description = "power iteration on an infinite matrix, FP heavy";
+    b_source = {|
+double eval_a(int i, int j) {
+  return 1.0 / ((i + j) * (i + j + 1) / 2 + i + 1);
+}
+
+void mult_av(const double *v, double *av, int n) {
+  for (int i = 0; i < n; i++) {
+    double s = 0.0;
+    for (int j = 0; j < n; j++) { s += eval_a(i, j) * v[j]; }
+    av[i] = s;
+  }
+}
+
+void mult_atv(const double *v, double *atv, int n) {
+  for (int i = 0; i < n; i++) {
+    double s = 0.0;
+    for (int j = 0; j < n; j++) { s += eval_a(j, i) * v[j]; }
+    atv[i] = s;
+  }
+}
+
+void mult_atav(const double *v, double *atav, double *tmp, int n) {
+  mult_av(v, tmp, n);
+  mult_atv(tmp, atav, n);
+}
+
+int main(void) {
+  int n = 24;
+  double u[32];
+  double v[32];
+  double tmp[32];
+  for (int i = 0; i < n; i++) { u[i] = 1.0; }
+  for (int i = 0; i < 10; i++) {
+    mult_atav(u, v, tmp, n);
+    mult_atav(v, u, tmp, n);
+  }
+  double vbv = 0.0;
+  double vv = 0.0;
+  for (int i = 0; i < n; i++) {
+    vbv += u[i] * v[i];
+    vv += v[i] * v[i];
+  }
+  printf("%.9f\n", sqrt(vbv / vv));
+  return 0;
+}
+|};
+  }
+
+let whetstone =
+  {
+    b_name = "whetstone";
+    b_description = "the classic synthetic mix: FP loops, transcendentals, calls";
+    b_source = {|
+double t = 0.499975;
+double t1 = 0.50025;
+double t2 = 2.0;
+double e1[5];
+
+void pa(double *e) {
+  for (int j = 0; j < 6; j++) {
+    e[1] = (e[1] + e[2] + e[3] - e[4]) * t;
+    e[2] = (e[1] + e[2] - e[3] + e[4]) * t;
+    e[3] = (e[1] - e[2] + e[3] + e[4]) * t;
+    e[4] = (-e[1] + e[2] + e[3] + e[4]) / t2;
+  }
+}
+
+void p3(double x, double y, double *z) {
+  double x1 = x;
+  double y1 = y;
+  x1 = t * (x1 + y1);
+  y1 = t * (x1 + y1);
+  *z = (x1 + y1) / t2;
+}
+
+int main(void) {
+  int loop = 6;
+  int n1 = 0;
+  int n2 = 12 * loop;
+  int n3 = 14 * loop;
+  int n6 = 29 * loop;
+  int n7 = 32 * loop;
+  int n8 = 89 * loop;
+  int n10 = 9 * loop;
+  int n11 = 9 * loop;
+  double x1 = 1.0;
+  double x2 = -1.0;
+  double x3 = -1.0;
+  double x4 = -1.0;
+  /* module 1: simple identifiers */
+  for (int i = 0; i < n1; i++) {
+    x1 = (x1 + x2 + x3 - x4) * t;
+    x2 = (x1 + x2 - x3 + x4) * t;
+    x3 = (x1 - x2 + x3 + x4) * t;
+    x4 = (-x1 + x2 + x3 + x4) * t;
+  }
+  /* module 2: array elements */
+  e1[1] = 1.0; e1[2] = -1.0; e1[3] = -1.0; e1[4] = -1.0;
+  for (int i = 0; i < n2; i++) {
+    e1[1] = (e1[1] + e1[2] + e1[3] - e1[4]) * t;
+    e1[2] = (e1[1] + e1[2] - e1[3] + e1[4]) * t;
+    e1[3] = (e1[1] - e1[2] + e1[3] + e1[4]) * t;
+    e1[4] = (-e1[1] + e1[2] + e1[3] + e1[4]) * t;
+  }
+  /* module 3: array as parameter */
+  for (int i = 0; i < n3; i++) { pa(e1); }
+  /* module 6: integer arithmetic */
+  int j = 1;
+  int k = 2;
+  int l = 3;
+  for (int i = 0; i < n6; i++) {
+    j = j * (k - j) * (l - k);
+    k = l * k - (l - j) * k;
+    l = (l - k) * (k + j);
+    e1[l - 2] = j + k + l;
+    e1[k - 2] = j * k * l;
+  }
+  /* module 7: trig */
+  double x = 0.5;
+  double y = 0.5;
+  for (int i = 0; i < n7; i++) {
+    x = t * atan(t2 * sin(x) * cos(x) / (cos(x + y) + cos(x - y) - 1.0));
+    y = t * atan(t2 * sin(y) * cos(y) / (cos(x + y) + cos(x - y) - 1.0));
+  }
+  /* module 8: procedure calls */
+  x = 1.0;
+  y = 1.0;
+  double z = 1.0;
+  for (int i = 0; i < n8; i++) { p3(x, y, &z); }
+  /* module 10: integer arithmetic */
+  j = 2;
+  k = 3;
+  for (int i = 0; i < n10; i++) {
+    j = j + k;
+    k = j + k;
+    j = k - j;
+    k = k - j - j;
+  }
+  /* module 11: standard functions */
+  x = 0.75;
+  for (int i = 0; i < n11; i++) {
+    x = sqrt(exp(log(x) / t1));
+  }
+  printf("whetstone done x=%.6f z=%.6f j=%d\n", x, z, j);
+  return 0;
+}
+|};
+  }
+
+(** The peak-performance suite of Fig. 16 (binarytrees is reported
+    separately in the paper's text, as here). *)
+let perf_suite =
+  [
+    fannkuchredux; fasta; fastaredux; mandelbrot; meteor; nbody; spectralnorm;
+    whetstone;
+  ]
+
+let all = (hello :: binarytrees :: perf_suite)
+
+let find name = List.find_opt (fun b -> b.b_name = name) all

@@ -1,0 +1,171 @@
+(** Global (static storage) out-of-bounds corpus: 9 programs (6 reads /
+    3 writes).  Two are the paper's case studies: the constant-index read
+    the backend folds away even at -O0 (case 3) and the user-controlled
+    index that jumps past ASan's redzone into a neighbouring object
+    (case 4).  Valgrind treats the data section as one addressable blob,
+    so it misses all of these. *)
+
+open Groundtruth
+
+let programs =
+  [
+    (* ---------------- reads ---------------- *)
+    mk ~id:"GL-R01" ~project:"day counter"
+      ~description:
+        "constant-index read one past a global array; the code generator \
+         folds the access away even at -O0 (paper case 3, Fig. 13)"
+      ~special:Backend_folded
+      ~fixed:{|
+int count[7] = {0, 0, 0, 0, 0, 0, 0};
+
+int main(int argc, char **argv) {
+  return count[6];  /* fixed: last valid index */
+}
+|}
+      ~category:(oob Read Overflow Global)
+      {|
+int count[7] = {0, 0, 0, 0, 0, 0, 0};
+
+int main(int argc, char **argv) {
+  return count[7];
+}
+|};
+    mk ~id:"GL-R02" ~project:"number speller"
+      ~description:
+        "user input indexes a small table; large values land beyond \
+         ASan's redzone inside the next global (paper case 4, Fig. 14)"
+      ~special:Beyond_redzone ~input:"50\n"
+      ~fixed:{|
+const char *strings[] = {"zero", "one", "two", "three", "four", "five",
+                         "six"};
+char scratch[4096];
+
+int main(void) {
+  int number;
+  fscanf(stdin, "%d", &number);
+  if (number < 0 || number >= 7) {  /* fixed: validate the input */
+    printf("out of range\n");
+    return 1;
+  }
+  printf("%s\n", strings[number]);
+  return 0;
+}
+|}
+      ~category:(oob Read Overflow Global)
+      {|
+const char *strings[] = {"zero", "one", "two", "three", "four", "five",
+                         "six"};
+char scratch[4096]; /* an unrelated buffer that happens to follow */
+
+int main(void) {
+  int number;
+  fscanf(stdin, "%d", &number);
+  printf("%s\n", strings[number]);
+  return 0;
+}
+|};
+    mk ~id:"GL-R03" ~project:"month table"
+      ~description:"reads month index 12 of a 12-entry table"
+      ~category:(oob Read Overflow Global)
+      {|
+int days_in_month[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+
+int main(void) {
+  int total = 0;
+  for (int m = 1; m <= 12; m++) { total += days_in_month[m]; }
+  printf("%d days\n", total);
+  return 0;
+}
+|};
+    mk ~id:"GL-R04" ~project:"error strings"
+      ~description:"error code equal to the table size reads past it"
+      ~category:(oob Read Overflow Global)
+      {|
+const char *errors[3] = {"ok", "warning", "fatal"};
+
+const char *describe(int code) {
+  /* valid codes are 0..2; callers pass 3 for 'unknown' */
+  return errors[code];
+}
+
+int main(void) {
+  printf("%s\n", describe(3));
+  return 0;
+}
+|};
+    mk ~id:"GL-R05" ~project:"opcode decoder"
+      ~description:"lookup after the bounds check was inverted"
+      ~category:(oob Read Overflow Global)
+      {|
+int lengths[4] = {1, 2, 2, 4};
+
+int main(int argc, char **argv) {
+  int opcode = argc + 4;
+  if (opcode > 4) { opcode = 4; } /* clamp is off by one */
+  printf("len %d\n", lengths[opcode]);
+  return 0;
+}
+|};
+    mk ~id:"GL-R06" ~project:"keyword search"
+      ~description:"search miss yields -1, used to index without a check"
+      ~category:(oob Read Underflow Global)
+      {|
+int weights[5] = {10, 20, 30, 40, 50};
+
+int find(int needle) {
+  for (int i = 0; i < 5; i++) {
+    if (weights[i] == needle) { return i; }
+  }
+  return -1;
+}
+
+int main(void) {
+  int at = find(99);
+  printf("weight %d\n", weights[at]); /* weights[-1] */
+  return 0;
+}
+|};
+    (* ---------------- writes ---------------- *)
+    mk ~id:"GL-W01" ~project:"vote tally"
+      ~description:"candidate id equal to the array size is written"
+      ~category:(oob Write Overflow Global)
+      {|
+int votes[4];
+
+int main(void) {
+  int ballots[5] = {0, 2, 4, 1, 3}; /* '4' is out of range */
+  for (int i = 0; i < 5; i++) { votes[ballots[i]]++; }
+  printf("%d %d %d %d\n", votes[0], votes[1], votes[2], votes[3]);
+  return 0;
+}
+|};
+    mk ~id:"GL-W02" ~project:"byte histogram"
+      ~description:"histogram sized 255 cannot count byte value 255"
+      ~category:(oob Write Overflow Global)
+      {|
+int histogram[255]; /* should be 256 */
+
+int main(void) {
+  unsigned char data[4] = {0, 17, 255, 17};
+  for (int i = 0; i < 4; i++) { histogram[data[i]]++; }
+  printf("%d\n", histogram[17]);
+  return 0;
+}
+|};
+    mk ~id:"GL-W03" ~project:"progress bar"
+      ~description:"pre-decrement before the empty check writes cell -1"
+      ~category:(oob Write Underflow Global)
+      {|
+char bar[10];
+
+int main(int argc, char **argv) {
+  int fill = argc - 1;
+  /* "erase one segment": decrements before checking for empty */
+  fill = fill - 1;
+  bar[fill] = ' ';
+  if (fill <= 0) { fill = 0; }
+  printf("fill %d %c\n", fill, bar[0]);
+  return 0;
+}
+|};
+  ]

@@ -1,0 +1,257 @@
+(** Heap out-of-bounds corpus: 17 programs (8 reads / 9 writes, one
+    underflow of each).  These are the bugs every tool in the comparison
+    finds — heap blocks are the one place shadow-memory redzones are
+    precise — so they anchor the "found by all" part of the matrix. *)
+
+open Groundtruth
+
+let programs =
+  [
+    (* ---------------- reads ---------------- *)
+    mk ~id:"HP-R01" ~project:"vector sum"
+      ~description:"summing loop runs one element past the allocation"
+      ~category:(oob Read Overflow Heap)
+      {|
+int main(void) {
+  int n = 6;
+  int *xs = (int *)malloc(n * sizeof(int));
+  for (int i = 0; i < n; i++) { xs[i] = i + 1; }
+  int sum = 0;
+  for (int i = 0; i <= n; i++) { sum += xs[i]; }
+  printf("sum %d\n", sum);
+  free(xs);
+  return 0;
+}
+|};
+    mk ~id:"HP-R02" ~project:"sliding window"
+      ~description:"first window probe reads the cell before the block"
+      ~category:(oob Read Underflow Heap)
+      {|
+int main(void) {
+  int *xs = (int *)malloc(8 * sizeof(int));
+  for (int i = 0; i < 8; i++) { xs[i] = i; }
+  int best = 0;
+  for (int i = 0; i < 8; i++) {
+    int prev = xs[i - 1]; /* i = 0 reads xs[-1] */
+    if (xs[i] - prev > best) { best = xs[i] - prev; }
+  }
+  printf("best %d\n", best);
+  free(xs);
+  return 0;
+}
+|};
+    mk ~id:"HP-R03" ~project:"name joiner"
+      ~description:"heap string filled to capacity with no NUL; strlen runs on"
+      ~category:(oob Read Overflow Heap)
+      {|
+int main(void) {
+  char *buf = (char *)malloc(4);
+  buf[0] = 'a'; buf[1] = 'b'; buf[2] = 'c'; buf[3] = 'd';
+  printf("len %d\n", (int)strlen(buf));
+  free(buf);
+  return 0;
+}
+|};
+    mk ~id:"HP-R04" ~project:"csv column"
+      ~description:"column index from the header row is off by one"
+      ~category:(oob Read Overflow Heap)
+      {|
+int main(void) {
+  int cols = 3;
+  double *row = (double *)malloc(cols * sizeof(double));
+  row[0] = 1.5; row[1] = 2.5; row[2] = 3.5;
+  double last = row[cols]; /* should be cols - 1 */
+  printf("last %.1f\n", last);
+  free(row);
+  return 0;
+}
+|};
+    mk ~id:"HP-R05" ~project:"substring scan"
+      ~description:"memcmp length exceeds the remaining bytes"
+      ~category:(oob Read Overflow Heap)
+      {|
+int main(void) {
+  char *text = (char *)malloc(8);
+  strcpy(text, "abcdefg");
+  /* compare 6 bytes starting at offset 4: the first four match
+     ("efg" plus NUL), so the scan reaches text[8..9] */
+  int r = memcmp(text + 4, "efg\0qz", 6);
+  printf("cmp %d\n", r);
+  free(text);
+  return 0;
+}
+|};
+    mk ~id:"HP-R06" ~project:"shrink cache"
+      ~description:"stale length used after realloc shrank the block"
+      ~category:(oob Read Overflow Heap)
+      {|
+int main(void) {
+  int n = 10;
+  long *cache = (long *)malloc(n * sizeof(long));
+  for (int i = 0; i < n; i++) { cache[i] = i * 10; }
+  cache = (long *)realloc(cache, 4 * sizeof(long));
+  long sum = 0;
+  for (int i = 0; i < n; i++) { sum += cache[i]; } /* n is stale */
+  printf("sum %ld\n", sum);
+  free(cache);
+  return 0;
+}
+|};
+    mk ~id:"HP-R07" ~project:"packet view"
+      ~description:"reads a 4-byte field at the last byte of the payload"
+      ~category:(oob Read Overflow Heap)
+      {|
+int main(void) {
+  unsigned char *pkt = (unsigned char *)malloc(9);
+  memset(pkt, 7, 9);
+  /* field at offset 8 is documented as 4 bytes; only 1 remains */
+  int *field = (int *)(pkt + 8);
+  printf("field %d\n", *field);
+  free(pkt);
+  return 0;
+}
+|};
+    mk ~id:"HP-R08" ~project:"tree mirror"
+      ~description:"child index 2*i+2 escapes the array-backed tree"
+      ~category:(oob Read Overflow Heap)
+      {|
+int main(void) {
+  int n = 7;
+  int *tree = (int *)malloc(n * sizeof(int));
+  for (int i = 0; i < n; i++) { tree[i] = i; }
+  int sum = 0;
+  for (int i = 0; i < n; i++) {
+    if (2 * i + 1 <= n) { sum += tree[2 * i + 1]; } /* <= lets 7 through */
+  }
+  printf("sum %d\n", sum);
+  free(tree);
+  return 0;
+}
+|};
+    (* ---------------- writes ---------------- *)
+    mk ~id:"HP-W01" ~project:"string dup"
+      ~description:"malloc(strlen) without the +1; strcpy writes the NUL past"
+      ~category:(oob Write Overflow Heap)
+      {|
+int main(void) {
+  const char *src = "hello world";
+  char *copy = (char *)malloc(strlen(src)); /* missing + 1 */
+  strcpy(copy, src);
+  printf("%c%c\n", copy[0], copy[1]);
+  free(copy);
+  return 0;
+}
+|};
+    mk ~id:"HP-W02" ~project:"fill table"
+      ~description:"initialization loop uses <= on the element count"
+      ~category:(oob Write Overflow Heap)
+      {|
+int main(void) {
+  int n = 5;
+  int *t = (int *)malloc(n * sizeof(int));
+  for (int i = 0; i <= n; i++) { t[i] = -1; }
+  printf("t0 %d\n", t[0]);
+  free(t);
+  return 0;
+}
+|};
+    mk ~id:"HP-W03" ~project:"zero buffer"
+      ~description:"memset size includes a header that is not there"
+      ~category:(oob Write Overflow Heap)
+      {|
+int main(void) {
+  char *blob = (char *)malloc(16);
+  memset(blob, 0, 16 + 4); /* +4 for a 'header' that was never allocated */
+  printf("%d\n", blob[0]);
+  free(blob);
+  return 0;
+}
+|};
+    mk ~id:"HP-W04" ~project:"ring writer"
+      ~description:"producer writes the slot before the buffer on wrap"
+      ~category:(oob Write Underflow Heap)
+      {|
+int main(void) {
+  int *ring = (int *)malloc(4 * sizeof(int));
+  int w = 0;
+  for (int i = 0; i < 3; i++) {
+    w = w - 1;            /* decrement-then-wrap, wrongly ordered */
+    if (w < -1) { w = 2; }
+    ring[w] = i;          /* first iteration writes ring[-1] */
+  }
+  printf("%d\n", ring[0]);
+  free(ring);
+  return 0;
+}
+|};
+    mk ~id:"HP-W05" ~project:"report line"
+      ~description:"sprintf output larger than the exact-size heap buffer"
+      ~category:(oob Write Overflow Heap)
+      {|
+int main(void) {
+  char *line = (char *)malloc(10);
+  sprintf(line, "%s: %d", "records", 123456);
+  printf("%s\n", line);
+  free(line);
+  return 0;
+}
+|};
+    mk ~id:"HP-W06" ~project:"grid transpose"
+      ~description:"row and column counts swapped in the write index"
+      ~category:(oob Write Overflow Heap)
+      {|
+int main(void) {
+  int rows = 2;
+  int cols = 5;
+  int *g = (int *)malloc(rows * cols * sizeof(int));
+  for (int r = 0; r < cols; r++) {       /* swapped bounds */
+    for (int c = 0; c < rows; c++) {
+      g[r * cols + c] = r + c;           /* r up to 4: index up to 21 */
+    }
+  }
+  printf("%d\n", g[0]);
+  free(g);
+  return 0;
+}
+|};
+    mk ~id:"HP-W07" ~project:"int list"
+      ~description:"allocates n bytes but stores n ints"
+      ~category:(oob Write Overflow Heap)
+      {|
+int main(void) {
+  int n = 6;
+  int *xs = (int *)malloc(n); /* should be n * sizeof(int) */
+  for (int i = 0; i < n; i++) { xs[i] = i; }
+  printf("%d\n", xs[0]);
+  free(xs);
+  return 0;
+}
+|};
+    mk ~id:"HP-W08" ~project:"tag appender"
+      ~description:"strcat beyond the allocation by the suffix length"
+      ~category:(oob Write Overflow Heap)
+      {|
+int main(void) {
+  char *s = (char *)malloc(8);
+  strcpy(s, "item-01");
+  strcat(s, "-done");  /* 7 + 5 + NUL = 13 > 8 */
+  printf("%s\n", s);
+  free(s);
+  return 0;
+}
+|};
+    mk ~id:"HP-W09" ~project:"sample decimator"
+      ~description:"output size computed with integer division rounding down"
+      ~category:(oob Write Overflow Heap)
+      {|
+int main(void) {
+  int n = 7;
+  int *out = (int *)malloc((n / 2) * sizeof(int)); /* 3 slots */
+  int w = 0;
+  for (int i = 0; i < n; i += 2) { out[w++] = i; } /* writes 4 */
+  printf("wrote %d\n", w);
+  free(out);
+  return 0;
+}
+|};
+  ]

@@ -1,0 +1,200 @@
+(** The rest of the corpus: 3 out-of-bounds reads of the [main]
+    arguments (paper case 1 — the arrays the kernel writes before any
+    instrumented code runs), 5 NULL dereferences (findable even without
+    a tool: they crash), 1 use-after-free, and 1 access to a
+    non-existent variadic argument (paper case 5). *)
+
+open Groundtruth
+
+let programs =
+  [
+    (* ------------- main() argument reads (case 1) ------------- *)
+    mk ~id:"MA-R01" ~project:"arg echo"
+      ~description:
+        "prints argv[5] without checking argc; past the argv array the \
+         environment pointers leak (Fig. 10)"
+      ~special:Main_args_oob
+      ~fixed:{|
+int main(int argc, char **argv) {
+  if (argc > 5) {  /* fixed: check argc first */
+    printf("%d %s\n", argc, argv[5]);
+  } else {
+    printf("%d (no argv[5])\n", argc);
+  }
+  return 0;
+}
+|}
+      ~category:(oob Read Overflow Main_args)
+      {|
+int main(int argc, char **argv) {
+  printf("%d %s\n", argc, argv[5]);
+  return 0;
+}
+|};
+    mk ~id:"MA-R02" ~project:"option parser"
+      ~description:"reads the flag argument without checking it exists"
+      ~special:Main_args_oob
+      ~fixed:{|
+int main(int argc, char **argv) {
+  for (int i = 1; i < argc; i++) {
+    if (strcmp(argv[i], "-o") == 0 && i + 1 < argc) {  /* fixed */
+      char *value = argv[i + 1];
+      if (value != 0) { printf("output=%s\n", value); }
+    }
+  }
+  return 0;
+}
+|}
+      ~category:(oob Read Overflow Main_args)
+      ~argv:[ "prog"; "-o" ]
+      {|
+int main(int argc, char **argv) {
+  for (int i = 1; i < argc; i++) {
+    if (strcmp(argv[i], "-o") == 0) {
+      /* value expected right after the flag; argv[i + 1] is argv[argc],
+         and the +2 lookahead for '--' is past the array */
+      char *value = argv[i + 1];
+      char *next = argv[i + 2];
+      if (value != 0) { printf("output=%s\n", value); }
+      if (next != 0) { printf("next=%s\n", next); }
+    }
+  }
+  return 0;
+}
+|};
+    mk ~id:"MA-R03" ~project:"batch runner"
+      ~description:"iterates one entry past the argv NULL terminator"
+      ~special:Main_args_oob
+      ~fixed:{|
+int main(int argc, char **argv) {
+  for (int i = 0; i < argc; i++) {  /* fixed: stop at argc */
+    char *arg = argv[i];
+    if (arg != 0) { printf("job: %s\n", arg); }
+  }
+  return 0;
+}
+|}
+      ~category:(oob Read Overflow Main_args)
+      ~argv:[ "prog"; "job1" ]
+      {|
+int main(int argc, char **argv) {
+  /* walks i = 0 .. argc+1: argv[argc] is the NULL terminator, and
+     argv[argc + 1] is out of bounds */
+  for (int i = 0; i <= argc + 1; i++) {
+    char *arg = argv[i];
+    if (arg != 0) { printf("job: %s\n", arg); }
+  }
+  return 0;
+}
+|};
+    (* ------------- NULL dereferences ------------- *)
+    mk ~id:"NU-01" ~project:"ini lookup"
+      ~description:"strchr miss returns NULL, dereferenced unchecked"
+      ~category:Null_dereference
+      {|
+int main(void) {
+  char entry[16] = "colour_blue";
+  char *eq = strchr(entry, '=');
+  /* assumes every entry has '=': strchr returned NULL */
+  printf("value: %s\n", eq + 1);
+  return 0;
+}
+|};
+    mk ~id:"NU-02" ~project:"linked list"
+      ~description:"pop from an empty list follows the NULL head"
+      ~category:Null_dereference
+      {|
+struct node { int v; struct node *next; };
+int main(void) {
+  struct node *head = 0;
+  /* pop without an emptiness check */
+  int v = head->v;
+  printf("%d\n", v);
+  return 0;
+}
+|};
+    mk ~id:"NU-03" ~project:"word counter"
+      ~description:"fgets at EOF returns NULL; the buffer pointer is used"
+      ~input:""
+      ~category:Null_dereference
+      {|
+int main(void) {
+  char line[32];
+  char *p = fgets(line, 32, stdin); /* empty input: NULL */
+  int words = 0;
+  while (*p != '\0') {
+    if (*p == ' ') { words++; }
+    p++;
+  }
+  printf("%d\n", words);
+  return 0;
+}
+|};
+    mk ~id:"NU-04" ~project:"plugin table"
+      ~description:"unregistered hook slot is NULL and gets called"
+      ~category:Null_dereference
+      {|
+int double_it(int x) { return 2 * x; }
+int (*hooks[4])(int) = {double_it, 0, 0, 0};
+int main(void) {
+  int total = 0;
+  for (int i = 0; i < 2; i++) { total += hooks[i](i); } /* hooks[1] is NULL */
+  printf("%d\n", total);
+  return 0;
+}
+|};
+    mk ~id:"NU-05" ~project:"settings writer"
+      ~description:"write through a pointer that was never initialized to
+ a target"
+      ~category:Null_dereference
+      {|
+int main(void) {
+  int *current_setting = 0;
+  int requested = 7;
+  if (requested > 0) {
+    *current_setting = requested; /* forgot to point it at storage */
+  }
+  printf("ok\n");
+  return 0;
+}
+|};
+    (* ------------- temporal ------------- *)
+    mk ~id:"UF-01" ~project:"message queue"
+      ~description:"message freed on dispatch, then read for logging"
+      ~category:Use_after_free
+      {|
+struct msg { int id; char body[24]; };
+int main(void) {
+  struct msg *m = (struct msg *)malloc(sizeof(struct msg));
+  m->id = 17;
+  strcpy(m->body, "hello");
+  /* dispatch frees the message ... */
+  free(m);
+  /* ... and the caller logs it afterwards */
+  printf("sent #%d\n", m->id);
+  return 0;
+}
+|};
+    (* ------------- varargs (case 5) ------------- *)
+    mk ~id:"VA-01" ~project:"status logger"
+      ~description:
+        "format string names two values, the call passes one (Fig. 10's \
+         sibling; CVE-2016-4448-style)"
+      ~special:Missing_vararg ~fixed:{|
+int main(void) {
+  int done = 3;
+  int total = 10;
+  printf("progress: %d of %d\n", done, total);  /* fixed: both passed */
+  return 0;
+}
+|}
+      ~category:Varargs
+      {|
+int main(void) {
+  int done = 3;
+  /* "%d of %d" but only 'done' is passed */
+  printf("progress: %d of %d\n", done);
+  return 0;
+}
+|};
+  ]

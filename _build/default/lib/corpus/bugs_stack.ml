@@ -1,0 +1,531 @@
+(** Stack out-of-bounds corpus: 32 programs (15 reads / 17 writes, 4 of
+    them underflows), the largest slice of Table 2, mirroring the paper's
+    finding that most bugs in small projects hit automatic storage.
+
+    Layout notes the ground truth relies on: locals are allocated in
+    declaration order at decreasing addresses, so overflowing an array
+    *upward* lands in earlier-declared locals (or in the alloca's
+    alignment slack), and underflowing lands in later-declared ones.
+    Whether Valgrind can flag a read indirectly (uninitialised-value) is
+    decided by whether the overrun lands on initialized data. *)
+
+open Groundtruth
+
+let programs =
+  [
+    (* ---------------- reads ---------------- *)
+    mk ~id:"ST-R01" ~project:"csv splitter"
+      ~description:
+        "delimiter array lacks the NUL terminator; strtok's delimiter \
+         scan runs off the end (missing ASan interceptor, paper case 2)"
+      ~special:Missing_interceptor
+      ~fixed:{|
+int main(void) {
+  char line[64] = "name;age;city";
+  char seps[2] = ";";  /* fixed: room for the NUL terminator */
+  int fields = 0;
+  char *tok = strtok(line, seps);
+  while (tok != 0) {
+    fields++;
+    tok = strtok(0, seps);
+  }
+  printf("%d fields\n", fields);
+  return 0;
+}
+|}
+      ~category:(oob Read Overflow Stack)
+      {|
+int main(void) {
+  char line[64] = "name;age;city";
+  char seps[1] = {';'};
+  int fields = 0;
+  char *tok = strtok(line, seps);
+  while (tok != 0) {
+    fields++;
+    tok = strtok(0, seps);
+  }
+  printf("%d fields\n", fields);
+  return 0;
+}
+|};
+    mk ~id:"ST-R02" ~project:"download counter"
+      ~description:
+        "printf(\"%ld\") reads 8 bytes where a 4-byte int was passed \
+         (printf interceptor checks only pointers, paper case 2)"
+      ~special:Missing_interceptor
+      ~fixed:{|
+int main(void) {
+  int counter = 0;
+  for (int i = 0; i < 17; i++) { counter += i; }
+  printf("counter: %d\n", counter);  /* fixed: %d matches int */
+  return 0;
+}
+|}
+      ~category:(oob Read Overflow Stack)
+      {|
+int main(void) {
+  int counter = 0;
+  for (int i = 0; i < 17; i++) { counter += i; }
+  printf("counter: %ld\n", counter);
+  return 0;
+}
+|};
+    mk ~id:"ST-R03" ~project:"grade average"
+      ~description:"averaging loop runs one element past the array"
+      ~category:(oob Read Overflow Stack)
+      {|
+int main(void) {
+  int scratch[8];
+  int grades[6] = {71, 85, 93, 67, 88, 79};
+  int sum = 0;
+  for (int i = 0; i <= 6; i++) { sum += grades[i]; }
+  printf("avg %d\n", sum / 6);
+  return scratch[0] * 0;
+}
+|};
+    mk ~id:"ST-R04" ~project:"temperature log"
+      ~description:"hard-coded element count does not match the array"
+      ~category:(oob Read Overflow Stack)
+      {|
+int main(void) {
+  double spare[4];
+  double temps[5] = {21.5, 22.0, 19.8, 20.4, 23.1};
+  double peak = -100.0;
+  for (int i = 0; i < 7; i++) {
+    if (temps[i] > peak) { peak = temps[i]; }
+  }
+  printf("peak %.1f\n", peak);
+  return (int)spare[0] * 0;
+}
+|};
+    mk ~id:"ST-R05" ~project:"token reverser"
+      ~description:
+        "reversed copy is never NUL-terminated, so printing it reads on"
+      ~category:(oob Read Overflow Stack)
+      {|
+int main(void) {
+  char workspace[8]; /* scratch the function never initializes */
+  char out[5];
+  char word[6] = "hello";
+  int n = (int)strlen(word);
+  for (int i = 0; i < n; i++) { out[i] = word[n - 1 - i]; }
+  /* out is exactly n chars long with no room for the NUL: strlen in
+     printf's %s walks past the end */
+  printf("%s\n", out);
+  return 0;
+}
+|};
+    mk ~id:"ST-R06" ~project:"dice histogram"
+      ~description:"reads bucket 6 of a 6-bucket histogram (faces 1..6)"
+      ~category:(oob Read Overflow Stack)
+      {|
+int main(void) {
+  int work[4];
+  int buckets[6] = {3, 4, 1, 6, 2, 5};
+  int total = 0;
+  for (int face = 1; face <= 6; face++) { total += buckets[face]; }
+  printf("rolls %d\n", total);
+  return work[0] * 0;
+}
+|};
+    mk ~id:"ST-R07" ~project:"matrix trace"
+      ~description:"trace loop indexes a 3x3 matrix with i in 0..3"
+      ~category:(oob Read Overflow Stack)
+      {|
+int main(void) {
+  int padding[4];
+  int m[3][3] = {{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  int trace = 0;
+  for (int i = 0; i <= 3; i++) { trace += m[i][i]; }
+  printf("trace %d\n", trace);
+  return padding[0] * 0;
+}
+|};
+    mk ~id:"ST-R08" ~project:"shift cipher"
+      ~description:"check comes after the access has already happened"
+      ~category:(oob Read Overflow Stack)
+      {|
+int decode(const char *key, int i) {
+  int v = key[i];        /* access first ... */
+  if (i >= 4) { return 0; } /* ... bounds check too late */
+  return v;
+}
+int main(void) {
+  char extra[8];
+  char key[4] = {'a', 'b', 'c', 'd'};
+  int sum = 0;
+  for (int i = 0; i < 6; i++) { sum += decode(key, i); }
+  printf("sum %d\n", sum);
+  return extra[0] * 0;
+}
+|};
+    mk ~id:"ST-R09" ~project:"moving average"
+      ~description:"window end index is off by one at the last position"
+      ~category:(oob Read Overflow Stack)
+      {|
+int main(void) {
+  int slack[8];
+  int series[8] = {2, 4, 6, 8, 10, 12, 14, 16};
+  int best = 0;
+  for (int start = 0; start < 8; start += 2) {
+    int s = series[start] + series[start + 1] + series[start + 2];
+    if (s > best) { best = s; }
+  }
+  printf("best window %d\n", best);
+  return slack[0] * 0;
+}
+|};
+    mk ~id:"ST-R10" ~project:"hex dump"
+      ~description:"length computed with sizeof of the wrong object"
+      ~category:(oob Read Overflow Stack)
+      {|
+int main(void) {
+  char buffer[24];
+  char header[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  int sum = 0;
+  for (size_t i = 0; i < sizeof(buffer); i++) { sum += header[i]; }
+  printf("checksum %d\n", sum);
+  return 0;
+}
+|};
+    mk ~id:"ST-R11" ~project:"binary search"
+      ~description:"high starts at n instead of n-1; probes cell n"
+      ~category:(oob Read Overflow Stack)
+      {|
+int find(const int *xs, int n, int needle) {
+  int lo = 0;
+  int hi = n; /* should be n - 1 */
+  while (lo <= hi) {
+    int mid = (lo + hi) / 2;
+    if (xs[mid] == needle) { return mid; }
+    if (xs[mid] < needle) { lo = mid + 1; } else { hi = mid - 1; }
+  }
+  return -1;
+}
+int main(void) {
+  int room[4];
+  int xs[7] = {1, 3, 5, 7, 9, 11, 13};
+  printf("%d\n", find(xs, 7, 14));
+  return room[0] * 0;
+}
+|};
+    mk ~id:"ST-R12" ~project:"palindrome test"
+      ~description:"right index starts at strlen instead of strlen-1"
+      ~category:(oob Read Overflow Stack)
+      {|
+int main(void) {
+  char spare[3];
+  char w[5] = {'c', 'i', 'v', 'i', 'c'};
+  int left = 0;
+  int right = (int)sizeof(w); /* off by one: should be sizeof - 1 */
+  int ok = 1;
+  while (left < right) {
+    if (w[left] != w[right]) { ok = 0; break; }
+    left++;
+    right--;
+  }
+  printf(ok ? "palindrome\n" : "not\n");
+  return 0;
+}
+|};
+    mk ~id:"ST-R13" ~project:"priority queue"
+      ~description:"peek on an empty queue reads the cell before index 0"
+      ~category:(oob Read Underflow Stack)
+      {|
+int main(void) {
+  int heap[4] = {9, 7, 4, 1};
+  int scratch[2]; /* never initialized */
+  int count = 0;
+  /* peek() returns heap[count - 1] without checking count > 0 */
+  int top = heap[count - 1];
+  if (top > 0) { printf("top %d\n", top); }
+  else { printf("empty\n"); }
+  return 0;
+}
+|};
+    mk ~id:"ST-R14" ~project:"ring buffer"
+      ~description:"head index wraps one slot too late (reads cell -1)"
+      ~category:(oob Read Underflow Stack)
+      {|
+int main(void) {
+  int ring[4] = {10, 20, 30, 40};
+  int uninit_tail[4];
+  int head = 0;
+  /* pop() decrements before the wrap check */
+  head = head - 1;
+  if (head < -1) { head = 3; } /* wrong guard: lets -1 through */
+  int v = ring[head];
+  if (v != 0) { printf("popped %d\n", v); }
+  return uninit_tail[0] * 0;
+}
+|};
+    mk ~id:"ST-R15" ~project:"frame parser"
+      ~description:
+        "overrun lands on an initialized neighbour, so the wrong value \
+         flows on silently (no uninitialised data for Memcheck)"
+      ~category:(oob Read Overflow Stack)
+      {|
+int main(void) {
+  int limit = 9999;          /* initialized: the overrun reads this */
+  int frame[4] = {5, 6, 7, 8};
+  int sum = 0;
+  for (int i = 0; i <= 4; i++) { sum += frame[i]; }
+  printf("sum %d (limit %d)\n", sum, limit);
+  return 0;
+}
+|};
+    (* ---------------- writes ---------------- *)
+    mk ~id:"ST-W01" ~project:"init helper"
+      ~description:
+        "Figure 3: dead stores past the array; -O3 deletes object, \
+         stores and checks together"
+      ~special:O3_folded
+      ~category:(oob Write Overflow Stack)
+      {|
+int test(int length) {
+  int arr[10];
+  for (int i = 0; i < length; i++) { arr[i] = i; }
+  return 0;
+}
+int main(int argc, char **argv) {
+  return test(11 + argc);
+}
+|};
+    mk ~id:"ST-W02" ~project:"zero fill"
+      ~description:"dead zero-fill loop writes one past the buffer"
+      ~special:O3_folded
+      ~category:(oob Write Overflow Stack)
+      {|
+int scrub(int n) {
+  char tmp[16];
+  for (int i = 0; i <= 16 && i <= n; i++) { tmp[i] = 0; }
+  return n;
+}
+int main(int argc, char **argv) {
+  return scrub(31 + argc) & 1;
+}
+|};
+    mk ~id:"ST-W03" ~project:"checksum pad"
+      ~description:"dead padding writes run past the block"
+      ~special:O3_folded
+      ~category:(oob Write Overflow Stack)
+      {|
+int pad_block(int used) {
+  int block[8];
+  for (int i = used; i < 9; i++) { block[i] = -1; }
+  return used;
+}
+int main(int argc, char **argv) {
+  return pad_block(argc) & 1;
+}
+|};
+    mk ~id:"ST-W04" ~project:"stencil warmup"
+      ~description:"dead stencil seeding writes cells 0..N inclusive"
+      ~special:O3_folded
+      ~category:(oob Write Overflow Stack)
+      {|
+int warm(int n) {
+  double grid[12];
+  for (int i = 0; i <= 12 && i < n; i++) { grid[i] = 0.5 * i; }
+  return n;
+}
+int main(int argc, char **argv) {
+  return warm(40 + argc) & 1;
+}
+|};
+    mk ~id:"ST-W05" ~project:"greeting builder"
+      ~description:"strcpy of a 12-char name into an 8-byte buffer"
+      ~category:(oob Write Overflow Stack)
+      {|
+int main(void) {
+  char name[8];
+  strcpy(name, "maximiliano!");
+  printf("hi %s\n", name);
+  return 0;
+}
+|};
+    mk ~id:"ST-W06" ~project:"path join"
+      ~description:"strcat overflows the destination by the separator"
+      ~category:(oob Write Overflow Stack)
+      {|
+int main(void) {
+  char path[12] = "/usr/bin";
+  strcat(path, "/cc1"); /* 8 + 4 + NUL = 13 > 12 */
+  printf("%s\n", path);
+  return 0;
+}
+|};
+    mk ~id:"ST-W07" ~project:"id formatter"
+      ~description:"sprintf needs 11 bytes, buffer has 8"
+      ~category:(oob Write Overflow Stack)
+      {|
+int main(void) {
+  char id[8];
+  sprintf(id, "ID-%06d", 123456);
+  printf("%s\n", id);
+  return 0;
+}
+|};
+    mk ~id:"ST-W08" ~project:"line splitter"
+      ~description:"writes the terminating NUL at buf[len] when len==cap"
+      ~category:(oob Write Overflow Stack)
+      {|
+int main(void) {
+  char field[4];
+  const char *src = "abcd";
+  int i = 0;
+  while (src[i] != '\0' && i < 4) { field[i] = src[i]; i++; }
+  field[i] = '\0'; /* i == 4 here */
+  printf("%s\n", field);
+  return 0;
+}
+|};
+    mk ~id:"ST-W09" ~project:"bubble sort"
+      ~description:"inner loop compares and swaps through cell n"
+      ~category:(oob Write Overflow Stack)
+      {|
+int main(void) {
+  int xs[5] = {4, 2, 5, 1, 3};
+  for (int pass = 0; pass < 5; pass++) {
+    for (int i = 0; i < 5; i++) { /* should stop at 4 */
+      if (xs[i] > xs[i + 1]) {
+        int t = xs[i];
+        xs[i] = xs[i + 1];
+        xs[i + 1] = t;
+      }
+    }
+  }
+  for (int i = 0; i < 5; i++) { printf("%d ", xs[i]); }
+  printf("\n");
+  return 0;
+}
+|};
+    mk ~id:"ST-W10" ~project:"insertion sort"
+      ~description:"shifts elements into the cell one past the end"
+      ~category:(oob Write Overflow Stack)
+      {|
+int main(void) {
+  int xs[6] = {9, 3, 7, 1, 8, 2};
+  /* insert a 7th element "temporarily" during the pass */
+  int v = 5;
+  int j = 6;
+  while (j > 0 && xs[j - 1] > v) {
+    xs[j] = xs[j - 1]; /* first iteration writes xs[6] */
+    j--;
+  }
+  xs[j] = v;
+  for (int i = 0; i < 6; i++) { printf("%d ", xs[i]); }
+  printf("\n");
+  return 0;
+}
+|};
+    mk ~id:"ST-W11" ~project:"roman numerals"
+      ~description:"output buffer sized for the common case only"
+      ~category:(oob Write Overflow Stack)
+      {|
+int main(void) {
+  char out[8];
+  int n = 3888; /* MMMDCCCLXXXVIII: 15 chars */
+  int pos = 0;
+  while (n >= 1000) { out[pos++] = 'M'; n -= 1000; }
+  while (n >= 500) { out[pos++] = 'D'; n -= 500; }
+  while (n >= 100) { out[pos++] = 'C'; n -= 100; }
+  while (n >= 50) { out[pos++] = 'L'; n -= 50; }
+  while (n >= 10) { out[pos++] = 'X'; n -= 10; }
+  while (n >= 5) { out[pos++] = 'V'; n -= 5; }
+  while (n >= 1) { out[pos++] = 'I'; n -= 1; }
+  out[pos] = '\0';
+  printf("%s\n", out);
+  return 0;
+}
+|};
+    mk ~id:"ST-W12" ~project:"config reader"
+      ~description:"fgets size argument larger than the buffer"
+      ~input:"verbose=true and a long tail that keeps going on\n"
+      ~category:(oob Write Overflow Stack)
+      {|
+int main(void) {
+  char line[16];
+  if (fgets(line, 64, stdin) != 0) { /* 64 > sizeof line */
+    printf("read: %s", line);
+  }
+  return 0;
+}
+|};
+    mk ~id:"ST-W13" ~project:"bit flags"
+      ~description:"flag index computed from user value without a check"
+      ~input:"9\n"
+      ~category:(oob Write Overflow Stack)
+      {|
+int main(void) {
+  char flags[8];
+  memset(flags, 0, sizeof(flags));
+  int which;
+  scanf("%d", &which);
+  flags[which] = 1; /* which = 9 */
+  int set = 0;
+  for (int i = 0; i < 8; i++) { set += flags[i]; }
+  printf("%d flags set\n", set);
+  return 0;
+}
+|};
+    mk ~id:"ST-W14" ~project:"caesar cipher"
+      ~description:"encrypts length+1 characters into an exact buffer"
+      ~category:(oob Write Overflow Stack)
+      {|
+int main(void) {
+  char cipher[5];
+  const char *msg = "attac"; /* 5 chars */
+  for (int i = 0; i <= 5; i++) { /* copies the NUL shifted too */
+    cipher[i] = (char)(msg[i] + 3);
+  }
+  printf("%c%c\n", cipher[0], cipher[1]);
+  return 0;
+}
+|};
+    mk ~id:"ST-W15" ~project:"stack machine"
+      ~description:"push has no overflow guard"
+      ~category:(oob Write Overflow Stack)
+      {|
+int main(void) {
+  int stack[4];
+  int sp = 0;
+  for (int i = 0; i < 5; i++) { stack[sp++] = i * i; }
+  int top = stack[sp - 1];
+  printf("top %d\n", top);
+  return 0;
+}
+|};
+    mk ~id:"ST-W16" ~project:"undo buffer"
+      ~description:"pop below zero writes the slot before the array"
+      ~category:(oob Write Underflow Stack)
+      {|
+int main(void) {
+  int undo[4] = {1, 2, 3, 4};
+  int depth = 0;
+  /* "clear" pops one time too many and scribbles the sentinel */
+  for (int i = 0; i <= 4; i++) {
+    depth = depth - 1;
+    undo[depth + 1] = 0; /* last iteration: undo[-1] */
+  }
+  printf("cleared %d (first %d)\n", depth, undo[0]);
+  return 0;
+}
+|};
+    mk ~id:"ST-W17" ~project:"right-align pad"
+      ~description:"padding loop starts one before the buffer"
+      ~category:(oob Write Underflow Stack)
+      {|
+int main(void) {
+  char text[8] = "42";
+  int len = 2;
+  /* shift right so the text is right-aligned in 8 columns */
+  for (int i = len; i >= 0; i--) {
+    text[i + 5] = text[i];
+  }
+  for (int i = 0; i < 5; i++) { text[i - 1] = ' '; } /* i = 0: text[-1] */
+  printf("[%s]\n", text);
+  return 0;
+}
+|};
+  ]

@@ -1,0 +1,1 @@
+lib/engine/engine.ml: Alloc Asan Hooks Interp Irmod Loader Mem Memcheck Merror Nexec Outcome Pipeline Printf Verify

@@ -1,0 +1,1 @@
+lib/engine/engine.mli: Interp Nexec Outcome Pipeline

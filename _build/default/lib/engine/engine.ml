@@ -1,0 +1,147 @@
+(** The uniform tool driver: compile a C source through the pipeline a
+    given tool implies and execute it, returning a comparable outcome.
+
+    | tool           | middle end   | backend fold | libc            | checking                    |
+    |----------------|--------------|--------------|-----------------|-----------------------------|
+    | Safe Sulong    | none         | no           | managed C libc  | automatic managed checks    |
+    | Clang -O0/-O3  | none / UB O3 | yes          | precompiled     | none (the native machine)   |
+    | ASan -O0/-O3   | none / UB O3 | yes          | precompiled     | inserted checks+interceptors|
+    | Valgrind (-O0/-O3 binaries) | same as Clang | yes | precompiled | dynamic per-access checks   | *)
+
+type tool =
+  | Safe_sulong
+  | Clang of Pipeline.level
+  | Asan of Pipeline.level
+  | Valgrind of Pipeline.level
+
+let tool_name = function
+  | Safe_sulong -> "Safe Sulong"
+  | Clang l -> "Clang " ^ Pipeline.level_name l
+  | Asan l -> "ASan " ^ Pipeline.level_name l
+  | Valgrind l -> "Valgrind " ^ Pipeline.level_name l
+
+type result = {
+  outcome : Outcome.t;
+  output : string;
+  steps : int;
+  managed_profile : Interp.profile option;
+  native_profile : Nexec.profile option;
+  static_instrs : int;  (** size of the executed module, for cost models *)
+}
+
+let default_step_limit = 200_000_000
+
+(** ASan options that the effectiveness experiment ablates. *)
+type asan_options = {
+  strtok_interceptor : bool;
+  quarantine_cap : int;
+  fno_common : bool;
+}
+
+let default_asan =
+  { strtok_interceptor = false; quarantine_cap = 1 lsl 18; fno_common = true }
+
+let run_sulong ~argv ~input ~step_limit ~mementos ~detect_uninit
+    (src : string) : result =
+  let m = Loader.load_program src in
+  Pipeline.compile_sulong m;
+  let st = Interp.create ~step_limit ~mementos ~detect_uninit ~input m in
+  let r = Interp.run ~argv st in
+  let outcome =
+    if r.Interp.timed_out then Outcome.Timeout
+    else
+      match r.Interp.error with
+      | Some (cat, msg) ->
+        Outcome.Detected
+          { tool = "Safe Sulong"; kind = Merror.category_name cat; message = msg }
+      | None -> Outcome.Finished r.Interp.exit_code
+  in
+  {
+    outcome;
+    output = r.Interp.output;
+    steps = r.Interp.steps;
+    managed_profile = Some r.Interp.run_profile;
+    native_profile = None;
+    static_instrs = Irmod.instr_count m;
+  }
+
+let native_outcome (r : Nexec.run_result) : Outcome.t =
+  if r.Nexec.timed_out then Outcome.Timeout
+  else
+    match (r.Nexec.report, r.Nexec.crash) with
+    | Some rep, _ ->
+      Outcome.Detected
+        { tool = rep.Hooks.tool; kind = rep.Hooks.kind; message = rep.Hooks.message }
+    | None, Some (Nexec.Segv addr) -> Outcome.Crashed (Printf.sprintf "SIGSEGV at 0x%Lx" addr)
+    | None, Some (Nexec.Trap t) -> Outcome.Crashed t
+    | None, None -> Outcome.Finished r.Nexec.exit_code
+
+let wrap_native (m : Irmod.t) (r : Nexec.run_result) ~(promote_crash : string option)
+    : result =
+  let outcome =
+    match (native_outcome r, promote_crash) with
+    | Outcome.Crashed what, Some tool ->
+      (* Sanitizers catch fatal signals and report them. *)
+      Outcome.Detected { tool; kind = "SEGV"; message = what }
+    | o, _ -> o
+  in
+  {
+    outcome;
+    output = r.Nexec.output;
+    steps = r.Nexec.steps;
+    managed_profile = None;
+    native_profile = Some r.Nexec.run_profile;
+    static_instrs = Irmod.instr_count m;
+  }
+
+let run_clang ~level ~argv ~input ~step_limit (src : string) : result =
+  let m = Loader.compile_user src in
+  Pipeline.compile_native ~level m;
+  let st = Nexec.create ~step_limit ~input m in
+  wrap_native m (Nexec.run ~argv st) ~promote_crash:None
+
+let run_asan ~level ~options ~argv ~input ~step_limit (src : string) : result =
+  let m = Loader.compile_user src in
+  Pipeline.compile_native ~level m;
+  (* Instrumentation attaches to whatever accesses survived compilation. *)
+  Asan.instrument m;
+  Verify.verify m;
+  let mem = Mem.create () in
+  let alloc = Alloc.create mem in
+  let _asan, hooks =
+    Asan.make ~quarantine_cap:options.quarantine_cap
+      ~strtok_interceptor:options.strtok_interceptor
+      ~fno_common:options.fno_common ~mem ~alloc ()
+  in
+  let st = Nexec.create ~hooks ~global_gap:32 ~step_limit ~input ~mem ~alloc m in
+  wrap_native m (Nexec.run ~argv st) ~promote_crash:(Some "AddressSanitizer")
+
+let run_valgrind ~level ~argv ~input ~step_limit (src : string) : result =
+  let m = Loader.compile_user src in
+  Pipeline.compile_native ~level m;
+  let mem = Mem.create () in
+  let alloc = Alloc.create mem in
+  let _mc, hooks = Memcheck.make ~mem ~alloc () in
+  let st = Nexec.create ~hooks ~step_limit ~input ~mem ~alloc m in
+  wrap_native m (Nexec.run ~argv st) ~promote_crash:(Some "Memcheck")
+
+(** Run [src] under [tool]. *)
+let run ?(argv = [ "program" ]) ?(input = "") ?(step_limit = default_step_limit)
+    ?(mementos = true) ?(detect_uninit = false) ?(asan_options = default_asan)
+    (tool : tool) (src : string) : result =
+  match tool with
+  | Safe_sulong -> run_sulong ~argv ~input ~step_limit ~mementos ~detect_uninit src
+  | Clang level -> run_clang ~level ~argv ~input ~step_limit src
+  | Asan level ->
+    run_asan ~level ~options:asan_options ~argv ~input ~step_limit src
+  | Valgrind level -> run_valgrind ~level ~argv ~input ~step_limit src
+
+(** All configurations the effectiveness experiment compares. *)
+let comparison_tools : tool list =
+  [
+    Safe_sulong;
+    Asan Pipeline.O0;
+    Asan Pipeline.O3;
+    Valgrind Pipeline.O0;
+    Valgrind Pipeline.O3;
+  ]

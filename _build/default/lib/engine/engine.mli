@@ -1,0 +1,57 @@
+(** The uniform tool driver: compile a C source through the pipeline a
+    given tool implies and execute it.
+
+    | tool           | middle end   | backend fold | libc            | checking                    |
+    |----------------|--------------|--------------|-----------------|-----------------------------|
+    | Safe Sulong    | none         | no           | managed C libc  | automatic managed checks    |
+    | Clang -O0/-O3  | none / UB O3 | yes          | precompiled     | none (the native machine)   |
+    | ASan -O0/-O3   | none / UB O3 | yes          | precompiled     | inserted checks+interceptors|
+    | Valgrind       | same as Clang| yes          | precompiled     | dynamic per-access checks   | *)
+
+type tool =
+  | Safe_sulong
+  | Clang of Pipeline.level
+  | Asan of Pipeline.level
+  | Valgrind of Pipeline.level
+
+val tool_name : tool -> string
+
+type result = {
+  outcome : Outcome.t;
+  output : string;
+  steps : int;  (** IR operations executed *)
+  managed_profile : Interp.profile option;  (** Safe Sulong runs *)
+  native_profile : Nexec.profile option;    (** native-engine runs *)
+  static_instrs : int;  (** size of the executed module, for cost models *)
+}
+
+val default_step_limit : int
+
+(** ASan options the effectiveness experiment ablates: the strtok
+    interceptor the paper's authors later contributed, the quarantine
+    byte budget (P3), and -fno-common (zero-initialized globals are
+    instrumented only when true, as in the paper §4.1). *)
+type asan_options = {
+  strtok_interceptor : bool;
+  quarantine_cap : int;
+  fno_common : bool;
+}
+
+val default_asan : asan_options
+
+(** Run [src] under [tool].  [detect_uninit] enables Safe Sulong's
+    uninitialized-read detection; [mementos] toggles allocation-site
+    typing (an ablation). *)
+val run :
+  ?argv:string list ->
+  ?input:string ->
+  ?step_limit:int ->
+  ?mementos:bool ->
+  ?detect_uninit:bool ->
+  ?asan_options:asan_options ->
+  tool ->
+  string ->
+  result
+
+(** The five configurations of the paper's effectiveness comparison. *)
+val comparison_tools : tool list

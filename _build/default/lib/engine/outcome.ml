@@ -1,0 +1,26 @@
+(** Uniform run outcome across all tools. *)
+
+type t =
+  | Finished of int
+      (** normal termination with exit code — for a buggy program this
+          means the bug went *undetected* *)
+  | Detected of { tool : string; kind : string; message : string }
+      (** the tool diagnosed an error *)
+  | Crashed of string
+      (** hard crash (SEGV/SIGFPE) without a tool diagnosis *)
+  | Timeout
+
+let is_detected = function Detected _ -> true | _ -> false
+
+let to_string = function
+  | Finished code -> Printf.sprintf "exit %d" code
+  | Detected { tool; kind; message } ->
+    Printf.sprintf "%s: %s: %s" tool kind message
+  | Crashed what -> "crashed: " ^ what
+  | Timeout -> "timeout"
+
+let short = function
+  | Finished _ -> "missed"
+  | Detected { kind; _ } -> "FOUND (" ^ kind ^ ")"
+  | Crashed what -> "crash (" ^ what ^ ")"
+  | Timeout -> "timeout"

@@ -1,0 +1,19 @@
+(** Uniform run outcome across all tools. *)
+
+type t =
+  | Finished of int
+      (** normal termination with exit code — for a buggy program this
+          means the bug went *undetected* *)
+  | Detected of { tool : string; kind : string; message : string }
+      (** the tool diagnosed an error *)
+  | Crashed of string
+      (** hard crash (SEGV/SIGFPE) without a tool diagnosis *)
+  | Timeout
+
+val is_detected : t -> bool
+
+(** Full rendering (tool, kind, message). *)
+val to_string : t -> string
+
+(** Compact rendering for matrices: "FOUND (kind)" / "missed" / ... *)
+val short : t -> string

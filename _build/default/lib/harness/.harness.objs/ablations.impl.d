@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: Alloc Asan Benchprogs Engine Hooks Inline Loader Mem Nexec Outcome Pipeline Table Verify

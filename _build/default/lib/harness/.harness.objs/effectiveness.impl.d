@@ -1,0 +1,1 @@
+lib/harness/effectiveness.ml: Corpus Engine Groundtruth List Outcome Pipeline Printexc Printf String Table

@@ -1,0 +1,1 @@
+lib/harness/figures12.ml: Chart Classify Gen List Printf Table Util

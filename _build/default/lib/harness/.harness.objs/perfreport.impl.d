@@ -1,0 +1,1 @@
+lib/harness/perfreport.ml: Benchprogs Buffer Chart Float List Printf Prng Simulate Stats Table

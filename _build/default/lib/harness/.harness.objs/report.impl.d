@@ -1,0 +1,1 @@
+lib/harness/report.ml: Ablations Effectiveness Figures12 Gen Perfreport Printf String Table

@@ -1,0 +1,69 @@
+(** Figures 1 and 2: vulnerabilities (CVE) and exploits (ExploitDB) per
+    bug category over 2012-03..2017-09, via keyword classification. *)
+
+type result = {
+  kind : string;
+  trends : Classify.yearly list;
+  total : int;
+  unclassified : int;
+}
+
+let run (kind : Gen.kind) : result =
+  let entries = Gen.generate kind in
+  let trends = Classify.trends entries in
+  {
+    kind = (match kind with Gen.Cve -> "CVE" | Gen.Exploitdb -> "ExploitDB");
+    trends;
+    total = List.length entries;
+    unclassified = Util.sum_by (fun y -> y.Classify.unclassified) trends;
+  }
+
+let table (r : result) : Table.t =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Figure %s: %s entries per category and year (keyword search; %d \
+            entries, %d unclassified)"
+           (match r.kind with "CVE" -> "1" | _ -> "2")
+           r.kind r.total r.unclassified)
+      ~header:[ "year"; "Spatial"; "Temporal"; "NULL deref"; "Other" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun (y : Classify.yearly) ->
+      Table.add_row t
+        [
+          string_of_int y.Classify.year;
+          string_of_int y.Classify.spatial;
+          string_of_int y.Classify.temporal;
+          string_of_int y.Classify.null_deref;
+          string_of_int y.Classify.other;
+        ])
+    r.trends;
+  t
+
+let chart (r : result) : string =
+  let series_of pick name =
+    {
+      Chart.name;
+      points =
+        List.map
+          (fun (y : Classify.yearly) ->
+            (float_of_int y.Classify.year, float_of_int (pick y)))
+          r.trends;
+    }
+  in
+  Chart.line_chart
+    ~title:(Printf.sprintf "%s entries per year by category" r.kind)
+    [
+      series_of (fun y -> y.Classify.spatial) "Spatial";
+      series_of (fun y -> y.Classify.temporal) "Temporal";
+      series_of (fun y -> y.Classify.null_deref) "NULL deref";
+      series_of (fun y -> y.Classify.other) "Other";
+    ]
+
+let print (r : result) =
+  Table.print (table r);
+  print_string (chart r)

@@ -1,0 +1,137 @@
+(** Formatting for the performance experiments: start-up (§4.2), warm-up
+    (Fig. 15) and peak performance (Fig. 16). *)
+
+(* ---------------- start-up ---------------- *)
+
+let startup_table () : Table.t =
+  let ms = Simulate.measure_bench Benchprogs.hello in
+  let rows = Simulate.startup ms in
+  let t =
+    Table.create
+      ~title:
+        "Start-up cost on \"Hello, World!\" (paper: Sulong just over 600 ms, \
+         Valgrind about 500 ms, ASan under 10 ms)"
+      ~header:[ "tool"; "start-up (ms)" ]
+      ~aligns:[ Table.Left; Table.Right ] ()
+  in
+  List.iter
+    (fun (r : Simulate.startup_row) ->
+      Table.add_row t [ r.Simulate.su_tool; Printf.sprintf "%.1f" r.Simulate.su_ms ])
+    rows;
+  t
+
+(* ---------------- warm-up (Fig. 15) ---------------- *)
+
+let warmup_report ?(duration_s = 30) () : string =
+  let ms = Simulate.measure_bench Benchprogs.meteor in
+  let w = Simulate.warmup ~duration_s ms in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Figure 15: warm-up on meteor (iterations completed per second).\n\
+        First Safe Sulong iteration completed at %.1f s; %d functions \
+        compiled.\n"
+       w.Simulate.wr_first_iteration_s
+       (List.length w.Simulate.wr_compiles));
+  let series =
+    List.map
+      (fun (s : Simulate.warmup_series) ->
+        {
+          Chart.name = s.Simulate.ws_tool;
+          points =
+            List.map
+              (fun (sec, n) -> (float_of_int sec, float_of_int n))
+              s.Simulate.ws_points;
+        })
+      w.Simulate.wr_series
+  in
+  Buffer.add_string buf (Chart.line_chart ~title:"iterations/s over time" series);
+  Buffer.add_string buf "Graal compilations (time s: function):\n";
+  List.iter
+    (fun (t, f) -> Buffer.add_string buf (Printf.sprintf "  %5.1f  %s\n" t f))
+    w.Simulate.wr_compiles;
+  (* the numeric series, like the paper's plotted points *)
+  List.iter
+    (fun (s : Simulate.warmup_series) ->
+      Buffer.add_string buf (Printf.sprintf "%-12s" s.Simulate.ws_tool);
+      List.iter
+        (fun (_, n) -> Buffer.add_string buf (Printf.sprintf " %4d" n))
+        s.Simulate.ws_points;
+      Buffer.add_char buf '\n')
+    w.Simulate.wr_series;
+  Buffer.contents buf
+
+(* ---------------- peak (Fig. 16) ---------------- *)
+
+let peak_rows ?(seed = 7) () : Simulate.peak_row list * Simulate.peak_row =
+  let rng = Prng.create seed in
+  let rows =
+    List.map (fun b -> Simulate.peak ~rng (Simulate.measure_bench b))
+      Benchprogs.perf_suite
+  in
+  let binarytrees = Simulate.peak ~rng (Simulate.measure_bench Benchprogs.binarytrees) in
+  (rows, binarytrees)
+
+let peak_table (rows : Simulate.peak_row list) (bt : Simulate.peak_row) : Table.t =
+  let t =
+    Table.create
+      ~title:
+        "Figure 16: execution time relative to Clang -O0 (median of 10 runs; \
+         lower is better).  Valgrind is reported as a slowdown factor, as \
+         in the paper's text; binarytrees is reported separately."
+      ~header:
+        [ "benchmark"; "Clang -O0"; "Clang -O3"; "ASan -O0"; "Safe Sulong";
+          "Valgrind x" ]
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right ] ()
+  in
+  let fmt (b : Stats.boxplot) = Printf.sprintf "%.2f" b.Stats.med in
+  List.iter
+    (fun (r : Simulate.peak_row) ->
+      Table.add_row t
+        [
+          r.Simulate.pk_bench;
+          fmt r.Simulate.pk_clang_o0;
+          fmt r.Simulate.pk_clang_o3;
+          fmt r.Simulate.pk_asan;
+          fmt r.Simulate.pk_sulong;
+          Printf.sprintf "%.1f" r.Simulate.pk_valgrind_slowdown;
+        ])
+    (rows @ [ bt ]);
+  t
+
+let peak_boxplots (rows : Simulate.peak_row list) : string =
+  let buf = Buffer.create 2048 in
+  let hi =
+    List.fold_left
+      (fun acc (r : Simulate.peak_row) ->
+        Float.max acc r.Simulate.pk_asan.Stats.high)
+      1.0 rows
+    +. 0.2
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Box plots (scale 0 .. %.1fx Clang -O0; '=' box, 'M' median):\n" hi);
+  List.iter
+    (fun (r : Simulate.peak_row) ->
+      Buffer.add_string buf (Printf.sprintf "%-14s\n" r.Simulate.pk_bench);
+      List.iter
+        (fun (name, b) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-12s |%s|\n" name
+               (Chart.boxplot_line ~width:56 ~lo:0.0 ~hi b)))
+        [
+          ("Clang -O0", r.Simulate.pk_clang_o0);
+          ("Clang -O3", r.Simulate.pk_clang_o3);
+          ("ASan -O0", r.Simulate.pk_asan);
+          ("Safe Sulong", r.Simulate.pk_sulong);
+        ])
+    rows;
+  Buffer.contents buf
+
+let print_peak () =
+  let rows, bt = peak_rows () in
+  Table.print (peak_table rows bt);
+  print_string (peak_boxplots rows);
+  (rows, bt)

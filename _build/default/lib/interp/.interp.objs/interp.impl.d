@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Buffer Bytes Char Float Hashtbl Instr Int32 Int64 Irfunc Irmod Irtype List Merror Mheap Mobject Mval Printf Prng String

@@ -1,0 +1,1 @@
+lib/interp/libc_src.ml:

@@ -1,0 +1,1 @@
+lib/interp/loader.ml: Interp Irmod Libc_src Lower Verify

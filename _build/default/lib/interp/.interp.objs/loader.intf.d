@@ -1,0 +1,1 @@
+lib/interp/loader.mli: Interp Irmod

@@ -1,0 +1,823 @@
+(** The LLVM-IR interpreter at the core of Safe Sulong (paper §3).
+
+    It executes both the user application and the managed libc.  Every
+    load, store and free goes through [Mobject]'s automatic checks, so
+    all the paper's error classes are detected without any explicit
+    instrumentation of the program.  Host builtins (the functions
+    "implemented in Java" in the paper) provide the system-call layer:
+    character I/O, exit, the variadic-argument introspection functions
+    [count_varargs]/[get_vararg], and the allocation primitives.
+
+    The interpreter also collects an execution profile (per-function
+    dynamic operation counts) that the JIT cost model (lib/jit) consumes
+    to reproduce the paper's start-up/warm-up/peak measurements. *)
+
+exception Exit_program of int
+exception Step_limit_exceeded
+
+(* ------------------------------------------------------------------ *)
+(* Profile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type counters = {
+  mutable c_ops : int;        (** integer/other IR operations executed *)
+  mutable c_fp : int;         (** floating-point operations *)
+  mutable c_mem : int;        (** loads + stores *)
+  mutable c_calls : int;      (** calls executed *)
+  mutable c_invocations : int;(** times this function was entered *)
+}
+
+let fresh_counters () =
+  { c_ops = 0; c_fp = 0; c_mem = 0; c_calls = 0; c_invocations = 0 }
+
+type profile = {
+  funcs : (string, counters) Hashtbl.t;
+  mutable p_allocs : int;
+  mutable p_alloc_bytes : int;
+  mutable p_steps : int;
+}
+
+let fresh_profile () =
+  { funcs = Hashtbl.create 32; p_allocs = 0; p_alloc_bytes = 0; p_steps = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Prepared code                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type pblock = {
+  pb_label : string;
+  pb_instrs : Instr.instr array;
+  pb_term : Instr.terminator;
+}
+
+type pfunc = {
+  pf_ir : Irfunc.t;
+  pf_blocks : pblock array;
+  pf_index : (string, int) Hashtbl.t;
+  pf_nregs : int;
+  pf_counters : counters;
+}
+
+let prepare_func profile (f : Irfunc.t) : pfunc =
+  let blocks =
+    Array.of_list
+      (List.map
+         (fun (b : Irfunc.block) ->
+           {
+             pb_label = b.Irfunc.label;
+             pb_instrs = Array.of_list b.Irfunc.instrs;
+             pb_term = b.Irfunc.term;
+           })
+         f.Irfunc.blocks)
+  in
+  let index = Hashtbl.create (Array.length blocks) in
+  Array.iteri (fun i b -> Hashtbl.replace index b.pb_label i) blocks;
+  let counters = fresh_counters () in
+  Hashtbl.replace profile.funcs f.Irfunc.name counters;
+  {
+    pf_ir = f;
+    pf_blocks = blocks;
+    pf_index = index;
+    pf_nregs = f.Irfunc.next_reg;
+    pf_counters = counters;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* State                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type frame = {
+  fr_func : pfunc;
+  fr_regs : Mval.t array;
+  fr_args : Mval.t array;          (** all incoming arguments *)
+  fr_arg_scalars : Irtype.scalar array;
+  fr_variadic : bool;
+  fr_nparams : int;
+}
+
+type state = {
+  m : Irmod.t;
+  funcs : (string, pfunc) Hashtbl.t;
+  globals : (string, Mobject.t) Hashtbl.t;
+  heap : Mheap.t;
+  out : Buffer.t;
+  mutable input : string;
+  mutable input_pos : int;
+  mutable steps : int;
+  step_limit : int;
+  mutable depth : int;
+  depth_limit : int;
+  profile : profile;
+  mutable frames : frame list;  (** innermost first *)
+  rng : Prng.t;                 (** backs the libc rand() builtin *)
+  trace : Buffer.t option;      (** call tracing, when enabled *)
+}
+
+let context st =
+  match st.frames with
+  | fr :: _ -> "in function " ^ fr.fr_func.pf_ir.Irfunc.name
+  | [] -> "at top level"
+
+(* ------------------------------------------------------------------ *)
+(* Global materialization                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec fill_init st (obj : Mobject.t) (mty : Irtype.mty) (off : int)
+    (init : Irmod.ginit) =
+  let addr moff = { Mobject.obj; moff } in
+  match (init, mty) with
+  | Irmod.Gzero, _ -> ()
+  | Irmod.Gint v, Irtype.MScalar s ->
+    if Irtype.is_float_scalar s then
+      Mobject.store_float (addr off) ~size:(Irtype.scalar_size s)
+        (Int64.to_float v) "global init"
+    else
+      Mobject.store_int (addr off) ~size:(Irtype.scalar_size s) v "global init"
+  | Irmod.Gfloat f, Irtype.MScalar s ->
+    Mobject.store_float (addr off) ~size:(Irtype.scalar_size s) f "global init"
+  | Irmod.Gstring s, _ -> Mobject.write_bytes (addr off) s "global init"
+  | Irmod.Garray items, Irtype.MArray (elem, _) ->
+    let esize = Irtype.mty_size elem in
+    List.iteri (fun i item -> fill_init st obj elem (off + (i * esize)) item) items
+  | Irmod.Gstruct_init items, Irtype.MStruct s ->
+    List.iteri
+      (fun i item ->
+        if i < List.length s.Irtype.s_fields then begin
+          let field = List.nth s.Irtype.s_fields i in
+          fill_init st obj field.Irtype.mf_ty
+            (off + field.Irtype.mf_off) item
+        end)
+      items
+  | Irmod.Gglobal_addr name, _ -> begin
+    match Hashtbl.find_opt st.globals name with
+    | Some target ->
+      Mobject.store_ptr (addr off)
+        (Mobject.Pobj { Mobject.obj = target; moff = 0 })
+        "global init"
+    | None -> failwith ("interp: global init references unknown @" ^ name)
+  end
+  | Irmod.Gfunc_addr name, _ ->
+    Mobject.store_ptr (addr off) (Mobject.Pfunc name) "global init"
+  | Irmod.Gint v, _ ->
+    (* e.g. (FILE * )1 stored in a pointer-typed global *)
+    Mobject.store_int (addr off) ~size:8 v "global init"
+  | (Irmod.Gfloat _ | Irmod.Garray _ | Irmod.Gstruct_init _), _ ->
+    failwith "interp: malformed global initializer"
+
+let materialize_globals st =
+  List.iter
+    (fun (g : Irmod.global) ->
+      let size = Irtype.mty_size g.Irmod.g_ty in
+      let obj =
+        Mobject.alloc ~storage:Merror.Global ~mty:g.Irmod.g_ty size
+      in
+      Hashtbl.replace st.globals g.Irmod.g_name obj)
+    st.m.Irmod.globals;
+  List.iter
+    (fun (g : Irmod.global) ->
+      let obj = Hashtbl.find st.globals g.Irmod.g_name in
+      fill_init st obj g.Irmod.g_ty 0 g.Irmod.g_init)
+    st.m.Irmod.globals
+
+(* ------------------------------------------------------------------ *)
+(* Value evaluation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let eval_value st (fr : frame) (v : Instr.value) : Mval.t =
+  match v with
+  | Instr.Reg r -> fr.fr_regs.(r)
+  | Instr.ImmInt (v, s) -> Mval.Vint (Irtype.normalize_int s v)
+  | Instr.ImmFloat (f, _) -> Mval.Vfloat f
+  | Instr.Null -> Mval.vnull
+  | Instr.GlobalAddr name -> begin
+    match Hashtbl.find_opt st.globals name with
+    | Some obj -> Mval.Vptr (Mobject.Pobj { Mobject.obj; moff = 0 })
+    | None -> failwith ("interp: unknown global @" ^ name)
+  end
+  | Instr.FuncAddr name -> Mval.Vptr (Mobject.Pfunc name)
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let exec_binop st (op : Instr.binop) (s : Irtype.scalar) (a : Mval.t)
+    (b : Mval.t) : Mval.t =
+  match op with
+  | Instr.FAdd -> Mval.Vfloat (Mval.as_float a +. Mval.as_float b)
+  | Instr.FSub -> Mval.Vfloat (Mval.as_float a -. Mval.as_float b)
+  | Instr.FMul -> Mval.Vfloat (Mval.as_float a *. Mval.as_float b)
+  | Instr.FDiv -> Mval.Vfloat (Mval.as_float a /. Mval.as_float b)
+  | _ ->
+    let x = Mval.as_int a and y = Mval.as_int b in
+    let norm v = Irtype.normalize_int s v in
+    let checked_div () =
+      if y = 0L then Merror.raise_error Merror.Division_by_zero (context st)
+    in
+    let result =
+      match op with
+      | Instr.Add -> Int64.add x y
+      | Instr.Sub -> Int64.sub x y
+      | Instr.Mul -> Int64.mul x y
+      | Instr.Sdiv ->
+        checked_div ();
+        Int64.div x y
+      | Instr.Udiv ->
+        checked_div ();
+        Int64.unsigned_div (Irtype.unsigned_of s x) (Irtype.unsigned_of s y)
+      | Instr.Srem ->
+        checked_div ();
+        Int64.rem x y
+      | Instr.Urem ->
+        checked_div ();
+        Int64.unsigned_rem (Irtype.unsigned_of s x) (Irtype.unsigned_of s y)
+      | Instr.Shl -> Int64.shift_left x (Int64.to_int y land 63)
+      | Instr.Lshr ->
+        Int64.shift_right_logical (Irtype.unsigned_of s x)
+          (Int64.to_int y land 63)
+      | Instr.Ashr -> Int64.shift_right x (Int64.to_int y land 63)
+      | Instr.And -> Int64.logand x y
+      | Instr.Or -> Int64.logor x y
+      | Instr.Xor -> Int64.logxor x y
+      | Instr.FAdd | Instr.FSub | Instr.FMul | Instr.FDiv -> assert false
+    in
+    Mval.Vint (norm result)
+
+let exec_icmp (op : Instr.icmp) (s : Irtype.scalar) (a : Mval.t) (b : Mval.t) :
+    Mval.t =
+  let x = Mval.as_int a and y = Mval.as_int b in
+  let ux () = Irtype.unsigned_of s x and uy () = Irtype.unsigned_of s y in
+  let r =
+    match op with
+    | Instr.Ieq -> x = y
+    | Instr.Ine -> x <> y
+    | Instr.Islt -> x < y
+    | Instr.Isle -> x <= y
+    | Instr.Isgt -> x > y
+    | Instr.Isge -> x >= y
+    | Instr.Iult -> Int64.unsigned_compare (ux ()) (uy ()) < 0
+    | Instr.Iule -> Int64.unsigned_compare (ux ()) (uy ()) <= 0
+    | Instr.Iugt -> Int64.unsigned_compare (ux ()) (uy ()) > 0
+    | Instr.Iuge -> Int64.unsigned_compare (ux ()) (uy ()) >= 0
+  in
+  Mval.Vint (if r then 1L else 0L)
+
+let exec_fcmp (op : Instr.fcmp) (a : Mval.t) (b : Mval.t) : Mval.t =
+  let x = Mval.as_float a and y = Mval.as_float b in
+  let r =
+    match op with
+    | Instr.Feq -> x = y
+    | Instr.Fne -> x <> y
+    | Instr.Flt -> x < y
+    | Instr.Fle -> x <= y
+    | Instr.Fgt -> x > y
+    | Instr.Fge -> x >= y
+  in
+  Mval.Vint (if r then 1L else 0L)
+
+let round_to_f32 f = Int32.float_of_bits (Int32.bits_of_float f)
+
+let exec_cast st (op : Instr.cast) (from : Irtype.scalar) (into : Irtype.scalar)
+    (v : Mval.t) : Mval.t =
+  match op with
+  | Instr.Trunc -> Mval.Vint (Irtype.normalize_int into (Mval.as_int v))
+  | Instr.Zext ->
+    Mval.Vint (Irtype.normalize_int into (Irtype.unsigned_of from (Mval.as_int v)))
+  | Instr.Sext -> Mval.Vint (Irtype.normalize_int into (Mval.as_int v))
+  | Instr.Fptrunc -> Mval.Vfloat (round_to_f32 (Mval.as_float v))
+  | Instr.Fpext -> Mval.Vfloat (Mval.as_float v)
+  | Instr.Fptosi | Instr.Fptoui ->
+    let f = Mval.as_float v in
+    let truncated = Float.of_int (int_of_float f) in
+    ignore truncated;
+    Mval.Vint (Irtype.normalize_int into (Int64.of_float f))
+  | Instr.Sitofp -> Mval.Vfloat (Int64.to_float (Mval.as_int v))
+  | Instr.Uitofp ->
+    let u = Irtype.unsigned_of from (Mval.as_int v) in
+    let f =
+      if u >= 0L then Int64.to_float u
+      else Int64.to_float u +. 18446744073709551616.0
+    in
+    Mval.Vfloat f
+  | Instr.Ptrtoint -> begin
+    match v with
+    | Mval.Vptr (Mobject.Pobj a) ->
+      Mobject.register a.Mobject.obj;
+      Mval.Vint (Irtype.normalize_int into (Mobject.ptr_to_int (Mobject.Pobj a)))
+    | Mval.Vptr (Mobject.Pfunc name) ->
+      Mval.Vint (Mobject.register_func_cookie name)
+    | v -> Mval.Vint (Irtype.normalize_int into (Mval.as_int v))
+  end
+  | Instr.Inttoptr -> Mval.Vptr (Mobject.int_to_ptr (Mval.as_int v))
+  | Instr.Bitcast -> begin
+    match (Irtype.is_float_scalar from, Irtype.is_float_scalar into) with
+    | true, false ->
+      let f = Mval.as_float v in
+      let bits =
+        if into = Irtype.I32 then Int64.of_int32 (Int32.bits_of_float f)
+        else Int64.bits_of_float f
+      in
+      Mval.Vint (Irtype.normalize_int into bits)
+    | false, true ->
+      let bits = Mval.as_int v in
+      if into = Irtype.F32 then
+        Mval.Vfloat (Int32.float_of_bits (Int64.to_int32 bits))
+      else Mval.Vfloat (Int64.float_of_bits bits)
+    | _ -> v
+  end
+  |> fun r ->
+  ignore st;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Memory access                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let deref st (p : Mobject.ptr) : Mobject.addr =
+  match p with
+  | Mobject.Pobj a -> a
+  | Mobject.Pnull -> Merror.raise_error Merror.Null_deref (context st)
+  | Mobject.Pfunc name ->
+    Merror.raise_error
+      (Merror.Type_violation ("dereference of function pointer &" ^ name))
+      (context st)
+  | Mobject.Pinvalid c ->
+    Merror.raise_error
+      (Merror.Type_violation
+         (Printf.sprintf "dereference of forged pointer 0x%Lx" c))
+      (context st)
+
+let exec_load st (s : Irtype.scalar) (p : Mval.t) : Mval.t =
+  let a = deref st (Mval.as_ptr (context st) p) in
+  (* Allocation memento: first typed access of an untyped heap object. *)
+  if a.Mobject.obj.Mobject.storage = Merror.Heap && s <> Irtype.I8 then
+    Mheap.observe st.heap a.Mobject.obj s;
+  match s with
+  | Irtype.Ptr -> Mval.Vptr (Mobject.load_ptr a (context st))
+  | Irtype.F32 | Irtype.F64 ->
+    Mval.Vfloat (Mobject.load_float a ~size:(Irtype.scalar_size s) (context st))
+  | _ ->
+    let raw = Mobject.load_int a ~size:(Irtype.scalar_size s) (context st) in
+    Mval.Vint (Irtype.normalize_int s raw)
+
+let exec_store st (s : Irtype.scalar) (v : Mval.t) (p : Mval.t) : unit =
+  let a = deref st (Mval.as_ptr (context st) p) in
+  if a.Mobject.obj.Mobject.storage = Merror.Heap && s <> Irtype.I8 then
+    Mheap.observe st.heap a.Mobject.obj s;
+  match s with
+  | Irtype.Ptr -> Mobject.store_ptr a (Mval.as_ptr (context st) v) (context st)
+  | Irtype.F32 | Irtype.F64 ->
+    Mobject.store_float a ~size:(Irtype.scalar_size s) (Mval.as_float v)
+      (context st)
+  | _ ->
+    Mobject.store_int a ~size:(Irtype.scalar_size s) (Mval.as_int v)
+      (context st)
+
+let exec_gep st (base : Mval.t) (indices : Instr.gep_index list)
+    (fr : frame) : Mval.t =
+  let delta =
+    List.fold_left
+      (fun acc idx ->
+        match idx with
+        | Instr.Gfield (_, off) -> acc + off
+        | Instr.Gindex (v, stride) ->
+          acc + (Int64.to_int (Mval.as_int (eval_value st fr v)) * stride))
+      0 indices
+  in
+  match Mval.as_ptr (context st) base with
+  | Mobject.Pnull -> Mval.Vptr Mobject.Pnull (* checked at the access *)
+  | Mobject.Pobj a -> Mval.Vptr (Mobject.Pobj { a with Mobject.moff = a.Mobject.moff + delta })
+  | Mobject.Pfunc _ as p ->
+    Mval.Vptr (Mobject.Pinvalid (Int64.add (Mobject.ptr_to_int p) (Int64.of_int delta)))
+  | Mobject.Pinvalid c -> Mval.Vptr (Mobject.Pinvalid (Int64.add c (Int64.of_int delta)))
+
+(* ------------------------------------------------------------------ *)
+(* Builtins: the host ("Java") side of the runtime                     *)
+(* ------------------------------------------------------------------ *)
+
+let arg_int args i = Mval.as_int args.(i)
+let arg_float args i = Mval.as_float args.(i)
+
+let nearest_variadic_frame st : frame option =
+  List.find_opt (fun fr -> fr.fr_variadic) st.frames
+
+let site_counter = ref 0
+
+let builtin_malloc st size =
+  incr site_counter;
+  ignore !site_counter;
+  st.profile.p_allocs <- st.profile.p_allocs + 1;
+  st.profile.p_alloc_bytes <- st.profile.p_alloc_bytes + size;
+  (* Allocation site: the current function gives memento locality. *)
+  let site, site_name =
+    match st.frames with
+    | fr :: _ ->
+      let name = fr.fr_func.pf_ir.Irfunc.name in
+      (Hashtbl.hash name, name)
+    | [] -> (-1, "?")
+  in
+  Mheap.name_site st.heap ~site site_name;
+  Mheap.malloc st.heap ~site size
+
+let read_input_char st =
+  if st.input_pos < String.length st.input then begin
+    let c = st.input.[st.input_pos] in
+    st.input_pos <- st.input_pos + 1;
+    Char.code c
+  end
+  else -1
+
+let exec_builtin st (name : string) (args : Mval.t array) : Mval.t option =
+  let ctx = context st in
+  match name with
+  | "__sulong_putchar" ->
+    Buffer.add_char st.out (Char.chr (Int64.to_int (arg_int args 0) land 0xff));
+    Some (Mval.Vint (arg_int args 0))
+  | "__sulong_exit" -> raise (Exit_program (Int64.to_int (arg_int args 0)))
+  | "__sulong_abort" -> raise (Exit_program 134)
+  | "count_varargs" -> begin
+    match nearest_variadic_frame st with
+    | Some fr ->
+      Some (Mval.Vint (Int64.of_int (Array.length fr.fr_args - fr.fr_nparams)))
+    | None ->
+      Merror.raise_error
+        (Merror.Varargs_error "count_varargs outside a variadic function") ctx
+  end
+  | "get_vararg" -> begin
+    match nearest_variadic_frame st with
+    | Some fr ->
+      let i = Int64.to_int (arg_int args 0) in
+      let nvar = Array.length fr.fr_args - fr.fr_nparams in
+      if i < 0 || i >= nvar then
+        Merror.raise_error
+          (Merror.Varargs_error
+             (Printf.sprintf "access to variadic argument %d of %d" i nvar))
+          ctx
+      else begin
+        (* Expose a pointer to a cell holding the argument; the cell has
+           exactly the argument's size, so over-wide reads (%ld on an
+           int) are out-of-bounds (paper §3.4). *)
+        let v = fr.fr_args.(fr.fr_nparams + i) in
+        let s = fr.fr_arg_scalars.(fr.fr_nparams + i) in
+        let size = Irtype.scalar_size s in
+        let cell =
+          Mobject.alloc ~storage:Merror.Vararg ~mty:(Irtype.MScalar s) size
+        in
+        let a = { Mobject.obj = cell; moff = 0 } in
+        (match (s, v) with
+        | Irtype.Ptr, _ -> Mobject.store_ptr a (Mval.as_ptr ctx v) ctx
+        | (Irtype.F32 | Irtype.F64), _ ->
+          Mobject.store_float a ~size (Mval.as_float v) ctx
+        | _, _ -> Mobject.store_int a ~size (Mval.as_int v) ctx);
+        Some (Mval.Vptr (Mobject.Pobj a))
+      end
+    | None ->
+      Merror.raise_error
+        (Merror.Varargs_error "get_vararg outside a variadic function") ctx
+  end
+  | "__sulong_format_pointer" -> Some (Mval.Vint (Mval.as_int args.(0)))
+  | "__sulong_read_char" -> Some (Mval.Vint (Int64.of_int (read_input_char st)))
+  | "__sulong_unread_char" ->
+    if st.input_pos > 0 && Int64.to_int (arg_int args 0) >= 0 then
+      st.input_pos <- st.input_pos - 1;
+    Some (Mval.Vint 0L)
+  | "malloc" ->
+    let size = Int64.to_int (arg_int args 0) in
+    let obj = builtin_malloc st size in
+    Some (Mval.Vptr (Mobject.Pobj { Mobject.obj; moff = 0 }))
+  | "calloc" ->
+    let n = Int64.to_int (arg_int args 0) in
+    let esize = Int64.to_int (arg_int args 1) in
+    let obj = builtin_malloc st (n * esize) in
+    (* calloc'd memory is zeroed, hence initialized *)
+    Mobject.mark_initialized obj ~off:0 ~size:(n * esize);
+    Some (Mval.Vptr (Mobject.Pobj { Mobject.obj; moff = 0 }))
+  | "realloc" -> begin
+    let p = Mval.as_ptr ctx args.(0) in
+    let size = Int64.to_int (arg_int args 1) in
+    match p with
+    | Mobject.Pnull ->
+      let obj = builtin_malloc st size in
+      Some (Mval.Vptr (Mobject.Pobj { Mobject.obj; moff = 0 }))
+    | Mobject.Pobj a ->
+      let old = a.Mobject.obj in
+      let fresh = builtin_malloc st size in
+      (* copy the overlapping prefix, bytes and pointer slots alike *)
+      (match old.Mobject.data with
+      | Some src ->
+        let n = min size old.Mobject.byte_size in
+        (match fresh.Mobject.data with
+        | Some dst -> Bytes.blit src 0 dst 0 n
+        | None -> ());
+        (match (old.Mobject.init_map, fresh.Mobject.init_map) with
+        | Some om, Some fm -> Bytes.blit om 0 fm 0 n
+        | _, Some _ -> Mobject.mark_initialized fresh ~off:0 ~size:n
+        | _ -> ());
+        Hashtbl.iter
+          (fun off p ->
+            if off + 8 <= n then Hashtbl.replace fresh.Mobject.ptr_slots off p)
+          old.Mobject.ptr_slots
+      | None -> Merror.raise_error Merror.Use_after_free ctx);
+      Mheap.free st.heap p ctx;
+      Some (Mval.Vptr (Mobject.Pobj { Mobject.obj = fresh; moff = 0 }))
+    | Mobject.Pfunc _ | Mobject.Pinvalid _ ->
+      Merror.raise_error (Merror.Invalid_free "bad pointer passed to realloc") ctx
+  end
+  | "free" ->
+    Mheap.free st.heap (Mval.as_ptr ctx args.(0)) ctx;
+    None
+  | "__sulong_sqrt" -> Some (Mval.Vfloat (sqrt (arg_float args 0)))
+  | "__sulong_sin" -> Some (Mval.Vfloat (sin (arg_float args 0)))
+  | "__sulong_cos" -> Some (Mval.Vfloat (cos (arg_float args 0)))
+  | "__sulong_atan" -> Some (Mval.Vfloat (atan (arg_float args 0)))
+  | "__sulong_exp" -> Some (Mval.Vfloat (exp (arg_float args 0)))
+  | "__sulong_log" -> Some (Mval.Vfloat (log (arg_float args 0)))
+  | "__sulong_pow" ->
+    Some (Mval.Vfloat (Float.pow (arg_float args 0) (arg_float args 1)))
+  | "__sulong_rand" -> Some (Mval.Vint (Int64.of_int (Prng.int st.rng 0x7FFFFFFF)))
+  | _ -> failwith ("interp: unknown builtin " ^ name)
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type opclass = Cop | Cfp | Cmem
+
+let charge st (fr : frame) (cls : opclass) =
+  st.steps <- st.steps + 1;
+  st.profile.p_steps <- st.profile.p_steps + 1;
+  (match cls with
+  | Cmem -> fr.fr_func.pf_counters.c_mem <- fr.fr_func.pf_counters.c_mem + 1
+  | Cfp -> fr.fr_func.pf_counters.c_fp <- fr.fr_func.pf_counters.c_fp + 1
+  | Cop -> fr.fr_func.pf_counters.c_ops <- fr.fr_func.pf_counters.c_ops + 1);
+  if st.steps > st.step_limit then raise Step_limit_exceeded
+
+let rec call_function st (pf : pfunc) (args : Mval.t array)
+    (arg_scalars : Irtype.scalar array) : Mval.t option =
+  st.depth <- st.depth + 1;
+  if st.depth > st.depth_limit then
+    Merror.raise_error Merror.Stack_overflow_guard (context st);
+  (match st.trace with
+  | Some buf ->
+    Buffer.add_string buf
+      (Printf.sprintf "%s-> %s(%s)\n"
+         (String.make (min st.depth 40) ' ')
+         pf.pf_ir.Irfunc.name
+         (String.concat ", "
+            (List.map Mval.to_string (Array.to_list args))))
+  | None -> ());
+  pf.pf_counters.c_invocations <- pf.pf_counters.c_invocations + 1;
+  let fr =
+    {
+      fr_func = pf;
+      fr_regs = Array.make (max pf.pf_nregs 1) Mval.zero;
+      fr_args = args;
+      fr_arg_scalars = arg_scalars;
+      fr_variadic = pf.pf_ir.Irfunc.variadic;
+      fr_nparams = List.length pf.pf_ir.Irfunc.params;
+    }
+  in
+  List.iteri
+    (fun i (r, _) -> if i < Array.length args then fr.fr_regs.(r) <- args.(i))
+    pf.pf_ir.Irfunc.params;
+  st.frames <- fr :: st.frames;
+  let result = exec_block st fr 0 "" in
+  (match st.trace with
+  | Some buf ->
+    Buffer.add_string buf
+      (Printf.sprintf "%s<- %s = %s\n"
+         (String.make (min st.depth 40) ' ')
+         pf.pf_ir.Irfunc.name
+         (match result with Some v -> Mval.to_string v | None -> "void"))
+  | None -> ());
+  st.frames <- List.tl st.frames;
+  st.depth <- st.depth - 1;
+  result
+
+and exec_block st (fr : frame) (block_idx : int) (prev_label : string) :
+    Mval.t option =
+  let pf = fr.fr_func in
+  let blk = pf.pf_blocks.(block_idx) in
+  let n = Array.length blk.pb_instrs in
+  let set r v = fr.fr_regs.(r) <- v in
+  let rec run i =
+    if i >= n then exec_term st fr blk prev_label
+    else begin
+      (match blk.pb_instrs.(i) with
+      | Instr.Alloca (r, mty) ->
+        charge st fr Cop;
+        let size = Irtype.mty_size mty in
+        let obj = Mobject.alloc ~storage:Merror.Stack ~mty size in
+        set r (Mval.Vptr (Mobject.Pobj { Mobject.obj; moff = 0 }))
+      | Instr.Load (r, s, p) ->
+        charge st fr Cmem;
+        set r (exec_load st s (eval_value st fr p))
+      | Instr.Store (s, v, p) ->
+        charge st fr Cmem;
+        exec_store st s (eval_value st fr v) (eval_value st fr p)
+      | Instr.Gep (r, base, idx) ->
+        charge st fr Cop;
+        set r (exec_gep st (eval_value st fr base) idx fr)
+      | Instr.Binop (r, op, s, a, b) ->
+        charge st fr
+          (match op with
+          | Instr.FAdd | Instr.FSub | Instr.FMul | Instr.FDiv -> Cfp
+          | _ -> Cop);
+        set r (exec_binop st op s (eval_value st fr a) (eval_value st fr b))
+      | Instr.Icmp (r, op, s, a, b) ->
+        charge st fr Cop;
+        set r (exec_icmp op s (eval_value st fr a) (eval_value st fr b))
+      | Instr.Fcmp (r, op, _, a, b) ->
+        charge st fr Cfp;
+        set r (exec_fcmp op (eval_value st fr a) (eval_value st fr b))
+      | Instr.Cast (r, op, from, into, v) ->
+        charge st fr Cop;
+        set r (exec_cast st op from into (eval_value st fr v))
+      | Instr.Select (r, _, c, a, b) ->
+        charge st fr Cop;
+        let cv = Mval.as_int (eval_value st fr c) in
+        set r (eval_value st fr (if cv <> 0L then a else b))
+      | Instr.Phi (r, _, incoming) ->
+        charge st fr Cop;
+        let v =
+          match List.assoc_opt prev_label incoming with
+          | Some v -> v
+          | None -> failwith "interp: phi has no incoming edge for predecessor"
+        in
+        set r (eval_value st fr v)
+      | Instr.Sancheck _ -> charge st fr Cop
+      | Instr.Call (r, _, callee, cargs) ->
+        charge st fr Cop;
+        fr.fr_func.pf_counters.c_calls <- fr.fr_func.pf_counters.c_calls + 1;
+        let argv = Array.of_list (List.map (fun (_, v) -> eval_value st fr v) cargs) in
+        let scalars = Array.of_list (List.map fst cargs) in
+        let result =
+          match callee with
+          | Instr.Direct name -> dispatch st name argv scalars
+          | Instr.Indirect v -> begin
+            match Mval.as_ptr (context st) (eval_value st fr v) with
+            | Mobject.Pfunc name -> dispatch st name argv scalars
+            | Mobject.Pnull -> Merror.raise_error Merror.Null_deref (context st)
+            | Mobject.Pobj _ | Mobject.Pinvalid _ ->
+              Merror.raise_error
+                (Merror.Type_violation "indirect call through a data pointer")
+                (context st)
+          end
+        in
+        (match (r, result) with
+        | Some r, Some v -> set r v
+        | Some r, None -> set r Mval.zero
+        | None, _ -> ()));
+      run (i + 1)
+    end
+  in
+  run 0
+
+and dispatch st name argv scalars : Mval.t option =
+  match Hashtbl.find_opt st.funcs name with
+  | Some pf -> call_function st pf argv scalars
+  | None -> exec_builtin st name argv
+
+and exec_term st (fr : frame) (blk : pblock) (_prev : string) : Mval.t option =
+  charge st fr Cop;
+  match blk.pb_term with
+  | Instr.Ret (Some (_, v)) -> Some (eval_value st fr v)
+  | Instr.Ret None -> None
+  | Instr.Br l -> jump st fr blk.pb_label l
+  | Instr.Condbr (c, a, b) ->
+    let cv = Mval.as_int (eval_value st fr c) in
+    jump st fr blk.pb_label (if cv <> 0L then a else b)
+  | Instr.Switch (v, cases, default) ->
+    let x = Mval.as_int (eval_value st fr v) in
+    let target =
+      match List.find_opt (fun (k, _) -> k = x) cases with
+      | Some (_, l) -> l
+      | None -> default
+    in
+    jump st fr blk.pb_label target
+  | Instr.Unreachable ->
+    Merror.raise_error
+      (Merror.Type_violation "reached an unreachable instruction")
+      (context st)
+
+and jump st fr from_label target : Mval.t option =
+  match Hashtbl.find_opt fr.fr_func.pf_index target with
+  | Some idx -> exec_block st fr idx from_label
+  | None -> failwith ("interp: jump to unknown block " ^ target)
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type run_result = {
+  exit_code : int;
+  output : string;
+  error : (Merror.category * string) option;
+  steps : int;
+  run_profile : profile;
+  leaks : int;  (** unfreed heap objects at exit (paper §6 extension) *)
+  leak_details : string list;
+      (** one line per leaked object: class, size, allocating function *)
+  trace_output : string;  (** call trace, when enabled (empty otherwise) *)
+  timed_out : bool;
+}
+
+let create ?(step_limit = 500_000_000) ?(depth_limit = 4096)
+    ?(mementos = true) ?(detect_uninit = false) ?(trace = false)
+    ?(input = "") ?(seed = 42) (m : Irmod.t) : state =
+  Mobject.reset ();
+  Mobject.track_uninitialized := detect_uninit;
+  let profile = fresh_profile () in
+  let st =
+    {
+      m;
+      funcs = Hashtbl.create 64;
+      globals = Hashtbl.create 64;
+      heap = Mheap.create ~mementos ();
+      out = Buffer.create 1024;
+      input;
+      input_pos = 0;
+      steps = 0;
+      step_limit;
+      depth = 0;
+      depth_limit;
+      profile;
+      frames = [];
+      rng = Prng.create seed;
+      trace = (if trace then Some (Buffer.create 1024) else None);
+    }
+  in
+  List.iter
+    (fun f -> Hashtbl.replace st.funcs f.Irfunc.name (prepare_func profile f))
+    m.Irmod.funcs;
+  materialize_globals st;
+  st
+
+(** Build the [main] argument objects: an argv array of [MainArgs]
+    storage whose size is exactly argc+1 pointers (argv[argc] = NULL), so
+    any access past it is out of bounds — the paper's case study 1. *)
+let build_argv (argv : string list) : Mval.t * Mval.t =
+  let argc = List.length argv in
+  let arr =
+    Mobject.alloc ~storage:Merror.MainArgs
+      ~mty:(Irtype.MArray (Irtype.MScalar Irtype.Ptr, argc + 1))
+      ((argc + 1) * 8)
+  in
+  List.iteri
+    (fun i s ->
+      let strobj =
+        Mobject.alloc ~storage:Merror.MainArgs
+          ~mty:(Irtype.MArray (Irtype.MScalar Irtype.I8, String.length s + 1))
+          (String.length s + 1)
+      in
+      Mobject.write_bytes { Mobject.obj = strobj; moff = 0 } s "argv setup";
+      Mobject.store_ptr
+        { Mobject.obj = arr; moff = i * 8 }
+        (Mobject.Pobj { Mobject.obj = strobj; moff = 0 })
+        "argv setup")
+    argv;
+  ( Mval.Vint (Int64.of_int argc),
+    Mval.Vptr (Mobject.Pobj { Mobject.obj = arr; moff = 0 }) )
+
+let run ?(argv = [ "program" ]) (st : state) : run_result =
+  let finish ?(code = 0) ?error ~timed_out () =
+    let leaked = Mheap.leaked st.heap in
+    {
+      exit_code = code;
+      output = Buffer.contents st.out;
+      error;
+      steps = st.steps;
+      run_profile = st.profile;
+      leaks = List.length leaked;
+      leak_details =
+        List.map
+          (fun (obj : Mobject.t) ->
+            Printf.sprintf "%d bytes, %s (allocated in %s) never freed"
+              obj.Mobject.byte_size (Mobject.class_name obj)
+              (Mheap.site_name st.heap obj.Mobject.site))
+          leaked;
+      trace_output =
+        (match st.trace with Some b -> Buffer.contents b | None -> "");
+      timed_out;
+    }
+  in
+  match Hashtbl.find_opt st.funcs "main" with
+  | None -> failwith "interp: program has no main function"
+  | Some main -> begin
+    let vargc, vargv = build_argv argv in
+    let nparams = List.length main.pf_ir.Irfunc.params in
+    let args, scalars =
+      if nparams >= 2 then
+        ([| vargc; vargv |], [| Irtype.I32; Irtype.Ptr |])
+      else ([||], [||])
+    in
+    try
+      let r = call_function st main args scalars in
+      let code =
+        match r with Some v -> Int64.to_int (Mval.as_int v) land 0xff | None -> 0
+      in
+      finish ~code ~timed_out:false ()
+    with
+    | Exit_program code -> finish ~code ~timed_out:false ()
+    | Merror.Error (cat, msg) -> finish ~code:255 ~error:(cat, msg) ~timed_out:false ()
+    | Step_limit_exceeded -> finish ~code:255 ~timed_out:true ()
+  end

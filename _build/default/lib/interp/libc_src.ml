@@ -1,0 +1,908 @@
+(** The managed libc (paper §3.1): written in standard C, optimized for
+    safety instead of performance, and executed *on the interpreter* so
+    that every internal access is checked.  Host builtins with the
+    [__sulong_] prefix play the role of the paper's Java-implemented
+    system-call layer; [count_varargs]/[get_vararg] are the
+    variadic-argument introspection functions of Fig. 9.
+
+    Because the libc itself runs on checked memory, the classic
+    interceptor gaps of ASan cannot occur here: [strtok] scanning an
+    unterminated delimiter string, or [printf] reading a [long] where an
+    [int] was passed, trap inside these very functions. *)
+
+(** Declarations visible to every compiled program (in place of the
+    system headers, which the lexer skips). *)
+let prelude = {|
+struct __file;
+struct __varargs { int counter; void **args; };
+
+void *malloc(size_t size);
+void *calloc(size_t n, size_t size);
+void *realloc(void *p, size_t size);
+void free(void *p);
+void exit(int code);
+void abort(void);
+int rand(void);
+void srand(unsigned int seed);
+int abs(int x);
+long labs(long x);
+int atoi(const char *s);
+long atol(const char *s);
+double atof(const char *s);
+size_t strlen(const char *s);
+char *strcpy(char *dst, const char *src);
+char *strncpy(char *dst, const char *src, size_t n);
+char *strcat(char *dst, const char *src);
+char *strncat(char *dst, const char *src, size_t n);
+int strcmp(const char *a, const char *b);
+int strncmp(const char *a, const char *b, size_t n);
+char *strchr(const char *s, int c);
+char *strrchr(const char *s, int c);
+char *strstr(const char *hay, const char *needle);
+char *strtok(char *s, const char *delim);
+char *strdup(const char *s);
+size_t strspn(const char *s, const char *accept);
+size_t strcspn(const char *s, const char *reject);
+char *strpbrk(const char *s, const char *accept);
+void *memchr(const void *s, int c, size_t n);
+int strcasecmp(const char *a, const char *b);
+int strncasecmp(const char *a, const char *b, size_t n);
+long strtol(const char *s, char **end, int base);
+void *bsearch(const void *key, const void *base, size_t n, size_t size,
+              int (*cmp)(const void *, const void *));
+void *memcpy(void *dst, const void *src, size_t n);
+void *memmove(void *dst, const void *src, size_t n);
+void *memset(void *p, int c, size_t n);
+int memcmp(const void *a, const void *b, size_t n);
+int printf(const char *fmt, ...);
+int fprintf(FILE *f, const char *fmt, ...);
+int sprintf(char *buf, const char *fmt, ...);
+int snprintf(char *buf, size_t n, const char *fmt, ...);
+int puts(const char *s);
+int putchar(int c);
+int fputs(const char *s, FILE *f);
+int fputc(int c, FILE *f);
+int getchar(void);
+int fgetc(FILE *f);
+char *fgets(char *buf, int n, FILE *f);
+int scanf(const char *fmt, ...);
+int fscanf(FILE *f, const char *fmt, ...);
+int isdigit(int c);
+int isalpha(int c);
+int isalnum(int c);
+int isspace(int c);
+int isupper(int c);
+int islower(int c);
+int toupper(int c);
+int tolower(int c);
+double sqrt(double x);
+double sin(double x);
+double cos(double x);
+double atan(double x);
+double exp(double x);
+double log(double x);
+double pow(double x, double y);
+double fabs(double x);
+double floor(double x);
+double ceil(double x);
+double fmod(double x, double y);
+void qsort(void *base, size_t n, size_t size, int (*cmp)(const void *, const void *));
+void __va_start(va_list ap);
+void *__va_next(va_list ap);
+void __va_end(va_list ap);
+int count_varargs(void);
+void *get_vararg(int i);
+long __sulong_format_pointer(void *p);
+int __sulong_putchar(int c);
+int __sulong_read_char(FILE *f);
+int __sulong_unread_char(int c);
+void __sulong_exit(int code);
+void __sulong_abort(void);
+double __sulong_sqrt(double x);
+double __sulong_sin(double x);
+double __sulong_cos(double x);
+double __sulong_atan(double x);
+double __sulong_exp(double x);
+double __sulong_log(double x);
+double __sulong_pow(double x, double y);
+int __sulong_rand(void);
+extern FILE *stdin;
+extern FILE *stdout;
+extern FILE *stderr;
+|}
+
+(** The libc implementation itself.  126 functions in the paper; here the
+    set the corpus, examples and benchmarks need — each one plain,
+    standard C with no word-size tricks (contrast with the word-wise
+    strlen of production libcs, paper P4). *)
+let source = prelude ^ {|
+
+FILE *stdin = (FILE *)1;
+FILE *stdout = (FILE *)2;
+FILE *stderr = (FILE *)3;
+
+/* ---------------- varargs: the paper's Fig. 9 ---------------- */
+
+void __va_start(va_list ap) {
+  int n = count_varargs();
+  ap->args = (void **)malloc(sizeof(void *) * n);
+  for (ap->counter = n - 1; ap->counter != -1; ap->counter = ap->counter - 1) {
+    ap->args[ap->counter] = get_vararg(ap->counter);
+  }
+  ap->counter = 0;
+}
+
+void *__va_next(va_list ap) {
+  /* An access past the end of args[] is an out-of-bounds read of the
+     malloc'ed array: exactly how Safe Sulong catches missing variadic
+     arguments. */
+  void *p = ap->args[ap->counter];
+  ap->counter = ap->counter + 1;
+  return p;
+}
+
+void __va_end(va_list ap) {
+  free(ap->args);
+}
+
+/* ---------------- ctype ---------------- */
+
+int isdigit(int c) { return c >= '0' && c <= '9'; }
+int isalpha(int c) { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'); }
+int isalnum(int c) { return isdigit(c) || isalpha(c); }
+int isspace(int c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f';
+}
+int isupper(int c) { return c >= 'A' && c <= 'Z'; }
+int islower(int c) { return c >= 'a' && c <= 'z'; }
+int toupper(int c) { if (islower(c)) { return c - 'a' + 'A'; } return c; }
+int tolower(int c) { if (isupper(c)) { return c - 'A' + 'a'; } return c; }
+
+/* ---------------- string ---------------- */
+
+size_t strlen(const char *s) {
+  size_t n = 0;
+  while (s[n] != '\0') { n = n + 1; }
+  return n;
+}
+
+char *strcpy(char *dst, const char *src) {
+  size_t i = 0;
+  while (src[i] != '\0') { dst[i] = src[i]; i = i + 1; }
+  dst[i] = '\0';
+  return dst;
+}
+
+char *strncpy(char *dst, const char *src, size_t n) {
+  size_t i = 0;
+  while (i < n && src[i] != '\0') { dst[i] = src[i]; i = i + 1; }
+  while (i < n) { dst[i] = '\0'; i = i + 1; }
+  return dst;
+}
+
+char *strcat(char *dst, const char *src) {
+  strcpy(dst + strlen(dst), src);
+  return dst;
+}
+
+char *strncat(char *dst, const char *src, size_t n) {
+  size_t len = strlen(dst);
+  size_t i = 0;
+  while (i < n && src[i] != '\0') { dst[len + i] = src[i]; i = i + 1; }
+  dst[len + i] = '\0';
+  return dst;
+}
+
+int strcmp(const char *a, const char *b) {
+  size_t i = 0;
+  while (a[i] != '\0' && a[i] == b[i]) { i = i + 1; }
+  return (unsigned char)a[i] - (unsigned char)b[i];
+}
+
+int strncmp(const char *a, const char *b, size_t n) {
+  size_t i = 0;
+  if (n == 0) { return 0; }
+  while (i + 1 < n && a[i] != '\0' && a[i] == b[i]) { i = i + 1; }
+  return (unsigned char)a[i] - (unsigned char)b[i];
+}
+
+char *strchr(const char *s, int c) {
+  size_t i = 0;
+  while (s[i] != '\0') {
+    if (s[i] == (char)c) { return (char *)(s + i); }
+    i = i + 1;
+  }
+  if (c == 0) { return (char *)(s + i); }
+  return 0;
+}
+
+char *strrchr(const char *s, int c) {
+  char *found = 0;
+  size_t i = 0;
+  while (s[i] != '\0') {
+    if (s[i] == (char)c) { found = (char *)(s + i); }
+    i = i + 1;
+  }
+  if (c == 0) { return (char *)(s + i); }
+  return found;
+}
+
+char *strstr(const char *hay, const char *needle) {
+  if (needle[0] == '\0') { return (char *)hay; }
+  size_t i = 0;
+  while (hay[i] != '\0') {
+    size_t j = 0;
+    while (needle[j] != '\0' && hay[i + j] == needle[j]) { j = j + 1; }
+    if (needle[j] == '\0') { return (char *)(hay + i); }
+    i = i + 1;
+  }
+  return 0;
+}
+
+size_t strspn(const char *s, const char *accept) {
+  size_t n = 0;
+  while (s[n] != '\0' && strchr(accept, s[n]) != 0) { n = n + 1; }
+  return n;
+}
+
+size_t strcspn(const char *s, const char *reject) {
+  size_t n = 0;
+  while (s[n] != '\0' && strchr(reject, s[n]) == 0) { n = n + 1; }
+  return n;
+}
+
+char *__strtok_save = 0;
+
+char *strtok(char *s, const char *delim) {
+  if (s == 0) { s = __strtok_save; }
+  if (s == 0) { return 0; }
+  s = s + strspn(s, delim);
+  if (*s == '\0') { __strtok_save = 0; return 0; }
+  char *tok = s;
+  s = s + strcspn(s, delim);
+  if (*s != '\0') {
+    *s = '\0';
+    __strtok_save = s + 1;
+  } else {
+    __strtok_save = 0;
+  }
+  return tok;
+}
+
+char *strdup(const char *s) {
+  size_t n = strlen(s);
+  char *copy = (char *)malloc(n + 1);
+  if (copy != 0) { strcpy(copy, s); }
+  return copy;
+}
+
+char *strpbrk(const char *s, const char *accept) {
+  size_t i = 0;
+  while (s[i] != '\0') {
+    if (strchr(accept, s[i]) != 0) { return (char *)(s + i); }
+    i = i + 1;
+  }
+  return 0;
+}
+
+void *memchr(const void *s, int c, size_t n) {
+  const unsigned char *p = (const unsigned char *)s;
+  for (size_t i = 0; i < n; i = i + 1) {
+    if (p[i] == (unsigned char)c) { return (void *)(p + i); }
+  }
+  return 0;
+}
+
+int strcasecmp(const char *a, const char *b) {
+  size_t i = 0;
+  while (a[i] != '\0' && tolower((unsigned char)a[i]) == tolower((unsigned char)b[i])) {
+    i = i + 1;
+  }
+  return tolower((unsigned char)a[i]) - tolower((unsigned char)b[i]);
+}
+
+int strncasecmp(const char *a, const char *b, size_t n) {
+  if (n == 0) { return 0; }
+  size_t i = 0;
+  while (i + 1 < n && a[i] != '\0'
+         && tolower((unsigned char)a[i]) == tolower((unsigned char)b[i])) {
+    i = i + 1;
+  }
+  return tolower((unsigned char)a[i]) - tolower((unsigned char)b[i]);
+}
+
+long strtol(const char *s, char **end, int base) {
+  size_t i = 0;
+  while (isspace((unsigned char)s[i])) { i = i + 1; }
+  int negative = 0;
+  if (s[i] == '-') { negative = 1; i = i + 1; }
+  else if (s[i] == '+') { i = i + 1; }
+  if ((base == 0 || base == 16) && s[i] == '0'
+      && (s[i + 1] == 'x' || s[i + 1] == 'X')) {
+    base = 16;
+    i = i + 2;
+  } else if (base == 0 && s[i] == '0') {
+    base = 8;
+  } else if (base == 0) {
+    base = 10;
+  }
+  long value = 0;
+  int any = 0;
+  while (1) {
+    int c = (unsigned char)s[i];
+    int digit;
+    if (isdigit(c)) { digit = c - '0'; }
+    else if (c >= 'a' && c <= 'z') { digit = c - 'a' + 10; }
+    else if (c >= 'A' && c <= 'Z') { digit = c - 'A' + 10; }
+    else { break; }
+    if (digit >= base) { break; }
+    value = value * base + digit;
+    any = 1;
+    i = i + 1;
+  }
+  if (end != 0) {
+    if (any) { *end = (char *)(s + i); }
+    else { *end = (char *)s; }
+  }
+  if (negative) { return -value; }
+  return value;
+}
+
+void *bsearch(const void *key, const void *base, size_t n, size_t size,
+              int (*cmp)(const void *, const void *)) {
+  size_t lo = 0;
+  size_t hi = n;
+  const char *b = (const char *)base;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    int r = cmp(key, b + mid * size);
+    if (r == 0) { return (void *)(b + mid * size); }
+    if (r < 0) { hi = mid; } else { lo = mid + 1; }
+  }
+  return 0;
+}
+
+void *memcpy(void *dst, const void *src, size_t n) {
+  char *d = (char *)dst;
+  const char *s = (const char *)src;
+  for (size_t i = 0; i < n; i = i + 1) { d[i] = s[i]; }
+  return dst;
+}
+
+void *memmove(void *dst, const void *src, size_t n) {
+  char *d = (char *)dst;
+  const char *s = (const char *)src;
+  if (d < s) {
+    for (size_t i = 0; i < n; i = i + 1) { d[i] = s[i]; }
+  } else {
+    size_t i = n;
+    while (i > 0) { i = i - 1; d[i] = s[i]; }
+  }
+  return dst;
+}
+
+void *memset(void *p, int c, size_t n) {
+  char *d = (char *)p;
+  for (size_t i = 0; i < n; i = i + 1) { d[i] = (char)c; }
+  return p;
+}
+
+int memcmp(const void *a, const void *b, size_t n) {
+  const unsigned char *x = (const unsigned char *)a;
+  const unsigned char *y = (const unsigned char *)b;
+  for (size_t i = 0; i < n; i = i + 1) {
+    if (x[i] != y[i]) { return x[i] - y[i]; }
+  }
+  return 0;
+}
+
+/* ---------------- stdlib ---------------- */
+
+void exit(int code) { __sulong_exit(code); }
+void abort(void) { __sulong_abort(); }
+
+int abs(int x) { if (x < 0) { return -x; } return x; }
+long labs(long x) { if (x < 0) { return -x; } return x; }
+
+int rand(void) { return __sulong_rand(); }
+void srand(unsigned int seed) { (void)seed; }
+
+long atol(const char *s) {
+  long value = 0;
+  int negative = 0;
+  size_t i = 0;
+  while (isspace((unsigned char)s[i])) { i = i + 1; }
+  if (s[i] == '-') { negative = 1; i = i + 1; }
+  else if (s[i] == '+') { i = i + 1; }
+  while (isdigit((unsigned char)s[i])) {
+    value = value * 10 + (s[i] - '0');
+    i = i + 1;
+  }
+  if (negative) { return -value; }
+  return value;
+}
+
+int atoi(const char *s) { return (int)atol(s); }
+
+double atof(const char *s) {
+  double value = 0.0;
+  int negative = 0;
+  size_t i = 0;
+  while (isspace((unsigned char)s[i])) { i = i + 1; }
+  if (s[i] == '-') { negative = 1; i = i + 1; }
+  else if (s[i] == '+') { i = i + 1; }
+  while (isdigit((unsigned char)s[i])) {
+    value = value * 10.0 + (double)(s[i] - '0');
+    i = i + 1;
+  }
+  if (s[i] == '.') {
+    i = i + 1;
+    double place = 0.1;
+    while (isdigit((unsigned char)s[i])) {
+      value = value + place * (double)(s[i] - '0');
+      place = place * 0.1;
+      i = i + 1;
+    }
+  }
+  if (s[i] == 'e' || s[i] == 'E') {
+    i = i + 1;
+    int esign = 1;
+    if (s[i] == '-') { esign = -1; i = i + 1; }
+    else if (s[i] == '+') { i = i + 1; }
+    int e = 0;
+    while (isdigit((unsigned char)s[i])) { e = e * 10 + (s[i] - '0'); i = i + 1; }
+    while (e > 0) {
+      if (esign > 0) { value = value * 10.0; } else { value = value * 0.1; }
+      e = e - 1;
+    }
+  }
+  if (negative) { return -value; }
+  return value;
+}
+
+void qsort(void *base, size_t n, size_t size,
+           int (*cmp)(const void *, const void *)) {
+  /* Insertion sort: quadratic but simple and safe; the paper's libc is
+     "optimized for safety instead of performance". */
+  char *b = (char *)base;
+  for (size_t i = 1; i < n; i = i + 1) {
+    size_t j = i;
+    while (j > 0 && cmp(b + j * size, b + (j - 1) * size) < 0) {
+      for (size_t k = 0; k < size; k = k + 1) {
+        char tmp = b[j * size + k];
+        b[j * size + k] = b[(j - 1) * size + k];
+        b[(j - 1) * size + k] = tmp;
+      }
+      j = j - 1;
+    }
+  }
+}
+
+/* ---------------- math ---------------- */
+
+double sqrt(double x) { return __sulong_sqrt(x); }
+double sin(double x) { return __sulong_sin(x); }
+double cos(double x) { return __sulong_cos(x); }
+double atan(double x) { return __sulong_atan(x); }
+double exp(double x) { return __sulong_exp(x); }
+double log(double x) { return __sulong_log(x); }
+double pow(double x, double y) { return __sulong_pow(x, y); }
+double fabs(double x) { if (x < 0.0) { return -x; } return x; }
+double floor(double x) {
+  long i = (long)x;
+  if (x < 0.0 && (double)i != x) { i = i - 1; }
+  return (double)i;
+}
+double ceil(double x) {
+  long i = (long)x;
+  if (x > 0.0 && (double)i != x) { i = i + 1; }
+  return (double)i;
+}
+double fmod(double x, double y) {
+  double q = floor(x / y);
+  return x - q * y;
+}
+
+/* ---------------- stdio: output ---------------- */
+
+int putchar(int c) { return __sulong_putchar(c); }
+int fputc(int c, FILE *f) { (void)f; return __sulong_putchar(c); }
+int getchar(void) { return __sulong_read_char(stdin); }
+int fgetc(FILE *f) { return __sulong_read_char(f); }
+
+int puts(const char *s) {
+  size_t i = 0;
+  while (s[i] != '\0') { __sulong_putchar(s[i]); i = i + 1; }
+  __sulong_putchar('\n');
+  return 0;
+}
+
+int fputs(const char *s, FILE *f) {
+  (void)f;
+  size_t i = 0;
+  while (s[i] != '\0') { __sulong_putchar(s[i]); i = i + 1; }
+  return 0;
+}
+
+char *fgets(char *buf, int n, FILE *f) {
+  int i = 0;
+  while (i < n - 1) {
+    int c = __sulong_read_char(f);
+    if (c < 0) { break; }
+    buf[i] = (char)c;
+    i = i + 1;
+    if (c == '\n') { break; }
+  }
+  if (i == 0) { return 0; }
+  buf[i] = '\0';
+  return buf;
+}
+
+/* ---------------- stdio: the printf engine ---------------- */
+
+void __emit(int to_stream, char *buf, size_t cap, size_t *pos, int c) {
+  if (to_stream) {
+    __sulong_putchar(c);
+  } else if (*pos + 1 < cap) {
+    buf[*pos] = (char)c;
+  }
+  *pos = *pos + 1;
+}
+
+void __emit_padded(int to_stream, char *buf, size_t cap, size_t *pos,
+                   const char *digits, int len, int width, int zero,
+                   int left) {
+  int pad = width - len;
+  if (!left) {
+    while (pad > 0) {
+      __emit(to_stream, buf, cap, pos, zero ? '0' : ' ');
+      pad = pad - 1;
+    }
+  }
+  for (int i = 0; i < len; i = i + 1) {
+    __emit(to_stream, buf, cap, pos, digits[i]);
+  }
+  if (left) {
+    while (pad > 0) { __emit(to_stream, buf, cap, pos, ' '); pad = pad - 1; }
+  }
+}
+
+int __format_unsigned(unsigned long v, char *out, int base, int upper) {
+  char tmp[32];
+  int n = 0;
+  const char *lower_digits = "0123456789abcdef";
+  const char *upper_digits = "0123456789ABCDEF";
+  if (v == 0) { tmp[n] = '0'; n = n + 1; }
+  while (v != 0) {
+    int d = (int)(v % (unsigned long)base);
+    if (upper) { tmp[n] = upper_digits[d]; } else { tmp[n] = lower_digits[d]; }
+    n = n + 1;
+    v = v / (unsigned long)base;
+  }
+  for (int i = 0; i < n; i = i + 1) { out[i] = tmp[n - 1 - i]; }
+  return n;
+}
+
+void __format_fixed(int to_stream, char *buf, size_t cap, size_t *pos,
+                    double v, int prec, int width) {
+  char digits[64];
+  int n = 0;
+  if (v != v) { /* NaN */
+    __emit(to_stream, buf, cap, pos, 'n');
+    __emit(to_stream, buf, cap, pos, 'a');
+    __emit(to_stream, buf, cap, pos, 'n');
+    return;
+  }
+  if (v < 0.0) { digits[n] = '-'; n = n + 1; v = -v; }
+  double scale = 1.0;
+  for (int i = 0; i < prec; i = i + 1) { scale = scale * 10.0; }
+  v = v + 0.5 / scale;
+  long ip = (long)v;
+  double frac = v - (double)ip;
+  n = n + __format_unsigned((unsigned long)ip, digits + n, 10, 0);
+  if (prec > 0) {
+    digits[n] = '.';
+    n = n + 1;
+    for (int i = 0; i < prec; i = i + 1) {
+      frac = frac * 10.0;
+      int d = (int)frac;
+      if (d > 9) { d = 9; }
+      frac = frac - (double)d;
+      digits[n] = (char)('0' + d);
+      n = n + 1;
+    }
+  }
+  __emit_padded(to_stream, buf, cap, pos, digits, n, width, 0, 0);
+}
+
+void __format_exp(int to_stream, char *buf, size_t cap, size_t *pos,
+                  double v, int prec) {
+  int e = 0;
+  int neg = 0;
+  if (v < 0.0) { neg = 1; v = -v; }
+  if (v != 0.0) {
+    while (v >= 10.0) { v = v / 10.0; e = e + 1; }
+    while (v < 1.0) { v = v * 10.0; e = e - 1; }
+  }
+  if (neg) { __emit(to_stream, buf, cap, pos, '-'); }
+  __format_fixed(to_stream, buf, cap, pos, v, prec, 0);
+  __emit(to_stream, buf, cap, pos, 'e');
+  if (e < 0) { __emit(to_stream, buf, cap, pos, '-'); e = -e; }
+  else { __emit(to_stream, buf, cap, pos, '+'); }
+  if (e < 10) { __emit(to_stream, buf, cap, pos, '0'); }
+  char expd[16];
+  int en = __format_unsigned((unsigned long)e, expd, 10, 0);
+  for (int i = 0; i < en; i = i + 1) {
+    __emit(to_stream, buf, cap, pos, expd[i]);
+  }
+}
+
+int __vformat(int to_stream, char *buf, size_t cap, const char *fmt,
+              va_list ap) {
+  size_t pos = 0;
+  size_t i = 0;
+  char digits[72];
+  while (fmt[i] != '\0') {
+    char c = fmt[i];
+    if (c != '%') {
+      __emit(to_stream, buf, cap, &pos, c);
+      i = i + 1;
+      continue;
+    }
+    i = i + 1;
+    int left = 0;
+    int zero = 0;
+    while (fmt[i] == '-' || fmt[i] == '0' || fmt[i] == '+' || fmt[i] == ' ') {
+      if (fmt[i] == '-') { left = 1; }
+      if (fmt[i] == '0') { zero = 1; }
+      i = i + 1;
+    }
+    int width = 0;
+    while (isdigit((unsigned char)fmt[i])) {
+      width = width * 10 + (fmt[i] - '0');
+      i = i + 1;
+    }
+    int prec = -1;
+    if (fmt[i] == '.') {
+      i = i + 1;
+      prec = 0;
+      while (isdigit((unsigned char)fmt[i])) {
+        prec = prec * 10 + (fmt[i] - '0');
+        i = i + 1;
+      }
+    }
+    int longmod = 0;
+    while (fmt[i] == 'l' || fmt[i] == 'z' || fmt[i] == 'h') {
+      if (fmt[i] == 'l' || fmt[i] == 'z') { longmod = 1; }
+      i = i + 1;
+    }
+    char conv = fmt[i];
+    i = i + 1;
+    if (conv == '%') {
+      __emit(to_stream, buf, cap, &pos, '%');
+    } else if (conv == 'd' || conv == 'i') {
+      long v;
+      /* Reading a long where an int was passed overflows the 4-byte
+         variadic cell: the paper's printf("%ld", int) bug. */
+      if (longmod) { v = *(long *)__va_next(ap); }
+      else { v = (long)*(int *)__va_next(ap); }
+      int n = 0;
+      unsigned long mag;
+      if (v < 0) { digits[0] = '-'; n = 1; mag = (unsigned long)(-v); }
+      else { mag = (unsigned long)v; }
+      n = n + __format_unsigned(mag, digits + n, 10, 0);
+      __emit_padded(to_stream, buf, cap, &pos, digits, n, width, zero, left);
+    } else if (conv == 'u') {
+      unsigned long v;
+      if (longmod) { v = *(unsigned long *)__va_next(ap); }
+      else { v = (unsigned long)(unsigned int)*(int *)__va_next(ap); }
+      int n = __format_unsigned(v, digits, 10, 0);
+      __emit_padded(to_stream, buf, cap, &pos, digits, n, width, zero, left);
+    } else if (conv == 'x' || conv == 'X') {
+      unsigned long v;
+      if (longmod) { v = *(unsigned long *)__va_next(ap); }
+      else { v = (unsigned long)(unsigned int)*(int *)__va_next(ap); }
+      int n = __format_unsigned(v, digits, 16, conv == 'X');
+      __emit_padded(to_stream, buf, cap, &pos, digits, n, width, zero, left);
+    } else if (conv == 'o') {
+      unsigned long v;
+      if (longmod) { v = *(unsigned long *)__va_next(ap); }
+      else { v = (unsigned long)(unsigned int)*(int *)__va_next(ap); }
+      int n = __format_unsigned(v, digits, 8, 0);
+      __emit_padded(to_stream, buf, cap, &pos, digits, n, width, zero, left);
+    } else if (conv == 'c') {
+      int v = *(int *)__va_next(ap);
+      __emit(to_stream, buf, cap, &pos, v);
+    } else if (conv == 's') {
+      char *s = *(char **)__va_next(ap);
+      int len = (int)strlen(s);
+      if (prec >= 0 && len > prec) { len = prec; }
+      __emit_padded(to_stream, buf, cap, &pos, s, len, width, 0, left);
+    } else if (conv == 'p') {
+      void *p = *(void **)__va_next(ap);
+      long cookie = __sulong_format_pointer(p);
+      digits[0] = '0';
+      digits[1] = 'x';
+      int n = 2 + __format_unsigned((unsigned long)cookie, digits + 2, 16, 0);
+      __emit_padded(to_stream, buf, cap, &pos, digits, n, width, 0, left);
+    } else if (conv == 'f') {
+      double v = *(double *)__va_next(ap);
+      __format_fixed(to_stream, buf, cap, &pos, v, prec < 0 ? 6 : prec, width);
+    } else if (conv == 'e' || conv == 'E') {
+      double v = *(double *)__va_next(ap);
+      __format_exp(to_stream, buf, cap, &pos, v, prec < 0 ? 6 : prec);
+    } else if (conv == 'g' || conv == 'G') {
+      double v = *(double *)__va_next(ap);
+      double mag = fabs(v);
+      if (mag != 0.0 && (mag >= 1000000.0 || mag < 0.0001)) {
+        __format_exp(to_stream, buf, cap, &pos, v, prec < 0 ? 5 : prec);
+      } else {
+        __format_fixed(to_stream, buf, cap, &pos, v, prec < 0 ? 6 : prec, width);
+      }
+    } else {
+      __emit(to_stream, buf, cap, &pos, '%');
+      __emit(to_stream, buf, cap, &pos, conv);
+    }
+  }
+  if (!to_stream) {
+    if (cap > 0) {
+      size_t end = pos;
+      if (end >= cap) { end = cap - 1; }
+      buf[end] = '\0';
+    }
+  }
+  return (int)pos;
+}
+
+int printf(const char *fmt, ...) {
+  struct __varargs ap;
+  __va_start(&ap);
+  int n = __vformat(1, 0, 0, fmt, &ap);
+  __va_end(&ap);
+  return n;
+}
+
+int fprintf(FILE *f, const char *fmt, ...) {
+  (void)f;
+  struct __varargs ap;
+  __va_start(&ap);
+  int n = __vformat(1, 0, 0, fmt, &ap);
+  __va_end(&ap);
+  return n;
+}
+
+int sprintf(char *buf, const char *fmt, ...) {
+  struct __varargs ap;
+  __va_start(&ap);
+  int n = __vformat(0, buf, (size_t)-1, fmt, &ap);
+  __va_end(&ap);
+  return n;
+}
+
+int snprintf(char *buf, size_t size, const char *fmt, ...) {
+  struct __varargs ap;
+  __va_start(&ap);
+  int n = __vformat(0, buf, size, fmt, &ap);
+  __va_end(&ap);
+  return n;
+}
+
+/* ---------------- stdio: the scanf engine ---------------- */
+
+int __scan_skip_space(FILE *f) {
+  int c = __sulong_read_char(f);
+  while (c >= 0 && isspace(c)) { c = __sulong_read_char(f); }
+  return c;
+}
+
+int __vscan(FILE *f, const char *fmt, va_list ap) {
+  int assigned = 0;
+  size_t i = 0;
+  while (fmt[i] != '\0') {
+    char fc = fmt[i];
+    if (isspace((unsigned char)fc)) {
+      int c = __scan_skip_space(f);
+      __sulong_unread_char(c);
+      i = i + 1;
+      continue;
+    }
+    if (fc != '%') {
+      int c = __sulong_read_char(f);
+      if (c != fc) { __sulong_unread_char(c); return assigned; }
+      i = i + 1;
+      continue;
+    }
+    i = i + 1;
+    int longmod = 0;
+    while (fmt[i] == 'l' || fmt[i] == 'z' || fmt[i] == 'h') {
+      if (fmt[i] == 'l' || fmt[i] == 'z') { longmod = 1; }
+      i = i + 1;
+    }
+    char conv = fmt[i];
+    i = i + 1;
+    if (conv == 'd' || conv == 'i' || conv == 'u') {
+      int c = __scan_skip_space(f);
+      int negative = 0;
+      if (c == '-') { negative = 1; c = __sulong_read_char(f); }
+      else if (c == '+') { c = __sulong_read_char(f); }
+      if (!(c >= '0' && c <= '9')) { __sulong_unread_char(c); return assigned; }
+      long value = 0;
+      while (c >= '0' && c <= '9') {
+        value = value * 10 + (c - '0');
+        c = __sulong_read_char(f);
+      }
+      __sulong_unread_char(c);
+      if (negative) { value = -value; }
+      if (longmod) {
+        long *dest = *(long **)__va_next(ap);
+        *dest = value;
+      } else {
+        int *dest = *(int **)__va_next(ap);
+        *dest = (int)value;
+      }
+      assigned = assigned + 1;
+    } else if (conv == 'f' || conv == 'g' || conv == 'e') {
+      int c = __scan_skip_space(f);
+      char numbuf[64];
+      int n = 0;
+      while (c >= 0 && n < 63 &&
+             (isdigit(c) || c == '-' || c == '+' || c == '.' || c == 'e' ||
+              c == 'E')) {
+        numbuf[n] = (char)c;
+        n = n + 1;
+        c = __sulong_read_char(f);
+      }
+      __sulong_unread_char(c);
+      if (n == 0) { return assigned; }
+      numbuf[n] = '\0';
+      double value = atof(numbuf);
+      if (longmod) {
+        double *dest = *(double **)__va_next(ap);
+        *dest = value;
+      } else {
+        float *dest = *(float **)__va_next(ap);
+        *dest = (float)value;
+      }
+      assigned = assigned + 1;
+    } else if (conv == 's') {
+      int c = __scan_skip_space(f);
+      if (c < 0) { return assigned; }
+      char *out = *(char **)__va_next(ap);
+      int n = 0;
+      while (c >= 0 && !isspace(c)) {
+        out[n] = (char)c;
+        n = n + 1;
+        c = __sulong_read_char(f);
+      }
+      __sulong_unread_char(c);
+      out[n] = '\0';
+      assigned = assigned + 1;
+    } else if (conv == 'c') {
+      int c = __sulong_read_char(f);
+      if (c < 0) { return assigned; }
+      char *dest = *(char **)__va_next(ap);
+      *dest = (char)c;
+      assigned = assigned + 1;
+    } else {
+      return assigned;
+    }
+  }
+  return assigned;
+}
+
+int scanf(const char *fmt, ...) {
+  struct __varargs ap;
+  __va_start(&ap);
+  int n = __vscan(stdin, fmt, &ap);
+  __va_end(&ap);
+  return n;
+}
+
+int fscanf(FILE *f, const char *fmt, ...) {
+  struct __varargs ap;
+  __va_start(&ap);
+  int n = __vscan(f, fmt, &ap);
+  __va_end(&ap);
+  return n;
+}
+|}

@@ -1,0 +1,38 @@
+(** Program loading: compile a user C source with the prelude visible,
+    compile the managed libc (cached — Safe Sulong parses libc at every
+    start-up, which the start-up cost model charges for; *we* cache the
+    front-end work and only account for it in the model), and link.
+
+    The result is the module Safe Sulong interprets: user code first (its
+    definitions win), libc filling in the rest. *)
+
+let libc_cache : Irmod.t option ref = ref None
+
+(** The libc as an IR module (front-end output, unoptimized). *)
+let libc_module () : Irmod.t =
+  match !libc_cache with
+  | Some m -> Irmod.copy m
+  | None ->
+    let m, _env = Lower.frontend ~string_prefix:".libc.str" Libc_src.source in
+    libc_cache := Some m;
+    Irmod.copy m
+
+(** Compile [src] (user program) against the prelude, without linking. *)
+let compile_user (src : string) : Irmod.t =
+  let m, _env = Lower.frontend (Libc_src.prelude ^ src) in
+  m
+
+(** Compile and link a complete program: user code + managed libc. *)
+let load_program (src : string) : Irmod.t =
+  let user = compile_user src in
+  let linked = Irmod.link user (libc_module ()) in
+  Verify.verify linked;
+  linked
+
+(** Convenience for tests and examples: compile, link, interpret. *)
+let run_source ?(argv = [ "program" ]) ?(input = "") ?step_limit
+    ?(mementos = true) ?(detect_uninit = false) (src : string) :
+    Interp.run_result =
+  let m = load_program src in
+  let st = Interp.create ?step_limit ~mementos ~detect_uninit ~input m in
+  Interp.run ~argv st

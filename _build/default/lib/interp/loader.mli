@@ -1,0 +1,24 @@
+(** Program loading: compile a user C source against the prelude, link
+    the managed libc, and (optionally) run the result. *)
+
+(** The managed libc as a fresh IR module (front-end output, cached and
+    deep-copied per call). *)
+val libc_module : unit -> Irmod.t
+
+(** Compile a user program (prelude visible, libc *not* linked) — what
+    the native engines execute against the precompiled libc. *)
+val compile_user : string -> Irmod.t
+
+(** Compile and link the complete managed program (user + libc); the
+    module Safe Sulong interprets.  Verifies the result. *)
+val load_program : string -> Irmod.t
+
+(** Compile, link and interpret in one call. *)
+val run_source :
+  ?argv:string list ->
+  ?input:string ->
+  ?step_limit:int ->
+  ?mementos:bool ->
+  ?detect_uninit:bool ->
+  string ->
+  Interp.run_result

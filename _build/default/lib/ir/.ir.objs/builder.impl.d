@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Instr Irfunc List Printf

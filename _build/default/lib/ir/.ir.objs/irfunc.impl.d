@@ -1,0 +1,1 @@
+lib/ir/irfunc.ml: Instr Irtype List Printf

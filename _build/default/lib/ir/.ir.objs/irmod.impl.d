@@ -1,0 +1,1 @@
+lib/ir/irmod.ml: Irfunc Irtype List

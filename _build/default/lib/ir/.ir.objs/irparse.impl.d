@@ -1,0 +1,1 @@
+lib/ir/irparse.ml: Buffer Char Format Hashtbl Instr Int64 Irfunc Irmod Irtype List Option String

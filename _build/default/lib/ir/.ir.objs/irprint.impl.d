@@ -1,0 +1,1 @@
+lib/ir/irprint.ml: Buffer Hashtbl Instr Int64 Irfunc Irmod Irtype List Printf String

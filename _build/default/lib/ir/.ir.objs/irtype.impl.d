@@ -1,0 +1,1 @@
+lib/ir/irtype.ml: Int64 Printf

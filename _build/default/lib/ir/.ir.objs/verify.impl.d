@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Format Hashtbl Instr Irfunc Irmod Irprint List

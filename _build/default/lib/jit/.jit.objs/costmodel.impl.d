@@ -1,0 +1,1 @@
+lib/jit/costmodel.ml: Hashtbl Interp Nexec

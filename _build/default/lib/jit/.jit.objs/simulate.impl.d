@@ -1,0 +1,1 @@
+lib/jit/simulate.ml: Array Benchprogs Costmodel Engine Float Hashtbl Interp Irfunc Irmod List Loader Option Pipeline Prng Stats Verify

@@ -1,0 +1,294 @@
+(** Execution of the performance experiments: measure each benchmark
+    under every engine (real execution → dynamic operation profile),
+    price the profiles with [Costmodel], and simulate the paper's three
+    time-domain experiments: start-up (§4.2), warm-up (Fig. 15) and peak
+    performance (Fig. 16). *)
+
+type measurement = {
+  ms_name : string;
+  clang_o0 : float;  (** cycles per benchmark iteration *)
+  clang_o3 : float;
+  asan : float;
+  valgrind : float;
+  valgrind_translation : float;  (** one-time cycles *)
+  (* Safe Sulong per-function cycles per iteration, interpreted and
+     compiled, plus allocation work and per-function static sizes. *)
+  sulong_interp_fns : (string * float * int) list;
+      (** (function, interp cycles/iter, interp ops/iter) *)
+  sulong_compiled_fns : (string * float) list;
+  sulong_alloc : float;
+  static_sizes : (string * int) list;
+  sulong_module_instrs : int;  (** for the libc-parsing start-up cost *)
+}
+
+let profile_exn = function
+  | Some p -> p
+  | None -> failwith "simulate: engine did not produce a profile"
+
+(** Run [src] under all engines once and price the profiles. *)
+let measure ?(argv = [ "bench" ]) ?(input = "") ~name (src : string) :
+    measurement =
+  let run tool = Engine.run ~argv ~input ~step_limit:500_000_000 tool src in
+  let o0 = run (Engine.Clang Pipeline.O0) in
+  let o3 = run (Engine.Clang Pipeline.O3) in
+  let asan_r = run (Engine.Asan Pipeline.O0) in
+  let vg_r = run (Engine.Valgrind Pipeline.O0) in
+  let sulong_r = run Engine.Safe_sulong in
+  (* Safe Sulong compiled tier: interpret the safe-jit-optimized module
+     to measure what Graal-compiled code would execute. *)
+  let compiled_m = Loader.load_program src in
+  ignore (Pipeline.safe_jit compiled_m);
+  Verify.verify compiled_m;
+  let compiled_st = Interp.create ~input compiled_m in
+  let compiled_run = Interp.run ~argv compiled_st in
+  (match compiled_run.Interp.error with
+  | Some (_, msg) -> failwith ("simulate: compiled-tier run failed: " ^ msg)
+  | None -> ());
+  let interp_profile = profile_exn sulong_r.Engine.managed_profile in
+  let sulong_interp_fns =
+    Hashtbl.fold
+      (fun fname c acc ->
+        let ops = c.Interp.c_ops + c.Interp.c_fp + c.Interp.c_mem in
+        if ops + c.Interp.c_calls = 0 then acc
+        else (fname, Costmodel.sulong_interp_fn_cycles c, ops) :: acc)
+      interp_profile.Interp.funcs []
+  in
+  let sulong_compiled_fns =
+    Hashtbl.fold
+      (fun fname c acc ->
+        (fname, Costmodel.sulong_compiled_fn_cycles c) :: acc)
+      compiled_run.Interp.run_profile.Interp.funcs []
+  in
+  let static_sizes =
+    List.map
+      (fun (f : Irfunc.t) -> (f.Irfunc.name, Irfunc.instr_count f))
+      compiled_m.Irmod.funcs
+  in
+  {
+    ms_name = name;
+    clang_o0 = Costmodel.clang_cycles (profile_exn o0.Engine.native_profile);
+    clang_o3 = Costmodel.clang_cycles (profile_exn o3.Engine.native_profile);
+    asan = Costmodel.asan_cycles (profile_exn asan_r.Engine.native_profile);
+    valgrind = Costmodel.valgrind_cycles (profile_exn vg_r.Engine.native_profile);
+    valgrind_translation =
+      Costmodel.valgrind_translation_cycles
+        (profile_exn vg_r.Engine.native_profile);
+    sulong_interp_fns;
+    sulong_compiled_fns;
+    sulong_alloc =
+      Costmodel.sulong_alloc_cycles
+        ~allocs:interp_profile.Interp.p_allocs
+        ~bytes:interp_profile.Interp.p_alloc_bytes;
+    static_sizes;
+    sulong_module_instrs = Irmod.instr_count compiled_m;
+  }
+
+let measure_bench (b : Benchprogs.bench) : measurement =
+  measure ~name:b.Benchprogs.b_name b.Benchprogs.b_source
+
+(* ------------------------------------------------------------------ *)
+(* Peak performance (Fig. 16)                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Safe Sulong steady-state cycles per iteration (everything hot). *)
+let sulong_peak_cycles (ms : measurement) : float =
+  List.fold_left (fun acc (_, c) -> acc +. c) ms.sulong_alloc
+    ms.sulong_compiled_fns
+
+type peak_row = {
+  pk_bench : string;
+  pk_clang_o0 : Stats.boxplot;
+  pk_clang_o3 : Stats.boxplot;
+  pk_asan : Stats.boxplot;
+  pk_sulong : Stats.boxplot;
+  pk_valgrind_slowdown : float;  (** vs Clang -O0 median, text-reported *)
+}
+
+(** Sample [runs] "executions" with small deterministic run-to-run noise
+    (the paper takes the last in-process iteration of each of 10 runs)
+    and report box plots relative to the Clang -O0 median. *)
+let peak ?(runs = 10) ?(noise = 0.02) ~(rng : Prng.t) (ms : measurement) :
+    peak_row =
+  let sample base =
+    List.init runs (fun _ -> base *. (1.0 +. Prng.gaussian rng ~mu:0.0 ~sigma:noise))
+  in
+  let o0_samples = sample ms.clang_o0 in
+  let denom = Stats.median o0_samples in
+  let rel base = Stats.boxplot_relative (Stats.boxplot (sample base)) ~denom in
+  {
+    pk_bench = ms.ms_name;
+    pk_clang_o0 = Stats.boxplot_relative (Stats.boxplot o0_samples) ~denom;
+    pk_clang_o3 = rel ms.clang_o3;
+    pk_asan = rel ms.asan;
+    pk_sulong = rel (sulong_peak_cycles ms);
+    pk_valgrind_slowdown = ms.valgrind /. denom;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Warm-up (Fig. 15)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type warmup_series = {
+  ws_tool : string;
+  ws_points : (int * int) list;  (** (second, iterations completed) *)
+}
+
+type warmup_result = {
+  wr_series : warmup_series list;
+  wr_compiles : (float * string) list;  (** (completion time s, function) *)
+  wr_first_iteration_s : float;
+}
+
+let bucketize ~duration_s (completion_times : float list) : (int * int) list =
+  let buckets = Array.make duration_s 0 in
+  List.iter
+    (fun t ->
+      let b = int_of_float t in
+      if b >= 0 && b < duration_s then buckets.(b) <- buckets.(b) + 1)
+    completion_times;
+  Array.to_list (Array.mapi (fun i n -> (i, n)) buckets)
+
+(** Simulate [duration_s] seconds of repeated benchmark iterations for
+    Safe Sulong's tiered execution and the flat-rate tools. *)
+let warmup ?(duration_s = 30) (ms : measurement) : warmup_result =
+  (* --- Safe Sulong --- *)
+  let startup =
+    Costmodel.jvm_init_s
+    +. (float_of_int ms.sulong_module_instrs *. Costmodel.sulong_parse_s_per_instr)
+  in
+  let compiled = Hashtbl.create 16 in
+  (* available_at seconds once compiled *)
+  let cum_ops = Hashtbl.create 16 in
+  let queued = Hashtbl.create 16 in
+  let compiler_free_at = ref 0.0 in
+  let compiles = ref [] in
+  let static_size f =
+    Option.value (List.assoc_opt f ms.static_sizes) ~default:50
+  in
+  let compiled_cycles f =
+    Option.value (List.assoc_opt f ms.sulong_compiled_fns) ~default:0.0
+  in
+  let t = ref startup in
+  let completions = ref [] in
+  let duration = float_of_int duration_s in
+  while !t < duration do
+    (* one iteration at the current tier states *)
+    let iteration_cycles =
+      List.fold_left
+        (fun acc (f, interp_c, _) ->
+          match Hashtbl.find_opt compiled f with
+          | Some available_at when available_at <= !t ->
+            acc +. compiled_cycles f
+          | _ -> acc +. interp_c)
+        ms.sulong_alloc ms.sulong_interp_fns
+    in
+    t := !t +. Costmodel.seconds iteration_cycles;
+    if !t < duration then completions := !t :: !completions;
+    (* hotness accounting and compile queue *)
+    List.iter
+      (fun (f, _, ops) ->
+        let already_compiled =
+          match Hashtbl.find_opt compiled f with
+          | Some avail -> avail <= !t
+          | None -> false
+        in
+        if (not already_compiled) && not (Hashtbl.mem queued f) then begin
+          let total = ops + Option.value (Hashtbl.find_opt cum_ops f) ~default:0 in
+          Hashtbl.replace cum_ops f total;
+          if total >= Costmodel.hot_threshold_ops then begin
+            Hashtbl.replace queued f ();
+            let start = Float.max !t !compiler_free_at in
+            let compile_s =
+              Costmodel.seconds
+                (Costmodel.compile_cycles_base
+                +. (float_of_int (static_size f) *. Costmodel.compile_cycles_per_instr))
+            in
+            let finish = start +. compile_s in
+            compiler_free_at := finish;
+            Hashtbl.replace compiled f finish;
+            compiles := (finish, f) :: !compiles
+          end
+        end)
+      ms.sulong_interp_fns
+  done;
+  let sulong_completions = List.rev !completions in
+  let first_iteration_s =
+    match sulong_completions with t :: _ -> t | [] -> infinity
+  in
+  (* --- flat-rate tools --- *)
+  let flat ~startup_s ~first_extra_cycles ~iter_cycles =
+    let rec go t acc first =
+      if t >= duration then List.rev acc
+      else begin
+        let cycles = if first then iter_cycles +. first_extra_cycles else iter_cycles in
+        let t' = t +. Costmodel.seconds cycles in
+        if t' >= duration then List.rev acc else go t' (t' :: acc) false
+      end
+    in
+    go startup_s [] true
+  in
+  let asan_completions =
+    flat ~startup_s:Costmodel.asan_startup_s ~first_extra_cycles:0.0
+      ~iter_cycles:ms.asan
+  in
+  let vg_completions =
+    flat ~startup_s:Costmodel.valgrind_startup_s
+      ~first_extra_cycles:ms.valgrind_translation ~iter_cycles:ms.valgrind
+  in
+  {
+    wr_series =
+      [
+        { ws_tool = "ASan"; ws_points = bucketize ~duration_s asan_completions };
+        {
+          ws_tool = "Valgrind";
+          ws_points = bucketize ~duration_s vg_completions;
+        };
+        {
+          ws_tool = "Safe Sulong";
+          ws_points = bucketize ~duration_s sulong_completions;
+        };
+      ];
+    wr_compiles = List.rev !compiles;
+    wr_first_iteration_s = first_iteration_s;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Start-up (paper §4.2)                                               *)
+(* ------------------------------------------------------------------ *)
+
+type startup_row = { su_tool : string; su_ms : float }
+
+(** Start-up cost on hello world: time from process start to program
+    exit, per tool. *)
+let startup (ms : measurement) : startup_row list =
+  let sulong_exec =
+    List.fold_left (fun acc (_, c, _) -> acc +. c) ms.sulong_alloc
+      ms.sulong_interp_fns
+  in
+  [
+    {
+      su_tool = "Safe Sulong";
+      su_ms =
+        1000.0
+        *. (Costmodel.jvm_init_s
+           +. (float_of_int ms.sulong_module_instrs
+              *. Costmodel.sulong_parse_s_per_instr)
+           +. Costmodel.seconds sulong_exec);
+    };
+    {
+      su_tool = "Valgrind";
+      su_ms =
+        1000.0
+        *. (Costmodel.valgrind_startup_s
+           +. Costmodel.seconds (ms.valgrind +. ms.valgrind_translation));
+    };
+    {
+      su_tool = "ASan";
+      su_ms = 1000.0 *. (Costmodel.asan_startup_s +. Costmodel.seconds ms.asan);
+    };
+    {
+      su_tool = "Clang -O0";
+      su_ms =
+        1000.0 *. (Costmodel.native_startup_s +. Costmodel.seconds ms.clang_o0);
+    };
+  ]

@@ -1,0 +1,1 @@
+lib/managed/merror.mli:

@@ -1,0 +1,1 @@
+lib/managed/mheap.ml: Hashtbl Irtype List Merror Mobject Option

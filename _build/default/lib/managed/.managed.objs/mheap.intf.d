@@ -1,0 +1,1 @@
+lib/managed/mheap.mli: Hashtbl Irtype Mobject

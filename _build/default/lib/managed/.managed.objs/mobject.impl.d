@@ -1,0 +1,1 @@
+lib/managed/mobject.ml: Buffer Bytes Char Hashtbl Int32 Int64 Irtype List Merror Printf String

@@ -1,0 +1,1 @@
+lib/managed/mobject.mli: Bytes Hashtbl Irtype Merror

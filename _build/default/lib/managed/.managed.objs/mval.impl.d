@@ -1,0 +1,1 @@
+lib/managed/mval.ml: Int64 Merror Mobject Printf

@@ -1,0 +1,73 @@
+(** The error taxonomy Safe Sulong reports (paper §1, §3.4): out-of-bounds
+    accesses, use-after-free, double free, invalid free, NULL dereference,
+    and accesses to non-existent variadic arguments.  [Type_violation] is
+    the dynamic analogue of Java's ClassCastException for accesses our
+    relaxed type rules still refuse (e.g. forging a pointer from bytes and
+    dereferencing it). *)
+
+type storage = Stack | Heap | Global | MainArgs | Vararg
+
+let storage_name = function
+  | Stack -> "automatic"
+  | Heap -> "heap"
+  | Global -> "static"
+  | MainArgs -> "main-arguments"
+  | Vararg -> "variadic-argument"
+
+type access = Read | Write
+
+let access_name = function Read -> "read" | Write -> "write"
+
+type category =
+  | Out_of_bounds of {
+      access : access;
+      offset : int;      (** byte offset of the attempted access *)
+      size : int;        (** bytes accessed *)
+      obj_size : int;
+      storage : storage;
+    }
+  | Use_after_free
+  | Double_free
+  | Invalid_free of string
+  | Null_deref
+  | Varargs_error of string
+  | Type_violation of string
+  | Division_by_zero
+  | Stack_overflow_guard  (** interpreter recursion limit *)
+  | Uninitialized_read of { offset : int; size : int; storage : storage }
+      (** opt-in (paper §6 future work): reading memory never written *)
+
+exception Error of category * string
+
+let category_name = function
+  | Out_of_bounds _ -> "out-of-bounds"
+  | Use_after_free -> "use-after-free"
+  | Double_free -> "double-free"
+  | Invalid_free _ -> "invalid-free"
+  | Null_deref -> "null-dereference"
+  | Varargs_error _ -> "varargs"
+  | Type_violation _ -> "type-violation"
+  | Division_by_zero -> "division-by-zero"
+  | Stack_overflow_guard -> "stack-overflow"
+  | Uninitialized_read _ -> "uninitialized-read"
+
+let describe = function
+  | Out_of_bounds { access; offset; size; obj_size; storage } ->
+    Printf.sprintf
+      "illegal %s of %d byte(s) at offset %d of a %d-byte %s object"
+      (access_name access) size offset obj_size (storage_name storage)
+  | Use_after_free -> "access to a freed heap object"
+  | Double_free -> "free() called twice on the same heap object"
+  | Invalid_free reason -> "invalid free: " ^ reason
+  | Null_deref -> "NULL pointer dereference"
+  | Varargs_error reason -> "variadic-argument error: " ^ reason
+  | Type_violation reason -> "type violation: " ^ reason
+  | Division_by_zero -> "integer division by zero"
+  | Stack_overflow_guard -> "interpreter stack limit exceeded"
+  | Uninitialized_read { offset; size; storage } ->
+    Printf.sprintf
+      "read of %d uninitialized byte(s) at offset %d of a %s object" size
+      offset (storage_name storage)
+
+let raise_error category context =
+  raise (Error (category, describe category ^ " (" ^ context ^ ")"))

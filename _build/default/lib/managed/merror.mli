@@ -1,0 +1,44 @@
+(** The error taxonomy Safe Sulong reports (paper §1, §3.4). *)
+
+type storage = Stack | Heap | Global | MainArgs | Vararg
+
+val storage_name : storage -> string
+
+type access = Read | Write
+
+val access_name : access -> string
+
+type category =
+  | Out_of_bounds of {
+      access : access;
+      offset : int;      (** byte offset of the attempted access *)
+      size : int;        (** bytes accessed *)
+      obj_size : int;
+      storage : storage;
+    }
+  | Use_after_free
+  | Double_free
+  | Invalid_free of string
+  | Null_deref
+  | Varargs_error of string
+  | Type_violation of string
+      (** the dynamic analogue of Java's ClassCastException under the
+          relaxed type rules *)
+  | Division_by_zero
+  | Stack_overflow_guard  (** interpreter recursion limit *)
+  | Uninitialized_read of { offset : int; size : int; storage : storage }
+      (** opt-in (paper §6 future work): reading memory never written *)
+
+(** Raised by every failed managed check; carries the category and a
+    formatted message. *)
+exception Error of category * string
+
+(** Stable, kebab-case category name used in reports and tests. *)
+val category_name : category -> string
+
+(** Human-readable one-line description. *)
+val describe : category -> string
+
+(** [raise_error category context] raises [Error] with [describe
+    category] plus the context string. *)
+val raise_error : category -> string -> 'a

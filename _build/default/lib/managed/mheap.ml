@@ -1,0 +1,74 @@
+(** The managed heap: checked [malloc]/[calloc]/[realloc]/[free] plus
+    allocation mementos (paper §3.3): the element type observed at the
+    first typed access of a heap object is propagated back to its
+    allocation site, so subsequent allocations from the same site are
+    typed immediately.  With the byte-backed representation the memento
+    does not change checking behaviour — it determines the reported class
+    name and is the subject of an ablation benchmark. *)
+
+type t = {
+  site_types : (int, Irtype.scalar) Hashtbl.t;
+  site_names : (int, string) Hashtbl.t;  (** site id -> function name *)
+  mutable live : Mobject.t list;
+  mutable alloc_count : int;
+  mutable alloc_bytes : int;
+  mementos_enabled : bool;
+}
+
+let create ?(mementos = true) () =
+  {
+    site_types = Hashtbl.create 32;
+    site_names = Hashtbl.create 32;
+    live = [];
+    alloc_count = 0;
+    alloc_bytes = 0;
+    mementos_enabled = mementos;
+  }
+
+let untyped_mty size = Irtype.MArray (Irtype.MScalar Irtype.I8, size)
+
+let name_site heap ~site name = Hashtbl.replace heap.site_names site name
+
+let site_name heap site =
+  Option.value (Hashtbl.find_opt heap.site_names site) ~default:"?"
+
+let malloc heap ~site size : Mobject.t =
+  let mty =
+    match
+      if heap.mementos_enabled then Hashtbl.find_opt heap.site_types site
+      else None
+    with
+    | Some scalar ->
+      let esz = Irtype.scalar_size scalar in
+      Irtype.MArray (Irtype.MScalar scalar, max 1 (size / max esz 1))
+    | None -> untyped_mty size
+  in
+  let obj = Mobject.alloc ~site ~storage:Merror.Heap ~mty size in
+  heap.alloc_count <- heap.alloc_count + 1;
+  heap.alloc_bytes <- heap.alloc_bytes + size;
+  heap.live <- obj :: heap.live;
+  obj
+
+(** Record the scalar kind observed at the first access of [obj]; the
+    next allocation from the same site starts out typed. *)
+let observe heap (obj : Mobject.t) (scalar : Irtype.scalar) =
+  if heap.mementos_enabled && obj.Mobject.site >= 0 then
+    if not (Hashtbl.mem heap.site_types obj.Mobject.site) then
+      Hashtbl.replace heap.site_types obj.Mobject.site scalar
+
+let free heap (p : Mobject.ptr) context =
+  match p with
+  | Mobject.Pnull -> () (* free(NULL) is a no-op per the standard *)
+  | Mobject.Pobj a -> Mobject.free_addr a context
+  | Mobject.Pfunc _ ->
+    ignore heap;
+    Merror.raise_error (Merror.Invalid_free "function pointer passed to free()")
+      context
+  | Mobject.Pinvalid _ ->
+    Merror.raise_error (Merror.Invalid_free "unrecognized pointer passed to free()")
+      context
+
+(** Heap objects never freed (paper §6: memory-leak detection as an
+    extension — here implemented eagerly at exit). *)
+let leaked heap =
+  List.filter (fun obj -> not (Mobject.is_freed obj)) heap.live

@@ -1,0 +1,33 @@
+(** The managed heap: checked allocation plus allocation mementos
+    (paper §3.3) and leak tracking (paper §6 extension). *)
+
+type t = {
+  site_types : (int, Irtype.scalar) Hashtbl.t;
+  site_names : (int, string) Hashtbl.t;
+  mutable live : Mobject.t list;
+  mutable alloc_count : int;
+  mutable alloc_bytes : int;
+  mementos_enabled : bool;
+}
+
+val create : ?mementos:bool -> unit -> t
+
+(** Record a readable name for an allocation site (leak reports). *)
+val name_site : t -> site:int -> string -> unit
+
+val site_name : t -> int -> string
+
+(** Allocate a heap object; its reported type comes from the site's
+    memento when one was observed. *)
+val malloc : t -> site:int -> int -> Mobject.t
+
+(** Record the scalar kind observed at the first typed access of [obj];
+    later allocations from the same site start out typed. *)
+val observe : t -> Mobject.t -> Irtype.scalar -> unit
+
+(** Checked [free]: no-op on NULL; [Merror.Error] on invalid/double
+    frees. *)
+val free : t -> Mobject.ptr -> string -> unit
+
+(** Heap objects never freed. *)
+val leaked : t -> Mobject.t list

@@ -1,0 +1,37 @@
+(** Values held in interpreter registers: a normalized 64-bit integer
+    (covering i1..i64), a float (f32 values are stored rounded), or a
+    pointer. *)
+
+type t =
+  | Vint of int64
+  | Vfloat of float
+  | Vptr of Mobject.ptr
+
+let zero = Vint 0L
+let vnull = Vptr Mobject.Pnull
+
+let as_int = function
+  | Vint v -> v
+  | Vfloat _ -> invalid_arg "Mval.as_int: float"
+  | Vptr p -> Mobject.ptr_to_int p
+
+let as_float = function
+  | Vfloat f -> f
+  | Vint v -> Int64.to_float v
+  | Vptr _ -> invalid_arg "Mval.as_float: pointer"
+
+let as_ptr context = function
+  | Vptr p -> p
+  | Vint 0L -> Mobject.Pnull
+  | Vint v -> Mobject.int_to_ptr v
+  | Vfloat _ ->
+    Merror.raise_error (Merror.Type_violation "float used as pointer") context
+
+let to_string = function
+  | Vint v -> Int64.to_string v
+  | Vfloat f -> string_of_float f
+  | Vptr Mobject.Pnull -> "null"
+  | Vptr (Mobject.Pobj a) ->
+    Printf.sprintf "&obj%d+%d" a.Mobject.obj.Mobject.id a.Mobject.moff
+  | Vptr (Mobject.Pfunc f) -> "&" ^ f
+  | Vptr (Mobject.Pinvalid c) -> Printf.sprintf "invalid(0x%Lx)" c

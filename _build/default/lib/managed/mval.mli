@@ -1,0 +1,20 @@
+(** Values held in interpreter registers. *)
+
+type t =
+  | Vint of int64   (** normalized to its scalar width, sign-extended *)
+  | Vfloat of float
+  | Vptr of Mobject.ptr
+
+val zero : t
+val vnull : t
+
+(** Integer view; pointers convert through their cookie. *)
+val as_int : t -> int64
+
+val as_float : t -> float
+
+(** Pointer view; integers resolve through [Mobject.int_to_ptr].  The
+    string is the error context when a float is used as a pointer. *)
+val as_ptr : string -> t -> Mobject.ptr
+
+val to_string : t -> string

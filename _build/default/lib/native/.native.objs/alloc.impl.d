@@ -1,0 +1,1 @@
+lib/native/alloc.ml: Int64 List Mem Util

@@ -1,0 +1,1 @@
+lib/native/hooks.ml: Format Instr

@@ -1,0 +1,1 @@
+lib/native/mem.ml: Buffer Bytes Char Int32 Int64 String Util

@@ -1,0 +1,1 @@
+lib/native/nexec.ml: Alloc Array Buffer Hashtbl Hooks Instr Int32 Int64 Irfunc Irmod Irtype Lazy List Mem Nlibc Nvalue String

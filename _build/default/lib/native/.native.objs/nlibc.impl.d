@@ -1,0 +1,1 @@
+lib/native/nlibc.ml: Alloc Buffer Bytes Char Float Hooks Int64 List Mem Nvalue Printf String

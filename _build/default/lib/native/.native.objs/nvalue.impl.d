@@ -1,0 +1,1 @@
+lib/native/nvalue.ml: Int64

@@ -1,0 +1,83 @@
+(** A first-fit free-list malloc on the flat memory.  Like a production
+    allocator it keeps a 16-byte header in front of every block — which
+    is precisely why a native double free or invalid free corrupts the
+    allocator state silently instead of failing cleanly. *)
+
+let header_size = 16
+let magic_live = 0x11AABBCC_11AABBCCL
+let magic_free = 0x22DDEEFF_22DDEEFFL
+
+type t = {
+  mem : Mem.t;
+  mutable free_list : int64 list;  (** addresses of freed block headers *)
+  mutable live_blocks : int;
+  mutable total_allocated : int;
+}
+
+let create mem = { mem; free_list = []; live_blocks = 0; total_allocated = 0 }
+
+let block_size t header = Int64.to_int (Mem.load_int t.mem header ~size:8)
+
+let malloc t (size : int) : int64 =
+  let size = max size 1 in
+  let rounded = Util.align_up size 16 in
+  (* First fit in the free list. *)
+  let rec find acc = function
+    | [] -> None
+    | h :: rest ->
+      if block_size t h >= rounded then begin
+        t.free_list <- List.rev_append acc rest;
+        Some h
+      end
+      else find (h :: acc) rest
+  in
+  let header =
+    match find [] t.free_list with
+    | Some h -> h
+    | None ->
+      let h = t.mem.Mem.brk in
+      let next = h + header_size + rounded in
+      if next > Mem.heap_limit then raise (Mem.Segfault (Int64.of_int h));
+      t.mem.Mem.brk <- next;
+      let h64 = Int64.of_int h in
+      Mem.store_int t.mem h64 ~size:8 (Int64.of_int rounded);
+      h64
+  in
+  Mem.store_int t.mem (Int64.add header 8L) ~size:8 magic_live;
+  t.live_blocks <- t.live_blocks + 1;
+  t.total_allocated <- t.total_allocated + rounded;
+  Int64.add header (Int64.of_int header_size)
+
+(** Native free: no checks whatsoever.  Freeing a stack pointer or
+    freeing twice corrupts the free list — undefined behaviour, faithfully
+    reproduced.  Returns the block's payload size when the header looked
+    sane (used by the sanitizer wrappers). *)
+let free t (p : int64) : int option =
+  if p = 0L then None
+  else begin
+    let header = Int64.sub p (Int64.of_int header_size) in
+    let size =
+      try Some (block_size t header) with Mem.Segfault _ -> None
+    in
+    (try Mem.store_int t.mem (Int64.add header 8L) ~size:8 magic_free
+     with Mem.Segfault _ -> ());
+    t.free_list <- header :: t.free_list;
+    t.live_blocks <- t.live_blocks - 1;
+    size
+  end
+
+(** Is [p] the start of a live heap block?  (Used only by the *sanitizer*
+    wrappers — the native allocator itself never checks.) *)
+let block_status t (p : int64) : [ `Live of int | `Freed of int | `Unknown ] =
+  let header = Int64.sub p (Int64.of_int header_size) in
+  if Int64.to_int header < Mem.heap_base || Int64.to_int header >= t.mem.Mem.brk
+  then `Unknown
+  else begin
+    try
+      let size = block_size t header in
+      let magic = Mem.load_int t.mem (Int64.add header 8L) ~size:8 in
+      if magic = magic_live then `Live size
+      else if magic = magic_free then `Freed size
+      else `Unknown
+    with Mem.Segfault _ -> `Unknown
+  end

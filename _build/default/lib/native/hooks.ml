@@ -1,0 +1,75 @@
+(** Engine hook points.  The plain native engine uses [default]; the
+    sanitizer simulators (lib/sanitizers) install closures here.  This
+    mirrors how the real tools attach to a native process: ASan through
+    compile-time-inserted checks ([on_sancheck]) plus intercepted
+    allocation and libc entry points; Valgrind/Memcheck through dynamic
+    per-access instrumentation ([on_load]/[on_store]) plus its own
+    allocator wrappers. *)
+
+type report = { tool : string; kind : string; message : string }
+
+exception Sanitizer_report of report
+
+type t = {
+  tool_name : string;
+  (* Binary instrumentation sees *all* code, including the precompiled
+     libc (Valgrind); compile-time instrumentation does not (ASan).  When
+     true, the native libc routes its own memory accesses through
+     [on_load]/[on_store], and string functions run in their "replaced"
+     byte-wise form (Valgrind redirects word-wise strlen and friends). *)
+  mutable sees_libc : bool;
+  (* Compile-time-inserted checks (ASan): run for Sancheck instructions. *)
+  mutable on_sancheck : Instr.access_kind -> int64 -> int -> unit;
+  (* Dynamic instrumentation (Memcheck): run on *every* access.  The
+     store hook receives the stored value's definedness (V-bits). *)
+  mutable on_load : int64 -> int -> unit;
+  mutable on_store : int64 -> int -> bool -> unit;
+  (* Notification that a global was laid out at [addr, addr+size);
+     [zero_init] distinguishes tentative/zero-initialized globals, which
+     ASan only instruments under -fno-common. *)
+  mutable on_global : int64 -> int -> zero_init:bool -> unit;
+  (* Allocator wrappers.  [None] means: use the plain native allocator. *)
+  mutable malloc : (int -> int64) option;
+  mutable free : (int64 -> unit) option;
+  (* Usable payload size of a block the tool's allocator handed out (the
+     tool wraps realloc and knows exact sizes; the plain allocator falls
+     back to its header). *)
+  mutable usable_size : int64 -> int option;
+  (* Stack frames: padding inserted around every alloca, and
+     notifications to poison/unpoison. *)
+  mutable alloca_padding : int;
+  mutable on_alloca : int64 -> int -> unit;
+  mutable on_frame_exit : lo:int64 -> hi:int64 -> unit;
+  (* Value definedness (Memcheck V-bits): whether a load yields defined
+     data, and the report when undefined data decides a branch or
+     reaches output. *)
+  mutable load_defined : int64 -> int -> bool;
+  mutable on_undef_use : string -> unit;
+  (* Libc interception: if the tool intercepts [name], it validates
+     pointer arguments before the native implementation runs. *)
+  mutable intercept : string -> int64 list -> unit;
+}
+
+let default ~tool_name : t =
+  {
+    tool_name;
+    sees_libc = false;
+    on_sancheck = (fun _ _ _ -> ());
+    on_load = (fun _ _ -> ());
+    on_store = (fun _ _ _ -> ());
+    on_global = (fun _ _ ~zero_init:_ -> ());
+    malloc = None;
+    free = None;
+    usable_size = (fun _ -> None);
+    alloca_padding = 0;
+    on_alloca = (fun _ _ -> ());
+    on_frame_exit = (fun ~lo:_ ~hi:_ -> ());
+    load_defined = (fun _ _ -> true);
+    on_undef_use = (fun _ -> ());
+    intercept = (fun _ _ -> ());
+  }
+
+let report ~tool ~kind fmt =
+  Format.kasprintf
+    (fun message -> raise (Sanitizer_report { tool; kind; message }))
+    fmt

@@ -1,0 +1,620 @@
+(** The native IR executor: runs compiled IR on the flat memory with C's
+    *undefined* error semantics.  Running it bare models "Clang -O0/-O3 +
+    run the binary"; running it with the ASan or Memcheck hooks installed
+    models the corresponding sanitizer.
+
+    The executor collects a coarse execution profile (dynamic operation
+    counts and libc call counts) that the JIT/perf cost model consumes. *)
+
+type profile = {
+  mutable n_ops : int;
+  mutable n_fp : int;
+  mutable n_mem : int;
+  mutable n_checks : int;  (** sanitizer checks executed *)
+  mutable n_calls : int;
+  mutable n_branches : int;
+  libc_calls : (string, int) Hashtbl.t;
+  mutable n_allocs : int;
+  mutable n_alloc_bytes : int;
+  mutable n_blocks_translated : int;  (** distinct basic blocks executed *)
+}
+
+let fresh_profile () =
+  {
+    n_ops = 0;
+    n_fp = 0;
+    n_mem = 0;
+    n_checks = 0;
+    n_calls = 0;
+    n_branches = 0;
+    libc_calls = Hashtbl.create 32;
+    n_allocs = 0;
+    n_alloc_bytes = 0;
+    n_blocks_translated = 0;
+  }
+
+exception Step_limit_exceeded
+
+type pblock = {
+  pb_label : string;
+  pb_instrs : Instr.instr array;
+  pb_term : Instr.terminator;
+  mutable pb_seen : bool;  (** for the translation-count profile *)
+}
+
+type pfunc = {
+  pf_ir : Irfunc.t;
+  pf_blocks : pblock array;
+  pf_index : (string, int) Hashtbl.t;
+  pf_nregs : int;
+}
+
+type state = {
+  m : Irmod.t;
+  mem : Mem.t;
+  alloc : Alloc.t;
+  hooks : Hooks.t;
+  funcs : (string, pfunc) Hashtbl.t;
+  globals : (string, int64) Hashtbl.t;
+  func_addrs : (string, int64) Hashtbl.t;
+  addr_funcs : (int64, string) Hashtbl.t;
+  libc : Nlibc.ctx;
+  mutable sp : int;
+  mutable steps : int;
+  step_limit : int;
+  mutable depth : int;
+  profile : profile;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Setup                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let prepare_func (f : Irfunc.t) : pfunc =
+  let blocks =
+    Array.of_list
+      (List.map
+         (fun (b : Irfunc.block) ->
+           {
+             pb_label = b.Irfunc.label;
+             pb_instrs = Array.of_list b.Irfunc.instrs;
+             pb_term = b.Irfunc.term;
+             pb_seen = false;
+           })
+         f.Irfunc.blocks)
+  in
+  let index = Hashtbl.create (Array.length blocks) in
+  Array.iteri (fun i b -> Hashtbl.replace index b.pb_label i) blocks;
+  { pf_ir = f; pf_blocks = blocks; pf_index = index; pf_nregs = f.Irfunc.next_reg }
+
+let func_addr st name =
+  match Hashtbl.find_opt st.func_addrs name with
+  | Some a -> a
+  | None ->
+    let a = Int64.of_int (Mem.func_base + (16 * Hashtbl.length st.func_addrs)) in
+    Hashtbl.replace st.func_addrs name a;
+    Hashtbl.replace st.addr_funcs a name;
+    a
+
+let rec write_ginit st (gty : Irtype.mty) (addr : int64) (init : Irmod.ginit) =
+  match (init, gty) with
+  | Irmod.Gzero, _ -> ()
+  | Irmod.Gint v, Irtype.MScalar s ->
+    if Irtype.is_float_scalar s then
+      Mem.store_float st.mem addr ~size:(Irtype.scalar_size s) (Int64.to_float v)
+    else Mem.store_int st.mem addr ~size:(Irtype.scalar_size s) v
+  | Irmod.Gint v, _ -> Mem.store_int st.mem addr ~size:8 v
+  | Irmod.Gfloat f, Irtype.MScalar s ->
+    Mem.store_float st.mem addr ~size:(Irtype.scalar_size s) f
+  | Irmod.Gfloat f, _ -> Mem.store_float st.mem addr ~size:8 f
+  | Irmod.Gstring s, _ -> Mem.write_string st.mem addr s
+  | Irmod.Garray items, Irtype.MArray (elem, _) ->
+    let esize = Irtype.mty_size elem in
+    List.iteri
+      (fun i item ->
+        write_ginit st elem (Int64.add addr (Int64.of_int (i * esize))) item)
+      items
+  | Irmod.Gstruct_init items, Irtype.MStruct s ->
+    List.iteri
+      (fun i item ->
+        if i < List.length s.Irtype.s_fields then begin
+          let f = List.nth s.Irtype.s_fields i in
+          write_ginit st f.Irtype.mf_ty
+            (Int64.add addr (Int64.of_int f.Irtype.mf_off))
+            item
+        end)
+      items
+  | Irmod.Gglobal_addr name, _ ->
+    Mem.store_int st.mem addr ~size:8 (Hashtbl.find st.globals name)
+  | Irmod.Gfunc_addr name, _ ->
+    Mem.store_int st.mem addr ~size:8 (func_addr st name)
+  | (Irmod.Garray _ | Irmod.Gstruct_init _), _ ->
+    failwith "nexec: malformed global initializer"
+
+(** Lay out globals; [global_gap] is the engine's redzone spacing (0 for
+    plain native, 32 under ASan with -fno-common). *)
+let layout_globals st ~global_gap =
+  List.iter
+    (fun (g : Irmod.global) ->
+      let size = Irtype.mty_size g.Irmod.g_ty in
+      let align = Irtype.mty_align g.Irmod.g_ty in
+      let addr = Mem.alloc_global st.mem ~size ~align ~gap:global_gap in
+      Hashtbl.replace st.globals g.Irmod.g_name addr;
+      st.hooks.Hooks.on_global addr size
+        ~zero_init:(g.Irmod.g_init = Irmod.Gzero))
+    st.m.Irmod.globals;
+  List.iter
+    (fun (g : Irmod.global) ->
+      write_ginit st g.Irmod.g_ty (Hashtbl.find st.globals g.Irmod.g_name)
+        g.Irmod.g_init)
+    st.m.Irmod.globals
+
+(** Set up argv/envp above the stack, as the kernel would, before any
+    instrumented code runs: argv[argc] = NULL, and the envp array follows
+    argv directly, so reading argv[argc+1+k] yields environment-variable
+    pointers (the secret-leak scenario of paper case study 1). *)
+let setup_argv st (argv : string list) (envp : string list) : int64 * int64 =
+  let all = argv @ envp in
+  let string_addrs =
+    List.map
+      (fun s ->
+        let a = Mem.alloc_argv_area st.mem ~size:(String.length s + 1) in
+        Mem.write_string st.mem a (s ^ "\000");
+        a)
+      all
+  in
+  let argc = List.length argv in
+  let total_ptrs = argc + 1 + List.length envp + 1 in
+  let arr = Mem.alloc_argv_area st.mem ~size:(total_ptrs * 8) in
+  let rec place i addrs k =
+    match addrs with
+    | [] -> ()
+    | a :: rest ->
+      (* argv entries, then NULL, then envp entries, then NULL *)
+      let slot = if k < argc then k else k + 1 in
+      Mem.store_int st.mem (Int64.add arr (Int64.of_int (slot * 8))) ~size:8 a;
+      place i rest (k + 1)
+  in
+  place 0 string_addrs 0;
+  (Int64.of_int argc, arr)
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+open Nvalue
+
+let eval_value st (regs : Nvalue.t array) (v : Instr.value) : Nvalue.t =
+  match v with
+  | Instr.Reg r -> regs.(r)
+  | Instr.ImmInt (x, s) -> NI (Irtype.normalize_int s x, true)
+  | Instr.ImmFloat (f, _) -> NF (f, true)
+  | Instr.Null -> NI (0L, true)
+  | Instr.GlobalAddr name -> NI (Hashtbl.find st.globals name, true)
+  | Instr.FuncAddr name -> NI (func_addr st name, true)
+
+let exec_binop (op : Instr.binop) (s : Irtype.scalar) (a : Nvalue.t)
+    (b : Nvalue.t) : Nvalue.t =
+  let d = defined a && defined b in
+  match op with
+  | Instr.FAdd -> NF (as_float a +. as_float b, d)
+  | Instr.FSub -> NF (as_float a -. as_float b, d)
+  | Instr.FMul -> NF (as_float a *. as_float b, d)
+  | Instr.FDiv -> NF (as_float a /. as_float b, d)
+  | _ ->
+    let x = as_int a and y = as_int b in
+    let div_check () = if y = 0L then raise (Native_trap "SIGFPE") in
+    let r =
+      match op with
+      | Instr.Add -> Int64.add x y
+      | Instr.Sub -> Int64.sub x y
+      | Instr.Mul -> Int64.mul x y
+      | Instr.Sdiv ->
+        div_check ();
+        Int64.div x y
+      | Instr.Udiv ->
+        div_check ();
+        Int64.unsigned_div (Irtype.unsigned_of s x) (Irtype.unsigned_of s y)
+      | Instr.Srem ->
+        div_check ();
+        Int64.rem x y
+      | Instr.Urem ->
+        div_check ();
+        Int64.unsigned_rem (Irtype.unsigned_of s x) (Irtype.unsigned_of s y)
+      | Instr.Shl -> Int64.shift_left x (Int64.to_int y land 63)
+      | Instr.Lshr ->
+        Int64.shift_right_logical (Irtype.unsigned_of s x) (Int64.to_int y land 63)
+      | Instr.Ashr -> Int64.shift_right x (Int64.to_int y land 63)
+      | Instr.And -> Int64.logand x y
+      | Instr.Or -> Int64.logor x y
+      | Instr.Xor -> Int64.logxor x y
+      | Instr.FAdd | Instr.FSub | Instr.FMul | Instr.FDiv -> assert false
+    in
+    NI (Irtype.normalize_int s r, d)
+
+let exec_icmp (op : Instr.icmp) (s : Irtype.scalar) (a : Nvalue.t) (b : Nvalue.t)
+    : Nvalue.t =
+  let d = defined a && defined b in
+  let x = as_int a and y = as_int b in
+  let r =
+    match op with
+    | Instr.Ieq -> x = y
+    | Instr.Ine -> x <> y
+    | Instr.Islt -> x < y
+    | Instr.Isle -> x <= y
+    | Instr.Isgt -> x > y
+    | Instr.Isge -> x >= y
+    | Instr.Iult ->
+      Int64.unsigned_compare (Irtype.unsigned_of s x) (Irtype.unsigned_of s y) < 0
+    | Instr.Iule ->
+      Int64.unsigned_compare (Irtype.unsigned_of s x) (Irtype.unsigned_of s y) <= 0
+    | Instr.Iugt ->
+      Int64.unsigned_compare (Irtype.unsigned_of s x) (Irtype.unsigned_of s y) > 0
+    | Instr.Iuge ->
+      Int64.unsigned_compare (Irtype.unsigned_of s x) (Irtype.unsigned_of s y) >= 0
+  in
+  NI ((if r then 1L else 0L), d)
+
+let exec_fcmp (op : Instr.fcmp) (a : Nvalue.t) (b : Nvalue.t) : Nvalue.t =
+  let d = defined a && defined b in
+  let x = as_float a and y = as_float b in
+  let r =
+    match op with
+    | Instr.Feq -> x = y
+    | Instr.Fne -> x <> y
+    | Instr.Flt -> x < y
+    | Instr.Fle -> x <= y
+    | Instr.Fgt -> x > y
+    | Instr.Fge -> x >= y
+  in
+  NI ((if r then 1L else 0L), d)
+
+let exec_cast (op : Instr.cast) (from : Irtype.scalar) (into : Irtype.scalar)
+    (v : Nvalue.t) : Nvalue.t =
+  let d = defined v in
+  match op with
+  | Instr.Trunc | Instr.Ptrtoint | Instr.Inttoptr ->
+    NI (Irtype.normalize_int into (as_int v), d)
+  | Instr.Zext -> NI (Irtype.normalize_int into (Irtype.unsigned_of from (as_int v)), d)
+  | Instr.Sext -> NI (Irtype.normalize_int into (as_int v), d)
+  | Instr.Fptrunc -> NF (Int32.float_of_bits (Int32.bits_of_float (as_float v)), d)
+  | Instr.Fpext -> NF (as_float v, d)
+  | Instr.Fptosi | Instr.Fptoui ->
+    NI (Irtype.normalize_int into (Int64.of_float (as_float v)), d)
+  | Instr.Sitofp -> NF (Int64.to_float (as_int v), d)
+  | Instr.Uitofp ->
+    let u = Irtype.unsigned_of from (as_int v) in
+    let f =
+      if u >= 0L then Int64.to_float u
+      else Int64.to_float u +. 18446744073709551616.0
+    in
+    NF (f, d)
+  | Instr.Bitcast -> begin
+    match (Irtype.is_float_scalar from, Irtype.is_float_scalar into) with
+    | true, false ->
+      let f = as_float v in
+      let bits =
+        if into = Irtype.I32 then Int64.of_int32 (Int32.bits_of_float f)
+        else Int64.bits_of_float f
+      in
+      NI (Irtype.normalize_int into bits, d)
+    | false, true ->
+      let bits = as_int v in
+      if into = Irtype.F32 then NF (Int32.float_of_bits (Int64.to_int32 bits), d)
+      else NF (Int64.float_of_bits bits, d)
+    | _ -> v
+  end
+
+type opclass = Cop | Cfp | Cmem | Ccheck
+
+let charge st (cls : opclass) =
+  st.steps <- st.steps + 1;
+  (match cls with
+  | Cmem -> st.profile.n_mem <- st.profile.n_mem + 1
+  | Cfp -> st.profile.n_fp <- st.profile.n_fp + 1
+  | Ccheck -> st.profile.n_checks <- st.profile.n_checks + 1
+  | Cop -> st.profile.n_ops <- st.profile.n_ops + 1);
+  if st.steps > st.step_limit then raise Step_limit_exceeded
+
+let rec call_function st (pf : pfunc) (args : Nvalue.t list) : Nvalue.t option =
+  st.depth <- st.depth + 1;
+  if st.depth > 8192 then raise (Mem.Segfault (Int64.of_int st.sp));
+  let saved_sp = st.sp in
+  let regs = Array.make (max pf.pf_nregs 1) Nvalue.zero in
+  List.iteri
+    (fun i (r, _) ->
+      if i < List.length args then regs.(r) <- List.nth args i)
+    pf.pf_ir.Irfunc.params;
+  let result = exec_block st pf regs 0 "" in
+  st.hooks.Hooks.on_frame_exit ~lo:(Int64.of_int st.sp)
+    ~hi:(Int64.of_int saved_sp);
+  st.sp <- saved_sp;
+  st.depth <- st.depth - 1;
+  result
+
+and exec_block st (pf : pfunc) (regs : Nvalue.t array) (block_idx : int)
+    (prev_label : string) : Nvalue.t option =
+  let blk = pf.pf_blocks.(block_idx) in
+  if not blk.pb_seen then begin
+    blk.pb_seen <- true;
+    st.profile.n_blocks_translated <- st.profile.n_blocks_translated + 1
+  end;
+  let n = Array.length blk.pb_instrs in
+  let ev v = eval_value st regs v in
+  let rec run i =
+    if i >= n then exec_term st pf regs blk prev_label
+    else begin
+      (match blk.pb_instrs.(i) with
+      | Instr.Alloca (r, mty) ->
+        charge st Cop;
+        let size = Irtype.mty_size mty in
+        let pad = st.hooks.Hooks.alloca_padding in
+        (* Natural alignment, like a compiler's frame layout: char arrays
+           pack byte-adjacent (no artificial gaps of "undefined" slack);
+           redzone padding (ASan) forces wider alignment. *)
+        let align = if pad > 0 then 16 else max (Irtype.mty_align mty) 1 in
+        st.sp <- (st.sp - (size + (2 * pad))) land lnot (align - 1);
+        if st.sp < Mem.stack_limit then
+          raise (Mem.Segfault (Int64.of_int st.sp));
+        let body = Int64.of_int (st.sp + pad) in
+        st.hooks.Hooks.on_alloca body size;
+        regs.(r) <- NI (body, true)
+      | Instr.Load (r, s, p) ->
+        charge st Cmem;
+        let addr = as_int (ev p) in
+        let size = Irtype.scalar_size s in
+        st.hooks.Hooks.on_load addr size;
+        let d = st.hooks.Hooks.load_defined addr size in
+        let v =
+          match s with
+          | Irtype.F32 | Irtype.F64 -> NF (Mem.load_float st.mem addr ~size, d)
+          | _ -> NI (Irtype.normalize_int s (Mem.load_int st.mem addr ~size), d)
+        in
+        regs.(r) <- v
+      | Instr.Store (s, v, p) ->
+        charge st Cmem;
+        let addr = as_int (ev p) in
+        let size = Irtype.scalar_size s in
+        let value = ev v in
+        st.hooks.Hooks.on_store addr size (defined value);
+        (match s with
+        | Irtype.F32 | Irtype.F64 ->
+          Mem.store_float st.mem addr ~size (as_float value)
+        | _ -> Mem.store_int st.mem addr ~size (as_int value))
+      | Instr.Gep (r, base, idx) ->
+        charge st Cop;
+        let bv = ev base in
+        let delta =
+          List.fold_left
+            (fun acc gi ->
+              match gi with
+              | Instr.Gfield (_, off) -> Int64.add acc (Int64.of_int off)
+              | Instr.Gindex (v, stride) ->
+                Int64.add acc (Int64.mul (as_int (ev v)) (Int64.of_int stride)))
+            0L idx
+        in
+        regs.(r) <- NI (Int64.add (as_int bv) delta, defined bv)
+      | Instr.Binop (r, op, s, a, b) ->
+        charge st
+          (match op with
+          | Instr.FAdd | Instr.FSub | Instr.FMul | Instr.FDiv -> Cfp
+          | _ -> Cop);
+        regs.(r) <- exec_binop op s (ev a) (ev b)
+      | Instr.Icmp (r, op, s, a, b) ->
+        charge st Cop;
+        regs.(r) <- exec_icmp op s (ev a) (ev b)
+      | Instr.Fcmp (r, op, _, a, b) ->
+        charge st Cfp;
+        regs.(r) <- exec_fcmp op (ev a) (ev b)
+      | Instr.Cast (r, op, from, into, v) ->
+        charge st Cop;
+        regs.(r) <- exec_cast op from into (ev v)
+      | Instr.Select (r, _, c, a, b) ->
+        charge st Cop;
+        let cv = ev c in
+        if not (defined cv) then
+          st.hooks.Hooks.on_undef_use "select on uninitialised value";
+        regs.(r) <- (if as_int cv <> 0L then ev a else ev b)
+      | Instr.Phi (r, _, incoming) ->
+        charge st Cop;
+        (match List.assoc_opt prev_label incoming with
+        | Some v -> regs.(r) <- ev v
+        | None -> failwith "nexec: phi without incoming edge")
+      | Instr.Sancheck (kind, p, size) ->
+        charge st Ccheck;
+        st.hooks.Hooks.on_sancheck kind (as_int (ev p)) size
+      | Instr.Call (r, _, callee, cargs) ->
+        charge st Cop;
+        st.profile.n_calls <- st.profile.n_calls + 1;
+        let argv = List.map (fun (_, v) -> ev v) cargs in
+        let result =
+          match callee with
+          | Instr.Direct name -> dispatch st name argv
+          | Instr.Indirect v -> begin
+            let addr = as_int (ev v) in
+            match Hashtbl.find_opt st.addr_funcs addr with
+            | Some name -> dispatch st name argv
+            | None -> raise (Mem.Segfault addr)
+          end
+        in
+        (match (r, result) with
+        | Some r, Some v -> regs.(r) <- v
+        | Some r, None -> regs.(r) <- Nvalue.zero
+        | None, _ -> ()));
+      run (i + 1)
+    end
+  in
+  run 0
+
+and dispatch st name argv : Nvalue.t option =
+  match Hashtbl.find_opt st.funcs name with
+  | Some pf -> call_function st pf argv
+  | None ->
+    (match Hashtbl.find_opt st.profile.libc_calls name with
+    | Some c -> Hashtbl.replace st.profile.libc_calls name (c + 1)
+    | None -> Hashtbl.replace st.profile.libc_calls name 1);
+    (match name with
+    | "malloc" | "calloc" | "realloc" ->
+      st.profile.n_allocs <- st.profile.n_allocs + 1;
+      st.profile.n_alloc_bytes <-
+        st.profile.n_alloc_bytes
+        + Int64.to_int (Nvalue.as_int (List.nth argv (if name = "realloc" then 1 else 0)))
+    | _ -> ());
+    Nlibc.call st.libc name argv
+
+and exec_term st (pf : pfunc) (regs : Nvalue.t array) (blk : pblock)
+    (_prev : string) : Nvalue.t option =
+  charge st Cop;
+  let ev v = eval_value st regs v in
+  match blk.pb_term with
+  | Instr.Ret (Some (_, v)) -> Some (ev v)
+  | Instr.Ret None -> None
+  | Instr.Br l -> jump st pf regs blk.pb_label l
+  | Instr.Condbr (c, a, b) ->
+    st.profile.n_branches <- st.profile.n_branches + 1;
+    let cv = ev c in
+    if not (defined cv) then
+      st.hooks.Hooks.on_undef_use
+        "Conditional jump or move depends on uninitialised value(s)";
+    jump st pf regs blk.pb_label (if as_int cv <> 0L then a else b)
+  | Instr.Switch (v, cases, default) ->
+    st.profile.n_branches <- st.profile.n_branches + 1;
+    let x = as_int (ev v) in
+    let target =
+      match List.find_opt (fun (k, _) -> k = x) cases with
+      | Some (_, l) -> l
+      | None -> default
+    in
+    jump st pf regs blk.pb_label target
+  | Instr.Unreachable -> raise (Native_trap "SIGILL (unreachable)")
+
+and jump st pf regs from_label target =
+  match Hashtbl.find_opt pf.pf_index target with
+  | Some idx -> exec_block st pf regs idx from_label
+  | None -> failwith ("nexec: unknown block " ^ target)
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type crash = Segv of int64 | Trap of string
+
+type run_result = {
+  exit_code : int;
+  output : string;
+  crash : crash option;
+  report : Hooks.report option;
+  steps : int;
+  run_profile : profile;
+  timed_out : bool;
+}
+
+let default_envp =
+  [
+    "PATH=/usr/local/bin:/usr/bin";
+    "SECRET_TOKEN=hunter2";
+    "HOME=/root";
+    "USER=root";
+    "SHELL=/bin/bash";
+    "LANG=en_US.UTF-8";
+    "TERM=xterm-256color";
+    "API_KEY=sk-deadbeef42";
+  ]
+
+let create ?(hooks = Hooks.default ~tool_name:"native") ?(global_gap = 0)
+    ?(step_limit = 500_000_000) ?(input = "") ?mem ?alloc (m : Irmod.t) : state =
+  let mem = match mem with Some m -> m | None -> Mem.create () in
+  let alloc = match alloc with Some a -> a | None -> Alloc.create mem in
+  let profile = fresh_profile () in
+  let rec st =
+    lazy
+      (let libc =
+         {
+           Nlibc.mem;
+           alloc;
+           hooks;
+           out = Buffer.create 1024;
+           input;
+           input_pos = 0;
+           strtok_save = 0L;
+           rand_state = 42L;
+           call_indirect =
+             (fun addr args ->
+               let s = Lazy.force st in
+               match Hashtbl.find_opt s.addr_funcs addr with
+               | Some name -> dispatch s name args
+               | None -> raise (Mem.Segfault addr));
+           malloc =
+             (fun size ->
+               match hooks.Hooks.malloc with
+               | Some f -> f size
+               | None -> Alloc.malloc alloc size);
+           free =
+             (fun p ->
+               match hooks.Hooks.free with
+               | Some f -> f p
+               | None -> ignore (Alloc.free alloc p));
+           libc_call_count = 0;
+         }
+       in
+       {
+         m;
+         mem;
+         alloc;
+         hooks;
+         funcs = Hashtbl.create 64;
+         globals = Hashtbl.create 64;
+         func_addrs = Hashtbl.create 64;
+         addr_funcs = Hashtbl.create 64;
+         libc;
+         sp = Mem.stack_top;
+         steps = 0;
+         step_limit;
+         depth = 0;
+         profile;
+       })
+  in
+  let st = Lazy.force st in
+  List.iter
+    (fun f -> Hashtbl.replace st.funcs f.Irfunc.name (prepare_func f))
+    m.Irmod.funcs;
+  layout_globals st ~global_gap;
+  st
+
+let run ?(argv = [ "program" ]) ?(envp = default_envp) (st : state) :
+    run_result =
+  let finish ?(code = 0) ?crash ?report ~timed_out () =
+    {
+      exit_code = code;
+      output = Buffer.contents st.libc.Nlibc.out;
+      crash;
+      report;
+      steps = st.steps;
+      run_profile = st.profile;
+      timed_out;
+    }
+  in
+  match Hashtbl.find_opt st.funcs "main" with
+  | None -> failwith "nexec: program has no main"
+  | Some main -> begin
+    let vargc, argv_addr = setup_argv st argv envp in
+    let args =
+      if List.length main.pf_ir.Irfunc.params >= 2 then
+        [ Nvalue.int_ vargc; Nvalue.int_ argv_addr ]
+      else []
+    in
+    try
+      let r = call_function st main args in
+      let code =
+        match r with
+        | Some v -> Int64.to_int (Nvalue.as_int v) land 0xff
+        | None -> 0
+      in
+      finish ~code ~timed_out:false ()
+    with
+    | Nvalue.Prog_exit code -> finish ~code ~timed_out:false ()
+    | Mem.Segfault addr -> finish ~code:139 ~crash:(Segv addr) ~timed_out:false ()
+    | Nvalue.Native_trap name -> finish ~code:132 ~crash:(Trap name) ~timed_out:false ()
+    | Hooks.Sanitizer_report r -> finish ~code:1 ~report:r ~timed_out:false ()
+    | Step_limit_exceeded -> finish ~code:255 ~timed_out:true ()
+  end

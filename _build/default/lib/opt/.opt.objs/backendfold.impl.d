@@ -1,0 +1,1 @@
+lib/opt/backendfold.ml: Hashtbl Instr Int64 Irfunc Irmod Irtype List Option

@@ -1,0 +1,1 @@
+lib/opt/cfg.ml: Array Hashtbl Instr Irfunc List Option

@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Hashtbl Instr Irfunc Irmod List Option

@@ -1,0 +1,1 @@
+lib/opt/dse.ml: Hashtbl Instr Irfunc Irmod List

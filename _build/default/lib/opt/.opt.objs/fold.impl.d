@@ -1,0 +1,1 @@
+lib/opt/fold.ml: Hashtbl Instr Int32 Int64 Irfunc Irmod Irtype List

@@ -1,0 +1,1 @@
+lib/opt/globaldce.ml: Hashtbl Instr Irfunc Irmod List

@@ -1,0 +1,1 @@
+lib/opt/inline.ml: Hashtbl Instr Irfunc Irmod Irtype List Option Printf

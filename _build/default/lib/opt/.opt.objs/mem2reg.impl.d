@@ -1,0 +1,1 @@
+lib/opt/mem2reg.ml: Array Cfg Hashtbl Instr Irfunc Irmod Irtype List Option Queue

@@ -1,0 +1,1 @@
+lib/opt/pipeline.ml: Backendfold Dce Dse Fold Irmod List Mem2reg Simplifycfg Ubopt Verify

@@ -1,0 +1,1 @@
+lib/opt/simplifycfg.ml: Cfg Hashtbl Instr Irfunc Irmod List Option

@@ -1,0 +1,1 @@
+lib/opt/ubopt.ml: Cfg Hashtbl Instr Irfunc Irmod Irtype List

@@ -1,0 +1,82 @@
+(** Dead-object store elimination (UB semantics only).
+
+    The pass behind the paper's Figure 3: a local object whose address
+    never escapes and that is *never loaded from* is dead; all stores
+    into it — including the out-of-bounds ones — have no defined effect
+    and are deleted, together with the alloca.  ASan's checks on those
+    stores (inserted later in a real pipeline, earlier in ours — either
+    way attached to accesses) disappear with them. *)
+
+(* Registers transitively derived from an alloca through Gep. *)
+let derived_regs (f : Irfunc.t) (root : Instr.reg) : (Instr.reg, unit) Hashtbl.t =
+  let set = Hashtbl.create 8 in
+  Hashtbl.replace set root ();
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Irfunc.iter_instrs f (fun _ i ->
+        match i with
+        | Instr.Gep (r, Instr.Reg base, _)
+          when Hashtbl.mem set base && not (Hashtbl.mem set r) ->
+          Hashtbl.replace set r ();
+          changed := true
+        | _ -> ())
+  done;
+  set
+
+let run_func (f : Irfunc.t) : bool =
+  let changed = ref false in
+  let allocas = ref [] in
+  Irfunc.iter_instrs f (fun _ i ->
+      match i with Instr.Alloca (r, _) -> allocas := r :: !allocas | _ -> ());
+  List.iter
+    (fun root ->
+      let derived = derived_regs f root in
+      let in_set v = match v with Instr.Reg r -> Hashtbl.mem derived r | _ -> false in
+      (* The object is dead iff every use of every derived pointer is
+         either a Gep step (already in the set), a store *to* it, or a
+         sanitizer check on it — no loads, no escapes. *)
+      let dead = ref true in
+      List.iter
+        (fun (b : Irfunc.block) ->
+          List.iter
+            (fun i ->
+              match i with
+              | Instr.Gep (_, base, idx) when in_set base ->
+                (* index operands using the pointer would escape it *)
+                List.iter
+                  (function
+                    | Instr.Gindex (v, _) when in_set v -> dead := false
+                    | _ -> ())
+                  idx
+              | Instr.Store (_, v, p) when in_set p ->
+                if in_set v then dead := false
+              | Instr.Sancheck (_, p, _) when in_set p -> ()
+              | i -> if List.exists in_set (Instr.uses_of i) then dead := false)
+            b.Irfunc.instrs;
+          if List.exists in_set (Instr.term_uses b.Irfunc.term) then dead := false)
+        f.Irfunc.blocks;
+      if !dead then begin
+        (* Delete the alloca, its geps, and every store/check into it. *)
+        List.iter
+          (fun (b : Irfunc.block) ->
+            let keep (i : Instr.instr) =
+              match i with
+              | Instr.Alloca (r, _) -> r <> root
+              | Instr.Gep (r, _, _) -> not (Hashtbl.mem derived r)
+              | Instr.Store (_, _, p) -> not (in_set p)
+              | Instr.Sancheck (_, p, _) -> not (in_set p)
+              | _ -> true
+            in
+            let kept = List.filter keep b.Irfunc.instrs in
+            if List.length kept <> List.length b.Irfunc.instrs then begin
+              changed := true;
+              b.Irfunc.instrs <- kept
+            end)
+          f.Irfunc.blocks
+      end)
+    !allocas;
+  !changed
+
+let run (m : Irmod.t) : bool =
+  List.fold_left (fun acc f -> run_func f || acc) false m.Irmod.funcs

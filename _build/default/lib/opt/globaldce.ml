@@ -1,0 +1,59 @@
+(** Dead-function and dead-global elimination: drop definitions
+    unreachable from [main] (or from the given roots).  Conservative
+    about address-taken functions and globals — anything referenced by a
+    surviving instruction or initializer stays.  Used after [Inline] to
+    reap fully-inlined callees; not part of the default -O3 pipeline
+    (the evaluation compares fixed pass sets). *)
+
+let run ?(roots = [ "main" ]) (m : Irmod.t) : bool =
+  let live_funcs = Hashtbl.create 32 in
+  let live_globals = Hashtbl.create 32 in
+  let rec mark_func name =
+    if not (Hashtbl.mem live_funcs name) then begin
+      Hashtbl.replace live_funcs name ();
+      match Irmod.find_func m name with
+      | None -> ()
+      | Some f ->
+        let mark_value = function
+          | Instr.FuncAddr g -> mark_func g
+          | Instr.GlobalAddr g -> mark_global g
+          | Instr.Reg _ | Instr.ImmInt _ | Instr.ImmFloat _ | Instr.Null -> ()
+        in
+        List.iter
+          (fun (b : Irfunc.block) ->
+            List.iter
+              (fun i ->
+                List.iter mark_value (Instr.uses_of i);
+                match i with
+                | Instr.Call (_, _, Instr.Direct callee, _) -> mark_func callee
+                | _ -> ())
+              b.Irfunc.instrs;
+            List.iter mark_value (Instr.term_uses b.Irfunc.term))
+          f.Irfunc.blocks
+    end
+  and mark_global name =
+    if not (Hashtbl.mem live_globals name) then begin
+      Hashtbl.replace live_globals name ();
+      match Irmod.find_global m name with
+      | None -> ()
+      | Some g ->
+        let rec walk = function
+          | Irmod.Gglobal_addr n -> mark_global n
+          | Irmod.Gfunc_addr n -> mark_func n
+          | Irmod.Garray xs | Irmod.Gstruct_init xs -> List.iter walk xs
+          | Irmod.Gzero | Irmod.Gint _ | Irmod.Gfloat _ | Irmod.Gstring _ -> ()
+        in
+        walk g.Irmod.g_init
+    end
+  in
+  List.iter mark_func roots;
+  let funcs_before = List.length m.Irmod.funcs in
+  let globals_before = List.length m.Irmod.globals in
+  m.Irmod.funcs <-
+    List.filter (fun (f : Irfunc.t) -> Hashtbl.mem live_funcs f.Irfunc.name)
+      m.Irmod.funcs;
+  m.Irmod.globals <-
+    List.filter (fun (g : Irmod.global) -> Hashtbl.mem live_globals g.Irmod.g_name)
+      m.Irmod.globals;
+  List.length m.Irmod.funcs <> funcs_before
+  || List.length m.Irmod.globals <> globals_before

@@ -1,0 +1,251 @@
+(** Promotion of scalar allocas to SSA registers — the optimization that
+    turns Clang -O0-style memory traffic into register code, and the
+    main source of the -O3 speedup in the performance model.
+
+    Textbook algorithm: phi placement on iterated dominance frontiers,
+    then a renaming walk over the dominator tree.  Only allocas of
+    scalar type whose address is used exclusively as the direct pointer
+    of loads and stores are promoted (arrays, structs, and anything
+    whose address escapes stay in memory). *)
+
+type varinfo = {
+  v_reg : Instr.reg;   (** the alloca's result register *)
+  v_scalar : Irtype.scalar;
+}
+
+(* Which allocas are promotable? *)
+let promotable_allocas (f : Irfunc.t) : varinfo list =
+  let candidates = Hashtbl.create 16 in
+  Irfunc.iter_instrs f (fun _ i ->
+      match i with
+      | Instr.Alloca (r, Irtype.MScalar s) when s <> Irtype.I1 ->
+        Hashtbl.replace candidates r s
+      | _ -> ());
+  (* Disqualify any candidate whose register appears anywhere except as
+     the direct pointer of a load/store. *)
+  let disqualify v =
+    match v with
+    | Instr.Reg r -> Hashtbl.remove candidates r
+    | _ -> ()
+  in
+  List.iter
+    (fun (b : Irfunc.block) ->
+      List.iter
+        (fun i ->
+          match i with
+          | Instr.Load (_, _, Instr.Reg _) -> ()
+          | Instr.Store (_, v, Instr.Reg _) -> disqualify v
+          | Instr.Store (_, v, p) ->
+            disqualify v;
+            disqualify p
+          | Instr.Load (_, _, p) -> disqualify p
+          | i -> List.iter disqualify (Instr.uses_of i))
+        b.Irfunc.instrs;
+      List.iter disqualify (Instr.term_uses b.Irfunc.term))
+    f.Irfunc.blocks;
+  (* A load of a different width than stored?  Loads/stores of other
+     scalars through the same alloca stay legal in our engines, but
+     promotion would change semantics; disqualify mixed-type traffic. *)
+  Irfunc.iter_instrs f (fun _ i ->
+      match i with
+      | Instr.Load (_, s, Instr.Reg r) | Instr.Store (s, _, Instr.Reg r) -> begin
+        match Hashtbl.find_opt candidates r with
+        | Some s' when s' <> s -> Hashtbl.remove candidates r
+        | _ -> ()
+      end
+      | _ -> ());
+  Hashtbl.fold (fun r s acc -> { v_reg = r; v_scalar = s } :: acc) candidates []
+
+let zero_value (s : Irtype.scalar) : Instr.value =
+  if Irtype.is_float_scalar s then Instr.ImmFloat (0.0, s)
+  else if s = Irtype.Ptr then Instr.Null
+  else Instr.ImmInt (0L, s)
+
+let run_func (f : Irfunc.t) : bool =
+  let vars = promotable_allocas f in
+  if vars = [] then false
+  else begin
+    Cfg.remove_unreachable f;
+    let info = Cfg.compute f in
+    let blocks = Cfg.block_map f in
+    let var_of_reg = Hashtbl.create 16 in
+    List.iter (fun v -> Hashtbl.replace var_of_reg v.v_reg v) vars;
+    (* 1. Blocks containing a store to each variable. *)
+    let def_blocks : (Instr.reg, string list) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (b : Irfunc.block) ->
+        List.iter
+          (fun i ->
+            match i with
+            | Instr.Store (_, _, Instr.Reg r) when Hashtbl.mem var_of_reg r ->
+              let cur = Option.value (Hashtbl.find_opt def_blocks r) ~default:[] in
+              if not (List.mem b.Irfunc.label cur) then
+                Hashtbl.replace def_blocks r (b.Irfunc.label :: cur)
+            | _ -> ())
+          b.Irfunc.instrs)
+      f.Irfunc.blocks;
+    (* 2. Phi placement on iterated dominance frontiers.  [phis] maps
+       (block, var) to the phi's result register. *)
+    let phis : (string * Instr.reg, Instr.reg) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun v ->
+        let worklist = Queue.create () in
+        List.iter
+          (fun l -> Queue.push l worklist)
+          (Option.value (Hashtbl.find_opt def_blocks v.v_reg) ~default:[]);
+        let placed = Hashtbl.create 8 in
+        while not (Queue.is_empty worklist) do
+          let l = Queue.pop worklist in
+          List.iter
+            (fun front ->
+              if not (Hashtbl.mem placed front) then begin
+                Hashtbl.replace placed front ();
+                Hashtbl.replace phis (front, v.v_reg) (Irfunc.fresh_reg f);
+                Queue.push front worklist
+              end)
+            (Option.value (Hashtbl.find_opt info.Cfg.df l) ~default:[])
+        done)
+      vars;
+    (* 3. Renaming walk over the dominator tree. *)
+    let children = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun child parent ->
+        Hashtbl.replace children parent
+          (child :: Option.value (Hashtbl.find_opt children parent) ~default:[]))
+      info.Cfg.idom;
+    (* per-variable definition stacks *)
+    let stacks : (Instr.reg, Instr.value list ref) Hashtbl.t = Hashtbl.create 16 in
+    List.iter (fun v -> Hashtbl.replace stacks v.v_reg (ref [])) vars;
+    let current v =
+      match !(Hashtbl.find stacks v.v_reg) with
+      | top :: _ -> top
+      | [] -> zero_value v.v_scalar (* use before any store: undef -> zero *)
+    in
+    (* Collected phi instructions to prepend per block, with incoming
+       filled during the walk. *)
+    let phi_incoming : (string * Instr.reg, (string * Instr.value) list ref)
+        Hashtbl.t =
+      Hashtbl.create 16
+    in
+    Hashtbl.iter
+      (fun key _ -> Hashtbl.replace phi_incoming key (ref []))
+      phis;
+    (* Replaced-load substitutions: function-global, since a load's
+       result may be used in blocks the load's block dominates. *)
+    let subst : (Instr.reg, Instr.value) Hashtbl.t = Hashtbl.create 32 in
+    let rec walk label =
+      let b = Hashtbl.find blocks label in
+      let pushed = ref [] in
+      (* phis defined in this block push a new definition *)
+      List.iter
+        (fun v ->
+          match Hashtbl.find_opt phis (label, v.v_reg) with
+          | Some phi_reg ->
+            let st = Hashtbl.find stacks v.v_reg in
+            st := Instr.Reg phi_reg :: !st;
+            pushed := v.v_reg :: !pushed
+          | None -> ())
+        vars;
+      let resolve v =
+        match v with
+        | Instr.Reg r -> begin
+          match Hashtbl.find_opt subst r with Some x -> x | None -> v
+        end
+        | v -> v
+      in
+      let rewrite (i : Instr.instr) : Instr.instr option =
+        match i with
+        | Instr.Alloca (r, _) when Hashtbl.mem var_of_reg r -> None
+        | Instr.Load (r, _, Instr.Reg p) when Hashtbl.mem var_of_reg p ->
+          let v = Hashtbl.find var_of_reg p in
+          Hashtbl.replace subst r (resolve (current v));
+          None
+        | Instr.Store (_, value, Instr.Reg p) when Hashtbl.mem var_of_reg p ->
+          let v = Hashtbl.find var_of_reg p in
+          let st = Hashtbl.find stacks v.v_reg in
+          st := resolve value :: !st;
+          pushed := v.v_reg :: !pushed;
+          None
+        | i ->
+          (* resolve loads folded into substitutions *)
+          let map_value = resolve in
+          Some
+            (match i with
+            | Instr.Load (r, s, p) -> Instr.Load (r, s, map_value p)
+            | Instr.Store (s, v, p) -> Instr.Store (s, map_value v, map_value p)
+            | Instr.Gep (r, base, idx) ->
+              Instr.Gep
+                ( r,
+                  map_value base,
+                  List.map
+                    (function
+                      | Instr.Gindex (v, st) -> Instr.Gindex (map_value v, st)
+                      | g -> g)
+                    idx )
+            | Instr.Binop (r, op, s, a, b2) ->
+              Instr.Binop (r, op, s, map_value a, map_value b2)
+            | Instr.Icmp (r, op, s, a, b2) ->
+              Instr.Icmp (r, op, s, map_value a, map_value b2)
+            | Instr.Fcmp (r, op, s, a, b2) ->
+              Instr.Fcmp (r, op, s, map_value a, map_value b2)
+            | Instr.Cast (r, op, from, into, v) ->
+              Instr.Cast (r, op, from, into, map_value v)
+            | Instr.Select (r, s, c, a, b2) ->
+              Instr.Select (r, s, map_value c, map_value a, map_value b2)
+            | Instr.Call (r, ret, callee, args) ->
+              let callee =
+                match callee with
+                | Instr.Indirect v -> Instr.Indirect (map_value v)
+                | c -> c
+              in
+              Instr.Call (r, ret, callee, List.map (fun (s, v) -> (s, map_value v)) args)
+            | Instr.Phi (r, s, incoming) ->
+              Instr.Phi (r, s, List.map (fun (l, v) -> (l, map_value v)) incoming)
+            | Instr.Sancheck (k, p, size) -> Instr.Sancheck (k, map_value p, size)
+            | Instr.Alloca _ -> i)
+      in
+      b.Irfunc.instrs <- List.filter_map rewrite b.Irfunc.instrs;
+      b.Irfunc.term <-
+        (match b.Irfunc.term with
+        | Instr.Ret (Some (s, v)) -> Instr.Ret (Some (s, resolve v))
+        | Instr.Condbr (c, x, y) -> Instr.Condbr (resolve c, x, y)
+        | Instr.Switch (v, cases, d) -> Instr.Switch (resolve v, cases, d)
+        | t -> t);
+      (* fill phi incoming of successors with current definitions *)
+      List.iter
+        (fun succ ->
+          List.iter
+            (fun v ->
+              match Hashtbl.find_opt phis (succ, v.v_reg) with
+              | Some _ ->
+                let inc = Hashtbl.find phi_incoming (succ, v.v_reg) in
+                inc := (label, current v) :: !inc
+              | None -> ())
+            vars)
+        (Option.value (Hashtbl.find_opt info.Cfg.succs label) ~default:[]);
+      (* recurse over dominator-tree children *)
+      List.iter walk (Option.value (Hashtbl.find_opt children label) ~default:[]);
+      (* pop pushed definitions *)
+      List.iter
+        (fun r ->
+          let st = Hashtbl.find stacks r in
+          match !st with
+          | _ :: rest -> st := rest
+          | [] -> ())
+        !pushed
+    in
+    walk info.Cfg.order.(0);
+    (* materialize the phi instructions at block heads *)
+    Hashtbl.iter
+      (fun (label, var_reg) phi_reg ->
+        let b = Hashtbl.find blocks label in
+        let v = Hashtbl.find var_of_reg var_reg in
+        let incoming = !(Hashtbl.find phi_incoming (label, var_reg)) in
+        b.Irfunc.instrs <-
+          Instr.Phi (phi_reg, v.v_scalar, incoming) :: b.Irfunc.instrs)
+      phis;
+    true
+  end
+
+let run (m : Irmod.t) : bool =
+  List.fold_left (fun acc f -> run_func f || acc) false m.Irmod.funcs

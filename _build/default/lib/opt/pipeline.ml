@@ -1,0 +1,61 @@
+(** Optimization pipelines, mirroring the configurations the paper
+    compares:
+
+    - [o0]: no middle-end optimization at all (the front-end output).
+    - [o3]: the UB-exploiting Clang/LLVM middle end.
+    - [backend]: code-generation folding that *all* native pipelines get,
+      even at -O0 (paper case study 3).
+    - [safe_jit]: what Graal may do for Safe Sulong — optimizations under
+      safe semantics (run-time errors must still surface), so no dead
+      -store/dead-loop deletion of trapping accesses and no UB tricks.
+
+    Each function returns the number of pass iterations that changed
+    something (useful for tests and the ablation bench). *)
+
+type level = O0 | O3
+
+let level_name = function O0 -> "-O0" | O3 -> "-O3"
+
+let fixpoint passes m =
+  let rounds = ref 0 in
+  let changed = ref true in
+  while !changed && !rounds < 8 do
+    changed := List.fold_left (fun acc pass -> pass m || acc) false passes;
+    if !changed then incr rounds
+  done;
+  !rounds
+
+(** The -O3 middle end (UB semantics). *)
+let o3 (m : Irmod.t) : int =
+  fixpoint
+    [
+      Fold.run;
+      Mem2reg.run;
+      Fold.run;
+      Dce.run ~semantics:`Ub;
+      Dse.run;
+      Ubopt.run;
+      Simplifycfg.run;
+      Dce.run ~semantics:`Ub;
+    ]
+    m
+
+(** Safe-semantics optimization (the JIT tier of Safe Sulong). *)
+let safe_jit (m : Irmod.t) : int =
+  fixpoint
+    [ Fold.run; Mem2reg.run; Fold.run; Dce.run ~semantics:`Safe; Simplifycfg.run ]
+    m
+
+(** Native code generation folding: every native pipeline, every level. *)
+let backend (m : Irmod.t) : bool = Backendfold.run m
+
+(** Compile [m] for a native engine at [level] (mutates [m]). *)
+let compile_native ~(level : level) (m : Irmod.t) : unit =
+  (match level with O0 -> () | O3 -> ignore (o3 m));
+  ignore (backend m);
+  Verify.verify m
+
+(** Compile [m] for Safe Sulong: nothing — the interpreter executes the
+    front-end output; [safe_jit] only models what the dynamic compiler
+    would do for the cost model. *)
+let compile_sulong (_m : Irmod.t) : unit = ()

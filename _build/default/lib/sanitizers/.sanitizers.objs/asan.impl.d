@@ -1,0 +1,1 @@
+lib/sanitizers/asan.ml: Alloc Hashtbl Hooks Instr Int64 Irfunc Irmod Irtype List Mem Queue Shadow

@@ -1,0 +1,1 @@
+lib/sanitizers/memcheck.ml: Alloc Hashtbl Hooks Int64 Mem Shadow

@@ -1,0 +1,1 @@
+lib/sanitizers/shadow.ml: Bytes Int64 Mem

@@ -1,0 +1,123 @@
+(** Valgrind/Memcheck simulator (paper §2.2, "dynamic instrumentation").
+
+    Binary instrumentation sees *every* access, including the libc's
+    ([Hooks.sees_libc]), and needs no recompilation — but it only knows
+    what the binary knows:
+
+    - addressability (A bits) is tracked per byte; the heap gets precise
+      block bounds from the intercepted allocator, so heap overflows are
+      caught reliably;
+    - the stack and the global data sections are just "addressable
+      memory": out-of-bounds accesses inside them are invisible (the
+      paper: "Valgrind can only find heap buffer out-of-bounds
+      accesses");
+    - definedness (V bits) is tracked per byte and propagated through
+      registers; undefined data deciding a branch or reaching output is
+      reported — which *indirectly* catches some stack out-of-bounds
+      reads (14 of 31 in the paper's corpus);
+    - freed blocks go to a large no-reuse pool (--freelist-vol), so
+      use-after-free is caught reliably (unlike ASan's bounded
+      quarantine). *)
+
+type t = {
+  addressable : Shadow.t;
+  defined : Shadow.t;
+  mem : Mem.t;
+  alloc : Alloc.t;
+  blocks : (int64, [ `Live of int | `Freed of int ]) Hashtbl.t;
+}
+
+let report ~kind fmt = Hooks.report ~tool:"Memcheck" ~kind fmt
+
+let check_access t ~(what : string) addr size =
+  match Shadow.check t.addressable addr size with
+  | None -> ()
+  | Some (poison, at) ->
+    let detail =
+      match poison with
+      | Shadow.Heap_freed -> " inside a block that was free'd"
+      | Shadow.Heap_redzone -> " just past a heap block (redzone)"
+      | Shadow.Heap_unallocated -> " in unallocated heap"
+      | _ -> ""
+    in
+    report ~kind:("invalid-" ^ what) "Invalid %s of size %d at 0x%Lx%s (0x%Lx)"
+      what size addr detail at
+
+let mc_malloc t size : int64 =
+  let rz = 16 in
+  let p = Alloc.malloc t.alloc (size + (2 * rz)) in
+  let body = Int64.add p (Int64.of_int rz) in
+  Shadow.poison t.addressable ~kind:Shadow.Heap_redzone p rz;
+  Shadow.unpoison t.addressable body size;
+  Shadow.poison t.addressable ~kind:Shadow.Heap_redzone
+    (Int64.add body (Int64.of_int size))
+    rz;
+  (* malloc'd memory is addressable but undefined *)
+  Shadow.poison t.defined ~kind:Shadow.Undefined_area body size;
+  Hashtbl.replace t.blocks body (`Live size);
+  body
+
+let mc_free t (body : int64) : unit =
+  if body = 0L then ()
+  else begin
+    match Hashtbl.find_opt t.blocks body with
+    | None ->
+      report ~kind:"bad-free"
+        "Invalid free() / delete / delete[] / realloc() of 0x%Lx" body
+    | Some (`Freed _) ->
+      report ~kind:"double-free" "Invalid free(): 0x%Lx was already freed" body
+    | Some (`Live size) ->
+      Hashtbl.replace t.blocks body (`Freed size);
+      (* Large freelist volume: never actually reused in our runs. *)
+      Shadow.poison t.addressable ~kind:Shadow.Heap_freed body size
+  end
+
+let make ~mem ~alloc () : t * Hooks.t =
+  let t =
+    {
+      addressable = Shadow.create ();
+      defined = Shadow.create ();
+      mem;
+      alloc;
+      blocks = Hashtbl.create 64;
+    }
+  in
+  (* A bits: the heap is unaddressable until allocated; everything else
+     the program can reach (stack, globals, argv area) is one big
+     addressable region, exactly Valgrind's blind spot. *)
+  Shadow.poison t.addressable ~kind:Shadow.Heap_unallocated
+    (Int64.of_int Mem.heap_base)
+    (Mem.heap_limit - Mem.heap_base);
+  (* V bits: globals and the argv/envp area start defined; the stack
+     region starts undefined. *)
+  Shadow.poison t.defined ~kind:Shadow.Undefined_area
+    (Int64.of_int Mem.stack_limit)
+    (Mem.stack_top - Mem.stack_limit);
+  let hooks = Hooks.default ~tool_name:"memcheck" in
+  hooks.Hooks.sees_libc <- true;
+  hooks.Hooks.on_load <- (fun addr size -> check_access t ~what:"read" addr size);
+  hooks.Hooks.on_store <-
+    (fun addr size def ->
+      check_access t ~what:"write" addr size;
+      if def then Shadow.unpoison t.defined addr size
+      else Shadow.poison t.defined ~kind:Shadow.Undefined_area addr size);
+  hooks.Hooks.load_defined <-
+    (fun addr size -> not (Shadow.is_poisoned t.defined addr size));
+  hooks.Hooks.on_undef_use <-
+    (fun what -> report ~kind:"uninitialised-value" "%s" what);
+  hooks.Hooks.malloc <- Some (fun size -> mc_malloc t size);
+  hooks.Hooks.free <- Some (fun p -> mc_free t p);
+  hooks.Hooks.usable_size <-
+    (fun p ->
+      match Hashtbl.find_opt t.blocks p with
+      | Some (`Live size) -> Some size
+      | _ -> None);
+  hooks.Hooks.on_alloca <-
+    (fun body size ->
+      (* fresh stack memory is undefined *)
+      Shadow.poison t.defined ~kind:Shadow.Undefined_area body size);
+  hooks.Hooks.on_frame_exit <-
+    (fun ~lo ~hi ->
+      Shadow.poison t.defined ~kind:Shadow.Undefined_area lo
+        (Int64.to_int (Int64.sub hi lo)));
+  (t, hooks)

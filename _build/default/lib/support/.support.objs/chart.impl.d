@@ -1,0 +1,1 @@
+lib/support/chart.ml: Array Buffer Bytes Float List Printf Stats String

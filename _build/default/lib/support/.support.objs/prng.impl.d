@@ -1,0 +1,1 @@
+lib/support/prng.ml: Array Float Int64 List

@@ -1,0 +1,1 @@
+lib/support/table.ml: Buffer List String

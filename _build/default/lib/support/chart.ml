@@ -1,0 +1,88 @@
+(** ASCII charts: multi-series line charts (Figures 1, 2, 15) and
+    horizontal box plots (Figure 16).  These are deliberately simple —
+    the harness's job is to print the same *series* the paper plots, and
+    the chart is a quick visual check of the shape. *)
+
+(** A named series of (x, y) points. *)
+type series = { name : string; points : (float * float) list }
+
+let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |]
+
+(** Render [series] on a [width] x [height] character grid, mapping the
+    bounding box of all points onto the grid.  Each series uses its own
+    glyph; a legend is printed underneath. *)
+let line_chart ?(width = 64) ?(height = 16) ~title series =
+  let all = List.concat_map (fun s -> s.points) series in
+  match all with
+  | [] -> title ^ "\n(no data)\n"
+  | _ ->
+    let xs = List.map fst all and ys = List.map snd all in
+    let xmin = List.fold_left min infinity xs
+    and xmax = List.fold_left max neg_infinity xs
+    and ymin = Float.min 0.0 (List.fold_left min infinity ys)
+    and ymax = List.fold_left max neg_infinity ys in
+    let xspan = if xmax > xmin then xmax -. xmin else 1.0 in
+    let yspan = if ymax > ymin then ymax -. ymin else 1.0 in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun i s ->
+        let g = glyphs.(i mod Array.length glyphs) in
+        List.iter
+          (fun (x, y) ->
+            let cx =
+              int_of_float ((x -. xmin) /. xspan *. float_of_int (width - 1))
+            in
+            let cy =
+              height - 1
+              - int_of_float ((y -. ymin) /. yspan *. float_of_int (height - 1))
+            in
+            if cx >= 0 && cx < width && cy >= 0 && cy < height then
+              grid.(cy).(cx) <- g)
+          s.points)
+      series;
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf (title ^ "\n");
+    Buffer.add_string buf (Printf.sprintf "%8.1f |" ymax);
+    Buffer.add_string buf (String.init width (fun i -> grid.(0).(i)));
+    Buffer.add_char buf '\n';
+    for r = 1 to height - 2 do
+      Buffer.add_string buf "         |";
+      Buffer.add_string buf (String.init width (fun i -> grid.(r).(i)));
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf (Printf.sprintf "%8.1f |" ymin);
+    Buffer.add_string buf (String.init width (fun i -> grid.(height - 1).(i)));
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf "          ";
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "          %-8.1f%s%8.1f\n" xmin
+         (String.make (max 0 (width - 16)) ' ')
+         xmax);
+    List.iteri
+      (fun i s ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %c = %s\n" glyphs.(i mod Array.length glyphs) s.name))
+      series;
+    Buffer.contents buf
+
+(** Render one horizontal box plot line (|--[ med ]--|) scaled onto
+    [width] characters spanning [lo, hi]. *)
+let boxplot_line ~width ~lo ~hi (b : Stats.boxplot) =
+  let span = if hi > lo then hi -. lo else 1.0 in
+  let pos v =
+    let p = int_of_float ((v -. lo) /. span *. float_of_int (width - 1)) in
+    max 0 (min (width - 1) p)
+  in
+  let line = Bytes.make width ' ' in
+  for i = pos b.low to pos b.high do
+    Bytes.set line i '-'
+  done;
+  for i = pos b.q1 to pos b.q3 do
+    Bytes.set line i '='
+  done;
+  Bytes.set line (pos b.low) '|';
+  Bytes.set line (pos b.high) '|';
+  Bytes.set line (pos b.med) 'M';
+  Bytes.to_string line

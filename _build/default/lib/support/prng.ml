@@ -1,0 +1,69 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    All randomness in the reproduction flows through this module so that
+    every experiment is reproducible bit-for-bit from a seed.  SplitMix64
+    is small, fast and has well-understood statistical quality for the
+    non-cryptographic purposes we need (noise injection, synthetic
+    database sampling, property-test data). *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* One SplitMix64 step: add the Weyl constant, then finalize with the
+   murmur-inspired mixer. *)
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [int t bound] returns a uniform integer in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  Int64.to_int
+    (Int64.unsigned_rem (next_int64 t) (Int64.of_int bound))
+
+(** [float t bound] returns a uniform float in [0, bound). *)
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  r /. 9007199254740992.0 *. bound
+
+(** Gaussian sample via Box-Muller, mean [mu], std deviation [sigma]. *)
+let gaussian t ~mu ~sigma =
+  let u1 = Float.max 1e-12 (float t 1.0) in
+  let u2 = float t 1.0 in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+(** [pick t xs] picks a uniform element of the non-empty list [xs]. *)
+let pick t xs =
+  match xs with
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+(** [shuffle t xs] returns a uniformly shuffled copy of [xs]. *)
+let shuffle t xs =
+  let a = Array.of_list xs in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+(** Poisson sample (Knuth's method); adequate for the small means used by
+    the synthetic vulnerability databases. *)
+let poisson t ~lambda =
+  if lambda <= 0.0 then 0
+  else begin
+    let limit = exp (-.lambda) in
+    let rec loop k p =
+      let p = p *. float t 1.0 in
+      if p <= limit then k else loop (k + 1) p
+    in
+    loop 0 1.0
+  end

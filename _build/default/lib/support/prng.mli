@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    All randomness in the reproduction flows through this module so that
+    every experiment is reproducible bit-for-bit from a seed. *)
+
+type t
+
+(** [create seed] makes an independent generator. *)
+val create : int -> t
+
+(** [copy t] snapshots the generator state. *)
+val copy : t -> t
+
+(** Next raw 64-bit output. *)
+val next_int64 : t -> int64
+
+(** [int t bound] is uniform in [0, bound).  Raises [Invalid_argument]
+    when [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [float t bound] is uniform in [0, bound). *)
+val float : t -> float -> float
+
+(** Gaussian sample (Box-Muller). *)
+val gaussian : t -> mu:float -> sigma:float -> float
+
+(** Uniform element of a non-empty list. *)
+val pick : t -> 'a list -> 'a
+
+(** Uniformly shuffled copy. *)
+val shuffle : t -> 'a list -> 'a list
+
+(** Poisson sample (Knuth); 0 for non-positive [lambda]. *)
+val poisson : t -> lambda:float -> int

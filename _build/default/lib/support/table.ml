@@ -1,0 +1,77 @@
+(** ASCII table rendering for the experiment reports.  Every table the
+    harness prints (Tables 1-2, the tool-comparison matrix, Figure 16
+    rows) goes through this module so output is uniform. *)
+
+type align = Left | Right
+
+type t = {
+  title : string;
+  header : string list;
+  aligns : align list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~header ?aligns () =
+  let aligns =
+    match aligns with
+    | Some a -> a
+    | None -> List.map (fun _ -> Left) header
+  in
+  if List.length aligns <> List.length header then
+    invalid_arg "Table.create: aligns/header length mismatch";
+  { title; header; aligns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.header then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- cells :: t.rows
+
+let widths t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  List.mapi
+    (fun i _ ->
+      List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 all)
+    t.header
+
+let pad align width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make n ' '
+    | Right -> String.make n ' ' ^ s
+
+let render t =
+  let ws = widths t in
+  let line c =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) c) ws) ^ "+"
+  in
+  let render_row row =
+    let cells =
+      List.map2
+        (fun (w, a) s -> " " ^ pad a w s ^ " ")
+        (List.combine ws t.aligns) row
+    in
+    "|" ^ String.concat "|" cells ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  if t.title <> "" then begin
+    Buffer.add_string buf t.title;
+    Buffer.add_char buf '\n'
+  end;
+  Buffer.add_string buf (line '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (render_row t.header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line '=');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    (List.rev t.rows);
+  Buffer.add_string buf (line '-');
+  Buffer.contents buf
+
+let print t = print_string (render t ^ "\n")

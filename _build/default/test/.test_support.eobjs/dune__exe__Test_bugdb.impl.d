@@ -1,0 +1,1 @@
+test/test_bugdb.ml: Alcotest Classify Entry Figures12 Fmt Gen Lazy List Printf Table Util

@@ -1,0 +1,1 @@
+test/test_cfront.ml: Alcotest Ast Ctype Diag Fmt Layout Lexer List Parser Sema Token

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Corpus Effectiveness Engine Groundtruth Lazy List Outcome Pipeline Printf Table Util

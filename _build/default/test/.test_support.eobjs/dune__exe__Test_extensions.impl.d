@@ -1,0 +1,1 @@
+test/test_extensions.ml: Ablations Alcotest Benchprogs Corpus Engine Groundtruth Interp Irmod List Loader Merror Option Outcome Pipeline Table Util

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Cases Interp List Loader Merror Util

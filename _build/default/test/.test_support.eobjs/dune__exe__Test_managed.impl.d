@@ -1,0 +1,1 @@
+test/test_managed.ml: Alcotest Irtype List Merror Mheap Mobject Prng QCheck QCheck_alcotest

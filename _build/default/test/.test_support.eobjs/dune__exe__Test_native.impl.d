@@ -1,0 +1,1 @@
+test/test_native.ml: Alcotest Cases Engine List Outcome Pipeline Util

@@ -1,0 +1,1 @@
+test/test_perf.ml: Alcotest Benchprogs Engine Float Lazy List Option Outcome Pipeline Printf Prng Simulate Stats String Util

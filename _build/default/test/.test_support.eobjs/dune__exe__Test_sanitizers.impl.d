@@ -1,0 +1,1 @@
+test/test_sanitizers.ml: Alcotest Engine Int64 List Outcome Pipeline QCheck QCheck_alcotest Shadow

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Chart List Prng QCheck QCheck_alcotest Stats String Table Util

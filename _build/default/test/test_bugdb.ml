@@ -1,0 +1,163 @@
+(** Tests for the synthetic vulnerability-database study (Figures 1–2):
+    the keyword classifier, the generator's window and determinism, and
+    the shape properties the paper's figures show. *)
+
+let cat = Alcotest.testable
+    (fun ppf c -> Fmt.string ppf (Entry.category_name c)) ( = )
+
+(* ---------------- classifier ---------------- *)
+
+let test_classify_spatial () =
+  List.iter
+    (fun text ->
+      Alcotest.(check (option cat)) text (Some Entry.Spatial) (Classify.classify text))
+    [
+      "A heap-based buffer overflow in libfoo allows code execution";
+      "Out-of-bounds read in the PNG decoder";
+      "Stack-based buffer overflow via long hostname";
+      "An OUT OF BOUNDS write corrupts memory";
+      "a buffer underflow in the parser";
+    ]
+
+let test_classify_temporal () =
+  List.iter
+    (fun text ->
+      Alcotest.(check (option cat)) text (Some Entry.Temporal) (Classify.classify text))
+    [
+      "Use-after-free in the DOM implementation";
+      "use after free when closing the tab";
+      "a dangling pointer is dereferenced on shutdown";
+    ]
+
+let test_classify_null () =
+  Alcotest.(check (option cat)) "null deref" (Some Entry.Null_deref)
+    (Classify.classify "NULL pointer dereference in the SSL module")
+
+let test_classify_other () =
+  List.iter
+    (fun text ->
+      Alcotest.(check (option cat)) text (Some Entry.Other) (Classify.classify text))
+    [
+      "double free in the allocator wrapper";
+      "an invalid free occurs when a stack buffer is passed to free";
+      "format string vulnerability in the log facility";
+    ]
+
+let test_classify_priority () =
+  (* a UAF that also mentions memory corruption wording stays temporal *)
+  Alcotest.(check (option cat)) "temporal wins" (Some Entry.Temporal)
+    (Classify.classify
+       "use-after-free leading to a heap-based buffer overflow later")
+
+let test_classify_unknown () =
+  Alcotest.(check (option cat)) "vague text unclassified" None
+    (Classify.classify "an unspecified issue with unknown impact")
+
+(* ---------------- generator ---------------- *)
+
+let test_generator_deterministic () =
+  let a = Gen.generate Gen.Cve and b = Gen.generate Gen.Cve in
+  Alcotest.(check int) "same size" (List.length a) (List.length b);
+  Alcotest.(check bool) "same ids" true
+    (List.for_all2 (fun (x : Entry.t) (y : Entry.t) -> x.Entry.id = y.Entry.id) a b)
+
+let test_generator_window () =
+  List.iter
+    (fun (e : Entry.t) ->
+      let ok =
+        (e.Entry.year > 2012 || e.Entry.month >= 3)
+        && (e.Entry.year < 2017 || e.Entry.month <= 9)
+        && e.Entry.year >= 2012 && e.Entry.year <= 2017
+      in
+      Alcotest.(check bool) (e.Entry.id ^ " in window") true ok)
+    (Gen.generate Gen.Cve)
+
+let test_exploits_fewer_than_vulns () =
+  Alcotest.(check bool) "ExploitDB smaller than CVE" true
+    (List.length (Gen.generate Gen.Exploitdb)
+    < List.length (Gen.generate Gen.Cve))
+
+(* ---------------- trends (the figures' shapes) ---------------- *)
+
+let cve_trends = lazy (Classify.trends (Gen.generate Gen.Cve))
+
+let test_trend_category_order () =
+  (* spatial > temporal > null > other, in every year, as in Fig. 1 *)
+  List.iter
+    (fun (y : Classify.yearly) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%d: spatial leads" y.Classify.year)
+        true
+        (y.Classify.spatial > y.Classify.temporal
+        && y.Classify.temporal > y.Classify.other);
+      Alcotest.(check bool)
+        (Printf.sprintf "%d: null between" y.Classify.year)
+        true
+        (y.Classify.null_deref > y.Classify.other))
+    (Lazy.force cve_trends)
+
+let test_spatial_all_time_high () =
+  let trends = Lazy.force cve_trends in
+  let spatial year =
+    (List.find (fun y -> y.Classify.year = year) trends).Classify.spatial
+  in
+  (* 2017 only covers 9 months, so compare 2016 to 2012-2014 *)
+  Alcotest.(check bool) "rising" true (spatial 2016 > spatial 2013);
+  Alcotest.(check bool) "well above the start" true
+    (float_of_int (spatial 2016) > 1.5 *. float_of_int (spatial 2013))
+
+let test_all_years_present () =
+  Alcotest.(check (list int)) "years"
+    [ 2012; 2013; 2014; 2015; 2016; 2017 ]
+    (List.map (fun y -> y.Classify.year) (Lazy.force cve_trends))
+
+let test_unclassified_fraction_small () =
+  let trends = Lazy.force cve_trends in
+  let total =
+    Util.sum_by
+      (fun (y : Classify.yearly) ->
+        y.Classify.spatial + y.Classify.temporal + y.Classify.null_deref
+        + y.Classify.other + y.Classify.unclassified)
+      trends
+  in
+  let un = Util.sum_by (fun y -> y.Classify.unclassified) trends in
+  Alcotest.(check bool) "under 15%" true
+    (float_of_int un < 0.15 *. float_of_int total)
+
+let test_figures_render () =
+  let r1 = Figures12.run Gen.Cve in
+  let s = Table.render (Figures12.table r1) in
+  Alcotest.(check bool) "mentions 2017" true (Util.string_contains ~needle:"2017" s);
+  let chart = Figures12.chart r1 in
+  Alcotest.(check bool) "chart has legend" true
+    (Util.string_contains ~needle:"Spatial" chart)
+
+let () =
+  Alcotest.run "bugdb"
+    [
+      ( "classifier",
+        [
+          Alcotest.test_case "spatial" `Quick test_classify_spatial;
+          Alcotest.test_case "temporal" `Quick test_classify_temporal;
+          Alcotest.test_case "null" `Quick test_classify_null;
+          Alcotest.test_case "other" `Quick test_classify_other;
+          Alcotest.test_case "priority" `Quick test_classify_priority;
+          Alcotest.test_case "unknown" `Quick test_classify_unknown;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+          Alcotest.test_case "window" `Quick test_generator_window;
+          Alcotest.test_case "exploits fewer" `Quick test_exploits_fewer_than_vulns;
+        ] );
+      ( "trends",
+        [
+          Alcotest.test_case "category order" `Quick test_trend_category_order;
+          Alcotest.test_case "spatial all-time high" `Quick
+            test_spatial_all_time_high;
+          Alcotest.test_case "all years" `Quick test_all_years_present;
+          Alcotest.test_case "unclassified small" `Quick
+            test_unclassified_fraction_small;
+          Alcotest.test_case "figures render" `Quick test_figures_render;
+        ] );
+    ]

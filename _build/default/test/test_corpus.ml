@@ -1,0 +1,189 @@
+(** The headline reproduction assertions (paper §4.1): the corpus
+    distribution matches Tables 1–2 exactly, Safe Sulong finds all 68
+    bugs, ASan finds 60 at -O0 and 56 at -O3 (a strict subset), the
+    8 bugs missed by both tools are exactly the engineered case-study
+    set, and Valgrind lands at "slightly more than half". *)
+
+let runs = lazy (Effectiveness.run_corpus ())
+
+let found tool r = Effectiveness.found r tool
+let count tool = List.length (List.filter (found tool) (Lazy.force runs))
+
+(* ---------------- distribution (Tables 1-2) ---------------- *)
+
+let test_corpus_size () =
+  Alcotest.(check int) "68 bugs" 68 (List.length Corpus.all)
+
+let test_unique_ids () =
+  let ids = List.map (fun p -> p.Groundtruth.id) Corpus.all in
+  Alcotest.(check int) "ids unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_distribution_matches_paper () =
+  let d = Corpus.distribution Corpus.all in
+  let p = Corpus.paper_distribution in
+  Alcotest.(check int) "buffer overflows" p.Corpus.overflows d.Corpus.overflows;
+  Alcotest.(check int) "NULL dereferences" p.Corpus.null_derefs d.Corpus.null_derefs;
+  Alcotest.(check int) "use-after-free" p.Corpus.use_after_free d.Corpus.use_after_free;
+  Alcotest.(check int) "varargs" p.Corpus.varargs d.Corpus.varargs;
+  Alcotest.(check int) "reads" p.Corpus.reads d.Corpus.reads;
+  Alcotest.(check int) "writes" p.Corpus.writes d.Corpus.writes;
+  Alcotest.(check int) "underflows" p.Corpus.underflows d.Corpus.underflows;
+  Alcotest.(check int) "overflows" p.Corpus.oob_overflows d.Corpus.oob_overflows;
+  Alcotest.(check int) "stack" p.Corpus.stack d.Corpus.stack;
+  Alcotest.(check int) "heap" p.Corpus.heap d.Corpus.heap;
+  Alcotest.(check int) "global" p.Corpus.global d.Corpus.global;
+  Alcotest.(check int) "main args" p.Corpus.main_args d.Corpus.main_args
+
+(* ---------------- detection counts ---------------- *)
+
+let test_sulong_finds_all () =
+  let missed =
+    List.filter_map
+      (fun r ->
+        if found Engine.Safe_sulong r then None
+        else Some r.Effectiveness.program.Groundtruth.id)
+      (Lazy.force runs)
+  in
+  Alcotest.(check (list string)) "Safe Sulong finds all 68" [] missed
+
+let test_asan_o0_count () =
+  Alcotest.(check int) "ASan -O0 finds 60" 60 (count (Engine.Asan Pipeline.O0))
+
+let test_asan_o3_count () =
+  Alcotest.(check int) "ASan -O3 finds 56" 56 (count (Engine.Asan Pipeline.O3))
+
+let test_asan_o3_subset_of_o0 () =
+  List.iter
+    (fun r ->
+      if found (Engine.Asan Pipeline.O3) r then
+        Alcotest.(check bool)
+          ("O3 find implies O0 find: " ^ r.Effectiveness.program.Groundtruth.id)
+          true
+          (found (Engine.Asan Pipeline.O0) r))
+    (Lazy.force runs)
+
+let test_asan_o3_loses_exactly_the_folded () =
+  let lost =
+    List.filter_map
+      (fun r ->
+        if
+          found (Engine.Asan Pipeline.O0) r
+          && not (found (Engine.Asan Pipeline.O3) r)
+        then Some r.Effectiveness.program.Groundtruth.id
+        else None)
+      (Lazy.force runs)
+  in
+  let expected =
+    List.map (fun p -> p.Groundtruth.id) Corpus.expected_o3_folded
+  in
+  Alcotest.(check (list string)) "the 4 folded bugs"
+    (List.sort compare expected) (List.sort compare lost)
+
+let test_valgrind_about_half () =
+  let o0 = count (Engine.Valgrind Pipeline.O0) in
+  let o3 = count (Engine.Valgrind Pipeline.O3) in
+  Alcotest.(check bool)
+    (Printf.sprintf "Valgrind -O0 about half (got %d)" o0)
+    true
+    (o0 >= 32 && o0 <= 40);
+  Alcotest.(check bool)
+    (Printf.sprintf "Valgrind -O3 about half (got %d)" o3)
+    true
+    (o3 >= 22 && o3 <= 40)
+
+let test_valgrind_o0_o3_sets_differ_but_overlap () =
+  let set level =
+    List.filter_map
+      (fun r ->
+        if found (Engine.Valgrind level) r then
+          Some r.Effectiveness.program.Groundtruth.id
+        else None)
+      (Lazy.force runs)
+  in
+  let o0 = set Pipeline.O0 and o3 = set Pipeline.O3 in
+  let inter = List.filter (fun id -> List.mem id o3) o0 in
+  Alcotest.(check bool) "sets overlap" true (List.length inter > 20);
+  Alcotest.(check bool) "sets differ" true (o0 <> o3)
+
+let test_missed_by_both_is_the_case_study_set () =
+  let c = Effectiveness.compare_tools (Lazy.force runs) in
+  let expected =
+    List.map (fun p -> p.Groundtruth.id) Corpus.expected_missed_by_both
+  in
+  Alcotest.(check (list string)) "exactly the 8 case-study bugs"
+    (List.sort compare expected)
+    (List.sort compare c.Effectiveness.missed_by_both)
+
+let test_eight_special_bugs () =
+  Alcotest.(check int) "8 engineered misses" 8
+    (List.length Corpus.expected_missed_by_both);
+  Alcotest.(check int) "4 O3-folded" 4 (List.length Corpus.expected_o3_folded)
+
+(* ---------------- per-program sanity ---------------- *)
+
+let test_sulong_category_matches_ground_truth () =
+  (* For each detected bug the reported category must be consistent with
+     the ground truth (varargs bugs surface as OOB reads of the varargs
+     machinery, which is how the paper describes their detection too). *)
+  List.iter
+    (fun (r : Effectiveness.run) ->
+      match List.assoc_opt Engine.Safe_sulong r.Effectiveness.results with
+      | Some (Outcome.Detected { kind; _ }) -> begin
+        let p = r.Effectiveness.program in
+        let ok =
+          match p.Groundtruth.category with
+          | Groundtruth.Oob _ -> kind = "out-of-bounds"
+          | Groundtruth.Null_dereference -> kind = "null-dereference"
+          | Groundtruth.Use_after_free -> kind = "use-after-free"
+          | Groundtruth.Varargs -> kind = "out-of-bounds" || kind = "varargs"
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s reported as %s" p.Groundtruth.id kind)
+          true ok
+      end
+      | _ -> ())
+    (Lazy.force runs)
+
+let test_table1_table2_render () =
+  let runs = Lazy.force runs in
+  let t1 = Table.render (Effectiveness.table1 runs) in
+  Alcotest.(check bool) "table1 shows 61" true
+    (Util.string_contains ~needle:"61" t1);
+  let t2 = Table.render (Effectiveness.table2 runs) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("table2 has " ^ needle) true
+        (Util.string_contains ~needle t2))
+    [ "32"; "29"; "53"; "17" ]
+
+let () =
+  Alcotest.run "corpus"
+    [
+      ( "distribution",
+        [
+          Alcotest.test_case "size" `Quick test_corpus_size;
+          Alcotest.test_case "unique ids" `Quick test_unique_ids;
+          Alcotest.test_case "matches the paper exactly" `Quick
+            test_distribution_matches_paper;
+          Alcotest.test_case "special sets sized" `Quick test_eight_special_bugs;
+        ] );
+      ( "detection",
+        [
+          Alcotest.test_case "Safe Sulong finds all 68" `Slow test_sulong_finds_all;
+          Alcotest.test_case "ASan -O0 finds 60" `Slow test_asan_o0_count;
+          Alcotest.test_case "ASan -O3 finds 56" `Slow test_asan_o3_count;
+          Alcotest.test_case "ASan -O3 subset of -O0" `Slow
+            test_asan_o3_subset_of_o0;
+          Alcotest.test_case "-O3 loses exactly the folded 4" `Slow
+            test_asan_o3_loses_exactly_the_folded;
+          Alcotest.test_case "Valgrind about half" `Slow test_valgrind_about_half;
+          Alcotest.test_case "Valgrind O0/O3 overlap but differ" `Slow
+            test_valgrind_o0_o3_sets_differ_but_overlap;
+          Alcotest.test_case "missed-by-both = the 8 case studies" `Slow
+            test_missed_by_both_is_the_case_study_set;
+          Alcotest.test_case "categories match ground truth" `Slow
+            test_sulong_category_matches_ground_truth;
+          Alcotest.test_case "tables render" `Slow test_table1_table2_render;
+        ] );
+    ]

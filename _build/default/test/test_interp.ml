@@ -1,0 +1,217 @@
+(** Safe Sulong interpreter tests: the shared semantic battery, every
+    error class of the paper, the varargs machinery, and engine limits. *)
+
+let run ?(argv = [ "prog" ]) ?(input = "") src = Loader.run_source ~argv ~input src
+
+let check_case (c : Cases.case) () =
+  let r = run ~input:c.Cases.input c.Cases.src in
+  (match r.Interp.error with
+  | Some (_, msg) -> Alcotest.failf "%s: unexpected error: %s" c.Cases.name msg
+  | None -> ());
+  Alcotest.(check string) c.Cases.name c.Cases.expected r.Interp.output
+
+let semantic_tests =
+  List.map
+    (fun (c : Cases.case) -> Alcotest.test_case c.Cases.name `Quick (check_case c))
+    Cases.all
+
+(* ---------------- error detection ---------------- *)
+
+let expect_error ?(argv = [ "prog" ]) ?(input = "") category src () =
+  let r = run ~argv ~input src in
+  match r.Interp.error with
+  | Some (got, _) ->
+    Alcotest.(check string) "category" category (Merror.category_name got)
+  | None -> Alcotest.failf "expected %s, program finished" category
+
+let detection_tests =
+  [
+    Alcotest.test_case "stack overflow write" `Quick
+      (expect_error "out-of-bounds"
+         "int main(void) { int a[3]; a[3] = 1; return 0; }");
+    Alcotest.test_case "stack underflow read" `Quick
+      (expect_error "out-of-bounds"
+         "int main(void) { int a[3]; int i = -1; return a[i]; }");
+    Alcotest.test_case "heap overflow" `Quick
+      (expect_error "out-of-bounds"
+         "int main(void) { int *p = (int*)malloc(8); p[2] = 1; free(p); return 0; }");
+    Alcotest.test_case "global overflow" `Quick
+      (expect_error "out-of-bounds"
+         "int g[2]; int main(int argc, char **argv) { return g[argc + 1]; }");
+    Alcotest.test_case "main-args overflow" `Quick
+      (expect_error "out-of-bounds"
+         "int main(int argc, char **argv) { return argv[9] != 0; }");
+    Alcotest.test_case "use-after-free" `Quick
+      (expect_error "use-after-free"
+         "int main(void) { int *p = (int*)malloc(4); free(p); return *p; }");
+    Alcotest.test_case "double free" `Quick
+      (expect_error "double-free"
+         "int main(void) { int *p = (int*)malloc(4); free(p); free(p); return 0; }");
+    Alcotest.test_case "invalid free of global" `Quick
+      (expect_error "invalid-free"
+         "int g; int main(void) { free(&g); return 0; }");
+    Alcotest.test_case "invalid free of interior pointer" `Quick
+      (expect_error "invalid-free"
+         "int main(void) { char *p = (char*)malloc(8); free(p + 1); return 0; }");
+    Alcotest.test_case "NULL read" `Quick
+      (expect_error "null-dereference" "int main(void) { int *p = 0; return *p; }");
+    Alcotest.test_case "NULL write" `Quick
+      (expect_error "null-dereference"
+         "int main(void) { int *p = 0; *p = 4; return 0; }");
+    Alcotest.test_case "NULL through struct" `Quick
+      (expect_error "null-dereference"
+         "struct s { int v; }; int main(void) { struct s *p = 0; return p->v; }");
+    Alcotest.test_case "NULL function pointer call" `Quick
+      (expect_error "null-dereference"
+         "int main(void) { int (*f)(void) = 0; return f(); }");
+    Alcotest.test_case "missing vararg" `Quick
+      (expect_error "out-of-bounds"
+         {|int main(void) { printf("%d %d\n", 1); return 0; }|});
+    Alcotest.test_case "printf %ld with int" `Quick
+      (expect_error "out-of-bounds"
+         {|int main(void) { int x = 1; printf("%ld\n", x); return 0; }|});
+    Alcotest.test_case "division by zero" `Quick
+      (expect_error "division-by-zero"
+         "int main(int argc, char **argv) { return 10 / (argc - 1); }");
+    Alcotest.test_case "free of forged pointer" `Quick
+      (expect_error "invalid-free"
+         "int main(void) { free((void*)0x12345); return 0; }");
+    Alcotest.test_case "call through data pointer" `Quick
+      (expect_error "type-violation"
+         "int main(void) { int x = 1; int (*f)(void) = (int(*)(void))&x; return f(); }");
+    Alcotest.test_case "deref of forged integer pointer" `Quick
+      (expect_error "type-violation"
+         "int main(void) { long v = 0x777777; int *p = (int*)v; return *p; }");
+  ]
+
+(* ---------------- error message quality ---------------- *)
+
+let test_message_contents () =
+  let r = run "int main(void) { int a[4]; a[4] = 1; return 0; }" in
+  match r.Interp.error with
+  | Some (_, msg) ->
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool) ("mentions " ^ needle) true
+          (Util.string_contains ~needle msg))
+      [ "offset 16"; "16-byte"; "automatic"; "I32AutomaticArray"; "write" ]
+  | None -> Alcotest.fail "expected an error"
+
+let test_storage_in_messages () =
+  let check src needle =
+    let r = run src in
+    match r.Interp.error with
+    | Some (_, msg) ->
+      Alcotest.(check bool) ("mentions " ^ needle) true
+        (Util.string_contains ~needle msg)
+    | None -> Alcotest.fail "expected error"
+  in
+  check "int main(void) { int *p = (int*)malloc(8); free(p); free(p); return 0; }"
+    "twice";
+  check "int g[2]; int main(int argc, char **argv) { return g[argc+1]; }" "static";
+  check "int main(int argc, char **argv) { return argv[8] != 0; }" "main-arguments"
+
+(* ---------------- pointer cookies through C ---------------- *)
+
+let test_ptr_int_roundtrip_in_c () =
+  let r =
+    run
+      {|
+int main(void) {
+  int x = 42;
+  long cookie = (long)&x;
+  int *p = (int *)cookie;
+  printf("%d\n", *p);
+  return 0;
+}
+|}
+  in
+  Alcotest.(check string) "roundtrip works" "42\n" r.Interp.output
+
+(* ---------------- varargs machinery ---------------- *)
+
+let test_count_and_get_varargs () =
+  let r =
+    run
+      {|
+int sum_all(int n, ...) {
+  struct __varargs ap;
+  __va_start(&ap);
+  int total = 0;
+  for (int i = 0; i < n; i++) {
+    total += *(int *)__va_next(&ap);
+  }
+  __va_end(&ap);
+  return total;
+}
+int main(void) {
+  printf("%d %d\n", sum_all(3, 10, 20, 30), sum_all(0));
+  return 0;
+}
+|}
+  in
+  (match r.Interp.error with
+  | Some (_, m) -> Alcotest.fail m
+  | None -> ());
+  Alcotest.(check string) "user variadic function" "60 0\n" r.Interp.output
+
+(* ---------------- limits ---------------- *)
+
+let test_step_limit () =
+  let r = Loader.run_source ~step_limit:10_000 "int main(void) { while (1) {} return 0; }" in
+  Alcotest.(check bool) "timed out" true r.Interp.timed_out
+
+let test_recursion_guard () =
+  let r = run "int f(int n) { return f(n + 1); } int main(void) { return f(0); }" in
+  match r.Interp.error with
+  | Some (Merror.Stack_overflow_guard, _) -> ()
+  | Some (_, m) -> Alcotest.fail ("wrong error: " ^ m)
+  | None -> Alcotest.fail "expected stack overflow guard"
+
+let test_leak_report () =
+  let r = run "int main(void) { malloc(10); malloc(20); return 0; }" in
+  Alcotest.(check int) "two leaks" 2 r.Interp.leaks
+
+let test_exit_code () =
+  let r = run "int main(void) { return 42; }" in
+  Alcotest.(check int) "exit code" 42 r.Interp.exit_code;
+  let r2 = run "int main(void) { exit(3); return 0; }" in
+  Alcotest.(check int) "exit()" 3 r2.Interp.exit_code
+
+let test_argv_passing () =
+  let r =
+    run ~argv:[ "prog"; "alpha"; "beta" ]
+      {|
+int main(int argc, char **argv) {
+  printf("%d %s %s\n", argc, argv[1], argv[2]);
+  return 0;
+}
+|}
+  in
+  Alcotest.(check string) "argv contents" "3 alpha beta\n" r.Interp.output
+
+let () =
+  Alcotest.run "interp"
+    [
+      ("semantics", semantic_tests);
+      ("detection", detection_tests);
+      ( "messages",
+        [
+          Alcotest.test_case "message contents" `Quick test_message_contents;
+          Alcotest.test_case "storage kinds" `Quick test_storage_in_messages;
+        ] );
+      ( "pointers+varargs",
+        [
+          Alcotest.test_case "ptr/int roundtrip" `Quick test_ptr_int_roundtrip_in_c;
+          Alcotest.test_case "user variadic function" `Quick
+            test_count_and_get_varargs;
+        ] );
+      ( "limits",
+        [
+          Alcotest.test_case "step limit" `Quick test_step_limit;
+          Alcotest.test_case "recursion guard" `Quick test_recursion_guard;
+          Alcotest.test_case "leak report" `Quick test_leak_report;
+          Alcotest.test_case "exit codes" `Quick test_exit_code;
+          Alcotest.test_case "argv passing" `Quick test_argv_passing;
+        ] );
+    ]

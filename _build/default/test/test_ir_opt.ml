@@ -1,0 +1,712 @@
+(** IR well-formedness and optimizer tests, including the differential
+    property test: for randomly generated (well-defined) C programs, the
+    -O3 pipeline, the backend fold and the safe-JIT pipeline must
+    preserve observable behaviour exactly — across the managed *and* the
+    native engine. *)
+
+(* ---------------- verify ---------------- *)
+
+let mk_func ~blocks : Irfunc.t =
+  { Irfunc.name = "f"; params = []; ret = Some Irtype.I32; variadic = false;
+    blocks; next_reg = 100; src_pos = (0, 0) }
+
+let mk_mod f : Irmod.t =
+  { Irmod.globals = []; funcs = [ f ]; externs = [] }
+
+let expect_invalid msg f =
+  try
+    Verify.verify (mk_mod f);
+    Alcotest.fail ("expected Verify.Invalid: " ^ msg)
+  with Verify.Invalid _ -> ()
+
+let test_verify_undefined_reg () =
+  expect_invalid "use of undefined register"
+    (mk_func
+       ~blocks:
+         [
+           { Irfunc.label = "entry"; instrs = [];
+             term = Instr.Ret (Some (Irtype.I32, Instr.Reg 7)) };
+         ])
+
+let test_verify_unknown_block () =
+  expect_invalid "branch to unknown block"
+    (mk_func
+       ~blocks:
+         [ { Irfunc.label = "entry"; instrs = []; term = Instr.Br "nowhere" } ])
+
+let test_verify_duplicate_label () =
+  expect_invalid "duplicate label"
+    (mk_func
+       ~blocks:
+         [
+           { Irfunc.label = "a"; instrs = []; term = Instr.Br "a" };
+           { Irfunc.label = "a"; instrs = []; term = Instr.Ret None };
+         ])
+
+let test_verify_double_def () =
+  expect_invalid "register defined twice"
+    (mk_func
+       ~blocks:
+         [
+           {
+             Irfunc.label = "entry";
+             instrs =
+               [
+                 Instr.Binop (1, Instr.Add, Irtype.I32,
+                              Instr.ImmInt (1L, Irtype.I32),
+                              Instr.ImmInt (2L, Irtype.I32));
+                 Instr.Binop (1, Instr.Add, Irtype.I32,
+                              Instr.ImmInt (1L, Irtype.I32),
+                              Instr.ImmInt (2L, Irtype.I32));
+               ];
+             term = Instr.Ret (Some (Irtype.I32, Instr.Reg 1));
+           };
+         ])
+
+let test_verify_unknown_callee () =
+  expect_invalid "unknown callee"
+    (mk_func
+       ~blocks:
+         [
+           {
+             Irfunc.label = "entry";
+             instrs = [ Instr.Call (None, None, Instr.Direct "ghost", []) ];
+             term = Instr.Ret (Some (Irtype.I32, Instr.ImmInt (0L, Irtype.I32)));
+           };
+         ])
+
+let test_accepts_frontend_output () =
+  let m = Loader.load_program "int main(void) { return 0; }" in
+  Verify.verify m
+
+(* ---------------- CFG analyses ---------------- *)
+
+(* A diamond with a loop:
+     entry -> header; header -> body | exit; body -> left | right;
+     left/right -> latch; latch -> header *)
+let diamond_loop () : Irfunc.t =
+  let b label term = { Irfunc.label; instrs = []; term } in
+  let imm = Instr.ImmInt (1L, Irtype.I1) in
+  mk_func
+    ~blocks:
+      [
+        b "entry" (Instr.Br "header");
+        b "header" (Instr.Condbr (imm, "body", "exit"));
+        b "body" (Instr.Condbr (imm, "left", "right"));
+        b "left" (Instr.Br "latch");
+        b "right" (Instr.Br "latch");
+        b "latch" (Instr.Br "header");
+        b "exit" (Instr.Ret (Some (Irtype.I32, Instr.ImmInt (0L, Irtype.I32))));
+      ]
+
+let test_cfg_dominators () =
+  let f = diamond_loop () in
+  let info = Cfg.compute f in
+  let idom l = Hashtbl.find_opt info.Cfg.idom l in
+  Alcotest.(check (option string)) "header idom" (Some "entry") (idom "header");
+  Alcotest.(check (option string)) "body idom" (Some "header") (idom "body");
+  Alcotest.(check (option string)) "latch idom" (Some "body") (idom "latch");
+  Alcotest.(check (option string)) "exit idom" (Some "header") (idom "exit");
+  Alcotest.(check bool) "entry dominates all" true
+    (Cfg.dominates info "entry" "latch");
+  Alcotest.(check bool) "body does not dominate exit" false
+    (Cfg.dominates info "body" "exit")
+
+let test_cfg_dominance_frontier () =
+  let f = diamond_loop () in
+  let info = Cfg.compute f in
+  let df l =
+    List.sort compare (Option.value (Hashtbl.find_opt info.Cfg.df l) ~default:[])
+  in
+  (* left and right join at latch; the loop makes header its own frontier *)
+  Alcotest.(check (list string)) "df(left)" [ "latch" ] (df "left");
+  Alcotest.(check (list string)) "df(right)" [ "latch" ] (df "right");
+  Alcotest.(check (list string)) "df(latch)" [ "header" ] (df "latch")
+
+let test_cfg_natural_loops () =
+  let f = diamond_loop () in
+  let info = Cfg.compute f in
+  match Cfg.natural_loops f info with
+  | [ (header, body) ] ->
+    Alcotest.(check string) "loop header" "header" header;
+    Alcotest.(check (list string)) "loop body"
+      [ "body"; "header"; "latch"; "left"; "right" ]
+      (List.sort compare body)
+  | loops -> Alcotest.failf "expected one loop, got %d" (List.length loops)
+
+let test_cfg_unreachable_removal () =
+  let b label term = { Irfunc.label; instrs = []; term } in
+  let f =
+    mk_func
+      ~blocks:
+        [
+          b "entry" (Instr.Ret (Some (Irtype.I32, Instr.ImmInt (0L, Irtype.I32))));
+          b "island" (Instr.Br "island2");
+          b "island2" (Instr.Br "island");
+        ]
+  in
+  Cfg.remove_unreachable f;
+  Alcotest.(check (list string)) "islands removed" [ "entry" ]
+    (List.map (fun (b : Irfunc.block) -> b.Irfunc.label) f.Irfunc.blocks)
+
+(* ---------------- individual passes ---------------- *)
+
+let compile src = Loader.compile_user src
+
+let count_instrs pred (m : Irmod.t) =
+  List.fold_left
+    (fun acc (f : Irfunc.t) ->
+      let n = ref 0 in
+      Irfunc.iter_instrs f (fun _ i -> if pred i then incr n);
+      acc + !n)
+    0 m.Irmod.funcs
+
+let is_alloca = function Instr.Alloca _ -> true | _ -> false
+let is_store = function Instr.Store _ -> true | _ -> false
+
+let test_mem2reg_promotes_scalars () =
+  let m = compile "int f(int a, int b) { int x = a + b; int y = x * 2; return y - a; }" in
+  Alcotest.(check bool) "allocas before" true (count_instrs is_alloca m > 0);
+  ignore (Mem2reg.run m);
+  ignore (Dce.run ~semantics:`Ub m);
+  Verify.verify m;
+  Alcotest.(check int) "no allocas after" 0 (count_instrs is_alloca m)
+
+let test_mem2reg_keeps_escaping () =
+  let m = compile "void g(int *p); int f(void) { int x = 1; g(&x); return x; }" in
+  ignore (Mem2reg.run m);
+  Alcotest.(check bool) "escaping alloca kept" true (count_instrs is_alloca m > 0)
+
+let test_fold_constants () =
+  let m = compile "int f(void) { return (3 + 4) * 2 - 6; }" in
+  ignore (Fold.run m);
+  ignore (Dce.run ~semantics:`Ub m);
+  let f = List.find (fun (f : Irfunc.t) -> f.Irfunc.name = "f") m.Irmod.funcs in
+  match (Irfunc.entry f).Irfunc.term with
+  | Instr.Ret (Some (_, Instr.ImmInt (8L, _))) -> ()
+  | t -> Alcotest.fail ("expected folded ret 8, got " ^ Irprint.term_to_string t)
+
+let test_fold_branch () =
+  let m = compile "int f(void) { if (1 < 2) { return 10; } return 20; }" in
+  ignore (Fold.run m);
+  ignore (Simplifycfg.run m);
+  Verify.verify m;
+  let f = List.find (fun (f : Irfunc.t) -> f.Irfunc.name = "f") m.Irmod.funcs in
+  Alcotest.(check int) "single block after folding" 1 (List.length f.Irfunc.blocks)
+
+let test_dse_removes_dead_object_stores () =
+  let m =
+    compile
+      "int f(int n) { int arr[10]; for (int i = 0; i < n; i++) { arr[i] = i; } return 0; }"
+  in
+  ignore (Mem2reg.run m);
+  let stores_before = count_instrs is_store m in
+  ignore (Dse.run m);
+  Verify.verify m;
+  Alcotest.(check bool) "dead stores removed" true
+    (count_instrs is_store m < stores_before);
+  Alcotest.(check int) "dead array removed with them" 0 (count_instrs is_alloca m)
+
+let test_ubopt_deletes_dead_loop () =
+  let m =
+    compile "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return 0; }"
+  in
+  ignore (Pipeline.o3 m);
+  Verify.verify m;
+  let f = List.find (fun (f : Irfunc.t) -> f.Irfunc.name = "f") m.Irmod.funcs in
+  Alcotest.(check int) "loop deleted to a single block" 1
+    (List.length f.Irfunc.blocks)
+
+let test_ubopt_removes_null_check_after_deref () =
+  let m =
+    compile
+      "int f(int *p) { int v = *p; if (p == 0) { return -1; } return v; }"
+  in
+  (* value numbering comes from mem2reg, as in the real pipeline *)
+  ignore (Mem2reg.run m);
+  let before = count_instrs (function Instr.Icmp _ -> true | _ -> false) m in
+  ignore (Ubopt.run m);
+  ignore (Fold.run m);
+  Verify.verify m;
+  let after = count_instrs (function Instr.Icmp _ -> true | _ -> false) m in
+  Alcotest.(check bool) "null check folded" true (after < before)
+
+let test_backendfold_removes_constant_oob () =
+  let m =
+    compile "int count[7]; int main(void) { return count[7]; }"
+  in
+  let loads m = count_instrs (function Instr.Load _ -> true | _ -> false) m in
+  Alcotest.(check bool) "load before" true (loads m > 0);
+  ignore (Backendfold.run m);
+  Verify.verify m;
+  Alcotest.(check int) "constant OOB load deleted" 0 (loads m)
+
+let test_backendfold_keeps_inbounds () =
+  let m = compile "int count[7]; int main(void) { return count[6]; }" in
+  ignore (Backendfold.run m);
+  Alcotest.(check bool) "in-bounds load kept" true
+    (count_instrs (function Instr.Load _ -> true | _ -> false) m > 0)
+
+let test_simplifycfg_merges () =
+  let m = compile "int f(void) { int x = 1; { int y = 2; x += y; } return x; }" in
+  ignore (Mem2reg.run m);
+  ignore (Simplifycfg.run m);
+  Verify.verify m
+
+(* ---------------- differential property test ---------------- *)
+
+(* Random well-defined C expression programs: every engine and pipeline
+   must print the same output.  Shifts are masked and divisors forced
+   nonzero so behaviour is defined identically everywhere. *)
+let gen_expr rng max_depth =
+  let vars = [ "a"; "b"; "c"; "d" ] in
+  let rec go depth =
+    if depth = 0 || Prng.int rng 100 < 25 then
+      match Prng.int rng 3 with
+      | 0 -> Prng.pick rng vars
+      | 1 -> string_of_int (Prng.int rng 200 - 100)
+      | _ -> Prng.pick rng vars
+    else begin
+      match Prng.int rng 12 with
+      | 0 -> Printf.sprintf "(%s + %s)" (go (depth - 1)) (go (depth - 1))
+      | 1 -> Printf.sprintf "(%s - %s)" (go (depth - 1)) (go (depth - 1))
+      | 2 -> Printf.sprintf "(%s * %s)" (go (depth - 1)) (go (depth - 1))
+      | 3 -> Printf.sprintf "(%s / %d)" (go (depth - 1)) (1 + Prng.int rng 9)
+      | 4 -> Printf.sprintf "(%s %% %d)" (go (depth - 1)) (1 + Prng.int rng 9)
+      | 5 -> Printf.sprintf "(%s & %s)" (go (depth - 1)) (go (depth - 1))
+      | 6 -> Printf.sprintf "(%s | %s)" (go (depth - 1)) (go (depth - 1))
+      | 7 -> Printf.sprintf "(%s ^ %s)" (go (depth - 1)) (go (depth - 1))
+      | 8 -> Printf.sprintf "(%s << %d)" (go (depth - 1)) (Prng.int rng 8)
+      | 9 -> Printf.sprintf "(%s >> %d)" (go (depth - 1)) (Prng.int rng 8)
+      | 10 ->
+        Printf.sprintf "(%s < %s ? %s : %s)" (go (depth - 1)) (go (depth - 1))
+          (go (depth - 1)) (go (depth - 1))
+      | _ -> Printf.sprintf "(- %s)" (go (depth - 1))
+    end
+  in
+  go max_depth
+
+let gen_program rng =
+  let a = Prng.int rng 100 in
+  let b = Prng.int rng 100 - 50 in
+  let c = Prng.int rng 1000 in
+  let d = Prng.int rng 100 in
+  Printf.sprintf
+    {|
+int main(void) {
+  int a = %d;
+  int b = %d;
+  long c = %d;
+  unsigned int d = %du;
+  long r0 = %s;
+  long r1 = %s;
+  long r2 = %s;
+  int loop_sum = 0;
+  for (int i = 0; i < 9; i++) {
+    loop_sum += (int)((r0 + i) ^ (r1 - i));
+    if (loop_sum > 100000) { loop_sum /= 3; }
+  }
+  printf("%%ld %%ld %%ld %%d\n", r0, r1, r2, loop_sum);
+  return 0;
+}
+|}
+    a b c d (gen_expr rng 4) (gen_expr rng 4) (gen_expr rng 4)
+
+let run_output tool src =
+  let r = Engine.run tool src in
+  match r.Engine.outcome with
+  | Outcome.Finished _ -> r.Engine.output
+  | o -> "ABNORMAL: " ^ Outcome.to_string o
+
+let test_differential_random_programs () =
+  let rng = Prng.create 20180324 in
+  for i = 1 to 25 do
+    let src = gen_program rng in
+    let reference = run_output (Engine.Clang Pipeline.O0) src in
+    List.iter
+      (fun (name, tool) ->
+        let out = run_output tool src in
+        if out <> reference then
+          Alcotest.failf "program %d: %s output %S differs from O0 %S\nsource:\n%s"
+            i name out reference src)
+      [
+        ("sulong", Engine.Safe_sulong);
+        ("clang -O3", Engine.Clang Pipeline.O3);
+        ("asan -O0", Engine.Asan Pipeline.O0);
+        ("valgrind -O0", Engine.Valgrind Pipeline.O0);
+      ]
+  done
+
+let test_safe_jit_preserves_behaviour () =
+  let rng = Prng.create 99 in
+  for _ = 1 to 10 do
+    let src = gen_program rng in
+    let m = Loader.load_program src in
+    let st = Interp.create m in
+    let r0 = Interp.run st in
+    let m2 = Loader.load_program src in
+    ignore (Pipeline.safe_jit m2);
+    Verify.verify m2;
+    let st2 = Interp.create m2 in
+    let r2 = Interp.run st2 in
+    Alcotest.(check string) "safe-jit output" r0.Interp.output r2.Interp.output;
+    Alcotest.(check bool) "safe-jit executes fewer ops" true
+      (r2.Interp.steps <= r0.Interp.steps)
+  done
+
+(* ---------------- inlining ---------------- *)
+
+let test_inline_preserves_behaviour () =
+  let rng = Prng.create 1234 in
+  for _ = 1 to 8 do
+    let src = gen_program rng in
+    let reference = run_output (Engine.Clang Pipeline.O0) src in
+    let m = Loader.load_program src in
+    ignore (Inline.run m);
+    Verify.verify m;
+    let st = Interp.create m in
+    let out = (Interp.run st).Interp.output in
+    Alcotest.(check string) "inlined program agrees" reference out
+  done
+
+let test_inline_small_functions () =
+  let m =
+    compile
+      {|
+int sq(int x) { return x * x; }
+int main(void) { return sq(3) + sq(4); }
+|}
+  in
+  Alcotest.(check bool) "inlined something" true (Inline.run m);
+  Verify.verify m;
+  let main = List.find (fun (f : Irfunc.t) -> f.Irfunc.name = "main") m.Irmod.funcs in
+  let calls = ref 0 in
+  Irfunc.iter_instrs main (fun _ i ->
+      match i with Instr.Call _ -> incr calls | _ -> ());
+  Alcotest.(check int) "no calls remain in main" 0 !calls
+
+let test_inline_skips_recursion_and_variadics () =
+  let m =
+    compile
+      {|
+int fact(int n) { if (n < 2) { return 1; } return n * fact(n - 1); }
+int main(void) { return fact(5); }
+|}
+  in
+  ignore (Inline.run m);
+  Verify.verify m;
+  let main = List.find (fun (f : Irfunc.t) -> f.Irfunc.name = "main") m.Irmod.funcs in
+  let calls = ref 0 in
+  Irfunc.iter_instrs main (fun _ i ->
+      match i with Instr.Call _ -> incr calls | _ -> ());
+  Alcotest.(check bool) "recursive call kept" true (!calls >= 1)
+
+let test_inlining_hides_more_bugs () =
+  (* The P2 escalation: with inlining, a constant argument turns a
+     dynamic OOB into a provably-constant one that the backend deletes —
+     check and all.  Safe Sulong, executing front-end IR, still sees it. *)
+  let src =
+    {|
+const char *errors[3] = {"ok", "warning", "fatal"};
+const char *describe(int code) { return errors[code]; }
+int main(void) {
+  printf("%s\n", describe(3));
+  return 0;
+}
+|}
+  in
+  (* without inlining: ASan -O3 finds the OOB (index unknown per function) *)
+  let plain = Engine.run (Engine.Asan Pipeline.O3) src in
+  Alcotest.(check bool) "found without inlining" true
+    (Outcome.is_detected plain.Engine.outcome);
+  (* with inlining + the same pipeline: the access folds away *)
+  let m = Loader.compile_user src in
+  ignore (Inline.run m);
+  ignore (Pipeline.o3 m);
+  ignore (Pipeline.backend m);
+  Asan.instrument m;
+  Verify.verify m;
+  let mem = Mem.create () in
+  let alloc = Alloc.create mem in
+  let _, hooks = Asan.make ~mem ~alloc () in
+  let st = Nexec.create ~hooks ~global_gap:32 ~mem ~alloc m in
+  let r = Nexec.run st in
+  Alcotest.(check bool) "missed with inlining" true (r.Nexec.report = None);
+  (* and Safe Sulong still finds it regardless *)
+  Alcotest.(check bool) "Safe Sulong unaffected" true
+    (Outcome.is_detected (Engine.run Engine.Safe_sulong src).Engine.outcome)
+
+(* ---------------- textual IR round trip ---------------- *)
+
+let roundtrip_module (m : Irmod.t) =
+  let printed = Irprint.module_to_string m in
+  let reparsed =
+    try Irparse.parse printed
+    with Irparse.Parse_error (line, msg) ->
+      Alcotest.failf "parse error at line %d: %s\n%s" line msg printed
+  in
+  Verify.verify reparsed;
+  let reprinted = Irprint.module_to_string reparsed in
+  if printed <> reprinted then begin
+    (* locate the first differing line for a readable failure *)
+    let a = String.split_on_char '\n' printed in
+    let b = String.split_on_char '\n' reprinted in
+    let rec first_diff i = function
+      | x :: xs, y :: ys ->
+        if x <> y then Alcotest.failf "roundtrip line %d:\n  was: %s\n  got: %s" i x y
+        else first_diff (i + 1) (xs, ys)
+      | [], y :: _ -> Alcotest.failf "roundtrip extra line %d: %s" i y
+      | x :: _, [] -> Alcotest.failf "roundtrip missing line %d: %s" i x
+      | [], [] -> ()
+    in
+    first_diff 1 (a, b)
+  end;
+  reparsed
+
+let test_roundtrip_simple () =
+  ignore
+    (roundtrip_module
+       (Loader.compile_user
+          {|
+struct pair { int a; long b; };
+struct pair box = {1, 2};
+double weights[3] = {0.5, 1.5, 2.5};
+const char *label = "hi\n";
+int helper(int x) { return x * 2; }
+int (*fn)(int) = helper;
+int main(void) {
+  struct pair local;
+  local.a = helper(box.a);
+  switch (local.a) { case 2: return 1; default: return 0; }
+}
+|}))
+
+let test_roundtrip_optimized () =
+  (* phis, folded branches, the whole -O3 shape *)
+  let m =
+    Loader.compile_user
+      {|
+int loop(int n) {
+  int s = 0;
+  for (int i = 0; i < n; i++) { s += i * i; }
+  return s;
+}
+int main(void) { return loop(10) & 0xff; }
+|}
+  in
+  Pipeline.compile_native ~level:Pipeline.O3 m;
+  ignore (roundtrip_module m)
+
+let test_roundtrip_instrumented () =
+  let m = Loader.compile_user "int main(void) { int a[3]; a[0] = 1; return a[0]; }" in
+  Asan.instrument m;
+  ignore (roundtrip_module m)
+
+let test_roundtrip_full_program () =
+  (* the libc-linked meteor module: ~everything the IR can express *)
+  ignore (roundtrip_module (Loader.load_program Benchprogs.meteor.Benchprogs.b_source))
+
+let test_parsed_ir_executes () =
+  let src = {|
+int main(void) {
+  int total = 0;
+  for (int i = 1; i <= 5; i++) { total += i; }
+  printf("total=%d\n", total);
+  return 0;
+}
+|} in
+  let m = Loader.load_program src in
+  let st = Interp.create m in
+  let expected = (Interp.run st).Interp.output in
+  let reparsed = Irparse.parse (Irprint.module_to_string (Loader.load_program src)) in
+  let st2 = Interp.create reparsed in
+  Alcotest.(check string) "reparsed module runs identically" expected
+    (Interp.run st2).Interp.output
+
+let test_parse_errors_have_lines () =
+  let expect_error text =
+    try
+      ignore (Irparse.parse text);
+      Alcotest.fail "expected parse error"
+    with Irparse.Parse_error (line, _) ->
+      Alcotest.(check bool) "line number positive" true (line >= 1)
+  in
+  expect_error "define i32 @f( {\n}";
+  expect_error "@g = global i32 frog\n";
+  expect_error "define i32 @f() {\nentry:\n  %1 = frobnicate i32 1\n  ret i32 %1\n}"
+
+let gen_roundtrip_prop =
+  QCheck.Test.make ~count:15 ~name:"random programs round-trip through text"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let m = Loader.compile_user (gen_program rng) in
+      let printed = Irprint.module_to_string m in
+      let reparsed = Irparse.parse printed in
+      Irprint.module_to_string reparsed = printed)
+
+(* ---------------- heap-program fuzzing ---------------- *)
+
+(* Random *valid* heap workloads: allocations with tracked sizes, only
+   in-bounds accesses, resizes and frees.  Every engine must produce the
+   same checksum — this exercises the allocators, managed object model,
+   shadow redzones and quarantine on the happy path. *)
+let gen_heap_program rng =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "int main(void) {\n  long checksum = 0;\n";
+  let sizes = Array.make 6 0 in
+  for v = 0 to 5 do
+    let n = 1 + Prng.int rng 24 in
+    sizes.(v) <- n;
+    add "  int *a%d = (int *)%s;\n" v
+      (if Prng.int rng 2 = 0 then Printf.sprintf "malloc(%d * sizeof(int))" n
+       else Printf.sprintf "calloc(%d, sizeof(int))" n);
+    add "  for (int i = 0; i < %d; i++) { a%d[i] = i * %d; }\n" n v (v + 1)
+  done;
+  for _ = 1 to 25 do
+    let v = Prng.int rng 6 in
+    let n = sizes.(v) in
+    match Prng.int rng 4 with
+    | 0 ->
+      let i = Prng.int rng n in
+      add "  a%d[%d] = a%d[%d] + %d;\n" v i v (Prng.int rng n) (Prng.int rng 100)
+    | 1 -> add "  checksum += a%d[%d];\n" v (Prng.int rng n)
+    | 2 ->
+      (* grow (never shrink, so tracked indices stay valid) *)
+      let n' = n + 1 + Prng.int rng 16 in
+      sizes.(v) <- n';
+      add "  a%d = (int *)realloc(a%d, %d * sizeof(int));\n" v v n';
+      add "  for (int i = %d; i < %d; i++) { a%d[i] = i; }\n" n n' v
+    | _ ->
+      let fresh = 2 + Prng.int rng 20 in
+      sizes.(v) <- fresh;
+      add "  free(a%d);\n" v;
+      add "  a%d = (int *)malloc(%d * sizeof(int));\n" v fresh;
+      add "  for (int i = 0; i < %d; i++) { a%d[i] = i + %d; }\n" fresh v v
+  done;
+  for v = 0 to 5 do
+    add "  for (int i = 0; i < %d; i++) { checksum += a%d[i]; }\n" sizes.(v) v;
+    add "  free(a%d);\n" v
+  done;
+  add "  printf(\"%%ld\\n\", checksum);\n  return 0;\n}\n";
+  Buffer.contents buf
+
+let test_heap_fuzz_across_engines () =
+  let rng = Prng.create 424242 in
+  for i = 1 to 12 do
+    let src = gen_heap_program rng in
+    let reference = run_output (Engine.Clang Pipeline.O0) src in
+    List.iter
+      (fun (name, tool) ->
+        let out = run_output tool src in
+        if out <> reference then
+          Alcotest.failf "heap program %d: %s output %S vs O0 %S\n%s" i name out
+            reference src)
+      [
+        ("sulong", Engine.Safe_sulong);
+        ("clang -O3", Engine.Clang Pipeline.O3);
+        ("asan", Engine.Asan Pipeline.O0);
+        ("valgrind", Engine.Valgrind Pipeline.O0);
+      ]
+  done
+
+let test_o3_reduces_work () =
+  let src = Benchprogs.fannkuchredux.Benchprogs.b_source in
+  let o0 = Engine.run (Engine.Clang Pipeline.O0) src in
+  let o3 = Engine.run (Engine.Clang Pipeline.O3) src in
+  Alcotest.(check bool) "O3 executes fewer operations" true
+    (o3.Engine.steps < o0.Engine.steps)
+
+let () =
+  Alcotest.run "ir+opt"
+    [
+      ( "verify",
+        [
+          Alcotest.test_case "undefined register" `Quick test_verify_undefined_reg;
+          Alcotest.test_case "unknown block" `Quick test_verify_unknown_block;
+          Alcotest.test_case "duplicate label" `Quick test_verify_duplicate_label;
+          Alcotest.test_case "double definition" `Quick test_verify_double_def;
+          Alcotest.test_case "unknown callee" `Quick test_verify_unknown_callee;
+          Alcotest.test_case "frontend output verifies" `Quick
+            test_accepts_frontend_output;
+        ] );
+      ( "cfg",
+        [
+          Alcotest.test_case "dominators" `Quick test_cfg_dominators;
+          Alcotest.test_case "dominance frontier" `Quick
+            test_cfg_dominance_frontier;
+          Alcotest.test_case "natural loops" `Quick test_cfg_natural_loops;
+          Alcotest.test_case "unreachable removal" `Quick
+            test_cfg_unreachable_removal;
+        ] );
+      ( "passes",
+        [
+          Alcotest.test_case "mem2reg promotes" `Quick test_mem2reg_promotes_scalars;
+          Alcotest.test_case "mem2reg keeps escaping" `Quick
+            test_mem2reg_keeps_escaping;
+          Alcotest.test_case "constant folding" `Quick test_fold_constants;
+          Alcotest.test_case "branch folding" `Quick test_fold_branch;
+          Alcotest.test_case "dead-object store elimination" `Quick
+            test_dse_removes_dead_object_stores;
+          Alcotest.test_case "dead loop deletion" `Quick
+            test_ubopt_deletes_dead_loop;
+          Alcotest.test_case "null-check removal after deref" `Quick
+            test_ubopt_removes_null_check_after_deref;
+          Alcotest.test_case "backend folds constant OOB" `Quick
+            test_backendfold_removes_constant_oob;
+          Alcotest.test_case "backend keeps in-bounds" `Quick
+            test_backendfold_keeps_inbounds;
+          Alcotest.test_case "cfg simplification verifies" `Quick
+            test_simplifycfg_merges;
+        ] );
+      ( "inlining",
+        [
+          Alcotest.test_case "preserves behaviour" `Slow
+            test_inline_preserves_behaviour;
+          Alcotest.test_case "inlines small functions" `Quick
+            test_inline_small_functions;
+          Alcotest.test_case "skips recursion" `Quick
+            test_inline_skips_recursion_and_variadics;
+          Alcotest.test_case "hides more bugs under -O3 (P2)" `Quick
+            test_inlining_hides_more_bugs;
+          Alcotest.test_case "globaldce reaps inlined callees" `Quick
+            (fun () ->
+              let m =
+                compile
+                  {|
+int sq(int x) { return x * x; }
+int helper_unused(int x) { return x + 1; }
+int main(void) { return sq(4); }
+|}
+              in
+              ignore (Inline.run m);
+              ignore (Globaldce.run m);
+              Verify.verify m;
+              Alcotest.(check (list string)) "only main survives" [ "main" ]
+                (List.map (fun (f : Irfunc.t) -> f.Irfunc.name) m.Irmod.funcs));
+        ] );
+      ( "textual roundtrip",
+        [
+          Alcotest.test_case "globals+structs+switch" `Quick test_roundtrip_simple;
+          Alcotest.test_case "optimized IR (phis)" `Quick test_roundtrip_optimized;
+          Alcotest.test_case "instrumented IR" `Quick test_roundtrip_instrumented;
+          Alcotest.test_case "full libc-linked module" `Quick
+            test_roundtrip_full_program;
+          Alcotest.test_case "parsed IR executes" `Quick test_parsed_ir_executes;
+          Alcotest.test_case "errors carry line numbers" `Quick
+            test_parse_errors_have_lines;
+          QCheck_alcotest.to_alcotest gen_roundtrip_prop;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "random programs agree across engines" `Slow
+            test_differential_random_programs;
+          Alcotest.test_case "safe-jit preserves behaviour" `Slow
+            test_safe_jit_preserves_behaviour;
+          Alcotest.test_case "heap fuzzing across engines" `Slow
+            test_heap_fuzz_across_engines;
+          Alcotest.test_case "-O3 reduces executed work" `Quick
+            test_o3_reduces_work;
+        ] );
+    ]

@@ -1,0 +1,260 @@
+(** Tests for the managed object model (paper §3.2–3.3): bounds,
+    liveness, free checks, pointer cookies, and allocation mementos. *)
+
+let alloc_i32_array ?(storage = Merror.Stack) n =
+  Mobject.alloc ~storage
+    ~mty:(Irtype.MArray (Irtype.MScalar Irtype.I32, n))
+    (n * 4)
+
+let addr obj moff = { Mobject.obj; moff }
+
+let expect_category cat f =
+  try
+    f ();
+    Alcotest.fail ("expected " ^ Merror.category_name cat)
+  with Merror.Error (got, _) ->
+    Alcotest.(check string) "error category" (Merror.category_name cat)
+      (Merror.category_name got)
+
+let oob access =
+  Merror.Out_of_bounds
+    { access; offset = 0; size = 0; obj_size = 0; storage = Merror.Stack }
+
+(* ---------------- bounds ---------------- *)
+
+let test_in_bounds_roundtrip () =
+  let obj = alloc_i32_array 4 in
+  Mobject.store_int (addr obj 8) ~size:4 0x1234L "t";
+  Alcotest.(check int64) "read back" 0x1234L
+    (Mobject.load_int (addr obj 8) ~size:4 "t")
+
+let test_read_past_end () =
+  let obj = alloc_i32_array 4 in
+  expect_category (oob Merror.Read) (fun () ->
+      ignore (Mobject.load_int (addr obj 16) ~size:4 "t"))
+
+let test_write_past_end () =
+  let obj = alloc_i32_array 4 in
+  expect_category (oob Merror.Write) (fun () ->
+      Mobject.store_int (addr obj 13) ~size:4 1L "t")
+
+let test_negative_offset () =
+  let obj = alloc_i32_array 4 in
+  expect_category (oob Merror.Read) (fun () ->
+      ignore (Mobject.load_int (addr obj (-1)) ~size:1 "t"))
+
+let test_wide_read_of_narrow_object () =
+  (* the printf("%ld", int) mechanism: 8-byte read of a 4-byte object *)
+  let obj =
+    Mobject.alloc ~storage:Merror.Vararg ~mty:(Irtype.MScalar Irtype.I32) 4
+  in
+  expect_category (oob Merror.Read) (fun () ->
+      ignore (Mobject.load_int (addr obj 0) ~size:8 "t"))
+
+let bounds_props =
+  [
+    QCheck.Test.make ~name:"valid accesses never raise"
+      QCheck.(pair (int_range 1 64) (int_range 0 1000))
+      (fun (n, seed) ->
+        let rng = Prng.create seed in
+        let obj = alloc_i32_array n in
+        let ok = ref true in
+        for _ = 1 to 20 do
+          let size = Prng.pick rng [ 1; 2; 4; 8 ] in
+          if (n * 4) - size >= 0 then begin
+            let off = Prng.int rng ((n * 4) - size + 1) in
+            try
+              Mobject.store_int (addr obj off) ~size 42L "p";
+              ignore (Mobject.load_int (addr obj off) ~size "p")
+            with Merror.Error _ -> ok := false
+          end
+        done;
+        !ok);
+    QCheck.Test.make ~name:"out-of-bounds accesses always raise"
+      QCheck.(pair (int_range 1 64) (int_range 0 1000))
+      (fun (n, seed) ->
+        let rng = Prng.create seed in
+        let obj = alloc_i32_array n in
+        let ok = ref true in
+        for _ = 1 to 20 do
+          let size = Prng.pick rng [ 1; 2; 4; 8 ] in
+          let off =
+            if Prng.int rng 2 = 0 then (n * 4) - size + 1 + Prng.int rng 32
+            else - (1 + Prng.int rng 32)
+          in
+          match Mobject.load_int (addr obj off) ~size "p" with
+          | _ -> ok := false
+          | exception Merror.Error (Merror.Out_of_bounds _, _) -> ()
+          | exception Merror.Error _ -> ok := false
+        done;
+        !ok);
+  ]
+
+(* ---------------- liveness / free ---------------- *)
+
+let heap = Mheap.create ()
+
+let test_use_after_free () =
+  let obj = Mheap.malloc heap ~site:1 16 in
+  let p = Mobject.Pobj (addr obj 0) in
+  Mheap.free heap p "t";
+  expect_category Merror.Use_after_free (fun () ->
+      ignore (Mobject.load_int (addr obj 0) ~size:4 "t"))
+
+let test_double_free () =
+  let obj = Mheap.malloc heap ~site:2 16 in
+  let p = Mobject.Pobj (addr obj 0) in
+  Mheap.free heap p "t";
+  expect_category Merror.Double_free (fun () -> Mheap.free heap p "t")
+
+let test_invalid_free_stack () =
+  let obj = alloc_i32_array 4 in
+  expect_category (Merror.Invalid_free "") (fun () ->
+      Mheap.free heap (Mobject.Pobj (addr obj 0)) "t")
+
+let test_invalid_free_interior () =
+  let obj = Mheap.malloc heap ~site:3 16 in
+  expect_category (Merror.Invalid_free "") (fun () ->
+      Mheap.free heap (Mobject.Pobj (addr obj 4)) "t")
+
+let test_free_null_ok () = Mheap.free heap Mobject.Pnull "t"
+
+let test_leak_tracking () =
+  let fresh = Mheap.create () in
+  let a = Mheap.malloc fresh ~site:4 8 in
+  let _b = Mheap.malloc fresh ~site:4 8 in
+  Mheap.free fresh (Mobject.Pobj (addr a 0)) "t";
+  Alcotest.(check int) "one leaked" 1 (List.length (Mheap.leaked fresh))
+
+(* ---------------- pointers ---------------- *)
+
+let test_ptr_store_load () =
+  let holder = alloc_i32_array 2 in
+  let target = alloc_i32_array 1 in
+  Mobject.store_ptr (addr holder 0) (Mobject.Pobj (addr target 0)) "t";
+  match Mobject.load_ptr (addr holder 0) "t" with
+  | Mobject.Pobj a ->
+    Alcotest.(check int) "same object" target.Mobject.id a.Mobject.obj.Mobject.id
+  | _ -> Alcotest.fail "expected object pointer"
+
+let test_int_store_clobbers_ptr_slot () =
+  let holder = alloc_i32_array 2 in
+  let target = alloc_i32_array 1 in
+  Mobject.store_ptr (addr holder 0) (Mobject.Pobj (addr target 0)) "t";
+  Mobject.store_int (addr holder 2) ~size:4 0xAAAAL "t";
+  (* the slot is gone, but the bytes still decode through the cookie of
+     the *overwritten* image only if intact; a partial overwrite yields a
+     forged pointer *)
+  match Mobject.load_ptr (addr holder 0) "t" with
+  | Mobject.Pobj _ -> Alcotest.fail "partial overwrite must kill the pointer"
+  | Mobject.Pnull | Mobject.Pfunc _ | Mobject.Pinvalid _ -> ()
+
+let test_cookie_roundtrip () =
+  let obj = alloc_i32_array 3 in
+  let p = Mobject.Pobj (addr obj 4) in
+  let cookie = Mobject.ptr_to_int p in
+  match Mobject.int_to_ptr cookie with
+  | Mobject.Pobj a ->
+    Alcotest.(check int) "object survives" obj.Mobject.id a.Mobject.obj.Mobject.id;
+    Alcotest.(check int) "offset survives" 4 a.Mobject.moff
+  | _ -> Alcotest.fail "cookie did not round-trip"
+
+let test_forged_int_is_invalid () =
+  match Mobject.int_to_ptr 0xDEAD_0000_0042L with
+  | Mobject.Pinvalid _ -> ()
+  | Mobject.Pnull -> Alcotest.fail "forged pointer decoded as null"
+  | _ -> Alcotest.fail "forged pointer decoded as a live object"
+
+let test_func_cookie_roundtrip () =
+  let c = Mobject.register_func_cookie "qsort" in
+  match Mobject.int_to_ptr c with
+  | Mobject.Pfunc "qsort" -> ()
+  | _ -> Alcotest.fail "function cookie did not round-trip"
+
+(* ---------------- strings + class names ---------------- *)
+
+let test_read_cstring () =
+  let obj = Mobject.alloc ~storage:Merror.Stack
+      ~mty:(Irtype.MArray (Irtype.MScalar Irtype.I8, 8)) 8 in
+  Mobject.write_bytes (addr obj 0) "hi" "t";
+  Alcotest.(check string) "string read" "hi" (Mobject.read_cstring (addr obj 0) "t")
+
+let test_unterminated_cstring_traps () =
+  let obj = Mobject.alloc ~storage:Merror.Stack
+      ~mty:(Irtype.MArray (Irtype.MScalar Irtype.I8, 2)) 2 in
+  Mobject.write_bytes (addr obj 0) "ab" "t";
+  expect_category (oob Merror.Read) (fun () ->
+      ignore (Mobject.read_cstring (addr obj 0) "t"))
+
+let test_class_names () =
+  Alcotest.(check string) "stack array" "I32AutomaticArray"
+    (Mobject.class_name (alloc_i32_array 4));
+  Alcotest.(check string) "heap object" "I8HeapArray"
+    (Mobject.class_name (Mheap.malloc heap ~site:9 8))
+
+(* ---------------- mementos ---------------- *)
+
+let test_allocation_mementos () =
+  let h = Mheap.create () in
+  let first = Mheap.malloc h ~site:42 16 in
+  Alcotest.(check string) "untyped at first" "I8HeapArray"
+    (Mobject.class_name first);
+  Mheap.observe h first Irtype.I64;
+  let second = Mheap.malloc h ~site:42 16 in
+  Alcotest.(check string) "typed by the memento" "I64HeapArray"
+    (Mobject.class_name second)
+
+let test_mementos_disabled () =
+  let h = Mheap.create ~mementos:false () in
+  let first = Mheap.malloc h ~site:43 16 in
+  Mheap.observe h first Irtype.I64;
+  let second = Mheap.malloc h ~site:43 16 in
+  Alcotest.(check string) "stays untyped" "I8HeapArray"
+    (Mobject.class_name second)
+
+let () =
+  Alcotest.run "managed"
+    [
+      ( "bounds",
+        [
+          Alcotest.test_case "in-bounds roundtrip" `Quick test_in_bounds_roundtrip;
+          Alcotest.test_case "read past end" `Quick test_read_past_end;
+          Alcotest.test_case "write past end" `Quick test_write_past_end;
+          Alcotest.test_case "negative offset" `Quick test_negative_offset;
+          Alcotest.test_case "wide read of narrow object" `Quick
+            test_wide_read_of_narrow_object;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest bounds_props );
+      ( "free",
+        [
+          Alcotest.test_case "use-after-free" `Quick test_use_after_free;
+          Alcotest.test_case "double free" `Quick test_double_free;
+          Alcotest.test_case "invalid free of stack" `Quick test_invalid_free_stack;
+          Alcotest.test_case "invalid free interior" `Quick
+            test_invalid_free_interior;
+          Alcotest.test_case "free(NULL)" `Quick test_free_null_ok;
+          Alcotest.test_case "leak tracking" `Quick test_leak_tracking;
+        ] );
+      ( "pointers",
+        [
+          Alcotest.test_case "store/load" `Quick test_ptr_store_load;
+          Alcotest.test_case "int store clobbers slot" `Quick
+            test_int_store_clobbers_ptr_slot;
+          Alcotest.test_case "cookie roundtrip" `Quick test_cookie_roundtrip;
+          Alcotest.test_case "forged int is invalid" `Quick
+            test_forged_int_is_invalid;
+          Alcotest.test_case "function cookie" `Quick test_func_cookie_roundtrip;
+        ] );
+      ( "strings+classes",
+        [
+          Alcotest.test_case "read_cstring" `Quick test_read_cstring;
+          Alcotest.test_case "unterminated traps" `Quick
+            test_unterminated_cstring_traps;
+          Alcotest.test_case "class names" `Quick test_class_names;
+        ] );
+      ( "mementos",
+        [
+          Alcotest.test_case "site typing" `Quick test_allocation_mementos;
+          Alcotest.test_case "disabled" `Quick test_mementos_disabled;
+        ] );
+    ]

@@ -1,0 +1,159 @@
+(** Native-engine tests: the same semantic battery as the managed
+    interpreter (at -O0 and -O3 — every pipeline implements the same C),
+    plus the undefined behaviours that only exist natively: silent
+    corruption, argv/envp leaks, SIGSEGV. *)
+
+let run_native ?(level = Pipeline.O0) ?(argv = [ "prog" ]) ?(input = "") src =
+  Engine.run ~argv ~input (Engine.Clang level) src
+
+let check_case level (c : Cases.case) () =
+  let r = run_native ~level ~input:c.Cases.input c.Cases.src in
+  (match r.Engine.outcome with
+  | Outcome.Finished _ -> ()
+  | o -> Alcotest.failf "%s: abnormal outcome %s" c.Cases.name (Outcome.to_string o));
+  Alcotest.(check string) c.Cases.name c.Cases.expected r.Engine.output
+
+let battery level =
+  List.map
+    (fun (c : Cases.case) ->
+      Alcotest.test_case c.Cases.name `Quick (check_case level c))
+    Cases.all
+
+(* ---------------- undefined behaviour, natively ---------------- *)
+
+let test_silent_stack_corruption () =
+  let r =
+    run_native
+      {|
+int main(void) {
+  int canary = 1234;
+  int arr[4];
+  for (int i = 0; i <= 5; i++) { arr[i] = 99; }
+  printf("%d\n", canary);
+  return 0;
+}
+|}
+  in
+  (* the overflow silently overwrote the neighbouring local *)
+  Alcotest.(check string) "canary clobbered" "99\n" r.Engine.output
+
+let test_argv_oob_leaks_environment () =
+  let r =
+    run_native
+      {|
+int main(int argc, char **argv) {
+  printf("%s\n", argv[3]);
+  return 0;
+}
+|}
+  in
+  Alcotest.(check bool) "an environment variable leaks" true
+    (Util.string_contains ~needle:"=" r.Engine.output)
+
+let test_null_deref_segfaults () =
+  let r = run_native "int main(void) { int *p = 0; return *p; }" in
+  match r.Engine.outcome with
+  | Outcome.Crashed what ->
+    Alcotest.(check bool) "SIGSEGV" true (Util.string_contains ~needle:"SIGSEGV" what)
+  | o -> Alcotest.failf "expected crash, got %s" (Outcome.to_string o)
+
+let test_wild_pointer_segfaults () =
+  let r =
+    run_native "int main(void) { int *p = (int *)99999999999L; return *p; }"
+  in
+  match r.Engine.outcome with
+  | Outcome.Crashed _ -> ()
+  | o -> Alcotest.failf "expected crash, got %s" (Outcome.to_string o)
+
+let test_sigfpe () =
+  let r = run_native "int main(int argc, char **argv) { return 7 / (argc - 1); }" in
+  match r.Engine.outcome with
+  | Outcome.Crashed what ->
+    Alcotest.(check bool) "SIGFPE" true (Util.string_contains ~needle:"SIGFPE" what)
+  | o -> Alcotest.failf "expected SIGFPE, got %s" (Outcome.to_string o)
+
+let test_use_after_free_reads_stale_or_reused () =
+  (* no crash, no diagnosis: the data is simply still there (or reused) *)
+  let r =
+    run_native
+      {|
+int main(void) {
+  int *p = (int *)malloc(4);
+  *p = 77;
+  free(p);
+  printf("%d\n", *p);
+  return 0;
+}
+|}
+  in
+  match r.Engine.outcome with
+  | Outcome.Finished 0 -> ()
+  | o -> Alcotest.failf "expected silent completion, got %s" (Outcome.to_string o)
+
+let test_heap_reuse_after_free () =
+  let r =
+    run_native
+      {|
+int main(void) {
+  char *a = (char *)malloc(16);
+  free(a);
+  char *b = (char *)malloc(16);
+  /* the allocator reuses the freed block: UAF aliases new data */
+  printf("%d\n", a == b);
+  free(b);
+  return 0;
+}
+|}
+  in
+  Alcotest.(check string) "block reused" "1\n" r.Engine.output
+
+let test_stack_exhaustion_crashes () =
+  let r =
+    run_native
+      "int f(int n) { int pad[64]; pad[0] = n; return f(n + 1) + pad[0]; } \
+       int main(void) { return f(0); }"
+  in
+  match r.Engine.outcome with
+  | Outcome.Crashed _ -> ()
+  | o -> Alcotest.failf "expected stack crash, got %s" (Outcome.to_string o)
+
+(* ---------------- word-wise strlen ---------------- *)
+
+let test_wordwise_strlen_reads_past_nul () =
+  (* correctness is unaffected; the point is that it does not crash and
+     produces the right length despite reading in 8-byte gulps *)
+  let r =
+    run_native
+      {|
+int main(void) {
+  char s[3] = "ab";
+  printf("%d %d %d\n", (int)strlen(s), (int)strlen(""), (int)strlen("0123456789a"));
+  return 0;
+}
+|}
+  in
+  Alcotest.(check string) "lengths" "2 0 11\n" r.Engine.output
+
+let () =
+  Alcotest.run "native"
+    [
+      ("semantics -O0", battery Pipeline.O0);
+      ("semantics -O3", battery Pipeline.O3);
+      ( "undefined behaviour",
+        [
+          Alcotest.test_case "silent stack corruption" `Quick
+            test_silent_stack_corruption;
+          Alcotest.test_case "argv leak" `Quick test_argv_oob_leaks_environment;
+          Alcotest.test_case "NULL segfault" `Quick test_null_deref_segfaults;
+          Alcotest.test_case "wild pointer segfault" `Quick
+            test_wild_pointer_segfaults;
+          Alcotest.test_case "SIGFPE" `Quick test_sigfpe;
+          Alcotest.test_case "silent use-after-free" `Quick
+            test_use_after_free_reads_stale_or_reused;
+          Alcotest.test_case "heap reuse" `Quick test_heap_reuse_after_free;
+          Alcotest.test_case "stack exhaustion" `Quick
+            test_stack_exhaustion_crashes;
+          Alcotest.test_case "word-wise strlen" `Quick
+            test_wordwise_strlen_reads_past_nul;
+        ] );
+    ]

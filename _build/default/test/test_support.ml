@@ -1,0 +1,173 @@
+(** Unit and property tests for lib/support. *)
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------------- Prng ---------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 11 and b = Prng.create 11 in
+  for _ = 1 to 100 do
+    check_int "same sequence" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let test_prng_differs_by_seed () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let xs = List.init 20 (fun _ -> Prng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Prng.int b 1_000_000) in
+  Alcotest.(check bool) "different seeds differ" true (xs <> ys)
+
+let test_prng_pick () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 50 do
+    let v = Prng.pick rng [ 1; 2; 3 ] in
+    Alcotest.(check bool) "pick from list" true (List.mem v [ 1; 2; 3 ])
+  done
+
+let test_prng_poisson_nonneg () =
+  let rng = Prng.create 4 in
+  for _ = 1 to 200 do
+    Alcotest.(check bool) "poisson >= 0" true (Prng.poisson rng ~lambda:5.0 >= 0)
+  done
+
+let prng_props =
+  [
+    QCheck.Test.make ~name:"Prng.int within bound"
+      QCheck.(pair small_int (int_range 1 10000))
+      (fun (seed, bound) ->
+        let rng = Prng.create seed in
+        let v = Prng.int rng bound in
+        v >= 0 && v < bound);
+    QCheck.Test.make ~name:"Prng.shuffle preserves elements"
+      QCheck.(pair small_int (small_list int))
+      (fun (seed, xs) ->
+        let rng = Prng.create seed in
+        List.sort compare (Prng.shuffle rng xs) = List.sort compare xs);
+    QCheck.Test.make ~name:"Prng.float within bound"
+      QCheck.(small_int)
+      (fun seed ->
+        let rng = Prng.create seed in
+        let f = Prng.float rng 3.5 in
+        f >= 0.0 && f < 3.5);
+  ]
+
+(* ---------------- Stats ---------------- *)
+
+let test_mean_median () =
+  check_float "mean" 2.5 (Stats.mean [ 1.0; 2.0; 3.0; 4.0 ]);
+  check_float "median odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  check_float "median even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ])
+
+let test_quantiles () =
+  let xs = [ 0.0; 1.0; 2.0; 3.0; 4.0 ] in
+  check_float "q0" 0.0 (Stats.quantile xs 0.0);
+  check_float "q25" 1.0 (Stats.quantile xs 0.25);
+  check_float "q50" 2.0 (Stats.quantile xs 0.5);
+  check_float "q100" 4.0 (Stats.quantile xs 1.0);
+  check_float "interpolated" 1.5 (Stats.quantile [ 1.0; 2.0 ] 0.5)
+
+let test_boxplot_relative () =
+  let b = Stats.boxplot [ 2.0; 4.0; 6.0; 8.0 ] in
+  let r = Stats.boxplot_relative b ~denom:2.0 in
+  check_float "low scaled" 1.0 r.Stats.low;
+  check_float "high scaled" 4.0 r.Stats.high
+
+let test_stddev () =
+  check_float "stddev constant" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  check_float "variance" 2.0 (Stats.variance [ 1.0; 3.0; 1.0; 3.0; 1.0; 3.0 ] +. 1.0)
+
+let stats_props =
+  [
+    QCheck.Test.make ~name:"boxplot is ordered"
+      QCheck.(list_of_size (QCheck.Gen.int_range 1 40) (float_range 0.0 1000.0))
+      (fun xs ->
+        let b = Stats.boxplot xs in
+        b.Stats.low <= b.Stats.q1 && b.Stats.q1 <= b.Stats.med
+        && b.Stats.med <= b.Stats.q3 && b.Stats.q3 <= b.Stats.high);
+    QCheck.Test.make ~name:"mean within min/max"
+      QCheck.(list_of_size (QCheck.Gen.int_range 1 40) (float_range (-100.) 100.))
+      (fun xs ->
+        let m = Stats.mean xs in
+        m >= List.fold_left min infinity xs -. 1e-9
+        && m <= List.fold_left max neg_infinity xs +. 1e-9);
+  ]
+
+(* ---------------- Table / Chart / Util ---------------- *)
+
+let test_table_render () =
+  let t =
+    Table.create ~title:"demo" ~header:[ "a"; "bb" ]
+      ~aligns:[ Table.Left; Table.Right ] ()
+  in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "yyy"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "contains title" true (Util.string_contains ~needle:"demo" s);
+  Alcotest.(check bool) "contains cell" true (Util.string_contains ~needle:"yyy" s)
+
+let test_table_bad_row () =
+  let t = Table.create ~title:"" ~header:[ "a" ] () in
+  Alcotest.check_raises "wrong arity" (Invalid_argument "Table.add_row: wrong number of cells")
+    (fun () -> Table.add_row t [ "x"; "y" ])
+
+let test_boxplot_line () =
+  let b = { Stats.low = 0.0; q1 = 0.25; med = 0.5; q3 = 0.75; high = 1.0 } in
+  let line = Chart.boxplot_line ~width:11 ~lo:0.0 ~hi:1.0 b in
+  Alcotest.(check int) "width" 11 (String.length line);
+  Alcotest.(check char) "median marker" 'M' line.[5]
+
+let test_string_contains () =
+  Alcotest.(check bool) "positive" true (Util.string_contains ~needle:"bc" "abcd");
+  Alcotest.(check bool) "negative" false (Util.string_contains ~needle:"xy" "abcd");
+  Alcotest.(check bool) "empty needle" true (Util.string_contains ~needle:"" "abcd");
+  Alcotest.(check bool) "needle too long" false (Util.string_contains ~needle:"abcde" "abcd")
+
+let test_align_up () =
+  check_int "already aligned" 16 (Util.align_up 16 8);
+  check_int "rounds up" 24 (Util.align_up 17 8);
+  check_int "align 1" 17 (Util.align_up 17 1)
+
+let util_props =
+  [
+    QCheck.Test.make ~name:"string_contains finds embedded needle"
+      QCheck.(triple printable_string printable_string printable_string)
+      (fun (a, n, b) -> Util.string_contains ~needle:n (a ^ n ^ b));
+    QCheck.Test.make ~name:"align_up is aligned and minimal"
+      QCheck.(pair (int_range 0 100000) (int_range 1 64))
+      (fun (x, a) ->
+        let r = Util.align_up x a in
+        r mod a = 0 && r >= x && r - x < a);
+    QCheck.Test.make ~name:"take length"
+      QCheck.(pair (int_range 0 20) (small_list int))
+      (fun (n, xs) -> List.length (Util.take n xs) = min n (List.length xs));
+  ]
+
+let () =
+  Alcotest.run "support"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed-dependent" `Quick test_prng_differs_by_seed;
+          Alcotest.test_case "pick" `Quick test_prng_pick;
+          Alcotest.test_case "poisson nonneg" `Quick test_prng_poisson_nonneg;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest prng_props );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/median" `Quick test_mean_median;
+          Alcotest.test_case "quantiles" `Quick test_quantiles;
+          Alcotest.test_case "boxplot relative" `Quick test_boxplot_relative;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest stats_props );
+      ( "table+chart+util",
+        [
+          Alcotest.test_case "table render" `Quick test_table_render;
+          Alcotest.test_case "table arity" `Quick test_table_bad_row;
+          Alcotest.test_case "boxplot line" `Quick test_boxplot_line;
+          Alcotest.test_case "string_contains" `Quick test_string_contains;
+          Alcotest.test_case "align_up" `Quick test_align_up;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest util_props );
+    ]
