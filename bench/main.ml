@@ -5,95 +5,141 @@
     Usage:
       dune exec bench/main.exe             # all experiments + microbenches
       dune exec bench/main.exe fig16       # one experiment
-      dune exec bench/main.exe micro       # only the Bechamel microbenches *)
+      dune exec bench/main.exe micro       # only the Bechamel microbenches
+      dune exec bench/main.exe micro --json BENCH_interp.json
+                                           # machine-readable ns/op, for
+                                           # tracking the perf trajectory
+                                           # across PRs *)
 
 open Bechamel
 open Toolkit
 
 (* ---------------- the microbenchmarks (one per table/figure) -------- *)
 
+(* Each microbenchmark is a named thunk; the Bechamel tests and the
+   --json timing harness are both built from this list. *)
+
 (* FIG1/FIG2: keyword classification over the synthetic databases. *)
-let bench_fig12 =
+let thunk_fig12 =
   let entries = lazy (Gen.generate Gen.Cve) in
-  Test.make ~name:"fig1+2: classify CVE database"
-    (Staged.stage (fun () -> ignore (Classify.trends (Lazy.force entries))))
+  fun () -> ignore (Classify.trends (Lazy.force entries))
 
 (* TAB1/TAB2/CMP: one representative corpus program under Safe Sulong
    (the unit of work the effectiveness experiment repeats 68 x 5 times). *)
-let bench_tab12 =
+let thunk_tab12 =
   let p = List.hd Corpus.all in
-  Test.make ~name:"tab1+2: corpus program under Safe Sulong"
-    (Staged.stage (fun () ->
-         ignore
-           (Engine.run ~argv:p.Groundtruth.argv ~input:p.Groundtruth.input
-              Engine.Safe_sulong p.Groundtruth.source)))
+  fun () ->
+    ignore
+      (Engine.run ~argv:p.Groundtruth.argv ~input:p.Groundtruth.input
+         Engine.Safe_sulong p.Groundtruth.source)
 
-let bench_cmp_asan =
+let thunk_cmp_asan =
   let p = List.hd Corpus.all in
-  Test.make ~name:"cmp: corpus program under ASan"
-    (Staged.stage (fun () ->
-         ignore
-           (Engine.run ~argv:p.Groundtruth.argv ~input:p.Groundtruth.input
-              (Engine.Asan Pipeline.O0) p.Groundtruth.source)))
+  fun () ->
+    ignore
+      (Engine.run ~argv:p.Groundtruth.argv ~input:p.Groundtruth.input
+         (Engine.Asan Pipeline.O0) p.Groundtruth.source)
 
 (* STARTUP: front end + libc link for hello world (the work behind the
    start-up numbers). *)
-let bench_startup =
-  Test.make ~name:"startup: load hello world"
-    (Staged.stage (fun () ->
-         ignore (Loader.load_program Benchprogs.hello.Benchprogs.b_source)))
+let thunk_startup =
+  fun () -> ignore (Loader.load_program Benchprogs.hello.Benchprogs.b_source)
 
 (* FIG15: one meteor iteration in the managed interpreter (the unit the
    warm-up experiment repeats). *)
-let bench_fig15 =
+let thunk_fig15 =
   let m = lazy (Loader.load_program Benchprogs.meteor.Benchprogs.b_source) in
-  Test.make ~name:"fig15: meteor iteration (managed interpreter)"
-    (Staged.stage (fun () ->
-         let st = Interp.create (Irmod.copy (Lazy.force m)) in
-         ignore (Interp.run st)))
+  fun () ->
+    let st = Interp.create (Irmod.copy (Lazy.force m)) in
+    ignore (Interp.run st)
+
+(* DISPATCH: isolates the interpreter's control-transfer machinery —
+   direct calls, an indirect call through a flipping function pointer,
+   and a switch — with almost no memory traffic, so the cost of branch /
+   call / switch dispatch dominates.  This is the path the pre-resolution
+   pass (prepare -> link -> execute) optimizes. *)
+let dispatch_src =
+  {|
+int add1(int x) { return x + 1; }
+int mul2(int x) { return x * 2; }
+int pick(int i) {
+  switch (i & 7) {
+  case 0: return 1;
+  case 1: return 3;
+  case 2: return 5;
+  case 3: return 7;
+  case 4: return 11;
+  case 5: return 13;
+  case 6: return 17;
+  default: return 19;
+  }
+}
+int main(void) {
+  long s = 0;
+  int (*fp)(int);
+  for (int i = 0; i < 120000; i++) {
+    if (i & 1) fp = add1; else fp = mul2;
+    s += fp(i);
+    s += add1(i);
+    s += pick(i);
+  }
+  printf("%ld\n", s);
+  return 0;
+}
+|}
+
+let thunk_dispatch =
+  let m = lazy (Loader.load_program dispatch_src) in
+  fun () ->
+    let st = Interp.create (Irmod.copy (Lazy.force m)) in
+    ignore (Interp.run st)
 
 (* FIG16: one benchmark under the native engine at -O0, plus the -O3
    pipeline itself (the peak measurement's units of work). *)
-let bench_fig16_o0 =
+let thunk_fig16_o0 =
   let m = lazy (Loader.compile_user Benchprogs.whetstone.Benchprogs.b_source) in
-  Test.make ~name:"fig16: whetstone native -O0"
-    (Staged.stage (fun () ->
-         let st = Nexec.create (Irmod.copy (Lazy.force m)) in
-         ignore (Nexec.run st)))
+  fun () ->
+    let st = Nexec.create (Irmod.copy (Lazy.force m)) in
+    ignore (Nexec.run st)
 
-let bench_fig16_o3pipe =
-  Test.make ~name:"fig16: the -O3 pipeline on whetstone"
-    (Staged.stage (fun () ->
-         let m = Loader.compile_user Benchprogs.whetstone.Benchprogs.b_source in
-         Pipeline.compile_native ~level:Pipeline.O3 m))
+let thunk_fig16_o3pipe =
+  fun () ->
+    let m = Loader.compile_user Benchprogs.whetstone.Benchprogs.b_source in
+    Pipeline.compile_native ~level:Pipeline.O3 m
 
 (* Ablation benches from DESIGN.md par.5. *)
-let bench_ablation_mementos =
-  Test.make ~name:"ablation: binarytrees with allocation mementos"
-    (Staged.stage (fun () ->
-         ignore
-           (Engine.run ~mementos:true Engine.Safe_sulong
-              Benchprogs.binarytrees.Benchprogs.b_source)))
+let thunk_ablation_mementos =
+  fun () ->
+    ignore
+      (Engine.run ~mementos:true Engine.Safe_sulong
+         Benchprogs.binarytrees.Benchprogs.b_source)
 
-let bench_ablation_no_mementos =
-  Test.make ~name:"ablation: binarytrees without mementos"
-    (Staged.stage (fun () ->
-         ignore
-           (Engine.run ~mementos:false Engine.Safe_sulong
-              Benchprogs.binarytrees.Benchprogs.b_source)))
+let thunk_ablation_no_mementos =
+  fun () ->
+    ignore
+      (Engine.run ~mementos:false Engine.Safe_sulong
+         Benchprogs.binarytrees.Benchprogs.b_source)
 
-let bench_ablation_inline =
-  Test.make ~name:"ablation: -O3 + inlining pipeline on whetstone"
-    (Staged.stage (fun () ->
-         let m = Loader.compile_user Benchprogs.whetstone.Benchprogs.b_source in
-         ignore (Inline.run m);
-         Pipeline.compile_native ~level:Pipeline.O3 m))
+let thunk_ablation_inline =
+  fun () ->
+    let m = Loader.compile_user Benchprogs.whetstone.Benchprogs.b_source in
+    ignore (Inline.run m);
+    Pipeline.compile_native ~level:Pipeline.O3 m
 
-let all_micro =
+let all_micro : (string * (unit -> unit)) list =
   [
-    bench_fig12; bench_tab12; bench_cmp_asan; bench_startup; bench_fig15;
-    bench_fig16_o0; bench_fig16_o3pipe; bench_ablation_mementos;
-    bench_ablation_no_mementos; bench_ablation_inline;
+    ("fig1+2: classify CVE database", thunk_fig12);
+    ("tab1+2: corpus program under Safe Sulong", thunk_tab12);
+    ("cmp: corpus program under ASan", thunk_cmp_asan);
+    ("startup: load hello world", thunk_startup);
+    ("fig15: meteor iteration (managed interpreter)", thunk_fig15);
+    ("fig16: whetstone native -O0", thunk_fig16_o0);
+    ("fig16: the -O3 pipeline on whetstone", thunk_fig16_o3pipe);
+    ("ablation: binarytrees with allocation mementos", thunk_ablation_mementos);
+    ("ablation: binarytrees without mementos", thunk_ablation_no_mementos);
+    ("ablation: -O3 + inlining pipeline on whetstone", thunk_ablation_inline);
+    (* last: its heavy allocation perturbs the GC for whatever follows *)
+    ("micro: call/switch dispatch (managed interpreter)", thunk_dispatch);
   ]
 
 let run_micro () =
@@ -102,7 +148,8 @@ let run_micro () =
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) () in
   let instances = Instance.[ monotonic_clock ] in
   List.iter
-    (fun test ->
+    (fun (name, thunk) ->
+      let test = Test.make ~name (Staged.stage thunk) in
       let results = Benchmark.all cfg instances test in
       let ols =
         Analyze.all
@@ -118,20 +165,84 @@ let run_micro () =
         ols)
     all_micro
 
+(* ---------------- machine-readable perf trajectory ------------------ *)
+
+(* A self-contained timing loop (no OLS): runs each thunk for at least
+   [quota_s] seconds and at least [min_runs] times and reports mean
+   ns/op.  The JSON schema is stable across PRs:
+     [{"name": ..., "ns_per_op": ..., "runs": ...}, ...] *)
+
+let time_thunk ?(quota_s = 0.5) ?(min_runs = 3) (thunk : unit -> unit) :
+    float * int =
+  thunk ();
+  (* warm-up: fill caches, force the lazies *)
+  let t0 = Sys.time () in
+  let runs = ref 0 in
+  while Sys.time () -. t0 < quota_s || !runs < min_runs do
+    thunk ();
+    incr runs
+  done;
+  let elapsed = Sys.time () -. t0 in
+  (elapsed *. 1e9 /. float_of_int !runs, !runs)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let run_json file =
+  let rows =
+    List.map
+      (fun (name, thunk) ->
+        let ns, runs = time_thunk thunk in
+        Printf.eprintf "  %-52s %14.0f ns/op (%d runs)\n%!" name ns runs;
+        Printf.sprintf "  {\"name\": \"%s\", \"ns_per_op\": %.0f, \"runs\": %d}"
+          (json_escape name) ns runs)
+      all_micro
+  in
+  let oc = open_out file in
+  output_string oc ("[\n" ^ String.concat ",\n" rows ^ "\n]\n");
+  close_out oc;
+  Printf.eprintf "wrote %s\n%!" file
+
 (* ---------------- entry point ---------------- *)
 
 let () =
-  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  (match which with
-  | "fig1" -> Report.fig1 ()
-  | "fig2" -> Report.fig2 ()
-  | "tab1" | "tab2" | "cmp" -> Report.effectiveness ()
-  | "startup" -> Report.startup ()
-  | "fig15" -> Report.fig15 ()
-  | "fig16" -> Report.fig16 ()
-  | "ablations" -> Report.ablations ()
-  | "micro" -> run_micro ()
-  | "all" | _ ->
-    Report.run_all ();
-    run_micro ());
-  print_newline ()
+  (* --json FILE anywhere on the command line switches to the
+     machine-readable mode (implies the microbenchmarks). *)
+  let json_file = ref None in
+  let words = ref [] in
+  let argv = Array.to_list Sys.argv in
+  let rec scan = function
+    | [] -> ()
+    | "--json" :: file :: rest ->
+      json_file := Some file;
+      scan rest
+    | "--json" :: [] -> json_file := Some "BENCH_interp.json"
+    | w :: rest ->
+      words := w :: !words;
+      scan rest
+  in
+  scan (List.tl argv);
+  match !json_file with
+  | Some file -> run_json file
+  | None ->
+    let which = match List.rev !words with w :: _ -> w | [] -> "all" in
+    (match which with
+    | "fig1" -> Report.fig1 ()
+    | "fig2" -> Report.fig2 ()
+    | "tab1" | "tab2" | "cmp" -> Report.effectiveness ()
+    | "startup" -> Report.startup ()
+    | "fig15" -> Report.fig15 ()
+    | "fig16" -> Report.fig16 ()
+    | "ablations" -> Report.ablations ()
+    | "micro" -> run_micro ()
+    | "all" | _ ->
+      Report.run_all ();
+      run_micro ());
+    print_newline ()

@@ -1,0 +1,62 @@
+(** The LLVM-IR interpreter at the core of Safe Sulong (paper §3).
+
+    The public surface is intentionally small: build a state from a
+    linked module with [create] (which runs the prepare -> link
+    pre-resolution pass, see DESIGN.md), execute it with [run], and read
+    the execution profile.  The prepared-code representation is an
+    implementation detail and changes freely between versions. *)
+
+exception Exit_program of int
+exception Step_limit_exceeded
+
+(** Per-function dynamic operation counts, consumed by the JIT cost
+    model (lib/jit) to reproduce the paper's performance figures. *)
+type counters = {
+  mutable c_ops : int;        (** integer/other IR operations executed *)
+  mutable c_fp : int;         (** floating-point operations *)
+  mutable c_mem : int;        (** loads + stores *)
+  mutable c_calls : int;      (** calls executed *)
+  mutable c_invocations : int;(** times this function was entered *)
+}
+
+type profile = {
+  funcs : (string, counters) Hashtbl.t;
+  mutable p_allocs : int;
+  mutable p_alloc_bytes : int;
+  mutable p_steps : int;
+}
+
+(** An execution state: prepared code, globals, heap, profile. *)
+type state
+
+type run_result = {
+  exit_code : int;
+  output : string;
+  error : (Merror.category * string) option;
+  steps : int;
+  run_profile : profile;
+  leaks : int;  (** unfreed heap objects at exit (paper §6 extension) *)
+  leak_details : string list;
+      (** one line per leaked object: class, size, allocating function *)
+  trace_output : string;  (** call trace, when enabled (empty otherwise) *)
+  timed_out : bool;
+}
+
+(** Prepare and link [m] for execution.  Every function is compiled to
+    the pre-resolved form (branch targets as block indices, phi parallel
+    copies on the edges, call sites linked to user functions or host
+    builtins), so no name is resolved on the execution hot path. *)
+val create :
+  ?step_limit:int ->
+  ?depth_limit:int ->
+  ?mementos:bool ->
+  ?detect_uninit:bool ->
+  ?trace:bool ->
+  ?input:string ->
+  ?seed:int ->
+  Irmod.t ->
+  state
+
+(** Execute [main].  The state is single-shot: create a fresh one per
+    run. *)
+val run : ?argv:string list -> state -> run_result

@@ -29,10 +29,15 @@ let load_program (src : string) : Irmod.t =
   Verify.verify linked;
   linked
 
-(** Convenience for tests and examples: compile, link, interpret. *)
+(** Convenience for tests and examples: compile, link, interpret.  All
+    interpreter knobs (step/depth limits, call tracing, PRNG seed) pass
+    straight through to [Interp.create]. *)
 let run_source ?(argv = [ "program" ]) ?(input = "") ?step_limit
-    ?(mementos = true) ?(detect_uninit = false) (src : string) :
-    Interp.run_result =
+    ?depth_limit ?(mementos = true) ?(detect_uninit = false) ?trace ?seed
+    (src : string) : Interp.run_result =
   let m = load_program src in
-  let st = Interp.create ?step_limit ~mementos ~detect_uninit ~input m in
+  let st =
+    Interp.create ?step_limit ?depth_limit ~mementos ~detect_uninit ?trace
+      ?seed ~input m
+  in
   Interp.run ~argv st

@@ -13,12 +13,16 @@ val compile_user : string -> Irmod.t
     module Safe Sulong interprets.  Verifies the result. *)
 val load_program : string -> Irmod.t
 
-(** Compile, link and interpret in one call. *)
+(** Compile, link and interpret in one call.  The optional arguments
+    pass through to [Interp.create]. *)
 val run_source :
   ?argv:string list ->
   ?input:string ->
   ?step_limit:int ->
+  ?depth_limit:int ->
   ?mementos:bool ->
   ?detect_uninit:bool ->
+  ?trace:bool ->
+  ?seed:int ->
   string ->
   Interp.run_result

@@ -162,11 +162,16 @@ let warmup ?(duration_s = 30) (ms : measurement) : warmup_result =
   let queued = Hashtbl.create 16 in
   let compiler_free_at = ref 0.0 in
   let compiles = ref [] in
+  (* The loop below consults these per function per simulated iteration;
+     index them once instead of re-scanning the association lists. *)
+  let static_sizes = Hashtbl.create 32 and compiled_fns = Hashtbl.create 32 in
+  List.iter (fun (f, s) -> Hashtbl.replace static_sizes f s) ms.static_sizes;
+  List.iter (fun (f, c) -> Hashtbl.replace compiled_fns f c) ms.sulong_compiled_fns;
   let static_size f =
-    Option.value (List.assoc_opt f ms.static_sizes) ~default:50
+    Option.value (Hashtbl.find_opt static_sizes f) ~default:50
   in
   let compiled_cycles f =
-    Option.value (List.assoc_opt f ms.sulong_compiled_fns) ~default:0.0
+    Option.value (Hashtbl.find_opt compiled_fns f) ~default:0.0
   in
   let t = ref startup in
   let completions = ref [] in

@@ -321,10 +321,14 @@ let rec call_function st (pf : pfunc) (args : Nvalue.t list) : Nvalue.t option =
   if st.depth > 8192 then raise (Mem.Segfault (Int64.of_int st.sp));
   let saved_sp = st.sp in
   let regs = Array.make (max pf.pf_nregs 1) Nvalue.zero in
-  List.iteri
-    (fun i (r, _) ->
-      if i < List.length args then regs.(r) <- List.nth args i)
-    pf.pf_ir.Irfunc.params;
+  let rec bind params args =
+    match (params, args) with
+    | (r, _) :: ps, a :: rest ->
+      regs.(r) <- a;
+      bind ps rest
+    | _, _ -> ()
+  in
+  bind pf.pf_ir.Irfunc.params args;
   let result = exec_block st pf regs 0 "" in
   st.hooks.Hooks.on_frame_exit ~lo:(Int64.of_int st.sp)
     ~hi:(Int64.of_int saved_sp);
@@ -415,11 +419,34 @@ and exec_block st (pf : pfunc) (regs : Nvalue.t array) (block_idx : int)
         if not (defined cv) then
           st.hooks.Hooks.on_undef_use "select on uninitialised value";
         regs.(r) <- (if as_int cv <> 0L then ev a else ev b)
-      | Instr.Phi (r, _, incoming) ->
-        charge st Cop;
-        (match List.assoc_opt prev_label incoming with
-        | Some v -> regs.(r) <- ev v
-        | None -> failwith "nexec: phi without incoming edge")
+      | Instr.Phi _ ->
+        (* LLVM phis are a parallel copy: the head of the maximal run of
+           phis is evaluated in full before any destination is written,
+           so same-block phis referencing each other read the old
+           values.  Later phis of the run are no-ops (handled here). *)
+        let is_phi k =
+          match blk.pb_instrs.(k) with Instr.Phi _ -> true | _ -> false
+        in
+        if i = 0 || not (is_phi (i - 1)) then begin
+          let stop = ref i in
+          while !stop < n && is_phi !stop do incr stop done;
+          let stop = !stop in
+          let vals = Array.make (stop - i) Nvalue.zero in
+          for k = i to stop - 1 do
+            match blk.pb_instrs.(k) with
+            | Instr.Phi (_, _, incoming) ->
+              charge st Cop;
+              (match List.assoc_opt prev_label incoming with
+              | Some v -> vals.(k - i) <- ev v
+              | None -> failwith "nexec: phi without incoming edge")
+            | _ -> assert false
+          done;
+          for k = i to stop - 1 do
+            match blk.pb_instrs.(k) with
+            | Instr.Phi (r, _, _) -> regs.(r) <- vals.(k - i)
+            | _ -> assert false
+          done
+        end
       | Instr.Sancheck (kind, p, size) ->
         charge st Ccheck;
         st.hooks.Hooks.on_sancheck kind (as_int (ev p)) size

@@ -155,6 +155,269 @@ int main(void) {
   | None -> ());
   Alcotest.(check string) "user variadic function" "60 0\n" r.Interp.output
 
+(* ---------------- pre-resolution edge cases ---------------- *)
+
+(* Phi parallel-copy regression: LLVM phis are a parallel copy, so two
+   same-block phis that read each other's registers must observe the
+   *old* values.  The seed interpreter assigned phis sequentially, which
+   collapses the classic swap loop (a,b = b,a) to (b,b).  The C front
+   end never emits phis (locals are allocas), so the test builds the IR
+   by hand — the same shape mem2reg produces for a swap loop. *)
+let swap_phi_module () =
+  (* regs: 0=a 1=b 2=i 3=i' 4=cond 5=a*10 6=a*10+b *)
+  let imm v = Instr.ImmInt (Int64.of_int v, Irtype.I32) in
+  let f =
+    {
+      Irfunc.name = "main";
+      params = [];
+      ret = Some Irtype.I32;
+      variadic = false;
+      blocks =
+        [
+          { Irfunc.label = "entry"; instrs = []; term = Instr.Br "loop" };
+          {
+            Irfunc.label = "loop";
+            instrs =
+              [
+                Instr.Phi (0, Irtype.I32, [ ("entry", imm 1); ("loop", Instr.Reg 1) ]);
+                Instr.Phi (1, Irtype.I32, [ ("entry", imm 2); ("loop", Instr.Reg 0) ]);
+                Instr.Phi (2, Irtype.I32, [ ("entry", imm 0); ("loop", Instr.Reg 3) ]);
+                Instr.Binop (3, Instr.Add, Irtype.I32, Instr.Reg 2, imm 1);
+                Instr.Icmp (4, Instr.Islt, Irtype.I32, Instr.Reg 3, imm 3);
+              ];
+            term = Instr.Condbr (Instr.Reg 4, "loop", "done");
+          };
+          {
+            Irfunc.label = "done";
+            instrs =
+              [
+                Instr.Binop (5, Instr.Mul, Irtype.I32, Instr.Reg 0, imm 10);
+                Instr.Binop (6, Instr.Add, Irtype.I32, Instr.Reg 5, Instr.Reg 1);
+              ];
+            term = Instr.Ret (Some (Irtype.I32, Instr.Reg 6));
+          };
+        ];
+      next_reg = 7;
+      src_pos = (0, 0);
+    }
+  in
+  let m = Irmod.create () in
+  Irmod.add_func m f;
+  m
+
+let test_phi_parallel_copy () =
+  let st = Interp.create (swap_phi_module ()) in
+  let r = Interp.run st in
+  (* after 3 parallel swaps of (1,2): a=1 b=2 -> 12; the sequential
+     (buggy) execution returns 22 *)
+  Alcotest.(check int) "parallel swap survives the loop" 12 r.Interp.exit_code
+
+let test_unknown_symbol_call () =
+  (* A direct call to a symbol that is neither a user function nor a
+     builtin must raise the interpreter's clean "unknown builtin" error
+     when (and only when) the call executes — not an unresolved-index
+     crash at prepare/link time. *)
+  let f =
+    {
+      Irfunc.name = "main";
+      params = [];
+      ret = Some Irtype.I32;
+      variadic = false;
+      blocks =
+        [
+          {
+            Irfunc.label = "entry";
+            instrs =
+              [ Instr.Call (Some 0, Some Irtype.I32, Instr.Direct "no_such_symbol", []) ];
+            term = Instr.Ret (Some (Irtype.I32, Instr.Reg 0));
+          };
+        ];
+      next_reg = 1;
+      src_pos = (0, 0);
+    }
+  in
+  let m = Irmod.create () in
+  Irmod.add_func m f;
+  let st = Interp.create m in
+  (* creating (= preparing and linking) must not raise... *)
+  match Interp.run st with
+  | exception Failure msg ->
+    (* ...while calling must fail with the pre-resolution-era message *)
+    Alcotest.(check bool) ("clean message: " ^ msg) true
+      (Util.string_contains ~needle:"unknown builtin no_such_symbol" msg)
+  | _ -> Alcotest.fail "expected a Failure for the unknown symbol"
+
+let test_unknown_symbol_never_called () =
+  (* Same unknown symbol, but on a never-executed path: linking must not
+     fail, and the program must finish normally. *)
+  let imm v = Instr.ImmInt (Int64.of_int v, Irtype.I32) in
+  let f =
+    {
+      Irfunc.name = "main";
+      params = [];
+      ret = Some Irtype.I32;
+      variadic = false;
+      blocks =
+        [
+          { Irfunc.label = "entry"; instrs = []; term = Instr.Condbr (imm 0, "dead", "out") };
+          {
+            Irfunc.label = "dead";
+            instrs =
+              [ Instr.Call (Some 0, Some Irtype.I32, Instr.Direct "no_such_symbol", []) ];
+            term = Instr.Br "out";
+          };
+          { Irfunc.label = "out"; instrs = []; term = Instr.Ret (Some (Irtype.I32, imm 5)) };
+        ];
+      next_reg = 1;
+      src_pos = (0, 0);
+    }
+  in
+  let m = Irmod.create () in
+  Irmod.add_func m f;
+  let r = Interp.run (Interp.create m) in
+  Alcotest.(check int) "dead unknown call is harmless" 5 r.Interp.exit_code
+
+let test_never_executed_block () =
+  let r =
+    run
+      {|
+int main(int argc, char **argv) {
+  if (argc > 100) { printf("dead\n"); return 9; }
+  return 0;
+}
+|}
+  in
+  (match r.Interp.error with
+  | Some (_, m) -> Alcotest.fail m
+  | None -> ());
+  Alcotest.(check string) "dead block not executed" "" r.Interp.output;
+  Alcotest.(check int) "live path exit code" 0 r.Interp.exit_code
+
+let check_output name src expected () =
+  let r = run src in
+  (match r.Interp.error with
+  | Some (_, m) -> Alcotest.failf "%s: unexpected error: %s" name m
+  | None -> ());
+  Alcotest.(check string) name expected r.Interp.output
+
+let test_switch_dense_small =
+  check_output "switch dense below threshold"
+    {|
+int main(void) {
+  int i;
+  for (i = 0; i < 6; i++) {
+    int v;
+    switch (i) {
+    case 0: v = 10; break;
+    case 1: v = 20; break;
+    case 2: v = 30; break;
+    default: v = -1; break;
+    }
+    printf("%d ", v);
+  }
+  printf("\n");
+  return 0;
+}
+|}
+    "10 20 30 -1 -1 -1 \n"
+
+let test_switch_sparse_small =
+  check_output "switch sparse below threshold"
+    {|
+int main(void) {
+  int keys[5] = { 1, 100, 1000, 7, 100 };
+  int i;
+  for (i = 0; i < 5; i++) {
+    switch (keys[i]) {
+    case 1: printf("a"); break;
+    case 100: printf("b"); break;
+    case 1000: printf("c"); break;
+    default: printf("?"); break;
+    }
+  }
+  printf("\n");
+  return 0;
+}
+|}
+    "abc?b\n"
+
+let test_switch_dense_large =
+  check_output "switch dense above hashtable threshold"
+    {|
+int main(void) {
+  int i;
+  for (i = 0; i < 12; i++) {
+    int v;
+    switch (i) {
+    case 0: v = 3; break;
+    case 1: v = 6; break;
+    case 2: v = 9; break;
+    case 3: v = 12; break;
+    case 4: v = 15; break;
+    case 5: v = 18; break;
+    case 6: v = 21; break;
+    case 7: v = 24; break;
+    case 8: v = 27; break;
+    case 9: v = 30; break;
+    default: v = -7; break;
+    }
+    printf("%d ", v);
+  }
+  printf("\n");
+  return 0;
+}
+|}
+    "3 6 9 12 15 18 21 24 27 30 -7 -7 \n"
+
+let test_switch_sparse_large =
+  check_output "switch sparse above hashtable threshold"
+    {|
+int classify(int x) {
+  switch (x) {
+  case -100: return 1;
+  case 3: return 2;
+  case 17: return 3;
+  case 29: return 4;
+  case 51: return 5;
+  case 777: return 6;
+  case 1000: return 7;
+  case 4096: return 8;
+  case 65535: return 9;
+  case -7: return 10;
+  default: return 0;
+  }
+}
+int main(void) {
+  printf("%d %d %d %d %d\n",
+         classify(-100), classify(777), classify(65535), classify(5),
+         classify(-7));
+  return 0;
+}
+|}
+    "1 6 9 0 10\n"
+
+let test_indirect_call_cache_flip =
+  (* The one-entry inline cache must survive a callee that changes on
+     every iteration (permanent miss path) and still call the right
+     function. *)
+  check_output "indirect call target flips each iteration"
+    {|
+int add1(int x) { return x + 1; }
+int mul2(int x) { return x * 2; }
+int main(void) {
+  int (*fp)(int);
+  int s = 0;
+  int i;
+  for (i = 0; i < 6; i++) {
+    if (i % 2) fp = add1; else fp = mul2;
+    s += fp(i);
+  }
+  printf("%d\n", s);
+  return 0;
+}
+|}
+    "24\n"
+
 (* ---------------- limits ---------------- *)
 
 let test_step_limit () =
@@ -205,6 +468,25 @@ let () =
           Alcotest.test_case "ptr/int roundtrip" `Quick test_ptr_int_roundtrip_in_c;
           Alcotest.test_case "user variadic function" `Quick
             test_count_and_get_varargs;
+        ] );
+      ( "pre-resolution",
+        [
+          Alcotest.test_case "phi parallel copy (swap loop)" `Quick
+            test_phi_parallel_copy;
+          Alcotest.test_case "unknown symbol: clean error when called" `Quick
+            test_unknown_symbol_call;
+          Alcotest.test_case "unknown symbol: harmless when dead" `Quick
+            test_unknown_symbol_never_called;
+          Alcotest.test_case "never-executed block" `Quick
+            test_never_executed_block;
+          Alcotest.test_case "switch dense small" `Quick test_switch_dense_small;
+          Alcotest.test_case "switch sparse small" `Quick
+            test_switch_sparse_small;
+          Alcotest.test_case "switch dense large" `Quick test_switch_dense_large;
+          Alcotest.test_case "switch sparse large" `Quick
+            test_switch_sparse_large;
+          Alcotest.test_case "indirect call inline-cache miss path" `Quick
+            test_indirect_call_cache_flip;
         ] );
       ( "limits",
         [
