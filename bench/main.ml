@@ -185,15 +185,7 @@ let time_thunk ?(quota_s = 0.5) ?(min_runs = 3) (thunk : unit -> unit) :
   let elapsed = Sys.time () -. t0 in
   (elapsed *. 1e9 /. float_of_int !runs, !runs)
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let json_escape = Util.json_escape
 
 let run_json file =
   let rows =

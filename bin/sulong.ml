@@ -6,7 +6,8 @@
       sulong run file.c --engine asan -O3 --arg foo --input "42"
       sulong ir file.c -O3
       sulong corpus --id ST-W05
-      sulong report fig16 *)
+      sulong report fig16
+      sulong difftest --seeds 500 --shrink --json BENCH_difftest.json *)
 
 open Cmdliner
 
@@ -293,6 +294,83 @@ let report_cmd =
   let doc = "regenerate the paper's tables and figures" in
   Cmd.v (Cmd.info "report" ~doc) Term.(const do_report $ which_arg)
 
+(* ---------------- difftest ---------------- *)
+
+let do_difftest seeds seed_start shrink json_file =
+  Printf.printf
+    "difftest: %d seed(s) from %d across %d configurations%s\n%!" seeds
+    seed_start
+    (List.length Oracle.configs)
+    (if shrink then " (shrinking divergences)" else "");
+  (* The checked-in reproducers run first: a folding regression makes
+     the campaign fail before any seed is spent. *)
+  let regression_failures =
+    List.filter_map
+      (fun reg ->
+        match Difftest.check_regression reg with
+        | Ok () -> None
+        | Error msg -> Some msg)
+      Difftest.regressions
+  in
+  List.iter (Printf.printf "REGRESSION %s\n") regression_failures;
+  let progress i =
+    if i mod 100 = 0 then Printf.printf "  ...%d seeds checked\n%!" i
+  in
+  let r = Difftest.run ~shrink ~progress ~seed_start ~seeds () in
+  List.iter
+    (fun (d : Difftest.divergence) ->
+      Printf.printf "\nDIVERGENCE seed %d: %s\n%s" d.Difftest.dv_seed
+        d.Difftest.dv_mismatch d.Difftest.dv_source;
+      match d.Difftest.dv_reduced with
+      | Some reduced ->
+        Printf.printf "reduced (%d oracle calls):\n%s" d.Difftest.dv_oracle_calls
+          reduced
+      | None -> ())
+    r.Difftest.rp_divergences;
+  let n_div = List.length r.Difftest.rp_divergences in
+  Printf.printf
+    "difftest: %d agree, %d rejected, %d divergence(s) in %.1fs (%.1f seeds/s)\n"
+    r.Difftest.rp_agree r.Difftest.rp_reject n_div r.Difftest.rp_elapsed_s
+    (float_of_int seeds /. (r.Difftest.rp_elapsed_s +. 1e-9));
+  (match json_file with
+  | Some file ->
+    Difftest.append_row ~file (Difftest.report_row r);
+    Printf.printf "appended row to %s\n" file
+  | None -> ());
+  if n_div > 0 || regression_failures <> [] then 1 else 0
+
+let seeds_arg =
+  Arg.(
+    value & opt int 500
+    & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds to test.")
+
+let seed_start_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "seed-start" ] ~docv:"K" ~doc:"First seed of the range.")
+
+let shrink_arg =
+  Arg.(
+    value & flag
+    & info [ "shrink" ]
+        ~doc:"Greedily reduce divergent programs before reporting them.")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Append a JSON result row (seeds/sec, divergences) to $(docv).")
+
+let difftest_cmd =
+  let doc =
+    "differential testing: generated well-defined programs must behave \
+     identically under every engine configuration"
+  in
+  Cmd.v (Cmd.info "difftest" ~doc)
+    Term.(
+      const do_difftest $ seeds_arg $ seed_start_arg $ shrink_arg $ json_arg)
+
 (* ---------------- main ---------------- *)
 
 let () =
@@ -302,4 +380,5 @@ let () =
   in
   let info = Cmd.info "sulong" ~version:"1.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
-       [ run_cmd; ir_cmd; run_ir_cmd; compare_cmd; corpus_cmd; report_cmd ]))
+       [ run_cmd; ir_cmd; run_ir_cmd; compare_cmd; corpus_cmd; report_cmd;
+         difftest_cmd ]))

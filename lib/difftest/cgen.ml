@@ -1,0 +1,297 @@
+(** Seed-driven generator of well-defined differential-test programs.
+
+    All randomness flows through [Support.Prng] (SplitMix64), so a seed
+    reproduces the same program bit-for-bit on every run — divergence
+    reports are replayable by seed alone.
+
+    The generator establishes, by construction, every invariant that
+    [Cprog.well_formed] checks: divisors are [x | odd] or nonzero
+    constants, shift counts are constants below the promoted width of
+    the left operand, array indices are constants below the length or
+    loop variables whose bound is, and enum values fit in [int]. *)
+
+open Cprog
+
+(* Biased toward the 32/64-bit types where the interesting conversion
+   and signedness behaviour lives, but all widths appear. *)
+let pick_ity rng : ity =
+  match Prng.int rng 12 with
+  | 0 -> I8
+  | 1 -> U8
+  | 2 -> I16
+  | 3 -> U16
+  | 4 | 5 -> I32
+  | 6 | 7 -> U32
+  | 8 | 9 -> I64
+  | _ -> U64
+
+(** Boundary-heavy constants: zero/one, small, all-ones, sign bit, max
+    positive, alternating bits, and uniform noise. *)
+let interesting rng (t : ity) : int64 =
+  let b = bits t in
+  let v =
+    match Prng.int rng 9 with
+    | 0 -> 0L
+    | 1 -> 1L
+    | 2 | 3 -> Int64.of_int (Prng.int rng 100)
+    | 4 -> -1L
+    | 5 -> Int64.shift_left 1L (b - 1)
+    | 6 -> Int64.sub (Int64.shift_left 1L (b - 1)) 1L
+    | 7 -> 0x5555555555555555L
+    | _ -> Prng.next_int64 rng
+  in
+  normalize t v
+
+let gen_const rng = let t = pick_ity rng in Const (interesting rng t, t)
+
+let odd_const rng =
+  let t = pick_ity rng in
+  Const (normalize t (Int64.of_int ((2 * Prng.int rng 64) + 1)), t)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Leaves legal in the current context. *)
+type leaves = {
+  lv_enums : string list;
+  lv_scalars : (string * ity) list;  (** locals, globals, loop vars *)
+  lv_arrays : (string * ity * int) list;
+  lv_fields : (string * ity) list;
+  lv_loops : (string * int) list;  (** in-scope loop vars with bounds *)
+}
+
+let const_leaves enums =
+  { lv_enums = enums; lv_scalars = []; lv_arrays = []; lv_fields = [];
+    lv_loops = [] }
+
+let gen_leaf rng (lv : leaves) : expr =
+  let options =
+    [ `Const; `Const ]
+    @ (if lv.lv_enums <> [] then [ `Enum ] else [])
+    @ (if lv.lv_scalars <> [] then [ `Scalar; `Scalar; `Scalar ] else [])
+    @ (if lv.lv_arrays <> [] then [ `Read ] else [])
+    @ (if lv.lv_fields <> [] then [ `Field ] else [])
+  in
+  match Prng.pick rng options with
+  | `Const -> gen_const rng
+  | `Enum -> EnumRef (Prng.pick rng lv.lv_enums)
+  | `Scalar ->
+    let n, t = Prng.pick rng lv.lv_scalars in
+    Var (n, t)
+  | `Read ->
+    let a, t, len = Prng.pick rng lv.lv_arrays in
+    let usable =
+      List.filter (fun (_, bound) -> bound <= len) lv.lv_loops
+    in
+    let ix =
+      if usable <> [] && Prng.int rng 2 = 0 then
+        Ixv (fst (Prng.pick rng usable))
+      else Ixc (Prng.int rng len)
+    in
+    Read (a, t, ix)
+  | `Field ->
+    let f, t = Prng.pick rng lv.lv_fields in
+    Field (f, t)
+
+(** [gen_expr rng ~mode ~lv ~depth] — [mode] matches the constant-context
+    operator subsets of [Cprog.well_formed]. *)
+let rec gen_expr rng ~(mode : [ `Full | `Restricted ]) ~(lv : leaves)
+    ~(depth : int) : expr =
+  if depth <= 0 || Prng.int rng 4 = 0 then gen_leaf rng lv
+  else begin
+    let sub () = gen_expr rng ~mode ~lv ~depth:(depth - 1) in
+    let arith = [ `Bop Add; `Bop Sub; `Bop Mul; `Bop BAnd; `Bop BOr; `Bop BXor ] in
+    let common =
+      arith @ [ `DivLike Div; `DivLike Rem; `Shift Shl; `Shift Shr;
+                `Neg; `Cast; `Cast ]
+    in
+    let full_only =
+      [ `Bop Lt; `Bop Le; `Bop Gt; `Bop Ge; `Bop Eq; `Bop Ne;
+        `Bop LAnd; `Bop LOr; `Bnot; `Lnot; `Ternary ]
+    in
+    let ops = match mode with `Full -> common @ full_only | `Restricted -> common in
+    match Prng.pick rng ops with
+    | `Bop op -> Bin (op, sub (), sub ())
+    | `DivLike op ->
+      (* Guard: [x | odd] is nonzero at every width. *)
+      Bin (op, sub (), Bin (BOr, sub (), odd_const rng))
+    | `Shift op ->
+      let a = sub () in
+      let w = bits (promote (type_of a)) in
+      Bin (op, a, Const (Int64.of_int (Prng.int rng w), I32))
+    | `Neg -> Un (Neg, sub ())
+    | `Bnot -> Un (Bnot, sub ())
+    | `Lnot -> Un (Lnot, sub ())
+    | `Cast -> Cast (pick_ity rng, sub ())
+    | `Ternary -> Cond (sub (), sub (), sub ())
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type genstate = { mutable next_loop : int }
+
+let rec gen_stmt rng st ~(lv : leaves) ~(locals : (string * ity) list)
+    ~(depth : int) : stmt =
+  let rexpr ?(depth = 3) () = gen_expr rng ~mode:`Full ~lv ~depth in
+  let structured = depth > 0 in
+  let options =
+    [ `Assign; `Assign; `Assign ]
+    @ (if lv.lv_arrays <> [] then [ `AStore ] else [])
+    @ (if lv.lv_fields <> [] then [ `FStore ] else [])
+    @ (if structured then [ `If; `Loop; `Switch ] else [])
+  in
+  match Prng.pick rng options with
+  | `Assign ->
+    let n, _ = Prng.pick rng locals in
+    Assign (n, rexpr ())
+  | `AStore ->
+    let a, _, len = Prng.pick rng lv.lv_arrays in
+    let usable = List.filter (fun (_, b) -> b <= len) lv.lv_loops in
+    let ix =
+      if usable <> [] && Prng.int rng 2 = 0 then
+        Ixv (fst (Prng.pick rng usable))
+      else Ixc (Prng.int rng len)
+    in
+    AStore (a, ix, rexpr ())
+  | `FStore ->
+    let f, _ = Prng.pick rng lv.lv_fields in
+    FStore (f, rexpr ())
+  | `If ->
+    let nthen = 1 + Prng.int rng 2 and nelse = Prng.int rng 2 in
+    If
+      ( rexpr ~depth:2 (),
+        gen_stmts rng st ~lv ~locals ~depth:(depth - 1) ~n:nthen,
+        gen_stmts rng st ~lv ~locals ~depth:(depth - 1) ~n:nelse )
+  | `Loop ->
+    let v = Printf.sprintf "i%d" st.next_loop in
+    st.next_loop <- st.next_loop + 1;
+    let bound = 1 + Prng.int rng 8 in
+    let lv' =
+      { lv with
+        lv_loops = (v, bound) :: lv.lv_loops;
+        lv_scalars = (v, I64) :: lv.lv_scalars }
+    in
+    Loop
+      ( v, bound,
+        gen_stmts rng st ~lv:lv' ~locals ~depth:(depth - 1)
+          ~n:(1 + Prng.int rng 2) )
+  | `Switch ->
+    let nlabels = 2 + Prng.int rng 2 in
+    let labels =
+      List.sort_uniq compare (List.init nlabels (fun _ -> Prng.int rng 8))
+    in
+    Switch
+      ( rexpr ~depth:2 (),
+        List.map
+          (fun k ->
+            (k, gen_stmts rng st ~lv ~locals ~depth:(depth - 1) ~n:1))
+          labels,
+        gen_stmts rng st ~lv ~locals ~depth:(depth - 1) ~n:1 )
+
+and gen_stmts rng st ~lv ~locals ~depth ~n =
+  List.init n (fun _ -> gen_stmt rng st ~lv ~locals ~depth)
+
+(* ------------------------------------------------------------------ *)
+(* Whole programs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let generate ~(seed : int) : program =
+  let rng = Prng.create seed in
+  (* Enum constants: retry until the value fits in [int] (C gives enum
+     constants type [int]; out-of-range values would be truncated
+     differently by different folders — the very ambiguity we exclude
+     from *well-defined* inputs). *)
+  let n_enums = 1 + Prng.int rng 3 in
+  let enums = ref [] and env = ref [] in
+  for i = 0 to n_enums - 1 do
+    let name = Printf.sprintf "E%d" i in
+    let fallback () =
+      let v = Int64.of_int (Prng.int rng 1000) in
+      (Const (v, I32), v)
+    in
+    let rec try_gen attempts =
+      let e =
+        gen_expr rng ~mode:`Full
+          ~lv:(const_leaves (List.map fst !enums))
+          ~depth:(1 + Prng.int rng 3)
+      in
+      match as_long (type_of e) (eval !env e) with
+      | v when v >= -2147483648L && v <= 2147483647L -> (e, v)
+      | _ -> if attempts > 0 then try_gen (attempts - 1) else fallback ()
+      | exception Not_const ->
+        if attempts > 0 then try_gen (attempts - 1) else fallback ()
+    in
+    let e, v = try_gen 10 in
+    enums := !enums @ [ (name, e) ];
+    env := (name, normalize I32 v) :: !env
+  done;
+  let enums = !enums in
+  let enum_names = List.map fst enums in
+  (* Globals: restricted constant initializers. *)
+  let n_globals = 1 + Prng.int rng 3 in
+  let globals =
+    List.init n_globals (fun i ->
+        ( Printf.sprintf "g%d" i,
+          pick_ity rng,
+          gen_expr rng ~mode:`Restricted ~lv:(const_leaves enum_names)
+            ~depth:(1 + Prng.int rng 3) ))
+  in
+  (* Struct fields (possibly none) with constant initial stores. *)
+  let fields =
+    if Prng.int rng 3 = 0 then []
+    else
+      List.init
+        (2 + Prng.int rng 2)
+        (fun i ->
+          let t = pick_ity rng in
+          (Printf.sprintf "f%d" i, t, interesting rng t))
+  in
+  (* Arrays, zero-initialized. *)
+  let arrays =
+    List.init (Prng.int rng 3) (fun i ->
+        (Printf.sprintf "a%d" i, pick_ity rng, 2 + Prng.int rng 7))
+  in
+  (* Recomputed constant expressions: the oracle checks the engines'
+     runtime result of these against the reference evaluator, and (via
+     the enum/global sections) the front end's folded result of the same
+     expression class. *)
+  let rcs =
+    List.init
+      (2 + Prng.int rng 3)
+      (fun i ->
+        ( Printf.sprintf "rc%d" i,
+          gen_expr rng ~mode:`Full ~lv:(const_leaves enum_names)
+            ~depth:(2 + Prng.int rng 3) ))
+  in
+  (* Scalar locals; initializers may read anything already declared. *)
+  let n_locals = 3 + Prng.int rng 4 in
+  let locals = ref [] in
+  let base_lv declared =
+    { lv_enums = enum_names;
+      lv_scalars = List.map (fun (n, t, _) -> (n, t)) globals @ declared;
+      lv_arrays = arrays;
+      lv_fields = List.map (fun (f, t, _) -> (f, t)) fields;
+      lv_loops = [] }
+  in
+  for i = 0 to n_locals - 1 do
+    let declared = List.map (fun (n, t, _) -> (n, t)) !locals in
+    let t = pick_ity rng in
+    locals :=
+      !locals
+      @ [ ( Printf.sprintf "v%d" i,
+            t,
+            gen_expr rng ~mode:`Full ~lv:(base_lv declared) ~depth:3 ) ]
+  done;
+  let locals = !locals in
+  let local_tys = List.map (fun (n, t, _) -> (n, t)) locals in
+  let st = { next_loop = 0 } in
+  let body =
+    gen_stmts rng st
+      ~lv:(base_lv local_tys)
+      ~locals:local_tys ~depth:2
+      ~n:(3 + Prng.int rng 6)
+  in
+  { seed; enums; globals; fields; arrays; rcs; locals; body }

@@ -1,0 +1,637 @@
+(** Program representation for the cross-engine differential oracle.
+
+    Generated programs live in a typed mini-AST rather than as strings so
+    that (a) the generator can guarantee well-definedness by construction
+    (in-bounds indices, nonzero divisors, in-range shift counts), (b) a
+    reference evaluator can predict the value of every constant
+    expression independently of the front end under test — the front end
+    is shared by *all* engine configurations, so a wrong folded constant
+    is consistently wrong and invisible to cross-configuration
+    comparison — and (c) the shrinker can produce strictly smaller
+    candidate programs that provably preserve those guarantees
+    ([well_formed]).
+
+    The subset is deliberately biased toward the arithmetic the engines
+    must agree on bit-for-bit: integer arithmetic at every width and
+    signedness, shifts, casts, comparisons, short-circuit logic, loops
+    with constant bounds, structs and arrays with in-bounds indices.
+    Semantics the C standard leaves undefined or implementation-defined
+    but our abstract machine defines (wrapping signed overflow,
+    arithmetic right shift of negatives) are fair game: every
+    configuration must still agree. *)
+
+(* ------------------------------------------------------------------ *)
+(* Types and constant arithmetic (LP64)                                *)
+(* ------------------------------------------------------------------ *)
+
+type ity = I8 | U8 | I16 | U16 | I32 | U32 | I64 | U64
+
+let all_itys = [ I8; U8; I16; U16; I32; U32; I64; U64 ]
+
+let bits = function
+  | I8 | U8 -> 8
+  | I16 | U16 -> 16
+  | I32 | U32 -> 32
+  | I64 | U64 -> 64
+
+let is_unsigned = function
+  | U8 | U16 | U32 | U64 -> true
+  | I8 | I16 | I32 | I64 -> false
+
+let c_name = function
+  | I8 -> "char"
+  | U8 -> "unsigned char"
+  | I16 -> "short"
+  | U16 -> "unsigned short"
+  | I32 -> "int"
+  | U32 -> "unsigned int"
+  | I64 -> "long"
+  | U64 -> "unsigned long"
+
+(** Integer promotion: anything narrower than [int] promotes to [int]. *)
+let promote t = if bits t < 32 then I32 else t
+
+(** Usual arithmetic conversions (mirrors [Ctype.usual_arith] for the
+    integer subset; LP64, so [long] can represent every [unsigned int]). *)
+let usual a b =
+  let a = promote a and b = promote b in
+  if a = b then a
+  else if a = U64 || b = U64 then U64
+  else if bits a = 64 || bits b = 64 then I64
+  else U32
+
+(** Canonical constant representation: truncate to the width of [t] and
+    sign-extend back to 64 bits (the engines' register invariant). *)
+let normalize t v =
+  let b = bits t in
+  if b = 64 then v else Int64.shift_right (Int64.shift_left v (64 - b)) (64 - b)
+
+(** Reinterpret a canonical value as the unsigned value of [t]'s width. *)
+let zext t v =
+  let b = bits t in
+  if b = 64 then v else Int64.logand v (Int64.sub (Int64.shift_left 1L b) 1L)
+
+(** C integer conversion on canonical values: zero-extend when widening
+    from an unsigned type, then renormalize to the target width. *)
+let convert ~from_ ~to_ v =
+  let widened =
+    if is_unsigned from_ && bits to_ > bits from_ then zext from_ v else v
+  in
+  normalize to_ widened
+
+(** Value printed by [printf("%ld", (long)x)] for canonical [v] of type
+    [t]: the conversion to [long] zero-extends narrower unsigned types. *)
+let as_long t v = if is_unsigned t && bits t < 64 then zext t v else v
+
+(* ------------------------------------------------------------------ *)
+(* Expressions and statements                                          *)
+(* ------------------------------------------------------------------ *)
+
+type unop = Neg | Bnot | Lnot
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Shl | Shr
+  | BAnd | BOr | BXor
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | LAnd | LOr
+
+(** Array subscript: a constant, or a surrounding loop's induction
+    variable (whose bound the validator checks against the array size —
+    the shrinker can never rewrite an index out of bounds). *)
+type idx = Ixc of int | Ixv of string
+
+type expr =
+  | Const of int64 * ity
+  | EnumRef of string          (** enum constant; type [int] *)
+  | Var of string * ity        (** scalar local, global, or loop var *)
+  | Read of string * ity * idx (** array element rvalue *)
+  | Field of string * ity      (** [s.<field>] of the single struct var *)
+  | Un of unop * expr
+  | Bin of binop * expr * expr
+  | Cast of ity * expr
+  | Cond of expr * expr * expr
+
+type stmt =
+  | Assign of string * expr
+  | AStore of string * idx * expr
+  | FStore of string * expr
+  | If of expr * stmt list * stmt list
+  | Loop of string * int * stmt list
+      (** [for (long i = 0; i < n; i = i + 1) body] *)
+  | Switch of expr * (int * stmt list) list * stmt list
+      (** scrutinee is cast to [long]; arms carry small distinct labels *)
+
+type program = {
+  seed : int;
+  enums : (string * expr) list;  (** full constant expressions *)
+  globals : (string * ity * expr) list;
+      (** constant expressions restricted to the operator subset the
+          global-initializer folder supports (no comparisons/ternary) *)
+  fields : (string * ity * int64) list;  (** struct S fields + init *)
+  arrays : (string * ity * int) list;    (** zero-initialized locals *)
+  rcs : (string * expr) list;
+      (** runtime recomputations of pure constant expressions: the same
+          expression class as [enums], but evaluated by the engines *)
+  locals : (string * ity * expr) list;   (** runtime initializers *)
+  body : stmt list;
+}
+
+let binop_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+  | Shl -> "<<" | Shr -> ">>"
+  | BAnd -> "&" | BOr -> "|" | BXor -> "^"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | LAnd -> "&&" | LOr -> "||"
+
+(** Static type of an expression under the C rules the front end
+    implements (shift result type is the promoted left operand;
+    comparisons and logic yield [int]). *)
+let rec type_of (e : expr) : ity =
+  match e with
+  | Const (_, t) | Var (_, t) | Read (_, t, _) | Field (_, t) -> t
+  | EnumRef _ -> I32
+  | Un (Lnot, _) -> I32
+  | Un ((Neg | Bnot), a) -> promote (type_of a)
+  | Bin ((Lt | Le | Gt | Ge | Eq | Ne | LAnd | LOr), _, _) -> I32
+  | Bin ((Shl | Shr), a, _) -> promote (type_of a)
+  | Bin (_, a, b) -> usual (type_of a) (type_of b)
+  | Cast (t, _) -> t
+  | Cond (_, a, b) -> usual (type_of a) (type_of b)
+
+(* ------------------------------------------------------------------ *)
+(* Reference evaluator                                                 *)
+(* ------------------------------------------------------------------ *)
+
+exception Not_const
+
+(** Canonical value of a pure constant expression at [type_of e]; [env]
+    resolves enum constants (already canonical at [int]).  This is the
+    independent arbiter the oracle compares every configuration against:
+    it shares no code with the front end's folders or the engines. *)
+let rec eval (env : (string * int64) list) (e : expr) : int64 =
+  let conv a into = convert ~from_:(type_of a) ~to_:into (eval env a) in
+  match e with
+  | Const (v, t) -> normalize t v
+  | EnumRef n -> (try List.assoc n env with Not_found -> raise Not_const)
+  | Var _ | Read _ | Field _ -> raise Not_const
+  | Un (Neg, a) ->
+    let t = promote (type_of a) in
+    normalize t (Int64.neg (conv a t))
+  | Un (Bnot, a) ->
+    let t = promote (type_of a) in
+    normalize t (Int64.lognot (conv a t))
+  | Un (Lnot, a) -> if eval env a = 0L then 1L else 0L
+  | Bin (LAnd, a, b) ->
+    if eval env a = 0L then 0L else if eval env b <> 0L then 1L else 0L
+  | Bin (LOr, a, b) ->
+    if eval env a <> 0L then 1L else if eval env b <> 0L then 1L else 0L
+  | Bin (((Lt | Le | Gt | Ge | Eq | Ne) as op), a, b) ->
+    let t = usual (type_of a) (type_of b) in
+    let va = conv a t and vb = conv b t in
+    let cmp =
+      if is_unsigned t then Int64.unsigned_compare (zext t va) (zext t vb)
+      else compare va vb
+    in
+    let r =
+      match op with
+      | Lt -> cmp < 0
+      | Le -> cmp <= 0
+      | Gt -> cmp > 0
+      | Ge -> cmp >= 0
+      | Eq -> cmp = 0
+      | _ -> cmp <> 0
+    in
+    if r then 1L else 0L
+  | Bin (((Shl | Shr) as op), a, b) ->
+    let t = promote (type_of a) in
+    let x = conv a t in
+    let count = Int64.to_int (eval env b) land 63 in
+    let r =
+      match op with
+      | Shl -> Int64.shift_left x count
+      | _ ->
+        if is_unsigned t then Int64.shift_right_logical (zext t x) count
+        else Int64.shift_right x count
+    in
+    normalize t r
+  | Bin (op, a, b) ->
+    let t = usual (type_of a) (type_of b) in
+    let x = conv a t and y = conv b t in
+    let r =
+      match op with
+      | Add -> Int64.add x y
+      | Sub -> Int64.sub x y
+      | Mul -> Int64.mul x y
+      | Div ->
+        if y = 0L then raise Not_const
+        else if is_unsigned t then Int64.unsigned_div (zext t x) (zext t y)
+        else Int64.div x y
+      | Rem ->
+        if y = 0L then raise Not_const
+        else if is_unsigned t then Int64.unsigned_rem (zext t x) (zext t y)
+        else Int64.rem x y
+      | BAnd -> Int64.logand x y
+      | BOr -> Int64.logor x y
+      | BXor -> Int64.logxor x y
+      | _ -> assert false
+    in
+    normalize t r
+  | Cast (t, a) -> conv a t
+  | Cond (c, a, b) ->
+    let t = usual (type_of a) (type_of b) in
+    if eval env c <> 0L then conv a t else conv b t
+
+(** The enum environment: each constant's runtime value (canonical at
+    [int], exactly what the parser's [IntLit] substitution produces). *)
+let enum_env (p : program) : (string * int64) list =
+  List.fold_left
+    (fun env (n, e) ->
+      let v = as_long (type_of e) (eval env e) in
+      (n, normalize I32 v) :: env)
+    [] p.enums
+  |> List.rev
+
+(** The output lines whose values the reference evaluator can predict:
+    enum constants, global initial values, and the pure recomputed
+    expressions — in print order. *)
+let expected_lines (p : program) : (string * int64) list =
+  let env = enum_env p in
+  List.map (fun (n, _) -> (n, List.assoc n env)) p.enums
+  @ List.map
+      (fun (n, gt, e) ->
+        (n, as_long gt (convert ~from_:(type_of e) ~to_:gt (eval env e))))
+      p.globals
+  @ List.map (fun (n, e) -> (n, as_long (type_of e) (eval env e))) p.rcs
+
+let expected_prefix (p : program) : string =
+  String.concat ""
+    (List.map
+       (fun (n, v) -> Printf.sprintf "%s=%Ld\n" n v)
+       (expected_lines p))
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Constants render to a form that parses back to the exact canonical
+    value at the exact type: small non-negative values as a cast decimal
+    literal, everything else as a cast 64-bit hex [unsigned long]
+    literal (the cast truncates to the right width). *)
+let render_const v t =
+  let c = normalize t v in
+  if c >= 0L && c < 0x8000_0000L then
+    Printf.sprintf "((%s)%Ld)" (c_name t) c
+  else Printf.sprintf "((%s)0x%Lxul)" (c_name t) c
+
+let render_idx = function Ixc k -> string_of_int k | Ixv v -> v
+
+let rec render_expr (e : expr) : string =
+  match e with
+  | Const (v, t) -> render_const v t
+  | EnumRef n | Var (n, _) -> n
+  | Read (a, _, ix) -> Printf.sprintf "%s[%s]" a (render_idx ix)
+  | Field (f, _) -> "s." ^ f
+  | Un (Neg, a) -> "(- " ^ render_expr a ^ ")"
+  | Un (Bnot, a) -> "(~ " ^ render_expr a ^ ")"
+  | Un (Lnot, a) -> "(! " ^ render_expr a ^ ")"
+  | Bin (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (render_expr a) (binop_str op)
+      (render_expr b)
+  | Cast (t, a) -> Printf.sprintf "((%s)%s)" (c_name t) (render_expr a)
+  | Cond (c, a, b) ->
+    Printf.sprintf "(%s ? %s : %s)" (render_expr c) (render_expr a)
+      (render_expr b)
+
+let rec render_stmt b ind (s : stmt) =
+  let pad = String.make ind ' ' in
+  match s with
+  | Assign (n, e) ->
+    Buffer.add_string b (Printf.sprintf "%s%s = %s;\n" pad n (render_expr e))
+  | AStore (a, ix, e) ->
+    Buffer.add_string b
+      (Printf.sprintf "%s%s[%s] = %s;\n" pad a (render_idx ix) (render_expr e))
+  | FStore (f, e) ->
+    Buffer.add_string b (Printf.sprintf "%ss.%s = %s;\n" pad f (render_expr e))
+  | If (c, t, []) ->
+    Buffer.add_string b (Printf.sprintf "%sif (%s) {\n" pad (render_expr c));
+    List.iter (render_stmt b (ind + 2)) t;
+    Buffer.add_string b (pad ^ "}\n")
+  | If (c, t, e) ->
+    Buffer.add_string b (Printf.sprintf "%sif (%s) {\n" pad (render_expr c));
+    List.iter (render_stmt b (ind + 2)) t;
+    Buffer.add_string b (pad ^ "} else {\n");
+    List.iter (render_stmt b (ind + 2)) e;
+    Buffer.add_string b (pad ^ "}\n")
+  | Loop (v, n, body) ->
+    Buffer.add_string b
+      (Printf.sprintf "%sfor (long %s = 0; %s < %d; %s = %s + 1) {\n" pad v v
+         n v v);
+    List.iter (render_stmt b (ind + 2)) body;
+    Buffer.add_string b (pad ^ "}\n")
+  | Switch (e, arms, dflt) ->
+    Buffer.add_string b
+      (Printf.sprintf "%sswitch ((long)(%s)) {\n" pad (render_expr e));
+    List.iter
+      (fun (k, body) ->
+        Buffer.add_string b (Printf.sprintf "%s  case %d: {\n" pad k);
+        List.iter (render_stmt b (ind + 4)) body;
+        Buffer.add_string b (pad ^ "    break;\n" ^ pad ^ "  }\n"))
+      arms;
+    Buffer.add_string b (pad ^ "  default: {\n");
+    List.iter (render_stmt b (ind + 4)) dflt;
+    Buffer.add_string b (pad ^ "    break;\n" ^ pad ^ "  }\n");
+    Buffer.add_string b (pad ^ "}\n")
+
+let render (p : program) : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "/* difftest seed %d */\n" p.seed);
+  if p.enums <> [] then begin
+    Buffer.add_string b "enum {\n";
+    List.iter
+      (fun (n, e) ->
+        Buffer.add_string b (Printf.sprintf "  %s = %s,\n" n (render_expr e)))
+      p.enums;
+    Buffer.add_string b "};\n"
+  end;
+  if p.fields <> [] then begin
+    Buffer.add_string b "struct S {\n";
+    List.iter
+      (fun (f, t, _) ->
+        Buffer.add_string b (Printf.sprintf "  %s %s;\n" (c_name t) f))
+      p.fields;
+    Buffer.add_string b "};\n"
+  end;
+  List.iter
+    (fun (n, t, e) ->
+      Buffer.add_string b
+        (Printf.sprintf "static %s %s = %s;\n" (c_name t) n (render_expr e)))
+    p.globals;
+  Buffer.add_string b "int main(void) {\n";
+  if p.fields <> [] then Buffer.add_string b "  struct S s;\n";
+  List.iter
+    (fun (a, t, len) ->
+      Buffer.add_string b
+        (Printf.sprintf "  %s %s[%d] = {0};\n" (c_name t) a len))
+    p.arrays;
+  List.iter
+    (fun (f, t, v) ->
+      Buffer.add_string b (Printf.sprintf "  s.%s = %s;\n" f (render_const v t)))
+    p.fields;
+  List.iter
+    (fun (n, e) ->
+      Buffer.add_string b
+        (Printf.sprintf "  %s %s = %s;\n"
+           (c_name (type_of e)) n (render_expr e)))
+    p.rcs;
+  List.iter
+    (fun (n, t, e) ->
+      Buffer.add_string b
+        (Printf.sprintf "  %s %s = %s;\n" (c_name t) n (render_expr e)))
+    p.locals;
+  List.iter (render_stmt b 2) p.body;
+  (* Print order: reference-predictable lines first (the expected
+     prefix), then the runtime state dump the configurations must merely
+     agree on among themselves. *)
+  let print_long label what =
+    Buffer.add_string b
+      (Printf.sprintf "  printf(\"%s=%%ld\\n\", (long)%s);\n" label what)
+  in
+  List.iter (fun (n, _) -> print_long n n) p.enums;
+  List.iter (fun (n, _, _) -> print_long n n) p.globals;
+  List.iter (fun (n, _) -> print_long n n) p.rcs;
+  List.iter (fun (n, _, _) -> print_long n n) p.locals;
+  List.iter (fun (f, _, _) -> print_long ("s." ^ f) ("s." ^ f)) p.fields;
+  List.iter
+    (fun (a, _, len) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "  {\n\
+            \    long chk_%s = 0;\n\
+            \    for (long ci_%s = 0; ci_%s < %d; ci_%s = ci_%s + 1) {\n\
+            \      chk_%s = (chk_%s * 31) + (long)%s[ci_%s];\n\
+            \    }\n\
+            \    printf(\"%s=%%ld\\n\", chk_%s);\n\
+            \  }\n"
+           a a a len a a a a a a a a))
+    p.arrays;
+  Buffer.add_string b "  return 0;\n}\n";
+  Buffer.contents b
+
+(** Size metric for the shrinker: rendered length.  Monotone under every
+    reduction we apply (structural drops, subexpression hoisting,
+    constant simplification), which guarantees termination. *)
+let size (p : program) : int = String.length (render p)
+
+(* ------------------------------------------------------------------ *)
+(* Well-formedness                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Operator subsets legal in each constant context.  [`Full] is what
+    the parser's constant-expression evaluator accepts (enum values);
+    [`Restricted] is what the global-initializer folder accepts (no
+    comparisons, logic, ternary or bitwise-not). *)
+type cmode = [ `Full | `Restricted ]
+
+let max_array_len = 16
+let max_loop_bound = 16
+
+(** [well_formed p] checks every guarantee the generator establishes, so
+    the shrinker (or a hand-written regression) can only produce
+    programs that are well-defined under our abstract machine:
+    referenced names exist with the recorded types, array indices are in
+    bounds (loop-variable indices via the loop bound), divisors are
+    provably nonzero, shift counts are constants within the promoted
+    width, enum values fit in [int], and switch labels are distinct. *)
+let well_formed (p : program) : bool =
+  let ok = ref true in
+  let fail () = ok := false in
+  (* Distinct names across every namespace (incl. loop variables). *)
+  let names = Hashtbl.create 32 in
+  let declare n = if Hashtbl.mem names n then fail () else Hashtbl.replace names n () in
+  List.iter (fun (n, _) -> declare n) p.enums;
+  List.iter (fun (n, _, _) -> declare n) p.globals;
+  List.iter (fun (f, _, _) -> declare ("s." ^ f)) p.fields;
+  List.iter (fun (a, _, _) -> declare a) p.arrays;
+  List.iter (fun (n, _) -> declare n) p.rcs;
+  List.iter (fun (n, _, _) -> declare n) p.locals;
+  let rec declare_loop_vars s =
+    match s with
+    | Loop (v, _, body) ->
+      declare v;
+      List.iter declare_loop_vars body
+    | If (_, a, b) ->
+      List.iter declare_loop_vars a;
+      List.iter declare_loop_vars b
+    | Switch (_, arms, d) ->
+      List.iter (fun (_, body) -> List.iter declare_loop_vars body) arms;
+      List.iter declare_loop_vars d
+    | Assign _ | AStore _ | FStore _ -> ()
+  in
+  List.iter declare_loop_vars p.body;
+  (* Lookup tables. *)
+  let global_ty = List.map (fun (n, t, _) -> (n, t)) p.globals in
+  let field_ty = List.map (fun (f, t, _) -> (f, t)) p.fields in
+  let array_info = List.map (fun (a, t, len) -> (a, (t, len))) p.arrays in
+  let local_ty = List.map (fun (n, t, _) -> (n, t)) p.locals in
+  (* Generic expression check.  [consts]: which constant mode, or
+     [`Runtime locals loops] with the scalar scope and live loop
+     bounds. *)
+  let rec check_expr ~(enums : string list)
+      ~(mode : [ cmode | `Runtime of (string * ity) list * (string * int) list ])
+      (e : expr) =
+    let recur = check_expr ~enums ~mode in
+    let runtime_only () = match mode with `Runtime _ -> () | _ -> fail () in
+    (match (mode, e) with
+    | `Restricted, (Un ((Bnot | Lnot), _) | Cond _)
+    | `Restricted, Bin ((Lt | Le | Gt | Ge | Eq | Ne | LAnd | LOr), _, _) ->
+      fail ()
+    | _ -> ());
+    match e with
+    | Const _ -> ()
+    | EnumRef n -> if not (List.mem n enums) then fail ()
+    | Var (n, t) -> begin
+      runtime_only ();
+      match mode with
+      | `Runtime (locals, loops) ->
+        let found =
+          match List.assoc_opt n locals with
+          | Some t' -> t' = t
+          | None -> begin
+            match List.assoc_opt n global_ty with
+            | Some t' -> t' = t
+            | None -> List.mem_assoc n loops && t = I64
+          end
+        in
+        if not found then fail ()
+      | _ -> ()
+    end
+    | Read (a, t, ix) -> begin
+      runtime_only ();
+      match (List.assoc_opt a array_info, mode) with
+      | Some (t', len), `Runtime (_, loops) ->
+        if t' <> t then fail ();
+        (match ix with
+        | Ixc k -> if k < 0 || k >= len then fail ()
+        | Ixv v -> begin
+          match List.assoc_opt v loops with
+          | Some bound -> if bound > len then fail ()
+          | None -> fail ()
+        end)
+      | _ -> fail ()
+    end
+    | Field (f, t) -> begin
+      runtime_only ();
+      match List.assoc_opt f field_ty with
+      | Some t' -> if t' <> t then fail ()
+      | None -> fail ()
+    end
+    | Un (_, a) -> recur a
+    | Bin ((Div | Rem), a, b) ->
+      recur a;
+      recur b;
+      (* The divisor must be provably nonzero at the operation's type:
+         either a constant that stays nonzero after conversion, or
+         [x | odd] whose low bit survives any truncation. *)
+      let rty = type_of e in
+      (match b with
+      | Const (c, ct) ->
+        if convert ~from_:ct ~to_:rty (normalize ct c) = 0L then fail ()
+      | Bin (BOr, _, Const (c, _)) -> if Int64.logand c 1L <> 1L then fail ()
+      | _ -> fail ())
+    | Bin ((Shl | Shr), a, b) -> begin
+      recur a;
+      match b with
+      | Const (k, _) ->
+        if k < 0L || k >= Int64.of_int (bits (promote (type_of a))) then
+          fail ()
+      | _ -> fail ()
+    end
+    | Bin (_, a, b) ->
+      recur a;
+      recur b
+    | Cast (_, a) -> recur a
+    | Cond (c, a, b) ->
+      recur c;
+      recur a;
+      recur b
+  in
+  (* Enums: full constant expressions over earlier enums; the value (as
+     printed) must fit in [int], since C gives enum constants type
+     [int]. *)
+  let enums_so_far = ref [] in
+  List.iter
+    (fun (n, e) ->
+      check_expr ~enums:!enums_so_far ~mode:`Full e;
+      enums_so_far := n :: !enums_so_far)
+    p.enums;
+  let all_enums = List.map fst p.enums in
+  (try
+     List.iter
+       (fun (_, v) ->
+         if v < -2147483648L || v > 2147483647L then fail ())
+       (let env = enum_env p in
+        List.map (fun (n, _) -> (n, List.assoc n env)) p.enums)
+   with Not_const -> fail ());
+  (* Globals: restricted constant expressions. *)
+  List.iter
+    (fun (_, _, e) -> check_expr ~enums:all_enums ~mode:`Restricted e)
+    p.globals;
+  (* Every constant expression must actually evaluate (guards hold). *)
+  (try ignore (expected_lines p) with Not_const -> fail ());
+  List.iter
+    (fun (_, _, len) -> if len < 1 || len > max_array_len then fail ())
+    p.arrays;
+  (* Recomputations: full constant expressions (runtime context accepts
+     every operator, but purity is required for the reference value). *)
+  List.iter (fun (_, e) -> check_expr ~enums:all_enums ~mode:`Full e) p.rcs;
+  (* Locals: runtime expressions over earlier locals. *)
+  let locals_so_far = ref [] in
+  List.iter
+    (fun (n, t, e) ->
+      check_expr ~enums:all_enums ~mode:(`Runtime (!locals_so_far, [])) e;
+      locals_so_far := (n, t) :: !locals_so_far)
+    p.locals;
+  (* Body: all locals in scope; loop bounds within limits; assignments
+     target scalar locals only (globals stay constant so their printed
+     values remain reference-predictable). *)
+  let rec check_stmt loops s =
+    let check_e = check_expr ~enums:all_enums ~mode:(`Runtime (local_ty, loops)) in
+    match s with
+    | Assign (n, e) ->
+      if not (List.mem_assoc n local_ty) then fail ();
+      check_e e
+    | AStore (a, ix, e) -> begin
+      check_e e;
+      match List.assoc_opt a array_info with
+      | None -> fail ()
+      | Some (_, len) -> begin
+        match ix with
+        | Ixc k -> if k < 0 || k >= len then fail ()
+        | Ixv v -> begin
+          match List.assoc_opt v loops with
+          | Some bound -> if bound > len then fail ()
+          | None -> fail ()
+        end
+      end
+    end
+    | FStore (f, e) ->
+      if not (List.mem_assoc f field_ty) then fail ();
+      check_e e
+    | If (c, a, b) ->
+      check_e c;
+      List.iter (check_stmt loops) a;
+      List.iter (check_stmt loops) b
+    | Loop (v, n, body) ->
+      if n < 1 || n > max_loop_bound then fail ();
+      List.iter (check_stmt ((v, n) :: loops)) body
+    | Switch (e, arms, d) ->
+      check_e e;
+      let labels = List.map fst arms in
+      if List.length (List.sort_uniq compare labels) <> List.length labels
+      then fail ();
+      List.iter (fun (_, body) -> List.iter (check_stmt loops) body) arms;
+      List.iter (check_stmt loops) d
+  in
+  List.iter (check_stmt []) p.body;
+  !ok

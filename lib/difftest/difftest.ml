@@ -1,0 +1,232 @@
+(** Driver for the differential-testing campaign: generate a seed range,
+    run each program through the oracle, optionally shrink divergent
+    cases, and report machine-readable results.
+
+    Checked-in regression programs pin the three front-end
+    constant-folding divergences this subsystem first convicted
+    (logical-shift folding for unsigned operands, unsigned comparisons
+    folded with signed compare, float-to-int casts folded with
+    platform-dependent [Int64.of_float]); reverting any one fix makes
+    the corresponding regression fail. *)
+
+type divergence = {
+  dv_seed : int;
+  dv_mismatch : string;
+  dv_source : string;
+  dv_reduced : string option;
+  dv_oracle_calls : int;  (** oracle calls spent shrinking *)
+}
+
+type report = {
+  rp_seed_start : int;
+  rp_seeds : int;
+  rp_agree : int;
+  rp_reject : int;
+  rp_divergences : divergence list;
+  rp_elapsed_s : float;
+}
+
+let diverges (p : Cprog.program) : bool =
+  match Oracle.check ~expected:(Cprog.expected_prefix p) (Cprog.render p) with
+  | Oracle.Diverge _ -> true
+  | Oracle.Agree _ | Oracle.Reject _ -> false
+
+(** Run one seed; [shrink] spends up to [shrink_budget] extra oracle
+    calls reducing a divergent program. *)
+let run_seed ?(shrink = false) ?(shrink_budget = 200) (seed : int) :
+    [ `Agree | `Reject of string | `Diverge of divergence ] =
+  let p = Cgen.generate ~seed in
+  let src = Cprog.render p in
+  match Oracle.check ~expected:(Cprog.expected_prefix p) src with
+  | Oracle.Agree _ -> `Agree
+  | Oracle.Reject why -> `Reject why
+  | Oracle.Diverge { mismatch; _ } ->
+    let reduced, calls =
+      if shrink then begin
+        let r = Shrink.reduce ~test:diverges ~budget:shrink_budget p in
+        (Some (Cprog.render r.Shrink.reduced), r.Shrink.oracle_calls)
+      end
+      else (None, 0)
+    in
+    `Diverge
+      {
+        dv_seed = seed;
+        dv_mismatch = mismatch;
+        dv_source = src;
+        dv_reduced = reduced;
+        dv_oracle_calls = calls;
+      }
+
+let run ?(shrink = false) ?(shrink_budget = 200)
+    ?(progress = fun (_ : int) -> ()) ~(seed_start : int) ~(seeds : int) () :
+    report =
+  let t0 = Unix.gettimeofday () in
+  let agree = ref 0 and reject = ref 0 and divs = ref [] in
+  for i = 0 to seeds - 1 do
+    let seed = seed_start + i in
+    (match run_seed ~shrink ~shrink_budget seed with
+    | `Agree -> incr agree
+    | `Reject _ -> incr reject
+    | `Diverge d -> divs := d :: !divs);
+    progress (i + 1)
+  done;
+  {
+    rp_seed_start = seed_start;
+    rp_seeds = seeds;
+    rp_agree = !agree;
+    rp_reject = !reject;
+    rp_divergences = List.rev !divs;
+    rp_elapsed_s = Unix.gettimeofday () -. t0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON log                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let report_row (r : report) : string =
+  let seeds_per_s =
+    if r.rp_elapsed_s > 0.0 then float_of_int r.rp_seeds /. r.rp_elapsed_s
+    else 0.0
+  in
+  Printf.sprintf
+    "  {\"name\": \"difftest\", \"seed_start\": %d, \"seeds\": %d, \
+     \"agree\": %d, \"rejects\": %d, \"divergences\": %d, \
+     \"elapsed_s\": %.3f, \"seeds_per_s\": %.1f%s}"
+    r.rp_seed_start r.rp_seeds r.rp_agree r.rp_reject
+    (List.length r.rp_divergences)
+    r.rp_elapsed_s seeds_per_s
+    (match r.rp_divergences with
+    | [] -> ""
+    | ds ->
+      Printf.sprintf ", \"diverging_seeds\": [%s]"
+        (String.concat ", "
+           (List.map (fun d -> string_of_int d.dv_seed) ds)))
+
+(** Append a row to a JSON-array log file (same shape as
+    BENCH_interp.json), creating it when missing. *)
+let append_row ~(file : string) (row : string) : unit =
+  let existing =
+    if Sys.file_exists file then begin
+      let ic = open_in_bin file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Some s
+    end
+    else None
+  in
+  let content =
+    match existing with
+    | None -> "[\n" ^ row ^ "\n]\n"
+    | Some s ->
+      let trimmed = String.trim s in
+      let body =
+        (* Drop the closing bracket; keep prior rows. *)
+        if String.length trimmed >= 1
+           && trimmed.[String.length trimmed - 1] = ']'
+        then String.trim (String.sub trimmed 0 (String.length trimmed - 1))
+        else trimmed
+      in
+      if body = "[" then "[\n" ^ row ^ "\n]\n"
+      else body ^ ",\n" ^ row ^ "\n]\n"
+  in
+  let oc = open_out_bin file in
+  output_string oc content;
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Regression reproducers                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** [(name, source, exact expected output)].  Each program computes the
+    same expression in a folded constant context *and* at runtime; with
+    any folding fix reverted, the folded and reference values disagree
+    and the oracle convicts the front end. *)
+let regressions : (string * string * string) list =
+  [
+    ( "unsigned-shr-fold",
+      (* (0u - 1u) >> 4 must use a *logical* shift at unsigned int:
+         0xFFFFFFFF >> 4 = 0x0FFFFFFF.  The pre-fix folders shifted the
+         canonical sign-extended value arithmetically, yielding -1. *)
+      "enum { E = (0u - 1u) >> 4 };\n\
+       static unsigned int g = (0u - 1u) >> 4;\n\
+       int main(void) {\n\
+      \  unsigned int x = 0u - 1u;\n\
+      \  unsigned int y = x >> 4;\n\
+      \  printf(\"%ld %ld %ld\\n\", (long)E, (long)g, (long)y);\n\
+      \  return 0;\n\
+       }\n",
+      "268435455 268435455 268435455\n" );
+    ( "unsigned-cmp-fold",
+      (* Comparisons whose usual-arithmetic type is unsigned must
+         compare zero-extended values: 0xFFFFFFFFu > 0u is 1, and
+         -1 < 1u converts -1 to 0xFFFFFFFF so the result is 0.  The
+         pre-fix folder used the signed polymorphic compare. *)
+      "enum { GT = (0u - 1u) > 0u, LT = -1 < 1u };\n\
+       int main(void) {\n\
+      \  unsigned int a = 0u - 1u;\n\
+      \  int m1 = -1;\n\
+      \  unsigned int one = 1u;\n\
+      \  int rgt = a > 0u;\n\
+      \  int rlt = m1 < one;\n\
+      \  printf(\"%ld %ld %ld %ld\\n\", (long)GT, (long)LT, (long)rgt, \
+       (long)rlt);\n\
+      \  return 0;\n\
+       }\n",
+      "1 0 1 0\n" );
+    ( "global-init-conversion",
+      (* A global initializer converts to the *declared* type before the
+         image bytes are emitted: widening from a narrower unsigned type
+         zero-extends.  The pre-fix folder emitted the canonical
+         sign-extended value, baking 0xFFFF9373 (not 0x00009373) into
+         the unsigned int — the first bug this oracle found by itself
+         (seed 0 of the first campaign, shrunk to this form). *)
+      "static unsigned int g = (unsigned short)0x9373ul;\n\
+       static long h = 0x80000000u;\n\
+       int main(void) {\n\
+      \  unsigned short x = 0x9373ul;\n\
+      \  unsigned int rg = x;\n\
+      \  unsigned int u = 0x80000000u;\n\
+      \  long rh = u;\n\
+      \  printf(\"%ld %ld %ld %ld\\n\", (long)g, h, (long)rg, rh);\n\
+      \  return 0;\n\
+       }\n",
+      "37747 2147483648 37747 2147483648\n" );
+    ( "float-to-int-fold",
+      (* Every float-to-int conversion — folded or executed, managed or
+         native — goes through Irtype.float_to_int: truncation toward
+         zero with NaN -> 0 and saturation at the integer range.  A
+         folder reverting to Int64.of_float diverges from the engines on
+         NaN/infinity at -O3 (where the cast folds) vs -O0 (where it
+         executes). *)
+      "int main(void) {\n\
+      \  double zero = 0.0;\n\
+      \  double big = 1e300;\n\
+      \  long a = (long)(zero / zero);\n\
+      \  long b = (long)(1.0 / zero);\n\
+      \  long c = (long)(0.0 - (1.0 / zero));\n\
+      \  long d = (long)big;\n\
+      \  printf(\"%ld %ld %ld %ld\\n\", a, b, c, d);\n\
+      \  return 0;\n\
+       }\n",
+      "0 9223372036854775807 -9223372036854775808 9223372036854775807\n" );
+  ]
+
+(** Run one regression through the full oracle; the common output must
+    equal the expected text exactly. *)
+let check_regression ((name, src, expected) : string * string * string) :
+    (unit, string) result =
+  match Oracle.check ~expected src with
+  | Oracle.Agree out when out = expected -> Ok ()
+  | Oracle.Agree out ->
+    Error (Printf.sprintf "%s: agreed on %S, expected %S" name out expected)
+  | Oracle.Reject why -> Error (Printf.sprintf "%s: rejected: %s" name why)
+  | Oracle.Diverge { mismatch; observations } ->
+    Error
+      (Printf.sprintf "%s: diverged: %s\n%s" name mismatch
+         (String.concat "\n"
+            (List.map
+               (fun o ->
+                 Printf.sprintf "  %-18s %-14s %S" o.Oracle.ob_config
+                   o.Oracle.ob_key o.Oracle.ob_output)
+               observations)))

@@ -1,0 +1,155 @@
+(** The cross-engine differential oracle.
+
+    Runs one C source through every engine configuration — the managed
+    Safe Sulong interpreter (plain, folded, safe-JIT-optimized, and with
+    front-end immediate folding disabled), plus the modeled Clang -O0 and
+    -O3 native pipelines — and demands identical outcome, output and
+    exit status from all of them.  Additionally, when the caller knows a
+    reference-predicted prefix of the output (see [Cprog.expected_lines]),
+    the common output must start with it: front-end constant folding is
+    shared by every configuration, so a folding bug produces outputs
+    that are *consistently* wrong and only an independent reference can
+    convict them. *)
+
+type observation = {
+  ob_config : string;
+  ob_key : string;  (** normalized outcome: [finished:N], [detected:K], … *)
+  ob_output : string;
+}
+
+type verdict =
+  | Agree of string  (** all configurations agree; common stdout *)
+  | Reject of string
+      (** every configuration failed identically before/without running
+          (front-end rejection) or finished abnormally in the same way —
+          the input is outside the supported subset, not a divergence *)
+  | Diverge of { mismatch : string; observations : observation list }
+
+type config = {
+  cfg_name : string;
+  cfg_target : [ `Managed of [ `Plain | `FoldOnly | `SafeJit ] | `Native of Pipeline.level ];
+  cfg_fe_fold : bool;  (** front-end immediate folding ([Lower.fold_immediates]) *)
+}
+
+(** Every configuration the oracle compares.  The [nofefold] variants
+    re-run lowering with immediate folding off, so literal conversions
+    execute as real cast instructions — any disagreement between the
+    folded and executed form of a conversion shows up as a divergence
+    between these rows. *)
+let configs : config list =
+  [
+    { cfg_name = "sulong"; cfg_target = `Managed `Plain; cfg_fe_fold = true };
+    { cfg_name = "sulong/nofefold"; cfg_target = `Managed `Plain; cfg_fe_fold = false };
+    { cfg_name = "sulong/fold"; cfg_target = `Managed `FoldOnly; cfg_fe_fold = true };
+    { cfg_name = "sulong/safe-jit"; cfg_target = `Managed `SafeJit; cfg_fe_fold = true };
+    { cfg_name = "clang-O0"; cfg_target = `Native Pipeline.O0; cfg_fe_fold = true };
+    { cfg_name = "clang-O0/nofefold"; cfg_target = `Native Pipeline.O0; cfg_fe_fold = false };
+    { cfg_name = "clang-O3"; cfg_target = `Native Pipeline.O3; cfg_fe_fold = true };
+  ]
+
+(* Generated programs are tiny (loop bounds <= 16, nesting <= 2); a small
+   step budget keeps a pathological case from stalling a whole run. *)
+let step_limit = 10_000_000
+
+let with_fe_fold flag f =
+  let saved = !Lower.fold_immediates in
+  Lower.fold_immediates := flag;
+  Fun.protect ~finally:(fun () -> Lower.fold_immediates := saved) f
+
+let outcome_key (o : Outcome.t) : string =
+  match o with
+  | Outcome.Finished n -> Printf.sprintf "finished:%d" n
+  | Outcome.Detected { kind; _ } -> "detected:" ^ kind
+  | Outcome.Crashed _ -> "crashed"
+  | Outcome.Timeout -> "timeout"
+
+let run_config (c : config) (src : string) : observation =
+  let key, output =
+    try
+      with_fe_fold c.cfg_fe_fold @@ fun () ->
+      match c.cfg_target with
+      | `Native level ->
+        let r = Engine.run ~step_limit (Engine.Clang level) src in
+        (outcome_key r.Engine.outcome, r.Engine.output)
+      | `Managed mode ->
+        let m = Loader.load_program src in
+        (match mode with
+        | `Plain -> ()
+        | `FoldOnly ->
+          let rounds = ref 0 in
+          while !rounds < 8 && Fold.run m do
+            incr rounds
+          done;
+          Verify.verify m
+        | `SafeJit ->
+          ignore (Pipeline.safe_jit m);
+          Verify.verify m);
+        let st =
+          Interp.create ~step_limit ~mementos:true ~detect_uninit:false
+            ~input:"" m
+        in
+        let r = Interp.run ~argv:[ "program" ] st in
+        let key =
+          if r.Interp.timed_out then "timeout"
+          else
+            match r.Interp.error with
+            | Some (cat, _) -> "detected:" ^ Merror.category_name cat
+            | None -> Printf.sprintf "finished:%d" r.Interp.exit_code
+        in
+        (key, r.Interp.output)
+    with e ->
+      (* Parse/sema/lower rejections and verifier failures land here; a
+         rejection is uniform across configurations and classified as
+         such by [check], while a config-dependent exception (e.g. a
+         transform producing IR the verifier rejects) diverges. *)
+      ("error:" ^ Printexc.to_string e, "")
+  in
+  { ob_config = c.cfg_name; ob_key = key; ob_output = output }
+
+let has_prefix ~prefix s =
+  let pl = String.length prefix in
+  String.length s >= pl && String.sub s 0 pl = prefix
+
+let is_error key = has_prefix ~prefix:"error:" key
+
+(** Compare [src] across all configurations.  [expected] is the
+    reference-predicted output prefix, when available. *)
+let check ?expected (src : string) : verdict =
+  let obs = List.map (fun c -> run_config c src) configs in
+  match obs with
+  | [] -> assert false
+  | first :: rest ->
+    let same o = o.ob_key = first.ob_key && o.ob_output = first.ob_output in
+    let disagreeing = List.filter (fun o -> not (same o)) rest in
+    if disagreeing <> [] then
+      let d = List.hd disagreeing in
+      let what =
+        if d.ob_key <> first.ob_key then
+          Printf.sprintf "outcome %s (%s) vs %s (%s)" first.ob_key
+            first.ob_config d.ob_key d.ob_config
+        else
+          Printf.sprintf "output differs between %s and %s" first.ob_config
+            d.ob_config
+      in
+      Diverge { mismatch = what; observations = obs }
+    else if is_error first.ob_key then Reject first.ob_key
+    else if first.ob_key <> "finished:0" then
+      (* Uniform abnormal end: for generated inputs this means the
+         generator escaped the well-defined subset, not that an engine
+         misbehaved — surfaced as a reject so runs stay zero-divergence
+         only when genuinely clean. *)
+      Reject ("abnormal: " ^ first.ob_key)
+    else begin
+      match expected with
+      | Some prefix when not (has_prefix ~prefix first.ob_output) ->
+        Diverge
+          {
+            mismatch = "all configurations disagree with the reference \
+                        evaluator on a constant expression";
+            observations =
+              obs
+              @ [ { ob_config = "reference"; ob_key = "finished:0";
+                    ob_output = prefix } ];
+          }
+      | _ -> Agree first.ob_output
+    end

@@ -1,0 +1,230 @@
+(** Greedy delta-debugging reducer for divergent difftest programs.
+
+    Works on the typed mini-AST, not on source text: every candidate is
+    re-validated with [Cprog.well_formed], so shrinking can never
+    manufacture undefined behaviour (out-of-bounds index, zero divisor,
+    oversized shift) that would turn a genuine miscompilation report
+    into garbage.  Candidates must be strictly smaller under
+    [Cprog.size] (rendered length), which makes the greedy loop
+    terminate; the oracle predicate is re-tested per candidate under a
+    caller-supplied budget. *)
+
+open Cprog
+
+(* ---------------- expression reductions ---------------- *)
+
+(* Children of [e], coerced to [e]'s static type so the replacement
+   can't change the typing of the surrounding context. *)
+let hoistable_children (e : expr) : expr list =
+  let t = type_of e in
+  let coerce s = if type_of s = t then s else Cast (t, s) in
+  let kids =
+    match e with
+    | Un (_, a) | Cast (_, a) -> [ a ]
+    | Bin (_, a, b) -> [ a; b ]
+    | Cond (c, a, b) -> [ c; a; b ]
+    | Const _ | EnumRef _ | Var _ | Read _ | Field _ -> []
+  in
+  List.map coerce kids
+
+let expr_reductions (e : expr) : expr list =
+  let t = type_of e in
+  let consts =
+    match e with
+    | Const (0L, _) -> []
+    | Const (1L, _) -> [ Const (0L, t) ]
+    | Const _ -> [ Const (0L, t); Const (1L, t) ]
+    | _ -> [ Const (0L, t); Const (1L, t) ]
+  in
+  hoistable_children e @ consts
+
+(* Every subexpression occurrence of [e], paired with a rebuild of the
+   whole expression from a replacement at that occurrence. *)
+let rec expr_sites (e : expr) (rebuild : expr -> 'a) : (expr * (expr -> 'a)) list
+    =
+  (e, rebuild)
+  ::
+  (match e with
+  | Un (u, a) -> expr_sites a (fun a' -> rebuild (Un (u, a')))
+  | Bin (op, a, b) ->
+    expr_sites a (fun a' -> rebuild (Bin (op, a', b)))
+    @ expr_sites b (fun b' -> rebuild (Bin (op, a, b')))
+  | Cast (t, a) -> expr_sites a (fun a' -> rebuild (Cast (t, a')))
+  | Cond (c, a, b) ->
+    expr_sites c (fun c' -> rebuild (Cond (c', a, b)))
+    @ expr_sites a (fun a' -> rebuild (Cond (c, a', b)))
+    @ expr_sites b (fun b' -> rebuild (Cond (c, a, b')))
+  | Const _ | EnumRef _ | Var _ | Read _ | Field _ -> [])
+
+(* ---------------- statement-level variants ---------------- *)
+
+let replace_nth i x xs = List.mapi (fun j y -> if i = j then x else y) xs
+
+let remove_nth i xs = List.filteri (fun j _ -> i <> j) xs
+
+let splice_nth i repl xs =
+  List.concat (List.mapi (fun j y -> if i = j then repl else [ y ]) xs)
+
+(* Structural reductions of one statement: unwrap a structured statement
+   into (a subset of) its children. *)
+let stmt_unwraps (s : stmt) : stmt list list =
+  match s with
+  | If (_, a, b) -> [ a; b; a @ b ]
+  | Loop (_, _, body) -> [ body ]
+  | Switch (_, arms, d) -> [] :: d :: List.map snd arms
+  | Assign _ | AStore _ | FStore _ -> [ [] ]
+
+(* All one-change variants of a statement list: drop a statement, unwrap
+   a structured statement, shrink a loop bound, drop a switch arm, or
+   recurse into nested lists. *)
+let rec stmts_variants (ss : stmt list) : stmt list list =
+  let drops = List.mapi (fun i _ -> remove_nth i ss) ss in
+  let unwraps =
+    List.concat
+      (List.mapi
+         (fun i s -> List.map (fun repl -> splice_nth i repl ss) (stmt_unwraps s))
+         ss)
+  in
+  let nested =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           List.map (fun s' -> replace_nth i s' ss) (stmt_variants s))
+         ss)
+  in
+  drops @ unwraps @ nested
+
+and stmt_variants (s : stmt) : stmt list =
+  match s with
+  | If (c, a, b) ->
+    List.map (fun a' -> If (c, a', b)) (stmts_variants a)
+    @ List.map (fun b' -> If (c, a, b')) (stmts_variants b)
+  | Loop (v, n, body) ->
+    (if n > 1 then [ Loop (v, 1, body) ] else [])
+    @ List.map (fun b' -> Loop (v, n, b')) (stmts_variants body)
+  | Switch (e, arms, d) ->
+    List.mapi (fun i _ -> Switch (e, remove_nth i arms, d)) arms
+    @ List.concat
+        (List.mapi
+           (fun i (k, body) ->
+             List.map
+               (fun b' -> Switch (e, replace_nth i (k, b') arms, d))
+               (stmts_variants body))
+           arms)
+    @ List.map (fun d' -> Switch (e, arms, d')) (stmts_variants d)
+  | Assign _ | AStore _ | FStore _ -> []
+
+(* ---------------- expression sites of a whole program ---------------- *)
+
+let rec stmt_expr_sites (s : stmt) (rb : stmt -> program) :
+    (expr * (expr -> program)) list =
+  match s with
+  | Assign (n, e) -> expr_sites e (fun e' -> rb (Assign (n, e')))
+  | AStore (a, ix, e) -> expr_sites e (fun e' -> rb (AStore (a, ix, e')))
+  | FStore (f, e) -> expr_sites e (fun e' -> rb (FStore (f, e')))
+  | If (c, a, b) ->
+    expr_sites c (fun c' -> rb (If (c', a, b)))
+    @ stmts_expr_sites a (fun a' -> rb (If (c, a', b)))
+    @ stmts_expr_sites b (fun b' -> rb (If (c, a, b')))
+  | Loop (v, n, body) ->
+    stmts_expr_sites body (fun b' -> rb (Loop (v, n, b')))
+  | Switch (e, arms, d) ->
+    expr_sites e (fun e' -> rb (Switch (e', arms, d)))
+    @ List.concat
+        (List.mapi
+           (fun i (k, body) ->
+             stmts_expr_sites body (fun b' ->
+                 rb (Switch (e, replace_nth i (k, b') arms, d))))
+           arms)
+    @ stmts_expr_sites d (fun d' -> rb (Switch (e, arms, d')))
+
+and stmts_expr_sites (ss : stmt list) (rb : stmt list -> program) :
+    (expr * (expr -> program)) list =
+  List.concat
+    (List.mapi
+       (fun i s -> stmt_expr_sites s (fun s' -> rb (replace_nth i s' ss)))
+       ss)
+
+let program_expr_sites (p : program) : (expr * (expr -> program)) list =
+  List.concat
+    [
+      List.concat
+        (List.mapi
+           (fun i (n, e) ->
+             expr_sites e (fun e' ->
+                 { p with enums = replace_nth i (n, e') p.enums }))
+           p.enums);
+      List.concat
+        (List.mapi
+           (fun i (n, t, e) ->
+             expr_sites e (fun e' ->
+                 { p with globals = replace_nth i (n, t, e') p.globals }))
+           p.globals);
+      List.concat
+        (List.mapi
+           (fun i (n, e) ->
+             expr_sites e (fun e' ->
+                 { p with rcs = replace_nth i (n, e') p.rcs }))
+           p.rcs);
+      List.concat
+        (List.mapi
+           (fun i (n, t, e) ->
+             expr_sites e (fun e' ->
+                 { p with locals = replace_nth i (n, t, e') p.locals }))
+           p.locals);
+      stmts_expr_sites p.body (fun body -> { p with body });
+    ]
+
+(* ---------------- candidates ---------------- *)
+
+(** All one-change reduction candidates, structural drops first (they
+    remove the most text per oracle call). *)
+let candidates (p : program) : program list =
+  let entity_drops =
+    List.mapi (fun i _ -> { p with enums = remove_nth i p.enums }) p.enums
+    @ List.mapi (fun i _ -> { p with globals = remove_nth i p.globals }) p.globals
+    @ List.mapi (fun i _ -> { p with fields = remove_nth i p.fields }) p.fields
+    @ List.mapi (fun i _ -> { p with arrays = remove_nth i p.arrays }) p.arrays
+    @ List.mapi (fun i _ -> { p with rcs = remove_nth i p.rcs }) p.rcs
+    @ List.mapi (fun i _ -> { p with locals = remove_nth i p.locals }) p.locals
+  in
+  let body_variants =
+    List.map (fun body -> { p with body }) (stmts_variants p.body)
+  in
+  let expr_shrinks =
+    List.concat
+      (List.map
+         (fun (e, rebuild) -> List.map rebuild (expr_reductions e))
+         (program_expr_sites p))
+  in
+  entity_drops @ body_variants @ expr_shrinks
+
+(* ---------------- the greedy loop ---------------- *)
+
+type result = { reduced : program; oracle_calls : int }
+
+(** [reduce ~test ~budget p] greedily applies the first size-reducing
+    candidate that still satisfies [test] (the "still diverges"
+    predicate), until a fixpoint or until [budget] oracle calls have
+    been spent.  [p] itself is assumed to satisfy [test]. *)
+let reduce ~(test : program -> bool) ~(budget : int) (p0 : program) : result =
+  let calls = ref 0 in
+  let try_p p =
+    if !calls >= budget then false
+    else begin
+      incr calls;
+      test p
+    end
+  in
+  let rec go cur =
+    if !calls >= budget then cur
+    else begin
+      let limit = size cur in
+      let viable c = well_formed c && size c < limit in
+      match List.find_opt (fun c -> viable c && try_p c) (candidates cur) with
+      | Some smaller -> go smaller
+      | None -> cur
+    end
+  in
+  let reduced = go p0 in
+  { reduced; oracle_calls = !calls }

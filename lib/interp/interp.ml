@@ -349,7 +349,7 @@ let exec_cast (op : Instr.cast) (from : Irtype.scalar) (into : Irtype.scalar)
   | Instr.Fpext -> Mval.Vfloat (Mval.as_float v)
   | Instr.Fptosi | Instr.Fptoui ->
     let f = Mval.as_float v in
-    Mval.Vint (Irtype.normalize_int into (Int64.of_float f))
+    Mval.Vint (Irtype.normalize_int into (Irtype.float_to_int f))
   | Instr.Sitofp -> Mval.Vfloat (Int64.to_float (Mval.as_int v))
   | Instr.Uitofp ->
     let u = Irtype.unsigned_of from (Mval.as_int v) in

@@ -84,6 +84,19 @@ let normalize_int (s : scalar) (v : int64) : int64 =
   | I64 | Ptr -> v
   | F32 | F64 -> invalid_arg "normalize_int on float type"
 
+(** Defined float-to-integer conversion shared by the constant folder and
+    both execution engines: truncation toward zero, NaN maps to 0, and
+    values outside the i64 range saturate.  C leaves these cases
+    undefined; what matters here is that every pipeline configuration
+    agrees, otherwise folded and unfolded runs of a correct program
+    diverge ([Int64.of_float] alone is unspecified on exactly these
+    inputs).  Callers normalize the result to the destination width. *)
+let float_to_int (f : float) : int64 =
+  if f <> f then 0L
+  else if f >= Int64.to_float Int64.max_int then Int64.max_int
+  else if f <= Int64.to_float Int64.min_int then Int64.min_int
+  else Int64.of_float f
+
 (** Reinterpret [v] as an unsigned value of width [s] (zero-extended). *)
 let unsigned_of (s : scalar) (v : int64) : int64 =
   match s with

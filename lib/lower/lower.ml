@@ -129,6 +129,12 @@ let intern_string ctx s =
 (* Conversions                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(** When false, immediate conversions lower to real cast instructions
+    instead of folding here.  All production pipelines keep this on (as
+    Clang does even at -O0); the differential-testing oracle flips it to
+    cross-check front-end folding against the engines' cast semantics. *)
+let fold_immediates = ref true
+
 (** Convert value [v] of C type [from_ty] to C type [to_ty], emitting
     cast instructions as needed. *)
 let coerce ctx pos ~(from_ty : Ctype.t) ~(to_ty : Ctype.t) (v : Instr.value) :
@@ -144,15 +150,22 @@ let coerce ctx pos ~(from_ty : Ctype.t) ~(to_ty : Ctype.t) (v : Instr.value) :
        even at -O0, which is what lets its backend delete constant-index
        out-of-bounds accesses (paper case study 3). *)
     | Instr.ImmInt (x, _), _, _
-      when Irtype.is_int_scalar fs && Irtype.is_int_scalar ts ->
+      when !fold_immediates && Irtype.is_int_scalar fs
+           && Irtype.is_int_scalar ts ->
       let widened =
         if Irtype.scalar_size ts > Irtype.scalar_size fs && is_unsigned from_ty
         then Irtype.unsigned_of fs x
         else x
       in
       Instr.ImmInt (Irtype.normalize_int ts widened, ts)
-    | Instr.ImmInt (x, _), _, (Irtype.F32 | Irtype.F64) ->
-      Instr.ImmFloat (Int64.to_float x, ts)
+    | Instr.ImmInt (x, _), _, (Irtype.F32 | Irtype.F64) when !fold_immediates ->
+      Instr.ImmFloat
+        ( (if is_unsigned from_ty then
+             let u = Irtype.unsigned_of fs x in
+             if u >= 0L then Int64.to_float u
+             else Int64.to_float u +. 18446744073709551616.0
+           else Int64.to_float x),
+          ts )
     | Instr.ImmFloat (f, _), _, (Irtype.F32 | Irtype.F64) ->
       Instr.ImmFloat (f, ts)
     | Instr.ImmInt (0L, _), _, Irtype.Ptr -> Instr.Null
@@ -941,25 +954,71 @@ let rec lower_global_init ctx (ty : Ctype.t) (init : A.init) : Irmod.ginit =
       (Ctype.to_string ty)
 
 and lower_global_scalar ctx (ty : Ctype.t) (e : A.expr) : Irmod.ginit =
+  (* Sema has annotated every sub-expression, so this folder can follow
+     the engines' semantics exactly: operands convert to the annotated
+     result type, unsigned operands get logical shifts / unsigned
+     division, shift counts are masked [land 63], and every result is
+     normalized to the expression's width (the same rules as
+     lib/opt/fold.ml and both engines — a mismatch here bakes a wrong
+     constant into the image that no pipeline configuration can undo). *)
+  let ity (e : A.expr) =
+    if Ctype.is_integer (Ctype.decay e.A.ty) then Ctype.decay e.A.ty
+    else Ctype.long_t
+  in
   let rec const_int (e : A.expr) : int64 option =
+    let conv (a : A.expr) into =
+      Option.map
+        (fun v -> Ctype.convert_const ~from_ty:(ity a) ~to_ty:into v)
+        (const_int a)
+    in
     match e.A.desc with
-    | A.IntLit (v, _, _) -> Some v
+    | A.IntLit (v, k, s) -> Some (Ctype.normalize_const (Ctype.Int (k, s)) v)
     | A.CharLit c -> Some (Int64.of_int (Char.code c))
-    | A.Unop (A.Neg, a) -> Option.map Int64.neg (const_int a)
-    | A.Cast (_, a) -> const_int a
+    | A.Unop (A.Neg, a) ->
+      let rty = ity e in
+      Option.map (fun v -> Ctype.normalize_const rty (Int64.neg v)) (conv a rty)
+    | A.Cast (cty, a) ->
+      if Ctype.is_integer cty then conv a cty else const_int a
+    | A.Binop ((A.Shl | A.Shr) as op, a, b) -> begin
+      let rty = ity e in
+      match (conv a rty, const_int b) with
+      | Some x, Some y ->
+        let count = Int64.to_int y land 63 in
+        let r =
+          match op with
+          | A.Shl -> Int64.shift_left x count
+          | _ ->
+            if is_unsigned rty then
+              Int64.shift_right_logical (Ctype.zext_const rty x) count
+            else Int64.shift_right x count
+        in
+        Some (Ctype.normalize_const rty r)
+      | _ -> None
+    end
     | A.Binop (op, a, b) -> begin
-      match (const_int a, const_int b) with
+      let rty = ity e in
+      match (conv a rty, conv b rty) with
       | Some x, Some y -> begin
+        let fold r = Some (Ctype.normalize_const rty r) in
         match op with
-        | A.Add -> Some (Int64.add x y)
-        | A.Sub -> Some (Int64.sub x y)
-        | A.Mul -> Some (Int64.mul x y)
-        | A.Div when y <> 0L -> Some (Int64.div x y)
-        | A.Shl -> Some (Int64.shift_left x (Int64.to_int y))
-        | A.Shr -> Some (Int64.shift_right x (Int64.to_int y))
-        | A.Bor -> Some (Int64.logor x y)
-        | A.Band -> Some (Int64.logand x y)
-        | A.Bxor -> Some (Int64.logxor x y)
+        | A.Add -> fold (Int64.add x y)
+        | A.Sub -> fold (Int64.sub x y)
+        | A.Mul -> fold (Int64.mul x y)
+        | A.Div when y <> 0L ->
+          fold
+            (if is_unsigned rty then
+               Int64.unsigned_div (Ctype.zext_const rty x)
+                 (Ctype.zext_const rty y)
+             else Int64.div x y)
+        | A.Mod when y <> 0L ->
+          fold
+            (if is_unsigned rty then
+               Int64.unsigned_rem (Ctype.zext_const rty x)
+                 (Ctype.zext_const rty y)
+             else Int64.rem x y)
+        | A.Bor -> fold (Int64.logor x y)
+        | A.Band -> fold (Int64.logand x y)
+        | A.Bxor -> fold (Int64.logxor x y)
         | _ -> None
       end
       | _ -> None
@@ -969,7 +1028,17 @@ and lower_global_scalar ctx (ty : Ctype.t) (e : A.expr) : Irmod.ginit =
   let rec const_float (e : A.expr) : float option =
     match e.A.desc with
     | A.FloatLit (f, _) -> Some f
-    | A.IntLit (v, _, _) -> Some (Int64.to_float v)
+    | A.IntLit (v, k, s) ->
+      (* Same conversion the runtime Sitofp/Uitofp performs. *)
+      let lty = Ctype.Int (k, s) in
+      let c = Ctype.normalize_const lty v in
+      Some
+        (if s = Ctype.Unsigned then begin
+           let u = Ctype.zext_const lty c in
+           if u >= 0L then Int64.to_float u
+           else Int64.to_float u +. 18446744073709551616.0
+         end
+         else Int64.to_float c)
     | A.Unop (A.Neg, a) -> Option.map (fun f -> -.f) (const_float a)
     | A.Cast (_, a) -> const_float a
     | _ -> None
@@ -991,7 +1060,20 @@ and lower_global_scalar ctx (ty : Ctype.t) (e : A.expr) : Irmod.ginit =
   end
   | _, _ -> begin
     match const_int e with
-    | Some v -> Irmod.Gint v
+    | Some v ->
+      (* Apply the implicit conversion from the initializer's type to
+         the declared type before emitting the image bytes: widening
+         from a narrower unsigned type must zero-extend, which the
+         canonical (sign-extended) representation does not encode.
+         Without this, `unsigned int g = (unsigned short)0x9373;` bakes
+         0xFFFF9373 into the global — a wrong constant no pipeline
+         configuration can undo (found by the differential oracle). *)
+      let v =
+        if Ctype.is_integer (Ctype.decay ty) then
+          Ctype.convert_const ~from_ty:(ity e) ~to_ty:(Ctype.decay ty) v
+        else v
+      in
+      Irmod.Gint v
     | None -> unsupported e.A.pos "global initializer is not constant"
   end
 

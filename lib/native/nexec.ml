@@ -280,7 +280,7 @@ let exec_cast (op : Instr.cast) (from : Irtype.scalar) (into : Irtype.scalar)
   | Instr.Fptrunc -> NF (Int32.float_of_bits (Int32.bits_of_float (as_float v)), d)
   | Instr.Fpext -> NF (as_float v, d)
   | Instr.Fptosi | Instr.Fptoui ->
-    NI (Irtype.normalize_int into (Int64.of_float (as_float v)), d)
+    NI (Irtype.normalize_int into (Irtype.float_to_int (as_float v)), d)
   | Instr.Sitofp -> NF (Int64.to_float (as_int v), d)
   | Instr.Uitofp ->
     let u = Irtype.unsigned_of from (as_int v) in

@@ -95,7 +95,7 @@ let fold_cast op from into v : Instr.value option =
     | Instr.Fpext -> Some (Instr.ImmFloat (f, into))
     | Instr.Fptrunc ->
       Some (Instr.ImmFloat (Int32.float_of_bits (Int32.bits_of_float f), into))
-    | Instr.Fptosi | Instr.Fptoui -> Some (imm into (Int64.of_float f))
+    | Instr.Fptosi | Instr.Fptoui -> Some (imm into (Irtype.float_to_int f))
     | _ -> None
   end
   | Instr.Null -> begin

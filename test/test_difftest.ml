@@ -1,0 +1,205 @@
+(** Tests for the cross-engine differential oracle (lib/difftest) and
+    the constant-folding divergence fixes it pinned down. *)
+
+(* ---------------- float->int conversion semantics ---------------- *)
+
+let test_float_to_int_edges () =
+  let check what expected f =
+    Alcotest.(check int64) what expected (Irtype.float_to_int f)
+  in
+  check "NaN -> 0" 0L Float.nan;
+  check "+inf saturates" Int64.max_int Float.infinity;
+  check "-inf saturates" Int64.min_int Float.neg_infinity;
+  check "1e300 saturates" Int64.max_int 1e300;
+  check "-1e300 saturates" Int64.min_int (-1e300);
+  check "truncation toward zero" 12L 12.9;
+  check "negative truncation toward zero" (-12L) (-12.9);
+  check "exact power of two" (Int64.shift_left 1L 62) 4.611686018427387904e18;
+  check "zero" 0L 0.0
+
+(* Reverting lib/opt/fold.ml's Fptosi/Fptoui case to [Int64.of_float]
+   fails here directly (NaN folds to Int64.min_int on x86-64). *)
+let test_fold_cast_matches_engines () =
+  let fold f =
+    match
+      Fold.fold_cast Instr.Fptosi Irtype.F64 Irtype.I64
+        (Instr.ImmFloat (f, Irtype.F64))
+    with
+    | Some (Instr.ImmInt (v, Irtype.I64)) -> v
+    | _ -> Alcotest.fail "expected a folded integer immediate"
+  in
+  Alcotest.(check int64) "folded NaN" 0L (fold Float.nan);
+  Alcotest.(check int64) "folded +inf" Int64.max_int (fold Float.infinity);
+  Alcotest.(check int64)
+    "folded -inf" Int64.min_int
+    (fold Float.neg_infinity);
+  Alcotest.(check int64)
+    "fold agrees with Irtype.float_to_int" (Irtype.float_to_int 1e19)
+    (fold 1e19)
+
+(* ---------------- checked-in regression reproducers ---------------- *)
+
+let test_regressions () =
+  List.iter
+    (fun ((name, _, _) as reg) ->
+      match Difftest.check_regression reg with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "regression %s failed:\n%s" name msg)
+    Difftest.regressions
+
+(* ---------------- generator properties ---------------- *)
+
+let test_generator_well_formed () =
+  for seed = 1 to 60 do
+    let p = Cgen.generate ~seed in
+    if not (Cprog.well_formed p) then
+      Alcotest.failf "seed %d generates an ill-formed program:\n%s" seed
+        (Cprog.render p)
+  done
+
+let test_generator_deterministic () =
+  let a = Cprog.render (Cgen.generate ~seed:20180324) in
+  let b = Cprog.render (Cgen.generate ~seed:20180324) in
+  Alcotest.(check string) "same seed, same program" a b;
+  let c = Cprog.render (Cgen.generate ~seed:20180325) in
+  Alcotest.(check bool) "different seed, different program" true (a <> c)
+
+(* ---------------- the oracle smoke run ---------------- *)
+
+let test_oracle_smoke () =
+  (* A fixed seed range; every seed must agree across all seven
+     configurations (and with the reference evaluator on the constant
+     prefix).  Rejections would indicate the generator escaped the
+     supported subset — also a bug. *)
+  for seed = 1 to 25 do
+    match Difftest.run_seed seed with
+    | `Agree -> ()
+    | `Reject why -> Alcotest.failf "seed %d rejected: %s" seed why
+    | `Diverge d ->
+      Alcotest.failf "seed %d diverged (%s):\n%s" seed d.Difftest.dv_mismatch
+        d.Difftest.dv_source
+  done
+
+let test_oracle_deterministic () =
+  let verdict seed =
+    match Difftest.run_seed seed with
+    | `Agree -> "agree"
+    | `Reject w -> "reject:" ^ w
+    | `Diverge d -> "diverge:" ^ d.Difftest.dv_mismatch
+  in
+  Alcotest.(check string) "stable verdict" (verdict 99) (verdict 99)
+
+(* ---------------- the shrinker ---------------- *)
+
+let test_shrinker_reduces () =
+  (* A synthetic "divergence": the predicate holds as long as an
+     unsigned right shift survives anywhere in the program.  The
+     reducer must strip the unrelated junk while preserving the
+     predicate and well-formedness. *)
+  let open Cprog in
+  let shr = Bin (Shr, Const (-1L, U32), Const (4L, I32)) in
+  let p =
+    {
+      seed = 0;
+      enums = [ ("E0", shr); ("E1", Const (7L, I32)) ];
+      globals = [ ("g0", I64, Bin (Add, Const (1L, I64), Const (2L, I64))) ];
+      fields = [];
+      arrays = [ ("a0", I32, 4) ];
+      rcs = [ ("rc0", Bin (Mul, Const (3L, I32), Const (9L, I32))) ];
+      locals = [ ("v0", I32, Const (5L, I32)) ];
+      body =
+        [
+          Loop ("i0", 4, [ AStore ("a0", Ixv "i0", Var ("v0", I32)) ]);
+          If (Var ("v0", I32), [ Assign ("v0", Const (9L, I32)) ], []);
+        ];
+    }
+  in
+  Alcotest.(check bool) "fixture well-formed" true (well_formed p);
+  let rec has_shr = function
+    | Bin (Shr, _, _) -> true
+    | Bin (_, a, b) -> has_shr a || has_shr b
+    | Un (_, a) | Cast (_, a) -> has_shr a
+    | Cond (c, a, b) -> has_shr c || has_shr a || has_shr b
+    | Const _ | EnumRef _ | Var _ | Read _ | Field _ -> false
+  in
+  let prog_has_shr q =
+    List.exists (fun (_, e) -> has_shr e) q.enums
+    || List.exists (fun (_, _, e) -> has_shr e) q.globals
+    || List.exists (fun (_, e) -> has_shr e) q.rcs
+  in
+  Alcotest.(check bool) "fixture satisfies predicate" true (prog_has_shr p);
+  let r = Shrink.reduce ~test:prog_has_shr ~budget:500 p in
+  let q = r.Shrink.reduced in
+  Alcotest.(check bool) "reduced still well-formed" true (well_formed q);
+  Alcotest.(check bool) "reduced still satisfies predicate" true
+    (prog_has_shr q);
+  Alcotest.(check bool) "reduced is smaller" true (size q < size p);
+  Alcotest.(check bool) "junk body dropped" true (q.body = []);
+  Alcotest.(check bool) "junk global dropped" true (q.globals = [])
+
+(* ---------------- reference evaluator spot checks ---------------- *)
+
+let test_reference_evaluator () =
+  let open Cprog in
+  let e v = eval [] v in
+  (* (0u - 1u) >> 4 at unsigned int. *)
+  Alcotest.(check int64) "unsigned shr" 268435455L
+    (e (Bin (Shr, Bin (Sub, Const (0L, U32), Const (1L, U32)), Const (4L, I32))));
+  (* -1 < 1u converts -1 to unsigned int. *)
+  Alcotest.(check int64) "unsigned compare" 0L
+    (e (Bin (Lt, Const (-1L, I32), Const (1L, U32))));
+  (* Narrow unsigned char widens by zero-extension: (0u8 - 1u8) is
+     promoted to int 255 before negation questions arise. *)
+  Alcotest.(check int64) "u8 promotes to int" 255L
+    (e (Cast (I32, Const (-1L, U8))));
+  (* Shift result type is the promoted left operand: char << 8. *)
+  Alcotest.(check int64) "char shifts at int width" 25600L
+    (e (Bin (Shl, Const (100L, I8), Const (8L, I32))));
+  (* Expected-prefix assembly. *)
+  let p =
+    {
+      seed = 1;
+      enums = [ ("E0", Const (3L, I32)) ];
+      globals = [ ("g0", U8, Const (300L, I32)) ];
+      fields = [];
+      arrays = [];
+      rcs = [ ("rc0", Bin (Add, EnumRef "E0", Const (1L, I32))) ];
+      locals = [];
+      body = [];
+    }
+  in
+  Alcotest.(check string) "expected prefix" "E0=3\ng0=44\nrc0=4\n"
+    (expected_prefix p)
+
+let () =
+  Alcotest.run "difftest"
+    [
+      ( "folding semantics",
+        [
+          Alcotest.test_case "float->int edge values" `Quick
+            test_float_to_int_edges;
+          Alcotest.test_case "fold_cast matches engines" `Quick
+            test_fold_cast_matches_engines;
+          Alcotest.test_case "reference evaluator" `Quick
+            test_reference_evaluator;
+        ] );
+      ( "regressions",
+        [ Alcotest.test_case "checked-in reproducers" `Quick test_regressions ]
+      );
+      ( "generator",
+        [
+          Alcotest.test_case "well-formed output" `Quick
+            test_generator_well_formed;
+          Alcotest.test_case "deterministic" `Quick
+            test_generator_deterministic;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "fixed-seed smoke run" `Slow test_oracle_smoke;
+          Alcotest.test_case "deterministic verdict" `Quick
+            test_oracle_deterministic;
+        ] );
+      ( "shrinker",
+        [ Alcotest.test_case "greedy reduction" `Quick test_shrinker_reduces ]
+      );
+    ]
