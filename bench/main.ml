@@ -187,6 +187,31 @@ let time_thunk ?(quota_s = 0.5) ?(min_runs = 3) (thunk : unit -> unit) :
 
 let json_escape = Util.json_escape
 
+(* One metered meteor iteration: the observability counters for the Fig
+   15 unit of work, reported as extra rows ({"name", "value"}) next to
+   the ns/op rows.  The registry is enabled only around this run, so
+   the timing rows above are measured with metrics off. *)
+let metrics_rows () : string list =
+  Metrics.reset ();
+  Metrics.enabled := true;
+  thunk_fig15 ();
+  Metrics.enabled := false;
+  let sn = Metrics.snapshot () in
+  let row name v =
+    Printf.sprintf "  {\"name\": \"obs: %s\", \"value\": %s}"
+      (json_escape name) v
+  in
+  List.map (fun (n, v) -> row n (string_of_int v)) sn.Metrics.sn_counters
+  @ List.map (fun (n, v) -> row n (Metrics.float_str v)) sn.Metrics.sn_gauges
+  @ List.concat_map
+      (fun (n, count, sum, _) ->
+        let mean = if count = 0 then 0.0 else sum /. float_of_int count in
+        [
+          row (n ^ ".count") (string_of_int count);
+          row (n ^ ".mean") (Metrics.float_str mean);
+        ])
+      sn.Metrics.sn_histograms
+
 let run_json file =
   let rows =
     List.map
@@ -197,6 +222,7 @@ let run_json file =
           (json_escape name) ns runs)
       all_micro
   in
+  let rows = rows @ metrics_rows () in
   let oc = open_out file in
   output_string oc ("[\n" ^ String.concat ",\n" rows ^ "\n]\n");
   close_out oc;

@@ -29,67 +29,103 @@ let engine_of_string name level =
   | "valgrind" | "memcheck" -> Ok (Engine.Valgrind lv)
   | other -> Error (Printf.sprintf "unknown engine %S" other)
 
+(* Observability session around a subcommand: enable the metric
+   registry and/or install a trace sink up front, dump both at the end.
+   Metrics go to stderr so program output on stdout stays clean. *)
+let obs_begin ~metrics ~trace_file =
+  if metrics <> None then Metrics.enabled := true;
+  if trace_file <> None then Trace.start ()
+
+let obs_end ~metrics ~trace_file (code : int) : int =
+  (match trace_file with
+  | Some path ->
+    let json = Trace.finish () in
+    let oc = open_out_bin path in
+    output_string oc json;
+    close_out oc;
+    (match Trace.validate json with
+    | Ok () -> Printf.eprintf "trace written to %s\n" path
+    | Error e ->
+      Printf.eprintf "warning: trace %s failed validation: %s\n" path e)
+  | None -> ());
+  (match metrics with
+  | Some "json" -> prerr_endline (Metrics.to_json ())
+  | Some _ -> prerr_string (Metrics.to_text ())
+  | None -> ());
+  code
+
 let do_run file engine level args input_text detect_uninit detect_leaks
-    trace_calls =
+    trace_calls metrics trace_file =
   let src = read_file file in
   match engine_of_string engine level with
   | Error msg ->
     prerr_endline msg;
     2
   | Ok tool -> begin
+    obs_begin ~metrics ~trace_file;
     let argv = file :: args in
-    try
-      (* Leak details need the managed run result, so special-case the
-         Safe Sulong engine when leak reporting is requested. *)
-      if (detect_leaks || trace_calls) && tool = Engine.Safe_sulong then begin
-        let m = Loader.load_program src in
-        let st =
-          Interp.create ~detect_uninit ~trace:trace_calls ~input:input_text m
-        in
-        let r = Interp.run ~argv st in
-        if trace_calls then prerr_string r.Interp.trace_output;
-        print_string r.Interp.output;
-        (match r.Interp.error with
-        | Some (cat, msg) ->
-          Printf.eprintf "[Safe Sulong] ERROR DETECTED (%s): %s\n"
-            (Merror.category_name cat) msg
-        | None -> ());
-        if detect_leaks then begin
-          if r.Interp.leaks > 0 then begin
-            Printf.eprintf "[Safe Sulong] %d memory leak(s):\n" r.Interp.leaks;
-            List.iter (Printf.eprintf "  %s\n") r.Interp.leak_details
+    let code =
+      try
+        (* The managed engine runs through the interpreter directly:
+           provenance reports, leak details and call traces all need the
+           full managed run result. *)
+        if tool = Engine.Safe_sulong then begin
+          let m = Loader.load_program ~file src in
+          let st =
+            Interp.create ~detect_uninit ~trace:trace_calls ~input:input_text m
+          in
+          let r = Interp.run ~argv st in
+          if trace_calls then prerr_string r.Interp.trace_output;
+          print_string r.Interp.output;
+          (match (r.Interp.error, r.Interp.report) with
+          | Some _, Some rep -> prerr_string (Bugreport.render rep)
+          | Some (cat, msg), None ->
+            Printf.eprintf "[Safe Sulong] ERROR DETECTED (%s): %s\n"
+              (Merror.category_name cat) msg
+          | None, _ -> ());
+          if detect_leaks then begin
+            if r.Interp.leaks > 0 then begin
+              Printf.eprintf "[Safe Sulong] %d memory leak(s):\n" r.Interp.leaks;
+              List.iter (Printf.eprintf "  %s\n") r.Interp.leak_details
+            end
+            else Printf.eprintf "[Safe Sulong] no memory leaks\n"
+          end;
+          if r.Interp.timed_out then begin
+            Printf.eprintf "[Safe Sulong] step limit exceeded\n";
+            124
           end
-          else Printf.eprintf "[Safe Sulong] no memory leaks\n"
-        end;
-        if r.Interp.error <> None then 1 else r.Interp.exit_code
-      end
-      else begin
-        let r = Engine.run ~argv ~input:input_text ~detect_uninit tool src in
-        print_string r.Engine.output;
-        match r.Engine.outcome with
-        | Outcome.Finished code ->
-          Printf.eprintf "[%s] exited with %d (%d operations)\n"
-            (Engine.tool_name tool) code r.Engine.steps;
-          code
-        | Outcome.Detected { tool = t; kind; message } ->
-          Printf.eprintf "[%s] ERROR DETECTED (%s): %s\n" t kind message;
-          1
-        | Outcome.Crashed what ->
-          Printf.eprintf "[%s] program crashed: %s\n" (Engine.tool_name tool)
-            what;
-          139
-        | Outcome.Timeout ->
-          Printf.eprintf "[%s] step limit exceeded\n" (Engine.tool_name tool);
-          124
-      end
-    with
-    | Diag.Error (pos, msg) ->
-      Printf.eprintf "%s: %s\n" file (Diag.to_string pos msg);
-      2
-    | Lower.Unsupported (pos, msg) ->
-      Printf.eprintf "%s: %d:%d: unsupported: %s\n" file pos.Token.line
-        pos.Token.col msg;
-      2
+          else if r.Interp.error <> None then 1
+          else r.Interp.exit_code
+        end
+        else begin
+          let r = Engine.run ~argv ~input:input_text ~detect_uninit tool src in
+          print_string r.Engine.output;
+          match r.Engine.outcome with
+          | Outcome.Finished code ->
+            Printf.eprintf "[%s] exited with %d (%d operations)\n"
+              (Engine.tool_name tool) code r.Engine.steps;
+            code
+          | Outcome.Detected { tool = t; kind; message } ->
+            Printf.eprintf "[%s] ERROR DETECTED (%s): %s\n" t kind message;
+            1
+          | Outcome.Crashed what ->
+            Printf.eprintf "[%s] program crashed: %s\n" (Engine.tool_name tool)
+              what;
+            139
+          | Outcome.Timeout ->
+            Printf.eprintf "[%s] step limit exceeded\n" (Engine.tool_name tool);
+            124
+        end
+      with
+      | Diag.Error (pos, msg) ->
+        Printf.eprintf "%s: %s\n" file (Diag.to_string pos msg);
+        2
+      | Lower.Unsupported (pos, msg) ->
+        Printf.eprintf "%s: %d:%d: unsupported: %s\n" file pos.Token.line
+          pos.Token.col msg;
+        2
+    in
+    obs_end ~metrics ~trace_file code
   end
 
 let file_arg =
@@ -137,12 +173,31 @@ let trace_flag =
     & info [ "trace-calls" ]
         ~doc:"Print every function entry/exit to stderr (Safe Sulong only).")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "text") (some string) None
+    & info [ "metrics" ] ~docv:"FORMAT"
+        ~doc:
+          "Collect pipeline and runtime metrics and print them to stderr \
+           at exit; FORMAT is text (default) or json.")
+
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON timeline of the phases (parse, \
+           sema, lower, prepare, link, execute, JIT compiles) to $(docv); \
+           load it via chrome://tracing or Perfetto.")
+
 let run_cmd =
   let doc = "compile and execute a C file under a bug-finding engine" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const do_run $ file_arg $ engine_arg $ level_arg $ args_arg $ input_arg
-      $ uninit_flag $ leaks_flag $ trace_flag)
+      $ uninit_flag $ leaks_flag $ trace_flag $ metrics_arg $ trace_file_arg)
 
 (* ---------------- ir ---------------- *)
 
@@ -296,12 +351,14 @@ let report_cmd =
 
 (* ---------------- difftest ---------------- *)
 
-let do_difftest seeds seed_start shrink json_file =
+let do_difftest seeds seed_start shrink json_file jobs metrics =
+  obs_begin ~metrics ~trace_file:None;
   Printf.printf
-    "difftest: %d seed(s) from %d across %d configurations%s\n%!" seeds
+    "difftest: %d seed(s) from %d across %d configurations%s%s\n%!" seeds
     seed_start
     (List.length Oracle.configs)
-    (if shrink then " (shrinking divergences)" else "");
+    (if shrink then " (shrinking divergences)" else "")
+    (if jobs > 1 then Printf.sprintf " [%d jobs]" jobs else "");
   (* The checked-in reproducers run first: a folding regression makes
      the campaign fail before any seed is spent. *)
   let regression_failures =
@@ -316,7 +373,9 @@ let do_difftest seeds seed_start shrink json_file =
   let progress i =
     if i mod 100 = 0 then Printf.printf "  ...%d seeds checked\n%!" i
   in
-  let r = Difftest.run ~shrink ~progress ~seed_start ~seeds () in
+  let r =
+    Difftest.run_sharded ~shrink ~jobs ~progress ~seed_start ~seeds ()
+  in
   List.iter
     (fun (d : Difftest.divergence) ->
       Printf.printf "\nDIVERGENCE seed %d: %s\n%s" d.Difftest.dv_seed
@@ -337,7 +396,8 @@ let do_difftest seeds seed_start shrink json_file =
     Difftest.append_row ~file (Difftest.report_row r);
     Printf.printf "appended row to %s\n" file
   | None -> ());
-  if n_div > 0 || regression_failures <> [] then 1 else 0
+  obs_end ~metrics ~trace_file:None
+    (if n_div > 0 || regression_failures <> [] then 1 else 0)
 
 let seeds_arg =
   Arg.(
@@ -362,6 +422,14 @@ let json_arg =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"Append a JSON result row (seeds/sec, divergences) to $(docv).")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Fork $(docv) worker processes over contiguous seed shards and \
+           merge their reports and metrics.")
+
 let difftest_cmd =
   let doc =
     "differential testing: generated well-defined programs must behave \
@@ -369,7 +437,75 @@ let difftest_cmd =
   in
   Cmd.v (Cmd.info "difftest" ~doc)
     Term.(
-      const do_difftest $ seeds_arg $ seed_start_arg $ shrink_arg $ json_arg)
+      const do_difftest $ seeds_arg $ seed_start_arg $ shrink_arg $ json_arg
+      $ jobs_arg $ metrics_arg)
+
+(* ---------------- obs-selftest ---------------- *)
+
+(** End-to-end check of the observability subsystem, wired into the
+    [@obs] build alias: run a known-buggy program with metrics and
+    tracing on, then assert that the provenance report names the right
+    source line, the metric registry saw the run, and the emitted trace
+    is well-formed Chrome trace_event JSON. *)
+let do_obs_selftest () =
+  let failures = ref [] in
+  let check name cond =
+    if not cond then failures := name :: !failures
+  in
+  Metrics.reset ();
+  Metrics.enabled := true;
+  Trace.start ();
+  let src =
+    "int main(void) {\n\
+    \  int *p = (int *)malloc(3 * sizeof(int));\n\
+    \  long s = 0;\n\
+    \  for (int i = 0; i <= 3; i++) s += p[i];\n\
+    \  free(p);\n\
+    \  return (int)s;\n\
+     }\n"
+  in
+  let r = Loader.run_source ~argv:[ "selftest" ] src in
+  check "managed error detected" (r.Interp.error <> None);
+  (match r.Interp.report with
+  | Some rep ->
+    check "report names the faulting line"
+      (match Bugreport.fault_frame rep with
+      | Some f -> f.Bugreport.bf_line = 4 && f.Bugreport.bf_file = "<input>"
+      | None -> false);
+    check "report has bounds detail" (rep.Bugreport.br_detail <> []);
+    check "report has a stack" (rep.Bugreport.br_stack <> [])
+  | None -> check "provenance report present" false);
+  let json = Trace.finish () in
+  (match Trace.validate json with
+  | Ok () -> ()
+  | Error e -> check (Printf.sprintf "trace is valid Chrome JSON (%s)" e) false);
+  check "trace covers the execute phase"
+    (let rec has_sub i =
+       i + 9 <= String.length json
+       && (String.sub json i 9 = "\"execute\"" || has_sub (i + 1))
+     in
+     has_sub 0);
+  let sn = Metrics.snapshot () in
+  check "interp step counter recorded"
+    (List.mem_assoc "interp.steps" sn.Metrics.sn_counters);
+  check "heap alloc counter recorded"
+    (List.mem_assoc "heap.allocs" sn.Metrics.sn_counters);
+  check "alloc size histogram recorded"
+    (List.exists
+       (fun (n, _, _, _) -> n = "heap.alloc_size_bytes")
+       sn.Metrics.sn_histograms);
+  Metrics.enabled := false;
+  match List.rev !failures with
+  | [] ->
+    print_endline "obs-selftest: OK";
+    0
+  | fs ->
+    List.iter (Printf.eprintf "obs-selftest FAILED: %s\n") fs;
+    1
+
+let obs_selftest_cmd =
+  let doc = "self-check of metrics, tracing and bug-report provenance" in
+  Cmd.v (Cmd.info "obs-selftest" ~doc) Term.(const do_obs_selftest $ const ())
 
 (* ---------------- main ---------------- *)
 
@@ -381,4 +517,4 @@ let () =
   let info = Cmd.info "sulong" ~version:"1.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
        [ run_cmd; ir_cmd; run_ir_cmd; compare_cmd; corpus_cmd; report_cmd;
-         difftest_cmd ]))
+         difftest_cmd; obs_selftest_cmd ]))

@@ -139,8 +139,27 @@ let lex_number st pos =
     in
     match value with
     | Some v ->
-      let ikind = if long then Ctype.ILong else Ctype.IInt in
-      let sign = if unsigned then Ctype.Unsigned else Ctype.Signed in
+      (* C11 6.4.4.1p5: the literal's type is the first in its list that
+         can represent the value.  Decimal unsuffixed literals only ever
+         go signed (int -> long); hex/octal ones may land on the
+         unsigned variant of each width.  A hex value above 2^63-1 wraps
+         negative in the int64 carrier and is unsigned long. *)
+      let hexoct = String.length digits > 1 && digits.[0] = '0' in
+      let fits_int = v >= 0L && v <= 0x7FFF_FFFFL in
+      let fits_uint = v >= 0L && v <= 0xFFFF_FFFFL in
+      let fits_long = v >= 0L in
+      let ikind, sign =
+        if long then
+          (Ctype.ILong,
+           if unsigned || ((not fits_long) && hexoct) then Ctype.Unsigned
+           else Ctype.Signed)
+        else if unsigned then
+          ((if fits_uint then Ctype.IInt else Ctype.ILong), Ctype.Unsigned)
+        else if fits_int then (Ctype.IInt, Ctype.Signed)
+        else if hexoct && fits_uint then (Ctype.IInt, Ctype.Unsigned)
+        else if fits_long then (Ctype.ILong, Ctype.Signed)
+        else (Ctype.ILong, Ctype.Unsigned)
+      in
       Token.INT_LIT (v, ikind, sign)
     | None -> Diag.error pos "malformed integer literal %S" body
   end
@@ -341,9 +360,13 @@ let expand_macros macros (toks : Token.spanned list) : Token.spanned list =
   in
   List.concat_map (expand 0) toks
 
-(** Tokenize a full translation unit. *)
-let tokenize src : Token.spanned list =
+(** Tokenize a full translation unit.  [start_line] renumbers the first
+    line (it may be zero or negative: the loader uses this so user code
+    compiled behind the libc prelude still reports its own 1-based
+    lines). *)
+let tokenize ?(start_line = 1) src : Token.spanned list =
   let st = make src in
+  st.line <- start_line;
   let rec go acc =
     match next_raw st with
     | None -> List.rev ({ Token.tok = Token.EOF; pos = current_pos st } :: acc)

@@ -974,4 +974,4 @@ let parse (toks : Token.spanned list) : Ast.program =
   structs @ List.rev !acc
 
 (** Convenience: parse a source string. *)
-let parse_string src = parse (Lexer.tokenize src)
+let parse_string ?start_line src = parse (Lexer.tokenize ?start_line src)

@@ -375,6 +375,10 @@ let rec check_stmt env (s : Ast.stmt) =
     pop_scope env
   | A.Sswitch (e, body, _) ->
     ignore (check_expr env e);
+    (* C11 6.8.4.2p1: the controlling expression shall have integer
+       type (it then undergoes integer promotion in the lowering). *)
+    if not (Ctype.is_integer (Ctype.decay e.A.ty)) then
+      err e.A.pos "switch controlling expression must have integer type";
     push_scope env;
     List.iter (check_stmt env) body;
     pop_scope env

@@ -330,8 +330,11 @@ let rec render_stmt b ind (s : stmt) =
     List.iter (render_stmt b (ind + 2)) body;
     Buffer.add_string b (pad ^ "}\n")
   | Switch (e, arms, dflt) ->
+    (* No cast: the controlling expression keeps its own C type, which
+       the front end promotes and converts the labels to (C11 6.8.4.2).
+       The old [(long)] wrapper papered over the missing conversion. *)
     Buffer.add_string b
-      (Printf.sprintf "%sswitch ((long)(%s)) {\n" pad (render_expr e));
+      (Printf.sprintf "%sswitch (%s) {\n" pad (render_expr e));
     List.iter
       (fun (k, body) ->
         Buffer.add_string b (Printf.sprintf "%s  case %d: {\n" pad k);

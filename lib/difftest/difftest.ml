@@ -57,6 +57,23 @@ let run_seed ?(shrink = false) ?(shrink_budget = 200) (seed : int) :
         dv_oracle_calls = calls;
       }
 
+(* Observability: campaign counters plus a trace instant every
+   [progress_every] seeds, so a long campaign shows up as a heartbeat in
+   the Chrome trace. *)
+let progress_every = 100
+
+let record_report (r : report) : unit =
+  Metrics.add (Metrics.counter "difftest.seeds") r.rp_seeds;
+  Metrics.add (Metrics.counter "difftest.agree") r.rp_agree;
+  Metrics.add (Metrics.counter "difftest.rejects") r.rp_reject;
+  Metrics.add
+    (Metrics.counter "difftest.divergences")
+    (List.length r.rp_divergences);
+  if r.rp_seeds > 0 then
+    Metrics.set
+      (Metrics.gauge "difftest.divergence_rate")
+      (float_of_int (List.length r.rp_divergences) /. float_of_int r.rp_seeds)
+
 let run ?(shrink = false) ?(shrink_budget = 200)
     ?(progress = fun (_ : int) -> ()) ~(seed_start : int) ~(seeds : int) () :
     report =
@@ -68,16 +85,141 @@ let run ?(shrink = false) ?(shrink_budget = 200)
     | `Agree -> incr agree
     | `Reject _ -> incr reject
     | `Diverge d -> divs := d :: !divs);
+    if (i + 1) mod progress_every = 0 || i = seeds - 1 then
+      Trace.instant
+        ~args:
+          [
+            ("done", string_of_int (i + 1));
+            ("of", string_of_int seeds);
+            ("divergences", string_of_int (List.length !divs));
+          ]
+        "difftest-progress";
     progress (i + 1)
   done;
-  {
-    rp_seed_start = seed_start;
-    rp_seeds = seeds;
-    rp_agree = !agree;
-    rp_reject = !reject;
-    rp_divergences = List.rev !divs;
-    rp_elapsed_s = Unix.gettimeofday () -. t0;
-  }
+  let r =
+    {
+      rp_seed_start = seed_start;
+      rp_seeds = seeds;
+      rp_agree = !agree;
+      rp_reject = !reject;
+      rp_divergences = List.rev !divs;
+      rp_elapsed_s = Unix.gettimeofday () -. t0;
+    }
+  in
+  record_report r;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Sharded campaigns (--jobs N)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Contiguous shard [i] of [seeds] seeds split [jobs] ways: the first
+    [seeds mod jobs] shards take one extra seed. *)
+let shard_range ~seed_start ~seeds ~jobs i : int * int =
+  let base = seeds / jobs and rem = seeds mod jobs in
+  let len = base + if i < rem then 1 else 0 in
+  let start = seed_start + (i * base) + min i rem in
+  (start, len)
+
+(** Fork one worker per shard and merge the per-shard reports and
+    metric registries in the parent.  Each worker resets its inherited
+    registry right after the fork, so [Metrics.merge] never
+    double-counts the parent's pre-fork values; it ships
+    [(report, Metrics.snapshot)] back over a pipe.  Tracing is per
+    process, so worker trace events are dropped; the parent emits one
+    merge instant with the aggregate. *)
+let run_sharded ?(shrink = false) ?(shrink_budget = 200) ?(jobs = 1)
+    ?progress ~(seed_start : int) ~(seeds : int) () : report =
+  if jobs <= 1 || seeds <= 1 then
+    run ~shrink ~shrink_budget ?progress ~seed_start ~seeds ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let jobs = min jobs seeds in
+    let children =
+      List.init jobs (fun i ->
+          let rd, wr = Unix.pipe () in
+          match Unix.fork () with
+          | 0 ->
+            Unix.close rd;
+            let status =
+              try
+                Metrics.reset ();
+                let start, len = shard_range ~seed_start ~seeds ~jobs i in
+                let r = run ~shrink ~shrink_budget ~seed_start:start ~seeds:len () in
+                let oc = Unix.out_channel_of_descr wr in
+                Marshal.to_channel oc (r, Metrics.snapshot ()) [];
+                flush oc;
+                0
+              with _ -> 1
+            in
+            Unix._exit status
+          | pid ->
+            Unix.close wr;
+            (i, pid, rd))
+    in
+    let shards =
+      List.map
+        (fun (i, pid, rd) ->
+          let ic = Unix.in_channel_of_descr rd in
+          let payload =
+            try Some (Marshal.from_channel ic : report * Metrics.snapshot)
+            with End_of_file | Failure _ -> None
+          in
+          close_in ic;
+          let _, status = Unix.waitpid [] pid in
+          match (payload, status) with
+          | Some p, Unix.WEXITED 0 -> p
+          | _ ->
+            failwith
+              (Printf.sprintf "difftest: shard %d (pid %d) died without a report"
+                 i pid))
+        children
+    in
+    List.iter (fun (_, sn) -> Metrics.merge sn) shards;
+    let merged =
+      List.fold_left
+        (fun acc ((r : report), _) ->
+          {
+            acc with
+            rp_agree = acc.rp_agree + r.rp_agree;
+            rp_reject = acc.rp_reject + r.rp_reject;
+            rp_divergences = acc.rp_divergences @ r.rp_divergences;
+          })
+        {
+          rp_seed_start = seed_start;
+          rp_seeds = seeds;
+          rp_agree = 0;
+          rp_reject = 0;
+          rp_divergences = [];
+          rp_elapsed_s = 0.0;
+        }
+        shards
+    in
+    let merged =
+      {
+        merged with
+        rp_divergences =
+          List.sort (fun a b -> compare a.dv_seed b.dv_seed) merged.rp_divergences;
+        rp_elapsed_s = Unix.gettimeofday () -. t0;
+      }
+    in
+    (* The shard gauges merged with max; recompute the campaign-wide
+       divergence rate from the merged report. *)
+    if merged.rp_seeds > 0 then
+      Metrics.set
+        (Metrics.gauge "difftest.divergence_rate")
+        (float_of_int (List.length merged.rp_divergences)
+        /. float_of_int merged.rp_seeds);
+    Trace.instant
+      ~args:
+        [
+          ("jobs", string_of_int jobs);
+          ("seeds", string_of_int seeds);
+          ("divergences", string_of_int (List.length merged.rp_divergences));
+        ]
+      "difftest-sharded-merge";
+    merged
+  end
 
 (* ------------------------------------------------------------------ *)
 (* JSON log                                                            *)

@@ -56,6 +56,51 @@ let fresh_profile () =
 type opclass = Cop | Cfp | Cmem
 
 (* ------------------------------------------------------------------ *)
+(* Observability counters                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-opcode dispatch counts and inline-cache statistics, updated on
+   the hot path only when metrics were enabled at [create] time (one
+   predictable branch per op otherwise) and flushed into the global
+   [Metrics] registry when the run finishes. *)
+type opstats = {
+  mutable os_alloca : int;
+  mutable os_load : int;
+  mutable os_store : int;
+  mutable os_gep : int;
+  mutable os_binop : int;
+  mutable os_icmp : int;
+  mutable os_fcmp : int;
+  mutable os_cast : int;
+  mutable os_select : int;
+  mutable os_sancheck : int;
+  mutable os_call : int;
+  mutable os_term : int;
+  mutable os_phi_copy : int;
+  mutable os_ic_hit : int;
+  mutable os_ic_miss : int;
+}
+
+let fresh_opstats () =
+  {
+    os_alloca = 0;
+    os_load = 0;
+    os_store = 0;
+    os_gep = 0;
+    os_binop = 0;
+    os_icmp = 0;
+    os_fcmp = 0;
+    os_cast = 0;
+    os_select = 0;
+    os_sancheck = 0;
+    os_call = 0;
+    os_term = 0;
+    os_phi_copy = 0;
+    os_ic_hit = 0;
+    os_ic_miss = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Prepared code                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -115,6 +160,9 @@ type pinstr =
   | Psancheck
   | Pcall of int * pcallee * pval array * Irtype.scalar array
       (** (result reg or -1, callee, prepared args, arg scalars) *)
+  | Ploc of int * int
+      (** source-provenance marker: updates the frame's current line/col;
+          free — never charged, so modeled cycles are unchanged *)
 
 and pcallee =
   | Pdirect of call_target ref
@@ -162,6 +210,8 @@ and frame = {
   fr_arg_scalars : Irtype.scalar array;
   fr_variadic : bool;
   fr_nparams : int;
+  mutable fr_line : int;  (** C line of the last [Ploc] executed (0: none) *)
+  mutable fr_col : int;
 }
 
 and state = {
@@ -180,6 +230,15 @@ and state = {
   mutable frames : frame list;  (** innermost first *)
   rng : Prng.t;                 (** backs the libc rand() builtin *)
   trace : Buffer.t option;      (** call tracing, when enabled *)
+  obs : bool;                   (** metrics enabled at create time *)
+  opstats : opstats;
+  seed : int;                   (** rng seed, kept for deterministic rerun *)
+  provenance : bool;
+      (** true: [Ploc] markers stay in the prepared body and track the
+          current source line eagerly (slower dispatch loop).  false
+          (default): markers are stripped at prepare time and a fault
+          triggers one deterministic re-execution with [provenance=true]
+          to recover the source location — the fast path pays nothing. *)
 }
 
 let context st =
@@ -470,6 +529,8 @@ let nearest_variadic_frame st : frame option =
 let builtin_malloc st size =
   st.profile.p_allocs <- st.profile.p_allocs + 1;
   st.profile.p_alloc_bytes <- st.profile.p_alloc_bytes + size;
+  if st.obs then
+    Metrics.observe_int (Metrics.histogram "heap.alloc_size_bytes") size;
   (* Allocation site: the current function gives memento locality. *)
   let site, site_name =
     match st.frames with
@@ -707,6 +768,7 @@ let prepare_instr st (i : Instr.instr) : pinstr =
     in
     Pcall ((match r with Some r -> r | None -> -1), pc, pargs, scalars)
   | Instr.Sancheck _ -> Psancheck
+  | Instr.Srcloc (line, col) -> Ploc (line, col)
   | Instr.Phi _ ->
     (* phis are compiled into the incoming edges, never into the body *)
     assert false
@@ -754,7 +816,13 @@ let prepare_func (st : state) (f : Irfunc.t) : pfunc =
     let from_label = b.Irfunc.label in
     let body =
       List.filter
-        (function Instr.Phi _ -> false | _ -> true)
+        (function
+          | Instr.Phi _ -> false
+          (* provenance markers cost a dispatch-loop iteration each, so
+             the fast path drops them; a fault re-executes with
+             [provenance=true] to recover source locations *)
+          | Instr.Srcloc _ -> st.provenance
+          | _ -> true)
         b.Irfunc.instrs
     in
     let term =
@@ -876,6 +944,8 @@ let rec call_function st (pf : pfunc) (args : Mval.t array)
       fr_arg_scalars = arg_scalars;
       fr_variadic = pf.pf_variadic;
       fr_nparams = pf.pf_nparams;
+      fr_line = 0;
+      fr_col = 0;
     }
   in
   let bound = min pf.pf_nparams (Array.length args) in
@@ -917,7 +987,8 @@ and exec_block st (fr : frame) (blk : pblock) (copies : phicopy) :
       for i = 0 to n - 1 do
         fr.fr_regs.(dests.(i)) <- tmp.(i)
       done
-    end
+    end;
+    if st.obs then st.opstats.os_phi_copy <- st.opstats.os_phi_copy + n
   | Pc_missing -> failwith "interp: phi has no incoming edge for predecessor");
   let instrs = blk.pb_instrs in
   let n = Array.length instrs in
@@ -927,36 +998,53 @@ and exec_block st (fr : frame) (blk : pblock) (copies : phicopy) :
       (match instrs.(i) with
       | Palloca (r, mty, size) ->
         charge st fr Cop;
+        if st.obs then st.opstats.os_alloca <- st.opstats.os_alloca + 1;
         let obj = Mobject.alloc ~storage:Merror.Stack ~mty size in
         fr.fr_regs.(r) <- Mval.Vptr (Mobject.Pobj { Mobject.obj; moff = 0 })
       | Pload (r, s, p) ->
         charge st fr Cmem;
+        if st.obs then st.opstats.os_load <- st.opstats.os_load + 1;
         fr.fr_regs.(r) <- exec_load st s (pv fr p)
       | Pstore (s, v, p) ->
         charge st fr Cmem;
+        if st.obs then st.opstats.os_store <- st.opstats.os_store + 1;
         exec_store st s (pv fr v) (pv fr p)
       | Pgep (r, base, g) ->
         charge st fr Cop;
+        if st.obs then st.opstats.os_gep <- st.opstats.os_gep + 1;
         fr.fr_regs.(r) <- exec_gep st fr (pv fr base) g
       | Pbinop (r, op, s, a, b, cls) ->
         charge st fr cls;
+        if st.obs then st.opstats.os_binop <- st.opstats.os_binop + 1;
         fr.fr_regs.(r) <- exec_binop st op s (pv fr a) (pv fr b)
       | Picmp (r, op, s, a, b) ->
         charge st fr Cop;
+        if st.obs then st.opstats.os_icmp <- st.opstats.os_icmp + 1;
         fr.fr_regs.(r) <- exec_icmp op s (pv fr a) (pv fr b)
       | Pfcmp (r, op, a, b) ->
         charge st fr Cfp;
+        if st.obs then st.opstats.os_fcmp <- st.opstats.os_fcmp + 1;
         fr.fr_regs.(r) <- exec_fcmp op (pv fr a) (pv fr b)
       | Pcast (r, op, from, into, v) ->
         charge st fr Cop;
+        if st.obs then st.opstats.os_cast <- st.opstats.os_cast + 1;
         fr.fr_regs.(r) <- exec_cast op from into (pv fr v)
       | Pselect (r, c, a, b) ->
         charge st fr Cop;
+        if st.obs then st.opstats.os_select <- st.opstats.os_select + 1;
         let cv = Mval.as_int (pv fr c) in
         fr.fr_regs.(r) <- pv fr (if cv <> 0L then a else b)
-      | Psancheck -> charge st fr Cop
+      | Psancheck ->
+        charge st fr Cop;
+        if st.obs then st.opstats.os_sancheck <- st.opstats.os_sancheck + 1
+      | Ploc (line, col) ->
+        (* provenance marker: free — no [charge], so [steps] and the
+           modeled cycle counts are bit-identical with metrics off/on *)
+        fr.fr_line <- line;
+        fr.fr_col <- col
       | Pcall (r, callee, pargs, scalars) ->
         charge st fr Cop;
+        if st.obs then st.opstats.os_call <- st.opstats.os_call + 1;
         fr.fr_func.pf_counters.c_calls <- fr.fr_func.pf_counters.c_calls + 1;
         let na = Array.length pargs in
         let argv = Array.make na Mval.zero in
@@ -970,10 +1058,15 @@ and exec_block st (fr : frame) (blk : pblock) (copies : phicopy) :
             match Mval.as_ptr (context st) (pv fr v) with
             | Mobject.Pfunc name ->
               let tgt =
-                if name == ic.ic_name || String.equal name ic.ic_name then
+                if name == ic.ic_name || String.equal name ic.ic_name then begin
+                  if st.obs then
+                    st.opstats.os_ic_hit <- st.opstats.os_ic_hit + 1;
                   ic.ic_target
+                end
                 else begin
                   (* inline-cache miss: re-resolve and remember *)
+                  if st.obs then
+                    st.opstats.os_ic_miss <- st.opstats.os_ic_miss + 1;
                   let t = resolve_callee st name in
                   ic.ic_name <- name;
                   ic.ic_target <- t;
@@ -1004,6 +1097,7 @@ and exec_target st (tgt : call_target) argv scalars : Mval.t option =
 
 and exec_term st (fr : frame) (t : pterm) : Mval.t option =
   charge st fr Cop;
+  if st.obs then st.opstats.os_term <- st.opstats.os_term + 1;
   match t with
   | Pret (Some v) -> Some (pv fr v)
   | Pret None -> None
@@ -1052,11 +1146,35 @@ type run_result = {
       (** one line per leaked object: class, size, allocating function *)
   trace_output : string;  (** call trace, when enabled (empty otherwise) *)
   timed_out : bool;
+  report : Bugreport.t option;
+      (** structured provenance report for [error]: faulting C source
+          location, bounds detail, and the managed call stack *)
 }
+
+(* ASan-style detail lines derived from the structured error payload. *)
+let detail_of_category (cat : Merror.category) : string list =
+  let plural n = if n = 1 then "" else "s" in
+  match cat with
+  | Merror.Out_of_bounds { access; offset; size; obj_size; storage } ->
+    [
+      Printf.sprintf "%s of %d byte%s at offset %d"
+        (String.capitalize_ascii (Merror.access_name access))
+        size (plural size) offset;
+      Printf.sprintf "object bounds: [0, %d) in %s storage; access range: [%d, %d)"
+        obj_size (Merror.storage_name storage) offset (offset + size);
+    ]
+  | Merror.Uninitialized_read { offset; size; storage } ->
+    [
+      Printf.sprintf
+        "Read of %d uninitialized byte%s at offset %d of a %s object" size
+        (plural size) offset
+        (Merror.storage_name storage);
+    ]
+  | _ -> []
 
 let create ?(step_limit = 500_000_000) ?(depth_limit = 4096)
     ?(mementos = true) ?(detect_uninit = false) ?(trace = false)
-    ?(input = "") ?(seed = 42) (m : Irmod.t) : state =
+    ?(input = "") ?(seed = 42) ?(provenance = false) (m : Irmod.t) : state =
   Mobject.reset ();
   Mobject.track_uninitialized := detect_uninit;
   let profile = fresh_profile () in
@@ -1077,15 +1195,20 @@ let create ?(step_limit = 500_000_000) ?(depth_limit = 4096)
       frames = [];
       rng = Prng.create seed;
       trace = (if trace then Some (Buffer.create 1024) else None);
+      obs = !Metrics.enabled;
+      opstats = fresh_opstats ();
+      seed;
+      provenance;
     }
   in
   (* prepare -> link: globals first (operand resolution needs their
      objects), then every function, then the cross-function call links. *)
-  materialize_globals st;
-  List.iter
-    (fun f -> Hashtbl.replace st.funcs f.Irfunc.name (prepare_func st f))
-    m.Irmod.funcs;
-  link_module st;
+  Trace.span "prepare" (fun () ->
+      materialize_globals st;
+      List.iter
+        (fun f -> Hashtbl.replace st.funcs f.Irfunc.name (prepare_func st f))
+        m.Irmod.funcs);
+  Trace.span "link" (fun () -> link_module st);
   st
 
 (** Build the [main] argument objects: an argv array of [MainArgs]
@@ -1114,8 +1237,58 @@ let build_argv (argv : string list) : Mval.t * Mval.t =
   ( Mval.Vint (Int64.of_int argc),
     Mval.Vptr (Mobject.Pobj { Mobject.obj = arr; moff = 0 }) )
 
-let run ?(argv = [ "program" ]) (st : state) : run_result =
-  let finish ?(code = 0) ?error ~timed_out () =
+(** Snapshot the managed call stack (innermost first) into a provenance
+    report.  Works because [call_function] pops [st.frames] only on a
+    normal return: when [Merror.Error] propagates out, the stack at the
+    faulting instruction is still intact. *)
+let report_of_error st (cat : Merror.category) (msg : string) : Bugreport.t =
+  {
+    Bugreport.br_kind = Merror.category_name cat;
+    br_message = msg;
+    br_detail = detail_of_category cat;
+    br_stack =
+      List.map
+        (fun (fr : frame) ->
+          {
+            Bugreport.bf_func = fr.fr_func.pf_name;
+            bf_file = fr.fr_func.pf_ir.Irfunc.src_file;
+            bf_line = fr.fr_line;
+            bf_col = fr.fr_col;
+          })
+        st.frames;
+  }
+
+let flush_metrics st =
+  if st.obs then begin
+    let os = st.opstats in
+    let c name v = if v <> 0 then Metrics.add (Metrics.counter name) v in
+    c "interp.op.alloca" os.os_alloca;
+    c "interp.op.load" os.os_load;
+    c "interp.op.store" os.os_store;
+    c "interp.op.gep" os.os_gep;
+    c "interp.op.binop" os.os_binop;
+    c "interp.op.icmp" os.os_icmp;
+    c "interp.op.fcmp" os.os_fcmp;
+    c "interp.op.cast" os.os_cast;
+    c "interp.op.select" os.os_select;
+    c "interp.op.sancheck" os.os_sancheck;
+    c "interp.op.call" os.os_call;
+    c "interp.op.terminator" os.os_term;
+    c "interp.phi_copies" os.os_phi_copy;
+    c "interp.ic.hits" os.os_ic_hit;
+    c "interp.ic.misses" os.os_ic_miss;
+    c "interp.steps" st.steps;
+    c "heap.allocs" st.heap.Mheap.alloc_count;
+    c "heap.frees" st.heap.Mheap.free_count;
+    c "heap.alloc_bytes" st.heap.Mheap.alloc_bytes;
+    let peak = Metrics.gauge "heap.peak_bytes" in
+    if float_of_int st.heap.Mheap.peak_bytes > peak.Metrics.g_value then
+      Metrics.set peak (float_of_int st.heap.Mheap.peak_bytes)
+  end
+
+let rec run ?(argv = [ "program" ]) (st : state) : run_result =
+  let finish ?(code = 0) ?error ?report ~timed_out () =
+    flush_metrics st;
     let leaked = Mheap.leaked st.heap in
     {
       exit_code = code;
@@ -1134,6 +1307,7 @@ let run ?(argv = [ "program" ]) (st : state) : run_result =
       trace_output =
         (match st.trace with Some b -> Buffer.contents b | None -> "");
       timed_out;
+      report;
     }
   in
   match Hashtbl.find_opt st.funcs "main" with
@@ -1146,13 +1320,52 @@ let run ?(argv = [ "program" ]) (st : state) : run_result =
       else ([||], [||])
     in
     try
-      let r = call_function st main args scalars in
+      let r =
+        Trace.span "execute" (fun () -> call_function st main args scalars)
+      in
       let code =
         match r with Some v -> Int64.to_int (Mval.as_int v) land 0xff | None -> 0
       in
       finish ~code ~timed_out:false ()
     with
     | Exit_program code -> finish ~code ~timed_out:false ()
-    | Merror.Error (cat, msg) -> finish ~code:255 ~error:(cat, msg) ~timed_out:false ()
+    | Merror.Error (cat, msg) ->
+      let report =
+        if st.provenance then report_of_error st cat msg
+        else
+          (* Fast path has no line markers: deoptimize — re-execute the
+             same program deterministically with eager provenance
+             tracking and take the report from the replayed fault. *)
+          match rerun_for_report st argv cat with
+          | Some r -> r
+          | None -> report_of_error st cat msg (* frames, no lines *)
+      in
+      finish ~code:255 ~error:(cat, msg) ~report ~timed_out:false ()
     | Step_limit_exceeded -> finish ~code:255 ~timed_out:true ()
   end
+
+(** Replay [st.m] from scratch with [provenance=true] and return the
+    report of the replayed fault.  Execution is deterministic (seeded
+    rng, fixed input, [Ploc] is never charged so step counts agree), so
+    the replay faults at the same instruction; the replay runs with
+    metrics suppressed to avoid double-counting.  Returns [None] if the
+    replay somehow diverges (different error category). *)
+and rerun_for_report (st : state) (argv : string list)
+    (cat : Merror.category) : Bugreport.t option =
+  let saved = !Metrics.enabled in
+  Metrics.enabled := false;
+  Fun.protect
+    ~finally:(fun () -> Metrics.enabled := saved)
+    (fun () ->
+      try
+        let st2 =
+          create ~step_limit:st.step_limit ~depth_limit:st.depth_limit
+            ~mementos:st.heap.Mheap.mementos_enabled
+            ~detect_uninit:!Mobject.track_uninitialized ~input:st.input
+            ~seed:st.seed ~provenance:true st.m
+        in
+        let r = run ~argv st2 in
+        match (r.error, r.report) with
+        | Some (cat2, _), (Some _ as rep) when cat2 = cat -> rep
+        | _ -> None
+      with _ -> None)

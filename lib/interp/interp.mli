@@ -40,6 +40,9 @@ type run_result = {
       (** one line per leaked object: class, size, allocating function *)
   trace_output : string;  (** call trace, when enabled (empty otherwise) *)
   timed_out : bool;
+  report : Bugreport.t option;
+      (** structured provenance report for [error]: faulting C source
+          location, bounds detail, and the managed call stack *)
 }
 
 (** Prepare and link [m] for execution.  Every function is compiled to
@@ -54,8 +57,15 @@ val create :
   ?trace:bool ->
   ?input:string ->
   ?seed:int ->
+  ?provenance:bool ->
   Irmod.t ->
   state
+
+(** [provenance] (default false) keeps source-location markers in the
+    prepared code so the current line is tracked eagerly.  The default
+    strips them from the dispatch loop; when a managed error fires, the
+    program is re-executed once with eager tracking to recover the
+    faulting source location (deterministic deoptimizing replay). *)
 
 (** Execute [main].  The state is single-shot: create a fresh one per
     run. *)

@@ -13,20 +13,35 @@ let libc_module () : Irmod.t =
   match !libc_cache with
   | Some m -> Irmod.copy m
   | None ->
-    let m, _env = Lower.frontend ~string_prefix:".libc.str" Libc_src.source in
+    let m, _env =
+      Lower.frontend ~string_prefix:".libc.str" ~file:"<libc>"
+        Libc_src.source
+    in
     libc_cache := Some m;
     Irmod.copy m
 
+(* The prelude is prepended to every user source before lexing; start
+   the lexer's line counter below 1 so the *user's* first line is line 1
+   in diagnostics and provenance reports.  The prelude holds only
+   declarations, so no negative line ever reaches an executed Srcloc. *)
+let prelude_lines =
+  String.fold_left
+    (fun acc c -> if c = '\n' then acc + 1 else acc)
+    0 Libc_src.prelude
+
 (** Compile [src] (user program) against the prelude, without linking. *)
-let compile_user (src : string) : Irmod.t =
-  let m, _env = Lower.frontend (Libc_src.prelude ^ src) in
+let compile_user ?(file = "<input>") (src : string) : Irmod.t =
+  let m, _env =
+    Lower.frontend ~file ~start_line:(1 - prelude_lines)
+      (Libc_src.prelude ^ src)
+  in
   m
 
 (** Compile and link a complete program: user code + managed libc. *)
-let load_program (src : string) : Irmod.t =
-  let user = compile_user src in
-  let linked = Irmod.link user (libc_module ()) in
-  Verify.verify linked;
+let load_program ?file (src : string) : Irmod.t =
+  let user = compile_user ?file src in
+  let linked = Trace.span "link" (fun () -> Irmod.link user (libc_module ())) in
+  Trace.span "verify" (fun () -> Verify.verify linked);
   linked
 
 (** Convenience for tests and examples: compile, link, interpret.  All

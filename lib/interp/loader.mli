@@ -6,12 +6,13 @@
 val libc_module : unit -> Irmod.t
 
 (** Compile a user program (prelude visible, libc *not* linked) — what
-    the native engines execute against the precompiled libc. *)
-val compile_user : string -> Irmod.t
+    the native engines execute against the precompiled libc.  [file] is
+    the source-file name recorded in diagnostics and bug reports. *)
+val compile_user : ?file:string -> string -> Irmod.t
 
 (** Compile and link the complete managed program (user + libc); the
     module Safe Sulong interprets.  Verifies the result. *)
-val load_program : string -> Irmod.t
+val load_program : ?file:string -> string -> Irmod.t
 
 (** Compile, link and interpret in one call.  The optional arguments
     pass through to [Interp.create]. *)

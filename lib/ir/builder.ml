@@ -9,7 +9,8 @@ type t = {
   mutable label_count : int;
 }
 
-let create_function ~name ~params ~ret ~variadic ~src_pos : t =
+let create_function ?(src_file = "<input>") ~name ~params ~ret ~variadic
+    ~src_pos () : t =
   let entry =
     { Irfunc.label = "entry"; instrs = []; term = Instr.Unreachable }
   in
@@ -23,6 +24,7 @@ let create_function ~name ~params ~ret ~variadic ~src_pos : t =
       next_reg =
         (List.fold_left (fun acc (r, _) -> max acc (r + 1)) 0 params);
       src_pos;
+      src_file;
     }
   in
   { func; current = entry; finished = false; label_count = 0 }

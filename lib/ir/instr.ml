@@ -61,6 +61,12 @@ type instr =
   | Sancheck of access_kind * value * int
       (** sanitizer check inserted by instrumentation: (kind, ptr, size);
           a no-op except under the ASan engine *)
+  | Srcloc of int * int
+      (** source-provenance marker (line, col): the statement that
+          produced the following instructions.  Executes as a free
+          metadata update (never charged as a modeled operation, and
+          excluded from static instruction counts) so bug reports can
+          name the faulting C line without perturbing the cost model *)
 
 type terminator =
   | Ret of (Irtype.scalar * value) option
@@ -82,7 +88,7 @@ let def_of = function
   | Phi (r, _, _) ->
     Some r
   | Call (r, _, _, _) -> r
-  | Store _ | Sancheck _ -> None
+  | Store _ | Sancheck _ | Srcloc _ -> None
 
 (** Values read by an instruction (for liveness / DCE). *)
 let uses_of = function
@@ -101,6 +107,7 @@ let uses_of = function
   | Select (_, _, c, a, b) -> [ c; a; b ]
   | Phi (_, _, incoming) -> List.map snd incoming
   | Sancheck (_, p, _) -> [ p ]
+  | Srcloc _ -> []
 
 let term_uses = function
   | Ret (Some (_, v)) -> [ v ]
@@ -125,5 +132,6 @@ let term_successors = function
 let has_side_effect = function
   | Store _ | Call _ | Sancheck _ -> true
   | Load _ -> true
-  | Alloca _ | Gep _ | Binop _ | Icmp _ | Fcmp _ | Cast _ | Select _ | Phi _ ->
+  | Alloca _ | Gep _ | Binop _ | Icmp _ | Fcmp _ | Cast _ | Select _ | Phi _
+  | Srcloc _ ->
     false

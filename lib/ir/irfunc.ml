@@ -14,6 +14,7 @@ type t = {
   mutable blocks : block list;  (** entry block first *)
   mutable next_reg : Instr.reg;
   src_pos : int * int;  (** source line/col of the definition, for errors *)
+  src_file : string;  (** display name of the defining source, for reports *)
 }
 
 let entry f =
@@ -32,9 +33,14 @@ let fresh_reg f =
   r
 
 (** Number of instructions, used by the JIT cost model (compilation cost
-    is proportional to function size) and by reports. *)
+    is proportional to function size) and by reports.  [Srcloc] markers
+    are metadata, not code: excluding them keeps the cost model's static
+    sizes identical whether or not provenance is threaded through. *)
 let instr_count f =
-  List.fold_left (fun acc b -> acc + List.length b.instrs + 1) 0 f.blocks
+  let real = function Instr.Srcloc _ -> false | _ -> true in
+  List.fold_left
+    (fun acc b -> acc + List.length (List.filter real b.instrs) + 1)
+    0 f.blocks
 
 let iter_instrs f fn =
   List.iter (fun b -> List.iter (fn b) b.instrs) f.blocks

@@ -408,6 +408,11 @@ let parse_instr env ~globals ~funcs st : Instr.instr =
       expect_punct st ',';
       let size = int_of_string (expect_word st) in
       Instr.Sancheck (kind, p, size)
+    | "loc" ->
+      let line = int_of_string (expect_word st) in
+      expect_punct st ':';
+      let col = int_of_string (expect_word st) in
+      Instr.Srcloc (line, col)
     | w -> fail st.line "unknown instruction %S" w
   end
 
@@ -693,6 +698,7 @@ let parse (text : string) : Irmod.t =
               blocks = [];
               next_reg = 0;
               src_pos = (lineno, 0);
+              src_file = "<ir>";
             }
       end
       else if line = "}" then begin
@@ -787,7 +793,7 @@ let parse (text : string) : Irmod.t =
               | Instr.Phi (r, s, inc) ->
                 Instr.Phi (r, s, List.map (fun (l, v) -> (l, fix_value v)) inc)
               | Instr.Sancheck (k, p, size) -> Instr.Sancheck (k, fix_value p, size)
-              | Instr.Alloca _ -> i)
+              | (Instr.Alloca _ | Instr.Srcloc _) -> i)
             b.Irfunc.instrs);
       List.iter
         (fun (b : Irfunc.block) ->

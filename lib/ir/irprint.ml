@@ -89,6 +89,7 @@ let instr_to_string i =
     Printf.sprintf "sancheck %s %s, %d"
       (match kind with AccLoad -> "load" | AccStore -> "store")
       (v p) size
+  | Srcloc (line, col) -> Printf.sprintf "loc %d:%d" line col
 
 let term_to_string = function
   | Ret (Some (s, x)) ->

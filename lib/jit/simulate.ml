@@ -211,7 +211,17 @@ let warmup ?(duration_s = 30) (ms : measurement) : warmup_result =
             let finish = start +. compile_s in
             compiler_free_at := finish;
             Hashtbl.replace compiled f finish;
-            compiles := (finish, f) :: !compiles
+            compiles := (finish, f) :: !compiles;
+            (* per-function tier transition: interpreter -> compiled *)
+            Trace.instant
+              ~args:
+                [
+                  ("function", f);
+                  ("tier", "compiled");
+                  ("simulated_s", Printf.sprintf "%.3f" finish);
+                ]
+              "jit-compile";
+            Metrics.incr (Metrics.counter "jit.compiles")
           end
         end)
       ms.sulong_interp_fns

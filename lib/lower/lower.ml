@@ -84,7 +84,14 @@ type ctx = {
   string_prefix : string;
   mutable string_count : int;
   mutable ret_ty : Ctype.t;
+  src_file : string;  (** display name stamped on every emitted function *)
 }
+
+(** Emit a [Srcloc] provenance marker for the statement at [pos]: the
+    interpreter updates the frame's current line from it, so run-time
+    errors can name the faulting C statement. *)
+let emit_loc ctx (pos : Token.pos) =
+  Builder.emit ctx.b (Instr.Srcloc (pos.Token.line, pos.Token.col))
 
 let push_locals ctx = ctx.locals <- [] :: ctx.locals
 
@@ -726,7 +733,32 @@ and zero_init ctx pos (ty : Ctype.t) (ptr : Instr.value) =
 (* Statements                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* Statement-granularity provenance: the position of the code a
+   statement starts executing (its controlling expression for the
+   composite forms). *)
+let rec stmt_pos (s : A.stmt) : Token.pos option =
+  match s with
+  | A.Sempty | A.Sblock _ -> None
+  | A.Sexpr e
+  | A.Sif (e, _, _)
+  | A.Swhile (e, _)
+  | A.Sdo (_, e)
+  | A.Sswitch (e, _, _) ->
+    Some e.A.pos
+  | A.Sdecl (d :: _) -> Some d.A.d_pos
+  | A.Sdecl [] -> None
+  | A.Sfor (Some init, _, _, _) -> stmt_pos init
+  | A.Sfor (None, Some c, _, _) -> Some c.A.pos
+  | A.Sfor (None, None, _, _) -> None
+  | A.Sreturn (_, pos)
+  | A.Sbreak pos
+  | A.Scontinue pos
+  | A.Scase (_, pos)
+  | A.Sdefault pos ->
+    Some pos
+
 let rec lower_stmt ctx (s : A.stmt) =
+  (match stmt_pos s with Some pos -> emit_loc ctx pos | None -> ());
   match s with
   | A.Sempty -> ()
   | A.Sexpr e -> lower_discard ctx e
@@ -775,6 +807,7 @@ let rec lower_stmt ctx (s : A.stmt) =
     Builder.terminate bld (Instr.Br cond_l);
     let cond_b = Builder.new_block bld cond_l in
     Builder.switch_to bld cond_b;
+    emit_loc ctx c.A.pos;
     let vc = lower_rvalue ctx c in
     let fc = truth ctx c.A.pos c.A.ty vc in
     Builder.terminate bld (Instr.Condbr (fc, body_l, end_l));
@@ -804,6 +837,7 @@ let rec lower_stmt ctx (s : A.stmt) =
     Builder.terminate bld (Instr.Br cond_l);
     let cond_b = Builder.new_block bld cond_l in
     Builder.switch_to bld cond_b;
+    emit_loc ctx c.A.pos;
     let vc = lower_rvalue ctx c in
     let fc = truth ctx c.A.pos c.A.ty vc in
     Builder.terminate bld (Instr.Condbr (fc, body_l, end_l));
@@ -822,6 +856,7 @@ let rec lower_stmt ctx (s : A.stmt) =
     Builder.switch_to bld cond_b;
     (match cond with
     | Some c ->
+      emit_loc ctx c.A.pos;
       let vc = lower_rvalue ctx c in
       let fc = truth ctx c.A.pos c.A.ty vc in
       Builder.terminate bld (Instr.Condbr (fc, body_l, end_l))
@@ -836,7 +871,11 @@ let rec lower_stmt ctx (s : A.stmt) =
     Builder.terminate bld (Instr.Br step_l);
     let step_b = Builder.new_block bld step_l in
     Builder.switch_to bld step_b;
-    Option.iter (fun e -> lower_discard ctx e) step;
+    Option.iter
+      (fun (e : A.expr) ->
+        emit_loc ctx e.A.pos;
+        lower_discard ctx e)
+      step;
     Builder.terminate bld (Instr.Br cond_l);
     let end_b = Builder.new_block bld end_l in
     Builder.switch_to bld end_b;
@@ -866,13 +905,29 @@ let rec lower_stmt ctx (s : A.stmt) =
 and lower_switch ctx (e : A.expr) (body : A.stmt list) pos =
   let bld = ctx.b in
   let v = lower_rvalue ctx e in
-  let sv = coerce ctx pos ~from_ty:e.A.ty ~to_ty:Ctype.long_t v in
+  (* C11 6.8.4.2: the controlling expression undergoes the integer
+     promotions, and each case constant is converted to the promoted
+     type.  Labels that collide after conversion are a constraint
+     violation. *)
+  let sty = Ctype.promote (Ctype.decay e.A.ty) in
+  let sv = coerce ctx pos ~from_ty:e.A.ty ~to_ty:sty v in
   let end_l = Builder.fresh_label bld "sw.end" in
+  let seen_values : (int64, unit) Hashtbl.t = Hashtbl.create 8 in
   (* Assign a label to every case marker in the body. *)
   let case_labels =
     List.filter_map
       (function
-        | A.Scase (value, _) -> Some (`Case value, Builder.fresh_label bld "sw.case")
+        | A.Scase (value, cpos) ->
+          let converted =
+            Ctype.convert_const ~from_ty:Ctype.long_t ~to_ty:sty value
+          in
+          if Hashtbl.mem seen_values converted then
+            Diag.error cpos
+              "duplicate case label %Ld (after conversion to the promoted \
+               controlling type)"
+              converted;
+          Hashtbl.replace seen_values converted ();
+          Some (`Case converted, Builder.fresh_label bld "sw.case")
         | A.Sdefault _ -> Some (`Default, Builder.fresh_label bld "sw.default")
         | _ -> None)
       body
@@ -1107,10 +1162,10 @@ let lower_func ctx (f : A.func) =
     List.mapi (fun i (_, ty) -> (i, scalar_of_ctype pos ty)) f.A.fn_params
   in
   let bld =
-    Builder.create_function ~name:f.A.fn_name ~params
+    Builder.create_function ~src_file:ctx.src_file ~name:f.A.fn_name ~params
       ~ret:(ret_scalar pos f.A.fn_sig.Ctype.ret)
       ~variadic:f.A.fn_sig.Ctype.variadic
-      ~src_pos:(pos.Token.line, pos.Token.col)
+      ~src_pos:(pos.Token.line, pos.Token.col) ()
   in
   ctx.b <- bld;
   ctx.ret_ty <- f.A.fn_sig.Ctype.ret;
@@ -1162,12 +1217,12 @@ let builtin_externs =
   ]
 
 (** Lower a type-checked program to an IR module. *)
-let lower ?(string_prefix = ".str") (env : Sema.env) (prog : A.program) :
-    Irmod.t =
+let lower ?(string_prefix = ".str") ?(file = "<input>") (env : Sema.env)
+    (prog : A.program) : Irmod.t =
   let m = Irmod.create () in
   let dummy_builder =
     Builder.create_function ~name:"__dummy" ~params:[] ~ret:None
-      ~variadic:false ~src_pos:(0, 0)
+      ~variadic:false ~src_pos:(0, 0) ()
   in
   let ctx =
     {
@@ -1181,6 +1236,7 @@ let lower ?(string_prefix = ".str") (env : Sema.env) (prog : A.program) :
       string_prefix;
       string_count = 0;
       ret_ty = Ctype.Void;
+      src_file = file;
     }
   in
   List.iter
@@ -1228,9 +1284,13 @@ let lower ?(string_prefix = ".str") (env : Sema.env) (prog : A.program) :
   m
 
 (** Front end in one call: parse, check, lower.  This is the "Clang -O0"
-    of the reproduction. *)
-let frontend ?string_prefix (src : string) : Irmod.t * Sema.env =
-  let prog = Parser.parse_string src in
-  let env = Sema.check prog in
-  let m = lower ?string_prefix env prog in
+    of the reproduction.  [file] names the source in provenance reports;
+    [start_line] renumbers its first line (see {!Lexer.tokenize}). *)
+let frontend ?string_prefix ?file ?start_line (src : string) :
+    Irmod.t * Sema.env =
+  let prog =
+    Trace.span "parse" (fun () -> Parser.parse_string ?start_line src)
+  in
+  let env = Trace.span "sema" (fun () -> Sema.check prog) in
+  let m = Trace.span "lower" (fun () -> lower ?string_prefix ?file env prog) in
   (m, env)

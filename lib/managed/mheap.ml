@@ -12,6 +12,9 @@ type t = {
   mutable live : Mobject.t list;
   mutable alloc_count : int;
   mutable alloc_bytes : int;
+  mutable free_count : int;
+  mutable live_bytes : int;
+  mutable peak_bytes : int;  (** high-water mark of [live_bytes] *)
   mementos_enabled : bool;
 }
 
@@ -22,6 +25,9 @@ let create ?(mementos = true) () =
     live = [];
     alloc_count = 0;
     alloc_bytes = 0;
+    free_count = 0;
+    live_bytes = 0;
+    peak_bytes = 0;
     mementos_enabled = mementos;
   }
 
@@ -46,6 +52,8 @@ let malloc heap ~site size : Mobject.t =
   let obj = Mobject.alloc ~site ~storage:Merror.Heap ~mty size in
   heap.alloc_count <- heap.alloc_count + 1;
   heap.alloc_bytes <- heap.alloc_bytes + size;
+  heap.live_bytes <- heap.live_bytes + size;
+  if heap.live_bytes > heap.peak_bytes then heap.peak_bytes <- heap.live_bytes;
   heap.live <- obj :: heap.live;
   obj
 
@@ -59,9 +67,11 @@ let observe heap (obj : Mobject.t) (scalar : Irtype.scalar) =
 let free heap (p : Mobject.ptr) context =
   match p with
   | Mobject.Pnull -> () (* free(NULL) is a no-op per the standard *)
-  | Mobject.Pobj a -> Mobject.free_addr a context
+  | Mobject.Pobj a ->
+    Mobject.free_addr a context;
+    heap.free_count <- heap.free_count + 1;
+    heap.live_bytes <- heap.live_bytes - a.Mobject.obj.Mobject.byte_size
   | Mobject.Pfunc _ ->
-    ignore heap;
     Merror.raise_error (Merror.Invalid_free "function pointer passed to free()")
       context
   | Mobject.Pinvalid _ ->

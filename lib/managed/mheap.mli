@@ -7,6 +7,9 @@ type t = {
   mutable live : Mobject.t list;
   mutable alloc_count : int;
   mutable alloc_bytes : int;
+  mutable free_count : int;
+  mutable live_bytes : int;
+  mutable peak_bytes : int;  (** high-water mark of [live_bytes] *)
   mementos_enabled : bool;
 }
 

@@ -450,6 +450,8 @@ and exec_block st (pf : pfunc) (regs : Nvalue.t array) (block_idx : int)
       | Instr.Sancheck (kind, p, size) ->
         charge st Ccheck;
         st.hooks.Hooks.on_sancheck kind (as_int (ev p)) size
+      (* provenance metadata: free, so native cycle counts are unchanged *)
+      | Instr.Srcloc _ -> ()
       | Instr.Call (r, _, callee, cargs) ->
         charge st Cop;
         st.profile.n_calls <- st.profile.n_calls + 1;

@@ -1,0 +1,52 @@
+(** ASan-style bug reports with C source provenance.
+
+    The interpreter fills one of these in when a managed error surfaces:
+    the error kind and message come from [Merror], the faulting
+    file:line and the call stack come from the [Srcloc] markers the
+    front end threads into the IR (statement granularity), and the
+    detail lines restate the access-vs-object-bounds arithmetic that
+    makes the paper's reports (§6.1) actionable.
+
+    This module is pure data + rendering so that [lib/obs] stays
+    dependency-free; the interpreter owns the conversion from its
+    runtime types. *)
+
+type frame = {
+  bf_func : string;
+  bf_file : string;
+  bf_line : int;  (** 0 when no Srcloc was executed yet in this frame *)
+  bf_col : int;
+}
+
+type t = {
+  br_kind : string;  (** [Merror.category_name], e.g. "out-of-bounds" *)
+  br_message : string;
+  br_detail : string list;
+      (** access offset vs object bounds, storage class, ... *)
+  br_stack : frame list;  (** innermost first *)
+}
+
+let frame_loc (f : frame) : string =
+  if f.bf_line <= 0 then f.bf_file
+  else Printf.sprintf "%s:%d:%d" f.bf_file f.bf_line f.bf_col
+
+(** The faulting source position: the innermost frame that has one. *)
+let fault_frame (r : t) : frame option =
+  List.find_opt (fun f -> f.bf_line > 0) r.br_stack
+
+let render (r : t) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "==Safe Sulong== ERROR: %s: %s\n" r.br_kind r.br_message);
+  (match fault_frame r with
+  | Some f ->
+    Buffer.add_string b
+      (Printf.sprintf "    at %s in %s\n" (frame_loc f) f.bf_func)
+  | None -> ());
+  List.iter (fun line -> Buffer.add_string b ("  " ^ line ^ "\n")) r.br_detail;
+  List.iteri
+    (fun i f ->
+      Buffer.add_string b
+        (Printf.sprintf "    #%d %s %s\n" i f.bf_func (frame_loc f)))
+    r.br_stack;
+  Buffer.contents b

@@ -1,0 +1,217 @@
+(** Process-wide metrics registry: counters, gauges and log2-bucketed
+    histograms.
+
+    The registry stays compiled into every build.  Instrumentation sites
+    on hot paths guard on a single bool ([enabled], usually captured once
+    into a local at setup time), so the disabled cost is one predictable
+    branch.  Sites off the hot path may call the helpers unconditionally;
+    they are cheap either way.
+
+    Snapshots are plain marshalable data so that sharded runs (difftest
+    [--jobs]) can ship a child's registry over a pipe and [merge] it into
+    the parent: counters and histograms add, gauges keep the maximum. *)
+
+let enabled = ref false
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+(** Bucket [i] counts observations [v] with [2^(i-1) <= v < 2^i] (bucket
+    0 counts [v < 1], i.e. zero and negatives). *)
+let buckets = 64
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : float;
+  h_buckets : int array;
+}
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_value = 0 } in
+    Hashtbl.replace counters name c;
+    c
+
+let gauge name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+    let g = { g_name = name; g_value = 0.0 } in
+    Hashtbl.replace gauges name g;
+    g
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+    let h =
+      { h_name = name; h_count = 0; h_sum = 0.0; h_buckets = Array.make buckets 0 }
+    in
+    Hashtbl.replace histograms name h;
+    h
+
+let add (c : counter) (n : int) = c.c_value <- c.c_value + n
+let incr (c : counter) = c.c_value <- c.c_value + 1
+let set (g : gauge) (v : float) = g.g_value <- v
+
+let bucket_of (v : float) : int =
+  if not (v >= 1.0) then 0
+  else begin
+    (* index of the highest set bit of floor(v), + 1; values >= 2^62
+       saturate into the last bucket *)
+    let x = if v >= 4.611686018427387904e18 then Int64.max_int else Int64.of_float v in
+    let rec go i x = if x = 0L then i else go (i + 1) (Int64.shift_right_logical x 1) in
+    min (buckets - 1) (go 0 x)
+  end
+
+let observe (h : histogram) (v : float) =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  let b = bucket_of v in
+  h.h_buckets.(b) <- h.h_buckets.(b) + 1
+
+let observe_int (h : histogram) (v : int) = observe h (float_of_int v)
+
+(** Run [f] and record the elapsed time in microseconds into [name]
+    when metrics are enabled (the histogram is only created on use). *)
+let time (name : string) (f : unit -> 'a) : 'a =
+  if not !enabled then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let finally () =
+      observe (histogram name) ((Unix.gettimeofday () -. t0) *. 1e6)
+    in
+    Fun.protect ~finally f
+  end
+
+let reset () =
+  Hashtbl.reset counters;
+  Hashtbl.reset gauges;
+  Hashtbl.reset histograms
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots and cross-process merging                                 *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  sn_counters : (string * int) list;
+  sn_gauges : (string * float) list;
+  sn_histograms : (string * int * float * int array) list;
+}
+
+let snapshot () : snapshot =
+  {
+    sn_counters =
+      Hashtbl.fold (fun _ c acc -> (c.c_name, c.c_value) :: acc) counters []
+      |> List.sort compare;
+    sn_gauges =
+      Hashtbl.fold (fun _ g acc -> (g.g_name, g.g_value) :: acc) gauges []
+      |> List.sort compare;
+    sn_histograms =
+      Hashtbl.fold
+        (fun _ h acc -> (h.h_name, h.h_count, h.h_sum, Array.copy h.h_buckets) :: acc)
+        histograms []
+      |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b);
+  }
+
+(** Fold [s] into the live registry: counters and histogram buckets add,
+    gauges keep the max (shard-aggregate semantics). *)
+let merge (s : snapshot) : unit =
+  List.iter (fun (n, v) -> add (counter n) v) s.sn_counters;
+  List.iter (fun (n, v) -> let g = gauge n in if v > g.g_value then g.g_value <- v)
+    s.sn_gauges;
+  List.iter
+    (fun (n, count, sum, bs) ->
+      let h = histogram n in
+      h.h_count <- h.h_count + count;
+      h.h_sum <- h.h_sum +. sum;
+      Array.iteri (fun i v -> h.h_buckets.(i) <- h.h_buckets.(i) + v) bs)
+    s.sn_histograms
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let to_text () : string =
+  let s = snapshot () in
+  let b = Buffer.create 1024 in
+  if s.sn_counters <> [] then begin
+    Buffer.add_string b "counters:\n";
+    List.iter (fun (n, v) -> Buffer.add_string b (Printf.sprintf "  %-44s %d\n" n v))
+      s.sn_counters
+  end;
+  if s.sn_gauges <> [] then begin
+    Buffer.add_string b "gauges:\n";
+    List.iter
+      (fun (n, v) -> Buffer.add_string b (Printf.sprintf "  %-44s %s\n" n (float_str v)))
+      s.sn_gauges
+  end;
+  if s.sn_histograms <> [] then begin
+    Buffer.add_string b "histograms:\n";
+    List.iter
+      (fun (n, count, sum, bs) ->
+        let mean = if count = 0 then 0.0 else sum /. float_of_int count in
+        Buffer.add_string b
+          (Printf.sprintf "  %-44s count=%d mean=%s\n" n count (float_str mean));
+        Array.iteri
+          (fun i v ->
+            if v > 0 then
+              let lo = if i = 0 then 0.0 else Float.pow 2.0 (float_of_int (i - 1)) in
+              Buffer.add_string b
+                (Printf.sprintf "    [%12s, %12s) %d\n" (float_str lo)
+                   (float_str (Float.pow 2.0 (float_of_int i))) v))
+          bs)
+      s.sn_histograms
+  end;
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json () : string =
+  let s = snapshot () in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"counters\":{";
+  List.iteri
+    (fun i (n, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" (json_escape n) v))
+    s.sn_counters;
+  Buffer.add_string b "},\"gauges\":{";
+  List.iteri
+    (fun i (n, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%s" (json_escape n) (float_str v)))
+    s.sn_gauges;
+  Buffer.add_string b "},\"histograms\":{";
+  List.iteri
+    (fun i (n, count, sum, bs) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "\"%s\":{\"count\":%d,\"sum\":%s,\"buckets\":[%s]}"
+           (json_escape n) count (float_str sum)
+           (String.concat "," (List.map string_of_int (Array.to_list bs)))))
+    s.sn_histograms;
+  Buffer.add_string b "}}";
+  Buffer.contents b

@@ -1,0 +1,253 @@
+(** Span/event tracing in Chrome [trace_event] JSON (the format
+    chrome://tracing and Perfetto load: an object with a ["traceEvents"]
+    array of ["ph"]-tagged events).
+
+    One process-wide sink: [start] installs it, [span]/[instant] emit
+    into it, [finish] returns the JSON document and uninstalls.  When no
+    sink is installed every call is a no-op, so call sites need no
+    guards.  Spans use duration events ("ph":"B"/"E") so nesting is the
+    emission order; [span] is exception-safe (the "E" is emitted on the
+    error path too, keeping the JSON well formed). *)
+
+type sink = {
+  buf : Buffer.t;
+  mutable count : int;
+  t0 : float;
+  pid : int;
+}
+
+let sink : sink option ref = ref None
+
+let active () = !sink <> None
+
+let start () =
+  sink := Some { buf = Buffer.create 4096; count = 0; t0 = Unix.gettimeofday (); pid = Unix.getpid () }
+
+let ts (s : sink) : int =
+  int_of_float ((Unix.gettimeofday () -. s.t0) *. 1e6)
+
+let emit (s : sink) ~(ph : string) ~(name : string) (args : (string * string) list) =
+  if s.count > 0 then Buffer.add_char s.buf ',';
+  s.count <- s.count + 1;
+  Buffer.add_string s.buf
+    (Printf.sprintf "\n{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%d,\"pid\":%d,\"tid\":1"
+       (Metrics.json_escape name) ph (ts s) s.pid);
+  (match args with
+  | [] -> ()
+  | args ->
+    Buffer.add_string s.buf ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char s.buf ',';
+        Buffer.add_string s.buf
+          (Printf.sprintf "\"%s\":\"%s\"" (Metrics.json_escape k) (Metrics.json_escape v)))
+      args;
+    Buffer.add_char s.buf '}');
+  (if ph = "i" then Buffer.add_string s.buf ",\"s\":\"t\"");
+  Buffer.add_char s.buf '}'
+
+(** Emit an instant event (a point-in-time marker). *)
+let instant ?(args = []) (name : string) =
+  match !sink with None -> () | Some s -> emit s ~ph:"i" ~name args
+
+(** Run [f] inside a [name] span. *)
+let span ?(args = []) (name : string) (f : unit -> 'a) : 'a =
+  match !sink with
+  | None -> f ()
+  | Some s ->
+    emit s ~ph:"B" ~name args;
+    Fun.protect f ~finally:(fun () ->
+        match !sink with None -> () | Some s -> emit s ~ph:"E" ~name [])
+
+(** Close the sink and return the complete JSON document. *)
+let finish () : string =
+  match !sink with
+  | None -> "{\"traceEvents\":[]}\n"
+  | Some s ->
+    sink := None;
+    Printf.sprintf "{\"traceEvents\":[%s\n]}\n" (Buffer.contents s.buf)
+
+(* ------------------------------------------------------------------ *)
+(* Validation: a tiny JSON parser + trace_event schema checks.         *)
+(* Used by the @obs alias so an emitter regression fails tier-1.       *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+exception Bad of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then (pos := !pos + String.length word; v)
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance (); Buffer.contents b
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some 'n' -> Buffer.add_char b '\n'; advance ()
+        | Some 't' -> Buffer.add_char b '\t'; advance ()
+        | Some 'r' -> Buffer.add_char b '\r'; advance ()
+        | Some 'b' -> Buffer.add_char b '\b'; advance ()
+        | Some 'f' -> Buffer.add_char b '\012'; advance ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "bad \\u escape";
+          let hex = String.sub s !pos 4 in
+          (match int_of_string_opt ("0x" ^ hex) with
+          | None -> fail "bad \\u escape"
+          | Some code ->
+            (* keep it simple: only BMP, encoded as UTF-8 *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else Buffer.add_string b (Printf.sprintf "\\u%04x" code));
+          pos := !pos + 4
+        | Some c -> Buffer.add_char b c; advance ()
+        | None -> fail "unterminated escape");
+        go ()
+      | Some c -> Buffer.add_char b c; advance (); go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Jnum f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance (); skip_ws ();
+      if peek () = Some '}' then (advance (); Jobj [])
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws (); expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); members ((k, v) :: acc)
+          | Some '}' -> advance (); Jobj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance (); skip_ws ();
+      if peek () = Some ']' then (advance (); Jarr [])
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); elements (v :: acc)
+          | Some ']' -> advance (); Jarr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements []
+      end
+    | Some '"' -> Jstr (parse_string ())
+    | Some 't' -> literal "true" (Jbool true)
+    | Some 'f' -> literal "false" (Jbool false)
+    | Some 'n' -> literal "null" Jnull
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(** Check that [doc] is a Chrome-loadable trace: valid JSON, a top-level
+    ["traceEvents"] array, every event carrying name/ph/ts/pid/tid with
+    the right types, and "B"/"E" spans properly nested (LIFO with
+    matching names) and fully closed. *)
+let validate (doc : string) : (unit, string) result =
+  try
+    let j = parse_json doc in
+    let events =
+      match j with
+      | Jobj fields -> (
+        match List.assoc_opt "traceEvents" fields with
+        | Some (Jarr evs) -> evs
+        | Some _ -> raise (Bad "traceEvents is not an array")
+        | None -> raise (Bad "missing traceEvents"))
+      | _ -> raise (Bad "top level is not an object")
+    in
+    let stack = ref [] in
+    List.iteri
+      (fun i ev ->
+        let fields =
+          match ev with
+          | Jobj f -> f
+          | _ -> raise (Bad (Printf.sprintf "event %d is not an object" i))
+        in
+        let str k =
+          match List.assoc_opt k fields with
+          | Some (Jstr s) -> s
+          | _ -> raise (Bad (Printf.sprintf "event %d: missing string %S" i k))
+        in
+        let num k =
+          match List.assoc_opt k fields with
+          | Some (Jnum v) -> v
+          | _ -> raise (Bad (Printf.sprintf "event %d: missing number %S" i k))
+        in
+        let name = str "name" in
+        let ph = str "ph" in
+        ignore (num "ts");
+        ignore (num "pid");
+        ignore (num "tid");
+        match ph with
+        | "B" -> stack := name :: !stack
+        | "E" -> (
+          match !stack with
+          | top :: rest when top = name -> stack := rest
+          | top :: _ ->
+            raise (Bad (Printf.sprintf "event %d: E %S closes B %S" i name top))
+          | [] -> raise (Bad (Printf.sprintf "event %d: E %S without B" i name)))
+        | "i" | "X" | "C" | "M" -> ()
+        | _ -> raise (Bad (Printf.sprintf "event %d: unknown ph %S" i ph)))
+      events;
+    (match !stack with
+    | [] -> ()
+    | top :: _ -> raise (Bad (Printf.sprintf "unclosed span %S" top)));
+    Ok ()
+  with Bad msg -> Error msg

@@ -122,7 +122,7 @@ let run (m : Irmod.t) : bool =
                 | Instr.Phi (r, s, incoming) ->
                   Instr.Phi (r, s, List.map (fun (l, v) -> (l, resolve v)) incoming)
                 | Instr.Sancheck (k, p, size) -> Instr.Sancheck (k, resolve p, size)
-                | Instr.Alloca _ -> i)
+                | (Instr.Alloca _ | Instr.Srcloc _) -> i)
               b.Irfunc.instrs);
         List.iter
           (fun (b : Irfunc.block) ->

@@ -16,7 +16,7 @@ let run_func ~(semantics : [ `Ub | `Safe ]) (f : Irfunc.t) : bool =
     | Instr.Alloca _ | Instr.Gep _ | Instr.Binop _ | Instr.Icmp _
     | Instr.Fcmp _ | Instr.Cast _ | Instr.Select _ | Instr.Phi _ ->
       true
-    | Instr.Store _ | Instr.Call _ | Instr.Sancheck _ -> false
+    | Instr.Store _ | Instr.Call _ | Instr.Sancheck _ | Instr.Srcloc _ -> false
   in
   let pass () =
     (* Count uses of each register across instructions and terminators. *)

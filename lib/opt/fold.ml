@@ -177,7 +177,7 @@ let run_func (f : Irfunc.t) : bool =
     | Instr.Phi (r, s, incoming) ->
       Some (Instr.Phi (r, s, List.map (fun (l, v) -> (l, resolve v)) incoming))
     | Instr.Sancheck (k, p, size) -> Some (Instr.Sancheck (k, resolve p, size))
-    | Instr.Alloca _ -> Some i
+    | (Instr.Alloca _ | Instr.Srcloc _) -> Some i
   in
   (* Iterate block-internally until the substitution map stabilizes (a
      fold can enable another across blocks because subst is global to

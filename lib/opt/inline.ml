@@ -55,6 +55,7 @@ let remap_instr map relabel (i : Instr.instr) : Instr.instr =
     Instr.Phi
       (Hashtbl.find map r, s, List.map (fun (l, x) -> (relabel l, v x)) incoming)
   | Instr.Sancheck (k, p, size) -> Instr.Sancheck (k, v p, size)
+  | Instr.Srcloc _ as i -> i
 
 (* ---- inlinability ------------------------------------------------ *)
 

@@ -202,7 +202,7 @@ let run_func (f : Irfunc.t) : bool =
             | Instr.Phi (r, s, incoming) ->
               Instr.Phi (r, s, List.map (fun (l, v) -> (l, map_value v)) incoming)
             | Instr.Sancheck (k, p, size) -> Instr.Sancheck (k, map_value p, size)
-            | Instr.Alloca _ -> i)
+            | (Instr.Alloca _ | Instr.Srcloc _) -> i)
       in
       b.Irfunc.instrs <- List.filter_map rewrite b.Irfunc.instrs;
       b.Irfunc.term <-

@@ -16,11 +16,19 @@ type level = O0 | O3
 
 let level_name = function O0 -> "-O0" | O3 -> "-O3"
 
+(* Each pass runs under a [Metrics.time] histogram ("pass.<name>_us")
+   and a trace span; both are no-ops when observability is off. *)
+let timed name pass m =
+  Trace.span name (fun () ->
+      Metrics.time (Printf.sprintf "pass.%s_us" name) (fun () -> pass m))
+
 let fixpoint passes m =
   let rounds = ref 0 in
   let changed = ref true in
   while !changed && !rounds < 8 do
-    changed := List.fold_left (fun acc pass -> pass m || acc) false passes;
+    changed :=
+      List.fold_left (fun acc (name, pass) -> timed name pass m || acc)
+        false passes;
     if !changed then incr rounds
   done;
   !rounds
@@ -29,31 +37,37 @@ let fixpoint passes m =
 let o3 (m : Irmod.t) : int =
   fixpoint
     [
-      Fold.run;
-      Mem2reg.run;
-      Fold.run;
-      Dce.run ~semantics:`Ub;
-      Dse.run;
-      Ubopt.run;
-      Simplifycfg.run;
-      Dce.run ~semantics:`Ub;
+      ("fold", Fold.run);
+      ("mem2reg", Mem2reg.run);
+      ("fold", Fold.run);
+      ("dce", Dce.run ~semantics:`Ub);
+      ("dse", Dse.run);
+      ("ubopt", Ubopt.run);
+      ("simplifycfg", Simplifycfg.run);
+      ("dce", Dce.run ~semantics:`Ub);
     ]
     m
 
 (** Safe-semantics optimization (the JIT tier of Safe Sulong). *)
 let safe_jit (m : Irmod.t) : int =
   fixpoint
-    [ Fold.run; Mem2reg.run; Fold.run; Dce.run ~semantics:`Safe; Simplifycfg.run ]
+    [
+      ("fold", Fold.run);
+      ("mem2reg", Mem2reg.run);
+      ("fold", Fold.run);
+      ("dce", Dce.run ~semantics:`Safe);
+      ("simplifycfg", Simplifycfg.run);
+    ]
     m
 
 (** Native code generation folding: every native pipeline, every level. *)
-let backend (m : Irmod.t) : bool = Backendfold.run m
+let backend (m : Irmod.t) : bool = timed "backendfold" Backendfold.run m
 
 (** Compile [m] for a native engine at [level] (mutates [m]). *)
 let compile_native ~(level : level) (m : Irmod.t) : unit =
   (match level with O0 -> () | O3 -> ignore (o3 m));
   ignore (backend m);
-  Verify.verify m
+  timed "verify" Verify.verify m
 
 (** Compile [m] for Safe Sulong: nothing — the interpreter executes the
     front-end output; [safe_jit] only models what the dynamic compiler

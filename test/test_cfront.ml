@@ -18,7 +18,18 @@ let test_lex_ints () =
   check_tokens "unsigned suffix"
     [ Token.INT_LIT (7L, Ctype.IInt, Ctype.Unsigned) ] "7u";
   check_tokens "ul suffix"
-    [ Token.INT_LIT (7L, Ctype.ILong, Ctype.Unsigned) ] "7UL"
+    [ Token.INT_LIT (7L, Ctype.ILong, Ctype.Unsigned) ] "7UL";
+  (* C11 6.4.4.1p5: the type is the first in the list that fits the
+     value — decimal unsuffixed goes int -> long (signed only), hex may
+     land on the unsigned variant of each width. *)
+  check_tokens "decimal beyond int is long"
+    [ Token.INT_LIT (5000000000L, Ctype.ILong, Ctype.Signed) ] "5000000000";
+  check_tokens "hex beyond int is unsigned int"
+    [ Token.INT_LIT (0x80000000L, Ctype.IInt, Ctype.Unsigned) ] "0x80000000";
+  check_tokens "hex beyond unsigned int is long"
+    [ Token.INT_LIT (0x100000001L, Ctype.ILong, Ctype.Signed) ] "0x100000001";
+  check_tokens "hex beyond long is unsigned long"
+    [ Token.INT_LIT (-1L, Ctype.ILong, Ctype.Unsigned) ] "0xFFFFFFFFFFFFFFFF"
 
 let test_lex_floats () =
   check_tokens "double" [ Token.FLOAT_LIT (1.5, Ctype.FDouble) ] "1.5";

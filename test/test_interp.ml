@@ -199,6 +199,7 @@ let swap_phi_module () =
         ];
       next_reg = 7;
       src_pos = (0, 0);
+      src_file = "<test>";
     }
   in
   let m = Irmod.create () in
@@ -234,6 +235,7 @@ let test_unknown_symbol_call () =
         ];
       next_reg = 1;
       src_pos = (0, 0);
+      src_file = "<test>";
     }
   in
   let m = Irmod.create () in
@@ -270,6 +272,7 @@ let test_unknown_symbol_never_called () =
         ];
       next_reg = 1;
       src_pos = (0, 0);
+      src_file = "<test>";
     }
   in
   let m = Irmod.create () in

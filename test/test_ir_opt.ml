@@ -8,7 +8,7 @@
 
 let mk_func ~blocks : Irfunc.t =
   { Irfunc.name = "f"; params = []; ret = Some Irtype.I32; variadic = false;
-    blocks; next_reg = 100; src_pos = (0, 0) }
+    blocks; next_reg = 100; src_pos = (0, 0); src_file = "<test>" }
 
 let mk_mod f : Irmod.t =
   { Irmod.globals = []; funcs = [ f ]; externs = [] }

@@ -1,0 +1,466 @@
+(** Tests for the observability subsystem (lib/obs): metric histogram
+    bucketing and cross-process merging, trace span nesting and Chrome
+    JSON well-formedness, ASan-style provenance reports (one golden bug
+    per [Merror] kind plus a whole-corpus sweep), and the C11 6.8.4.2
+    switch-label conversion semantics the differential campaign now
+    exercises without the old [(long)] scrutinee cast. *)
+
+(* Naive substring search; enough for asserting on rendered reports. *)
+let contains (haystack : string) (needle : string) : bool =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let with_metrics (f : unit -> 'a) : 'a =
+  Metrics.reset ();
+  Metrics.enabled := true;
+  Fun.protect f ~finally:(fun () ->
+      Metrics.enabled := false;
+      Metrics.reset ())
+
+(* ---------------- metrics: log2 bucketing ---------------- *)
+
+let test_bucket_of () =
+  let check what expected v =
+    Alcotest.(check int) what expected (Metrics.bucket_of v)
+  in
+  check "zero" 0 0.0;
+  check "negative" 0 (-3.0);
+  check "below one" 0 0.99;
+  check "nan" 0 Float.nan;
+  check "one" 1 1.0;
+  check "just under two" 1 1.99;
+  check "two" 2 2.0;
+  check "three" 2 3.0;
+  check "four" 3 4.0;
+  check "1024" 11 1024.0;
+  check "2^62" 63 4.611686018427387904e18;
+  check "huge saturates" 63 1e300;
+  check "infinity saturates" 63 Float.infinity
+
+let test_histogram_observe () =
+  with_metrics (fun () ->
+      let h = Metrics.histogram "t.h" in
+      List.iter (Metrics.observe h) [ 0.0; 1.0; 1.5; 2.0; 1000.0 ];
+      Alcotest.(check int) "count" 5 h.Metrics.h_count;
+      Alcotest.(check (float 1e-9)) "sum" 1004.5 h.Metrics.h_sum;
+      Alcotest.(check int) "bucket 0" 1 h.Metrics.h_buckets.(0);
+      Alcotest.(check int) "bucket 1" 2 h.Metrics.h_buckets.(1);
+      Alcotest.(check int) "bucket 2" 1 h.Metrics.h_buckets.(2);
+      Alcotest.(check int) "bucket 10" 1 h.Metrics.h_buckets.(10))
+
+(* Merging a snapshot twice must double counters and histogram buckets
+   but keep the max for gauges — the sharded-difftest aggregation
+   semantics. *)
+let test_snapshot_merge () =
+  with_metrics (fun () ->
+      Metrics.add (Metrics.counter "t.c") 7;
+      Metrics.set (Metrics.gauge "t.g") 3.5;
+      Metrics.observe (Metrics.histogram "t.h") 5.0;
+      let sn = Metrics.snapshot () in
+      Metrics.reset ();
+      Metrics.merge sn;
+      Metrics.merge sn;
+      let m = Metrics.snapshot () in
+      Alcotest.(check (list (pair string int)))
+        "counters add" [ ("t.c", 14) ] m.Metrics.sn_counters;
+      Alcotest.(check (list (pair string (float 1e-9))))
+        "gauges keep max" [ ("t.g", 3.5) ] m.Metrics.sn_gauges;
+      match m.Metrics.sn_histograms with
+      | [ (name, count, sum, buckets) ] ->
+        Alcotest.(check string) "histogram name" "t.h" name;
+        Alcotest.(check int) "histogram count adds" 2 count;
+        Alcotest.(check (float 1e-9)) "histogram sum adds" 10.0 sum;
+        Alcotest.(check int) "histogram bucket adds" 2 buckets.(3)
+      | hs ->
+        Alcotest.fail
+          (Printf.sprintf "expected one histogram, got %d" (List.length hs)))
+
+let test_disabled_time_is_noop () =
+  Metrics.reset ();
+  Metrics.enabled := false;
+  Alcotest.(check int) "result passes through" 42
+    (Metrics.time "t.never" (fun () -> 42));
+  let sn = Metrics.snapshot () in
+  Alcotest.(check int) "no histogram created" 0
+    (List.length sn.Metrics.sn_histograms)
+
+(* ---------------- tracing: spans and validation ---------------- *)
+
+let test_span_nesting () =
+  Trace.start ();
+  Trace.span "outer" (fun () ->
+      Trace.span "inner" (fun () -> ());
+      Trace.instant ~args:[ ("k", "v") ] "tick");
+  let doc = Trace.finish () in
+  (match Trace.validate doc with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("trace rejected: " ^ msg));
+  Alcotest.(check bool) "outer present" true (contains doc "\"outer\"");
+  Alcotest.(check bool) "inner present" true (contains doc "\"inner\"");
+  Alcotest.(check bool) "instant args present" true (contains doc "\"k\":\"v\"")
+
+(* The "E" must be emitted on the exception path too, or the document
+   ends with an unclosed span. *)
+let test_span_exception_safe () =
+  Trace.start ();
+  (try Trace.span "boom" (fun () -> failwith "inside") with Failure _ -> ());
+  match Trace.validate (Trace.finish ()) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("trace rejected: " ^ msg)
+
+let test_validate_rejects () =
+  let rejected what doc =
+    match Trace.validate doc with
+    | Ok () -> Alcotest.fail (what ^ ": bad document accepted")
+    | Error _ -> ()
+  in
+  rejected "truncated JSON" "{";
+  rejected "missing traceEvents" "{}";
+  rejected "traceEvents not an array" "{\"traceEvents\":3}";
+  rejected "unclosed span"
+    "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"B\",\"ts\":0,\"pid\":1,\"tid\":1}]}";
+  rejected "mismatched close"
+    "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"B\",\"ts\":0,\"pid\":1,\"tid\":1},{\"name\":\"b\",\"ph\":\"E\",\"ts\":1,\"pid\":1,\"tid\":1}]}";
+  rejected "close without open"
+    "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"E\",\"ts\":0,\"pid\":1,\"tid\":1}]}";
+  rejected "unknown phase"
+    "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"Q\",\"ts\":0,\"pid\":1,\"tid\":1}]}";
+  match Trace.validate "{\"traceEvents\":[]}" with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("empty trace rejected: " ^ msg)
+
+(* When no sink is installed, every call must be a silent no-op. *)
+let test_trace_inactive_noop () =
+  Alcotest.(check bool) "inactive" false (Trace.active ());
+  Trace.instant "nothing";
+  Alcotest.(check int) "span passes through" 9 (Trace.span "s" (fun () -> 9))
+
+(* ---------------- provenance: one golden bug per kind -------------- *)
+
+(* Each program is written as an explicit line list so the expected
+   fault line is visible in the test itself (line 1 = first element). *)
+let run_lines ?(argv = [ "prog" ]) (lines : string list) : Interp.run_result =
+  Loader.run_source ~argv (String.concat "\n" lines)
+
+let check_report ~kind ~line ?(detail = []) (r : Interp.run_result) :
+    Bugreport.t =
+  (match r.Interp.error with
+  | Some (cat, _) ->
+    Alcotest.(check string) "error kind" kind (Merror.category_name cat)
+  | None -> Alcotest.fail (kind ^ ": no error detected"));
+  match r.Interp.report with
+  | None -> Alcotest.fail (kind ^ ": no provenance report")
+  | Some rep ->
+    Alcotest.(check string) "report kind" kind rep.Bugreport.br_kind;
+    (match Bugreport.fault_frame rep with
+    | None -> Alcotest.fail (kind ^ ": no faulting source location")
+    | Some f ->
+      Alcotest.(check string) "faulting file" "<input>" f.Bugreport.bf_file;
+      Alcotest.(check int) "faulting line" line f.Bugreport.bf_line);
+    Alcotest.(check bool) "stack non-empty" true (rep.Bugreport.br_stack <> []);
+    let rendered = Bugreport.render rep in
+    List.iter
+      (fun needle ->
+        if not (contains rendered needle) then
+          Alcotest.fail
+            (Printf.sprintf "%s: report lacks %S:\n%s" kind needle rendered))
+      detail;
+    rep
+
+let test_report_out_of_bounds () =
+  let r =
+    run_lines
+      [
+        "int main(void) {";
+        "  int *p = malloc(3 * sizeof(int));";
+        "  p[3] = 7;";
+        "  return 0;";
+        "}";
+      ]
+  in
+  let rep =
+    check_report ~kind:"out-of-bounds" ~line:3
+      ~detail:
+        [
+          "write of 4 byte(s) at offset 12";
+          "object bounds: [0, 12)";
+          "access range: [12, 16)";
+          "at <input>:3";
+          "in main";
+        ]
+      r
+  in
+  Alcotest.(check bool) "has bounds detail" true (rep.Bugreport.br_detail <> [])
+
+let test_report_use_after_free () =
+  let r =
+    run_lines
+      [
+        "int main(void) {";
+        "  int *p = malloc(4);";
+        "  free(p);";
+        "  return *p;";
+        "}";
+      ]
+  in
+  ignore (check_report ~kind:"use-after-free" ~line:4 r)
+
+let test_report_double_free () =
+  let r =
+    run_lines
+      [
+        "int main(void) {";
+        "  int *p = malloc(4);";
+        "  free(p);";
+        "  free(p);";
+        "  return 0;";
+        "}";
+      ]
+  in
+  ignore (check_report ~kind:"double-free" ~line:4 r)
+
+let test_report_invalid_free () =
+  let r =
+    run_lines
+      [
+        "int main(void) {";
+        "  int x = 0;";
+        "  free(&x);";
+        "  return 0;";
+        "}";
+      ]
+  in
+  ignore (check_report ~kind:"invalid-free" ~line:3 r)
+
+let test_report_null_deref () =
+  let r =
+    run_lines
+      [ "int main(void) {"; "  int *p = 0;"; "  return *p;"; "}" ]
+  in
+  ignore (check_report ~kind:"null-dereference" ~line:3 r)
+
+let test_report_varargs () =
+  let r =
+    run_lines
+      [
+        "int bad(int n, ...) {";
+        "  return *(int *)get_vararg(3);";
+        "}";
+        "int main(void) { return bad(1, 2); }";
+      ]
+  in
+  ignore (check_report ~kind:"varargs" ~line:2 r)
+
+let test_report_division_by_zero () =
+  let r =
+    run_lines
+      [ "int main(int argc, char **argv) {"; "  return 7 / (argc - 1);"; "}" ]
+  in
+  ignore (check_report ~kind:"division-by-zero" ~line:2 r)
+
+(* The stack trace must name every active call, innermost first, with
+   the caller's line pointing at the call site. *)
+let test_report_stack_trace () =
+  let r =
+    run_lines
+      [
+        "int inner(int *p) { return p[5]; }";
+        "int outer(int *p) { return inner(p); }";
+        "int main(void) {";
+        "  int *p = malloc(4);";
+        "  return outer(p);";
+        "}";
+      ]
+  in
+  match r.Interp.report with
+  | None -> Alcotest.fail "no report"
+  | Some rep ->
+    let funcs = List.map (fun f -> f.Bugreport.bf_func) rep.Bugreport.br_stack in
+    Alcotest.(check (list string))
+      "call stack innermost first" [ "inner"; "outer"; "main" ] funcs;
+    let lines = List.map (fun f -> f.Bugreport.bf_line) rep.Bugreport.br_stack in
+    Alcotest.(check (list int)) "per-frame lines" [ 1; 2; 5 ] lines
+
+(* Every corpus bug must come back with a provenance report carrying a
+   real C source line (acceptance criterion for the PR).  Mirrors
+   Engine.run_sulong's knobs. *)
+let test_corpus_reports () =
+  List.iter
+    (fun (p : Groundtruth.program) ->
+      let m = Loader.load_program p.Groundtruth.source in
+      Pipeline.compile_sulong m;
+      let st =
+        Interp.create ~step_limit:200_000_000 ~mementos:true
+          ~input:p.Groundtruth.input m
+      in
+      let r = Interp.run ~argv:p.Groundtruth.argv st in
+      match (r.Interp.error, r.Interp.report) with
+      | None, _ ->
+        Alcotest.fail (p.Groundtruth.id ^ ": Safe Sulong missed the bug")
+      | Some _, None ->
+        Alcotest.fail (p.Groundtruth.id ^ ": no provenance report")
+      | Some (cat, _), Some rep ->
+        (match Bugreport.fault_frame rep with
+        | None ->
+          Alcotest.fail (p.Groundtruth.id ^ ": no faulting source line")
+        | Some f ->
+          if f.Bugreport.bf_line <= 0 then
+            Alcotest.fail (p.Groundtruth.id ^ ": nonpositive fault line"));
+        (match cat with
+        | Merror.Out_of_bounds _ ->
+          if
+            not
+              (List.exists
+                 (fun d -> contains d "object bounds")
+                 rep.Bugreport.br_detail)
+          then Alcotest.fail (p.Groundtruth.id ^ ": no bounds detail")
+        | _ -> ()))
+    Corpus.all
+
+(* ---------------- switch: C11 6.8.4.2 label conversion ------------- *)
+
+(* A case label wider than the promoted controlling type is converted to
+   that type: 0x100000001 on an int scrutinee matches 1. *)
+let test_switch_label_conversion () =
+  let r =
+    run_lines
+      [
+        "int main(void) {";
+        "  int x = 1;";
+        "  switch (x) {";
+        "  case 0x100000001: return 42;";
+        "  default: return 7;";
+        "  }";
+        "}";
+      ]
+  in
+  Alcotest.(check int) "label converted to int" 42 r.Interp.exit_code
+
+(* The controlling expression undergoes integer promotion first: a char
+   scrutinee switches as int, so the same wide label still matches. *)
+let test_switch_scrutinee_promotion () =
+  let r =
+    run_lines
+      [
+        "int main(void) {";
+        "  char c = 1;";
+        "  switch (c) {";
+        "  case 0x100000001: return 5;";
+        "  default: return 9;";
+        "  }";
+        "}";
+      ]
+  in
+  Alcotest.(check int) "char promoted to int" 5 r.Interp.exit_code
+
+(* Labels that collide only after conversion are a compile-time error
+   (C11 6.8.4.2p3: no two case labels with the same converted value). *)
+let test_switch_duplicate_after_conversion () =
+  let src =
+    String.concat "\n"
+      [
+        "int main(void) {";
+        "  switch (1) {";
+        "  case 1: return 1;";
+        "  case 0x100000001: return 2;";
+        "  }";
+        "  return 0;";
+        "}";
+      ]
+  in
+  match Loader.run_source src with
+  | exception Diag.Error (_, msg) ->
+    Alcotest.(check bool)
+      "mentions duplicate label" true
+      (contains msg "duplicate case label")
+  | _ -> Alcotest.fail "duplicate-after-conversion label accepted"
+
+(* C11 6.8.4.2p1: the controlling expression shall have integer type. *)
+let test_switch_rejects_non_integer () =
+  let src =
+    String.concat "\n"
+      [
+        "int main(void) {";
+        "  double d = 1.0;";
+        "  switch (d) { default: return 0; }";
+        "}";
+      ]
+  in
+  match Loader.run_source src with
+  | exception Diag.Error (_, _) -> ()
+  | _ -> Alcotest.fail "floating switch scrutinee accepted"
+
+(* A long scrutinee keeps 64-bit labels distinct: no false sharing. *)
+let test_switch_long_scrutinee_exact () =
+  let r =
+    run_lines
+      [
+        "int main(void) {";
+        "  long x = 0x100000001;";
+        "  switch (x) {";
+        "  case 1: return 3;";
+        "  case 0x100000001: return 11;";
+        "  default: return 4;";
+        "  }";
+        "}";
+      ]
+  in
+  Alcotest.(check int) "long labels stay distinct" 11 r.Interp.exit_code
+
+(* ---------------- runner ---------------- *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "log2 bucketing" `Quick test_bucket_of;
+          Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
+          Alcotest.test_case "snapshot merge" `Quick test_snapshot_merge;
+          Alcotest.test_case "disabled time is a no-op" `Quick
+            test_disabled_time_is_noop;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception-safe spans" `Quick
+            test_span_exception_safe;
+          Alcotest.test_case "validator rejects malformed" `Quick
+            test_validate_rejects;
+          Alcotest.test_case "inactive sink is a no-op" `Quick
+            test_trace_inactive_noop;
+        ] );
+      ( "provenance",
+        [
+          Alcotest.test_case "out-of-bounds golden" `Quick
+            test_report_out_of_bounds;
+          Alcotest.test_case "use-after-free golden" `Quick
+            test_report_use_after_free;
+          Alcotest.test_case "double-free golden" `Quick
+            test_report_double_free;
+          Alcotest.test_case "invalid-free golden" `Quick
+            test_report_invalid_free;
+          Alcotest.test_case "null-dereference golden" `Quick
+            test_report_null_deref;
+          Alcotest.test_case "varargs golden" `Quick test_report_varargs;
+          Alcotest.test_case "division-by-zero golden" `Quick
+            test_report_division_by_zero;
+          Alcotest.test_case "stack trace shape" `Quick
+            test_report_stack_trace;
+          Alcotest.test_case "whole-corpus sweep" `Slow test_corpus_reports;
+        ] );
+      ( "switch",
+        [
+          Alcotest.test_case "label conversion" `Quick
+            test_switch_label_conversion;
+          Alcotest.test_case "scrutinee promotion" `Quick
+            test_switch_scrutinee_promotion;
+          Alcotest.test_case "duplicate after conversion" `Quick
+            test_switch_duplicate_after_conversion;
+          Alcotest.test_case "non-integer scrutinee rejected" `Quick
+            test_switch_rejects_non_integer;
+          Alcotest.test_case "long scrutinee exact" `Quick
+            test_switch_long_scrutinee_exact;
+        ] );
+    ]
