@@ -54,7 +54,7 @@ let obs_end ~metrics ~trace_file (code : int) : int =
   | None -> ());
   code
 
-let do_run file engine level args input_text detect_uninit detect_leaks
+let do_run file engine level tiered args input_text detect_uninit detect_leaks
     trace_calls metrics trace_file =
   let src = read_file file in
   match engine_of_string engine level with
@@ -72,7 +72,9 @@ let do_run file engine level args input_text detect_uninit detect_leaks
         if tool = Engine.Safe_sulong then begin
           let m = Loader.load_program ~file src in
           let st =
-            Interp.create ~detect_uninit ~trace:trace_calls ~input:input_text m
+            Interp.create
+              ?tier:(if tiered then Some (Tier.controller ()) else None)
+              ~detect_uninit ~trace:trace_calls ~input:input_text m
           in
           let r = Interp.run ~argv st in
           if trace_calls then prerr_string r.Interp.trace_output;
@@ -143,6 +145,16 @@ let level_arg =
     value & opt int 0
     & info [ "O" ] ~docv:"N" ~doc:"Optimization level (0 or 3).")
 
+let tier_flag =
+  Arg.(
+    value & flag
+    & info [ "tier" ]
+        ~doc:
+          "Run under the two-tier engine (Safe Sulong only): hot functions \
+           are closure-compiled after crossing the hotness threshold, and \
+           deoptimize back to the interpreter on any managed error so bug \
+           reports are identical to the interpreter's.")
+
 let args_arg =
   Arg.(
     value & opt_all string []
@@ -196,8 +208,9 @@ let run_cmd =
   let doc = "compile and execute a C file under a bug-finding engine" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const do_run $ file_arg $ engine_arg $ level_arg $ args_arg $ input_arg
-      $ uninit_flag $ leaks_flag $ trace_flag $ metrics_arg $ trace_file_arg)
+      const do_run $ file_arg $ engine_arg $ level_arg $ tier_flag $ args_arg
+      $ input_arg $ uninit_flag $ leaks_flag $ trace_flag $ metrics_arg
+      $ trace_file_arg)
 
 (* ---------------- ir ---------------- *)
 
@@ -440,6 +453,76 @@ let difftest_cmd =
       const do_difftest $ seeds_arg $ seed_start_arg $ shrink_arg $ json_arg
       $ jobs_arg $ metrics_arg)
 
+(* ---------------- bench ---------------- *)
+
+(* The always-on subset of bench/main.exe: time the Fig 15 meteor unit
+   of work under the interpreter and under the closure-compiled tier,
+   and append the wall-clock rows (plus the interp/tiered speedup) to a
+   JSON-array log so the tiered-engine trajectory is tracked across
+   PRs.  The full microbenchmark suite stays in bench/main.exe. *)
+
+let bench_time ?(quota_s = 0.5) ?(min_runs = 3) (thunk : unit -> unit) : float =
+  thunk ();
+  (* warm-up *)
+  let t0 = Sys.time () in
+  let runs = ref 0 in
+  while Sys.time () -. t0 < quota_s || !runs < min_runs do
+    thunk ();
+    incr runs
+  done;
+  (Sys.time () -. t0) *. 1e9 /. float_of_int !runs
+
+let do_bench json_file =
+  let m = Loader.load_program Benchprogs.meteor.Benchprogs.b_source in
+  let interp_ns =
+    bench_time (fun () -> ignore (Interp.run (Interp.create (Irmod.copy m))))
+  in
+  let tiered_ns =
+    bench_time (fun () ->
+        ignore
+          (Interp.run
+             (Interp.create ~tier:(Tier.controller ~threshold:0 ())
+                (Irmod.copy m))))
+  in
+  let speedup = interp_ns /. tiered_ns in
+  Printf.printf "fig15 meteor, managed interpreter:   %12.0f ns/op\n" interp_ns;
+  Printf.printf "fig15 meteor, closure-compiled tier: %12.0f ns/op\n" tiered_ns;
+  Printf.printf "interp/tiered speedup:               %12.2f x\n" speedup;
+  (match json_file with
+  | Some file ->
+    List.iter
+      (Difftest.append_row ~file)
+      [
+        Printf.sprintf
+          "  {\"name\": \"bench: fig15 meteor (managed interpreter)\", \
+           \"ns_per_op\": %.0f}"
+          interp_ns;
+        Printf.sprintf
+          "  {\"name\": \"bench: fig15 meteor (closure-compiled tier)\", \
+           \"ns_per_op\": %.0f}"
+          tiered_ns;
+        Printf.sprintf
+          "  {\"name\": \"bench: fig15 interp/tiered speedup\", \"value\": \
+           %.2f}"
+          speedup;
+      ];
+    Printf.printf "appended rows to %s\n" file
+  | None -> ());
+  0
+
+let bench_json_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "BENCH_interp.json") (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Append the interp-vs-tiered rows to the JSON-array log $(docv) \
+           (default BENCH_interp.json).")
+
+let bench_cmd =
+  let doc = "time the interpreter vs. the closure-compiled tier (Fig 15 unit)" in
+  Cmd.v (Cmd.info "bench" ~doc) Term.(const do_bench $ bench_json_arg)
+
 (* ---------------- obs-selftest ---------------- *)
 
 (** End-to-end check of the observability subsystem, wired into the
@@ -517,4 +600,4 @@ let () =
   let info = Cmd.info "sulong" ~version:"1.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
        [ run_cmd; ir_cmd; run_ir_cmd; compare_cmd; corpus_cmd; report_cmd;
-         difftest_cmd; obs_selftest_cmd ]))
+         difftest_cmd; bench_cmd; obs_selftest_cmd ]))

@@ -6,7 +6,7 @@
 
 let () =
   print_endline "measuring meteor under every engine (one profiled run each)...";
-  let ms = Simulate.measure_bench Benchprogs.meteor in
+  let ms = Measure.measure_bench Benchprogs.meteor in
   let w = Simulate.warmup ~duration_s:30 ms in
   Printf.printf "first Safe Sulong iteration completed at %.1f s\n"
     w.Simulate.wr_first_iteration_s;

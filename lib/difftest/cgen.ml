@@ -133,7 +133,7 @@ let rec gen_expr rng ~(mode : [ `Full | `Restricted ]) ~(lv : leaves)
 
 type genstate = { mutable next_loop : int }
 
-let rec gen_stmt rng st ~(lv : leaves) ~(locals : (string * ity) list)
+let rec gen_stmt rng st ~(lv : leaves) ~(assignable : (string * ity) list)
     ~(depth : int) : stmt =
   let rexpr ?(depth = 3) () = gen_expr rng ~mode:`Full ~lv ~depth in
   let structured = depth > 0 in
@@ -145,7 +145,9 @@ let rec gen_stmt rng st ~(lv : leaves) ~(locals : (string * ity) list)
   in
   match Prng.pick rng options with
   | `Assign ->
-    let n, _ = Prng.pick rng locals in
+    (* [assignable] holds scalar locals *and* globals (loop variables are
+       deliberately absent: their bounds guarantee in-bounds indexing). *)
+    let n, _ = Prng.pick rng assignable in
     Assign (n, rexpr ())
   | `AStore ->
     let a, _, len = Prng.pick rng lv.lv_arrays in
@@ -163,8 +165,8 @@ let rec gen_stmt rng st ~(lv : leaves) ~(locals : (string * ity) list)
     let nthen = 1 + Prng.int rng 2 and nelse = Prng.int rng 2 in
     If
       ( rexpr ~depth:2 (),
-        gen_stmts rng st ~lv ~locals ~depth:(depth - 1) ~n:nthen,
-        gen_stmts rng st ~lv ~locals ~depth:(depth - 1) ~n:nelse )
+        gen_stmts rng st ~lv ~assignable ~depth:(depth - 1) ~n:nthen,
+        gen_stmts rng st ~lv ~assignable ~depth:(depth - 1) ~n:nelse )
   | `Loop ->
     let v = Printf.sprintf "i%d" st.next_loop in
     st.next_loop <- st.next_loop + 1;
@@ -176,7 +178,7 @@ let rec gen_stmt rng st ~(lv : leaves) ~(locals : (string * ity) list)
     in
     Loop
       ( v, bound,
-        gen_stmts rng st ~lv:lv' ~locals ~depth:(depth - 1)
+        gen_stmts rng st ~lv:lv' ~assignable ~depth:(depth - 1)
           ~n:(1 + Prng.int rng 2) )
   | `Switch ->
     let nlabels = 2 + Prng.int rng 2 in
@@ -187,12 +189,12 @@ let rec gen_stmt rng st ~(lv : leaves) ~(locals : (string * ity) list)
       ( rexpr ~depth:2 (),
         List.map
           (fun k ->
-            (k, gen_stmts rng st ~lv ~locals ~depth:(depth - 1) ~n:1))
+            (k, gen_stmts rng st ~lv ~assignable ~depth:(depth - 1) ~n:1))
           labels,
-        gen_stmts rng st ~lv ~locals ~depth:(depth - 1) ~n:1 )
+        gen_stmts rng st ~lv ~assignable ~depth:(depth - 1) ~n:1 )
 
-and gen_stmts rng st ~lv ~locals ~depth ~n =
-  List.init n (fun _ -> gen_stmt rng st ~lv ~locals ~depth)
+and gen_stmts rng st ~lv ~assignable ~depth ~n =
+  List.init n (fun _ -> gen_stmt rng st ~lv ~assignable ~depth)
 
 (* ------------------------------------------------------------------ *)
 (* Whole programs                                                      *)
@@ -288,10 +290,13 @@ let generate ~(seed : int) : program =
   let locals = !locals in
   let local_tys = List.map (fun (n, t, _) -> (n, t)) locals in
   let st = { next_loop = 0 } in
+  (* The body may store to globals as well as locals: the rendering
+     snapshots the reference-predicted initial values before the body. *)
   let body =
     gen_stmts rng st
       ~lv:(base_lv local_tys)
-      ~locals:local_tys ~depth:2
+      ~assignable:(List.map (fun (n, t, _) -> (n, t)) globals @ local_tys)
+      ~depth:2
       ~n:(3 + Prng.int rng 6)
   in
   { seed; enums; globals; fields; arrays; rcs; locals; body }

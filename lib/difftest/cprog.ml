@@ -114,6 +114,8 @@ type expr =
 
 type stmt =
   | Assign of string * expr
+      (** target is a scalar local or a mutable global (never a loop
+          variable: those carry the bounds the index checks rely on) *)
   | AStore of string * idx * expr
   | FStore of string * expr
   | If of expr * stmt list * stmt list
@@ -392,6 +394,16 @@ let render (p : program) : string =
       Buffer.add_string b
         (Printf.sprintf "  %s %s = %s;\n" (c_name t) n (render_expr e)))
     p.locals;
+  (* Globals are mutable at runtime (the body may assign them), but the
+     reference evaluator predicts only their *initial* values — so those
+     are snapshot before the body runs, and the snapshots feed the
+     reference-checked print lines below.  The post-body values are
+     printed separately as [g_end] lines the configurations must merely
+     agree on among themselves. *)
+  List.iter
+    (fun (n, _, _) ->
+      Buffer.add_string b (Printf.sprintf "  long snap_%s = (long)%s;\n" n n))
+    p.globals;
   List.iter (render_stmt b 2) p.body;
   (* Print order: reference-predictable lines first (the expected
      prefix), then the runtime state dump the configurations must merely
@@ -401,9 +413,10 @@ let render (p : program) : string =
       (Printf.sprintf "  printf(\"%s=%%ld\\n\", (long)%s);\n" label what)
   in
   List.iter (fun (n, _) -> print_long n n) p.enums;
-  List.iter (fun (n, _, _) -> print_long n n) p.globals;
+  List.iter (fun (n, _, _) -> print_long n ("snap_" ^ n)) p.globals;
   List.iter (fun (n, _) -> print_long n n) p.rcs;
   List.iter (fun (n, _, _) -> print_long n n) p.locals;
+  List.iter (fun (n, _, _) -> print_long (n ^ "_end") n) p.globals;
   List.iter (fun (f, _, _) -> print_long ("s." ^ f) ("s." ^ f)) p.fields;
   List.iter
     (fun (a, _, len) ->
@@ -596,13 +609,16 @@ let well_formed (p : program) : bool =
       locals_so_far := (n, t) :: !locals_so_far)
     p.locals;
   (* Body: all locals in scope; loop bounds within limits; assignments
-     target scalar locals only (globals stay constant so their printed
-     values remain reference-predictable). *)
+     target scalar locals or globals, never loop variables (the index
+     checks rely on their bounds).  Global stores are sound because the
+     rendering snapshots the initial values before the body runs, so the
+     reference-predicted print lines are unaffected. *)
   let rec check_stmt loops s =
     let check_e = check_expr ~enums:all_enums ~mode:(`Runtime (local_ty, loops)) in
     match s with
     | Assign (n, e) ->
-      if not (List.mem_assoc n local_ty) then fail ();
+      if not (List.mem_assoc n local_ty || List.mem_assoc n global_ty) then
+        fail ();
       check_e e
     | AStore (a, ix, e) -> begin
       check_e e;

@@ -27,7 +27,9 @@ type verdict =
 
 type config = {
   cfg_name : string;
-  cfg_target : [ `Managed of [ `Plain | `FoldOnly | `SafeJit ] | `Native of Pipeline.level ];
+  cfg_target :
+    [ `Managed of [ `Plain | `Tiered | `FoldOnly | `SafeJit ]
+    | `Native of Pipeline.level ];
   cfg_fe_fold : bool;  (** front-end immediate folding ([Lower.fold_immediates]) *)
 }
 
@@ -39,6 +41,11 @@ type config = {
 let configs : config list =
   [
     { cfg_name = "sulong"; cfg_target = `Managed `Plain; cfg_fe_fold = true };
+    (* The real tier-2 engine, forced hot (threshold 0) so every
+       function runs closure-compiled: generated programs are far too
+       small to cross the production threshold, and the point is to
+       convict any divergence between interpreted and compiled code. *)
+    { cfg_name = "sulong/tiered"; cfg_target = `Managed `Tiered; cfg_fe_fold = true };
     { cfg_name = "sulong/nofefold"; cfg_target = `Managed `Plain; cfg_fe_fold = false };
     { cfg_name = "sulong/fold"; cfg_target = `Managed `FoldOnly; cfg_fe_fold = true };
     { cfg_name = "sulong/safe-jit"; cfg_target = `Managed `SafeJit; cfg_fe_fold = true };
@@ -74,7 +81,7 @@ let run_config (c : config) (src : string) : observation =
       | `Managed mode ->
         let m = Loader.load_program src in
         (match mode with
-        | `Plain -> ()
+        | `Plain | `Tiered -> ()
         | `FoldOnly ->
           let rounds = ref 0 in
           while !rounds < 8 && Fold.run m do
@@ -84,9 +91,14 @@ let run_config (c : config) (src : string) : observation =
         | `SafeJit ->
           ignore (Pipeline.safe_jit m);
           Verify.verify m);
+        let tier =
+          match mode with
+          | `Tiered -> Some (Tier.controller ~threshold:0 ())
+          | `Plain | `FoldOnly | `SafeJit -> None
+        in
         let st =
           Interp.create ~step_limit ~mementos:true ~detect_uninit:false
-            ~input:"" m
+            ~input:"" ?tier m
         in
         let r = Interp.run ~argv:[ "program" ] st in
         let key =

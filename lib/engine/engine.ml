@@ -41,11 +41,19 @@ type asan_options = {
 let default_asan =
   { strtok_interceptor = false; quarantine_cap = 1 lsl 18; fno_common = true }
 
-let run_sulong ~argv ~input ~step_limit ~mementos ~detect_uninit
+let run_sulong ~argv ~input ~step_limit ~mementos ~detect_uninit ~tier
     (src : string) : result =
   let m = Loader.load_program src in
   Pipeline.compile_sulong m;
-  let st = Interp.create ~step_limit ~mementos ~detect_uninit ~input m in
+  let st =
+    match tier with
+    | `Interp -> Interp.create ~step_limit ~mementos ~detect_uninit ~input m
+    | `Tiered ->
+      (* interpreter + profile-driven closure compiler with deopt; the
+         observable behavior is identical to [`Interp] by contract *)
+      Interp.create ~step_limit ~mementos ~detect_uninit ~input
+        ~tier:(Tier.controller ()) m
+  in
   let r = Interp.run ~argv st in
   let outcome =
     if r.Interp.timed_out then Outcome.Timeout
@@ -125,12 +133,15 @@ let run_valgrind ~level ~argv ~input ~step_limit (src : string) : result =
   let st = Nexec.create ~hooks ~step_limit ~input ~mem ~alloc m in
   wrap_native m (Nexec.run ~argv st) ~promote_crash:(Some "Memcheck")
 
-(** Run [src] under [tool]. *)
+(** Run [src] under [tool].  [tier] selects the Safe Sulong execution
+    configuration: the interpreter alone (default) or the real two-tier
+    engine (interpreter + closure compiler); other tools ignore it. *)
 let run ?(argv = [ "program" ]) ?(input = "") ?(step_limit = default_step_limit)
     ?(mementos = true) ?(detect_uninit = false) ?(asan_options = default_asan)
-    (tool : tool) (src : string) : result =
+    ?(tier = `Interp) (tool : tool) (src : string) : result =
   match tool with
-  | Safe_sulong -> run_sulong ~argv ~input ~step_limit ~mementos ~detect_uninit src
+  | Safe_sulong ->
+    run_sulong ~argv ~input ~step_limit ~mementos ~detect_uninit ~tier src
   | Clang level -> run_clang ~level ~argv ~input ~step_limit src
   | Asan level ->
     run_asan ~level ~options:asan_options ~argv ~input ~step_limit src

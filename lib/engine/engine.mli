@@ -41,7 +41,10 @@ val default_asan : asan_options
 
 (** Run [src] under [tool].  [detect_uninit] enables Safe Sulong's
     uninitialized-read detection; [mementos] toggles allocation-site
-    typing (an ablation). *)
+    typing (an ablation).  [tier] (Safe Sulong only, default [`Interp])
+    selects the execution configuration: the threaded interpreter alone,
+    or the real two-tier engine that closure-compiles hot functions and
+    deoptimizes on managed errors — observably identical, faster warm. *)
 val run :
   ?argv:string list ->
   ?input:string ->
@@ -49,6 +52,7 @@ val run :
   ?mementos:bool ->
   ?detect_uninit:bool ->
   ?asan_options:asan_options ->
+  ?tier:[ `Interp | `Tiered ] ->
   tool ->
   string ->
   result

@@ -1,0 +1,81 @@
+(** The unified tiered-engine interface.
+
+    Every way this repo can execute a managed program presents the same
+    contract: prepare a module, run [main], return the interpreter's
+    [run_result].  Three implementations:
+
+    - [Interp_only] — tier 1 alone: the pre-resolved threaded
+      interpreter ([Interp]).
+    - [Closure_tiered] — the real two-tier engine: the interpreter plus
+      the profile-driven closure compiler ([Jit.Tier] / [Jit.Closcomp]),
+      with deoptimization back to tier 1 on managed errors.  Observable
+      behavior is bit-identical to [Interp_only]; only wall-clock
+      differs.
+    - [Simulated] — the calibrated model layer ([Jit.Simulate] /
+      [Jit.Costmodel]): executes the safe-jit-optimized module in the
+      interpreter — the dynamic profile Graal-compiled code would
+      execute, which the cost model prices for Figs 15/16.  Outputs
+      match; step counts reflect the optimized module, not tier 1.
+
+    [Engine.run ~tier] routes the full tool driver (C front end,
+    pipeline, outcome classification) through the first two; this
+    module is the common substrate those configurations and the
+    simulation share. *)
+
+module type S = sig
+  val name : string
+  val describe : string
+
+  (** Which execution tiers the configuration really runs. *)
+  val tiers : [ `Interp | `Tiered | `Modeled ]
+
+  (** Execute an already-lowered module's [main]. *)
+  val run :
+    ?argv:string list ->
+    ?input:string ->
+    ?step_limit:int ->
+    Irmod.t ->
+    Interp.run_result
+end
+
+module Interp_only : S = struct
+  let name = "interp"
+  let describe = "tier-1 pre-resolved threaded interpreter only"
+  let tiers = `Interp
+
+  let run ?argv ?input ?step_limit m =
+    let st = Interp.create ?input ?step_limit m in
+    Interp.run ?argv st
+end
+
+module Closure_tiered : S = struct
+  let name = "tiered"
+
+  let describe =
+    "interpreter + profile-driven closure compiler with deoptimization"
+
+  let tiers = `Tiered
+
+  let run ?argv ?input ?step_limit m =
+    let st = Interp.create ?input ?step_limit ~tier:(Tier.controller ()) m in
+    Interp.run ?argv st
+end
+
+module Simulated : S = struct
+  let name = "simulated"
+
+  let describe =
+    "cost-model tier: interprets the safe-jit module Graal would compile"
+
+  let tiers = `Modeled
+
+  let run ?argv ?input ?step_limit m =
+    let m = Irmod.copy m in
+    ignore (Pipeline.safe_jit m);
+    Verify.verify m;
+    let st = Interp.create ?input ?step_limit m in
+    Interp.run ?argv st
+end
+
+let all : (module S) list =
+  [ (module Interp_only); (module Closure_tiered); (module Simulated) ]

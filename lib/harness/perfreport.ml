@@ -4,7 +4,7 @@
 (* ---------------- start-up ---------------- *)
 
 let startup_table () : Table.t =
-  let ms = Simulate.measure_bench Benchprogs.hello in
+  let ms = Measure.measure_bench Benchprogs.hello in
   let rows = Simulate.startup ms in
   let t =
     Table.create
@@ -23,7 +23,7 @@ let startup_table () : Table.t =
 (* ---------------- warm-up (Fig. 15) ---------------- *)
 
 let warmup_report ?(duration_s = 30) () : string =
-  let ms = Simulate.measure_bench Benchprogs.meteor in
+  let ms = Measure.measure_bench Benchprogs.meteor in
   let w = Simulate.warmup ~duration_s ms in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
@@ -66,10 +66,10 @@ let warmup_report ?(duration_s = 30) () : string =
 let peak_rows ?(seed = 7) () : Simulate.peak_row list * Simulate.peak_row =
   let rng = Prng.create seed in
   let rows =
-    List.map (fun b -> Simulate.peak ~rng (Simulate.measure_bench b))
+    List.map (fun b -> Simulate.peak ~rng (Measure.measure_bench b))
       Benchprogs.perf_suite
   in
-  let binarytrees = Simulate.peak ~rng (Simulate.measure_bench Benchprogs.binarytrees) in
+  let binarytrees = Simulate.peak ~rng (Measure.measure_bench Benchprogs.binarytrees) in
   (rows, binarytrees)
 
 let peak_table (rows : Simulate.peak_row list) (bt : Simulate.peak_row) : Table.t =

@@ -197,6 +197,45 @@ and pfunc = {
   pf_param_regs : int array;  (** parameter registers, in order *)
   pf_variadic : bool;
   pf_counters : counters;
+  mutable pf_tier : tier;     (** current execution tier of this function *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Tiered execution                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The interpreter is tier 1.  A state may carry a tier controller
+   ([tierctl], built by lib/jit): at every call it checks whether the
+   callee's accumulated operation counters crossed the hotness threshold
+   and, if so, swaps the function's entry to a compiled closure
+   ([compiled_body], produced by the closure compiler over the prepared
+   representation below).  The compiled body is observably equivalent to
+   the interpreter — same outputs, same [steps] accounting (hence the
+   same timeout point), same managed errors — except faster.  When a
+   managed error fires inside compiled code the function *deoptimizes*:
+   it is permanently dropped back to the interpreter and the error
+   propagates, so the deoptimizing provenance replay (which never tiers
+   up) reports the bug exactly as the marker-carrying interpreter
+   would. *)
+
+and tier =
+  | Tier_interp                     (** cold: threaded interpreter *)
+  | Tier_compiled of compiled_body  (** hot: closure-compiled (tier 2) *)
+  | Tier_deopt
+      (** a managed error fired in compiled code; the function stays in
+          the interpreter for the rest of the run *)
+
+(** A compiled function body: runs the function from its entry block in
+    an already-set-up frame (registers allocated, parameters copied). *)
+and compiled_body = state -> frame -> Mval.t option
+
+(** Tier controller: policy ([tc_hot], shared with the warm-up
+    simulation via [Jit.Hotness]) + mechanism ([tc_compile], the closure
+    compiler).  Kept abstract here so lib/interp does not depend on
+    lib/jit. *)
+and tierctl = {
+  tc_hot : counters -> bool;
+  tc_compile : state -> pfunc -> compiled_body;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -206,6 +245,11 @@ and pfunc = {
 and frame = {
   fr_func : pfunc;
   fr_regs : Mval.t array;
+  mutable fr_iregs : int array;
+      (** unboxed small-integer register file, used only by compiled
+          bodies (the closure compiler proves which registers always
+          hold <=32-bit integers and keeps them out of [fr_regs]);
+          [[||]] in interpreted frames *)
   fr_args : Mval.t array;          (** all incoming arguments *)
   fr_arg_scalars : Irtype.scalar array;
   fr_variadic : bool;
@@ -233,6 +277,7 @@ and state = {
   obs : bool;                   (** metrics enabled at create time *)
   opstats : opstats;
   seed : int;                   (** rng seed, kept for deterministic rerun *)
+  tier : tierctl option;        (** tier controller; [None]: interp only *)
   provenance : bool;
       (** true: [Ploc] markers stay in the prepared body and track the
           current source line eagerly (slower dispatch loop).  false
@@ -660,10 +705,21 @@ let lookup_builtin (name : string) :
             | Some om, Some fm -> Bytes.blit om 0 fm 0 n
             | _, Some _ -> Mobject.mark_initialized fresh ~off:0 ~size:n
             | _ -> ());
-            Hashtbl.iter
-              (fun off p ->
-                if off + 8 <= n then Hashtbl.replace fresh.Mobject.ptr_slots off p)
-              old.Mobject.ptr_slots
+            (match old.Mobject.ptr_slots with
+            | None -> ()
+            | Some old_slots ->
+              let fresh_slots =
+                match fresh.Mobject.ptr_slots with
+                | Some s -> s
+                | None ->
+                  let s = Hashtbl.create (Hashtbl.length old_slots) in
+                  fresh.Mobject.ptr_slots <- Some s;
+                  s
+              in
+              Hashtbl.iter
+                (fun off p ->
+                  if off + 8 <= n then Hashtbl.replace fresh_slots off p)
+                old_slots)
           | None -> Merror.raise_error Merror.Use_after_free ctx);
           Mheap.free st.heap p ctx;
           Some (Mval.Vptr (Mobject.Pobj { Mobject.obj = fresh; moff = 0 }))
@@ -875,6 +931,7 @@ let prepare_func (st : state) (f : Irfunc.t) : pfunc =
     pf_param_regs = Array.of_list (List.map fst f.Irfunc.params);
     pf_variadic = f.Irfunc.variadic;
     pf_counters = counters;
+    pf_tier = Tier_interp;
   }
 
 (** Resolve a callee name to its target: a user function shadows a
@@ -911,9 +968,10 @@ let link_module st =
 (* Execution                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* [profile.p_steps] is NOT bumped here: it always equals [st.steps]
+   and is synced once when [run] builds its result. *)
 let charge st (fr : frame) (cls : opclass) =
   st.steps <- st.steps + 1;
-  st.profile.p_steps <- st.profile.p_steps + 1;
   (match cls with
   | Cmem -> fr.fr_func.pf_counters.c_mem <- fr.fr_func.pf_counters.c_mem + 1
   | Cfp -> fr.fr_func.pf_counters.c_fp <- fr.fr_func.pf_counters.c_fp + 1
@@ -935,11 +993,22 @@ let rec call_function st (pf : pfunc) (args : Mval.t array)
             (List.map Mval.to_string (Array.to_list args))))
   | None -> ());
   pf.pf_counters.c_invocations <- pf.pf_counters.c_invocations + 1;
+  (* Tier-up check: a hot function swaps its entry to the compiled
+     closure at the next call (never mid-invocation). *)
+  (match st.tier with
+  | Some ctl -> begin
+    match pf.pf_tier with
+    | Tier_interp when ctl.tc_hot pf.pf_counters ->
+      pf.pf_tier <- Tier_compiled (ctl.tc_compile st pf)
+    | Tier_interp | Tier_compiled _ | Tier_deopt -> ()
+  end
+  | None -> ());
   let regs = Array.make pf.pf_nregs Mval.zero in
   let fr =
     {
       fr_func = pf;
       fr_regs = regs;
+      fr_iregs = [||];
       fr_args = args;
       fr_arg_scalars = arg_scalars;
       fr_variadic = pf.pf_variadic;
@@ -953,7 +1022,12 @@ let rec call_function st (pf : pfunc) (args : Mval.t array)
     regs.(pf.pf_param_regs.(i)) <- args.(i)
   done;
   st.frames <- fr :: st.frames;
-  let result = exec_block st fr pf.pf_blocks.(0) pf.pf_entry_copies in
+  let result =
+    match pf.pf_tier with
+    | Tier_compiled body -> exec_compiled st pf fr body
+    | Tier_interp | Tier_deopt ->
+      exec_block st fr pf.pf_blocks.(0) pf.pf_entry_copies
+  in
   (match st.trace with
   | Some buf ->
     Buffer.add_string buf
@@ -965,6 +1039,23 @@ let rec call_function st (pf : pfunc) (args : Mval.t array)
   st.frames <- List.tl st.frames;
   st.depth <- st.depth - 1;
   result
+
+(** Run a compiled body under the deopt contract: a managed error drops
+    the function back to tier 1 permanently ([Tier_deopt]) and
+    propagates, so error reporting — including the deoptimizing
+    provenance replay, which never tiers up — sees exactly the
+    interpreter's behavior.  [Exit_program], [Step_limit_exceeded] and
+    internal failures pass through untouched: they are not managed
+    errors and carry no source provenance. *)
+and exec_compiled st (pf : pfunc) (fr : frame) (body : compiled_body) :
+    Mval.t option =
+  try body st fr
+  with Merror.Error _ as e ->
+    pf.pf_tier <- Tier_deopt;
+    Metrics.incr (Metrics.counter "jit.deopts");
+    Trace.instant ~args:[ ("function", pf.pf_name); ("tier", "interp") ]
+      "jit-deopt";
+    raise e
 
 and exec_block st (fr : frame) (blk : pblock) (copies : phicopy) :
     Mval.t option =
@@ -1174,7 +1265,8 @@ let detail_of_category (cat : Merror.category) : string list =
 
 let create ?(step_limit = 500_000_000) ?(depth_limit = 4096)
     ?(mementos = true) ?(detect_uninit = false) ?(trace = false)
-    ?(input = "") ?(seed = 42) ?(provenance = false) (m : Irmod.t) : state =
+    ?(input = "") ?(seed = 42) ?tier ?(provenance = false) (m : Irmod.t) :
+    state =
   Mobject.reset ();
   Mobject.track_uninitialized := detect_uninit;
   let profile = fresh_profile () in
@@ -1198,6 +1290,7 @@ let create ?(step_limit = 500_000_000) ?(depth_limit = 4096)
       obs = !Metrics.enabled;
       opstats = fresh_opstats ();
       seed;
+      tier;
       provenance;
     }
   in
@@ -1288,6 +1381,9 @@ let flush_metrics st =
 
 let rec run ?(argv = [ "program" ]) (st : state) : run_result =
   let finish ?(code = 0) ?error ?report ~timed_out () =
+    (* [p_steps] mirrors [st.steps]; it is synced here once instead of
+       being double-written on every charge *)
+    st.profile.p_steps <- st.steps;
     flush_metrics st;
     let leaked = Mheap.leaked st.heap in
     {
@@ -1358,6 +1454,9 @@ and rerun_for_report (st : state) (argv : string list)
     ~finally:(fun () -> Metrics.enabled := saved)
     (fun () ->
       try
+        (* No [~tier]: the replay always runs in the marker-carrying
+           interpreter, so the report is the same whether the original
+           fault came from interpreted or compiled code. *)
         let st2 =
           create ~step_limit:st.step_limit ~depth_limit:st.depth_limit
             ~mementos:st.heap.Mheap.mementos_enabled

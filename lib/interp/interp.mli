@@ -1,16 +1,24 @@
 (** The LLVM-IR interpreter at the core of Safe Sulong (paper §3).
 
-    The public surface is intentionally small: build a state from a
-    linked module with [create] (which runs the prepare -> link
-    pre-resolution pass, see DESIGN.md), execute it with [run], and read
-    the execution profile.  The prepared-code representation is an
-    implementation detail and changes freely between versions. *)
+    Most clients only need the narrow surface at the bottom: build a
+    state from a linked module with [create] (which runs the prepare ->
+    link pre-resolution pass, see DESIGN.md), execute it with [run], and
+    read the execution profile.
+
+    The prepared-code representation and the execution helpers are also
+    exposed: they are the compilation unit of the tier-2 closure
+    compiler ([Jit.Closcomp]), which translates prepared functions into
+    nested OCaml closures and must match the interpreter's observable
+    behavior bit for bit (outputs, [steps] accounting, managed errors).
+    A [tierctl] plugged into [create ~tier] turns on profile-driven
+    tier-up with deoptimization (DESIGN.md §9). *)
 
 exception Exit_program of int
 exception Step_limit_exceeded
 
 (** Per-function dynamic operation counts, consumed by the JIT cost
-    model (lib/jit) to reproduce the paper's performance figures. *)
+    model (lib/jit) to reproduce the paper's performance figures and by
+    the tier controller's hotness policy. *)
 type counters = {
   mutable c_ops : int;        (** integer/other IR operations executed *)
   mutable c_fp : int;         (** floating-point operations *)
@@ -26,8 +34,206 @@ type profile = {
   mutable p_steps : int;
 }
 
-(** An execution state: prepared code, globals, heap, profile. *)
-type state
+(** Cost class charged to the profile for one executed operation. *)
+type opclass = Cop | Cfp | Cmem
+
+(** Per-opcode dispatch counts and inline-cache statistics, collected
+    only when metrics were enabled at [create] time. *)
+type opstats = {
+  mutable os_alloca : int;
+  mutable os_load : int;
+  mutable os_store : int;
+  mutable os_gep : int;
+  mutable os_binop : int;
+  mutable os_icmp : int;
+  mutable os_fcmp : int;
+  mutable os_cast : int;
+  mutable os_select : int;
+  mutable os_sancheck : int;
+  mutable os_call : int;
+  mutable os_term : int;
+  mutable os_phi_copy : int;
+  mutable os_ic_hit : int;
+  mutable os_ic_miss : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Prepared code (see interp.ml for the full commentary)               *)
+(* ------------------------------------------------------------------ *)
+
+type pval =
+  | Preg of int             (** read a register of the current frame *)
+  | Pimm of Mval.t          (** pre-boxed constant *)
+  | Pfail of string         (** unresolved reference; raises on use *)
+
+type pgep = { pg_static : int; pg_dyn : (pval * int) array }
+
+type phicopy =
+  | Pc_none
+  | Pc_copy of int array * pval array  (** destination regs, sources *)
+  | Pc_missing
+
+type pedge =
+  | Edge of int * phicopy        (** target block index + phi copies *)
+  | Edge_unknown of string
+
+type pswitch =
+  | Sw_linear of int64 array * pedge array
+  | Sw_table of (int64, pedge) Hashtbl.t
+
+type pterm =
+  | Pret of pval option
+  | Pbr of pedge
+  | Pcondbr of pval * pedge * pedge
+  | Pswitch of pval * pswitch * pedge
+  | Punreachable
+
+type pinstr =
+  | Palloca of int * Irtype.mty * int
+  | Pload of int * Irtype.scalar * pval
+  | Pstore of Irtype.scalar * pval * pval
+  | Pgep of int * pval * pgep
+  | Pbinop of int * Instr.binop * Irtype.scalar * pval * pval * opclass
+  | Picmp of int * Instr.icmp * Irtype.scalar * pval * pval
+  | Pfcmp of int * Instr.fcmp * pval * pval
+  | Pcast of int * Instr.cast * Irtype.scalar * Irtype.scalar * pval
+  | Pselect of int * pval * pval * pval
+  | Psancheck
+  | Pcall of int * pcallee * pval array * Irtype.scalar array
+  | Ploc of int * int
+
+and pcallee =
+  | Pdirect of call_target ref
+  | Pindirect of pval * icache
+
+and call_target =
+  | Tgt_user of pfunc
+  | Tgt_builtin of (state -> Mval.t array -> Mval.t option)
+  | Tgt_unknown of string
+
+and icache = { mutable ic_name : string; mutable ic_target : call_target }
+
+and pblock = {
+  pb_label : string;
+  pb_instrs : pinstr array;
+  pb_term : pterm;
+}
+
+and pfunc = {
+  pf_ir : Irfunc.t;
+  pf_name : string;
+  pf_context : string;
+  pf_blocks : pblock array;
+  pf_entry_copies : phicopy;
+  pf_nregs : int;
+  pf_nparams : int;
+  pf_param_regs : int array;
+  pf_variadic : bool;
+  pf_counters : counters;
+  mutable pf_tier : tier;
+}
+
+(** Current execution tier of a function.  [Tier_deopt]: a managed error
+    fired in compiled code; the function stays interpreted for the rest
+    of the run. *)
+and tier =
+  | Tier_interp
+  | Tier_compiled of compiled_body
+  | Tier_deopt
+
+(** A compiled function body: runs the function from its entry block in
+    an already-set-up frame (registers allocated, parameters copied).
+    It must charge [steps] exactly like the interpreter so the timeout
+    point — observable behavior — is identical across tiers. *)
+and compiled_body = state -> frame -> Mval.t option
+
+(** Tier controller: hotness policy + compiler, built by [Jit.Tier]. *)
+and tierctl = {
+  tc_hot : counters -> bool;
+  tc_compile : state -> pfunc -> compiled_body;
+}
+
+and frame = {
+  fr_func : pfunc;
+  fr_regs : Mval.t array;
+  mutable fr_iregs : int array;
+      (** unboxed small-integer register file for compiled bodies;
+          [[||]] in interpreted frames *)
+  fr_args : Mval.t array;
+  fr_arg_scalars : Irtype.scalar array;
+  fr_variadic : bool;
+  fr_nparams : int;
+  mutable fr_line : int;
+  mutable fr_col : int;
+}
+
+and state = {
+  m : Irmod.t;
+  funcs : (string, pfunc) Hashtbl.t;
+  globals : (string, Mobject.t) Hashtbl.t;
+  heap : Mheap.t;
+  out : Buffer.t;
+  mutable input : string;
+  mutable input_pos : int;
+  mutable steps : int;
+  step_limit : int;
+  mutable depth : int;
+  depth_limit : int;
+  profile : profile;
+  mutable frames : frame list;
+  rng : Prng.t;
+  trace : Buffer.t option;
+  obs : bool;
+  opstats : opstats;
+  seed : int;
+  tier : tierctl option;
+  provenance : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Execution helpers (shared with the tier-2 closure compiler)         *)
+(* ------------------------------------------------------------------ *)
+
+(** "in function <name>" of the innermost frame. *)
+val context : state -> string
+
+(** Evaluate a prepared operand against a frame. *)
+val pv : frame -> pval -> Mval.t
+
+(** Account one executed operation of class [cls] against the step
+    budget and the frame's function counters; raises
+    [Step_limit_exceeded] past the limit. *)
+val charge : state -> frame -> opclass -> unit
+
+val exec_binop :
+  state -> Instr.binop -> Irtype.scalar -> Mval.t -> Mval.t -> Mval.t
+
+val exec_icmp : Instr.icmp -> Irtype.scalar -> Mval.t -> Mval.t -> Mval.t
+val exec_fcmp : Instr.fcmp -> Mval.t -> Mval.t -> Mval.t
+val exec_cast :
+  Instr.cast -> Irtype.scalar -> Irtype.scalar -> Mval.t -> Mval.t
+
+val exec_load : state -> Irtype.scalar -> Mval.t -> Mval.t
+val exec_store : state -> Irtype.scalar -> Mval.t -> Mval.t -> unit
+val exec_gep : state -> frame -> Mval.t -> pgep -> Mval.t
+
+(** Call a prepared function: depth check, tier-up check, frame setup,
+    body execution in the function's current tier (with the deopt
+    contract for compiled bodies), frame teardown. *)
+val call_function :
+  state -> pfunc -> Mval.t array -> Irtype.scalar array -> Mval.t option
+
+(** Dispatch a resolved call target (user function / builtin). *)
+val exec_target :
+  state -> call_target -> Mval.t array -> Irtype.scalar array -> Mval.t option
+
+(** Resolve a callee name: user function shadows builtin; unknown names
+    fail only when called.  Used on indirect-call inline-cache misses. *)
+val resolve_callee : state -> string -> call_target
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
 
 type run_result = {
   exit_code : int;
@@ -57,15 +263,21 @@ val create :
   ?trace:bool ->
   ?input:string ->
   ?seed:int ->
+  ?tier:tierctl ->
   ?provenance:bool ->
   Irmod.t ->
   state
 
-(** [provenance] (default false) keeps source-location markers in the
+(** [tier] (default none) plugs in the tier controller: hot functions
+    are swapped to their closure-compiled body at the next call and
+    deoptimize back to the interpreter on any managed error.
+
+    [provenance] (default false) keeps source-location markers in the
     prepared code so the current line is tracked eagerly.  The default
     strips them from the dispatch loop; when a managed error fires, the
-    program is re-executed once with eager tracking to recover the
-    faulting source location (deterministic deoptimizing replay). *)
+    program is re-executed once with eager tracking — and never a tier
+    controller — to recover the faulting source location (deterministic
+    deoptimizing replay). *)
 
 (** Execute [main].  The state is single-shot: create a fresh one per
     run. *)

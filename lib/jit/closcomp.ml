@@ -1,0 +1,1232 @@
+(** Tier-2 closure compiler (DESIGN.md §9).
+
+    Translates a prepared function ([Interp.pfunc], the output of the
+    prepare -> link pipeline) into nested OCaml closures: one closure
+    per basic block held in a cell array (so branches are direct
+    threaded — a cell dereference plus an OCaml tail call), one closure
+    per instruction chained through its continuation, phi parallel
+    copies compiled onto the edges, and every compile-time-known
+    decision hoisted out of the run-time path: opcode dispatch, operand
+    shapes (register vs pre-boxed immediate), scalar-width
+    normalization, the memento-observation predicate, the function's
+    error-context string, and resolved direct-call targets.
+
+    On top of that, compiled code keeps provably-small integers
+    *unboxed*: a register whose every writer is a <=32-bit integer
+    producer (a narrow load, binop, compare, or int cast — and, through
+    a fixpoint, phi/select moves of such registers) lives in a flat
+    [int] side array ([frame.fr_iregs]) instead of [fr_regs].  Those
+    registers never allocate a [Mval.Vint] box and never pay the OCaml
+    write barrier, and narrow loads/stores hit an inlined fast path on
+    the managed object's bytes (identical checks, in the identical
+    order) instead of calling through [Mobject].  This is sound because
+    a frame's register file is invisible outside the function's own
+    code: calls receive re-boxed arguments, returns re-box the result,
+    and after a managed error the provenance replay re-executes from
+    scratch in the interpreter, never reading the dead frame.
+
+    The contract is *observable bit-equivalence* with the interpreter:
+    identical program output, identical managed errors at the same
+    operation, and identical [steps] accounting — every operation still
+    charges the step budget individually, so a step-limit timeout fires
+    at exactly the same point in either tier.  What compiled code is
+    allowed to drop is pure interpreter overhead: dispatch matches,
+    per-op metrics branches when metrics are off, value boxing that no
+    observer can distinguish, and dead compare registers (the
+    icmp+condbr fusion below, applied only when the compare register
+    has no other reader). *)
+
+open Interp
+
+type cont = state -> frame -> Mval.t option
+
+(* Pre-boxed booleans: compare results are immutable, so sharing one box
+   is indistinguishable from the interpreter's fresh [Vint]s. *)
+let vtrue = Mval.Vint 1L
+let vfalse = Mval.Vint 0L
+
+(* ------------------------------------------------------------------ *)
+(* Compile-time specialization helpers                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Width normalization with the identity widths resolved at compile
+    time ([Irtype.normalize_int] is the identity on I64/Ptr). *)
+let normalizer (s : Irtype.scalar) : int64 -> int64 =
+  match s with
+  | Irtype.I64 | Irtype.Ptr -> fun v -> v
+  | s -> Irtype.normalize_int s
+
+(** [Interp.deref] with the error-context string captured at compile
+    time instead of recovered from the frame stack per access. *)
+let deref_c (ctx : string) (pm : Mval.t) : Mobject.addr =
+  match Mval.as_ptr ctx pm with
+  | Mobject.Pobj a -> a
+  | Mobject.Pnull -> Merror.raise_error Merror.Null_deref ctx
+  | Mobject.Pfunc name ->
+    Merror.raise_error
+      (Merror.Type_violation ("dereference of function pointer &" ^ name))
+      ctx
+  | Mobject.Pinvalid c ->
+    Merror.raise_error
+      (Merror.Type_violation
+         (Printf.sprintf "dereference of forged pointer 0x%Lx" c))
+      ctx
+
+(* ------------- boxed (int64) operator specialization ------------- *)
+
+(** One fully resolved integer/float binop, dispatched once at compile
+    time (the interpreter re-matches the opcode per execution).  The
+    semantics — including the division-by-zero check, unsigned
+    reinterpretation and result normalization — mirror
+    [Interp.exec_binop] exactly. *)
+let binop_fn (ctx : string) (op : Instr.binop) (s : Irtype.scalar) :
+    Mval.t -> Mval.t -> Mval.t =
+  let norm = normalizer s in
+  match op with
+  | Instr.FAdd -> fun a b -> Mval.Vfloat (Mval.as_float a +. Mval.as_float b)
+  | Instr.FSub -> fun a b -> Mval.Vfloat (Mval.as_float a -. Mval.as_float b)
+  | Instr.FMul -> fun a b -> Mval.Vfloat (Mval.as_float a *. Mval.as_float b)
+  | Instr.FDiv -> fun a b -> Mval.Vfloat (Mval.as_float a /. Mval.as_float b)
+  | Instr.Add ->
+    fun a b -> Mval.Vint (norm (Int64.add (Mval.as_int a) (Mval.as_int b)))
+  | Instr.Sub ->
+    fun a b -> Mval.Vint (norm (Int64.sub (Mval.as_int a) (Mval.as_int b)))
+  | Instr.Mul ->
+    fun a b -> Mval.Vint (norm (Int64.mul (Mval.as_int a) (Mval.as_int b)))
+  | Instr.Sdiv ->
+    fun a b ->
+      let x = Mval.as_int a and y = Mval.as_int b in
+      if Int64.equal y 0L then Merror.raise_error Merror.Division_by_zero ctx;
+      Mval.Vint (norm (Int64.div x y))
+  | Instr.Udiv ->
+    let u = Irtype.unsigned_of s in
+    fun a b ->
+      let x = Mval.as_int a and y = Mval.as_int b in
+      if Int64.equal y 0L then Merror.raise_error Merror.Division_by_zero ctx;
+      Mval.Vint (norm (Int64.unsigned_div (u x) (u y)))
+  | Instr.Srem ->
+    fun a b ->
+      let x = Mval.as_int a and y = Mval.as_int b in
+      if Int64.equal y 0L then Merror.raise_error Merror.Division_by_zero ctx;
+      Mval.Vint (norm (Int64.rem x y))
+  | Instr.Urem ->
+    let u = Irtype.unsigned_of s in
+    fun a b ->
+      let x = Mval.as_int a and y = Mval.as_int b in
+      if Int64.equal y 0L then Merror.raise_error Merror.Division_by_zero ctx;
+      Mval.Vint (norm (Int64.unsigned_rem (u x) (u y)))
+  | Instr.Shl ->
+    fun a b ->
+      Mval.Vint
+        (norm
+           (Int64.shift_left (Mval.as_int a)
+              (Int64.to_int (Mval.as_int b) land 63)))
+  | Instr.Lshr ->
+    let u = Irtype.unsigned_of s in
+    fun a b ->
+      Mval.Vint
+        (norm
+           (Int64.shift_right_logical
+              (u (Mval.as_int a))
+              (Int64.to_int (Mval.as_int b) land 63)))
+  | Instr.Ashr ->
+    fun a b ->
+      Mval.Vint
+        (norm
+           (Int64.shift_right (Mval.as_int a)
+              (Int64.to_int (Mval.as_int b) land 63)))
+  | Instr.And ->
+    fun a b -> Mval.Vint (norm (Int64.logand (Mval.as_int a) (Mval.as_int b)))
+  | Instr.Or ->
+    fun a b -> Mval.Vint (norm (Int64.logor (Mval.as_int a) (Mval.as_int b)))
+  | Instr.Xor ->
+    fun a b -> Mval.Vint (norm (Int64.logxor (Mval.as_int a) (Mval.as_int b)))
+
+(** Integer comparison as a raw [bool], opcode resolved at compile time.
+    [Int64.equal]/[Int64.compare] agree with the interpreter's
+    polymorphic comparisons on int64 but skip the generic entry. *)
+let icmp_fn (op : Instr.icmp) (s : Irtype.scalar) : int64 -> int64 -> bool =
+  match op with
+  | Instr.Ieq -> fun x y -> Int64.equal x y
+  | Instr.Ine -> fun x y -> not (Int64.equal x y)
+  | Instr.Islt -> fun x y -> Int64.compare x y < 0
+  | Instr.Isle -> fun x y -> Int64.compare x y <= 0
+  | Instr.Isgt -> fun x y -> Int64.compare x y > 0
+  | Instr.Isge -> fun x y -> Int64.compare x y >= 0
+  | Instr.Iult ->
+    let u = Irtype.unsigned_of s in
+    fun x y -> Int64.unsigned_compare (u x) (u y) < 0
+  | Instr.Iule ->
+    let u = Irtype.unsigned_of s in
+    fun x y -> Int64.unsigned_compare (u x) (u y) <= 0
+  | Instr.Iugt ->
+    let u = Irtype.unsigned_of s in
+    fun x y -> Int64.unsigned_compare (u x) (u y) > 0
+  | Instr.Iuge ->
+    let u = Irtype.unsigned_of s in
+    fun x y -> Int64.unsigned_compare (u x) (u y) >= 0
+
+(* ------------- unboxed (native int) operator specialization ------- *)
+
+(** Scalars whose normalized values always fit an OCaml native [int]
+    (63 bits) with room to spare: the unboxed register file holds
+    exactly the int64 the interpreter's [Vint] would hold. *)
+let small = function
+  | Irtype.I1 | Irtype.I8 | Irtype.I16 | Irtype.I32 -> true
+  | Irtype.I64 | Irtype.Ptr | Irtype.F32 | Irtype.F64 -> false
+
+let ibits = function
+  | Irtype.I1 -> 1
+  | Irtype.I8 -> 8
+  | Irtype.I16 -> 16
+  | Irtype.I32 -> 32
+  | _ -> invalid_arg "Closcomp.ibits: not a small scalar"
+
+let imask s = (1 lsl ibits s) - 1
+
+(** [Irtype.normalize_int] on native ints: sign-extend from the low
+    [ibits s] bits (I1 normalizes to 0/1, not a sign bit). *)
+let inorm (s : Irtype.scalar) : int -> int =
+  if s = Irtype.I1 then fun v -> v land 1
+  else
+    let sh = 63 - ibits s in
+    fun v -> (v lsl sh) asr sh
+
+(** [Interp.exec_binop] on native ints, valid for small scalars: on
+    normalized <=32-bit inputs every intermediate fits 63 bits (a
+    product only needs its low 32 bits, which wrap identically mod 2^63
+    and mod 2^64), so the normalized result is bit-identical to the
+    interpreter's int64 computation. *)
+let ibinop_fn (ctx : string) (op : Instr.binop) (s : Irtype.scalar) :
+    int -> int -> int =
+  let norm = inorm s in
+  let mask = imask s in
+  match op with
+  | Instr.Add -> fun x y -> norm (x + y)
+  | Instr.Sub -> fun x y -> norm (x - y)
+  | Instr.Mul -> fun x y -> norm (x * y)
+  | Instr.Sdiv ->
+    fun x y ->
+      if y = 0 then Merror.raise_error Merror.Division_by_zero ctx;
+      norm (x / y)
+  | Instr.Udiv ->
+    fun x y ->
+      if y = 0 then Merror.raise_error Merror.Division_by_zero ctx;
+      norm ((x land mask) / (y land mask))
+  | Instr.Srem ->
+    fun x y ->
+      if y = 0 then Merror.raise_error Merror.Division_by_zero ctx;
+      norm (x mod y)
+  | Instr.Urem ->
+    fun x y ->
+      if y = 0 then Merror.raise_error Merror.Division_by_zero ctx;
+      norm ((x land mask) mod (y land mask))
+  | Instr.Shl -> fun x y -> norm (x lsl (y land 63))
+  | Instr.Lshr -> fun x y -> norm ((x land mask) lsr (y land 63))
+  | Instr.Ashr -> fun x y -> norm (x asr (y land 63))
+  | Instr.And -> fun x y -> norm (x land y)
+  | Instr.Or -> fun x y -> norm (x lor y)
+  | Instr.Xor -> fun x y -> norm (x lxor y)
+  | Instr.FAdd | Instr.FSub | Instr.FMul | Instr.FDiv ->
+    invalid_arg "Closcomp.ibinop_fn: float op"
+
+(** [Interp.exec_icmp] on native ints, valid for small scalars. *)
+let iicmp_fn (op : Instr.icmp) (s : Irtype.scalar) : int -> int -> bool =
+  let mask = imask s in
+  match op with
+  | Instr.Ieq -> fun x y -> x = y
+  | Instr.Ine -> fun x y -> x <> y
+  | Instr.Islt -> fun x y -> x < y
+  | Instr.Isle -> fun x y -> x <= y
+  | Instr.Isgt -> fun x y -> x > y
+  | Instr.Isge -> fun x y -> x >= y
+  | Instr.Iult -> fun x y -> x land mask < y land mask
+  | Instr.Iule -> fun x y -> x land mask <= y land mask
+  | Instr.Iugt -> fun x y -> x land mask > y land mask
+  | Instr.Iuge -> fun x y -> x land mask >= y land mask
+
+(* ------------------------------------------------------------------ *)
+(* Register classification                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** How many prepared operands read register [r] anywhere in the
+    function (instruction operands, terminators, phi-copy sources,
+    dynamic GEP indices).  Used to prove a compare register dead for the
+    icmp+condbr fusion. *)
+let reg_use_counts (pf : pfunc) : int array =
+  let uses = Array.make pf.pf_nregs 0 in
+  let pv = function
+    | Preg r -> uses.(r) <- uses.(r) + 1
+    | Pimm _ | Pfail _ -> ()
+  in
+  let copies = function
+    | Pc_copy (_, srcs) -> Array.iter pv srcs
+    | Pc_none | Pc_missing -> ()
+  in
+  let edge = function Edge (_, c) -> copies c | Edge_unknown _ -> () in
+  let term = function
+    | Pret (Some v) -> pv v
+    | Pret None | Punreachable -> ()
+    | Pbr e -> edge e
+    | Pcondbr (c, a, b) ->
+      pv c;
+      edge a;
+      edge b
+    | Pswitch (v, impl, d) ->
+      pv v;
+      edge d;
+      (match impl with
+      | Sw_linear (_, es) -> Array.iter edge es
+      | Sw_table tbl -> Hashtbl.iter (fun _ e -> edge e) tbl)
+  in
+  let instr = function
+    | Palloca _ | Psancheck | Ploc _ -> ()
+    | Pload (_, _, p) -> pv p
+    | Pstore (_, v, p) ->
+      pv v;
+      pv p
+    | Pgep (_, b, g) ->
+      pv b;
+      Array.iter (fun (v, _) -> pv v) g.pg_dyn
+    | Pbinop (_, _, _, a, b, _) ->
+      pv a;
+      pv b
+    | Picmp (_, _, _, a, b) ->
+      pv a;
+      pv b
+    | Pfcmp (_, _, a, b) ->
+      pv a;
+      pv b
+    | Pcast (_, _, _, _, v) -> pv v
+    | Pselect (_, c, a, b) ->
+      pv c;
+      pv a;
+      pv b
+    | Pcall (_, callee, args, _) ->
+      (match callee with Pindirect (v, _) -> pv v | Pdirect _ -> ());
+      Array.iter pv args
+  in
+  Array.iter
+    (fun blk ->
+      Array.iter instr blk.pb_instrs;
+      term blk.pb_term)
+    pf.pf_blocks;
+  copies pf.pf_entry_copies;
+  uses
+
+(* A register's writer, for the unboxed-int classification. *)
+type writer =
+  | Wyes  (** produces a normalized <=32-bit integer *)
+  | Wno  (** produces anything else (pointer, float, wide int, call) *)
+  | Wdep of int  (** moves another register's value (phi copy, select) *)
+
+(** Which registers can live in the unboxed int file: every writer —
+    instruction results, phi-edge copies, the implicit parameter setup —
+    must produce a normalized <=32-bit integer, transitively through
+    register moves (fixpoint: a move of a demoted register demotes). *)
+let small_int_regs (pf : pfunc) : bool array =
+  let n = pf.pf_nregs in
+  let writers : writer list array = Array.make n [] in
+  let add r w = if r >= 0 && r < n then writers.(r) <- w :: writers.(r) in
+  let fits_imm = function
+    (* the value survives an int round trip, so re-boxing is exact *)
+    | Mval.Vint v -> Int64.equal (Int64.of_int (Int64.to_int v)) v
+    | Mval.Vfloat _ | Mval.Vptr _ -> false
+  in
+  let src_kind = function
+    | Preg r -> Wdep r
+    | Pimm v -> if fits_imm v then Wyes else Wno
+    | Pfail _ -> Wno
+  in
+  (* parameters arrive pre-boxed from the caller *)
+  Array.iter (fun r -> add r Wno) pf.pf_param_regs;
+  let copies = function
+    | Pc_copy (dests, srcs) ->
+      Array.iteri (fun i d -> add d (src_kind srcs.(i))) dests
+    | Pc_none | Pc_missing -> ()
+  in
+  let edge = function Edge (_, c) -> copies c | Edge_unknown _ -> () in
+  let term = function
+    | Pret _ | Punreachable -> ()
+    | Pbr e -> edge e
+    | Pcondbr (_, a, b) ->
+      edge a;
+      edge b
+    | Pswitch (_, impl, d) ->
+      edge d;
+      (match impl with
+      | Sw_linear (_, es) -> Array.iter edge es
+      | Sw_table tbl -> Hashtbl.iter (fun _ e -> edge e) tbl)
+  in
+  let instr = function
+    | Palloca (r, _, _) -> add r Wno
+    | Pload (r, s, _) -> add r (if small s then Wyes else Wno)
+    | Pstore _ | Psancheck | Ploc _ -> ()
+    | Pgep (r, _, _) -> add r Wno
+    | Pbinop (r, _, s, _, _, cls) ->
+      add r (if cls <> Cfp && small s then Wyes else Wno)
+    | Picmp (r, _, _, _, _) -> add r Wyes
+    | Pfcmp (r, _, _, _) -> add r Wno
+    | Pcast (r, (Instr.Trunc | Instr.Sext | Instr.Zext), _, into, _) ->
+      add r (if small into then Wyes else Wno)
+    | Pcast (r, _, _, _, _) -> add r Wno
+    | Pselect (r, _, a, b) ->
+      add r (src_kind a);
+      add r (src_kind b)
+    | Pcall (r, _, _, _) -> add r Wno
+  in
+  Array.iter
+    (fun blk ->
+      Array.iter instr blk.pb_instrs;
+      term blk.pb_term)
+    pf.pf_blocks;
+  copies pf.pf_entry_copies;
+  let unboxed =
+    Array.map
+      (fun ws -> ws <> [] && not (List.exists (fun w -> w = Wno) ws))
+      writers
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for r = 0 to n - 1 do
+      if
+        unboxed.(r)
+        && List.exists
+             (function Wdep d -> not unboxed.(d) | Wyes | Wno -> false)
+             writers.(r)
+      then begin
+        unboxed.(r) <- false;
+        changed := true
+      end
+    done
+  done;
+  unboxed
+
+(* ------------------------------------------------------------------ *)
+(* The compiler                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let compile (st0 : state) (pf : pfunc) : compiled_body =
+  let obs = st0.obs in
+  let os = st0.opstats in
+  let ctrs = pf.pf_counters in
+  let limit = st0.step_limit in
+  let heap = st0.heap in
+  let ctx = pf.pf_context in
+  (* Per-class step charges: same writes, same raise point as
+     [Interp.charge], with the profile/counter records captured at
+     compile time (a compiled body only ever runs in the state that
+     compiled it). *)
+  let charge_op (st : state) =
+    st.steps <- st.steps + 1;
+    ctrs.c_ops <- ctrs.c_ops + 1;
+    if st.steps > limit then raise Step_limit_exceeded
+  in
+  let charge_fp (st : state) =
+    st.steps <- st.steps + 1;
+    ctrs.c_fp <- ctrs.c_fp + 1;
+    if st.steps > limit then raise Step_limit_exceeded
+  in
+  let charge_mem (st : state) =
+    st.steps <- st.steps + 1;
+    ctrs.c_mem <- ctrs.c_mem + 1;
+    if st.steps > limit then raise Step_limit_exceeded
+  in
+  (* Opstat bumps ride on the charge only when metrics were on at create
+     time, so the metrics-off hot path carries no per-op branch at all. *)
+  let stat bump ch = if obs then fun st -> ch st; bump () else ch in
+  let ch_alloca = stat (fun () -> os.os_alloca <- os.os_alloca + 1) charge_op in
+  let ch_load = stat (fun () -> os.os_load <- os.os_load + 1) charge_mem in
+  let ch_store = stat (fun () -> os.os_store <- os.os_store + 1) charge_mem in
+  let ch_gep = stat (fun () -> os.os_gep <- os.os_gep + 1) charge_op in
+  let ch_binop cls =
+    let ch = match cls with Cfp -> charge_fp | Cop | Cmem -> charge_op in
+    stat (fun () -> os.os_binop <- os.os_binop + 1) ch
+  in
+  let ch_icmp = stat (fun () -> os.os_icmp <- os.os_icmp + 1) charge_op in
+  let ch_fcmp = stat (fun () -> os.os_fcmp <- os.os_fcmp + 1) charge_fp in
+  let ch_cast = stat (fun () -> os.os_cast <- os.os_cast + 1) charge_op in
+  let ch_select = stat (fun () -> os.os_select <- os.os_select + 1) charge_op in
+  let ch_sancheck =
+    stat (fun () -> os.os_sancheck <- os.os_sancheck + 1) charge_op
+  in
+  let ch_call = stat (fun () -> os.os_call <- os.os_call + 1) charge_op in
+  let ch_term = stat (fun () -> os.os_term <- os.os_term + 1) charge_op in
+  let ch_phi = stat (fun () -> os.os_phi_copy <- os.os_phi_copy + 1) charge_op in
+
+  let nblocks = Array.length pf.pf_blocks in
+  let unset : cont = fun _ _ -> failwith "closcomp: block not compiled" in
+  let cells = Array.init nblocks (fun _ -> ref unset) in
+  let uses = reg_use_counts pf in
+  let unboxed = small_int_regs pf in
+
+  (* --- class-aware operand access --- *)
+
+  (* Boxed view of any operand; unboxed registers re-box on read (their
+     int holds exactly the int64 the interpreter's [Vint] would). *)
+  let getter (v : pval) : frame -> Mval.t =
+    match v with
+    | Preg r when unboxed.(r) ->
+      fun fr -> Mval.Vint (Int64.of_int (Array.unsafe_get fr.fr_iregs r))
+    | Preg r -> fun fr -> Array.unsafe_get fr.fr_regs r
+    | Pimm v -> fun _ -> v
+    | Pfail msg -> fun _ -> failwith msg
+  in
+  (* Native-int view, for operands of small-scalar operations.  The
+     [Int64.to_int] truncation of a boxed operand is exact for every
+     well-typed small operand (normalized <=32-bit values), and for any
+     other int64 every consumer below re-masks/re-normalizes to <=32
+     bits, which only depends on the low bits [to_int] preserves. *)
+  let iget (v : pval) : frame -> int =
+    match v with
+    | Preg r when unboxed.(r) -> fun fr -> Array.unsafe_get fr.fr_iregs r
+    | Preg r ->
+      fun fr -> Int64.to_int (Mval.as_int (Array.unsafe_get fr.fr_regs r))
+    | Pimm (Mval.Vint v) ->
+      let c = Int64.to_int v in
+      fun _ -> c
+    | Pimm v -> fun _ -> Int64.to_int (Mval.as_int v)
+    | Pfail msg -> fun _ -> failwith msg
+  in
+  (* Result writers for int-producing operations. *)
+  let iset (r : int) : frame -> int -> unit =
+    if unboxed.(r) then fun fr v -> Array.unsafe_set fr.fr_iregs r v
+    else fun fr v -> Array.unsafe_set fr.fr_regs r (Mval.Vint (Int64.of_int v))
+  in
+
+  (* --- edges: phi parallel copy, then a direct-threaded jump --- *)
+  let compile_jump (copies : phicopy) (jump : cont ref) : cont =
+    match copies with
+    | Pc_none -> fun st fr -> !jump st fr
+    | Pc_missing ->
+      fun _ _ -> failwith "interp: phi has no incoming edge for predecessor"
+    | Pc_copy (dests, srcs) ->
+      let n = Array.length dests in
+      if n = 1 then begin
+        let d = dests.(0) in
+        if unboxed.(d) then begin
+          let ig = iget srcs.(0) in
+          fun st fr ->
+            ch_phi st;
+            Array.unsafe_set fr.fr_iregs d (ig fr);
+            !jump st fr
+        end
+        else
+          match srcs.(0) with
+          | Preg rs when not unboxed.(rs) ->
+            fun st fr ->
+              ch_phi st;
+              fr.fr_regs.(d) <- fr.fr_regs.(rs);
+              !jump st fr
+          | src ->
+            let g = getter src in
+            fun st fr ->
+              ch_phi st;
+              fr.fr_regs.(d) <- g fr;
+              !jump st fr
+      end
+      else begin
+        (* parallel copy with a mixed register file: unboxed slots move
+           through an int scratch array, boxed slots through an Mval
+           one; all sources are read before any write, as in the
+           interpreter *)
+        let kinds = Array.map (fun d -> unboxed.(d)) dests in
+        let igs =
+          Array.mapi (fun i s -> if kinds.(i) then iget s else fun _ -> 0) srcs
+        in
+        let gs =
+          Array.mapi
+            (fun i s -> if kinds.(i) then (fun _ -> Mval.zero) else getter s)
+            srcs
+        in
+        fun st fr ->
+          let tmpi = Array.make n 0 in
+          let tmpv = Array.make n Mval.zero in
+          for i = 0 to n - 1 do
+            charge_op st;
+            if kinds.(i) then tmpi.(i) <- igs.(i) fr
+            else tmpv.(i) <- gs.(i) fr
+          done;
+          for i = 0 to n - 1 do
+            if kinds.(i) then Array.unsafe_set fr.fr_iregs dests.(i) tmpi.(i)
+            else fr.fr_regs.(dests.(i)) <- tmpv.(i)
+          done;
+          if obs then os.os_phi_copy <- os.os_phi_copy + n;
+          !jump st fr
+      end
+  in
+  let compile_edge (e : pedge) : cont =
+    match e with
+    | Edge (idx, copies) -> compile_jump copies cells.(idx)
+    | Edge_unknown l -> fun _ _ -> failwith ("interp: jump to unknown block " ^ l)
+  in
+  (* A copy-free edge is just its target cell: branch closures inline the
+     [!cell] dereference instead of hopping through a wrapper closure. *)
+  let edge_plain (e : pedge) : cont ref option =
+    match e with Edge (idx, Pc_none) -> Some cells.(idx) | _ -> None
+  in
+
+  (* --- terminators --- *)
+  let compile_term (t : pterm) : cont =
+    match t with
+    | Pret (Some (Preg r)) when unboxed.(r) ->
+      fun st fr ->
+        ch_term st;
+        Some (Mval.Vint (Int64.of_int (Array.unsafe_get fr.fr_iregs r)))
+    | Pret (Some (Preg r)) ->
+      fun st fr ->
+        ch_term st;
+        Some fr.fr_regs.(r)
+    | Pret (Some v) ->
+      let g = getter v in
+      fun st fr ->
+        ch_term st;
+        Some (g fr)
+    | Pret None ->
+      fun st _fr ->
+        ch_term st;
+        None
+    | Pbr e -> begin
+      match edge_plain e with
+      | Some cell ->
+        fun st fr ->
+          ch_term st;
+          !cell st fr
+      | None ->
+        let k = compile_edge e in
+        fun st fr ->
+          ch_term st;
+          k st fr
+    end
+    | Pcondbr (c, a, b) -> begin
+      match (c, edge_plain a, edge_plain b) with
+      | Preg rc, Some ca, Some cb when unboxed.(rc) ->
+        fun st fr ->
+          ch_term st;
+          if Array.unsafe_get fr.fr_iregs rc = 0 then !cb st fr else !ca st fr
+      | Preg rc, Some ca, Some cb ->
+        fun st fr ->
+          ch_term st;
+          if Int64.equal (Mval.as_int fr.fr_regs.(rc)) 0L then !cb st fr
+          else !ca st fr
+      | c, _, _ ->
+        let ka = compile_edge a and kb = compile_edge b in
+        (match c with
+        | Preg rc when unboxed.(rc) ->
+          fun st fr ->
+            ch_term st;
+            if Array.unsafe_get fr.fr_iregs rc = 0 then kb st fr else ka st fr
+        | Preg rc ->
+          fun st fr ->
+            ch_term st;
+            if Int64.equal (Mval.as_int fr.fr_regs.(rc)) 0L then kb st fr
+            else ka st fr
+        | c ->
+          let g = getter c in
+          fun st fr ->
+            ch_term st;
+            if Int64.equal (Mval.as_int (g fr)) 0L then kb st fr else ka st fr)
+    end
+    | Pswitch (v, impl, default) ->
+      let gv = getter v in
+      let kd = compile_edge default in
+      (match impl with
+      | Sw_linear (keys, edges) ->
+        let ks = Array.map compile_edge edges in
+        let nk = Array.length keys in
+        fun st fr ->
+          ch_term st;
+          let x = Mval.as_int (gv fr) in
+          let rec find i =
+            if i >= nk then kd
+            else if Int64.equal keys.(i) x then ks.(i)
+            else find (i + 1)
+          in
+          (find 0) st fr
+      | Sw_table tbl ->
+        let ctbl = Hashtbl.create (2 * Hashtbl.length tbl) in
+        Hashtbl.iter (fun k e -> Hashtbl.replace ctbl k (compile_edge e)) tbl;
+        fun st fr ->
+          ch_term st;
+          let x = Mval.as_int (gv fr) in
+          (match Hashtbl.find_opt ctbl x with Some k -> k | None -> kd) st fr)
+    | Punreachable ->
+      fun st _fr ->
+        ch_term st;
+        Merror.raise_error
+          (Merror.Type_violation "reached an unreachable instruction")
+          ctx
+  in
+
+  (* --- narrow memory access fast paths ---
+
+     The inlined path performs the interpreter's checks on the managed
+     object in the interpreter's order — dereference, memento
+     observation, liveness, bounds, the uninitialized-read map — and
+     bails to the real [Mobject] accessors the moment any of them would
+     take an interesting branch, so every error is raised by the exact
+     same code with the exact same message. *)
+  let iload_fast (s : Irtype.scalar) : Bytes.t -> int -> int =
+    match s with
+    | Irtype.I1 -> fun b off -> Char.code (Bytes.get b off) land 1
+    | Irtype.I8 -> fun b off -> (Char.code (Bytes.get b off) lsl 55) asr 55
+    | Irtype.I16 -> fun b off -> (Bytes.get_uint16_le b off lsl 47) asr 47
+    | Irtype.I32 -> fun b off -> Int32.to_int (Bytes.get_int32_le b off)
+    | _ -> invalid_arg "Closcomp.iload_fast: not a small scalar"
+  in
+  let istore_fast (s : Irtype.scalar) : Bytes.t -> int -> int -> unit =
+    match s with
+    | Irtype.I1 | Irtype.I8 ->
+      fun b off v -> Bytes.set b off (Char.chr (v land 0xFF))
+    | Irtype.I16 -> fun b off v -> Bytes.set_uint16_le b off (v land 0xFFFF)
+    | Irtype.I32 -> fun b off v -> Bytes.set_int32_le b off (Int32.of_int v)
+    | _ -> invalid_arg "Closcomp.istore_fast: not a small scalar"
+  in
+
+  (* --- instructions, chained through their continuation --- *)
+  let compile_instr (i : pinstr) (next : cont) : cont =
+    match i with
+    | Palloca (r, mty, size) ->
+      fun st fr ->
+        ch_alloca st;
+        let obj = Mobject.alloc ~storage:Merror.Stack ~mty size in
+        fr.fr_regs.(r) <- Mval.Vptr (Mobject.Pobj { Mobject.obj; moff = 0 });
+        next st fr
+    | Pload (r, s, p) when small s ->
+      let size = Irtype.scalar_size s in
+      let fast = iload_fast s in
+      let norm = inorm s in
+      let observe = s <> Irtype.I8 in
+      (* the hottest operation in alloca-based code (every read of a
+         local): for the dominant register-pointer/unboxed-result shape
+         everything is inlined — the register reads, the object-pointer
+         match, the byte access and the result write *)
+      (match p with
+      | Preg rp when (not unboxed.(rp)) && unboxed.(r) ->
+        fun st fr ->
+          ch_load st;
+          let a =
+            match Array.unsafe_get fr.fr_regs rp with
+            | Mval.Vptr (Mobject.Pobj a) -> a
+            | pm -> deref_c ctx pm
+          in
+          let obj = a.Mobject.obj in
+          if observe then (
+            match obj.Mobject.storage with
+            | Merror.Heap -> Mheap.observe heap obj s
+            | _ -> ());
+          let off = a.Mobject.moff in
+          let v =
+            match (obj.Mobject.data, obj.Mobject.init_map) with
+            | Some b, None when off >= 0 && off + size <= obj.Mobject.byte_size
+              ->
+              fast b off
+            | _ -> norm (Int64.to_int (Mobject.load_int a ~size ctx))
+          in
+          Array.unsafe_set fr.fr_iregs r v;
+          next st fr
+      | p ->
+        let g = getter p in
+        let set = iset r in
+        fun st fr ->
+          ch_load st;
+          let a =
+            match g fr with
+            | Mval.Vptr (Mobject.Pobj a) -> a
+            | pm -> deref_c ctx pm
+          in
+          let obj = a.Mobject.obj in
+          if observe then (
+            match obj.Mobject.storage with
+            | Merror.Heap -> Mheap.observe heap obj s
+            | _ -> ());
+          let off = a.Mobject.moff in
+          let v =
+            match (obj.Mobject.data, obj.Mobject.init_map) with
+            | Some b, None when off >= 0 && off + size <= obj.Mobject.byte_size
+              ->
+              fast b off
+            | _ -> norm (Int64.to_int (Mobject.load_int a ~size ctx))
+          in
+          set fr v;
+          next st fr)
+    | Pload (r, s, p) ->
+      let size = Irtype.scalar_size s in
+      let load : Mobject.addr -> Mval.t =
+        match s with
+        | Irtype.Ptr -> fun a -> Mval.Vptr (Mobject.load_ptr a ctx)
+        | Irtype.F32 | Irtype.F64 ->
+          fun a -> Mval.Vfloat (Mobject.load_float a ~size ctx)
+        | _ ->
+          (* I64: bounds+liveness inline, [Mobject] on any slow branch *)
+          fun a ->
+            let obj = a.Mobject.obj in
+            let off = a.Mobject.moff in
+            (match (obj.Mobject.data, obj.Mobject.init_map) with
+            | Some b, None when off >= 0 && off + 8 <= obj.Mobject.byte_size
+              ->
+              Mval.Vint (Bytes.get_int64_le b off)
+            | _ -> Mval.Vint (Mobject.load_int a ~size:8 ctx))
+      in
+      (* allocation-memento observation applies to non-i8 heap accesses
+         only; the predicate on the scalar is compile-time *)
+      (match p with
+      | Preg rp when not unboxed.(rp) ->
+        fun st fr ->
+          ch_load st;
+          let a =
+            match Array.unsafe_get fr.fr_regs rp with
+            | Mval.Vptr (Mobject.Pobj a) -> a
+            | pm -> deref_c ctx pm
+          in
+          (match a.Mobject.obj.Mobject.storage with
+          | Merror.Heap -> Mheap.observe heap a.Mobject.obj s
+          | _ -> ());
+          fr.fr_regs.(r) <- load a;
+          next st fr
+      | p ->
+        let g = getter p in
+        fun st fr ->
+          ch_load st;
+          let a =
+            match g fr with
+            | Mval.Vptr (Mobject.Pobj a) -> a
+            | pm -> deref_c ctx pm
+          in
+          (match a.Mobject.obj.Mobject.storage with
+          | Merror.Heap -> Mheap.observe heap a.Mobject.obj s
+          | _ -> ());
+          fr.fr_regs.(r) <- load a;
+          next st fr)
+    | Pstore (s, v, p) when small s ->
+      let gv = iget v in
+      let size = Irtype.scalar_size s in
+      let fast = istore_fast s in
+      let observe = s <> Irtype.I8 in
+      (* operand order matches the interpreter — pointer, then value —
+         and a plain register read cannot raise, so inlining the pointer
+         read keeps every raise point in place *)
+      (match p with
+      | Preg rp when not unboxed.(rp) ->
+        fun st fr ->
+          ch_store st;
+          let pm = Array.unsafe_get fr.fr_regs rp in
+          let vv = gv fr in
+          let a =
+            match pm with
+            | Mval.Vptr (Mobject.Pobj a) -> a
+            | pm -> deref_c ctx pm
+          in
+          let obj = a.Mobject.obj in
+          if observe then (
+            match obj.Mobject.storage with
+            | Merror.Heap -> Mheap.observe heap obj s
+            | _ -> ());
+          let off = a.Mobject.moff in
+          (match (obj.Mobject.data, obj.Mobject.init_map) with
+          | Some b, None
+            when off >= 0
+                 && off + size <= obj.Mobject.byte_size
+                 && obj.Mobject.ptr_slots = None ->
+            fast b off vv
+          | _ -> Mobject.store_int a ~size (Int64.of_int vv) ctx);
+          next st fr
+      | p ->
+        let gp = getter p in
+        fun st fr ->
+          ch_store st;
+          let pp = gp fr in
+          let vv = gv fr in
+          let a =
+            match pp with
+            | Mval.Vptr (Mobject.Pobj a) -> a
+            | pm -> deref_c ctx pm
+          in
+          let obj = a.Mobject.obj in
+          if observe then (
+            match obj.Mobject.storage with
+            | Merror.Heap -> Mheap.observe heap obj s
+            | _ -> ());
+          let off = a.Mobject.moff in
+          (match (obj.Mobject.data, obj.Mobject.init_map) with
+          | Some b, None
+            when off >= 0
+                 && off + size <= obj.Mobject.byte_size
+                 && obj.Mobject.ptr_slots = None ->
+            fast b off vv
+          | _ -> Mobject.store_int a ~size (Int64.of_int vv) ctx);
+          next st fr)
+    | Pstore (s, v, p) ->
+      let gv = getter v and gp = getter p in
+      let size = Irtype.scalar_size s in
+      let store : Mobject.addr -> Mval.t -> unit =
+        match s with
+        | Irtype.Ptr -> fun a x -> Mobject.store_ptr a (Mval.as_ptr ctx x) ctx
+        | Irtype.F32 | Irtype.F64 ->
+          fun a x -> Mobject.store_float a ~size (Mval.as_float x) ctx
+        | _ -> fun a x -> Mobject.store_int a ~size (Mval.as_int x) ctx
+      in
+      fun st fr ->
+        ch_store st;
+        let pp = gp fr in
+        let vv = gv fr in
+        let a =
+          match pp with
+          | Mval.Vptr (Mobject.Pobj a) -> a
+          | pm -> deref_c ctx pm
+        in
+        (match a.Mobject.obj.Mobject.storage with
+        | Merror.Heap -> Mheap.observe heap a.Mobject.obj s
+        | _ -> ());
+        store a vv;
+        next st fr
+    | Pgep (r, base, g) ->
+      let gb = getter base in
+      let apply delta (pm : Mval.t) : Mval.t =
+        match Mval.as_ptr ctx pm with
+        | Mobject.Pnull -> Mval.Vptr Mobject.Pnull
+        | Mobject.Pobj a ->
+          Mval.Vptr
+            (Mobject.Pobj { a with Mobject.moff = a.Mobject.moff + delta })
+        | Mobject.Pfunc _ as p ->
+          Mval.Vptr
+            (Mobject.Pinvalid
+               (Int64.add (Mobject.ptr_to_int p) (Int64.of_int delta)))
+        | Mobject.Pinvalid c ->
+          Mval.Vptr (Mobject.Pinvalid (Int64.add c (Int64.of_int delta)))
+      in
+      let static = g.pg_static in
+      (match g.pg_dyn with
+      | [||] ->
+        fun st fr ->
+          ch_gep st;
+          fr.fr_regs.(r) <- apply static (gb fr);
+          next st fr
+      | [| (iv, stride) |] ->
+        let gi = iget iv in
+        fun st fr ->
+          ch_gep st;
+          let b = gb fr in
+          let d = static + (gi fr * stride) in
+          fr.fr_regs.(r) <- apply d b;
+          next st fr
+      | dyn ->
+        let gis = Array.map (fun (v, stride) -> (iget v, stride)) dyn in
+        fun st fr ->
+          ch_gep st;
+          let b = gb fr in
+          let d = ref static in
+          for i = 0 to Array.length gis - 1 do
+            let gi, stride = gis.(i) in
+            d := !d + (gi fr * stride)
+          done;
+          fr.fr_regs.(r) <- apply !d b;
+          next st fr)
+    | Pbinop (r, op, s, a, b, cls) when cls <> Cfp && small s ->
+      let f = ibinop_fn ctx op s in
+      let ch = ch_binop cls in
+      (match (a, b) with
+      | Preg ra, Preg rb when unboxed.(ra) && unboxed.(rb) && unboxed.(r) ->
+        fun st fr ->
+          ch st;
+          let ir = fr.fr_iregs in
+          Array.unsafe_set ir r
+            (f (Array.unsafe_get ir ra) (Array.unsafe_get ir rb));
+          next st fr
+      | a, b ->
+        let ga = iget a and gb = iget b in
+        let set = iset r in
+        fun st fr ->
+          ch st;
+          (* right-to-left like the interpreter's application order *)
+          let y = gb fr in
+          set fr (f (ga fr) y);
+          next st fr)
+    | Pbinop (r, op, s, a, b, cls) ->
+      let f = binop_fn ctx op s in
+      let ch = ch_binop cls in
+      let ga = getter a and gb = getter b in
+      fun st fr ->
+        ch st;
+        let y = gb fr in
+        fr.fr_regs.(r) <- f (ga fr) y;
+        next st fr
+    | Picmp (r, op, s, a, b) when small s ->
+      let cmp = iicmp_fn op s in
+      (match (a, b) with
+      | Preg ra, Preg rb when unboxed.(ra) && unboxed.(rb) && unboxed.(r) ->
+        fun st fr ->
+          ch_icmp st;
+          let ir = fr.fr_iregs in
+          Array.unsafe_set ir r
+            (if cmp (Array.unsafe_get ir ra) (Array.unsafe_get ir rb) then 1
+             else 0);
+          next st fr
+      | a, b ->
+        let ga = iget a and gb = iget b in
+        if unboxed.(r) then
+          fun st fr ->
+            ch_icmp st;
+            let y = gb fr in
+            Array.unsafe_set fr.fr_iregs r (if cmp (ga fr) y then 1 else 0);
+            next st fr
+        else
+          fun st fr ->
+            ch_icmp st;
+            let y = gb fr in
+            fr.fr_regs.(r) <- (if cmp (ga fr) y then vtrue else vfalse);
+            next st fr)
+    | Picmp (r, op, s, a, b) ->
+      let cmp = icmp_fn op s in
+      let ga = getter a and gb = getter b in
+      let set = iset r in
+      fun st fr ->
+        ch_icmp st;
+        let y = Mval.as_int (gb fr) in
+        set fr (if cmp (Mval.as_int (ga fr)) y then 1 else 0)
+        |> fun () -> next st fr
+    | Pfcmp (r, op, a, b) ->
+      let ga = getter a and gb = getter b in
+      fun st fr ->
+        ch_fcmp st;
+        let y = gb fr in
+        fr.fr_regs.(r) <- exec_fcmp op (ga fr) y;
+        next st fr
+    | Pcast (r, op, from, into, v) ->
+      (match op with
+      | (Instr.Trunc | Instr.Sext | Instr.Zext) when small into ->
+        let ig = iget v in
+        let set = iset r in
+        let n = inorm into in
+        let conv =
+          match op with
+          | Instr.Zext when small from ->
+            let mf = imask from in
+            fun x -> n (x land mf)
+          | _ -> n
+        in
+        fun st fr ->
+          ch_cast st;
+          set fr (conv (ig fr));
+          next st fr
+      | Instr.Sext ->
+        (* into I64/Ptr: the operand's normalized value IS the result *)
+        let g = getter v in
+        fun st fr ->
+          ch_cast st;
+          fr.fr_regs.(r) <- Mval.Vint (Mval.as_int (g fr));
+          next st fr
+      | Instr.Trunc ->
+        let n = normalizer into in
+        let g = getter v in
+        fun st fr ->
+          ch_cast st;
+          fr.fr_regs.(r) <- Mval.Vint (n (Mval.as_int (g fr)));
+          next st fr
+      | Instr.Zext ->
+        let u = Irtype.unsigned_of from in
+        let n = normalizer into in
+        let g = getter v in
+        fun st fr ->
+          ch_cast st;
+          fr.fr_regs.(r) <- Mval.Vint (n (u (Mval.as_int (g fr))));
+          next st fr
+      | op ->
+        let g = getter v in
+        fun st fr ->
+          ch_cast st;
+          fr.fr_regs.(r) <- exec_cast op from into (g fr);
+          next st fr)
+    | Pselect (r, c, a, b) when unboxed.(r) ->
+      let gc = iget c and ga = iget a and gb = iget b in
+      fun st fr ->
+        ch_select st;
+        Array.unsafe_set fr.fr_iregs r (if gc fr = 0 then gb fr else ga fr);
+        next st fr
+    | Pselect (r, c, a, b) ->
+      let gc = getter c and ga = getter a and gb = getter b in
+      fun st fr ->
+        ch_select st;
+        fr.fr_regs.(r) <-
+          (if Int64.equal (Mval.as_int (gc fr)) 0L then gb fr else ga fr);
+        next st fr
+    | Psancheck ->
+      fun st fr ->
+        ch_sancheck st;
+        next st fr
+    | Ploc (line, col) ->
+      (* provenance marker: free, exactly like the interpreter *)
+      fun st fr ->
+        fr.fr_line <- line;
+        fr.fr_col <- col;
+        next st fr
+    | Pcall (r, callee, pargs, scalars) ->
+      let na = Array.length pargs in
+      let gs = Array.map getter pargs in
+      let eval_args fr =
+        let argv = Array.make na Mval.zero in
+        for k = 0 to na - 1 do
+          argv.(k) <- gs.(k) fr
+        done;
+        argv
+      in
+      let finish : frame -> Mval.t option -> unit =
+        if r < 0 then fun _ _ -> ()
+        else fun fr res ->
+          fr.fr_regs.(r) <- (match res with Some v -> v | None -> Mval.zero)
+      in
+      (match callee with
+      | Pdirect tgt -> begin
+        (* the link pass ran before execution began: [!tgt] is stable,
+           so the target resolves at compile time *)
+        match !tgt with
+        | Tgt_user callee_pf ->
+          fun st fr ->
+            ch_call st;
+            ctrs.c_calls <- ctrs.c_calls + 1;
+            finish fr (call_function st callee_pf (eval_args fr) scalars);
+            next st fr
+        | Tgt_builtin fn ->
+          fun st fr ->
+            ch_call st;
+            ctrs.c_calls <- ctrs.c_calls + 1;
+            finish fr (fn st (eval_args fr));
+            next st fr
+        | Tgt_unknown name ->
+          fun st fr ->
+            ch_call st;
+            ctrs.c_calls <- ctrs.c_calls + 1;
+            ignore (eval_args fr);
+            failwith ("interp: unknown builtin " ^ name)
+      end
+      | Pindirect (v, ic) ->
+        let gv = getter v in
+        fun st fr ->
+          ch_call st;
+          ctrs.c_calls <- ctrs.c_calls + 1;
+          let argv = eval_args fr in
+          (match Mval.as_ptr ctx (gv fr) with
+          | Mobject.Pfunc name ->
+            let tgt =
+              if name == ic.ic_name || String.equal name ic.ic_name then begin
+                if obs then os.os_ic_hit <- os.os_ic_hit + 1;
+                ic.ic_target
+              end
+              else begin
+                if obs then os.os_ic_miss <- os.os_ic_miss + 1;
+                let t = resolve_callee st name in
+                ic.ic_name <- name;
+                ic.ic_target <- t;
+                t
+              end
+            in
+            finish fr (exec_target st tgt argv scalars)
+          | Mobject.Pnull -> Merror.raise_error Merror.Null_deref ctx
+          | Mobject.Pobj _ | Mobject.Pinvalid _ ->
+            Merror.raise_error
+              (Merror.Type_violation "indirect call through a data pointer")
+              ctx);
+          next st fr)
+  in
+
+  (* --- blocks: fold the instruction chain onto the terminator, fusing
+     a trailing icmp into its condbr when the compare register is dead
+     otherwise (its only read is the branch itself) --- *)
+  let compile_block (blk : pblock) : cont =
+    let n = Array.length blk.pb_instrs in
+    let fused =
+      if n = 0 then None
+      else
+        match (blk.pb_instrs.(n - 1), blk.pb_term) with
+        | Picmp (r, op, s, a, b), Pcondbr (Preg rc, ta, tb)
+          when rc = r && uses.(r) = 1 && small s ->
+          let cmp = iicmp_fn op s in
+          (* two charges, exactly like the unfused icmp + terminator *)
+          (match (a, b, edge_plain ta, edge_plain tb) with
+          | Preg ra, Preg rb, Some ca, Some cb
+            when unboxed.(ra) && unboxed.(rb) ->
+            (* the whole loop-control idiom in one closure: native
+               compare of two unboxed registers, direct cell jump *)
+            Some
+              (fun st fr ->
+                ch_icmp st;
+                let ir = fr.fr_iregs in
+                let taken =
+                  cmp (Array.unsafe_get ir ra) (Array.unsafe_get ir rb)
+                in
+                ch_term st;
+                if taken then !ca st fr else !cb st fr)
+          | a, b, Some ca, Some cb ->
+            let ga = iget a and gb = iget b in
+            Some
+              (fun st fr ->
+                ch_icmp st;
+                let y = gb fr in
+                let taken = cmp (ga fr) y in
+                ch_term st;
+                if taken then !ca st fr else !cb st fr)
+          | a, b, _, _ ->
+            let ka = compile_edge ta and kb = compile_edge tb in
+            (match (a, b) with
+            | Preg ra, Preg rb when unboxed.(ra) && unboxed.(rb) ->
+              Some
+                (fun st fr ->
+                  ch_icmp st;
+                  let ir = fr.fr_iregs in
+                  let taken =
+                    cmp (Array.unsafe_get ir ra) (Array.unsafe_get ir rb)
+                  in
+                  ch_term st;
+                  if taken then ka st fr else kb st fr)
+            | a, b ->
+              let ga = iget a and gb = iget b in
+              Some
+                (fun st fr ->
+                  ch_icmp st;
+                  let y = gb fr in
+                  let taken = cmp (ga fr) y in
+                  ch_term st;
+                  if taken then ka st fr else kb st fr)))
+        | Picmp (r, op, s, a, b), Pcondbr (Preg rc, ta, tb)
+          when rc = r && uses.(r) = 1 ->
+          let cmp = icmp_fn op s in
+          let ka = compile_edge ta and kb = compile_edge tb in
+          let ga = getter a and gb = getter b in
+          Some
+            (fun st fr ->
+              ch_icmp st;
+              let y = Mval.as_int (gb fr) in
+              let taken = cmp (Mval.as_int (ga fr)) y in
+              ch_term st;
+              if taken then ka st fr else kb st fr)
+        | _ -> None
+    in
+    let seed, upto =
+      match fused with
+      | Some k -> (k, n - 2)
+      | None -> (compile_term blk.pb_term, n - 1)
+    in
+    let rec build i acc =
+      if i < 0 then acc else build (i - 1) (compile_instr blk.pb_instrs.(i) acc)
+    in
+    build upto seed
+  in
+
+  for j = 0 to nblocks - 1 do
+    cells.(j) := compile_block pf.pf_blocks.(j)
+  done;
+  if nblocks = 0 then fun _st _fr ->
+    (* same failure as the interpreter touching [pf_blocks.(0)] *)
+    ignore pf.pf_blocks.(0);
+    assert false
+  else begin
+    let entry = compile_jump pf.pf_entry_copies cells.(0) in
+    let ni = pf.pf_nregs in
+    if Array.exists Fun.id unboxed then
+      (* the unboxed register file, one flat int array per invocation *)
+      fun st fr ->
+        fr.fr_iregs <- Array.make ni 0;
+        entry st fr
+    else entry
+  end

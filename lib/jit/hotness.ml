@@ -1,0 +1,27 @@
+(** Hotness accounting shared by the real tier controller
+    ([Tier.controller]) and the simulated one ([Simulate.warmup]).
+    Both consult the same per-function dynamic-operation total against
+    the same [Costmodel.hot_threshold_ops] threshold, so the simulated
+    and real tier-up points cannot drift. *)
+
+(** Dynamic operations a function has executed, as counted by the
+    interpreter's per-function profile: arithmetic + floating-point +
+    memory accesses (calls excluded, matching [Costmodel]'s pricing). *)
+let total_ops (c : Interp.counters) =
+  c.Interp.c_ops + c.Interp.c_fp + c.Interp.c_mem
+
+let is_hot ?(threshold = Costmodel.hot_threshold_ops) (c : Interp.counters) =
+  total_ops c >= threshold
+
+(** Accumulator for the warm-up simulation, which replays per-iteration
+    op counts instead of reading live interpreter counters. *)
+type acc = (string, int) Hashtbl.t
+
+let acc_create () : acc = Hashtbl.create 16
+
+(** Add [ops] freshly executed operations of function [f]. *)
+let record (a : acc) f ops =
+  Hashtbl.replace a f (ops + Option.value (Hashtbl.find_opt a f) ~default:0)
+
+let hot ?(threshold = Costmodel.hot_threshold_ops) (a : acc) f =
+  Option.value (Hashtbl.find_opt a f) ~default:0 >= threshold

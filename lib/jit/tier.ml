@@ -1,0 +1,27 @@
+(** Profile-driven tier controller: glue between the interpreter's
+    [Interp.tierctl] hook, the shared hotness policy ([Hotness], the
+    same accounting the warm-up simulation uses) and the closure
+    compiler ([Closcomp]).  Records *real* tier-up events in the
+    observability layer — a [jit.compiles] counter tick and a
+    "jit-compile" trace span per compiled function — alongside the
+    simulated ones emitted by [Simulate.warmup]. *)
+
+(** A controller for [Interp.create ~tier].  Functions whose accumulated
+    dynamic operations reach [threshold] (default
+    [Costmodel.hot_threshold_ops], the paper's warm-up threshold) are
+    swapped to their closure-compiled body at the next call.  A
+    [threshold] of 0 compiles every function on first call — useful for
+    tier-equivalence testing and short-running benchmark programs. *)
+let controller ?(threshold = Costmodel.hot_threshold_ops) () : Interp.tierctl =
+  {
+    Interp.tc_hot = (fun c -> Hotness.is_hot ~threshold c);
+    tc_compile =
+      (fun st pf ->
+        Trace.span
+          ~args:[ ("function", pf.Interp.pf_name); ("tier", "compiled") ]
+          "jit-compile"
+          (fun () ->
+            let body = Closcomp.compile st pf in
+            Metrics.incr (Metrics.counter "jit.compiles");
+            body));
+  }

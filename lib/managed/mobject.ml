@@ -37,7 +37,9 @@ and t = {
   byte_size : int;
   mty : Irtype.mty;  (** declared or observed type; used in messages *)
   mutable data : Bytes.t option;  (** [None] once freed *)
-  ptr_slots : (int, ptr) Hashtbl.t;
+  mutable ptr_slots : (int, ptr) Hashtbl.t option;
+      (** allocated on the first pointer store; [None] means no slot was
+          ever written (the overwhelmingly common case for scalars) *)
   mutable site : int;  (** allocation site, for allocation mementos *)
   mutable init_map : Bytes.t option;
       (** per-byte written? bitmap; allocated only when uninitialized-read
@@ -55,14 +57,42 @@ let track_uninitialized = ref false
    ptrtoint/inttoptr round-trips work (tagged-pointer relaxation).      *)
 (* ------------------------------------------------------------------ *)
 
-let registry : (int, t) Hashtbl.t = Hashtbl.create 256
+(* Ids are handed out sequentially, so the registry is a flat array
+   indexed by id (a hashtable here made every alloca pay a hashed
+   insert into an ever-growing table — the single most expensive part
+   of allocation).
+
+   Registration is *lazy*: an object enters the registry the first time
+   its cookie is materialized as an integer (an explicit ptrtoint cast,
+   or a pointer store writing the cookie into a byte image), which is
+   exactly the set of objects an integer->pointer conversion can ever
+   legitimately name — see the relaxed type rules in the header comment.
+   Everything else stays out, so the registry never pins short-lived
+   stack objects: they die with their frame in the minor heap instead of
+   being promoted and retained for the rest of the run.  A registered
+   object is never unregistered: an int->ptr round trip of a freed
+   object must still find it, so the later dereference reports a
+   use-after-free, not a forged pointer. *)
+let registry : t option array ref = ref (Array.make 1024 None)
 let next_id = ref 1
 
-let register obj = Hashtbl.replace registry obj.id obj
+let register obj =
+  let arr = !registry in
+  let n = Array.length arr in
+  if obj.id >= n then begin
+    let bigger = Array.make (max (2 * n) (obj.id + 1)) None in
+    Array.blit arr 0 bigger 0 n;
+    registry := bigger
+  end;
+  !registry.(obj.id) <- Some obj
+
+let registered obj =
+  let arr = !registry in
+  obj.id < Array.length arr && Array.unsafe_get arr obj.id <> None
 
 (** Reset the object registry (between engine runs). *)
 let reset () =
-  Hashtbl.reset registry;
+  registry := Array.make 1024 None;
   next_id := 1
 
 let fresh_id () =
@@ -70,7 +100,11 @@ let fresh_id () =
   incr next_id;
   id
 
-let cookie_of_addr a = Int64.logor (Int64.shift_left (Int64.of_int a.obj.id) 32)
+let cookie_of_addr a =
+  (* the cookie escapes to integer-land: the object must be findable by
+     [int_to_ptr] from now on *)
+  if not (registered a.obj) then register a.obj;
+  Int64.logor (Int64.shift_left (Int64.of_int a.obj.id) 32)
     (Int64.of_int (a.moff land 0xFFFFFFFF))
 
 let func_cookie_tag = 0x4000_0000_0000_0000L
@@ -101,9 +135,12 @@ let int_to_ptr (v : int64) : ptr =
   else begin
     let id = Int64.to_int (Int64.shift_right_logical v 32) in
     let off = Int64.to_int (Int64.logand v 0xFFFFFFFFL) in
-    match Hashtbl.find_opt registry id with
-    | Some obj -> Pobj { obj; moff = off }
-    | None -> Pinvalid v
+    let arr = !registry in
+    if id >= 0 && id < Array.length arr then
+      match Array.unsafe_get arr id with
+      | Some obj -> Pobj { obj; moff = off }
+      | None -> Pinvalid v
+    else Pinvalid v
   end
 
 (* ------------------------------------------------------------------ *)
@@ -123,7 +160,7 @@ let alloc ?(site = -1) ~storage ~mty byte_size : t =
       byte_size;
       mty;
       data = Some (Bytes.make (max byte_size 0) '\000');
-      ptr_slots = Hashtbl.create 2;
+      ptr_slots = None;
       site;
       init_map =
         (if !track_uninitialized && not starts_initialized then
@@ -131,7 +168,6 @@ let alloc ?(site = -1) ~storage ~mty byte_size : t =
          else None);
     }
   in
-  register obj;
   obj
 
 (** Mark [size] bytes at [off] as written (calloc, global images, ...). *)
@@ -197,15 +233,18 @@ let check_bounds obj ~access ~off ~size context =
    store over a stored pointer turns it into raw data (it can come back
    through its cookie only). *)
 let clobber_slots obj ~off ~size =
-  if Hashtbl.length obj.ptr_slots > 0 then begin
-    let doomed =
-      Hashtbl.fold
-        (fun slot _ acc ->
-          if slot < off + size && slot + 8 > off then slot :: acc else acc)
-        obj.ptr_slots []
-    in
-    List.iter (Hashtbl.remove obj.ptr_slots) doomed
-  end
+  match obj.ptr_slots with
+  | None -> ()
+  | Some slots ->
+    if Hashtbl.length slots > 0 then begin
+      let doomed =
+        Hashtbl.fold
+          (fun slot _ acc ->
+            if slot < off + size && slot + 8 > off then slot :: acc else acc)
+          slots []
+      in
+      List.iter (Hashtbl.remove slots) doomed
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Typed loads and stores                                              *)
@@ -254,7 +293,11 @@ let load_ptr (a : addr) context : ptr =
   let b = live_bytes a.obj context in
   check_bounds a.obj ~access:Merror.Read ~off:a.moff ~size:8 context;
   check_initialized a.obj ~off:a.moff ~size:8 context;
-  match Hashtbl.find_opt a.obj.ptr_slots a.moff with
+  match
+    match a.obj.ptr_slots with
+    | None -> None
+    | Some slots -> Hashtbl.find_opt slots a.moff
+  with
   | Some p -> p
   | None ->
     (* Raw bytes read back as a pointer: resolves only through a valid
@@ -268,7 +311,16 @@ let store_ptr (a : addr) (p : ptr) context : unit =
   mark_initialized a.obj ~off:a.moff ~size:8;
   (match p with
   | Pnull -> ()
-  | Pobj _ | Pfunc _ | Pinvalid _ -> Hashtbl.replace a.obj.ptr_slots a.moff p);
+  | Pobj _ | Pfunc _ | Pinvalid _ ->
+    let slots =
+      match a.obj.ptr_slots with
+      | Some slots -> slots
+      | None ->
+        let slots = Hashtbl.create 2 in
+        a.obj.ptr_slots <- Some slots;
+        slots
+    in
+    Hashtbl.replace slots a.moff p);
   (match p with
   | Pfunc name -> ignore (register_func_cookie name)
   | Pnull | Pobj _ | Pinvalid _ -> ());
@@ -299,7 +351,7 @@ let free_addr (a : addr) context : unit =
       context;
   if is_freed a.obj then Merror.raise_error Merror.Double_free context;
   a.obj.data <- None;
-  Hashtbl.reset a.obj.ptr_slots
+  a.obj.ptr_slots <- None
 
 (* ------------------------------------------------------------------ *)
 (* Bulk access helpers for builtins                                    *)

@@ -20,7 +20,9 @@ and t = {
   byte_size : int;
   mty : Irtype.mty;  (** declared or observed type; used in messages *)
   mutable data : Bytes.t option;  (** [None] once freed *)
-  ptr_slots : (int, ptr) Hashtbl.t;
+  mutable ptr_slots : (int, ptr) Hashtbl.t option;
+      (** allocated on the first pointer store; [None] = no slot ever
+          written *)
   mutable site : int;  (** allocation site, for allocation mementos *)
   mutable init_map : Bytes.t option;
       (** per-byte written? bitmap (uninitialized-read detection) *)

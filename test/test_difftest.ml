@@ -64,6 +64,42 @@ let test_generator_deterministic () =
   let c = Cprog.render (Cgen.generate ~seed:20180325) in
   Alcotest.(check bool) "different seed, different program" true (a <> c)
 
+let test_generator_mutates_globals () =
+  (* Globals are mutable at runtime: some seeds must actually store to
+     one (the ROADMAP item this closes), and such a program must still
+     agree across every configuration — the rendering snapshots the
+     reference-predicted initial values before the body runs. *)
+  let open Cprog in
+  let rec stmt_stores gs s =
+    match s with
+    | Assign (n, _) -> List.mem n gs
+    | AStore _ | FStore _ -> false
+    | If (_, a, b) -> List.exists (stmt_stores gs) (a @ b)
+    | Loop (_, _, b) -> List.exists (stmt_stores gs) b
+    | Switch (_, arms, d) ->
+      List.exists (stmt_stores gs) (List.concat_map snd arms @ d)
+  in
+  let stores_global p =
+    List.exists
+      (stmt_stores (List.map (fun (n, _, _) -> n) p.globals))
+      p.body
+  in
+  let hits =
+    List.filter
+      (fun s -> stores_global (Cgen.generate ~seed:s))
+      (List.init 40 (fun i -> i))
+  in
+  Alcotest.(check bool) "some seed stores a global" true (hits <> []);
+  List.iter
+    (fun s ->
+      match Difftest.run_seed s with
+      | `Agree -> ()
+      | `Reject w -> Alcotest.failf "seed %d rejected: %s" s w
+      | `Diverge d ->
+        Alcotest.failf "seed %d diverged (%s):\n%s" s d.Difftest.dv_mismatch
+          d.Difftest.dv_source)
+    (match hits with s :: _ -> [ s ] | [] -> [])
+
 (* ---------------- the oracle smoke run ---------------- *)
 
 let test_oracle_smoke () =
@@ -192,6 +228,8 @@ let () =
             test_generator_well_formed;
           Alcotest.test_case "deterministic" `Quick
             test_generator_deterministic;
+          Alcotest.test_case "mutates globals" `Quick
+            test_generator_mutates_globals;
         ] );
       ( "oracle",
         [

@@ -61,7 +61,7 @@ let test_spectralnorm_value () =
 (* ---------------- peak shape (Fig. 16) ---------------- *)
 
 let measurements =
-  lazy (List.map Simulate.measure_bench (Benchprogs.binarytrees :: Benchprogs.perf_suite))
+  lazy (List.map Measure.measure_bench (Benchprogs.binarytrees :: Benchprogs.perf_suite))
 
 let find_ms name =
   List.find (fun m -> m.Simulate.ms_name = name) (Lazy.force measurements)
@@ -146,7 +146,7 @@ let test_peak_boxplots_sane () =
 (* ---------------- start-up (paper §4.2) ---------------- *)
 
 let test_startup_ordering () =
-  let rows = Simulate.startup (Simulate.measure_bench Benchprogs.hello) in
+  let rows = Simulate.startup (Measure.measure_bench Benchprogs.hello) in
   let ms tool =
     (List.find (fun r -> r.Simulate.su_tool = tool) rows).Simulate.su_ms
   in
@@ -163,7 +163,7 @@ let test_startup_ordering () =
 (* ---------------- warm-up (Fig. 15) ---------------- *)
 
 let test_warmup_shape () =
-  let ms = Simulate.measure_bench Benchprogs.meteor in
+  let ms = Measure.measure_bench Benchprogs.meteor in
   let w = Simulate.warmup ~duration_s:30 ms in
   let series name =
     (List.find (fun s -> s.Simulate.ws_tool = name) w.Simulate.wr_series)
@@ -191,7 +191,7 @@ let test_warmup_shape () =
     (List.length w.Simulate.wr_compiles >= 3)
 
 let test_warmup_crossover_order () =
-  let ms = Simulate.measure_bench Benchprogs.meteor in
+  let ms = Measure.measure_bench Benchprogs.meteor in
   let w = Simulate.warmup ~duration_s:30 ms in
   let series name =
     (List.find (fun s -> s.Simulate.ws_tool = name) w.Simulate.wr_series)

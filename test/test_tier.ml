@@ -1,0 +1,152 @@
+(** Tier-equivalence coverage: the closure-compiled tier must be
+    observably bit-identical to the interpreter.
+
+    The contract (DESIGN.md §9): for any program, running with a tier
+    controller attached changes wall-clock only — output, exit status,
+    error category, the provenance report's faulting C file:line:col,
+    step counts, and difftest outcomes all stay exactly the same.  The
+    sweep below forces every function hot ([threshold:0]) so the whole
+    corpus executes closure-compiled, including the error paths that
+    exercise deoptimization. *)
+
+let step_limit = 50_000_000
+
+(* Run [p] through the standard Safe Sulong pipeline, optionally with
+   the tier controller forced hot so every function compiles at first
+   call. *)
+let run_program ?tier (p : Groundtruth.program) : Interp.run_result =
+  let m = Loader.load_program p.Groundtruth.source in
+  Pipeline.compile_sulong m;
+  let tier =
+    match tier with
+    | Some `Forced -> Some (Tier.controller ~threshold:0 ())
+    | None -> None
+  in
+  let st =
+    Interp.create ~step_limit ~mementos:true ~input:p.Groundtruth.input ?tier m
+  in
+  Interp.run ~argv:p.Groundtruth.argv st
+
+(* Everything the paper's reports surface, flattened for comparison.
+   [report] is reduced to the rendered text, which covers the error
+   kind, the faulting C file:line:col, the bounds detail and the
+   managed stack. *)
+let observe (r : Interp.run_result) : string =
+  let error =
+    match r.Interp.error with
+    | None -> "ok"
+    | Some (cat, msg) -> Merror.category_name cat ^ ": " ^ msg
+  in
+  let report =
+    match r.Interp.report with
+    | None -> "<no report>"
+    | Some rep -> Bugreport.render rep
+  in
+  Printf.sprintf
+    "exit=%d timed_out=%b steps=%d leaks=%d error=%s\noutput:\n%s\nreport:\n%s"
+    r.Interp.exit_code r.Interp.timed_out r.Interp.steps r.Interp.leaks error
+    r.Interp.output report
+
+let check_program (p : Groundtruth.program) =
+  let interp = observe (run_program p) in
+  let tiered = observe (run_program ~tier:`Forced p) in
+  Alcotest.(check string) ("tier equivalence: " ^ p.Groundtruth.id) interp
+    tiered
+
+(* ---------------- whole-corpus sweep ---------------- *)
+
+(* Every corpus program contains a real memory error, so this sweep
+   exercises the deopt path (compiled body raises a managed error, the
+   provenance replay re-runs in the pure interpreter) on all 68 bugs
+   and the clean warm path on the repaired variants. *)
+let test_corpus_sweep () = List.iter check_program Corpus.all
+
+let test_fixed_sweep () =
+  List.iter
+    (fun p ->
+      match p.Groundtruth.fixed with
+      | None -> ()
+      | Some src ->
+        check_program
+          { p with Groundtruth.id = p.Groundtruth.id ^ "/fixed"; source = src })
+    Corpus.all
+
+(* ---------------- tier-up really happens ---------------- *)
+
+let test_tier_actually_compiles () =
+  let p = List.hd Corpus.all in
+  let compiles = Metrics.counter "jit.compiles" in
+  let before = compiles.Metrics.c_value in
+  ignore (run_program ~tier:`Forced p);
+  if compiles.Metrics.c_value <= before then
+    Alcotest.fail "forced-hot run compiled no function"
+
+let test_deopt_fires_on_managed_error () =
+  (* Every corpus bug raises a managed error; with every function
+     forced hot the raise happens inside a compiled body, so the
+     deopt counter must move. *)
+  let p = List.hd Corpus.all in
+  let deopts = Metrics.counter "jit.deopts" in
+  let before = deopts.Metrics.c_value in
+  let r = run_program ~tier:`Forced p in
+  (match r.Interp.error with
+  | Some _ -> ()
+  | None -> Alcotest.fail "corpus program unexpectedly ran clean");
+  if deopts.Metrics.c_value <= before then
+    Alcotest.fail "managed error in compiled code did not deoptimize"
+
+(* The production threshold must leave short programs un-tiered: the
+   controller's hotness check is the shared [Hotness] policy. *)
+let test_default_threshold_stays_cold () =
+  let compiles = Metrics.counter "jit.compiles" in
+  let before = compiles.Metrics.c_value in
+  let p = List.hd Corpus.all in
+  let m = Loader.load_program p.Groundtruth.source in
+  Pipeline.compile_sulong m;
+  let st =
+    Interp.create ~step_limit ~mementos:true ~input:p.Groundtruth.input
+      ~tier:(Tier.controller ()) m
+  in
+  ignore (Interp.run ~argv:p.Groundtruth.argv st);
+  Alcotest.(check int) "no compiles below the 1M-op threshold" before
+    compiles.Metrics.c_value
+
+(* ---------------- difftest seeds ---------------- *)
+
+(* The oracle's 8 configurations include [sulong/tiered]; any
+   interp-vs-tiered disagreement on a generated program surfaces as a
+   divergence here.  (The @difftest alias sweeps 2000 seeds; this keeps
+   a 200-seed floor inside the plain test binary.) *)
+let test_difftest_seeds () =
+  for seed = 0 to 199 do
+    match Difftest.run_seed seed with
+    | `Agree | `Reject _ -> ()
+    | `Diverge d ->
+      Alcotest.failf "seed %d diverges: %s" seed d.Difftest.dv_mismatch
+  done
+
+let () =
+  Alcotest.run "tier"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "whole corpus, interp vs tiered" `Quick
+            test_corpus_sweep;
+          Alcotest.test_case "repaired corpus, interp vs tiered" `Quick
+            test_fixed_sweep;
+        ] );
+      ( "controller",
+        [
+          Alcotest.test_case "forced-hot run compiles" `Quick
+            test_tier_actually_compiles;
+          Alcotest.test_case "managed error deoptimizes" `Quick
+            test_deopt_fires_on_managed_error;
+          Alcotest.test_case "default threshold stays cold" `Quick
+            test_default_threshold_stays_cold;
+        ] );
+      ( "difftest",
+        [
+          Alcotest.test_case "seeds 0-199, zero divergences" `Quick
+            test_difftest_seeds;
+        ] );
+    ]
