@@ -364,12 +364,19 @@ let report_cmd =
 
 (* ---------------- difftest ---------------- *)
 
-let do_difftest seeds seed_start shrink json_file jobs metrics =
+let do_difftest seeds seed_start features_str shrink json_file jobs metrics =
   obs_begin ~metrics ~trace_file:None;
+  let features =
+    try Cgen.features_of_string features_str
+    with Invalid_argument msg ->
+      prerr_endline ("difftest: " ^ msg);
+      exit 2
+  in
   Printf.printf
-    "difftest: %d seed(s) from %d across %d configurations%s%s\n%!" seeds
-    seed_start
+    "difftest: %d seed(s) from %d across %d configurations [features %s]%s%s\n%!"
+    seeds seed_start
     (List.length Oracle.configs)
+    (Cgen.features_name features)
     (if shrink then " (shrinking divergences)" else "")
     (if jobs > 1 then Printf.sprintf " [%d jobs]" jobs else "");
   (* The checked-in reproducers run first: a folding regression makes
@@ -387,7 +394,7 @@ let do_difftest seeds seed_start shrink json_file jobs metrics =
     if i mod 100 = 0 then Printf.printf "  ...%d seeds checked\n%!" i
   in
   let r =
-    Difftest.run_sharded ~shrink ~jobs ~progress ~seed_start ~seeds ()
+    Difftest.run_sharded ~features ~shrink ~jobs ~progress ~seed_start ~seeds ()
   in
   List.iter
     (fun (d : Difftest.divergence) ->
@@ -422,6 +429,14 @@ let seed_start_arg =
     value & opt int 0
     & info [ "seed-start" ] ~docv:"K" ~doc:"First seed of the range.")
 
+let features_arg =
+  Arg.(
+    value & opt string "int,float,call,mem"
+    & info [ "features" ] ~docv:"LIST"
+        ~doc:
+          "Generator feature set: a comma-separated subset of \
+           int,float,call,mem (int is always on).")
+
 let shrink_arg =
   Arg.(
     value & flag
@@ -450,8 +465,8 @@ let difftest_cmd =
   in
   Cmd.v (Cmd.info "difftest" ~doc)
     Term.(
-      const do_difftest $ seeds_arg $ seed_start_arg $ shrink_arg $ json_arg
-      $ jobs_arg $ metrics_arg)
+      const do_difftest $ seeds_arg $ seed_start_arg $ features_arg
+      $ shrink_arg $ json_arg $ jobs_arg $ metrics_arg)
 
 (* ---------------- bench ---------------- *)
 

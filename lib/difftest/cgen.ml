@@ -5,12 +5,63 @@
     reports are replayable by seed alone.
 
     The generator establishes, by construction, every invariant that
-    [Cprog.well_formed] checks: divisors are [x | odd] or nonzero
-    constants, shift counts are constants below the promoted width of
-    the left operand, array indices are constants below the length or
-    loop variables whose bound is, and enum values fit in [int]. *)
+    [Cprog.well_formed] checks: divisors of integer divisions are
+    [x | odd] or nonzero constants, shift counts are constants below the
+    promoted width of the left operand, array indices are constants
+    below the length or loop variables whose bound is, enum values fit
+    in [int], float constants are finite/pre-rounded/non-negative-zero,
+    helper functions call only earlier-defined helpers, and writes to
+    char arrays never touch the final element (so [strlen] stays in
+    bounds).
+
+    Generation is *want-directed*: every expression is grown toward a
+    requested domain ([`I] integer or [`F] floating), which keeps the
+    guard obligations decidable locally — an integer division's operands
+    are integer by construction, so the [x | odd] divisor guard is never
+    silently washed out by a float conversion. *)
 
 open Cprog
+
+(* ------------------------------------------------------------------ *)
+(* Feature flags                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** What the generated programs may contain beyond integer arithmetic.
+    [int] is the always-on base; the flags below gate the extensions so
+    a divergence campaign can bisect by language area. *)
+type features = {
+  f_float : bool;  (** float/double scalars, arithmetic, conversions *)
+  f_call : bool;   (** generated helper functions and direct calls *)
+  f_mem : bool;    (** memcpy/memset/strlen over generated arrays *)
+}
+
+let int_only = { f_float = false; f_call = false; f_mem = false }
+let all_features = { f_float = true; f_call = true; f_mem = true }
+
+let features_name f =
+  "int"
+  ^ (if f.f_float then ",float" else "")
+  ^ (if f.f_call then ",call" else "")
+  ^ if f.f_mem then ",mem" else ""
+
+(** Parse a [--features] flag value: a comma-separated subset of
+    [int,float,call,mem] ([int] is implied). *)
+let features_of_string (s : string) : features =
+  List.fold_left
+    (fun acc tok ->
+      match String.trim tok with
+      | "" | "int" -> acc
+      | "float" -> { acc with f_float = true }
+      | "call" -> { acc with f_call = true }
+      | "mem" -> { acc with f_mem = true }
+      | "all" -> all_features
+      | t -> invalid_arg (Printf.sprintf "unknown feature %S (want int,float,call,mem)" t))
+    int_only
+    (String.split_on_char ',' s)
+
+(* ------------------------------------------------------------------ *)
+(* Scalars and constants                                               *)
+(* ------------------------------------------------------------------ *)
 
 (* Biased toward the 32/64-bit types where the interesting conversion
    and signedness behaviour lives, but all widths appear. *)
@@ -24,6 +75,8 @@ let pick_ity rng : ity =
   | 6 | 7 -> U32
   | 8 | 9 -> I64
   | _ -> U64
+
+let pick_fty rng : fty = if Prng.int rng 2 = 0 then F32 else F64
 
 (** Boundary-heavy constants: zero/one, small, all-ones, sign bit, max
     positive, alternating bits, and uniform noise. *)
@@ -48,6 +101,39 @@ let odd_const rng =
   let t = pick_ity rng in
   Const (normalize t (Int64.of_int ((2 * Prng.int rng 64) + 1)), t)
 
+(** Boundary-heavy float constants: exact small values, values at the
+    binary32 integer-precision cliff (2^24), magnitudes that overflow or
+    round when narrowed to [float], and uniform bit noise — retried
+    through [fconst_ok] (finite, not -0.0, pre-rounded for F32). *)
+let interesting_float rng (ft : fty) : float =
+  let pick () =
+    match Prng.int rng 13 with
+    | 0 -> 0.0
+    | 1 -> 1.0
+    | 2 -> -1.0
+    | 3 -> 0.5
+    | 4 -> 1.5
+    | 5 -> 0.1
+    | 6 -> 16777216.0 (* 2^24 *)
+    | 7 -> 16777217.0 (* rounds to 2^24 as a float *)
+    | 8 -> 1e30
+    | 9 -> 1e-30
+    | 10 -> 3.4028234663852886e38 (* FLT_MAX *)
+    | 11 -> float_of_int (Prng.int rng 1000) /. 8.0
+    | _ -> Int64.float_of_bits (Prng.next_int64 rng)
+  in
+  let rec go attempts =
+    let f = round_f ft (pick ()) in
+    if fconst_ok f ft then f
+    else if attempts > 0 then go (attempts - 1)
+    else 1.0
+  in
+  go 10
+
+let gen_fconst rng =
+  let ft = pick_fty rng in
+  FConst (interesting_float rng ft, ft)
+
 (* ------------------------------------------------------------------ *)
 (* Expressions                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -55,130 +141,263 @@ let odd_const rng =
 (** Leaves legal in the current context. *)
 type leaves = {
   lv_enums : string list;
-  lv_scalars : (string * ity) list;  (** locals, globals, loop vars *)
+  lv_scalars : (string * sty) list;  (** locals, globals, params, loop vars *)
   lv_arrays : (string * ity * int) list;
   lv_fields : (string * ity) list;
   lv_loops : (string * int) list;  (** in-scope loop vars with bounds *)
+  lv_funcs : func list;            (** callable helpers *)
+  lv_strlen : string list;         (** char arrays usable with strlen *)
 }
 
 let const_leaves enums =
   { lv_enums = enums; lv_scalars = []; lv_arrays = []; lv_fields = [];
-    lv_loops = [] }
+    lv_loops = []; lv_funcs = []; lv_strlen = [] }
 
-let gen_leaf rng (lv : leaves) : expr =
-  let options =
-    [ `Const; `Const ]
-    @ (if lv.lv_enums <> [] then [ `Enum ] else [])
-    @ (if lv.lv_scalars <> [] then [ `Scalar; `Scalar; `Scalar ] else [])
-    @ (if lv.lv_arrays <> [] then [ `Read ] else [])
-    @ (if lv.lv_fields <> [] then [ `Field ] else [])
+(** Expression contexts, matching the validity modes of
+    [Cprog.well_formed]: the two constant modes are integer-only and
+    call-free; [`Pure] adds floats and helper calls but stays state-free
+    (the leaves record carries no variables there); [`Runtime] and
+    [`Func] are distinguished only by what the caller puts in [lv]. *)
+type gmode = [ `Full | `Restricted | `Pure | `Runtime | `Func ]
+
+let is_char = function I8 | U8 -> true | _ -> false
+
+(* Index into array [a] of length [len]: a constant below the writable
+   limit, or an in-scope loop variable whose bound is.  [for_write] on a
+   char array additionally spares the final element, preserving its NUL
+   for strlen. *)
+let gen_index rng (lv : leaves) ~(for_write : bool) (t : ity) (len : int) : idx
+    =
+  let limit = if for_write && is_char t then len - 1 else len in
+  let limit = max limit 1 in
+  let usable = List.filter (fun (_, b) -> b <= limit) lv.lv_loops in
+  if usable <> [] && Prng.int rng 2 = 0 then Ixv (fst (Prng.pick rng usable))
+  else Ixc (Prng.int rng limit)
+
+let rec gen_expr rng ~(feat : features) ~(mode : gmode) ~(lv : leaves)
+    ~(depth : int) ~(want : [ `I | `F ]) : expr =
+  let float_ok =
+    feat.f_float && (match mode with `Full | `Restricted -> false | _ -> true)
   in
-  match Prng.pick rng options with
-  | `Const -> gen_const rng
-  | `Enum -> EnumRef (Prng.pick rng lv.lv_enums)
-  | `Scalar ->
-    let n, t = Prng.pick rng lv.lv_scalars in
-    Var (n, t)
-  | `Read ->
-    let a, t, len = Prng.pick rng lv.lv_arrays in
-    let usable =
-      List.filter (fun (_, bound) -> bound <= len) lv.lv_loops
-    in
-    let ix =
-      if usable <> [] && Prng.int rng 2 = 0 then
-        Ixv (fst (Prng.pick rng usable))
-      else Ixc (Prng.int rng len)
-    in
-    Read (a, t, ix)
-  | `Field ->
-    let f, t = Prng.pick rng lv.lv_fields in
-    Field (f, t)
-
-(** [gen_expr rng ~mode ~lv ~depth] — [mode] matches the constant-context
-    operator subsets of [Cprog.well_formed]. *)
-let rec gen_expr rng ~(mode : [ `Full | `Restricted ]) ~(lv : leaves)
-    ~(depth : int) : expr =
-  if depth <= 0 || Prng.int rng 4 = 0 then gen_leaf rng lv
+  let cmp_ok = match mode with `Restricted -> false | _ -> true in
+  let want = if want = `F && not float_ok then `I else want in
+  let sub ?(d = depth - 1) w = gen_expr rng ~feat ~mode ~lv ~depth:d ~want:w in
+  let int_funcs =
+    List.filter (fun f -> match f.fn_ret with It _ -> true | Ft _ -> false)
+      lv.lv_funcs
+  in
+  let flt_funcs =
+    List.filter (fun f -> match f.fn_ret with Ft _ -> true | It _ -> false)
+      lv.lv_funcs
+  in
+  let gen_call f =
+    Call
+      ( f.fn_name, f.fn_ret,
+        List.map
+          (fun (_, ps) ->
+            let w =
+              match ps with
+              | Ft _ -> if Prng.int rng 3 = 0 then `I else `F
+              | It _ -> `I
+            in
+            sub ~d:(min (depth - 1) 2) w)
+          f.fn_params )
+  in
+  let leaf () =
+    match want with
+    | `F -> begin
+      let fvars =
+        List.filter (fun (_, s) -> match s with Ft _ -> true | _ -> false)
+          lv.lv_scalars
+      in
+      if fvars <> [] && Prng.int rng 2 = 0 then
+        let n, s = Prng.pick rng fvars in
+        Var (n, s)
+      else gen_fconst rng
+    end
+    | `I -> begin
+      let ivars =
+        List.filter (fun (_, s) -> match s with It _ -> true | _ -> false)
+          lv.lv_scalars
+      in
+      let options =
+        [ `Const; `Const ]
+        @ (if lv.lv_enums <> [] then [ `Enum ] else [])
+        @ (if ivars <> [] then [ `Scalar; `Scalar; `Scalar ] else [])
+        @ (if lv.lv_arrays <> [] then [ `Read ] else [])
+        @ (if lv.lv_fields <> [] then [ `Field ] else [])
+        @ if feat.f_mem && lv.lv_strlen <> [] then [ `StrlenL ] else []
+      in
+      match Prng.pick rng options with
+      | `Const -> gen_const rng
+      | `Enum -> EnumRef (Prng.pick rng lv.lv_enums)
+      | `Scalar ->
+        let n, s = Prng.pick rng ivars in
+        Var (n, s)
+      | `Read ->
+        let a, t, len = Prng.pick rng lv.lv_arrays in
+        Read (a, t, gen_index rng lv ~for_write:false t len)
+      | `Field ->
+        let f, t = Prng.pick rng lv.lv_fields in
+        Field (f, t)
+      | `StrlenL -> Strlen (Prng.pick rng lv.lv_strlen)
+    end
+  in
+  if depth <= 0 || Prng.int rng 4 = 0 then leaf ()
   else begin
-    let sub () = gen_expr rng ~mode ~lv ~depth:(depth - 1) in
-    let arith = [ `Bop Add; `Bop Sub; `Bop Mul; `Bop BAnd; `Bop BOr; `Bop BXor ] in
-    let common =
-      arith @ [ `DivLike Div; `DivLike Rem; `Shift Shl; `Shift Shr;
-                `Neg; `Cast; `Cast ]
-    in
-    let full_only =
-      [ `Bop Lt; `Bop Le; `Bop Gt; `Bop Ge; `Bop Eq; `Bop Ne;
-        `Bop LAnd; `Bop LOr; `Bnot; `Lnot; `Ternary ]
-    in
-    let ops = match mode with `Full -> common @ full_only | `Restricted -> common in
-    match Prng.pick rng ops with
-    | `Bop op -> Bin (op, sub (), sub ())
-    | `DivLike op ->
-      (* Guard: [x | odd] is nonzero at every width. *)
-      Bin (op, sub (), Bin (BOr, sub (), odd_const rng))
-    | `Shift op ->
-      let a = sub () in
-      let w = bits (promote (type_of a)) in
-      Bin (op, a, Const (Int64.of_int (Prng.int rng w), I32))
-    | `Neg -> Un (Neg, sub ())
-    | `Bnot -> Un (Bnot, sub ())
-    | `Lnot -> Un (Lnot, sub ())
-    | `Cast -> Cast (pick_ity rng, sub ())
-    | `Ternary -> Cond (sub (), sub (), sub ())
+    match want with
+    | `F ->
+      let ops =
+        [ `FBop Add; `FBop Sub; `FBop Mul; `FBop Div; `FNeg; `FCast; `FCond ]
+        @ (if feat.f_call && flt_funcs <> [] then [ `FCall; `FCall ] else [])
+        @ [ `FLeaf ]
+      in
+      begin
+        match Prng.pick rng ops with
+        | `FBop op ->
+          (* One operand may be an integer: the usual conversions pull
+             it to the float domain, exercising int-to-float at runtime
+             vs. fold time. *)
+          let b = if Prng.int rng 4 = 0 then sub `I else sub `F in
+          Bin (op, sub `F, b)
+        | `FNeg -> Un (Neg, sub `F)
+        | `FCast -> Cast (Ft (pick_fty rng), sub (if Prng.int rng 3 = 0 then `I else `F))
+        | `FCond -> Cond (sub ~d:(min (depth - 1) 2) `I, sub `F, sub `F)
+        | `FCall -> gen_call (Prng.pick rng flt_funcs)
+        | `FLeaf -> leaf ()
+      end
+    | `I ->
+      let arith =
+        [ `Bop Add; `Bop Sub; `Bop Mul; `Bop BAnd; `Bop BOr; `Bop BXor ]
+      in
+      let common =
+        arith
+        @ [ `DivLike Div; `DivLike Rem; `Shift Shl; `Shift Shr;
+            `Neg; `Cast; `Cast ]
+      in
+      let cmp_only =
+        [ `Bop Lt; `Bop Le; `Bop Gt; `Bop Ge; `Bop Eq; `Bop Ne;
+          `Bop LAnd; `Bop LOr; `Bnot; `Lnot; `Ternary ]
+      in
+      let float_in =
+        if float_ok then [ `FCmp; `FCmp; `F2I ] else []
+      in
+      let calls =
+        if feat.f_call && int_funcs <> [] then [ `ICall; `ICall ] else []
+      in
+      let ops =
+        common @ (if cmp_ok then cmp_only @ float_in else []) @ calls
+      in
+      begin
+        match Prng.pick rng ops with
+        | `Bop op -> Bin (op, sub `I, sub `I)
+        | `DivLike op ->
+          (* Guard: [x | odd] is nonzero at every width. *)
+          Bin (op, sub `I, Bin (BOr, sub `I, odd_const rng))
+        | `Shift op ->
+          let a = sub `I in
+          let w =
+            match type_of a with It t -> bits (promote t) | Ft _ -> 32
+          in
+          Bin (op, a, Const (Int64.of_int (Prng.int rng w), I32))
+        | `Neg -> Un (Neg, sub `I)
+        | `Bnot -> Un (Bnot, sub `I)
+        | `Lnot -> Un (Lnot, sub `I)
+        | `Cast -> Cast (It (pick_ity rng), sub `I)
+        | `Ternary ->
+          Cond (sub ~d:(min (depth - 1) 2) `I, sub `I, sub `I)
+        | `FCmp ->
+          (* Float comparison yields int; it is the one place float
+             values influence integer control flow. *)
+          let op =
+            Prng.pick rng [ Lt; Le; Gt; Ge; Eq; Ne ]
+          in
+          let b = if Prng.int rng 4 = 0 then sub `I else sub `F in
+          Bin (op, sub `F, b)
+        | `F2I ->
+          (* Float-to-integer conversion: saturating and total in our
+             abstract machine, so no guard is needed. *)
+          Cast (It (pick_ity rng), sub `F)
+        | `ICall -> gen_call (Prng.pick rng int_funcs)
+      end
   end
 
 (* ------------------------------------------------------------------ *)
 (* Statements                                                          *)
 (* ------------------------------------------------------------------ *)
 
-type genstate = { mutable next_loop : int }
+type genstate = { mutable next_loop : int; loop_prefix : string }
 
-let rec gen_stmt rng st ~(lv : leaves) ~(assignable : (string * ity) list)
-    ~(depth : int) : stmt =
-  let rexpr ?(depth = 3) () = gen_expr rng ~mode:`Full ~lv ~depth in
+let fresh_loop_var st =
+  let v = Printf.sprintf "%si%d" st.loop_prefix st.next_loop in
+  st.next_loop <- st.next_loop + 1;
+  v
+
+let want_for (s : sty) rng ~(float_ok : bool) : [ `I | `F ] =
+  match s with
+  | Ft _ -> if Prng.int rng 4 = 0 then `I else `F
+  | It _ -> if float_ok && Prng.int rng 6 = 0 then `F else `I
+
+let rec gen_stmt rng st ~(feat : features) ~(lv : leaves)
+    ~(assignable : (string * sty) list) ~(depth : int) : stmt =
+  let float_ok = feat.f_float in
+  let rexpr ?(depth = 3) want =
+    gen_expr rng ~feat ~mode:`Runtime ~lv ~depth ~want
+  in
   let structured = depth > 0 in
+  let memcpy_ok = feat.f_mem && List.length lv.lv_arrays >= 2 in
   let options =
     [ `Assign; `Assign; `Assign ]
     @ (if lv.lv_arrays <> [] then [ `AStore ] else [])
     @ (if lv.lv_fields <> [] then [ `FStore ] else [])
+    @ (if feat.f_mem && lv.lv_arrays <> [] then [ `Memset ] else [])
+    @ (if memcpy_ok then [ `Memcpy ] else [])
     @ (if structured then [ `If; `Loop; `Switch ] else [])
   in
   match Prng.pick rng options with
   | `Assign ->
     (* [assignable] holds scalar locals *and* globals (loop variables are
        deliberately absent: their bounds guarantee in-bounds indexing). *)
-    let n, _ = Prng.pick rng assignable in
-    Assign (n, rexpr ())
+    let n, s = Prng.pick rng assignable in
+    Assign (n, rexpr (want_for s rng ~float_ok))
   | `AStore ->
-    let a, _, len = Prng.pick rng lv.lv_arrays in
-    let usable = List.filter (fun (_, b) -> b <= len) lv.lv_loops in
-    let ix =
-      if usable <> [] && Prng.int rng 2 = 0 then
-        Ixv (fst (Prng.pick rng usable))
-      else Ixc (Prng.int rng len)
-    in
-    AStore (a, ix, rexpr ())
+    let a, t, len = Prng.pick rng lv.lv_arrays in
+    let w = if float_ok && Prng.int rng 6 = 0 then `F else `I in
+    AStore (a, gen_index rng lv ~for_write:true t len, rexpr w)
   | `FStore ->
     let f, _ = Prng.pick rng lv.lv_fields in
-    FStore (f, rexpr ())
+    FStore (f, rexpr `I)
+  | `Memset ->
+    let a, t, len = Prng.pick rng lv.lv_arrays in
+    let cap = ity_bytes t * len - if is_char t then 1 else 0 in
+    Memset (a, Prng.int rng 256, 1 + Prng.int rng cap)
+  | `Memcpy ->
+    let rec pick_two () =
+      let d = Prng.pick rng lv.lv_arrays and s = Prng.pick rng lv.lv_arrays in
+      let (dn, _, _) = d and (sn, _, _) = s in
+      if dn = sn then pick_two () else (d, s)
+    in
+    let (dn, dt, dl), (sn, st_, sl) = pick_two () in
+    let cap_dst = (ity_bytes dt * dl) - if is_char dt then 1 else 0 in
+    let cap = min cap_dst (ity_bytes st_ * sl) in
+    Memcpy (dn, sn, 1 + Prng.int rng cap)
   | `If ->
     let nthen = 1 + Prng.int rng 2 and nelse = Prng.int rng 2 in
     If
-      ( rexpr ~depth:2 (),
-        gen_stmts rng st ~lv ~assignable ~depth:(depth - 1) ~n:nthen,
-        gen_stmts rng st ~lv ~assignable ~depth:(depth - 1) ~n:nelse )
+      ( rexpr ~depth:2 `I,
+        gen_stmts rng st ~feat ~lv ~assignable ~depth:(depth - 1) ~n:nthen,
+        gen_stmts rng st ~feat ~lv ~assignable ~depth:(depth - 1) ~n:nelse )
   | `Loop ->
-    let v = Printf.sprintf "i%d" st.next_loop in
-    st.next_loop <- st.next_loop + 1;
+    let v = fresh_loop_var st in
     let bound = 1 + Prng.int rng 8 in
     let lv' =
       { lv with
         lv_loops = (v, bound) :: lv.lv_loops;
-        lv_scalars = (v, I64) :: lv.lv_scalars }
+        lv_scalars = (v, It I64) :: lv.lv_scalars }
     in
     Loop
       ( v, bound,
-        gen_stmts rng st ~lv:lv' ~assignable ~depth:(depth - 1)
+        gen_stmts rng st ~feat ~lv:lv' ~assignable ~depth:(depth - 1)
           ~n:(1 + Prng.int rng 2) )
   | `Switch ->
     let nlabels = 2 + Prng.int rng 2 in
@@ -186,21 +405,111 @@ let rec gen_stmt rng st ~(lv : leaves) ~(assignable : (string * ity) list)
       List.sort_uniq compare (List.init nlabels (fun _ -> Prng.int rng 8))
     in
     Switch
-      ( rexpr ~depth:2 (),
+      ( rexpr ~depth:2 `I,
         List.map
           (fun k ->
-            (k, gen_stmts rng st ~lv ~assignable ~depth:(depth - 1) ~n:1))
+            (k, gen_stmts rng st ~feat ~lv ~assignable ~depth:(depth - 1) ~n:1))
           labels,
-        gen_stmts rng st ~lv ~assignable ~depth:(depth - 1) ~n:1 )
+        gen_stmts rng st ~feat ~lv ~assignable ~depth:(depth - 1) ~n:1 )
 
-and gen_stmts rng st ~lv ~assignable ~depth ~n =
-  List.init n (fun _ -> gen_stmt rng st ~lv ~assignable ~depth)
+and gen_stmts rng st ~feat ~lv ~assignable ~depth ~n =
+  List.init n (fun _ -> gen_stmt rng st ~feat ~lv ~assignable ~depth)
+
+(* ------------------------------------------------------------------ *)
+(* Helper functions                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Helper-body statements: assignments to the helper's own locals, plus
+   if/loops — exactly the [`Func] statement subset of [well_formed]. *)
+let rec gen_fstmt rng st ~feat ~(lv : leaves)
+    ~(assignable : (string * sty) list) ~(depth : int) : stmt =
+  let rexpr ?(depth = 2) want =
+    gen_expr rng ~feat ~mode:`Func ~lv ~depth ~want
+  in
+  let structured = depth > 0 in
+  let options =
+    [ `Assign; `Assign ] @ if structured then [ `If; `Loop ] else []
+  in
+  match Prng.pick rng options with
+  | `Assign ->
+    let n, s = Prng.pick rng assignable in
+    Assign (n, rexpr (want_for s rng ~float_ok:feat.f_float))
+  | `If ->
+    If
+      ( rexpr `I,
+        gen_fstmts rng st ~feat ~lv ~assignable ~depth:(depth - 1)
+          ~n:(1 + Prng.int rng 2),
+        gen_fstmts rng st ~feat ~lv ~assignable ~depth:(depth - 1)
+          ~n:(Prng.int rng 2) )
+  | `Loop ->
+    let v = fresh_loop_var st in
+    let bound = 1 + Prng.int rng 8 in
+    let lv' =
+      { lv with
+        lv_loops = (v, bound) :: lv.lv_loops;
+        lv_scalars = (v, It I64) :: lv.lv_scalars }
+    in
+    Loop
+      ( v, bound,
+        gen_fstmts rng st ~feat ~lv:lv' ~assignable ~depth:(depth - 1)
+          ~n:(1 + Prng.int rng 2) )
+
+and gen_fstmts rng st ~feat ~lv ~assignable ~depth ~n =
+  List.init n (fun _ -> gen_fstmt rng st ~feat ~lv ~assignable ~depth)
+
+let pick_sty rng ~feat : sty =
+  if feat.f_float && Prng.int rng 3 = 0 then Ft (pick_fty rng)
+  else It (pick_ity rng)
+
+(** One helper function: 1–3 typed parameters, at least one mutable
+    local, a small body of assignments/ifs/loops, and a return
+    expression over the full scope.  [earlier] helpers are callable from
+    everywhere inside (acyclic by construction). *)
+let gen_func rng ~feat ~(idx : int) ~(earlier : func list)
+    ~(enum_names : string list) : func =
+  let fn_name = Printf.sprintf "h%d" idx in
+  let fn_params =
+    List.init
+      (1 + Prng.int rng 3)
+      (fun k -> (Printf.sprintf "%s_p%d" fn_name k, pick_sty rng ~feat))
+  in
+  let base_lv scope =
+    { (const_leaves enum_names) with lv_scalars = scope; lv_funcs = earlier }
+  in
+  let scope = ref fn_params in
+  let fn_locals =
+    List.init
+      (1 + Prng.int rng 2)
+      (fun k ->
+        let n = Printf.sprintf "%s_v%d" fn_name k in
+        let s = pick_sty rng ~feat in
+        let e =
+          gen_expr rng ~feat ~mode:`Func ~lv:(base_lv !scope) ~depth:2
+            ~want:(want_for s rng ~float_ok:feat.f_float)
+        in
+        scope := (n, s) :: !scope;
+        (n, s, e))
+  in
+  let full_scope = !scope in
+  let st = { next_loop = 0; loop_prefix = fn_name ^ "_" } in
+  let assignable = List.map (fun (n, s, _) -> (n, s)) fn_locals in
+  let fn_body =
+    gen_fstmts rng st ~feat ~lv:(base_lv full_scope) ~assignable ~depth:1
+      ~n:(Prng.int rng 3)
+  in
+  let fn_ret = pick_sty rng ~feat in
+  let fn_ret_expr =
+    gen_expr rng ~feat ~mode:`Func ~lv:(base_lv full_scope) ~depth:3
+      ~want:(want_for fn_ret rng ~float_ok:feat.f_float)
+  in
+  { fn_name; fn_params; fn_locals; fn_body; fn_ret; fn_ret_expr }
 
 (* ------------------------------------------------------------------ *)
 (* Whole programs                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let generate ~(seed : int) : program =
+let generate ?(features = all_features) ~(seed : int) () : program =
+  let feat = features in
   let rng = Prng.create seed in
   (* Enum constants: retry until the value fits in [int] (C gives enum
      constants type [int]; out-of-range values would be truncated
@@ -216,11 +525,15 @@ let generate ~(seed : int) : program =
     in
     let rec try_gen attempts =
       let e =
-        gen_expr rng ~mode:`Full
+        gen_expr rng ~feat ~mode:`Full
           ~lv:(const_leaves (List.map fst !enums))
-          ~depth:(1 + Prng.int rng 3)
+          ~depth:(1 + Prng.int rng 3) ~want:`I
       in
-      match as_long (type_of e) (eval !env e) with
+      match
+        (match type_of e with
+        | It t -> as_long t (eval_int { const_env with ev_enums = !env } e)
+        | Ft _ -> raise Not_const)
+      with
       | v when v >= -2147483648L && v <= 2147483647L -> (e, v)
       | _ -> if attempts > 0 then try_gen (attempts - 1) else fallback ()
       | exception Not_const ->
@@ -232,14 +545,14 @@ let generate ~(seed : int) : program =
   done;
   let enums = !enums in
   let enum_names = List.map fst enums in
-  (* Globals: restricted constant initializers. *)
+  (* Globals: restricted constant initializers (integer-only). *)
   let n_globals = 1 + Prng.int rng 3 in
   let globals =
     List.init n_globals (fun i ->
         ( Printf.sprintf "g%d" i,
           pick_ity rng,
-          gen_expr rng ~mode:`Restricted ~lv:(const_leaves enum_names)
-            ~depth:(1 + Prng.int rng 3) ))
+          gen_expr rng ~feat ~mode:`Restricted ~lv:(const_leaves enum_names)
+            ~depth:(1 + Prng.int rng 3) ~want:`I ))
   in
   (* Struct fields (possibly none) with constant initial stores. *)
   let fields =
@@ -251,52 +564,86 @@ let generate ~(seed : int) : program =
           let t = pick_ity rng in
           (Printf.sprintf "f%d" i, t, interesting rng t))
   in
-  (* Arrays, zero-initialized. *)
+  (* Arrays, zero-initialized.  With [mem] on, at least two arrays exist
+     (so memcpy has distinct operands) and at least one is a char array
+     (so strlen has a NUL-safe target). *)
   let arrays =
-    List.init (Prng.int rng 3) (fun i ->
-        (Printf.sprintf "a%d" i, pick_ity rng, 2 + Prng.int rng 7))
+    if feat.f_mem then begin
+      let n = 2 + Prng.int rng 2 in
+      List.init n (fun i ->
+          let t =
+            if i = 0 then (if Prng.int rng 2 = 0 then I8 else U8)
+            else pick_ity rng
+          in
+          (Printf.sprintf "a%d" i, t, 3 + Prng.int rng 6))
+    end
+    else
+      List.init (Prng.int rng 3) (fun i ->
+          (Printf.sprintf "a%d" i, pick_ity rng, 2 + Prng.int rng 7))
   in
-  (* Recomputed constant expressions: the oracle checks the engines'
-     runtime result of these against the reference evaluator, and (via
-     the enum/global sections) the front end's folded result of the same
-     expression class. *)
+  let strlen_arrays =
+    List.filter_map
+      (fun (a, t, _) -> if is_char t then Some a else None)
+      arrays
+  in
+  (* Helper functions (acyclic: each sees only earlier ones). *)
+  let funcs =
+    if not feat.f_call then []
+    else begin
+      let n = 1 + Prng.int rng 2 in
+      let acc = ref [] in
+      for i = 0 to n - 1 do
+        acc := !acc @ [ gen_func rng ~feat ~idx:i ~earlier:!acc ~enum_names ]
+      done;
+      !acc
+    end
+  in
+  (* Recomputed pure expressions: the oracle checks the engines' runtime
+     result of these against the reference evaluator — including float
+     results (compared bit-exactly) and helper calls with constant
+     arguments (arbitrating the whole call machinery). *)
+  let rc_lv = { (const_leaves enum_names) with lv_funcs = funcs } in
   let rcs =
     List.init
       (2 + Prng.int rng 3)
       (fun i ->
+        let want = if feat.f_float && Prng.int rng 3 = 0 then `F else `I in
         ( Printf.sprintf "rc%d" i,
-          gen_expr rng ~mode:`Full ~lv:(const_leaves enum_names)
-            ~depth:(2 + Prng.int rng 3) ))
+          gen_expr rng ~feat ~mode:`Pure ~lv:rc_lv ~depth:(2 + Prng.int rng 3)
+            ~want ))
   in
   (* Scalar locals; initializers may read anything already declared. *)
   let n_locals = 3 + Prng.int rng 4 in
   let locals = ref [] in
   let base_lv declared =
     { lv_enums = enum_names;
-      lv_scalars = List.map (fun (n, t, _) -> (n, t)) globals @ declared;
+      lv_scalars = List.map (fun (n, t, _) -> (n, It t)) globals @ declared;
       lv_arrays = arrays;
       lv_fields = List.map (fun (f, t, _) -> (f, t)) fields;
-      lv_loops = [] }
+      lv_loops = [];
+      lv_funcs = funcs;
+      lv_strlen = strlen_arrays }
   in
   for i = 0 to n_locals - 1 do
-    let declared = List.map (fun (n, t, _) -> (n, t)) !locals in
-    let t = pick_ity rng in
+    let declared = List.map (fun (n, s, _) -> (n, s)) !locals in
+    let s = pick_sty rng ~feat in
     locals :=
       !locals
       @ [ ( Printf.sprintf "v%d" i,
-            t,
-            gen_expr rng ~mode:`Full ~lv:(base_lv declared) ~depth:3 ) ]
+            s,
+            gen_expr rng ~feat ~mode:`Runtime ~lv:(base_lv declared) ~depth:3
+              ~want:(want_for s rng ~float_ok:feat.f_float) ) ]
   done;
   let locals = !locals in
-  let local_tys = List.map (fun (n, t, _) -> (n, t)) locals in
-  let st = { next_loop = 0 } in
+  let local_tys = List.map (fun (n, s, _) -> (n, s)) locals in
+  let st = { next_loop = 0; loop_prefix = "" } in
   (* The body may store to globals as well as locals: the rendering
      snapshots the reference-predicted initial values before the body. *)
   let body =
-    gen_stmts rng st
+    gen_stmts rng st ~feat
       ~lv:(base_lv local_tys)
-      ~assignable:(List.map (fun (n, t, _) -> (n, t)) globals @ local_tys)
+      ~assignable:(List.map (fun (n, t, _) -> (n, It t)) globals @ local_tys)
       ~depth:2
       ~n:(3 + Prng.int rng 6)
   in
-  { seed; enums; globals; fields; arrays; rcs; locals; body }
+  { seed; enums; globals; fields; arrays; funcs; rcs; locals; body }

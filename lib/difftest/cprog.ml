@@ -14,17 +14,33 @@
     The subset is deliberately biased toward the arithmetic the engines
     must agree on bit-for-bit: integer arithmetic at every width and
     signedness, shifts, casts, comparisons, short-circuit logic, loops
-    with constant bounds, structs and arrays with in-bounds indices.
-    Semantics the C standard leaves undefined or implementation-defined
-    but our abstract machine defines (wrapping signed overflow,
-    arithmetic right shift of negatives) are fair game: every
-    configuration must still agree. *)
+    with constant bounds, structs and arrays with in-bounds indices —
+    plus [float]/[double] arithmetic, comparisons and conversions,
+    helper functions with parameters and returns, and the string/memory
+    builtins ([memcpy]/[memset]/[strlen]).  Semantics the C standard
+    leaves undefined or implementation-defined but our abstract machine
+    defines (wrapping signed overflow, arithmetic right shift of
+    negatives, saturating float-to-int conversion) are fair game: every
+    configuration must still agree.
+
+    Floats never compare through a decimal formatter: every float result
+    is printed *bit-exactly*, by storing the value through a [double]
+    and printing the IEEE-754 bits with [%lx] (see [render]).  A
+    formatter difference can therefore never mask or fake a divergence,
+    and the reference evaluator predicts the exact bit pattern. *)
 
 (* ------------------------------------------------------------------ *)
 (* Types and constant arithmetic (LP64)                                *)
 (* ------------------------------------------------------------------ *)
 
 type ity = I8 | U8 | I16 | U16 | I32 | U32 | I64 | U64
+
+(** Float scalar types.  [F32] values are always stored pre-rounded to
+    single precision (the same invariant the engines keep). *)
+type fty = F32 | F64
+
+(** A scalar C type: integer or floating. *)
+type sty = It of ity | Ft of fty
 
 let all_itys = [ I8; U8; I16; U16; I32; U32; I64; U64 ]
 
@@ -48,7 +64,12 @@ let c_name = function
   | I64 -> "long"
   | U64 -> "unsigned long"
 
-(** Integer promotion: anything narrower than [int] promotes to [int]. *)
+let f_name = function F32 -> "float" | F64 -> "double"
+let sty_name = function It t -> c_name t | Ft t -> f_name t
+let ity_bytes t = bits t / 8
+
+(** Integer promotion: anything narrower than [int] promotes to [int].
+    Floats are not promoted (C99: only *integer* promotions apply). *)
 let promote t = if bits t < 32 then I32 else t
 
 (** Usual arithmetic conversions (mirrors [Ctype.usual_arith] for the
@@ -59,6 +80,16 @@ let usual a b =
   else if a = U64 || b = U64 then U64
   else if bits a = 64 || bits b = 64 then I64
   else U32
+
+let usual_f a b = if a = F64 || b = F64 then F64 else F32
+
+(** Usual arithmetic conversions over both domains: [double] dominates
+    [float] dominates every integer type. *)
+let usual_sty a b =
+  match (a, b) with
+  | It x, It y -> It (usual x y)
+  | Ft x, Ft y -> Ft (usual_f x y)
+  | (Ft _ as f), It _ | It _, (Ft _ as f) -> f
 
 (** Canonical constant representation: truncate to the width of [t] and
     sign-extend back to 64 bits (the engines' register invariant). *)
@@ -83,6 +114,49 @@ let convert ~from_ ~to_ v =
     [t]: the conversion to [long] zero-extends narrower unsigned types. *)
 let as_long t v = if is_unsigned t && bits t < 64 then zext t v else v
 
+(* ---------------- float constant arithmetic ---------------- *)
+
+(** Round to the nearest binary32 value — deliberately the same
+    bit-store/load trick as [Irtype.round_to_f32], but written here
+    independently: the reference evaluator shares no code with the
+    engines it arbitrates. *)
+let round_f32 (f : float) : float = Int32.float_of_bits (Int32.bits_of_float f)
+
+let round_f ft f = match ft with F32 -> round_f32 f | F64 -> f
+
+(** The defined float-to-integer conversion of our abstract machine
+    (truncation toward zero, NaN to 0, saturation at the i64 range),
+    reimplemented independently of [Irtype.float_to_int]. *)
+let float_to_int_sat (f : float) : int64 =
+  if f <> f then 0L
+  else if f >= 9.223372036854775808e18 then Int64.max_int
+  else if f <= -9.223372036854775808e18 then Int64.min_int
+  else Int64.of_float f
+
+(** Integer-to-float conversion: unsigned sources convert their
+    zero-extended value (with the 2^64 correction for u64 values above
+    [Int64.max_int]); an F32 destination rounds the converted value. *)
+let int_to_float ~(from_ : ity) (ft : fty) (v : int64) : float =
+  let f =
+    if is_unsigned from_ then begin
+      let u = zext from_ v in
+      if u >= 0L then Int64.to_float u
+      else Int64.to_float u +. 18446744073709551616.0
+    end
+    else Int64.to_float v
+  in
+  round_f ft f
+
+(** The invariant every [FConst] must satisfy: finite (an inf/nan token
+    would not render back), not negative zero (the front end lowers
+    unary minus to [0.0 - x], so the token [-0.0] evaluates to +0.0 in
+    every engine — negative zeros may still *arise* at runtime, they
+    just cannot be literals), and pre-rounded for F32. *)
+let fconst_ok (f : float) (ft : fty) : bool =
+  f -. f = 0.0 (* finite: inf/nan fail this *)
+  && (not (f = 0.0 && 1.0 /. f < 0.0))
+  && (match ft with F32 -> f = round_f32 f | F64 -> true)
+
 (* ------------------------------------------------------------------ *)
 (* Expressions and statements                                          *)
 (* ------------------------------------------------------------------ *)
@@ -103,14 +177,20 @@ type idx = Ixc of int | Ixv of string
 
 type expr =
   | Const of int64 * ity
+  | FConst of float * fty      (** must satisfy [fconst_ok] *)
   | EnumRef of string          (** enum constant; type [int] *)
-  | Var of string * ity        (** scalar local, global, or loop var *)
+  | Var of string * sty        (** scalar local, global, param, loop var *)
   | Read of string * ity * idx (** array element rvalue *)
   | Field of string * ity      (** [s.<field>] of the single struct var *)
   | Un of unop * expr
   | Bin of binop * expr * expr
-  | Cast of ity * expr
+  | Cast of sty * expr
   | Cond of expr * expr * expr
+  | Call of string * sty * expr list
+      (** direct call of a generated helper; carries the declared return
+          type so [type_of] needs no symbol table *)
+  | Strlen of string
+      (** [strlen] of a NUL-safe char array; type [unsigned long] *)
 
 type stmt =
   | Assign of string * expr
@@ -122,20 +202,42 @@ type stmt =
   | Loop of string * int * stmt list
       (** [for (long i = 0; i < n; i = i + 1) body] *)
   | Switch of expr * (int * stmt list) list * stmt list
-      (** scrutinee is cast to [long]; arms carry small distinct labels *)
+      (** scrutinee keeps its own (integer) C type; arms carry small
+          distinct labels *)
+  | Memcpy of string * string * int  (** dst array, src array, bytes *)
+  | Memset of string * int * int     (** array, byte value, bytes *)
+
+(** A generated helper function.  Helpers are pure over their parameters
+    and own locals: no globals, arrays, fields or builtins — so the
+    reference evaluator can execute a call with constant arguments and
+    predict its exact result, arbitrating the whole call machinery
+    (argument conversion, parameter passing, returns) independently of
+    the engines.  Helpers may call earlier-defined helpers only
+    (acyclic by construction and by [well_formed]). *)
+type func = {
+  fn_name : string;
+  fn_params : (string * sty) list;
+  fn_locals : (string * sty * expr) list;
+      (** initializers over params and earlier locals *)
+  fn_body : stmt list;  (** [Assign] to own locals, [If], [Loop] only *)
+  fn_ret : sty;
+  fn_ret_expr : expr;
+}
 
 type program = {
   seed : int;
-  enums : (string * expr) list;  (** full constant expressions *)
+  enums : (string * expr) list;  (** full integer constant expressions *)
   globals : (string * ity * expr) list;
       (** constant expressions restricted to the operator subset the
           global-initializer folder supports (no comparisons/ternary) *)
   fields : (string * ity * int64) list;  (** struct S fields + init *)
   arrays : (string * ity * int) list;    (** zero-initialized locals *)
+  funcs : func list;                     (** helper functions, in order *)
   rcs : (string * expr) list;
-      (** runtime recomputations of pure constant expressions: the same
-          expression class as [enums], but evaluated by the engines *)
-  locals : (string * ity * expr) list;   (** runtime initializers *)
+      (** runtime recomputations of pure expressions (possibly float,
+          possibly calling helpers with constant arguments): evaluated
+          by the engines, predicted by the reference evaluator *)
+  locals : (string * sty * expr) list;   (** runtime initializers *)
   body : stmt list;
 }
 
@@ -148,18 +250,32 @@ let binop_str = function
 
 (** Static type of an expression under the C rules the front end
     implements (shift result type is the promoted left operand;
-    comparisons and logic yield [int]). *)
-let rec type_of (e : expr) : ity =
+    comparisons and logic yield [int]; [float] beats integers and
+    [double] beats [float] in the usual conversions; unary minus does
+    not promote floats).  Total: ill-typed shapes (which [well_formed]
+    rejects) still get a stable answer so the shrinker can call this on
+    arbitrary candidates. *)
+let rec type_of (e : expr) : sty =
   match e with
-  | Const (_, t) | Var (_, t) | Read (_, t, _) | Field (_, t) -> t
-  | EnumRef _ -> I32
-  | Un (Lnot, _) -> I32
-  | Un ((Neg | Bnot), a) -> promote (type_of a)
-  | Bin ((Lt | Le | Gt | Ge | Eq | Ne | LAnd | LOr), _, _) -> I32
-  | Bin ((Shl | Shr), a, _) -> promote (type_of a)
-  | Bin (_, a, b) -> usual (type_of a) (type_of b)
-  | Cast (t, _) -> t
-  | Cond (_, a, b) -> usual (type_of a) (type_of b)
+  | Const (_, t) | Read (_, t, _) | Field (_, t) -> It t
+  | FConst (_, ft) -> Ft ft
+  | Var (_, s) -> s
+  | EnumRef _ -> It I32
+  | Strlen _ -> It U64
+  | Call (_, ret, _) -> ret
+  | Un (Lnot, _) -> It I32
+  | Un ((Neg | Bnot), a) -> begin
+    match type_of a with It t -> It (promote t) | Ft _ as f -> f
+  end
+  | Bin ((Lt | Le | Gt | Ge | Eq | Ne | LAnd | LOr), _, _) -> It I32
+  | Bin ((Shl | Shr), a, _) -> begin
+    match type_of a with It t -> It (promote t) | Ft _ as f -> f
+  end
+  | Bin (_, a, b) -> usual_sty (type_of a) (type_of b)
+  | Cast (s, _) -> s
+  | Cond (_, a, b) -> usual_sty (type_of a) (type_of b)
+
+let is_int_expr e = match type_of e with It _ -> true | Ft _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* Reference evaluator                                                 *)
@@ -167,109 +283,278 @@ let rec type_of (e : expr) : ity =
 
 exception Not_const
 
-(** Canonical value of a pure constant expression at [type_of e]; [env]
-    resolves enum constants (already canonical at [int]).  This is the
-    independent arbiter the oracle compares every configuration against:
-    it shares no code with the front end's folders or the engines. *)
-let rec eval (env : (string * int64) list) (e : expr) : int64 =
-  let conv a into = convert ~from_:(type_of a) ~to_:into (eval env a) in
+type value = VI of int64 | VF of float
+
+(** Evaluation environment: enum constants (already canonical at [int])
+    and the helper functions callable by name.  This is the independent
+    arbiter the oracle compares every configuration against: it shares
+    no code with the front end's folders or the engines. *)
+type env = {
+  ev_enums : (string * int64) list;
+  ev_funcs : func list;
+}
+
+let const_env = { ev_enums = []; ev_funcs = [] }
+
+let vi = function VI v -> v | VF _ -> raise Not_const
+let vf = function VF f -> f | VI _ -> raise Not_const
+
+(** C conversion between scalar values ([from_] is the source's static
+    type): integer conversions renormalize, float-to-int saturates per
+    our abstract machine, int-to-float uses the signedness of the
+    source, and any F32 destination rounds. *)
+let convert_val ~(from_ : sty) ~(to_ : sty) (v : value) : value =
+  match (to_, from_, v) with
+  | It t, It s, VI x -> VI (convert ~from_:s ~to_:t x)
+  | It t, Ft _, VF f -> VI (normalize t (float_to_int_sat f))
+  | Ft ft, It s, VI x -> VF (int_to_float ~from_:s ft x)
+  | Ft ft, Ft _, VF f -> VF (round_f ft f)
+  | _ -> raise Not_const
+
+let max_loop_bound = 16
+
+(** Evaluate [e]; [lookup] resolves in-scope variables (none at top
+    level; helper-body evaluation passes its frame).  Anything whose
+    value the reference cannot know (array reads, struct fields,
+    [strlen], unresolved variables) raises [Not_const].  Defensive on
+    ill-typed input — raises [Not_const] rather than looping or
+    crashing, so [well_formed] can evaluate candidate programs safely. *)
+let rec eval_var (env : env) (lookup : string -> value option) (e : expr) :
+    value =
+  let recur = eval_var env lookup in
+  let conv a to_ = convert_val ~from_:(type_of a) ~to_ (recur a) in
+  let int_at a t = vi (conv a (It t)) in
+  let flo_at a ft = vf (conv a (Ft ft)) in
   match e with
-  | Const (v, t) -> normalize t v
-  | EnumRef n -> (try List.assoc n env with Not_found -> raise Not_const)
-  | Var _ | Read _ | Field _ -> raise Not_const
-  | Un (Neg, a) ->
-    let t = promote (type_of a) in
-    normalize t (Int64.neg (conv a t))
-  | Un (Bnot, a) ->
-    let t = promote (type_of a) in
-    normalize t (Int64.lognot (conv a t))
-  | Un (Lnot, a) -> if eval env a = 0L then 1L else 0L
+  | Const (v, t) -> VI (normalize t v)
+  | FConst (f, _) -> VF f
+  | EnumRef n -> begin
+    match List.assoc_opt n env.ev_enums with
+    | Some v -> VI v
+    | None -> raise Not_const
+  end
+  | Var (n, _) -> begin
+    match lookup n with Some v -> v | None -> raise Not_const
+  end
+  | Read _ | Field _ | Strlen _ -> raise Not_const
+  | Un (Neg, a) -> begin
+    match type_of a with
+    | Ft ft ->
+      (* The front end lowers unary minus to [0.0 - x]; mirror that
+         exactly (it differs from IEEE negate on -0.0 and NaN sign). *)
+      VF (round_f ft (0.0 -. vf (recur a)))
+    | It t ->
+      let pt = promote t in
+      VI (normalize pt (Int64.neg (int_at a pt)))
+  end
+  | Un (Bnot, a) -> begin
+    match type_of a with
+    | It t ->
+      let pt = promote t in
+      VI (normalize pt (Int64.lognot (int_at a pt)))
+    | Ft _ -> raise Not_const
+  end
+  | Un (Lnot, a) -> VI (if vi (recur a) = 0L then 1L else 0L)
   | Bin (LAnd, a, b) ->
-    if eval env a = 0L then 0L else if eval env b <> 0L then 1L else 0L
+    if vi (recur a) = 0L then VI 0L
+    else VI (if vi (recur b) <> 0L then 1L else 0L)
   | Bin (LOr, a, b) ->
-    if eval env a <> 0L then 1L else if eval env b <> 0L then 1L else 0L
-  | Bin (((Lt | Le | Gt | Ge | Eq | Ne) as op), a, b) ->
-    let t = usual (type_of a) (type_of b) in
-    let va = conv a t and vb = conv b t in
-    let cmp =
-      if is_unsigned t then Int64.unsigned_compare (zext t va) (zext t vb)
-      else compare va vb
-    in
-    let r =
-      match op with
-      | Lt -> cmp < 0
-      | Le -> cmp <= 0
-      | Gt -> cmp > 0
-      | Ge -> cmp >= 0
-      | Eq -> cmp = 0
-      | _ -> cmp <> 0
-    in
-    if r then 1L else 0L
-  | Bin (((Shl | Shr) as op), a, b) ->
-    let t = promote (type_of a) in
-    let x = conv a t in
-    let count = Int64.to_int (eval env b) land 63 in
-    let r =
-      match op with
-      | Shl -> Int64.shift_left x count
-      | _ ->
-        if is_unsigned t then Int64.shift_right_logical (zext t x) count
-        else Int64.shift_right x count
-    in
-    normalize t r
-  | Bin (op, a, b) ->
-    let t = usual (type_of a) (type_of b) in
-    let x = conv a t and y = conv b t in
-    let r =
-      match op with
-      | Add -> Int64.add x y
-      | Sub -> Int64.sub x y
-      | Mul -> Int64.mul x y
-      | Div ->
-        if y = 0L then raise Not_const
-        else if is_unsigned t then Int64.unsigned_div (zext t x) (zext t y)
-        else Int64.div x y
-      | Rem ->
-        if y = 0L then raise Not_const
-        else if is_unsigned t then Int64.unsigned_rem (zext t x) (zext t y)
-        else Int64.rem x y
-      | BAnd -> Int64.logand x y
-      | BOr -> Int64.logor x y
-      | BXor -> Int64.logxor x y
-      | _ -> assert false
-    in
-    normalize t r
-  | Cast (t, a) -> conv a t
+    if vi (recur a) <> 0L then VI 1L
+    else VI (if vi (recur b) <> 0L then 1L else 0L)
+  | Bin (((Lt | Le | Gt | Ge | Eq | Ne) as op), a, b) -> begin
+    match usual_sty (type_of a) (type_of b) with
+    | Ft ft ->
+      (* OCaml float comparison is IEEE: ordered comparisons are false
+         on NaN operands and [<>] is true — the same semantics as the
+         engines' [Fcmp]. *)
+      let x = flo_at a ft and y = flo_at b ft in
+      let r =
+        match op with
+        | Lt -> x < y
+        | Le -> x <= y
+        | Gt -> x > y
+        | Ge -> x >= y
+        | Eq -> x = y
+        | _ -> x <> y
+      in
+      VI (if r then 1L else 0L)
+    | It t ->
+      let va = int_at a t and vb = int_at b t in
+      let cmp =
+        if is_unsigned t then Int64.unsigned_compare (zext t va) (zext t vb)
+        else compare va vb
+      in
+      let r =
+        match op with
+        | Lt -> cmp < 0
+        | Le -> cmp <= 0
+        | Gt -> cmp > 0
+        | Ge -> cmp >= 0
+        | Eq -> cmp = 0
+        | _ -> cmp <> 0
+      in
+      VI (if r then 1L else 0L)
+  end
+  | Bin (((Shl | Shr) as op), a, b) -> begin
+    match type_of a with
+    | Ft _ -> raise Not_const
+    | It ta ->
+      let t = promote ta in
+      let x = int_at a t in
+      let count = Int64.to_int (vi (recur b)) land 63 in
+      let r =
+        match op with
+        | Shl -> Int64.shift_left x count
+        | _ ->
+          if is_unsigned t then Int64.shift_right_logical (zext t x) count
+          else Int64.shift_right x count
+      in
+      VI (normalize t r)
+  end
+  | Bin (op, a, b) -> begin
+    match usual_sty (type_of a) (type_of b) with
+    | Ft ft -> begin
+      let x = flo_at a ft and y = flo_at b ft in
+      let r =
+        match op with
+        | Add -> x +. y
+        | Sub -> x -. y
+        | Mul -> x *. y
+        | Div -> x /. y (* IEEE: inf/nan results are fine and defined *)
+        | _ -> raise Not_const
+      in
+      VF (round_f ft r)
+    end
+    | It t ->
+      let x = int_at a t and y = int_at b t in
+      let r =
+        match op with
+        | Add -> Int64.add x y
+        | Sub -> Int64.sub x y
+        | Mul -> Int64.mul x y
+        | Div ->
+          if y = 0L then raise Not_const
+          else if is_unsigned t then Int64.unsigned_div (zext t x) (zext t y)
+          else Int64.div x y
+        | Rem ->
+          if y = 0L then raise Not_const
+          else if is_unsigned t then Int64.unsigned_rem (zext t x) (zext t y)
+          else Int64.rem x y
+        | BAnd -> Int64.logand x y
+        | BOr -> Int64.logor x y
+        | BXor -> Int64.logxor x y
+        | _ -> raise Not_const
+      in
+      VI (normalize t r)
+  end
+  | Cast (s, a) -> conv a s
   | Cond (c, a, b) ->
-    let t = usual (type_of a) (type_of b) in
-    if eval env c <> 0L then conv a t else conv b t
+    let t = usual_sty (type_of a) (type_of b) in
+    if vi (recur c) <> 0L then conv a t else conv b t
+  | Call (name, _, args) -> begin
+    (* Only functions defined *before* the callee are callable from its
+       body, so restricting the environment to the definition prefix
+       makes the evaluator structurally terminating even on (ill-formed)
+       cyclic call graphs. *)
+    let rec split acc = function
+      | [] -> None
+      | f :: rest ->
+        if f.fn_name = name then Some (List.rev acc, f)
+        else split (f :: acc) rest
+    in
+    match split [] env.ev_funcs with
+    | None -> raise Not_const
+    | Some (earlier, f) ->
+      if List.length args <> List.length f.fn_params then raise Not_const;
+      let argv = List.map2 (fun (_, ps) a -> conv a ps) f.fn_params args in
+      eval_func { env with ev_funcs = earlier } f argv
+  end
+
+(** Execute a helper on already-converted argument values: bind params,
+    run the local initializers, interpret the body (constant loop
+    bounds, if/else, assignments to locals), convert the result to the
+    declared return type. *)
+and eval_func (env : env) (f : func) (argv : value list) : value =
+  let vars : (string, value) Hashtbl.t = Hashtbl.create 8 in
+  List.iter2 (fun (n, _) v -> Hashtbl.replace vars n v) f.fn_params argv;
+  let lookup n = Hashtbl.find_opt vars n in
+  let conv_to to_ e =
+    convert_val ~from_:(type_of e) ~to_ (eval_var env lookup e)
+  in
+  List.iter (fun (n, s, e) -> Hashtbl.replace vars n (conv_to s e)) f.fn_locals;
+  let rec exec s =
+    match s with
+    | Assign (n, e) -> begin
+      match List.find_opt (fun (m, _, _) -> m = n) f.fn_locals with
+      | Some (_, s, _) -> Hashtbl.replace vars n (conv_to s e)
+      | None -> raise Not_const
+    end
+    | If (c, a, b) ->
+      List.iter exec (if vi (eval_var env lookup c) <> 0L then a else b)
+    | Loop (v, n, body) ->
+      if n < 1 || n > max_loop_bound then raise Not_const;
+      for k = 0 to n - 1 do
+        Hashtbl.replace vars v (VI (Int64.of_int k));
+        List.iter exec body
+      done
+    | AStore _ | FStore _ | Switch _ | Memcpy _ | Memset _ -> raise Not_const
+  in
+  List.iter exec f.fn_body;
+  conv_to f.fn_ret f.fn_ret_expr
+
+let eval (env : env) (e : expr) : value = eval_var env (fun _ -> None) e
+
+(** Canonical integer value of a pure integer expression (raises
+    [Not_const] on floats as well as on non-constants). *)
+let eval_int (env : env) (e : expr) : int64 = vi (eval env e)
 
 (** The enum environment: each constant's runtime value (canonical at
     [int], exactly what the parser's [IntLit] substitution produces). *)
 let enum_env (p : program) : (string * int64) list =
   List.fold_left
     (fun env (n, e) ->
-      let v = as_long (type_of e) (eval env e) in
+      let v =
+        match type_of e with
+        | It t -> as_long t (eval_int { const_env with ev_enums = env } e)
+        | Ft _ -> raise Not_const
+      in
       (n, normalize I32 v) :: env)
     [] p.enums
   |> List.rev
 
+(** One reference-predicted output line: a decimal integer printed via
+    [%ld], or the IEEE-754 bits of a float result printed via [%lx]. *)
+type line = Lint of int64 | Lbits of int64
+
 (** The output lines whose values the reference evaluator can predict:
     enum constants, global initial values, and the pure recomputed
-    expressions — in print order. *)
-let expected_lines (p : program) : (string * int64) list =
-  let env = enum_env p in
-  List.map (fun (n, _) -> (n, List.assoc n env)) p.enums
+    expressions — in print order.  Float recomputations predict the
+    exact bit pattern of the (double-widened) result. *)
+let expected_lines (p : program) : (string * line) list =
+  let enums = enum_env p in
+  let env = { ev_enums = enums; ev_funcs = p.funcs } in
+  List.map (fun (n, _) -> (n, Lint (List.assoc n enums))) p.enums
   @ List.map
       (fun (n, gt, e) ->
-        (n, as_long gt (convert ~from_:(type_of e) ~to_:gt (eval env e))))
+        match (type_of e, eval env e) with
+        | It t, VI v -> (n, Lint (as_long gt (convert ~from_:t ~to_:gt v)))
+        | _ -> raise Not_const)
       p.globals
-  @ List.map (fun (n, e) -> (n, as_long (type_of e) (eval env e))) p.rcs
+  @ List.map
+      (fun (n, e) ->
+        match (type_of e, eval env e) with
+        | It t, VI v -> (n, Lint (as_long t v))
+        | Ft _, VF f -> (n, Lbits (Int64.bits_of_float f))
+        | _ -> raise Not_const)
+      p.rcs
 
 let expected_prefix (p : program) : string =
   String.concat ""
     (List.map
-       (fun (n, v) -> Printf.sprintf "%s=%Ld\n" n v)
+       (fun (n, l) ->
+         match l with
+         | Lint v -> Printf.sprintf "%s=%Ld\n" n v
+         | Lbits b -> Printf.sprintf "%s=%Lx\n" n b)
        (expected_lines p))
 
 (* ------------------------------------------------------------------ *)
@@ -286,11 +571,35 @@ let render_const v t =
     Printf.sprintf "((%s)%Ld)" (c_name t) c
   else Printf.sprintf "((%s)0x%Lxul)" (c_name t) c
 
+(** Float constants render to a literal that parses back bit-exactly:
+    17 significant digits round-trip any binary64 through the lexer's
+    correctly-rounded decimal parse, and 9 digits round-trip any
+    binary32 (including through the intermediate double).  Negative
+    values render as unary minus on the absolute literal — exact,
+    because [0.0 - |f|] is [f] for every finite nonzero [f], matching
+    the front end's lowering of unary minus. *)
+let render_fconst (f : float) (ft : fty) : string =
+  let a = Float.abs f in
+  let digits =
+    match ft with
+    | F64 -> Printf.sprintf "%.17g" a
+    | F32 -> Printf.sprintf "%.9g" a
+  in
+  let has_marker =
+    let found = ref false in
+    String.iter (fun c -> if c = '.' || c = 'e' then found := true) digits;
+    !found
+  in
+  let digits = if has_marker then digits else digits ^ ".0" in
+  let lit = match ft with F32 -> digits ^ "f" | F64 -> digits in
+  if f < 0.0 then "(-" ^ lit ^ ")" else lit
+
 let render_idx = function Ixc k -> string_of_int k | Ixv v -> v
 
 let rec render_expr (e : expr) : string =
   match e with
   | Const (v, t) -> render_const v t
+  | FConst (f, ft) -> render_fconst f ft
   | EnumRef n | Var (n, _) -> n
   | Read (a, _, ix) -> Printf.sprintf "%s[%s]" a (render_idx ix)
   | Field (f, _) -> "s." ^ f
@@ -300,10 +609,13 @@ let rec render_expr (e : expr) : string =
   | Bin (op, a, b) ->
     Printf.sprintf "(%s %s %s)" (render_expr a) (binop_str op)
       (render_expr b)
-  | Cast (t, a) -> Printf.sprintf "((%s)%s)" (c_name t) (render_expr a)
+  | Cast (s, a) -> Printf.sprintf "((%s)%s)" (sty_name s) (render_expr a)
   | Cond (c, a, b) ->
     Printf.sprintf "(%s ? %s : %s)" (render_expr c) (render_expr a)
       (render_expr b)
+  | Call (n, _, args) ->
+    Printf.sprintf "%s(%s)" n (String.concat ", " (List.map render_expr args))
+  | Strlen a -> Printf.sprintf "strlen(%s)" a
 
 let rec render_stmt b ind (s : stmt) =
   let pad = String.make ind ' ' in
@@ -333,8 +645,7 @@ let rec render_stmt b ind (s : stmt) =
     Buffer.add_string b (pad ^ "}\n")
   | Switch (e, arms, dflt) ->
     (* No cast: the controlling expression keeps its own C type, which
-       the front end promotes and converts the labels to (C11 6.8.4.2).
-       The old [(long)] wrapper papered over the missing conversion. *)
+       the front end promotes and converts the labels to (C11 6.8.4.2). *)
     Buffer.add_string b
       (Printf.sprintf "%sswitch (%s) {\n" pad (render_expr e));
     List.iter
@@ -347,6 +658,43 @@ let rec render_stmt b ind (s : stmt) =
     List.iter (render_stmt b (ind + 4)) dflt;
     Buffer.add_string b (pad ^ "    break;\n" ^ pad ^ "  }\n");
     Buffer.add_string b (pad ^ "}\n")
+  | Memcpy (dst, src, len) ->
+    Buffer.add_string b (Printf.sprintf "%smemcpy(%s, %s, %d);\n" pad dst src len)
+  | Memset (a, v, len) ->
+    Buffer.add_string b (Printf.sprintf "%smemset(%s, %d, %d);\n" pad a v len)
+
+let render_func b (f : func) =
+  let params =
+    match f.fn_params with
+    | [] -> "void"
+    | ps -> String.concat ", " (List.map (fun (n, s) -> sty_name s ^ " " ^ n) ps)
+  in
+  Buffer.add_string b
+    (Printf.sprintf "static %s %s(%s) {\n" (sty_name f.fn_ret) f.fn_name params);
+  List.iter
+    (fun (n, s, e) ->
+      Buffer.add_string b
+        (Printf.sprintf "  %s %s = %s;\n" (sty_name s) n (render_expr e)))
+    f.fn_locals;
+  List.iter (render_stmt b 2) f.fn_body;
+  Buffer.add_string b (Printf.sprintf "  return %s;\n}\n" (render_expr f.fn_ret_expr))
+
+(** Bit-exact float printing: widen to double (exact for any F32 value),
+    store, reload the representation as an [unsigned long] and print it
+    in hex.  No decimal formatter ever touches a float result, so the
+    oracle compares IEEE-754 bit patterns — the only comparison under
+    which "equal output" implies "equal value". *)
+let print_line b name (s : sty) what =
+  match s with
+  | It _ ->
+    Buffer.add_string b
+      (Printf.sprintf "  printf(\"%s=%%ld\\n\", (long)%s);\n" name what)
+  | Ft _ ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "  { double pb_%s = (double)%s; printf(\"%s=%%lx\\n\", *(unsigned \
+          long *)&pb_%s); }\n"
+         what what name what)
 
 let render (p : program) : string =
   let b = Buffer.create 1024 in
@@ -372,6 +720,7 @@ let render (p : program) : string =
       Buffer.add_string b
         (Printf.sprintf "static %s %s = %s;\n" (c_name t) n (render_expr e)))
     p.globals;
+  List.iter (render_func b) p.funcs;
   Buffer.add_string b "int main(void) {\n";
   if p.fields <> [] then Buffer.add_string b "  struct S s;\n";
   List.iter
@@ -387,12 +736,12 @@ let render (p : program) : string =
     (fun (n, e) ->
       Buffer.add_string b
         (Printf.sprintf "  %s %s = %s;\n"
-           (c_name (type_of e)) n (render_expr e)))
+           (sty_name (type_of e)) n (render_expr e)))
     p.rcs;
   List.iter
-    (fun (n, t, e) ->
+    (fun (n, s, e) ->
       Buffer.add_string b
-        (Printf.sprintf "  %s %s = %s;\n" (c_name t) n (render_expr e)))
+        (Printf.sprintf "  %s %s = %s;\n" (sty_name s) n (render_expr e)))
     p.locals;
   (* Globals are mutable at runtime (the body may assign them), but the
      reference evaluator predicts only their *initial* values — so those
@@ -408,16 +757,14 @@ let render (p : program) : string =
   (* Print order: reference-predictable lines first (the expected
      prefix), then the runtime state dump the configurations must merely
      agree on among themselves. *)
-  let print_long label what =
-    Buffer.add_string b
-      (Printf.sprintf "  printf(\"%s=%%ld\\n\", (long)%s);\n" label what)
-  in
-  List.iter (fun (n, _) -> print_long n n) p.enums;
-  List.iter (fun (n, _, _) -> print_long n ("snap_" ^ n)) p.globals;
-  List.iter (fun (n, _) -> print_long n n) p.rcs;
-  List.iter (fun (n, _, _) -> print_long n n) p.locals;
-  List.iter (fun (n, _, _) -> print_long (n ^ "_end") n) p.globals;
-  List.iter (fun (f, _, _) -> print_long ("s." ^ f) ("s." ^ f)) p.fields;
+  List.iter (fun (n, _) -> print_line b n (It I32) n) p.enums;
+  List.iter (fun (n, _, _) -> print_line b n (It I64) ("snap_" ^ n)) p.globals;
+  List.iter (fun (n, e) -> print_line b n (type_of e) n) p.rcs;
+  List.iter (fun (n, s, _) -> print_line b n s n) p.locals;
+  List.iter (fun (n, _, _) -> print_line b (n ^ "_end") (It I64) n) p.globals;
+  List.iter
+    (fun (f, _, _) -> print_line b ("s." ^ f) (It I64) ("s." ^ f))
+    p.fields;
   List.iter
     (fun (a, _, len) ->
       Buffer.add_string b
@@ -443,26 +790,41 @@ let size (p : program) : int = String.length (render p)
 (* Well-formedness                                                     *)
 (* ------------------------------------------------------------------ *)
 
-(** Operator subsets legal in each constant context.  [`Full] is what
-    the parser's constant-expression evaluator accepts (enum values);
-    [`Restricted] is what the global-initializer folder accepts (no
-    comparisons, logic, ternary or bitwise-not). *)
+(** Expression contexts, each with its own operator/leaf subset:
+    - [`Full]: what the parser's constant-expression evaluator accepts
+      (enum values) — integer constants only;
+    - [`Restricted]: what the global-initializer folder accepts (no
+      comparisons, logic, ternary or bitwise-not) — integers only;
+    - [`Pure]: runtime-evaluated but state-free (the [rcs]): adds float
+      constants/arithmetic and helper calls, still no variables, array
+      reads, fields or [strlen] — so the reference evaluator can predict
+      the exact result;
+    - [`Runtime locals loops]: full scalar scope of [main];
+    - [`Func scope loops]: a helper body — parameters, own locals and
+      loop variables only (no globals/arrays/fields/builtins, which is
+      what keeps helpers pure). *)
 type cmode = [ `Full | `Restricted ]
 
 let max_array_len = 16
-let max_loop_bound = 16
 
 (** [well_formed p] checks every guarantee the generator establishes, so
     the shrinker (or a hand-written regression) can only produce
     programs that are well-defined under our abstract machine:
     referenced names exist with the recorded types, array indices are in
-    bounds (loop-variable indices via the loop bound), divisors are
-    provably nonzero, shift counts are constants within the promoted
-    width, enum values fit in [int], and switch labels are distinct. *)
+    bounds (loop-variable indices via the loop bound), divisors of
+    *integer* divisions are provably nonzero (float division is IEEE and
+    total), shift counts are constants within the promoted width, float
+    constants are finite/pre-rounded/not [-0.0], helper calls are
+    acyclic and arity-correct, [memcpy]/[memset] lengths fit the
+    operands, every [strlen] argument is a char array whose final NUL
+    can never be overwritten, enum values fit in [int], and switch
+    labels are distinct. *)
 let well_formed (p : program) : bool =
   let ok = ref true in
   let fail () = ok := false in
-  (* Distinct names across every namespace (incl. loop variables). *)
+  (* Distinct names across every namespace (incl. loop variables and
+     helper params/locals: C would allow shadowing, but a flat namespace
+     keeps every shrinker rewrite trivially capture-free). *)
   let names = Hashtbl.create 32 in
   let declare n = if Hashtbl.mem names n then fail () else Hashtbl.replace names n () in
   List.iter (fun (n, _) -> declare n) p.enums;
@@ -482,22 +844,33 @@ let well_formed (p : program) : bool =
     | Switch (_, arms, d) ->
       List.iter (fun (_, body) -> List.iter declare_loop_vars body) arms;
       List.iter declare_loop_vars d
-    | Assign _ | AStore _ | FStore _ -> ()
+    | Assign _ | AStore _ | FStore _ | Memcpy _ | Memset _ -> ()
   in
   List.iter declare_loop_vars p.body;
+  List.iter
+    (fun f ->
+      declare f.fn_name;
+      List.iter (fun (n, _) -> declare n) f.fn_params;
+      List.iter (fun (n, _, _) -> declare n) f.fn_locals;
+      List.iter declare_loop_vars f.fn_body)
+    p.funcs;
   (* Lookup tables. *)
   let global_ty = List.map (fun (n, t, _) -> (n, t)) p.globals in
   let field_ty = List.map (fun (f, t, _) -> (f, t)) p.fields in
   let array_info = List.map (fun (a, t, len) -> (a, (t, len))) p.arrays in
-  let local_ty = List.map (fun (n, t, _) -> (n, t)) p.locals in
-  (* Generic expression check.  [consts]: which constant mode, or
-     [`Runtime locals loops] with the scalar scope and live loop
-     bounds. *)
-  let rec check_expr ~(enums : string list)
-      ~(mode : [ cmode | `Runtime of (string * ity) list * (string * int) list ])
-      (e : expr) =
-    let recur = check_expr ~enums ~mode in
-    let runtime_only () = match mode with `Runtime _ -> () | _ -> fail () in
+  let array_bytes (t, len) = ity_bytes t * len in
+  let local_ty = List.map (fun (n, s, _) -> (n, s)) p.locals in
+  let func_by_name = List.map (fun f -> (f.fn_name, f)) p.funcs in
+  (* Generic expression check.  [funcs] is the callable set (a prefix of
+     the definition order inside helper bodies, enforcing acyclicity). *)
+  let rec check_expr ~(enums : string list) ~(funcs : (string * func) list)
+      ~(mode :
+         [ cmode
+         | `Pure
+         | `Runtime of (string * sty) list * (string * int) list
+         | `Func of (string * sty) list * (string * int) list ]) (e : expr) =
+    let recur = check_expr ~enums ~funcs ~mode in
+    let const_mode = match mode with `Full | `Restricted -> true | _ -> false in
     (match (mode, e) with
     | `Restricted, (Un ((Bnot | Lnot), _) | Cond _)
     | `Restricted, Bin ((Lt | Le | Gt | Ge | Eq | Ne | LAnd | LOr), _, _) ->
@@ -505,25 +878,33 @@ let well_formed (p : program) : bool =
     | _ -> ());
     match e with
     | Const _ -> ()
+    | FConst (f, ft) ->
+      if const_mode then fail ();
+      if not (fconst_ok f ft) then fail ()
     | EnumRef n -> if not (List.mem n enums) then fail ()
-    | Var (n, t) -> begin
-      runtime_only ();
+    | Var (n, s) -> begin
       match mode with
       | `Runtime (locals, loops) ->
         let found =
           match List.assoc_opt n locals with
-          | Some t' -> t' = t
+          | Some s' -> s' = s
           | None -> begin
             match List.assoc_opt n global_ty with
-            | Some t' -> t' = t
-            | None -> List.mem_assoc n loops && t = I64
+            | Some t' -> It t' = s
+            | None -> List.mem_assoc n loops && s = It I64
           end
         in
         if not found then fail ()
-      | _ -> ()
+      | `Func (scope, loops) ->
+        let found =
+          match List.assoc_opt n scope with
+          | Some s' -> s' = s
+          | None -> List.mem_assoc n loops && s = It I64
+        in
+        if not found then fail ()
+      | `Full | `Restricted | `Pure -> fail ()
     end
     | Read (a, t, ix) -> begin
-      runtime_only ();
       match (List.assoc_opt a array_info, mode) with
       | Some (t', len), `Runtime (_, loops) ->
         if t' <> t then fail ();
@@ -537,38 +918,86 @@ let well_formed (p : program) : bool =
       | _ -> fail ()
     end
     | Field (f, t) -> begin
-      runtime_only ();
-      match List.assoc_opt f field_ty with
-      | Some t' -> if t' <> t then fail ()
-      | None -> fail ()
+      match mode with
+      | `Runtime _ -> begin
+        match List.assoc_opt f field_ty with
+        | Some t' -> if t' <> t then fail ()
+        | None -> fail ()
+      end
+      | _ -> fail ()
     end
-    | Un (_, a) -> recur a
+    | Strlen a -> begin
+      (* NUL-safety of the array's writes is a whole-program property,
+         checked separately below. *)
+      match mode with
+      | `Runtime _ -> begin
+        match List.assoc_opt a array_info with
+        | Some ((I8 | U8), _) -> ()
+        | _ -> fail ()
+      end
+      | _ -> fail ()
+    end
+    | Call (name, rty, args) -> begin
+      (match mode with
+      | `Pure | `Runtime _ | `Func _ -> ()
+      | `Full | `Restricted -> fail ());
+      match List.assoc_opt name funcs with
+      | None -> fail ()
+      | Some f ->
+        if f.fn_ret <> rty then fail ();
+        if List.length args <> List.length f.fn_params then fail ();
+        List.iter recur args
+    end
+    | Un (Neg, a) -> recur a
+    | Un ((Bnot | Lnot), a) ->
+      recur a;
+      if not (is_int_expr a) then fail ()
+    | Bin ((LAnd | LOr), a, b) ->
+      recur a;
+      recur b;
+      if not (is_int_expr a && is_int_expr b) then fail ()
     | Bin ((Div | Rem), a, b) ->
       recur a;
       recur b;
-      (* The divisor must be provably nonzero at the operation's type:
-         either a constant that stays nonzero after conversion, or
-         [x | odd] whose low bit survives any truncation. *)
-      let rty = type_of e in
-      (match b with
-      | Const (c, ct) ->
-        if convert ~from_:ct ~to_:rty (normalize ct c) = 0L then fail ()
-      | Bin (BOr, _, Const (c, _)) -> if Int64.logand c 1L <> 1L then fail ()
-      | _ -> fail ())
+      (match type_of e with
+      | Ft _ ->
+        (* Float division is total under IEEE; % never types as float. *)
+        if (match e with Bin (Rem, _, _) -> true | _ -> false) then fail ()
+      | It rty ->
+        (* The divisor must be provably nonzero at the operation's type:
+           either a constant that stays nonzero after conversion, or
+           [x | odd] whose low bit survives any truncation. *)
+        (match b with
+        | Const (c, ct) ->
+          if convert ~from_:ct ~to_:rty (normalize ct c) = 0L then fail ()
+        | Bin (BOr, _, Const (c, _)) -> if Int64.logand c 1L <> 1L then fail ()
+        | _ -> fail ()))
     | Bin ((Shl | Shr), a, b) -> begin
       recur a;
-      match b with
-      | Const (k, _) ->
-        if k < 0L || k >= Int64.of_int (bits (promote (type_of a))) then
-          fail ()
-      | _ -> fail ()
+      match type_of a with
+      | Ft _ -> fail ()
+      | It ta -> begin
+        match b with
+        | Const (k, _) ->
+          if k < 0L || k >= Int64.of_int (bits (promote ta)) then fail ()
+        | _ -> fail ()
+      end
     end
+    | Bin (((BAnd | BOr | BXor) as _op), a, b) ->
+      recur a;
+      recur b;
+      if not (is_int_expr a && is_int_expr b) then fail ()
     | Bin (_, a, b) ->
       recur a;
       recur b
-    | Cast (_, a) -> recur a
+    | Cast (s, a) ->
+      (match (mode, s) with
+      | (`Full | `Restricted), Ft _ -> fail ()
+      | _ -> ());
+      recur a
     | Cond (c, a, b) ->
       recur c;
+      if not (is_int_expr c) then fail ();
       recur a;
       recur b
   in
@@ -578,35 +1007,81 @@ let well_formed (p : program) : bool =
   let enums_so_far = ref [] in
   List.iter
     (fun (n, e) ->
-      check_expr ~enums:!enums_so_far ~mode:`Full e;
+      check_expr ~enums:!enums_so_far ~funcs:[] ~mode:`Full e;
       enums_so_far := n :: !enums_so_far)
     p.enums;
   let all_enums = List.map fst p.enums in
   (try
      List.iter
-       (fun (_, v) ->
-         if v < -2147483648L || v > 2147483647L then fail ())
-       (let env = enum_env p in
-        List.map (fun (n, _) -> (n, List.assoc n env)) p.enums)
+       (fun (_, v) -> if v < -2147483648L || v > 2147483647L then fail ())
+       (enum_env p)
    with Not_const -> fail ());
   (* Globals: restricted constant expressions. *)
   List.iter
-    (fun (_, _, e) -> check_expr ~enums:all_enums ~mode:`Restricted e)
+    (fun (_, _, e) -> check_expr ~enums:all_enums ~funcs:[] ~mode:`Restricted e)
     p.globals;
-  (* Every constant expression must actually evaluate (guards hold). *)
-  (try ignore (expected_lines p) with Not_const -> fail ());
   List.iter
     (fun (_, _, len) -> if len < 1 || len > max_array_len then fail ())
     p.arrays;
-  (* Recomputations: full constant expressions (runtime context accepts
-     every operator, but purity is required for the reference value). *)
-  List.iter (fun (_, e) -> check_expr ~enums:all_enums ~mode:`Full e) p.rcs;
+  (* Helper functions: locals see params and earlier locals; bodies may
+     assign own locals and use if/loops; only earlier helpers callable. *)
+  let funcs_so_far = ref [] in
+  List.iter
+    (fun f ->
+      let callable = List.rev !funcs_so_far in
+      let param_scope = f.fn_params in
+      let scope_ref = ref param_scope in
+      List.iter
+        (fun (n, s, e) ->
+          check_expr ~enums:all_enums ~funcs:callable
+            ~mode:(`Func (!scope_ref, []))
+            e;
+          scope_ref := (n, s) :: !scope_ref)
+        f.fn_locals;
+      let full_scope = !scope_ref in
+      let fn_local_names = List.map (fun (n, _, _) -> n) f.fn_locals in
+      let rec check_fstmt loops s =
+        let check_e =
+          check_expr ~enums:all_enums ~funcs:callable
+            ~mode:(`Func (full_scope, loops))
+        in
+        match s with
+        | Assign (n, e) ->
+          if not (List.mem n fn_local_names) then fail ();
+          check_e e
+        | If (c, a, b) ->
+          check_e c;
+          if not (is_int_expr c) then fail ();
+          List.iter (check_fstmt loops) a;
+          List.iter (check_fstmt loops) b
+        | Loop (v, n, body) ->
+          if n < 1 || n > max_loop_bound then fail ();
+          List.iter (check_fstmt ((v, n) :: loops)) body
+        | AStore _ | FStore _ | Switch _ | Memcpy _ | Memset _ ->
+          (* no arrays, fields or builtins in a helper: purity *)
+          fail ()
+      in
+      List.iter (check_fstmt []) f.fn_body;
+      check_expr ~enums:all_enums ~funcs:callable ~mode:(`Func (full_scope, []))
+        f.fn_ret_expr;
+      funcs_so_far := (f.fn_name, f) :: !funcs_so_far)
+    p.funcs;
+  let all_funcs = func_by_name in
+  (* Recomputations: pure expressions (floats and calls allowed; no
+     state), whose reference value must actually evaluate. *)
+  List.iter
+    (fun (_, e) -> check_expr ~enums:all_enums ~funcs:all_funcs ~mode:`Pure e)
+    p.rcs;
+  (* Every constant expression must actually evaluate (guards hold). *)
+  if !ok then (try ignore (expected_lines p) with Not_const -> fail ());
   (* Locals: runtime expressions over earlier locals. *)
   let locals_so_far = ref [] in
   List.iter
-    (fun (n, t, e) ->
-      check_expr ~enums:all_enums ~mode:(`Runtime (!locals_so_far, [])) e;
-      locals_so_far := (n, t) :: !locals_so_far)
+    (fun (n, s, e) ->
+      check_expr ~enums:all_enums ~funcs:all_funcs
+        ~mode:(`Runtime (!locals_so_far, []))
+        e;
+      locals_so_far := (n, s) :: !locals_so_far)
     p.locals;
   (* Body: all locals in scope; loop bounds within limits; assignments
      target scalar locals or globals, never loop variables (the index
@@ -614,7 +1089,10 @@ let well_formed (p : program) : bool =
      rendering snapshots the initial values before the body runs, so the
      reference-predicted print lines are unaffected. *)
   let rec check_stmt loops s =
-    let check_e = check_expr ~enums:all_enums ~mode:(`Runtime (local_ty, loops)) in
+    let check_e =
+      check_expr ~enums:all_enums ~funcs:all_funcs
+        ~mode:(`Runtime (local_ty, loops))
+    in
     match s with
     | Assign (n, e) ->
       if not (List.mem_assoc n local_ty || List.mem_assoc n global_ty) then
@@ -639,6 +1117,7 @@ let well_formed (p : program) : bool =
       check_e e
     | If (c, a, b) ->
       check_e c;
+      if not (is_int_expr c) then fail ();
       List.iter (check_stmt loops) a;
       List.iter (check_stmt loops) b
     | Loop (v, n, body) ->
@@ -646,11 +1125,92 @@ let well_formed (p : program) : bool =
       List.iter (check_stmt ((v, n) :: loops)) body
     | Switch (e, arms, d) ->
       check_e e;
+      if not (is_int_expr e) then fail ();
       let labels = List.map fst arms in
       if List.length (List.sort_uniq compare labels) <> List.length labels
       then fail ();
       List.iter (fun (_, body) -> List.iter (check_stmt loops) body) arms;
       List.iter (check_stmt loops) d
+    | Memcpy (dst, src, len) -> begin
+      if dst = src then fail ();
+      match (List.assoc_opt dst array_info, List.assoc_opt src array_info) with
+      | Some d, Some s ->
+        if len < 1 || len > min (array_bytes d) (array_bytes s) then fail ()
+      | _ -> fail ()
+    end
+    | Memset (a, v, len) -> begin
+      if v < 0 || v > 255 then fail ();
+      match List.assoc_opt a array_info with
+      | Some info -> if len < 1 || len > array_bytes info then fail ()
+      | None -> fail ()
+    end
   in
   List.iter (check_stmt []) p.body;
+  (* NUL-safety of strlen'd arrays: collect every [Strlen] target, then
+     verify no write anywhere in the body can touch its final element —
+     arrays are zero-initialized, so the last byte then provably stays
+     NUL and every [strlen] terminates in bounds. *)
+  let strlen_targets = ref [] in
+  let rec scan_expr e =
+    (match e with
+    | Strlen a -> if not (List.mem a !strlen_targets) then
+        strlen_targets := a :: !strlen_targets
+    | _ -> ());
+    match e with
+    | Const _ | FConst _ | EnumRef _ | Var _ | Read _ | Field _ | Strlen _ -> ()
+    | Un (_, a) | Cast (_, a) -> scan_expr a
+    | Bin (_, a, b) -> scan_expr a; scan_expr b
+    | Cond (c, a, b) -> scan_expr c; scan_expr a; scan_expr b
+    | Call (_, _, args) -> List.iter scan_expr args
+  in
+  let rec scan_stmt s =
+    match s with
+    | Assign (_, e) | AStore (_, _, e) | FStore (_, e) -> scan_expr e
+    | If (c, a, b) -> scan_expr c; List.iter scan_stmt a; List.iter scan_stmt b
+    | Loop (_, _, body) -> List.iter scan_stmt body
+    | Switch (e, arms, d) ->
+      scan_expr e;
+      List.iter (fun (_, body) -> List.iter scan_stmt body) arms;
+      List.iter scan_stmt d
+    | Memcpy _ | Memset _ -> ()
+  in
+  List.iter (fun (_, e) -> scan_expr e) p.rcs;
+  List.iter (fun (_, _, e) -> scan_expr e) p.locals;
+  List.iter scan_stmt p.body;
+  List.iter
+    (fun f ->
+      List.iter (fun (_, _, e) -> scan_expr e) f.fn_locals;
+      List.iter scan_stmt f.fn_body;
+      scan_expr f.fn_ret_expr)
+    p.funcs;
+  List.iter
+    (fun a ->
+      match List.assoc_opt a array_info with
+      | None -> fail ()
+      | Some (_, len) ->
+        (* Element type is I8/U8 (checked above), so bytes = elements. *)
+        let rec scan_writes loops s =
+          match s with
+          | AStore (a', ix, _) when a' = a -> begin
+            match ix with
+            | Ixc k -> if k > len - 2 then fail ()
+            | Ixv v -> begin
+              match List.assoc_opt v loops with
+              | Some bound -> if bound > len - 1 then fail ()
+              | None -> ()
+            end
+          end
+          | Memset (a', _, l) when a' = a -> if l > len - 1 then fail ()
+          | Memcpy (d, _, l) when d = a -> if l > len - 1 then fail ()
+          | If (_, x, y) ->
+            List.iter (scan_writes loops) x;
+            List.iter (scan_writes loops) y
+          | Loop (v, n, body) -> List.iter (scan_writes ((v, n) :: loops)) body
+          | Switch (_, arms, d) ->
+            List.iter (fun (_, body) -> List.iter (scan_writes loops) body) arms;
+            List.iter (scan_writes loops) d
+          | Assign _ | AStore _ | FStore _ | Memcpy _ | Memset _ -> ()
+        in
+        List.iter (scan_writes []) p.body)
+    !strlen_targets;
   !ok

@@ -2,12 +2,14 @@
     run each program through the oracle, optionally shrink divergent
     cases, and report machine-readable results.
 
-    Checked-in regression programs pin the three front-end
-    constant-folding divergences this subsystem first convicted
-    (logical-shift folding for unsigned operands, unsigned comparisons
-    folded with signed compare, float-to-int casts folded with
-    platform-dependent [Int64.of_float]); reverting any one fix makes
-    the corresponding regression fail. *)
+    Checked-in regression programs pin the divergences this subsystem
+    convicted: the front-end constant-folding bugs (logical-shift
+    folding for unsigned operands, unsigned comparisons folded with
+    signed compare, float-to-int casts folded with platform-dependent
+    [Int64.of_float]) and the single-precision rounding bugs (F32
+    add/div results and int-to-F32 conversions kept at double
+    precision).  Reverting any one fix makes the corresponding
+    regression fail. *)
 
 type divergence = {
   dv_seed : int;
@@ -20,6 +22,7 @@ type divergence = {
 type report = {
   rp_seed_start : int;
   rp_seeds : int;
+  rp_features : string;  (** generator feature set, e.g. "int,float" *)
   rp_agree : int;
   rp_reject : int;
   rp_divergences : divergence list;
@@ -33,9 +36,10 @@ let diverges (p : Cprog.program) : bool =
 
 (** Run one seed; [shrink] spends up to [shrink_budget] extra oracle
     calls reducing a divergent program. *)
-let run_seed ?(shrink = false) ?(shrink_budget = 200) (seed : int) :
+let run_seed ?(features = Cgen.all_features) ?(shrink = false)
+    ?(shrink_budget = 200) (seed : int) :
     [ `Agree | `Reject of string | `Diverge of divergence ] =
-  let p = Cgen.generate ~seed in
+  let p = Cgen.generate ~features ~seed () in
   let src = Cprog.render p in
   match Oracle.check ~expected:(Cprog.expected_prefix p) src with
   | Oracle.Agree _ -> `Agree
@@ -74,14 +78,14 @@ let record_report (r : report) : unit =
       (Metrics.gauge "difftest.divergence_rate")
       (float_of_int (List.length r.rp_divergences) /. float_of_int r.rp_seeds)
 
-let run ?(shrink = false) ?(shrink_budget = 200)
+let run ?(features = Cgen.all_features) ?(shrink = false) ?(shrink_budget = 200)
     ?(progress = fun (_ : int) -> ()) ~(seed_start : int) ~(seeds : int) () :
     report =
   let t0 = Unix.gettimeofday () in
   let agree = ref 0 and reject = ref 0 and divs = ref [] in
   for i = 0 to seeds - 1 do
     let seed = seed_start + i in
-    (match run_seed ~shrink ~shrink_budget seed with
+    (match run_seed ~features ~shrink ~shrink_budget seed with
     | `Agree -> incr agree
     | `Reject _ -> incr reject
     | `Diverge d -> divs := d :: !divs);
@@ -100,6 +104,7 @@ let run ?(shrink = false) ?(shrink_budget = 200)
     {
       rp_seed_start = seed_start;
       rp_seeds = seeds;
+      rp_features = Cgen.features_name features;
       rp_agree = !agree;
       rp_reject = !reject;
       rp_divergences = List.rev !divs;
@@ -128,10 +133,11 @@ let shard_range ~seed_start ~seeds ~jobs i : int * int =
     [(report, Metrics.snapshot)] back over a pipe.  Tracing is per
     process, so worker trace events are dropped; the parent emits one
     merge instant with the aggregate. *)
-let run_sharded ?(shrink = false) ?(shrink_budget = 200) ?(jobs = 1)
-    ?progress ~(seed_start : int) ~(seeds : int) () : report =
+let run_sharded ?(features = Cgen.all_features) ?(shrink = false)
+    ?(shrink_budget = 200) ?(jobs = 1) ?progress ~(seed_start : int)
+    ~(seeds : int) () : report =
   if jobs <= 1 || seeds <= 1 then
-    run ~shrink ~shrink_budget ?progress ~seed_start ~seeds ()
+    run ~features ~shrink ~shrink_budget ?progress ~seed_start ~seeds ()
   else begin
     let t0 = Unix.gettimeofday () in
     let jobs = min jobs seeds in
@@ -145,7 +151,10 @@ let run_sharded ?(shrink = false) ?(shrink_budget = 200) ?(jobs = 1)
               try
                 Metrics.reset ();
                 let start, len = shard_range ~seed_start ~seeds ~jobs i in
-                let r = run ~shrink ~shrink_budget ~seed_start:start ~seeds:len () in
+                let r =
+                  run ~features ~shrink ~shrink_budget ~seed_start:start
+                    ~seeds:len ()
+                in
                 let oc = Unix.out_channel_of_descr wr in
                 Marshal.to_channel oc (r, Metrics.snapshot ()) [];
                 flush oc;
@@ -188,6 +197,7 @@ let run_sharded ?(shrink = false) ?(shrink_budget = 200) ?(jobs = 1)
         {
           rp_seed_start = seed_start;
           rp_seeds = seeds;
+          rp_features = Cgen.features_name features;
           rp_agree = 0;
           rp_reject = 0;
           rp_divergences = [];
@@ -231,10 +241,10 @@ let report_row (r : report) : string =
     else 0.0
   in
   Printf.sprintf
-    "  {\"name\": \"difftest\", \"seed_start\": %d, \"seeds\": %d, \
-     \"agree\": %d, \"rejects\": %d, \"divergences\": %d, \
+    "  {\"name\": \"difftest\", \"features\": \"%s\", \"seed_start\": %d, \
+     \"seeds\": %d, \"agree\": %d, \"rejects\": %d, \"divergences\": %d, \
      \"elapsed_s\": %.3f, \"seeds_per_s\": %.1f%s}"
-    r.rp_seed_start r.rp_seeds r.rp_agree r.rp_reject
+    r.rp_features r.rp_seed_start r.rp_seeds r.rp_agree r.rp_reject
     (List.length r.rp_divergences)
     r.rp_elapsed_s seeds_per_s
     (match r.rp_divergences with
@@ -352,6 +362,57 @@ let regressions : (string * string * string) list =
       \  return 0;\n\
        }\n",
       "0 9223372036854775807 -9223372036854775808 9223372036854775807\n" );
+    ( "f32-add-rounding",
+      (* Single-precision addition must round its result to binary32:
+         16777216.0f + 1.0f is 16777216.0f (2^24 + 1 is not
+         representable).  Pre-fix, every engine computed the sum at
+         double precision and kept 16777217.0 (bits 0x4170000000000080),
+         visible in the bit-exact printout.  [a] folds at -O3; [b]
+         executes everywhere. *)
+      "int main(void) {\n\
+      \  float one = 1.0f;\n\
+      \  float a = 16777216.0f + 1.0f;\n\
+      \  float b = 16777216.0f + one;\n\
+      \  double pa = (double)a;\n\
+      \  double pb = (double)b;\n\
+      \  printf(\"%lx %lx\\n\", *(unsigned long *)&pa, *(unsigned long \
+       *)&pb);\n\
+      \  return 0;\n\
+       }\n",
+      "4170000000000000 4170000000000000\n" );
+    ( "f32-div-rounding",
+      (* 1.0f / 3.0f rounded to binary32 widens to 0x3fd5555560000000;
+         the unrounded double quotient is 0x3fd5555555555555.  Catches
+         an engine (or the folder, at -O3) that skips the F32 rounding
+         step on division specifically. *)
+      "int main(void) {\n\
+      \  float three = 3.0f;\n\
+      \  float a = 1.0f / 3.0f;\n\
+      \  float b = 1.0f / three;\n\
+      \  double pa = (double)a;\n\
+      \  double pb = (double)b;\n\
+      \  printf(\"%lx %lx\\n\", *(unsigned long *)&pa, *(unsigned long \
+       *)&pb);\n\
+      \  return 0;\n\
+       }\n",
+      "3fd5555560000000 3fd5555560000000\n" );
+    ( "sitofp-f32-rounding",
+      (* An int-to-float conversion whose destination is binary32 must
+         round: (float)16777217 is 16777216.0f.  Pre-fix, Sitofp
+         produced the exact double 16777217.0 in an F32 slot — in the
+         folder, the interpreter, the native emulator and the tier-2
+         closure compiler alike. *)
+      "int main(void) {\n\
+      \  int n = 16777217;\n\
+      \  float a = (float)16777217;\n\
+      \  float b = (float)n;\n\
+      \  double pa = (double)a;\n\
+      \  double pb = (double)b;\n\
+      \  printf(\"%lx %lx\\n\", *(unsigned long *)&pa, *(unsigned long \
+       *)&pb);\n\
+      \  return 0;\n\
+       }\n",
+      "4170000000000000 4170000000000000\n" );
   ]
 
 (** Run one regression through the full oracle; the common output must

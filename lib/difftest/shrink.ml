@@ -3,11 +3,11 @@
     Works on the typed mini-AST, not on source text: every candidate is
     re-validated with [Cprog.well_formed], so shrinking can never
     manufacture undefined behaviour (out-of-bounds index, zero divisor,
-    oversized shift) that would turn a genuine miscompilation report
-    into garbage.  Candidates must be strictly smaller under
-    [Cprog.size] (rendered length), which makes the greedy loop
-    terminate; the oracle predicate is re-tested per candidate under a
-    caller-supplied budget. *)
+    oversized shift, overwritten strlen NUL) that would turn a genuine
+    miscompilation report into garbage.  Candidates must be strictly
+    smaller under [Cprog.size] (rendered length), which makes the greedy
+    loop terminate; the oracle predicate is re-tested per candidate
+    under a caller-supplied budget. *)
 
 open Cprog
 
@@ -23,20 +23,42 @@ let hoistable_children (e : expr) : expr list =
     | Un (_, a) | Cast (_, a) -> [ a ]
     | Bin (_, a, b) -> [ a; b ]
     | Cond (c, a, b) -> [ c; a; b ]
-    | Const _ | EnumRef _ | Var _ | Read _ | Field _ -> []
+    | Call (_, _, args) -> args
+    | Const _ | FConst _ | EnumRef _ | Var _ | Read _ | Field _ | Strlen _ ->
+      []
   in
   List.map coerce kids
 
+(* Nearest power of two: the float-constant analogue of "shrink toward
+   zero/one" — powers of two have the simplest significands, so a
+   surviving divergence is easier to reason about by hand. *)
+let nearest_pow2 (f : float) : float =
+  if f = 0.0 || f <> f || f -. f <> 0.0 then 1.0
+  else 2.0 ** Float.round (Float.log2 (Float.abs f))
+
 let expr_reductions (e : expr) : expr list =
-  let t = type_of e in
-  let consts =
-    match e with
-    | Const (0L, _) -> []
-    | Const (1L, _) -> [ Const (0L, t) ]
-    | Const _ -> [ Const (0L, t); Const (1L, t) ]
-    | _ -> [ Const (0L, t); Const (1L, t) ]
-  in
-  hoistable_children e @ consts
+  match type_of e with
+  | Ft ft ->
+    let cands =
+      match e with
+      | FConst (f, _) ->
+        List.filter
+          (fun c -> c <> f)
+          [ 0.0; 1.0; round_f ft (nearest_pow2 f) ]
+      | _ -> [ 0.0; 1.0 ]
+    in
+    hoistable_children e
+    @ List.filter_map
+        (fun c -> if fconst_ok c ft then Some (FConst (c, ft)) else None)
+        cands
+  | It t ->
+    let consts =
+      match e with
+      | Const (0L, _) -> []
+      | Const (1L, _) -> [ Const (0L, t) ]
+      | _ -> [ Const (0L, t); Const (1L, t) ]
+    in
+    hoistable_children e @ consts
 
 (* Every subexpression occurrence of [e], paired with a rebuild of the
    whole expression from a replacement at that occurrence. *)
@@ -54,7 +76,15 @@ let rec expr_sites (e : expr) (rebuild : expr -> 'a) : (expr * (expr -> 'a)) lis
     expr_sites c (fun c' -> rebuild (Cond (c', a, b)))
     @ expr_sites a (fun a' -> rebuild (Cond (c, a', b)))
     @ expr_sites b (fun b' -> rebuild (Cond (c, a, b')))
-  | Const _ | EnumRef _ | Var _ | Read _ | Field _ -> [])
+  | Call (n, r, args) ->
+    List.concat
+      (List.mapi
+         (fun i a ->
+           expr_sites a (fun a' ->
+               rebuild
+                 (Call (n, r, List.mapi (fun j x -> if i = j then a' else x) args))))
+         args)
+  | Const _ | FConst _ | EnumRef _ | Var _ | Read _ | Field _ | Strlen _ -> [])
 
 (* ---------------- statement-level variants ---------------- *)
 
@@ -72,11 +102,11 @@ let stmt_unwraps (s : stmt) : stmt list list =
   | If (_, a, b) -> [ a; b; a @ b ]
   | Loop (_, _, body) -> [ body ]
   | Switch (_, arms, d) -> [] :: d :: List.map snd arms
-  | Assign _ | AStore _ | FStore _ -> [ [] ]
+  | Assign _ | AStore _ | FStore _ | Memcpy _ | Memset _ -> [ [] ]
 
 (* All one-change variants of a statement list: drop a statement, unwrap
-   a structured statement, shrink a loop bound, drop a switch arm, or
-   recurse into nested lists. *)
+   a structured statement, shrink a loop bound or a memcpy/memset
+   length, drop a switch arm, or recurse into nested lists. *)
 let rec stmts_variants (ss : stmt list) : stmt list list =
   let drops = List.mapi (fun i _ -> remove_nth i ss) ss in
   let unwraps =
@@ -112,6 +142,10 @@ and stmt_variants (s : stmt) : stmt list =
                (stmts_variants body))
            arms)
     @ List.map (fun d' -> Switch (e, arms, d')) (stmts_variants d)
+  | Memcpy (d, src, l) -> if l > 1 then [ Memcpy (d, src, 1) ] else []
+  | Memset (a, v, l) ->
+    (if v <> 0 then [ Memset (a, 0, l) ] else [])
+    @ if l > 1 then [ Memset (a, v, 1) ] else []
   | Assign _ | AStore _ | FStore _ -> []
 
 (* ---------------- expression sites of a whole program ---------------- *)
@@ -137,6 +171,7 @@ let rec stmt_expr_sites (s : stmt) (rb : stmt -> program) :
                  rb (Switch (e, replace_nth i (k, b') arms, d))))
            arms)
     @ stmts_expr_sites d (fun d' -> rb (Switch (e, arms, d')))
+  | Memcpy _ | Memset _ -> []
 
 and stmts_expr_sites (ss : stmt list) (rb : stmt list -> program) :
     (expr * (expr -> program)) list =
@@ -144,6 +179,23 @@ and stmts_expr_sites (ss : stmt list) (rb : stmt list -> program) :
     (List.mapi
        (fun i s -> stmt_expr_sites s (fun s' -> rb (replace_nth i s' ss)))
        ss)
+
+let func_expr_sites (p : program) : (expr * (expr -> program)) list =
+  List.concat
+    (List.mapi
+       (fun i f ->
+         let rbf f' = { p with funcs = replace_nth i f' p.funcs } in
+         List.concat
+           (List.mapi
+              (fun j (n, s, e) ->
+                expr_sites e (fun e' ->
+                    rbf
+                      { f with
+                        fn_locals = replace_nth j (n, s, e') f.fn_locals }))
+              f.fn_locals)
+         @ stmts_expr_sites f.fn_body (fun b -> rbf { f with fn_body = b })
+         @ expr_sites f.fn_ret_expr (fun e' -> rbf { f with fn_ret_expr = e' }))
+       p.funcs)
 
 let program_expr_sites (p : program) : (expr * (expr -> program)) list =
   List.concat
@@ -160,6 +212,7 @@ let program_expr_sites (p : program) : (expr * (expr -> program)) list =
              expr_sites e (fun e' ->
                  { p with globals = replace_nth i (n, t, e') p.globals }))
            p.globals);
+      func_expr_sites p;
       List.concat
         (List.mapi
            (fun i (n, e) ->
@@ -175,6 +228,58 @@ let program_expr_sites (p : program) : (expr * (expr -> program)) list =
       stmts_expr_sites p.body (fun body -> { p with body });
     ]
 
+(* ---------------- helper-function removal ---------------- *)
+
+(* Replace every call to [name] (anywhere: other helpers, rcs, locals,
+   body) with a type-correct constant, then drop the helper itself.  A
+   plain entity drop would leave dangling calls that [well_formed]
+   rejects, so the inlining must be program-wide and atomic. *)
+let rec subst_call name repl (e : expr) : expr =
+  let r = subst_call name repl in
+  match e with
+  | Call (n, _, _) when n = name -> repl
+  | Call (n, rt, args) -> Call (n, rt, List.map r args)
+  | Un (u, a) -> Un (u, r a)
+  | Bin (op, a, b) -> Bin (op, r a, r b)
+  | Cast (s, a) -> Cast (s, r a)
+  | Cond (c, a, b) -> Cond (r c, r a, r b)
+  | Const _ | FConst _ | EnumRef _ | Var _ | Read _ | Field _ | Strlen _ -> e
+
+let rec map_stmt_exprs f (s : stmt) : stmt =
+  match s with
+  | Assign (n, e) -> Assign (n, f e)
+  | AStore (a, ix, e) -> AStore (a, ix, f e)
+  | FStore (g, e) -> FStore (g, f e)
+  | If (c, a, b) ->
+    If (f c, List.map (map_stmt_exprs f) a, List.map (map_stmt_exprs f) b)
+  | Loop (v, n, body) -> Loop (v, n, List.map (map_stmt_exprs f) body)
+  | Switch (e, arms, d) ->
+    Switch
+      ( f e,
+        List.map (fun (k, body) -> (k, List.map (map_stmt_exprs f) body)) arms,
+        List.map (map_stmt_exprs f) d )
+  | Memcpy _ | Memset _ -> s
+
+let drop_func (p : program) (i : int) : program =
+  let fc = List.nth p.funcs i in
+  let repl =
+    match fc.fn_ret with
+    | It t -> Const (0L, t)
+    | Ft ft -> FConst (0.0, ft)
+  in
+  let fx = subst_call fc.fn_name repl in
+  let map_func f =
+    { f with
+      fn_locals = List.map (fun (n, s, e) -> (n, s, fx e)) f.fn_locals;
+      fn_body = List.map (map_stmt_exprs fx) f.fn_body;
+      fn_ret_expr = fx f.fn_ret_expr }
+  in
+  { p with
+    funcs = List.map map_func (remove_nth i p.funcs);
+    rcs = List.map (fun (n, e) -> (n, fx e)) p.rcs;
+    locals = List.map (fun (n, s, e) -> (n, s, fx e)) p.locals;
+    body = List.map (map_stmt_exprs fx) p.body }
+
 (* ---------------- candidates ---------------- *)
 
 (** All one-change reduction candidates, structural drops first (they
@@ -185,11 +290,21 @@ let candidates (p : program) : program list =
     @ List.mapi (fun i _ -> { p with globals = remove_nth i p.globals }) p.globals
     @ List.mapi (fun i _ -> { p with fields = remove_nth i p.fields }) p.fields
     @ List.mapi (fun i _ -> { p with arrays = remove_nth i p.arrays }) p.arrays
+    @ List.mapi (fun i _ -> drop_func p i) p.funcs
     @ List.mapi (fun i _ -> { p with rcs = remove_nth i p.rcs }) p.rcs
     @ List.mapi (fun i _ -> { p with locals = remove_nth i p.locals }) p.locals
   in
   let body_variants =
     List.map (fun body -> { p with body }) (stmts_variants p.body)
+  in
+  let func_body_variants =
+    List.concat
+      (List.mapi
+         (fun i f ->
+           List.map
+             (fun b -> { p with funcs = replace_nth i { f with fn_body = b } p.funcs })
+             (stmts_variants f.fn_body))
+         p.funcs)
   in
   let expr_shrinks =
     List.concat
@@ -197,7 +312,7 @@ let candidates (p : program) : program list =
          (fun (e, rebuild) -> List.map rebuild (expr_reductions e))
          (program_expr_sites p))
   in
-  entity_drops @ body_variants @ expr_shrinks
+  entity_drops @ body_variants @ func_body_variants @ expr_shrinks
 
 (* ---------------- the greedy loop ---------------- *)
 

@@ -369,10 +369,14 @@ let[@inline] pv (fr : frame) (v : pval) : Mval.t =
 let exec_binop st (op : Instr.binop) (s : Irtype.scalar) (a : Mval.t)
     (b : Mval.t) : Mval.t =
   match op with
-  | Instr.FAdd -> Mval.Vfloat (Mval.as_float a +. Mval.as_float b)
-  | Instr.FSub -> Mval.Vfloat (Mval.as_float a -. Mval.as_float b)
-  | Instr.FMul -> Mval.Vfloat (Mval.as_float a *. Mval.as_float b)
-  | Instr.FDiv -> Mval.Vfloat (Mval.as_float a /. Mval.as_float b)
+  | Instr.FAdd ->
+    Mval.Vfloat (Irtype.round_result s (Mval.as_float a +. Mval.as_float b))
+  | Instr.FSub ->
+    Mval.Vfloat (Irtype.round_result s (Mval.as_float a -. Mval.as_float b))
+  | Instr.FMul ->
+    Mval.Vfloat (Irtype.round_result s (Mval.as_float a *. Mval.as_float b))
+  | Instr.FDiv ->
+    Mval.Vfloat (Irtype.round_result s (Mval.as_float a /. Mval.as_float b))
   | _ ->
     (* No local closures here: this runs once per arithmetic op. *)
     let x = Mval.as_int a and y = Mval.as_int b in
@@ -440,8 +444,6 @@ let exec_fcmp (op : Instr.fcmp) (a : Mval.t) (b : Mval.t) : Mval.t =
   in
   Mval.Vint (if r then 1L else 0L)
 
-let round_to_f32 f = Int32.float_of_bits (Int32.bits_of_float f)
-
 let exec_cast (op : Instr.cast) (from : Irtype.scalar) (into : Irtype.scalar)
     (v : Mval.t) : Mval.t =
   match op with
@@ -449,19 +451,20 @@ let exec_cast (op : Instr.cast) (from : Irtype.scalar) (into : Irtype.scalar)
   | Instr.Zext ->
     Mval.Vint (Irtype.normalize_int into (Irtype.unsigned_of from (Mval.as_int v)))
   | Instr.Sext -> Mval.Vint (Irtype.normalize_int into (Mval.as_int v))
-  | Instr.Fptrunc -> Mval.Vfloat (round_to_f32 (Mval.as_float v))
+  | Instr.Fptrunc -> Mval.Vfloat (Irtype.round_to_f32 (Mval.as_float v))
   | Instr.Fpext -> Mval.Vfloat (Mval.as_float v)
   | Instr.Fptosi | Instr.Fptoui ->
     let f = Mval.as_float v in
     Mval.Vint (Irtype.normalize_int into (Irtype.float_to_int f))
-  | Instr.Sitofp -> Mval.Vfloat (Int64.to_float (Mval.as_int v))
+  | Instr.Sitofp ->
+    Mval.Vfloat (Irtype.round_result into (Int64.to_float (Mval.as_int v)))
   | Instr.Uitofp ->
     let u = Irtype.unsigned_of from (Mval.as_int v) in
     let f =
       if u >= 0L then Int64.to_float u
       else Int64.to_float u +. 18446744073709551616.0
     in
-    Mval.Vfloat f
+    Mval.Vfloat (Irtype.round_result into f)
   | Instr.Ptrtoint -> begin
     match v with
     | Mval.Vptr (Mobject.Pobj a) ->

@@ -97,6 +97,24 @@ let float_to_int (f : float) : int64 =
   else if f <= Int64.to_float Int64.min_int then Int64.min_int
   else Int64.of_float f
 
+(** Round a double to the nearest representable single-precision value
+    (round-to-nearest-even, the IEEE default), by storing through
+    binary32 bits and loading back.  This is the one definition shared
+    by every engine — Fptrunc, F32 arithmetic, and int->F32 conversions
+    all go through here. *)
+let round_to_f32 (f : float) : float =
+  Int32.float_of_bits (Int32.bits_of_float f)
+
+(** Round an arithmetic result to the precision of its scalar type.
+    C requires `float` operations to produce values rounded to single
+    precision; computing in double and rounding each result is exact
+    for [+ - * /] (no double rounding: each is correctly rounded in
+    double, then correctly rounded to float, which for these operations
+    equals direct single-precision evaluation per Figueroa's theorem on
+    formats with >= 2p+2 significand bits). *)
+let round_result (s : scalar) (f : float) : float =
+  match s with F32 -> round_to_f32 f | _ -> f
+
 (** Reinterpret [v] as an unsigned value of width [s] (zero-extended). *)
 let unsigned_of (s : scalar) (v : int64) : int64 =
   match s with

@@ -83,6 +83,18 @@ let binop_fn (ctx : string) (op : Instr.binop) (s : Irtype.scalar) :
     Mval.t -> Mval.t -> Mval.t =
   let norm = normalizer s in
   match op with
+  | Instr.FAdd when s = Irtype.F32 ->
+    fun a b ->
+      Mval.Vfloat (Irtype.round_to_f32 (Mval.as_float a +. Mval.as_float b))
+  | Instr.FSub when s = Irtype.F32 ->
+    fun a b ->
+      Mval.Vfloat (Irtype.round_to_f32 (Mval.as_float a -. Mval.as_float b))
+  | Instr.FMul when s = Irtype.F32 ->
+    fun a b ->
+      Mval.Vfloat (Irtype.round_to_f32 (Mval.as_float a *. Mval.as_float b))
+  | Instr.FDiv when s = Irtype.F32 ->
+    fun a b ->
+      Mval.Vfloat (Irtype.round_to_f32 (Mval.as_float a /. Mval.as_float b))
   | Instr.FAdd -> fun a b -> Mval.Vfloat (Mval.as_float a +. Mval.as_float b)
   | Instr.FSub -> fun a b -> Mval.Vfloat (Mval.as_float a -. Mval.as_float b)
   | Instr.FMul -> fun a b -> Mval.Vfloat (Mval.as_float a *. Mval.as_float b)

@@ -167,14 +167,15 @@ let coerce ctx pos ~(from_ty : Ctype.t) ~(to_ty : Ctype.t) (v : Instr.value) :
       Instr.ImmInt (Irtype.normalize_int ts widened, ts)
     | Instr.ImmInt (x, _), _, (Irtype.F32 | Irtype.F64) when !fold_immediates ->
       Instr.ImmFloat
-        ( (if is_unsigned from_ty then
-             let u = Irtype.unsigned_of fs x in
-             if u >= 0L then Int64.to_float u
-             else Int64.to_float u +. 18446744073709551616.0
-           else Int64.to_float x),
+        ( Irtype.round_result ts
+            (if is_unsigned from_ty then
+               let u = Irtype.unsigned_of fs x in
+               if u >= 0L then Int64.to_float u
+               else Int64.to_float u +. 18446744073709551616.0
+             else Int64.to_float x),
           ts )
-    | Instr.ImmFloat (f, _), _, (Irtype.F32 | Irtype.F64) ->
-      Instr.ImmFloat (f, ts)
+    | Instr.ImmFloat (f, _), _, (Irtype.F32 | Irtype.F64) when !fold_immediates ->
+      Instr.ImmFloat (Irtype.round_result ts f, ts)
     | Instr.ImmInt (0L, _), _, Irtype.Ptr -> Instr.Null
     | _ ->
     match (fs, ts) with
@@ -275,7 +276,10 @@ and lower_rvalue ctx (e : A.expr) : Instr.value =
   | A.IntLit (v, k, s) -> imm_int v (scalar_of_ctype e.A.pos (Ctype.Int (k, s)))
   | A.CharLit c -> imm_int (Int64.of_int (Char.code c)) Irtype.I32
   | A.FloatLit (f, k) ->
-    Instr.ImmFloat (f, scalar_of_ctype e.A.pos (Ctype.Float k))
+    (* A `float` literal denotes the nearest binary32 value: the lexer
+       parses to double, so round here (16777217.0f must be 16777216). *)
+    let s = scalar_of_ctype e.A.pos (Ctype.Float k) in
+    Instr.ImmFloat (Irtype.round_result s f, s)
   | A.StrLit s -> Instr.GlobalAddr (intern_string ctx s)
   | A.Ident name -> begin
     match Ctype.decay e.A.ty <> e.A.ty, e.A.ty with

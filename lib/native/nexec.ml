@@ -197,10 +197,10 @@ let exec_binop (op : Instr.binop) (s : Irtype.scalar) (a : Nvalue.t)
     (b : Nvalue.t) : Nvalue.t =
   let d = defined a && defined b in
   match op with
-  | Instr.FAdd -> NF (as_float a +. as_float b, d)
-  | Instr.FSub -> NF (as_float a -. as_float b, d)
-  | Instr.FMul -> NF (as_float a *. as_float b, d)
-  | Instr.FDiv -> NF (as_float a /. as_float b, d)
+  | Instr.FAdd -> NF (Irtype.round_result s (as_float a +. as_float b), d)
+  | Instr.FSub -> NF (Irtype.round_result s (as_float a -. as_float b), d)
+  | Instr.FMul -> NF (Irtype.round_result s (as_float a *. as_float b), d)
+  | Instr.FDiv -> NF (Irtype.round_result s (as_float a /. as_float b), d)
   | _ ->
     let x = as_int a and y = as_int b in
     let div_check () = if y = 0L then raise (Native_trap "SIGFPE") in
@@ -277,18 +277,18 @@ let exec_cast (op : Instr.cast) (from : Irtype.scalar) (into : Irtype.scalar)
     NI (Irtype.normalize_int into (as_int v), d)
   | Instr.Zext -> NI (Irtype.normalize_int into (Irtype.unsigned_of from (as_int v)), d)
   | Instr.Sext -> NI (Irtype.normalize_int into (as_int v), d)
-  | Instr.Fptrunc -> NF (Int32.float_of_bits (Int32.bits_of_float (as_float v)), d)
+  | Instr.Fptrunc -> NF (Irtype.round_to_f32 (as_float v), d)
   | Instr.Fpext -> NF (as_float v, d)
   | Instr.Fptosi | Instr.Fptoui ->
     NI (Irtype.normalize_int into (Irtype.float_to_int (as_float v)), d)
-  | Instr.Sitofp -> NF (Int64.to_float (as_int v), d)
+  | Instr.Sitofp -> NF (Irtype.round_result into (Int64.to_float (as_int v)), d)
   | Instr.Uitofp ->
     let u = Irtype.unsigned_of from (as_int v) in
     let f =
       if u >= 0L then Int64.to_float u
       else Int64.to_float u +. 18446744073709551616.0
     in
-    NF (f, d)
+    NF (Irtype.round_result into f, d)
   | Instr.Bitcast -> begin
     match (Irtype.is_float_scalar from, Irtype.is_float_scalar into) with
     | true, false ->

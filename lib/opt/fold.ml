@@ -12,12 +12,14 @@ let as_fconst (v : Instr.value) : float option =
   | Instr.ImmFloat (f, _) -> Some f
   | _ -> None
 
+let fimm s f = Instr.ImmFloat (Irtype.round_result s f, s)
+
 let fold_binop op s a b : Instr.value option =
   match (op, as_const a, as_const b, as_fconst a, as_fconst b) with
-  | Instr.FAdd, _, _, Some x, Some y -> Some (Instr.ImmFloat (x +. y, s))
-  | Instr.FSub, _, _, Some x, Some y -> Some (Instr.ImmFloat (x -. y, s))
-  | Instr.FMul, _, _, Some x, Some y -> Some (Instr.ImmFloat (x *. y, s))
-  | Instr.FDiv, _, _, Some x, Some y -> Some (Instr.ImmFloat (x /. y, s))
+  | Instr.FAdd, _, _, Some x, Some y -> Some (fimm s (x +. y))
+  | Instr.FSub, _, _, Some x, Some y -> Some (fimm s (x -. y))
+  | Instr.FMul, _, _, Some x, Some y -> Some (fimm s (x *. y))
+  | Instr.FDiv, _, _, Some x, Some y -> Some (fimm s (x /. y))
   | _, Some x, Some y, _, _ -> begin
     let open Instr in
     match op with
@@ -85,16 +87,20 @@ let fold_cast op from into v : Instr.value option =
       Some (imm into x)
     | Instr.Zext -> Some (imm into (Irtype.unsigned_of from x))
     | Instr.Sext -> Some (imm into x)
-    | Instr.Sitofp -> Some (Instr.ImmFloat (Int64.to_float x, into))
+    | Instr.Sitofp -> Some (fimm into (Int64.to_float x))
     | Instr.Uitofp ->
-      Some (Instr.ImmFloat (Int64.to_float (Irtype.unsigned_of from x), into))
+      let u = Irtype.unsigned_of from x in
+      let f =
+        if u >= 0L then Int64.to_float u
+        else Int64.to_float u +. 18446744073709551616.0
+      in
+      Some (fimm into f)
     | _ -> None
   end
   | Instr.ImmFloat (f, _) -> begin
     match op with
     | Instr.Fpext -> Some (Instr.ImmFloat (f, into))
-    | Instr.Fptrunc ->
-      Some (Instr.ImmFloat (Int32.float_of_bits (Int32.bits_of_float f), into))
+    | Instr.Fptrunc -> Some (Instr.ImmFloat (Irtype.round_to_f32 f, into))
     | Instr.Fptosi | Instr.Fptoui -> Some (imm into (Irtype.float_to_int f))
     | _ -> None
   end

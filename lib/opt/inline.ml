@@ -141,7 +141,9 @@ let inline_at (caller : Irfunc.t) (blk : Irfunc.block)
         let fresh_r = Hashtbl.find map pr in
         match ps with
         | Irtype.F32 | Irtype.F64 ->
-          Instr.Binop (fresh_r, Instr.FAdd, ps, av, Instr.ImmFloat (0.0, ps))
+          (* x + (-0.0) is the identity for every x including -0.0
+             (x + 0.0 would flip -0.0 to +0.0). *)
+          Instr.Binop (fresh_r, Instr.FAdd, ps, av, Instr.ImmFloat (-0.0, ps))
         | Irtype.Ptr ->
           (* ptr + 0 via gep keeps pointer-ness *)
           Instr.Gep (fresh_r, av, [ Instr.Gfield (0, 0) ])

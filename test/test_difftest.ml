@@ -1,5 +1,6 @@
 (** Tests for the cross-engine differential oracle (lib/difftest) and
-    the constant-folding divergence fixes it pinned down. *)
+    the constant-folding / float-rounding divergence fixes it pinned
+    down. *)
 
 (* ---------------- float->int conversion semantics ---------------- *)
 
@@ -49,31 +50,142 @@ let test_regressions () =
 
 (* ---------------- generator properties ---------------- *)
 
+let feature_sets =
+  [
+    Cgen.int_only;
+    { Cgen.int_only with Cgen.f_float = true };
+    { Cgen.int_only with Cgen.f_call = true };
+    { Cgen.int_only with Cgen.f_mem = true };
+    Cgen.all_features;
+  ]
+
 let test_generator_well_formed () =
-  for seed = 1 to 60 do
-    let p = Cgen.generate ~seed in
-    if not (Cprog.well_formed p) then
-      Alcotest.failf "seed %d generates an ill-formed program:\n%s" seed
-        (Cprog.render p)
-  done
+  List.iter
+    (fun features ->
+      for seed = 1 to 40 do
+        let p = Cgen.generate ~features ~seed () in
+        if not (Cprog.well_formed p) then
+          Alcotest.failf "seed %d (features %s) is ill-formed:\n%s" seed
+            (Cgen.features_name features)
+            (Cprog.render p)
+      done)
+    feature_sets
 
 let test_generator_deterministic () =
-  let a = Cprog.render (Cgen.generate ~seed:20180324) in
-  let b = Cprog.render (Cgen.generate ~seed:20180324) in
-  Alcotest.(check string) "same seed, same program" a b;
-  let c = Cprog.render (Cgen.generate ~seed:20180325) in
-  Alcotest.(check bool) "different seed, different program" true (a <> c)
+  let gen seed = Cprog.render (Cgen.generate ~seed ()) in
+  Alcotest.(check string) "same seed, same program" (gen 20180324)
+    (gen 20180324);
+  Alcotest.(check bool) "different seed, different program" true
+    (gen 20180324 <> gen 20180325)
+
+let test_features_parse () =
+  Alcotest.(check string) "parse all" "int,float,call,mem"
+    (Cgen.features_name (Cgen.features_of_string "float,call,mem"));
+  Alcotest.(check string) "parse subset" "int,float"
+    (Cgen.features_name (Cgen.features_of_string "int,float"));
+  Alcotest.(check string) "parse base" "int"
+    (Cgen.features_name (Cgen.features_of_string "int"));
+  Alcotest.(check bool) "unknown rejected" true
+    (try
+       ignore (Cgen.features_of_string "int,quux");
+       false
+     with Invalid_argument _ -> true)
+
+let test_generator_uses_features () =
+  (* Each feature flag must actually inject its constructs somewhere in
+     a modest seed range — otherwise a campaign "with floats" would
+     silently test nothing new. *)
+  let open Cprog in
+  let rec expr_has pred e =
+    pred e
+    ||
+    match e with
+    | Un (_, a) | Cast (_, a) -> expr_has pred a
+    | Bin (_, a, b) -> expr_has pred a || expr_has pred b
+    | Cond (c, a, b) ->
+      expr_has pred c || expr_has pred a || expr_has pred b
+    | Call (_, _, args) -> List.exists (expr_has pred) args
+    | Const _ | FConst _ | EnumRef _ | Var _ | Read _ | Field _ | Strlen _ ->
+      false
+  in
+  let rec stmt_exprs s =
+    match s with
+    | Assign (_, e) | AStore (_, _, e) | FStore (_, e) -> [ e ]
+    | If (c, a, b) -> c :: List.concat_map stmt_exprs (a @ b)
+    | Loop (_, _, b) -> List.concat_map stmt_exprs b
+    | Switch (e, arms, d) ->
+      e :: List.concat_map stmt_exprs (List.concat_map snd arms @ d)
+    | Memcpy _ | Memset _ -> []
+  in
+  let prog_exprs p =
+    List.map snd p.enums
+    @ List.map (fun (_, _, e) -> e) p.globals
+    @ List.map snd p.rcs
+    @ List.map (fun (_, _, e) -> e) p.locals
+    @ List.concat_map stmt_exprs p.body
+    @ List.concat_map
+        (fun f ->
+          List.map (fun (_, _, e) -> e) f.fn_locals
+          @ List.concat_map stmt_exprs f.fn_body
+          @ [ f.fn_ret_expr ])
+        p.funcs
+  in
+  let rec stmt_has_mem s =
+    match s with
+    | Memcpy _ | Memset _ -> true
+    | If (_, a, b) -> List.exists stmt_has_mem (a @ b)
+    | Loop (_, _, b) -> List.exists stmt_has_mem b
+    | Switch (_, arms, d) ->
+      List.exists stmt_has_mem (List.concat_map snd arms @ d)
+    | Assign _ | AStore _ | FStore _ -> false
+  in
+  let progs features =
+    List.init 30 (fun s -> Cgen.generate ~features ~seed:(s + 1) ())
+  in
+  let some_expr features pred =
+    List.exists
+      (fun p -> List.exists (expr_has pred) (prog_exprs p))
+      (progs features)
+  in
+  Alcotest.(check bool) "float feature emits float constants" true
+    (some_expr
+       { Cgen.int_only with Cgen.f_float = true }
+       (function FConst _ -> true | _ -> false));
+  Alcotest.(check bool) "call feature emits calls" true
+    (some_expr
+       { Cgen.int_only with Cgen.f_call = true }
+       (function Call _ -> true | _ -> false));
+  Alcotest.(check bool) "mem feature emits strlen" true
+    (some_expr
+       { Cgen.int_only with Cgen.f_mem = true }
+       (function Strlen _ -> true | _ -> false));
+  Alcotest.(check bool) "mem feature emits memcpy/memset" true
+    (List.exists
+       (fun p -> List.exists stmt_has_mem p.body)
+       (progs { Cgen.int_only with Cgen.f_mem = true }));
+  Alcotest.(check bool) "int-only emits none of the above" true
+    (List.for_all
+       (fun p ->
+         p.funcs = []
+         && (not (List.exists stmt_has_mem p.body))
+         && not
+              (List.exists
+                 (expr_has (function
+                   | FConst _ | Call _ | Strlen _ -> true
+                   | _ -> false))
+                 (prog_exprs p)))
+       (progs Cgen.int_only))
 
 let test_generator_mutates_globals () =
   (* Globals are mutable at runtime: some seeds must actually store to
-     one (the ROADMAP item this closes), and such a program must still
-     agree across every configuration — the rendering snapshots the
-     reference-predicted initial values before the body runs. *)
+     one, and such a program must still agree across every
+     configuration — the rendering snapshots the reference-predicted
+     initial values before the body runs. *)
   let open Cprog in
   let rec stmt_stores gs s =
     match s with
     | Assign (n, _) -> List.mem n gs
-    | AStore _ | FStore _ -> false
+    | AStore _ | FStore _ | Memcpy _ | Memset _ -> false
     | If (_, a, b) -> List.exists (stmt_stores gs) (a @ b)
     | Loop (_, _, b) -> List.exists (stmt_stores gs) b
     | Switch (_, arms, d) ->
@@ -86,7 +198,7 @@ let test_generator_mutates_globals () =
   in
   let hits =
     List.filter
-      (fun s -> stores_global (Cgen.generate ~seed:s))
+      (fun s -> stores_global (Cgen.generate ~seed:s ()))
       (List.init 40 (fun i -> i))
   in
   Alcotest.(check bool) "some seed stores a global" true (hits <> []);
@@ -103,18 +215,24 @@ let test_generator_mutates_globals () =
 (* ---------------- the oracle smoke run ---------------- *)
 
 let test_oracle_smoke () =
-  (* A fixed seed range; every seed must agree across all seven
-     configurations (and with the reference evaluator on the constant
-     prefix).  Rejections would indicate the generator escaped the
-     supported subset — also a bug. *)
-  for seed = 1 to 25 do
-    match Difftest.run_seed seed with
-    | `Agree -> ()
-    | `Reject why -> Alcotest.failf "seed %d rejected: %s" seed why
-    | `Diverge d ->
-      Alcotest.failf "seed %d diverged (%s):\n%s" seed d.Difftest.dv_mismatch
-        d.Difftest.dv_source
-  done
+  (* A fixed seed range per feature set; every seed must agree across
+     all configurations (and with the reference evaluator on the
+     predicted prefix).  Rejections would indicate the generator escaped
+     the supported subset — also a bug. *)
+  List.iter
+    (fun features ->
+      for seed = 1 to 10 do
+        match Difftest.run_seed ~features seed with
+        | `Agree -> ()
+        | `Reject why ->
+          Alcotest.failf "seed %d (features %s) rejected: %s" seed
+            (Cgen.features_name features) why
+        | `Diverge d ->
+          Alcotest.failf "seed %d (features %s) diverged (%s):\n%s" seed
+            (Cgen.features_name features) d.Difftest.dv_mismatch
+            d.Difftest.dv_source
+      done)
+    feature_sets
 
 let test_oracle_deterministic () =
   let verdict seed =
@@ -141,12 +259,13 @@ let test_shrinker_reduces () =
       globals = [ ("g0", I64, Bin (Add, Const (1L, I64), Const (2L, I64))) ];
       fields = [];
       arrays = [ ("a0", I32, 4) ];
+      funcs = [];
       rcs = [ ("rc0", Bin (Mul, Const (3L, I32), Const (9L, I32))) ];
-      locals = [ ("v0", I32, Const (5L, I32)) ];
+      locals = [ ("v0", It I32, Const (5L, I32)) ];
       body =
         [
-          Loop ("i0", 4, [ AStore ("a0", Ixv "i0", Var ("v0", I32)) ]);
-          If (Var ("v0", I32), [ Assign ("v0", Const (9L, I32)) ], []);
+          Loop ("i0", 4, [ AStore ("a0", Ixv "i0", Var ("v0", It I32)) ]);
+          If (Var ("v0", It I32), [ Assign ("v0", Const (9L, I32)) ], []);
         ];
     }
   in
@@ -156,7 +275,9 @@ let test_shrinker_reduces () =
     | Bin (_, a, b) -> has_shr a || has_shr b
     | Un (_, a) | Cast (_, a) -> has_shr a
     | Cond (c, a, b) -> has_shr c || has_shr a || has_shr b
-    | Const _ | EnumRef _ | Var _ | Read _ | Field _ -> false
+    | Call (_, _, args) -> List.exists has_shr args
+    | Const _ | FConst _ | EnumRef _ | Var _ | Read _ | Field _ | Strlen _ ->
+      false
   in
   let prog_has_shr q =
     List.exists (fun (_, e) -> has_shr e) q.enums
@@ -173,11 +294,109 @@ let test_shrinker_reduces () =
   Alcotest.(check bool) "junk body dropped" true (q.body = []);
   Alcotest.(check bool) "junk global dropped" true (q.globals = [])
 
+let test_shrinker_drops_helper () =
+  (* Dropping a helper must inline a type-correct constant at every
+     call site (including other helpers), atomically — a dangling call
+     would be ill-formed. *)
+  let open Cprog in
+  let h0 =
+    {
+      fn_name = "h0";
+      fn_params = [ ("h0_p0", It I32) ];
+      fn_locals = [ ("h0_v0", It I64, Var ("h0_p0", It I32)) ];
+      fn_body = [];
+      fn_ret = It I64;
+      fn_ret_expr = Var ("h0_v0", It I64);
+    }
+  in
+  let h1 =
+    {
+      fn_name = "h1";
+      fn_params = [ ("h1_p0", Ft F64) ];
+      fn_locals = [];
+      fn_body = [];
+      fn_ret = Ft F64;
+      fn_ret_expr =
+        Bin
+          ( Add,
+            Var ("h1_p0", Ft F64),
+            Cast (Ft F64, Call ("h0", It I64, [ Const (2L, I32) ])) );
+    }
+  in
+  let p =
+    {
+      seed = 0;
+      enums = [];
+      globals = [];
+      fields = [];
+      arrays = [];
+      funcs = [ h0; h1 ];
+      rcs =
+        [
+          ("rc0", Call ("h0", It I64, [ Const (7L, I32) ]));
+          ("rc1", Call ("h1", Ft F64, [ FConst (1.5, F64) ]));
+        ];
+      locals = [];
+      body = [];
+    }
+  in
+  Alcotest.(check bool) "fixture well-formed" true (well_formed p);
+  (* The "divergence" lives in h1; shrinking must drop h0's *uses* only
+     via inlining and keep the program well-formed throughout. *)
+  let uses_h1 q =
+    List.exists
+      (fun (_, e) ->
+        let rec has = function
+          | Call ("h1", _, _) -> true
+          | Call (_, _, args) -> List.exists has args
+          | Un (_, a) | Cast (_, a) -> has a
+          | Bin (_, a, b) -> has a || has b
+          | Cond (c, a, b) -> has c || has a || has b
+          | _ -> false
+        in
+        has e)
+      q.rcs
+  in
+  let r = Shrink.reduce ~test:uses_h1 ~budget:300 p in
+  let q = r.Shrink.reduced in
+  Alcotest.(check bool) "reduced well-formed" true (well_formed q);
+  Alcotest.(check bool) "h1 call survives" true (uses_h1 q);
+  Alcotest.(check bool) "h0 was dropped" true
+    (not (List.exists (fun f -> f.fn_name = "h0") q.funcs))
+
+let test_shrinker_round_trip () =
+  (* Property test over the full feature set: every well-formed shrink
+     candidate must render to C the front end accepts — the shrinker
+     may never present a reducer state the oracle cannot even compile.
+     (Execution agreement is the campaign's job; compilation is the
+     cheap invariant checked per candidate here.) *)
+  let compiles q =
+    match Loader.compile_user (Cprog.render q) with
+    | (_ : Irmod.t) -> true
+    | exception _ -> false
+  in
+  for seed = 1 to 200 do
+    let p = Cgen.generate ~features:Cgen.all_features ~seed () in
+    if not (Cprog.well_formed p) then
+      Alcotest.failf "seed %d: generated program ill-formed" seed;
+    let checked = ref 0 in
+    List.iter
+      (fun q ->
+        if !checked < 6 && Cprog.well_formed q then begin
+          incr checked;
+          if not (compiles q) then
+            Alcotest.failf
+              "seed %d: well-formed shrink candidate does not compile:\n%s"
+              seed (Cprog.render q)
+        end)
+      (Shrink.candidates p)
+  done
+
 (* ---------------- reference evaluator spot checks ---------------- *)
 
 let test_reference_evaluator () =
   let open Cprog in
-  let e v = eval [] v in
+  let e v = eval_int const_env v in
   (* (0u - 1u) >> 4 at unsigned int. *)
   Alcotest.(check int64) "unsigned shr" 268435455L
     (e (Bin (Shr, Bin (Sub, Const (0L, U32), Const (1L, U32)), Const (4L, I32))));
@@ -187,7 +406,7 @@ let test_reference_evaluator () =
   (* Narrow unsigned char widens by zero-extension: (0u8 - 1u8) is
      promoted to int 255 before negation questions arise. *)
   Alcotest.(check int64) "u8 promotes to int" 255L
-    (e (Cast (I32, Const (-1L, U8))));
+    (e (Cast (It I32, Const (-1L, U8))));
   (* Shift result type is the promoted left operand: char << 8. *)
   Alcotest.(check int64) "char shifts at int width" 25600L
     (e (Bin (Shl, Const (100L, I8), Const (8L, I32))));
@@ -199,6 +418,7 @@ let test_reference_evaluator () =
       globals = [ ("g0", U8, Const (300L, I32)) ];
       fields = [];
       arrays = [];
+      funcs = [];
       rcs = [ ("rc0", Bin (Add, EnumRef "E0", Const (1L, I32))) ];
       locals = [];
       body = [];
@@ -206,6 +426,117 @@ let test_reference_evaluator () =
   in
   Alcotest.(check string) "expected prefix" "E0=3\ng0=44\nrc0=4\n"
     (expected_prefix p)
+
+let test_reference_evaluator_floats () =
+  let open Cprog in
+  let ef v = match eval const_env v with VF f -> f | VI _ -> Alcotest.fail "expected float" in
+  let ei v = eval_int const_env v in
+  (* F32 addition rounds: 2^24 + 1 at float is 2^24. *)
+  Alcotest.(check (float 0.0)) "f32 add rounds" 16777216.0
+    (ef (Bin (Add, FConst (16777216.0, F32), FConst (1.0, F32))));
+  (* The same addition at double keeps the exact sum. *)
+  Alcotest.(check (float 0.0)) "f64 add exact" 16777217.0
+    (ef (Bin (Add, FConst (16777216.0, F64), FConst (1.0, F64))));
+  (* F32 division result, widened: the binary32 value of 1/3. *)
+  Alcotest.(check int64) "f32 div bits" 0x3FD5555560000000L
+    (Int64.bits_of_float
+       (ef (Bin (Div, FConst (1.0, F32), FConst (3.0, F32)))));
+  (* int-to-F32 conversion rounds. *)
+  Alcotest.(check (float 0.0)) "sitofp f32 rounds" 16777216.0
+    (ef (Cast (Ft F32, Const (16777217L, I32))));
+  (* u64-to-double uses the unsigned value. *)
+  Alcotest.(check int64) "uitofp u64 bits" 0x43F0000000000000L
+    (Int64.bits_of_float (ef (Cast (Ft F64, Const (-1L, U64)))));
+  (* Mixed comparison converts the int side to float. *)
+  Alcotest.(check int64) "mixed cmp" 1L
+    (ei (Bin (Lt, Const (1L, I32), FConst (1.5, F64))));
+  (* 0.0 / 0.0 is NaN: ordered comparisons false, != true, and the
+     saturating conversion maps it to 0. *)
+  let nan_e = Bin (Div, FConst (0.0, F64), FConst (0.0, F64)) in
+  Alcotest.(check int64) "NaN == is false" 0L (ei (Bin (Eq, nan_e, nan_e)));
+  Alcotest.(check int64) "NaN < is false" 0L (ei (Bin (Lt, nan_e, nan_e)));
+  Alcotest.(check int64) "NaN != is true" 1L (ei (Bin (Ne, nan_e, nan_e)));
+  Alcotest.(check int64) "NaN -> int is 0" 0L (ei (Cast (It I64, nan_e)));
+  (* Unary minus is 0.0 - x (so -(0.0) stays +0.0, like the engines). *)
+  Alcotest.(check int64) "neg zero via unary minus" 0L
+    (Int64.bits_of_float (ef (Un (Neg, FConst (0.0, F64)))));
+  (* Float rcs predict the widened bit pattern. *)
+  let p =
+    {
+      seed = 2;
+      enums = [];
+      globals = [];
+      fields = [];
+      arrays = [];
+      funcs = [];
+      rcs = [ ("rc0", Bin (Div, FConst (1.0, F32), FConst (3.0, F32))) ];
+      locals = [];
+      body = [];
+    }
+  in
+  Alcotest.(check string) "float expected prefix" "rc0=3fd5555560000000\n"
+    (expected_prefix p)
+
+let test_reference_evaluator_calls () =
+  let open Cprog in
+  (* h0(p) = let v = p * 2 in loop 3 times: v = v + p; return v + 1
+     — checks param binding, local init, loop execution and the return
+     conversion. h1 calls h0 (prefix-restricted). *)
+  let h0 =
+    {
+      fn_name = "h0";
+      fn_params = [ ("h0_p0", It I32) ];
+      fn_locals =
+        [ ("h0_v0", It I32, Bin (Mul, Var ("h0_p0", It I32), Const (2L, I32))) ];
+      fn_body =
+        [
+          Loop
+            ( "h0_i0", 3,
+              [
+                Assign
+                  ( "h0_v0",
+                    Bin (Add, Var ("h0_v0", It I32), Var ("h0_p0", It I32)) );
+              ] );
+        ];
+      fn_ret = It I64;
+      fn_ret_expr = Bin (Add, Var ("h0_v0", It I32), Const (1L, I32));
+    }
+  in
+  let h1 =
+    {
+      fn_name = "h1";
+      fn_params = [ ("h1_p0", Ft F32) ];
+      fn_locals = [];
+      fn_body = [];
+      fn_ret = Ft F32;
+      fn_ret_expr =
+        Bin
+          ( Add,
+            Var ("h1_p0", Ft F32),
+            Cast (Ft F32, Call ("h0", It I64, [ Const (10L, I32) ])) );
+    }
+  in
+  let env = { const_env with ev_funcs = [ h0; h1 ] } in
+  (* h0(10): v = 20; +10 three times = 50; return 51. *)
+  Alcotest.(check int64) "call with loop" 51L
+    (eval_int env (Call ("h0", It I64, [ Const (10L, I32) ])));
+  (* Argument conversion: the float argument truncates to int 10 at the
+     I32 parameter, so the result is again 51. *)
+  Alcotest.(check int64) "float arg converts" 51L
+    (eval_int env (Call ("h0", It I64, [ FConst (10.9, F64) ])));
+  (* h1(0.5) = 0.5 + 51.0f = 51.5 (exact at F32). *)
+  (match eval env (Call ("h1", Ft F32, [ FConst (0.5, F32) ])) with
+  | VF f -> Alcotest.(check (float 0.0)) "nested call" 51.5 f
+  | VI _ -> Alcotest.fail "expected float");
+  (* A self-call is not evaluable (callable set is the definition
+     prefix): Not_const, not divergence. *)
+  let selfy = { h0 with fn_name = "s"; fn_ret_expr = Call ("s", It I64, []) } in
+  let env2 = { const_env with ev_funcs = [ selfy ] } in
+  Alcotest.(check bool) "self-call raises Not_const" true
+    (try
+       ignore (eval env2 (Call ("s", It I64, [ Const (1L, I32) ])));
+       false
+     with Not_const -> true)
 
 let () =
   Alcotest.run "difftest"
@@ -218,6 +549,10 @@ let () =
             test_fold_cast_matches_engines;
           Alcotest.test_case "reference evaluator" `Quick
             test_reference_evaluator;
+          Alcotest.test_case "reference evaluator: floats" `Quick
+            test_reference_evaluator_floats;
+          Alcotest.test_case "reference evaluator: calls" `Quick
+            test_reference_evaluator_calls;
         ] );
       ( "regressions",
         [ Alcotest.test_case "checked-in reproducers" `Quick test_regressions ]
@@ -228,6 +563,9 @@ let () =
             test_generator_well_formed;
           Alcotest.test_case "deterministic" `Quick
             test_generator_deterministic;
+          Alcotest.test_case "feature flags parse" `Quick test_features_parse;
+          Alcotest.test_case "features reach the output" `Quick
+            test_generator_uses_features;
           Alcotest.test_case "mutates globals" `Quick
             test_generator_mutates_globals;
         ] );
@@ -238,6 +576,11 @@ let () =
             test_oracle_deterministic;
         ] );
       ( "shrinker",
-        [ Alcotest.test_case "greedy reduction" `Quick test_shrinker_reduces ]
-      );
+        [
+          Alcotest.test_case "greedy reduction" `Quick test_shrinker_reduces;
+          Alcotest.test_case "helper drop inlines callsites" `Quick
+            test_shrinker_drops_helper;
+          Alcotest.test_case "candidates stay compilable" `Slow
+            test_shrinker_round_trip;
+        ] );
     ]

@@ -421,6 +421,65 @@ int main(void) {
 |}
     "24\n"
 
+(* ---------------- single-precision rounding and NaN pinning -------- *)
+
+(* Pins the float semantics every engine must share, bit-exactly:
+   - F32 arithmetic rounds each result to binary32 (reverting the
+     [Irtype.round_result] fix keeps the double-precision intermediate
+     and changes the first printed line);
+   - int-to-F32 conversion rounds ((float)16777217 is 2^24);
+   - NaN comparison semantics: ordered comparisons are false, [!=] is
+     true ([exec_fcmp]'s Fne on NaN);
+   - float-to-int conversion is saturating with NaN -> 0
+     ([Irtype.float_to_int]).
+   Float values print as IEEE-754 bits through a double store, never
+   through a decimal formatter. *)
+let f32_nan_src =
+  {|
+int main(void) {
+  float one = 1.0f;
+  float three = 3.0f;
+  float a = 16777216.0f + one;
+  float q = one / three;
+  int n = 16777217;
+  float c = (float)n;
+  double z = 0.0;
+  double qn = z / z;
+  double big = 1e300;
+  double pa = (double)a;
+  double pq = (double)q;
+  double pc = (double)c;
+  printf("%lx %lx %lx\n", *(unsigned long *)&pa, *(unsigned long *)&pq,
+         *(unsigned long *)&pc);
+  printf("%d %d %d %d %d %d\n", qn == qn, qn != qn, qn < qn, qn <= qn,
+         qn > qn, qn >= qn);
+  printf("%ld %ld %ld\n", (long)qn, (long)big, (long)(0.0 - big));
+  return 0;
+}
+|}
+
+let f32_nan_expected =
+  "4170000000000000 3fd5555560000000 4170000000000000\n\
+   0 1 0 0 0 0\n\
+   0 9223372036854775807 -9223372036854775808\n"
+
+let test_f32_nan_semantics () =
+  let r = run f32_nan_src in
+  (match r.Interp.error with
+  | Some (_, m) -> Alcotest.failf "unexpected error: %s" m
+  | None -> ());
+  Alcotest.(check string) "interpreter output" f32_nan_expected r.Interp.output
+
+(* The same source through every oracle configuration: interpreter,
+   forced-hot tier, fold on/off, safe-jit, and the native pipeline at
+   -O0/-O3 must all print the same bits. *)
+let test_f32_nan_all_engines () =
+  match Oracle.check ~expected:f32_nan_expected f32_nan_src with
+  | Oracle.Agree out ->
+    Alcotest.(check string) "agreed output" f32_nan_expected out
+  | Oracle.Reject why -> Alcotest.failf "rejected: %s" why
+  | Oracle.Diverge { mismatch; _ } -> Alcotest.failf "diverged: %s" mismatch
+
 (* ---------------- limits ---------------- *)
 
 let test_step_limit () =
@@ -490,6 +549,13 @@ let () =
             test_switch_sparse_large;
           Alcotest.test_case "indirect call inline-cache miss path" `Quick
             test_indirect_call_cache_flip;
+        ] );
+      ( "float semantics",
+        [
+          Alcotest.test_case "F32 rounding + NaN pinning" `Quick
+            test_f32_nan_semantics;
+          Alcotest.test_case "same bits in every engine" `Quick
+            test_f32_nan_all_engines;
         ] );
       ( "limits",
         [

@@ -111,6 +111,56 @@ let test_default_threshold_stays_cold () =
   Alcotest.(check int) "no compiles below the 1M-op threshold" before
     compiles.Metrics.c_value
 
+(* ---------------- single-precision rounding and NaN pinning -------- *)
+
+(* The closure-compiled tier goes through [Closcomp], whose float ops
+   must round F32 results to binary32 exactly like the interpreter
+   ([Irtype.round_result]).  This pins the reproducers from
+   test_interp.ml on the forced-hot path: 16777216.0f + 1.0f, an F32
+   division whose double intermediate differs, (float)16777217, NaN
+   comparison truth table, and saturating float-to-int. *)
+let f32_nan_src =
+  {|
+int main(void) {
+  float one = 1.0f;
+  float three = 3.0f;
+  float a = 16777216.0f + one;
+  float q = one / three;
+  int n = 16777217;
+  float c = (float)n;
+  double z = 0.0;
+  double qn = z / z;
+  double big = 1e300;
+  double pa = (double)a;
+  double pq = (double)q;
+  double pc = (double)c;
+  printf("%lx %lx %lx\n", *(unsigned long *)&pa, *(unsigned long *)&pq,
+         *(unsigned long *)&pc);
+  printf("%d %d %d %d %d %d\n", qn == qn, qn != qn, qn < qn, qn <= qn,
+         qn > qn, qn >= qn);
+  printf("%ld %ld %ld\n", (long)qn, (long)big, (long)(0.0 - big));
+  return 0;
+}
+|}
+
+let f32_nan_expected =
+  "4170000000000000 3fd5555560000000 4170000000000000\n\
+   0 1 0 0 0 0\n\
+   0 9223372036854775807 -9223372036854775808\n"
+
+let test_f32_nan_tiered () =
+  let m = Loader.load_program f32_nan_src in
+  Pipeline.compile_sulong m;
+  let st =
+    Interp.create ~step_limit ~mementos:true ~input:""
+      ~tier:(Tier.controller ~threshold:0 ()) m
+  in
+  let r = Interp.run ~argv:[ "prog" ] st in
+  (match r.Interp.error with
+  | Some (_, m) -> Alcotest.failf "unexpected error: %s" m
+  | None -> ());
+  Alcotest.(check string) "tiered output" f32_nan_expected r.Interp.output
+
 (* ---------------- difftest seeds ---------------- *)
 
 (* The oracle's 8 configurations include [sulong/tiered]; any
@@ -143,6 +193,11 @@ let () =
             test_deopt_fires_on_managed_error;
           Alcotest.test_case "default threshold stays cold" `Quick
             test_default_threshold_stays_cold;
+        ] );
+      ( "float semantics",
+        [
+          Alcotest.test_case "F32 rounding + NaN pinning, forced hot" `Quick
+            test_f32_nan_tiered;
         ] );
       ( "difftest",
         [
