@@ -470,11 +470,19 @@ let difftest_cmd =
 
 (* ---------------- bench ---------------- *)
 
-(* The always-on subset of bench/main.exe: time the Fig 15 meteor unit
-   of work under the interpreter and under the closure-compiled tier,
-   and append the wall-clock rows (plus the interp/tiered speedup) to a
-   JSON-array log so the tiered-engine trajectory is tracked across
-   PRs.  The full microbenchmark suite stays in bench/main.exe. *)
+(* The always-on subset of bench/main.exe: time the Fig 15 meteor and
+   whetstone units of work under the interpreter and under the
+   closure-compiled tier, and append the wall-clock rows (plus the
+   per-benchmark interp/tiered speedups) to a JSON-array log so the
+   tiered-engine trajectory is tracked across PRs.  Each benchmark
+   prepares one state per engine and rewinds it with [Interp.reset]
+   between iterations: [pf_tier] survives the reset (the compiled-body
+   cache), so the tiered rows time warm execution, not recompilation —
+   the same shape as the paper's warmed-up measurements.  The full
+   microbenchmark suite stays in bench/main.exe.
+
+   `sulong bench --compare OLD.json NEW.json` diffs two such logs and
+   exits nonzero when any ns_per_op row regressed by more than 10%. *)
 
 let bench_time ?(quota_s = 0.5) ?(min_runs = 3) (thunk : unit -> unit) : float =
   thunk ();
@@ -487,43 +495,137 @@ let bench_time ?(quota_s = 0.5) ?(min_runs = 3) (thunk : unit -> unit) : float =
   done;
   (Sys.time () -. t0) *. 1e9 /. float_of_int !runs
 
-let do_bench json_file =
-  let m = Loader.load_program Benchprogs.meteor.Benchprogs.b_source in
+(* (label, interp ns/op, tiered ns/op) for one benchmark program. *)
+let bench_pair ~quota_s (label : string) (src : string) :
+    string * float * float =
+  let m = Loader.load_program src in
+  let sti = Interp.create m in
   let interp_ns =
-    bench_time (fun () -> ignore (Interp.run (Interp.create (Irmod.copy m))))
+    bench_time ~quota_s (fun () ->
+        Interp.reset sti;
+        ignore (Interp.run sti))
   in
+  let stt = Interp.create ~tier:(Tier.controller ~threshold:0 ()) m in
   let tiered_ns =
-    bench_time (fun () ->
-        ignore
-          (Interp.run
-             (Interp.create ~tier:(Tier.controller ~threshold:0 ())
-                (Irmod.copy m))))
+    bench_time ~quota_s (fun () ->
+        Interp.reset stt;
+        ignore (Interp.run stt))
   in
-  let speedup = interp_ns /. tiered_ns in
-  Printf.printf "fig15 meteor, managed interpreter:   %12.0f ns/op\n" interp_ns;
-  Printf.printf "fig15 meteor, closure-compiled tier: %12.0f ns/op\n" tiered_ns;
-  Printf.printf "interp/tiered speedup:               %12.2f x\n" speedup;
+  (label, interp_ns, tiered_ns)
+
+let do_bench_run quota_s json_file =
+  let pairs =
+    [
+      bench_pair ~quota_s "fig15 meteor" Benchprogs.meteor.Benchprogs.b_source;
+      bench_pair ~quota_s "whetstone" Benchprogs.whetstone.Benchprogs.b_source;
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (label, interp_ns, tiered_ns) ->
+        let speedup = interp_ns /. tiered_ns in
+        Printf.printf "%-12s managed interpreter:   %12.0f ns/op\n" label
+          interp_ns;
+        Printf.printf "%-12s closure-compiled tier: %12.0f ns/op\n" label
+          tiered_ns;
+        Printf.printf "%-12s interp/tiered speedup: %12.2f x\n" label speedup;
+        [
+          Printf.sprintf
+            "  {\"name\": \"bench: %s (managed interpreter)\", \"ns_per_op\": \
+             %.0f}"
+            label interp_ns;
+          Printf.sprintf
+            "  {\"name\": \"bench: %s (closure-compiled tier)\", \
+             \"ns_per_op\": %.0f}"
+            label tiered_ns;
+          Printf.sprintf
+            "  {\"name\": \"bench: %s interp/tiered speedup\", \"value\": \
+             %.2f}"
+            label speedup;
+        ])
+      pairs
+  in
   (match json_file with
   | Some file ->
-    List.iter
-      (Difftest.append_row ~file)
-      [
-        Printf.sprintf
-          "  {\"name\": \"bench: fig15 meteor (managed interpreter)\", \
-           \"ns_per_op\": %.0f}"
-          interp_ns;
-        Printf.sprintf
-          "  {\"name\": \"bench: fig15 meteor (closure-compiled tier)\", \
-           \"ns_per_op\": %.0f}"
-          tiered_ns;
-        Printf.sprintf
-          "  {\"name\": \"bench: fig15 interp/tiered speedup\", \"value\": \
-           %.2f}"
-          speedup;
-      ];
+    List.iter (Difftest.append_row ~file) rows;
     Printf.printf "appended rows to %s\n" file
   | None -> ());
   0
+
+(* --compare: extract the ns_per_op rows of the stable one-object-per-line
+   JSON-array schema both bench writers emit.  Not a JSON parser — just
+   enough for the schema we own. *)
+let parse_ns_rows (file : string) : (string * float) list =
+  let ic = open_in file in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let field line key =
+    let kq = "\"" ^ key ^ "\":" in
+    let n = String.length line and m = String.length kq in
+    let rec find i =
+      if i + m > n then None
+      else if String.sub line i m = kq then Some (i + m)
+      else find (i + 1)
+    in
+    find 0
+  in
+  String.split_on_char '\n' s
+  |> List.filter_map (fun line ->
+         match (field line "name", field line "ns_per_op") with
+         | Some ni, Some vi -> (
+           try
+             let nstart = String.index_from line ni '"' + 1 in
+             let nend = String.index_from line nstart '"' in
+             let name = String.sub line nstart (nend - nstart) in
+             let vend = ref vi in
+             while
+               !vend < String.length line
+               && (match line.[!vend] with
+                  | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' | ' ' -> true
+                  | _ -> false)
+             do
+               incr vend
+             done;
+             Some (name, float_of_string (String.trim (String.sub line vi (!vend - vi))))
+           with _ -> None)
+         | _ -> None)
+
+let do_bench_compare old_file new_file =
+  let old_rows = parse_ns_rows old_file in
+  let new_rows = parse_ns_rows new_file in
+  let tolerance = 1.10 in
+  let regressions = ref 0 in
+  List.iter
+    (fun (name, ns_new) ->
+      match List.assoc_opt name old_rows with
+      | Some ns_old when ns_old > 0.0 ->
+        let ratio = ns_new /. ns_old in
+        let flag = if ratio > tolerance then "REGRESSION" else "ok" in
+        if ratio > tolerance then incr regressions;
+        Printf.printf "%-56s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n" name
+          ns_old ns_new
+          ((ratio -. 1.0) *. 100.0)
+          flag
+      | _ -> Printf.printf "%-56s %28.0f ns/op  (new row)\n" name ns_new)
+    new_rows;
+  if !regressions > 0 then begin
+    Printf.printf "bench: %d row(s) regressed by more than %.0f%%\n"
+      !regressions ((tolerance -. 1.0) *. 100.0);
+    1
+  end
+  else begin
+    Printf.printf "bench: no ns_per_op row regressed by more than %.0f%%\n"
+      ((tolerance -. 1.0) *. 100.0);
+    0
+  end
+
+let do_bench quota_s json_file compare_files =
+  match compare_files with
+  | [] -> do_bench_run quota_s json_file
+  | [ old_file; new_file ] -> do_bench_compare old_file new_file
+  | _ ->
+    prerr_endline "bench: --compare takes exactly OLD.json NEW.json";
+    2
 
 let bench_json_arg =
   Arg.(
@@ -534,9 +636,28 @@ let bench_json_arg =
           "Append the interp-vs-tiered rows to the JSON-array log $(docv) \
            (default BENCH_interp.json).")
 
+let bench_quota_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "quota" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-row timing quota; lower it (e.g. 0.05) for a smoke run that \
+           only checks the tiered engine still executes the benchmarks.")
+
+let bench_compare_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "compare" ] ~docv:"FILE"
+        ~doc:
+          "Given twice (--compare OLD.json --compare NEW.json), diff the two \
+           bench logs instead of timing, and exit nonzero when any \
+           ns_per_op row regressed by more than 10%.")
+
 let bench_cmd =
   let doc = "time the interpreter vs. the closure-compiled tier (Fig 15 unit)" in
-  Cmd.v (Cmd.info "bench" ~doc) Term.(const do_bench $ bench_json_arg)
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(const do_bench $ bench_quota_arg $ bench_json_arg $ bench_compare_arg)
 
 (* ---------------- obs-selftest ---------------- *)
 

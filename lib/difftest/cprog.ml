@@ -23,11 +23,13 @@
     negatives, saturating float-to-int conversion) are fair game: every
     configuration must still agree.
 
-    Floats never compare through a decimal formatter: every float result
-    is printed *bit-exactly*, by storing the value through a [double]
-    and printing the IEEE-754 bits with [%lx] (see [render]).  A
-    formatter difference can therefore never mask or fake a divergence,
-    and the reference evaluator predicts the exact bit pattern. *)
+    Float results print as decimals — [printf("%.17g", (double)x)] —
+    not as an IEEE-754 bit pun: every printf engine (the managed libc,
+    the native model) and the reference evaluator render decimals
+    through the one shared [Floatfmt], and 17 significant digits
+    uniquely identify a binary64, so decimal equality still implies bit
+    equality (modulo NaN payloads) and a formatter difference between
+    engines is itself a reportable divergence (see [print_line]). *)
 
 (* ------------------------------------------------------------------ *)
 (* Types and constant arithmetic (LP64)                                *)
@@ -523,8 +525,8 @@ let enum_env (p : program) : (string * int64) list =
   |> List.rev
 
 (** One reference-predicted output line: a decimal integer printed via
-    [%ld], or the IEEE-754 bits of a float result printed via [%lx]. *)
-type line = Lint of int64 | Lbits of int64
+    [%ld], or a float result (double-widened) printed via [%.17g]. *)
+type line = Lint of int64 | Lfloat of float
 
 (** The output lines whose values the reference evaluator can predict:
     enum constants, global initial values, and the pure recomputed
@@ -544,7 +546,7 @@ let expected_lines (p : program) : (string * line) list =
       (fun (n, e) ->
         match (type_of e, eval env e) with
         | It t, VI v -> (n, Lint (as_long t v))
-        | Ft _, VF f -> (n, Lbits (Int64.bits_of_float f))
+        | Ft _, VF f -> (n, Lfloat f)
         | _ -> raise Not_const)
       p.rcs
 
@@ -554,7 +556,7 @@ let expected_prefix (p : program) : string =
        (fun (n, l) ->
          match l with
          | Lint v -> Printf.sprintf "%s=%Ld\n" n v
-         | Lbits b -> Printf.sprintf "%s=%Lx\n" n b)
+         | Lfloat f -> Printf.sprintf "%s=%s\n" n (Floatfmt.format 'g' 17 f))
        (expected_lines p))
 
 (* ------------------------------------------------------------------ *)
@@ -679,11 +681,15 @@ let render_func b (f : func) =
   List.iter (render_stmt b 2) f.fn_body;
   Buffer.add_string b (Printf.sprintf "  return %s;\n}\n" (render_expr f.fn_ret_expr))
 
-(** Bit-exact float printing: widen to double (exact for any F32 value),
-    store, reload the representation as an [unsigned long] and print it
-    in hex.  No decimal formatter ever touches a float result, so the
-    oracle compares IEEE-754 bit patterns — the only comparison under
-    which "equal output" implies "equal value". *)
+(** Float printing: widen to double (exact for any F32 value) and print
+    the decimal with [%.17g].  All printf engines delegate decimal
+    conversion to the shared [Floatfmt] (the managed libc through the
+    [__sulong_format_double] intrinsic, the native model directly), so
+    "equal value" gives equal output by construction, and 17 significant
+    digits round-trip a binary64, so "equal output" still implies "equal
+    value" (NaN payloads excepted) — the bit-pun through an unsigned
+    long this replaces (DESIGN.md §10) is no longer needed to make the
+    comparison sound. *)
 let print_line b name (s : sty) what =
   match s with
   | It _ ->
@@ -691,10 +697,7 @@ let print_line b name (s : sty) what =
       (Printf.sprintf "  printf(\"%s=%%ld\\n\", (long)%s);\n" name what)
   | Ft _ ->
     Buffer.add_string b
-      (Printf.sprintf
-         "  { double pb_%s = (double)%s; printf(\"%s=%%lx\\n\", *(unsigned \
-          long *)&pb_%s); }\n"
-         what what name what)
+      (Printf.sprintf "  printf(\"%s=%%.17g\\n\", (double)%s);\n" name what)
 
 let render (p : program) : string =
   let b = Buffer.create 1024 in

@@ -70,51 +70,106 @@ let outcome_key (o : Outcome.t) : string =
   | Outcome.Crashed _ -> "crashed"
   | Outcome.Timeout -> "timeout"
 
-let run_config (c : config) (src : string) : observation =
+(* Parse/sema/lower rejections and verifier failures turn into error
+   keys; a rejection is uniform across configurations and classified as
+   such by [check], while a config-dependent exception (e.g. a transform
+   producing IR the verifier rejects) diverges. *)
+let guard (f : unit -> 'a) : ('a, string) result =
+  try Ok (f ()) with e -> Error ("error:" ^ Printexc.to_string e)
+
+(** Front-end products shared by every configuration with the same
+    immediate-folding setting: the user module is parsed once and the
+    managed link (libc copy + link + verify) runs once, instead of once
+    per configuration — the dominant per-seed cost for the tiny
+    generated programs.  Safe to share because nothing downstream
+    mutates them: the native pipeline and the managed middle-end
+    configurations each rewrite an [Irmod.copy], and the interpreter
+    only reads the module it prepares.  Lazy so a seed exercising only
+    one folding mode never pays for the other, and so a front-end
+    failure memoizes as the same error key the failing configurations
+    all report. *)
+type frontend = {
+  fe_user : (Irmod.t, string) result Lazy.t;
+  fe_managed : (Irmod.t, string) result Lazy.t;
+}
+
+let frontend_of (src : string) (fold : bool) : frontend =
+  let fe_user =
+    lazy (guard (fun () -> with_fe_fold fold (fun () -> Loader.compile_user src)))
+  in
+  let fe_managed =
+    lazy
+      (match Lazy.force fe_user with
+      | Error _ as e -> e
+      | Ok user ->
+        guard (fun () ->
+            let linked =
+              (* the shared (uncopied) libc: [link] is pure and every
+                 mutating configuration copies the linked module first *)
+              Trace.span "link" (fun () ->
+                  Irmod.link user (Loader.libc_module_shared ()))
+            in
+            Trace.span "verify" (fun () -> Verify.verify linked);
+            linked))
+  in
+  { fe_user; fe_managed }
+
+let run_config (fe : frontend) (c : config) : observation =
   let key, output =
-    try
-      with_fe_fold c.cfg_fe_fold @@ fun () ->
-      match c.cfg_target with
-      | `Native level ->
-        let r = Engine.run ~step_limit (Engine.Clang level) src in
-        (outcome_key r.Engine.outcome, r.Engine.output)
-      | `Managed mode ->
-        let m = Loader.load_program src in
-        (match mode with
-        | `Plain | `Tiered -> ()
-        | `FoldOnly ->
-          let rounds = ref 0 in
-          while !rounds < 8 && Fold.run m do
-            incr rounds
-          done;
-          Verify.verify m
-        | `SafeJit ->
-          ignore (Pipeline.safe_jit m);
-          Verify.verify m);
-        let tier =
-          match mode with
-          | `Tiered -> Some (Tier.controller ~threshold:0 ())
-          | `Plain | `FoldOnly | `SafeJit -> None
-        in
-        let st =
-          Interp.create ~step_limit ~mementos:true ~detect_uninit:false
-            ~input:"" ?tier m
-        in
-        let r = Interp.run ~argv:[ "program" ] st in
-        let key =
-          if r.Interp.timed_out then "timeout"
-          else
-            match r.Interp.error with
-            | Some (cat, _) -> "detected:" ^ Merror.category_name cat
-            | None -> Printf.sprintf "finished:%d" r.Interp.exit_code
-        in
-        (key, r.Interp.output)
-    with e ->
-      (* Parse/sema/lower rejections and verifier failures land here; a
-         rejection is uniform across configurations and classified as
-         such by [check], while a config-dependent exception (e.g. a
-         transform producing IR the verifier rejects) diverges. *)
-      ("error:" ^ Printexc.to_string e, "")
+    match c.cfg_target with
+    | `Native level -> (
+      match Lazy.force fe.fe_user with
+      | Error key -> (key, "")
+      | Ok user -> (
+        match
+          guard (fun () -> Engine.run_clang_module ~step_limit ~level user)
+        with
+        | Error key -> (key, "")
+        | Ok r -> (outcome_key r.Engine.outcome, r.Engine.output)))
+    | `Managed mode -> (
+      match Lazy.force fe.fe_managed with
+      | Error key -> (key, "")
+      | Ok linked -> (
+        match
+          guard (fun () ->
+              let m =
+                match mode with
+                | `Plain | `Tiered -> linked
+                | `FoldOnly ->
+                  let m = Irmod.copy linked in
+                  let rounds = ref 0 in
+                  while !rounds < 8 && Fold.run m do
+                    incr rounds
+                  done;
+                  Verify.verify m;
+                  m
+                | `SafeJit ->
+                  let m = Irmod.copy linked in
+                  ignore (Pipeline.safe_jit m);
+                  Verify.verify m;
+                  m
+              in
+              let tier =
+                match mode with
+                | `Tiered -> Some (Tier.controller ~threshold:0 ())
+                | `Plain | `FoldOnly | `SafeJit -> None
+              in
+              let st =
+                Interp.create ~step_limit ~mementos:true ~detect_uninit:false
+                  ~input:"" ?tier m
+              in
+              Interp.run ~argv:[ "program" ] st)
+        with
+        | Error key -> (key, "")
+        | Ok r ->
+          let key =
+            if r.Interp.timed_out then "timeout"
+            else
+              match r.Interp.error with
+              | Some (cat, _) -> "detected:" ^ Merror.category_name cat
+              | None -> Printf.sprintf "finished:%d" r.Interp.exit_code
+          in
+          (key, r.Interp.output)))
   in
   { ob_config = c.cfg_name; ob_key = key; ob_output = output }
 
@@ -127,7 +182,13 @@ let is_error key = has_prefix ~prefix:"error:" key
 (** Compare [src] across all configurations.  [expected] is the
     reference-predicted output prefix, when available. *)
 let check ?expected (src : string) : verdict =
-  let obs = List.map (fun c -> run_config c src) configs in
+  let fold_fe = frontend_of src true in
+  let nofold_fe = frontend_of src false in
+  let obs =
+    List.map
+      (fun c -> run_config (if c.cfg_fe_fold then fold_fe else nofold_fe) c)
+      configs
+  in
   match obs with
   | [] -> assert false
   | first :: rest ->

@@ -102,11 +102,18 @@ let wrap_native (m : Irmod.t) (r : Nexec.run_result) ~(promote_crash : string op
     static_instrs = Irmod.instr_count m;
   }
 
-let run_clang ~level ~argv ~input ~step_limit (src : string) : result =
-  let m = Loader.compile_user src in
+let run_clang_module ?(argv = [ "program" ]) ?(input = "")
+    ?(step_limit = default_step_limit) ~level (user : Irmod.t) : result =
+  (* [compile_native] rewrites in place; copy so the caller can reuse
+     one front-ended module across levels (the differential oracle
+     parses once and fans out from here). *)
+  let m = Irmod.copy user in
   Pipeline.compile_native ~level m;
   let st = Nexec.create ~step_limit ~input m in
   wrap_native m (Nexec.run ~argv st) ~promote_crash:None
+
+let run_clang ~level ~argv ~input ~step_limit (src : string) : result =
+  run_clang_module ~argv ~input ~step_limit ~level (Loader.compile_user src)
 
 let run_asan ~level ~options ~argv ~input ~step_limit (src : string) : result =
   let m = Loader.compile_user src in

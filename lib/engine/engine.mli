@@ -57,5 +57,18 @@ val run :
   string ->
   result
 
+(** Run an already-front-ended user module (from [Loader.compile_user])
+    under plain Clang semantics at [level].  The module is copied before
+    the native pipeline rewrites it, so one front-end product can be
+    reused across levels — the differential oracle's per-seed parse is
+    done once, not once per configuration. *)
+val run_clang_module :
+  ?argv:string list ->
+  ?input:string ->
+  ?step_limit:int ->
+  level:Pipeline.level ->
+  Irmod.t ->
+  result
+
 (** The five configurations of the paper's effectiveness comparison. *)
 val comparison_tools : tool list

@@ -79,3 +79,86 @@ end
 
 let all : (module S) list =
   [ (module Interp_only); (module Closure_tiered); (module Simulated) ]
+
+(* ------------------------------------------------------------------ *)
+(* Compiled-body cache                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** A cached runner: one prepared [Interp.state] per lowered module,
+    rewound with [Interp.reset] between runs instead of re-created.
+    [reset] replays bit-identically to a fresh [create] — same outputs,
+    step counts, error reports, observable object ids — but [pf_tier]
+    survives, so closure-compiled bodies carry over: the second and
+    later runs of a hot program start warm and never recompile.  That
+    is what lets repeated-execution workloads (bench warm iterations,
+    the difftest oracle's managed configurations re-running one seed's
+    program) pay preparation and compilation once.
+
+    Keyed by module *physical* identity: every pipeline that changes IR
+    does so on an [Irmod.copy], so [==] on the module implies the
+    prepared code is still valid for it. *)
+module Cached : sig
+  type t
+
+  val create :
+    ?step_limit:int ->
+    ?mementos:bool ->
+    ?detect_uninit:bool ->
+    tier:[ `Interp | `Tiered ] ->
+    unit ->
+    t
+
+  (** Run [main] of [m], reusing (and rewinding) the prepared state from
+      a previous run of the physically-same module.  [input] defaults to
+      [""] on every run, exactly like a fresh [Interp.create]. *)
+  val run :
+    t -> ?argv:string list -> ?input:string -> Irmod.t -> Interp.run_result
+
+  (** Number of prepared states currently held (test hook). *)
+  val states : t -> int
+end = struct
+  type t = {
+    step_limit : int option;
+    mementos : bool option;
+    detect_uninit : bool option;
+    tier : [ `Interp | `Tiered ];
+    mutable entries : (Irmod.t * Interp.state) list;  (** MRU first *)
+  }
+
+  (* The oracle holds 8 configurations of a seed at once; a handful of
+     slots covers them with room to spare, and eviction just forgets a
+     prepared state (correctness never depends on a hit). *)
+  let max_entries = 16
+
+  let create ?step_limit ?mementos ?detect_uninit ~tier () =
+    { step_limit; mementos; detect_uninit; tier; entries = [] }
+
+  let states t = List.length t.entries
+
+  let state_for (t : t) (m : Irmod.t) ~(input : string) : Interp.state =
+    match List.partition (fun (m', _) -> m' == m) t.entries with
+    | [ ((_, st) as hit) ], rest ->
+      t.entries <- hit :: rest;
+      Interp.reset ~input st;
+      st
+    | _ ->
+      let tier =
+        match t.tier with
+        | `Interp -> None
+        | `Tiered -> Some (Tier.controller ())
+      in
+      let st =
+        Interp.create ?step_limit:t.step_limit ?mementos:t.mementos
+          ?detect_uninit:t.detect_uninit ?tier ~input m
+      in
+      let kept =
+        if List.length t.entries >= max_entries then
+          List.filteri (fun i _ -> i < max_entries - 1) t.entries
+        else t.entries
+      in
+      t.entries <- (m, st) :: kept;
+      st
+
+  let run t ?argv ?(input = "") m =
+    Interp.run ?argv (state_for t m ~input)
+end

@@ -169,10 +169,12 @@ and pcallee =
       (** patched by [link_module] once per module *)
   | Pindirect of pval * icache
 
-(** Where a call goes, resolved ahead of execution. *)
+(** Where a call goes, resolved ahead of execution.  Builtins carry
+    their name so the closure compiler can recognize the effect-free
+    ones when deciding whether a callee is inlinable. *)
 and call_target =
   | Tgt_user of pfunc
-  | Tgt_builtin of (state -> Mval.t array -> Mval.t option)
+  | Tgt_builtin of string * (state -> Mval.t array -> Mval.t option)
   | Tgt_unknown of string  (** raises the unprepared interpreter's
                                "unknown builtin" error when called *)
 
@@ -184,6 +186,12 @@ and pblock = {
   pb_label : string;
   pb_instrs : pinstr array;  (** phis excluded; they live on the edges *)
   pb_term : pterm;
+  pb_index : int;            (** position in [pf_blocks] *)
+  mutable pb_osr : bool;
+      (** loop header: target of some back edge.  The interpreter probes
+          the tier controller here, so a single long-running call (one
+          hot [main] loop) can enter compiled code mid-invocation via
+          on-stack replacement. *)
 }
 
 and pfunc = {
@@ -219,15 +227,37 @@ and pfunc = {
    would. *)
 
 and tier =
-  | Tier_interp                     (** cold: threaded interpreter *)
-  | Tier_compiled of compiled_body  (** hot: closure-compiled (tier 2) *)
+  | Tier_interp                (** cold: threaded interpreter *)
+  | Tier_compiled of compiled  (** hot: closure-compiled (tier 2) *)
   | Tier_deopt
       (** a managed error fired in compiled code; the function stays in
           the interpreter for the rest of the run *)
 
+(** A compiled function: the normal entry plus, when the function has
+    loop headers, an on-stack-replacement entry that starts execution at
+    an arbitrary block index after transferring the interpreter frame
+    into the compiled register files. *)
+and compiled = {
+  cb_entry : compiled_body;
+  cb_osr : osr_body option;
+  cb_frame : (Mval.t array -> Irtype.scalar array -> frame) option;
+      (** allocate-or-recycle a frame with the compiled register-file
+          layout installed and parameters copied; [None] falls back to
+          the generic frame construction in [call_function] (and then
+          [cb_entry] must install its own register files) *)
+  cb_release : (frame -> unit) option;
+      (** return a [cb_frame]-obtained frame to the free list after a
+          normal return.  Never called on the error path: the erroring
+          frame stays reachable from [frames] for reporting. *)
+}
+
 (** A compiled function body: runs the function from its entry block in
     an already-set-up frame (registers allocated, parameters copied). *)
 and compiled_body = state -> frame -> Mval.t option
+
+(** OSR entry: [osr st fr idx] resumes mid-invocation at block [idx],
+    whose phi copies the interpreter has already executed. *)
+and osr_body = state -> frame -> int -> Mval.t option
 
 (** Tier controller: policy ([tc_hot], shared with the warm-up
     simulation via [Jit.Hotness]) + mechanism ([tc_compile], the closure
@@ -235,7 +265,7 @@ and compiled_body = state -> frame -> Mval.t option
     lib/jit. *)
 and tierctl = {
   tc_hot : counters -> bool;
-  tc_compile : state -> pfunc -> compiled_body;
+  tc_compile : state -> pfunc -> compiled;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -244,14 +274,24 @@ and tierctl = {
 
 and frame = {
   fr_func : pfunc;
-  fr_regs : Mval.t array;
+  mutable fr_regs : Mval.t array;
+      (** boxed register file.  Mutable because a compiled body that
+          inlined callees re-installs an enlarged file covering the
+          callees' register ranges. *)
   mutable fr_iregs : int array;
       (** unboxed small-integer register file, used only by compiled
           bodies (the closure compiler proves which registers always
           hold <=32-bit integers and keeps them out of [fr_regs]);
           [[||]] in interpreted frames *)
-  fr_args : Mval.t array;          (** all incoming arguments *)
-  fr_arg_scalars : Irtype.scalar array;
+  mutable fr_fregs : float array;
+      (** unboxed F32/F64 register file (compiled bodies only) *)
+  mutable fr_pobj : Mobject.t array;
+  mutable fr_poff : int array;
+      (** unboxed pointer register file, split pointee/offset; holds only
+          object pointers for registers the compiler proved
+          write-before-read ([Mobject.dummy] elsewhere) *)
+  mutable fr_args : Mval.t array;  (** all incoming arguments *)
+  mutable fr_arg_scalars : Irtype.scalar array;
   fr_variadic : bool;
   fr_nparams : int;
   mutable fr_line : int;  (** C line of the last [Ploc] executed (0: none) *)
@@ -278,6 +318,11 @@ and state = {
   opstats : opstats;
   seed : int;                   (** rng seed, kept for deterministic rerun *)
   tier : tierctl option;        (** tier controller; [None]: interp only *)
+  detect_uninit : bool;         (** uninitialized-read detection, kept so
+                                    [reset] can restore the global flag *)
+  mutable snapshot : Mobject.checkpoint option;
+      (** object-registry state right after [create]; reinstalled by
+          [reset] so re-runs replay the same observable object ids *)
   provenance : bool;
       (** true: [Ploc] markers stay in the prepared body and track the
           current source line eagerly (slower dispatch loop).  false
@@ -754,6 +799,36 @@ let lookup_builtin (name : string) :
   | "__sulong_rand" ->
     Some
       (fun st _args -> Some (Mval.Vint (Int64.of_int (Prng.int st.rng 0x7FFFFFFF))))
+  | "__sulong_format_double" ->
+    (* (v, conv, prec, out, cap) -> length: renders v like C's
+       printf("%.*<conv>", prec, v) into the caller-provided buffer.
+       The decimal conversion itself happens host-side in [Floatfmt] so
+       the managed libc, the native model and the difftest oracle share
+       one float renderer (DESIGN.md §10). *)
+    Some
+      (fun st args ->
+        let ctx = context st in
+        let v = arg_float args 0 in
+        let conv = Char.chr (Int64.to_int (arg_int args 1) land 0xff) in
+        let prec = Int64.to_int (arg_int args 2) in
+        let cap = Int64.to_int (arg_int args 4) in
+        let s = Floatfmt.format conv prec v in
+        let s =
+          if String.length s > max 0 (cap - 1) then
+            String.sub s 0 (max 0 (cap - 1))
+          else s
+        in
+        (match Mval.as_ptr ctx args.(3) with
+        | Mobject.Pobj a ->
+          Mobject.write_bytes a s ctx;
+          Mobject.store_int
+            { a with Mobject.moff = a.Mobject.moff + String.length s }
+            ~size:1 0L ctx
+        | Mobject.Pnull -> Merror.raise_error Merror.Null_deref ctx
+        | Mobject.Pfunc _ | Mobject.Pinvalid _ ->
+          Merror.raise_error
+            (Merror.Type_violation "bad buffer passed to format_double") ctx);
+        Some (Mval.Vint (Int64.of_int (String.length s))))
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -871,7 +946,7 @@ let prepare_func (st : state) (f : Irfunc.t) : pfunc =
       in
       Edge (j, copies)
   in
-  let prep_block (b : Irfunc.block) : pblock =
+  let prep_block bidx (b : Irfunc.block) : pblock =
     let from_label = b.Irfunc.label in
     let body =
       List.filter
@@ -918,15 +993,39 @@ let prepare_func (st : state) (f : Irfunc.t) : pfunc =
       pb_label = from_label;
       pb_instrs = Array.of_list (List.map (prepare_instr st) body);
       pb_term = term;
+      pb_index = bidx;
+      pb_osr = false;
     }
   in
   let counters = fresh_counters () in
   Hashtbl.replace st.profile.funcs f.Irfunc.name counters;
+  let pblocks = Array.mapi prep_block blocks in
+  (* Mark loop headers: any edge i -> j with j <= i makes j an OSR
+     candidate (covers self-loops and the structured loops the C
+     front end emits). *)
+  Array.iteri
+    (fun i blk ->
+      let mark = function
+        | Edge (j, _) when j <= i -> pblocks.(j).pb_osr <- true
+        | Edge _ | Edge_unknown _ -> ()
+      in
+      match blk.pb_term with
+      | Pbr e -> mark e
+      | Pcondbr (_, a, b) ->
+        mark a;
+        mark b
+      | Pswitch (_, impl, default) ->
+        (match impl with
+        | Sw_linear (_, edges) -> Array.iter mark edges
+        | Sw_table tbl -> Hashtbl.iter (fun _ e -> mark e) tbl);
+        mark default
+      | Pret _ | Punreachable -> ())
+    pblocks;
   {
     pf_ir = f;
     pf_name = f.Irfunc.name;
     pf_context = "in function " ^ f.Irfunc.name;
-    pf_blocks = Array.map prep_block blocks;
+    pf_blocks = pblocks;
     pf_entry_copies =
       (if nblocks > 0 && phis.(0) <> [] then Pc_missing else Pc_none);
     pf_nregs = max f.Irfunc.next_reg 1;
@@ -944,7 +1043,7 @@ let resolve_callee st (name : string) : call_target =
   | Some pf -> Tgt_user pf
   | None -> begin
     match lookup_builtin name with
-    | Some fn -> Tgt_builtin fn
+    | Some fn -> Tgt_builtin (name, fn)
     | None -> Tgt_unknown name
   end
 
@@ -1006,28 +1105,39 @@ let rec call_function st (pf : pfunc) (args : Mval.t array)
     | Tier_interp | Tier_compiled _ | Tier_deopt -> ()
   end
   | None -> ());
-  let regs = Array.make pf.pf_nregs Mval.zero in
   let fr =
-    {
-      fr_func = pf;
-      fr_regs = regs;
-      fr_iregs = [||];
-      fr_args = args;
-      fr_arg_scalars = arg_scalars;
-      fr_variadic = pf.pf_variadic;
-      fr_nparams = pf.pf_nparams;
-      fr_line = 0;
-      fr_col = 0;
-    }
+    match pf.pf_tier with
+    | Tier_compiled { cb_frame = Some acquire; _ } ->
+      (* pooled frame, register files installed and parameters copied *)
+      acquire args arg_scalars
+    | Tier_compiled { cb_frame = None; _ } | Tier_interp | Tier_deopt ->
+      let regs = Array.make pf.pf_nregs Mval.zero in
+      let fr =
+        {
+          fr_func = pf;
+          fr_regs = regs;
+          fr_iregs = [||];
+          fr_fregs = [||];
+          fr_pobj = [||];
+          fr_poff = [||];
+          fr_args = args;
+          fr_arg_scalars = arg_scalars;
+          fr_variadic = pf.pf_variadic;
+          fr_nparams = pf.pf_nparams;
+          fr_line = 0;
+          fr_col = 0;
+        }
+      in
+      let bound = min pf.pf_nparams (Array.length args) in
+      for i = 0 to bound - 1 do
+        regs.(pf.pf_param_regs.(i)) <- args.(i)
+      done;
+      fr
   in
-  let bound = min pf.pf_nparams (Array.length args) in
-  for i = 0 to bound - 1 do
-    regs.(pf.pf_param_regs.(i)) <- args.(i)
-  done;
   st.frames <- fr :: st.frames;
   let result =
     match pf.pf_tier with
-    | Tier_compiled body -> exec_compiled st pf fr body
+    | Tier_compiled c -> exec_compiled st pf fr c.cb_entry
     | Tier_interp | Tier_deopt ->
       exec_block st fr pf.pf_blocks.(0) pf.pf_entry_copies
   in
@@ -1041,6 +1151,15 @@ let rec call_function st (pf : pfunc) (args : Mval.t array)
   | None -> ());
   st.frames <- List.tl st.frames;
   st.depth <- st.depth - 1;
+  (* The frame is dead (popped, result extracted): recycle it.  An
+     OSR'd invocation can reach here with a generically-built frame
+     that tiered up mid-call; adopting it into the pool is fine — the
+     OSR transfer installed the same register-file layout [cb_frame]
+     would have. *)
+  (match pf.pf_tier with
+  | Tier_compiled { cb_release = Some release; cb_frame = Some _; _ } ->
+    release fr
+  | _ -> ());
   result
 
 (** Run a compiled body under the deopt contract: a managed error drops
@@ -1084,6 +1203,38 @@ and exec_block st (fr : frame) (blk : pblock) (copies : phicopy) :
     end;
     if st.obs then st.opstats.os_phi_copy <- st.opstats.os_phi_copy + n
   | Pc_missing -> failwith "interp: phi has no incoming edge for predecessor");
+  (* On-stack replacement: at a loop header, probe the tier controller
+     so a single long-running invocation can tier up mid-call.  The phi
+     copies above already ran, so the compiled OSR entry starts at the
+     block body with a frame-transfer of the live registers. *)
+  match st.tier with
+  | Some ctl when blk.pb_osr ->
+    let pf = fr.fr_func in
+    (match pf.pf_tier with
+    | Tier_interp when ctl.tc_hot pf.pf_counters ->
+      pf.pf_tier <- Tier_compiled (ctl.tc_compile st pf)
+    | Tier_interp | Tier_compiled _ | Tier_deopt -> ());
+    (match pf.pf_tier with
+    | Tier_compiled { cb_osr = Some osr; _ } ->
+      exec_compiled_osr st pf fr osr blk.pb_index
+    | Tier_compiled { cb_osr = None; _ } | Tier_interp | Tier_deopt ->
+      exec_instrs st fr blk)
+  | Some _ | None -> exec_instrs st fr blk
+
+(** Run a compiled OSR entry under the same deopt contract as
+    [exec_compiled]. *)
+and exec_compiled_osr st (pf : pfunc) (fr : frame) (osr : osr_body)
+    (idx : int) : Mval.t option =
+  Metrics.incr (Metrics.counter "jit.osr_entries");
+  try osr st fr idx
+  with Merror.Error _ as e ->
+    pf.pf_tier <- Tier_deopt;
+    Metrics.incr (Metrics.counter "jit.deopts");
+    Trace.instant ~args:[ ("function", pf.pf_name); ("tier", "interp") ]
+      "jit-deopt";
+    raise e
+
+and exec_instrs st (fr : frame) (blk : pblock) : Mval.t option =
   let instrs = blk.pb_instrs in
   let n = Array.length instrs in
   let rec run i =
@@ -1186,7 +1337,7 @@ and exec_block st (fr : frame) (blk : pblock) (copies : phicopy) :
 and exec_target st (tgt : call_target) argv scalars : Mval.t option =
   match tgt with
   | Tgt_user pf -> call_function st pf argv scalars
-  | Tgt_builtin fn -> fn st argv
+  | Tgt_builtin (_, fn) -> fn st argv
   | Tgt_unknown name -> failwith ("interp: unknown builtin " ^ name)
 
 and exec_term st (fr : frame) (t : pterm) : Mval.t option =
@@ -1294,6 +1445,8 @@ let create ?(step_limit = 500_000_000) ?(depth_limit = 4096)
       opstats = fresh_opstats ();
       seed;
       tier;
+      detect_uninit;
+      snapshot = None;
       provenance;
     }
   in
@@ -1305,7 +1458,82 @@ let create ?(step_limit = 500_000_000) ?(depth_limit = 4096)
         (fun f -> Hashtbl.replace st.funcs f.Irfunc.name (prepare_func st f))
         m.Irmod.funcs);
   Trace.span "link" (fun () -> link_module st);
+  (* Registry snapshot for [reset]: everything registered so far belongs
+     to the module image; run-time objects (argv, stack, heap) get ids
+     above this watermark and are forgotten between runs. *)
+  st.snapshot <- Some (Mobject.checkpoint ());
   st
+
+(** Rewind a prepared state so [run] replays bit-identically to a fresh
+    [create] of the same module — without re-preparing and, crucially,
+    without discarding [pf_tier]: compiled bodies survive, which is the
+    compiled-body cache the tiered engine and the benchmarks rely on.
+    ([Tier_deopt] also survives: a function that deoptimized re-runs
+    interpreted, which is observably identical, and skips pointless
+    recompilation.)
+
+    Everything observable is restored: the object registry prefix (ids
+    are observable through pointer cookies and error messages), global
+    byte images, the heap (including allocation-site mementos), the rng,
+    buffers, counters, and the uninitialized-read flag — even if other
+    engine states were created (and reset the global registry) in
+    between. *)
+let reset ?input (st : state) : unit =
+  (match st.snapshot with
+  | Some ck -> Mobject.restore ck
+  | None -> failwith "interp: reset on an incompletely created state");
+  Mobject.track_uninitialized := st.detect_uninit;
+  Mheap.clear st.heap;
+  (* Re-zero and re-fill the global images in place: prepared code holds
+     [Pimm] pointers to these physical objects, so they must be reused,
+     not reallocated. *)
+  List.iter
+    (fun (g : Irmod.global) ->
+      match Hashtbl.find_opt st.globals g.Irmod.g_name with
+      | Some obj ->
+        (match obj.Mobject.data with
+        | Some b -> Bytes.fill b 0 (Bytes.length b) '\000'
+        | None -> ());
+        obj.Mobject.ptr_slots <- None;
+        fill_init st obj g.Irmod.g_ty 0 g.Irmod.g_init
+      | None -> ())
+    st.m.Irmod.globals;
+  Buffer.clear st.out;
+  (match input with Some s -> st.input <- s | None -> ());
+  st.input_pos <- 0;
+  st.steps <- 0;
+  st.depth <- 0;
+  st.frames <- [];
+  Hashtbl.iter
+    (fun _ pf ->
+      let c = pf.pf_counters in
+      c.c_ops <- 0;
+      c.c_fp <- 0;
+      c.c_mem <- 0;
+      c.c_calls <- 0;
+      c.c_invocations <- 0)
+    st.funcs;
+  st.profile.p_allocs <- 0;
+  st.profile.p_alloc_bytes <- 0;
+  st.profile.p_steps <- 0;
+  let os = st.opstats in
+  os.os_alloca <- 0;
+  os.os_load <- 0;
+  os.os_store <- 0;
+  os.os_gep <- 0;
+  os.os_binop <- 0;
+  os.os_icmp <- 0;
+  os.os_fcmp <- 0;
+  os.os_cast <- 0;
+  os.os_select <- 0;
+  os.os_sancheck <- 0;
+  os.os_call <- 0;
+  os.os_term <- 0;
+  os.os_phi_copy <- 0;
+  os.os_ic_hit <- 0;
+  os.os_ic_miss <- 0;
+  (match st.trace with Some b -> Buffer.clear b | None -> ());
+  Prng.reseed st.rng st.seed
 
 (** Build the [main] argument objects: an argv array of [MainArgs]
     storage whose size is exactly argc+1 pointers (argv[argc] = NULL), so
@@ -1463,7 +1691,7 @@ and rerun_for_report (st : state) (argv : string list)
         let st2 =
           create ~step_limit:st.step_limit ~depth_limit:st.depth_limit
             ~mementos:st.heap.Mheap.mementos_enabled
-            ~detect_uninit:!Mobject.track_uninitialized ~input:st.input
+            ~detect_uninit:st.detect_uninit ~input:st.input
             ~seed:st.seed ~provenance:true st.m
         in
         let r = run ~argv st2 in

@@ -108,7 +108,7 @@ and pcallee =
 
 and call_target =
   | Tgt_user of pfunc
-  | Tgt_builtin of (state -> Mval.t array -> Mval.t option)
+  | Tgt_builtin of string * (state -> Mval.t array -> Mval.t option)
   | Tgt_unknown of string
 
 and icache = { mutable ic_name : string; mutable ic_target : call_target }
@@ -117,6 +117,10 @@ and pblock = {
   pb_label : string;
   pb_instrs : pinstr array;
   pb_term : pterm;
+  pb_index : int;  (** position in [pf_blocks] *)
+  mutable pb_osr : bool;
+      (** loop header (target of a back edge): the interpreter probes the
+          tier controller here for on-stack replacement *)
 }
 
 and pfunc = {
@@ -138,8 +142,24 @@ and pfunc = {
     of the run. *)
 and tier =
   | Tier_interp
-  | Tier_compiled of compiled_body
+  | Tier_compiled of compiled
   | Tier_deopt
+
+(** A compiled function: normal entry plus an optional on-stack
+    replacement entry for functions with loop headers.  [cb_frame] /
+    [cb_release], when provided, let [call_function] recycle frames
+    through a per-function free list instead of allocating register
+    files on every invocation: [cb_frame args scalars] returns a frame
+    with the compiled register-file layout already installed (arrays
+    zeroed, parameters copied), and [cb_release] returns it to the pool
+    after a normal return — never after an error, since the erroring
+    frame stays reachable from [frames] for reporting. *)
+and compiled = {
+  cb_entry : compiled_body;
+  cb_osr : osr_body option;
+  cb_frame : (Mval.t array -> Irtype.scalar array -> frame) option;
+  cb_release : (frame -> unit) option;
+}
 
 (** A compiled function body: runs the function from its entry block in
     an already-set-up frame (registers allocated, parameters copied).
@@ -147,20 +167,32 @@ and tier =
     point — observable behavior — is identical across tiers. *)
 and compiled_body = state -> frame -> Mval.t option
 
+(** OSR entry: [osr st fr idx] resumes mid-invocation at block [idx]
+    (whose phi copies already ran) after transferring the interpreter
+    frame into the compiled register files. *)
+and osr_body = state -> frame -> int -> Mval.t option
+
 (** Tier controller: hotness policy + compiler, built by [Jit.Tier]. *)
 and tierctl = {
   tc_hot : counters -> bool;
-  tc_compile : state -> pfunc -> compiled_body;
+  tc_compile : state -> pfunc -> compiled;
 }
 
 and frame = {
   fr_func : pfunc;
-  fr_regs : Mval.t array;
+  mutable fr_regs : Mval.t array;
+      (** boxed register file; compiled bodies that inlined callees
+          re-install an enlarged file *)
   mutable fr_iregs : int array;
       (** unboxed small-integer register file for compiled bodies;
           [[||]] in interpreted frames *)
-  fr_args : Mval.t array;
-  fr_arg_scalars : Irtype.scalar array;
+  mutable fr_fregs : float array;
+      (** unboxed F32/F64 register file (compiled bodies only) *)
+  mutable fr_pobj : Mobject.t array;
+  mutable fr_poff : int array;
+      (** unboxed pointer register file, split pointee/offset *)
+  mutable fr_args : Mval.t array;
+  mutable fr_arg_scalars : Irtype.scalar array;
   fr_variadic : bool;
   fr_nparams : int;
   mutable fr_line : int;
@@ -187,6 +219,9 @@ and state = {
   opstats : opstats;
   seed : int;
   tier : tierctl option;
+  detect_uninit : bool;
+  mutable snapshot : Mobject.checkpoint option;
+      (** object-registry state right after [create]; used by [reset] *)
   provenance : bool;
 }
 
@@ -279,6 +314,14 @@ val create :
     controller — to recover the faulting source location (deterministic
     deoptimizing replay). *)
 
-(** Execute [main].  The state is single-shot: create a fresh one per
-    run. *)
+(** Rewind a prepared state so the next [run] replays bit-identically to
+    a fresh [create] of the same module — same outputs, step counts,
+    error reports and observable object ids — without re-preparing and
+    without discarding compiled tiers ([pf_tier] survives: this is the
+    compiled-body cache).  [?input] replaces the program input; omitted,
+    the previous input is kept (and rewound). *)
+val reset : ?input:string -> state -> unit
+
+(** Execute [main].  A state is good for one run; [reset] it (or create
+    a fresh one) before running again. *)
 val run : ?argv:string list -> state -> run_result

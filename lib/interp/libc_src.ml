@@ -93,6 +93,7 @@ void __va_end(va_list ap);
 int count_varargs(void);
 void *get_vararg(int i);
 long __sulong_format_pointer(void *p);
+long __sulong_format_double(double v, int conv, int prec, char *out, long cap);
 int __sulong_putchar(int c);
 int __sulong_read_char(FILE *f);
 int __sulong_unread_char(int c);
@@ -583,58 +584,18 @@ int __format_unsigned(unsigned long v, char *out, int base, int upper) {
   return n;
 }
 
-void __format_fixed(int to_stream, char *buf, size_t cap, size_t *pos,
-                    double v, int prec, int width) {
-  char digits[64];
-  int n = 0;
-  if (v != v) { /* NaN */
-    __emit(to_stream, buf, cap, pos, 'n');
-    __emit(to_stream, buf, cap, pos, 'a');
-    __emit(to_stream, buf, cap, pos, 'n');
-    return;
-  }
-  if (v < 0.0) { digits[n] = '-'; n = n + 1; v = -v; }
-  double scale = 1.0;
-  for (int i = 0; i < prec; i = i + 1) { scale = scale * 10.0; }
-  v = v + 0.5 / scale;
-  long ip = (long)v;
-  double frac = v - (double)ip;
-  n = n + __format_unsigned((unsigned long)ip, digits + n, 10, 0);
-  if (prec > 0) {
-    digits[n] = '.';
-    n = n + 1;
-    for (int i = 0; i < prec; i = i + 1) {
-      frac = frac * 10.0;
-      int d = (int)frac;
-      if (d > 9) { d = 9; }
-      frac = frac - (double)d;
-      digits[n] = (char)('0' + d);
-      n = n + 1;
-    }
-  }
-  __emit_padded(to_stream, buf, cap, pos, digits, n, width, 0, 0);
-}
-
-void __format_exp(int to_stream, char *buf, size_t cap, size_t *pos,
-                  double v, int prec) {
-  int e = 0;
-  int neg = 0;
-  if (v < 0.0) { neg = 1; v = -v; }
-  if (v != 0.0) {
-    while (v >= 10.0) { v = v / 10.0; e = e + 1; }
-    while (v < 1.0) { v = v * 10.0; e = e - 1; }
-  }
-  if (neg) { __emit(to_stream, buf, cap, pos, '-'); }
-  __format_fixed(to_stream, buf, cap, pos, v, prec, 0);
-  __emit(to_stream, buf, cap, pos, 'e');
-  if (e < 0) { __emit(to_stream, buf, cap, pos, '-'); e = -e; }
-  else { __emit(to_stream, buf, cap, pos, '+'); }
-  if (e < 10) { __emit(to_stream, buf, cap, pos, '0'); }
-  char expd[16];
-  int en = __format_unsigned((unsigned long)e, expd, 10, 0);
-  for (int i = 0; i < en; i = i + 1) {
-    __emit(to_stream, buf, cap, pos, expd[i]);
-  }
+/* %f / %e / %g delegate the decimal conversion to the host-side shared
+   renderer ([Floatfmt] via the __sulong_format_double intrinsic): the
+   managed libc, the native model's libc, and the difftest reference
+   evaluator then agree on every digit by construction, which is what
+   lets generated programs print float results as decimals instead of
+   bit-punning them through an unsigned long. */
+void __format_float(int to_stream, char *buf, size_t cap, size_t *pos,
+                    double v, int conv, int prec, int width, int zero,
+                    int left) {
+  char digits[352];
+  int n = (int)__sulong_format_double(v, conv, prec, digits, 352);
+  __emit_padded(to_stream, buf, cap, pos, digits, n, width, zero, left);
 }
 
 int __vformat(int to_stream, char *buf, size_t cap, const char *fmt,
@@ -725,20 +686,11 @@ int __vformat(int to_stream, char *buf, size_t cap, const char *fmt,
       digits[1] = 'x';
       int n = 2 + __format_unsigned((unsigned long)cookie, digits + 2, 16, 0);
       __emit_padded(to_stream, buf, cap, &pos, digits, n, width, 0, left);
-    } else if (conv == 'f') {
+    } else if (conv == 'f' || conv == 'F' || conv == 'e' || conv == 'E' ||
+               conv == 'g' || conv == 'G') {
       double v = *(double *)__va_next(ap);
-      __format_fixed(to_stream, buf, cap, &pos, v, prec < 0 ? 6 : prec, width);
-    } else if (conv == 'e' || conv == 'E') {
-      double v = *(double *)__va_next(ap);
-      __format_exp(to_stream, buf, cap, &pos, v, prec < 0 ? 6 : prec);
-    } else if (conv == 'g' || conv == 'G') {
-      double v = *(double *)__va_next(ap);
-      double mag = fabs(v);
-      if (mag != 0.0 && (mag >= 1000000.0 || mag < 0.0001)) {
-        __format_exp(to_stream, buf, cap, &pos, v, prec < 0 ? 5 : prec);
-      } else {
-        __format_fixed(to_stream, buf, cap, &pos, v, prec < 0 ? 6 : prec, width);
-      }
+      __format_float(to_stream, buf, cap, &pos, v, conv, prec, width, zero,
+                     left);
     } else {
       __emit(to_stream, buf, cap, &pos, '%');
       __emit(to_stream, buf, cap, &pos, conv);

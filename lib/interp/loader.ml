@@ -8,17 +8,22 @@
 
 let libc_cache : Irmod.t option ref = ref None
 
-(** The libc as an IR module (front-end output, unoptimized). *)
-let libc_module () : Irmod.t =
+(** The cached libc front-end product, shared.  Callers must treat the
+    result — and anything a module linked from it aliases — as frozen:
+    copy before running a mutating pass. *)
+let libc_module_shared () : Irmod.t =
   match !libc_cache with
-  | Some m -> Irmod.copy m
+  | Some m -> m
   | None ->
     let m, _env =
       Lower.frontend ~string_prefix:".libc.str" ~file:"<libc>"
         Libc_src.source
     in
     libc_cache := Some m;
-    Irmod.copy m
+    m
+
+(** The libc as an IR module (front-end output, unoptimized). *)
+let libc_module () : Irmod.t = Irmod.copy (libc_module_shared ())
 
 (* The prelude is prepended to every user source before lexing; start
    the lexer's line counter below 1 so the *user's* first line is line 1

@@ -5,6 +5,13 @@
     deep-copied per call). *)
 val libc_module : unit -> Irmod.t
 
+(** The cached libc module itself, without the per-call deep copy.  The
+    result must be treated as frozen: a module linked from it aliases
+    its functions, so run mutating passes only on an [Irmod.copy].  Used
+    by the differential oracle, whose managed configurations copy before
+    any middle-end rewrite. *)
+val libc_module_shared : unit -> Irmod.t
+
 (** Compile a user program (prelude visible, libc *not* linked) — what
     the native engines execute against the precompiled libc.  [file] is
     the source-file name recorded in diagnostics and bug reports. *)

@@ -1,4 +1,4 @@
-(** Tier-2 closure compiler (DESIGN.md §9).
+(** Tier-2 closure compiler (DESIGN.md §9, §11).
 
     Translates a prepared function ([Interp.pfunc], the output of the
     prepare -> link pipeline) into nested OCaml closures: one closure
@@ -11,19 +11,44 @@
     normalization, the memento-observation predicate, the function's
     error-context string, and resolved direct-call targets.
 
-    On top of that, compiled code keeps provably-small integers
-    *unboxed*: a register whose every writer is a <=32-bit integer
-    producer (a narrow load, binop, compare, or int cast — and, through
-    a fixpoint, phi/select moves of such registers) lives in a flat
-    [int] side array ([frame.fr_iregs]) instead of [fr_regs].  Those
-    registers never allocate a [Mval.Vint] box and never pay the OCaml
-    write barrier, and narrow loads/stores hit an inlined fast path on
-    the managed object's bytes (identical checks, in the identical
-    order) instead of calling through [Mobject].  This is sound because
-    a frame's register file is invisible outside the function's own
-    code: calls receive re-boxed arguments, returns re-box the result,
-    and after a managed error the provenance replay re-executes from
-    scratch in the interpreter, never reading the dead frame.
+    On top of that, compiled code keeps provably-classified registers
+    *unboxed* in flat side arrays instead of [fr_regs] (DESIGN.md §11):
+
+    - [Rint] ([frame.fr_iregs]): every writer is a <=32-bit integer
+      producer (narrow load, binop, compare, int cast — and, through a
+      fixpoint, phi/select moves of such registers).
+    - [Rfloat] ([frame.fr_fregs]): every writer is a float producer
+      (F32/F64 load, float binop, float cast).  The array holds exactly
+      the float a [Vfloat] box would (F32 results stored pre-rounded),
+      so re-boxing on escape is bit-identical.
+    - [Rptr] ([frame.fr_pobj]/[fr_poff], pointee and byte offset split):
+      every writer provably produces an object pointer — an alloca, a
+      GEP whose base is itself [Rptr] or a global immediate, or a move
+      of such a register.  Loads through these skip the pointer-shape
+      dispatch entirely.
+
+    Unboxed registers never allocate a box and never pay the OCaml
+    write barrier, and narrow/float loads and stores hit an inlined
+    fast path on the managed object's bytes (identical checks, in the
+    identical order) instead of calling through [Mobject].  This is
+    sound because a frame's register file is invisible outside the
+    function's own code: calls receive re-boxed arguments, returns
+    re-box the result, and after a managed error the provenance replay
+    re-executes from scratch in the interpreter, never reading the dead
+    frame.
+
+    Two more §11 features ride on the same machinery:
+
+    - *Hot-call inlining*: a direct call to a small leaf callee is
+      compiled as a register-translated instance of the callee's blocks
+      living at a disjoint window of the caller's (enlarged) register
+      file, replicating the interpreter's call protocol — argument
+      evaluation, the depth guard, per-callee counters and step charges
+      — without the [call_function] frame push/pop.
+    - *On-stack replacement* ([cb_osr]): functions with loop headers
+      also get an OSR entry that transfers a live interpreter frame
+      into the compiled register files and resumes at the loop-header
+      block, so a single long-running invocation can tier up mid-call.
 
     The contract is *observable bit-equivalence* with the interpreter:
     identical program output, identical managed errors at the same
@@ -33,8 +58,8 @@
     allowed to drop is pure interpreter overhead: dispatch matches,
     per-op metrics branches when metrics are off, value boxing that no
     observer can distinguish, and dead compare registers (the
-    icmp+condbr fusion below, applied only when the compare register
-    has no other reader). *)
+    icmp/fcmp+condbr fusion below, applied only when the compare
+    register has no other reader). *)
 
 open Interp
 
@@ -178,6 +203,40 @@ let icmp_fn (op : Instr.icmp) (s : Irtype.scalar) : int64 -> int64 -> bool =
     let u = Irtype.unsigned_of s in
     fun x y -> Int64.unsigned_compare (u x) (u y) >= 0
 
+(* ------------- unboxed (native float) operator specialization ----- *)
+
+(** [Interp.exec_binop] on raw floats: F32 results round through
+    [Irtype.round_to_f32] exactly like [Irtype.round_result], F64
+    results are untouched.  Only defined for the four float opcodes. *)
+let fbinop_fn (op : Instr.binop) (s : Irtype.scalar) : float -> float -> float
+    =
+  if s = Irtype.F32 then
+    match op with
+    | Instr.FAdd -> fun a b -> Irtype.round_to_f32 (a +. b)
+    | Instr.FSub -> fun a b -> Irtype.round_to_f32 (a -. b)
+    | Instr.FMul -> fun a b -> Irtype.round_to_f32 (a *. b)
+    | Instr.FDiv -> fun a b -> Irtype.round_to_f32 (a /. b)
+    | _ -> invalid_arg "Closcomp.fbinop_fn: integer op"
+  else
+    match op with
+    | Instr.FAdd -> fun a b -> a +. b
+    | Instr.FSub -> fun a b -> a -. b
+    | Instr.FMul -> fun a b -> a *. b
+    | Instr.FDiv -> fun a b -> a /. b
+    | _ -> invalid_arg "Closcomp.fbinop_fn: integer op"
+
+(** [Interp.exec_fcmp] as a raw [bool] on raw floats.  The operands are
+    float-typed so OCaml compiles IEEE comparisons (NaN-correct, no
+    polymorphic compare). *)
+let fcmp_fn (op : Instr.fcmp) : float -> float -> bool =
+  match op with
+  | Instr.Feq -> fun (x : float) (y : float) -> x = y
+  | Instr.Fne -> fun (x : float) (y : float) -> x <> y
+  | Instr.Flt -> fun (x : float) (y : float) -> x < y
+  | Instr.Fle -> fun (x : float) (y : float) -> x <= y
+  | Instr.Fgt -> fun (x : float) (y : float) -> x > y
+  | Instr.Fge -> fun (x : float) (y : float) -> x >= y
+
 (* ------------- unboxed (native int) operator specialization ------- *)
 
 (** Scalars whose normalized values always fit an OCaml native [int]
@@ -258,15 +317,176 @@ let iicmp_fn (op : Instr.icmp) (s : Irtype.scalar) : int -> int -> bool =
   | Instr.Iuge -> fun x y -> x land mask >= y land mask
 
 (* ------------------------------------------------------------------ *)
+(* Register translation (inlined callee instances)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* An inlined callee's blocks are re-registered at a disjoint window
+   [base, base + callee.pf_nregs) of the caller's merged register file.
+   Block indices stay instance-local: each instance gets its own cell
+   array, so edges never need renumbering. *)
+
+let shift_pval base = function Preg r -> Preg (r + base) | v -> v
+
+let shift_copies base = function
+  | Pc_copy (dests, srcs) ->
+    Pc_copy (Array.map (fun d -> d + base) dests, Array.map (shift_pval base) srcs)
+  | (Pc_none | Pc_missing) as c -> c
+
+let shift_edge base = function
+  | Edge (i, c) -> Edge (i, shift_copies base c)
+  | Edge_unknown _ as e -> e
+
+let shift_term base = function
+  | Pret (Some v) -> Pret (Some (shift_pval base v))
+  | Pret None -> Pret None
+  | Pbr e -> Pbr (shift_edge base e)
+  | Pcondbr (c, a, b) ->
+    Pcondbr (shift_pval base c, shift_edge base a, shift_edge base b)
+  | Pswitch (v, impl, d) ->
+    let impl =
+      match impl with
+      | Sw_linear (keys, es) -> Sw_linear (keys, Array.map (shift_edge base) es)
+      | Sw_table tbl ->
+        let t = Hashtbl.create (2 * Hashtbl.length tbl) in
+        Hashtbl.iter (fun k e -> Hashtbl.replace t k (shift_edge base e)) tbl;
+        Sw_table t
+    in
+    Pswitch (shift_pval base v, impl, shift_edge base d)
+  | Punreachable -> Punreachable
+
+let shift_gep base (g : pgep) : pgep =
+  { g with pg_dyn = Array.map (fun (v, s) -> (shift_pval base v, s)) g.pg_dyn }
+
+let shift_instr base = function
+  | Palloca (r, mty, size) -> Palloca (r + base, mty, size)
+  | Pload (r, s, p) -> Pload (r + base, s, shift_pval base p)
+  | Pstore (s, v, p) -> Pstore (s, shift_pval base v, shift_pval base p)
+  | Pgep (r, b, g) -> Pgep (r + base, shift_pval base b, shift_gep base g)
+  | Pbinop (r, op, s, a, b, cls) ->
+    Pbinop (r + base, op, s, shift_pval base a, shift_pval base b, cls)
+  | Picmp (r, op, s, a, b) ->
+    Picmp (r + base, op, s, shift_pval base a, shift_pval base b)
+  | Pfcmp (r, op, a, b) ->
+    Pfcmp (r + base, op, shift_pval base a, shift_pval base b)
+  | Pcast (r, op, from, into, v) -> Pcast (r + base, op, from, into, shift_pval base v)
+  | Pselect (r, c, a, b) ->
+    Pselect (r + base, shift_pval base c, shift_pval base a, shift_pval base b)
+  | Psancheck -> Psancheck
+  | Ploc (l, c) -> Ploc (l, c)
+  | Pcall (r, callee, args, scalars) ->
+    (* unreachable for leaf callees (the only ones instantiated); kept
+       total so the translation has no implicit assumptions *)
+    let callee =
+      match callee with
+      | Pdirect _ as c -> c
+      | Pindirect (v, ic) -> Pindirect (shift_pval base v, ic)
+    in
+    Pcall ((if r >= 0 then r + base else r), callee, Array.map (shift_pval base) args, scalars)
+
+let shift_block base (blk : pblock) : pblock =
+  {
+    blk with
+    pb_instrs = Array.map (shift_instr base) blk.pb_instrs;
+    pb_term = shift_term base blk.pb_term;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Inline planning                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** One inlinable direct-call site, keyed by (block index, instruction
+    index) in the caller. *)
+type inline_site = {
+  is_callee : pfunc;
+  is_base : int;  (** register-window offset in the merged file *)
+  is_blocks : pblock array;  (** callee blocks, shifted by [is_base] *)
+  is_params : int array;  (** absolute (shifted) parameter registers *)
+}
+
+let is_leaf (pf : pfunc) : bool =
+  Array.for_all
+    (fun blk ->
+      Array.for_all
+        (function Pcall _ -> false | _ -> true)
+        blk.pb_instrs)
+    pf.pf_blocks
+
+let static_size (pf : pfunc) : int =
+  Array.fold_left
+    (fun acc blk -> acc + Array.length blk.pb_instrs + 1)
+    0 pf.pf_blocks
+
+(** Pick the direct-call sites to inline (DESIGN.md §11 cost model):
+    leaf, non-variadic callees with a plain entry — tiny ones always,
+    mid-sized ones once their profile is hot — within a per-caller
+    instruction budget.  Inlining elides the [call_function] frame
+    push, which is only sound because a leaf callee can never observe
+    the frame stack (no builtins, no varargs, no nested calls) — and
+    call tracing / eager provenance, which do observe it, disable
+    inlining wholesale. *)
+let plan_inlines (st0 : state) (pf : pfunc) :
+    (int * int, inline_site) Hashtbl.t * int =
+  let sites : (int * int, inline_site) Hashtbl.t = Hashtbl.create 8 in
+  let next_base = ref pf.pf_nregs in
+  let budget = ref Costmodel.inline_budget_instrs in
+  if st0.trace = None && not st0.provenance then
+    Array.iteri
+      (fun bi blk ->
+        Array.iteri
+          (fun ii instr ->
+            match instr with
+            | Pcall (_, Pdirect tgt, _, _) -> begin
+              match !tgt with
+              | Tgt_user callee
+                when callee != pf
+                     && (match callee.pf_tier with
+                        | Tier_deopt -> false
+                        | Tier_interp | Tier_compiled _ -> true)
+                     && (not callee.pf_variadic)
+                     && callee.pf_entry_copies = Pc_none
+                     && Array.length callee.pf_blocks > 0
+                     && is_leaf callee ->
+                let size = static_size callee in
+                let hot =
+                  Hotness.total_ops callee.pf_counters
+                  >= Costmodel.inline_hot_callee_ops
+                in
+                if
+                  (size <= Costmodel.inline_always_instrs
+                  || (hot && size <= Costmodel.inline_max_callee_instrs))
+                  && size <= !budget
+                then begin
+                  budget := !budget - size;
+                  let base = !next_base in
+                  next_base := base + callee.pf_nregs;
+                  Hashtbl.replace sites (bi, ii)
+                    {
+                      is_callee = callee;
+                      is_base = base;
+                      is_blocks = Array.map (shift_block base) callee.pf_blocks;
+                      is_params =
+                        Array.map (fun r -> r + base) callee.pf_param_regs;
+                    }
+                end
+              | _ -> ()
+            end
+            | _ -> ())
+          blk.pb_instrs)
+      pf.pf_blocks;
+  (sites, !next_base)
+
+(* ------------------------------------------------------------------ *)
 (* Register classification                                             *)
 (* ------------------------------------------------------------------ *)
 
-(** How many prepared operands read register [r] anywhere in the
+(** How many prepared operands read register [r] anywhere in the merged
     function (instruction operands, terminators, phi-copy sources,
-    dynamic GEP indices).  Used to prove a compare register dead for the
-    icmp+condbr fusion. *)
-let reg_use_counts (pf : pfunc) : int array =
-  let uses = Array.make pf.pf_nregs 0 in
+    dynamic GEP indices, across the caller and every inlined instance).
+    Used to prove a compare register dead for the cmp+condbr fusion;
+    sound across instances because register windows are disjoint. *)
+let reg_use_counts_of (blocks_list : pblock array list) (entry : phicopy)
+    (nregs : int) : int array =
+  let uses = Array.make nregs 0 in
   let pv = function
     | Preg r -> uses.(r) <- uses.(r) + 1
     | Pimm _ | Pfail _ -> ()
@@ -318,43 +538,274 @@ let reg_use_counts (pf : pfunc) : int array =
       (match callee with Pindirect (v, _) -> pv v | Pdirect _ -> ());
       Array.iter pv args
   in
-  Array.iter
-    (fun blk ->
-      Array.iter instr blk.pb_instrs;
-      term blk.pb_term)
-    pf.pf_blocks;
-  copies pf.pf_entry_copies;
+  List.iter
+    (Array.iter (fun blk ->
+         Array.iter instr blk.pb_instrs;
+         term blk.pb_term))
+    blocks_list;
+  copies entry;
   uses
 
-(* A register's writer, for the unboxed-int classification. *)
+(* ------------------------------------------------------------------ *)
+(* Scalar replacement of allocas (virtual stack slots)                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Plan which allocas compile to virtual stack slots (DESIGN.md §11).
+    A register [r] qualifies when
+
+    - its only writer is a single [Palloca] of exactly one scalar
+      ([MScalar s] with the matching byte size), sitting in its
+      instance's entry block, and that entry block is not a branch
+      target — so the alloca executes first, before any access, and
+      re-executes only when the whole instance re-enters (which is
+      exactly when a fresh object would be allocated);
+    - every other appearance of [r] is as the *pointer* operand of a
+      [Pload]/[Pstore] of that same scalar [s] (a whole-slot access at
+      offset 0), at an instruction position the alloca precedes;
+    - the scalar is not [Ptr]: a pointer store's slot-table and cookie
+      registrations are side effects of the object, which a virtual
+      slot does not have.
+
+    Such a slot's object is unobservable — its address never escapes,
+    so no other pointer, free, or forged cookie can reach it — and the
+    compiled code keeps the value in a register of the scalar's class
+    instead, replaying the memory round trip on every access
+    ([normalize_int], f32 bit-rounding, [as_int] pointer degradation)
+    so values, errors and side effects stay bit-identical to the real
+    memory path.  The allocation id the real object would consume is
+    still ticked ([Mobject.fresh_id]), keeping every later allocation's
+    id — observable through pointer cookies — exactly as interpreted.
+    Slots are per-instance, so an inlined callee's locals qualify
+    independently of its caller's. *)
+let plan_slots (blocks_list : pblock array list) (entry : phicopy)
+    (boxed_roots : int array list) (nregs : int) :
+    (int, Irtype.scalar) Hashtbl.t =
+  let scalar_of : Irtype.scalar option array = Array.make nregs None in
+  let pos_of = Array.make nregs (-1) in
+  let inst_of : pblock array array = Array.make nregs [||] in
+  let writes = Array.make nregs 0 in
+  let disq = Array.make nregs false in
+  let kill r = if r >= 0 && r < nregs then disq.(r) <- true in
+  let pv = function Preg r -> kill r | Pimm _ | Pfail _ -> () in
+  let wr r = if r >= 0 && r < nregs then writes.(r) <- writes.(r) + 1 in
+  (* pass 1: candidate allocas and write counts *)
+  List.iter
+    (fun blocks ->
+      let entry_pred = ref false in
+      let edge = function
+        | Edge (0, _) -> entry_pred := true
+        | Edge _ | Edge_unknown _ -> ()
+      in
+      Array.iter
+        (fun blk ->
+          match blk.pb_term with
+          | Pret _ | Punreachable -> ()
+          | Pbr e -> edge e
+          | Pcondbr (_, a, b) ->
+            edge a;
+            edge b
+          | Pswitch (_, impl, d) ->
+            edge d;
+            (match impl with
+            | Sw_linear (_, es) -> Array.iter edge es
+            | Sw_table tbl -> Hashtbl.iter (fun _ e -> edge e) tbl))
+        blocks;
+      let entry_pred = !entry_pred in
+      Array.iteri
+        (fun bi blk ->
+          Array.iteri
+            (fun ii i ->
+              match i with
+              | Palloca (r, mty, size) -> begin
+                wr r;
+                match mty with
+                | Irtype.MScalar s
+                  when bi = 0 && (not entry_pred) && s <> Irtype.Ptr
+                       && size = Irtype.scalar_size s && r >= 0 && r < nregs ->
+                  scalar_of.(r) <- Some s;
+                  pos_of.(r) <- ii;
+                  inst_of.(r) <- blocks
+                | _ -> kill r
+              end
+              | Pload (r, _, _)
+              | Pgep (r, _, _)
+              | Pbinop (r, _, _, _, _, _)
+              | Picmp (r, _, _, _, _)
+              | Pfcmp (r, _, _, _)
+              | Pcast (r, _, _, _, _)
+              | Pselect (r, _, _, _) -> wr r
+              | Pcall (r, _, _, _) -> if r >= 0 then wr r
+              | Pstore _ | Psancheck | Ploc _ -> ())
+            blk.pb_instrs)
+        blocks)
+    blocks_list;
+  (* pass 2: every use must be a whole-slot access of the candidate's
+     scalar, positioned after the alloca; anything else disqualifies *)
+  let slot_use blocks bi ii r s =
+    match scalar_of.(r) with
+    | Some s0
+      when s0 = s && not (blocks == inst_of.(r) && bi = 0 && ii < pos_of.(r))
+      -> ()
+    | _ -> kill r
+  in
+  let copies = function
+    | Pc_copy (dests, srcs) ->
+      Array.iter wr dests;
+      Array.iter pv srcs
+    | Pc_none | Pc_missing -> ()
+  in
+  let edge = function Edge (_, c) -> copies c | Edge_unknown _ -> () in
+  List.iter
+    (fun blocks ->
+      Array.iteri
+        (fun bi blk ->
+          Array.iteri
+            (fun ii i ->
+              match i with
+              | Palloca _ | Psancheck | Ploc _ -> ()
+              | Pload (_, s, p) -> begin
+                match p with
+                | Preg r when r >= 0 && r < nregs && scalar_of.(r) <> None ->
+                  slot_use blocks bi ii r s
+                | p -> pv p
+              end
+              | Pstore (s, v, p) -> begin
+                pv v;
+                match p with
+                | Preg r when r >= 0 && r < nregs && scalar_of.(r) <> None ->
+                  slot_use blocks bi ii r s
+                | p -> pv p
+              end
+              | Pgep (_, b, g) ->
+                pv b;
+                Array.iter (fun (v, _) -> pv v) g.pg_dyn
+              | Pbinop (_, _, _, a, b, _) ->
+                pv a;
+                pv b
+              | Picmp (_, _, _, a, b) ->
+                pv a;
+                pv b
+              | Pfcmp (_, _, a, b) ->
+                pv a;
+                pv b
+              | Pcast (_, _, _, _, v) -> pv v
+              | Pselect (_, c, a, b) ->
+                pv c;
+                pv a;
+                pv b
+              | Pcall (_, callee, args, _) ->
+                (match callee with Pindirect (v, _) -> pv v | Pdirect _ -> ());
+                Array.iter pv args)
+            blk.pb_instrs;
+          match blk.pb_term with
+          | Pret (Some v) -> pv v
+          | Pret None | Punreachable -> ()
+          | Pbr e -> edge e
+          | Pcondbr (c, a, b) ->
+            pv c;
+            edge a;
+            edge b
+          | Pswitch (v, impl, d) ->
+            pv v;
+            edge d;
+            (match impl with
+            | Sw_linear (_, es) -> Array.iter edge es
+            | Sw_table tbl -> Hashtbl.iter (fun _ e -> edge e) tbl))
+        blocks)
+    blocks_list;
+  copies entry;
+  List.iter (Array.iter kill) boxed_roots;
+  let slots = Hashtbl.create 16 in
+  Array.iteri
+    (fun r so ->
+      match so with
+      | Some s when (not disq.(r)) && writes.(r) = 1 -> Hashtbl.add slots r s
+      | _ -> ())
+    scalar_of;
+  slots
+
+(* A register's writer, for the unboxed classification analyses. *)
 type writer =
-  | Wyes  (** produces a normalized <=32-bit integer *)
-  | Wno  (** produces anything else (pointer, float, wide int, call) *)
+  | Wyes  (** produces a value of the analysis' class *)
+  | Wno  (** produces anything else *)
   | Wdep of int  (** moves another register's value (phi copy, select) *)
 
-(** Which registers can live in the unboxed int file: every writer —
-    instruction results, phi-edge copies, the implicit parameter setup —
-    must produce a normalized <=32-bit integer, transitively through
-    register moves (fixpoint: a move of a demoted register demotes). *)
-let small_int_regs (pf : pfunc) : bool array =
-  let n = pf.pf_nregs in
-  let writers : writer list array = Array.make n [] in
-  let add r w = if r >= 0 && r < n then writers.(r) <- w :: writers.(r) in
+(** A register's storage class in compiled code (DESIGN.md §11). *)
+type rclass =
+  | Rint  (** unboxed native int in [fr_iregs] *)
+  | Rfloat  (** unboxed float in [fr_fregs] *)
+  | Rptr  (** unboxed object pointer in [fr_pobj]/[fr_poff] *)
+  | Rbox  (** boxed [Mval.t] in [fr_regs] *)
+
+(** Classify every register of the merged file.  Three independent
+    writer analyses (int / float / object-pointer) share one walk; each
+    runs the same fixpoint as the original small-int analysis — a
+    register is unboxed in a class iff it has at least one writer,
+    every concrete writer produces that class, and every register it
+    is moved from is unboxed in that class too.  The classes' concrete
+    writer sets are disjoint, so at most one analysis marks a register
+    with a concrete writer; pure-move cycles (no concrete writer
+    anywhere) can satisfy several analyses at once and are resolved by
+    priority int > float > ptr — such registers only ever hold their
+    initial zero, which every class represents identically.
+    [boxed_roots] (parameter registers: caller's and each inlined
+    instance's, written boxed by the call protocol) are forced [Rbox].
+    [slots] (scalar-replaced allocas, see [plan_slots]) classify by
+    their scalar instead of as object pointers: a small-int slot's only
+    writers are the alloca's zero and whole-slot integer stores, so it
+    lands in [Rint]; float slots land in [Rfloat]; I64 slots stay
+    boxed ([Vint]-only by construction — the store re-boxes through
+    [Mval.as_int], and the alloca's zero is [Vint 0], which is exactly
+    what a zero-filled 8-byte load would box). *)
+let classify (blocks_list : pblock array list) (entry : phicopy)
+    (boxed_roots : int array list) (slots : (int, Irtype.scalar) Hashtbl.t)
+    (nregs : int) : rclass array =
+  let wi : writer list array = Array.make nregs [] in
+  let wf : writer list array = Array.make nregs [] in
+  let wp : writer list array = Array.make nregs [] in
+  let add tbl r w = if r >= 0 && r < nregs then tbl.(r) <- w :: tbl.(r) in
   let fits_imm = function
     (* the value survives an int round trip, so re-boxing is exact *)
     | Mval.Vint v -> Int64.equal (Int64.of_int (Int64.to_int v)) v
     | Mval.Vfloat _ | Mval.Vptr _ -> false
   in
-  let src_kind = function
+  let ik = function
     | Preg r -> Wdep r
     | Pimm v -> if fits_imm v then Wyes else Wno
     | Pfail _ -> Wno
   in
-  (* parameters arrive pre-boxed from the caller *)
-  Array.iter (fun r -> add r Wno) pf.pf_param_regs;
+  let fk = function
+    | Preg r -> Wdep r
+    | Pimm (Mval.Vfloat _) -> Wyes
+    | Pimm _ | Pfail _ -> Wno
+  in
+  let pk = function
+    | Preg r -> Wdep r
+    | Pimm (Mval.Vptr (Mobject.Pobj _)) -> Wyes
+    | Pimm _ | Pfail _ -> Wno
+  in
+  let move r src =
+    add wi r (ik src);
+    add wf r (fk src);
+    add wp r (pk src)
+  in
+  let boxed r =
+    add wi r Wno;
+    add wf r Wno;
+    add wp r Wno
+  in
+  let int_res r =
+    add wi r Wyes;
+    add wf r Wno;
+    add wp r Wno
+  in
+  let float_res r =
+    add wi r Wno;
+    add wf r Wyes;
+    add wp r Wno
+  in
   let copies = function
-    | Pc_copy (dests, srcs) ->
-      Array.iteri (fun i d -> add d (src_kind srcs.(i))) dests
+    | Pc_copy (dests, srcs) -> Array.iteri (fun i d -> move d srcs.(i)) dests
     | Pc_none | Pc_missing -> ()
   in
   let edge = function Edge (_, c) -> copies c | Edge_unknown _ -> () in
@@ -371,874 +822,2131 @@ let small_int_regs (pf : pfunc) : bool array =
       | Sw_table tbl -> Hashtbl.iter (fun _ e -> edge e) tbl)
   in
   let instr = function
-    | Palloca (r, _, _) -> add r Wno
-    | Pload (r, s, _) -> add r (if small s then Wyes else Wno)
+    | Palloca (r, _, _) -> begin
+      match Hashtbl.find_opt slots r with
+      | None ->
+        add wi r Wno;
+        add wf r Wno;
+        add wp r Wyes
+      | Some s ->
+        (* the alloca writes the slot's zero in the slot's class *)
+        if small s then int_res r
+        else if s = Irtype.F32 || s = Irtype.F64 then float_res r
+        else boxed r
+    end
+    | Pload (r, s, _) ->
+      if small s then int_res r
+      else if s = Irtype.F32 || s = Irtype.F64 then float_res r
+      else boxed r
+    | Pstore (s, _, Preg rp) when Hashtbl.mem slots rp ->
+      (* a whole-slot store writes the slot register in its class *)
+      if small s then int_res rp
+      else if s = Irtype.F32 || s = Irtype.F64 then float_res rp
+      else boxed rp
     | Pstore _ | Psancheck | Ploc _ -> ()
-    | Pgep (r, _, _) -> add r Wno
+    | Pgep (r, base, _) ->
+      add wi r Wno;
+      add wf r Wno;
+      add wp r
+        (match base with
+        | Preg rb -> Wdep rb
+        | Pimm (Mval.Vptr (Mobject.Pobj _)) -> Wyes
+        | Pimm _ | Pfail _ -> Wno)
     | Pbinop (r, _, s, _, _, cls) ->
-      add r (if cls <> Cfp && small s then Wyes else Wno)
-    | Picmp (r, _, _, _, _) -> add r Wyes
-    | Pfcmp (r, _, _, _) -> add r Wno
-    | Pcast (r, (Instr.Trunc | Instr.Sext | Instr.Zext), _, into, _) ->
-      add r (if small into then Wyes else Wno)
-    | Pcast (r, _, _, _, _) -> add r Wno
+      if cls = Cfp then float_res r
+      else if small s then int_res r
+      else boxed r
+    | Picmp (r, _, _, _, _) -> int_res r
+    | Pfcmp (r, _, _, _) -> int_res r
+    | Pcast (r, op, from, into, _) -> begin
+      match op with
+      | (Instr.Trunc | Instr.Sext | Instr.Zext) when small into -> int_res r
+      | (Instr.Fptosi | Instr.Fptoui) when small into -> int_res r
+      | Instr.Fptrunc | Instr.Fpext | Instr.Sitofp | Instr.Uitofp ->
+        float_res r
+      | Instr.Bitcast when Irtype.is_float_scalar from && into = Irtype.I32 ->
+        int_res r
+      | Instr.Bitcast
+        when (not (Irtype.is_float_scalar from))
+             && Irtype.is_float_scalar into ->
+        float_res r
+      | _ -> boxed r
+    end
     | Pselect (r, _, a, b) ->
-      add r (src_kind a);
-      add r (src_kind b)
-    | Pcall (r, _, _, _) -> add r Wno
+      move r a;
+      move r b
+    | Pcall (r, _, _, _) -> boxed r
   in
-  Array.iter
-    (fun blk ->
-      Array.iter instr blk.pb_instrs;
-      term blk.pb_term)
-    pf.pf_blocks;
-  copies pf.pf_entry_copies;
-  let unboxed =
-    Array.map
-      (fun ws -> ws <> [] && not (List.exists (fun w -> w = Wno) ws))
-      writers
+  List.iter
+    (Array.iter (fun blk ->
+         Array.iter instr blk.pb_instrs;
+         term blk.pb_term))
+    blocks_list;
+  copies entry;
+  List.iter (Array.iter boxed) boxed_roots;
+  let solve (writers : writer list array) : bool array =
+    let unboxed =
+      Array.map
+        (fun ws -> ws <> [] && not (List.exists (fun w -> w = Wno) ws))
+        writers
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for r = 0 to nregs - 1 do
+        if
+          unboxed.(r)
+          && List.exists
+               (function Wdep d -> not unboxed.(d) | Wyes | Wno -> false)
+               writers.(r)
+        then begin
+          unboxed.(r) <- false;
+          changed := true
+        end
+      done
+    done;
+    unboxed
   in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    for r = 0 to n - 1 do
-      if
-        unboxed.(r)
-        && List.exists
-             (function Wdep d -> not unboxed.(d) | Wyes | Wno -> false)
-             writers.(r)
-      then begin
-        unboxed.(r) <- false;
-        changed := true
-      end
-    done
-  done;
-  unboxed
+  let ui = solve wi and uf = solve wf and up = solve wp in
+  Array.init nregs (fun r ->
+      if ui.(r) then Rint
+      else if uf.(r) then Rfloat
+      else if up.(r) then Rptr
+      else Rbox)
 
 (* ------------------------------------------------------------------ *)
 (* The compiler                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let compile (st0 : state) (pf : pfunc) : compiled_body =
+(* Every compiled instruction opens with the same inlined step-charge
+   sequence — the same writes, in the same order, with the same raise
+   point as [Interp.charge]:
+
+     st.steps <- st.steps + 1;
+     ctrs.c_X <- ctrs.c_X + 1;          (* instance's hotness counter *)
+     if st.steps > limit then raise Step_limit_exceeded;
+     if obs then os.os_X <- os.os_X + 1;
+
+   It is spelled out at each site rather than shared through a closure
+   record: without flambda a `charge st` call is an indirect call per
+   executed operation, which at ~3M operations per benchmark run is a
+   measurable share of tier-2 time.  [ctrs] is the instance's counter
+   record (captured at compile time — a compiled body only ever runs in
+   the state that compiled it), and the opstat bump comes after the
+   limit check so a timeout leaves the stats exactly as the interpreter
+   would. *)
+
+(** How an instance's [Pret] is compiled: a real function return, or —
+    for an inlined callee — the interpreter's post-call protocol (depth
+    decrement, result write into the caller's register) followed by the
+    call site's continuation. *)
+type ret_mode = Ret_fun | Ret_inline of int * cont
+
+let unset : cont = fun _ _ -> failwith "closcomp: block not compiled"
+
+let compile (st0 : state) (pf : pfunc) : compiled =
   let obs = st0.obs in
   let os = st0.opstats in
-  let ctrs = pf.pf_counters in
   let limit = st0.step_limit in
   let heap = st0.heap in
-  let ctx = pf.pf_context in
-  (* Per-class step charges: same writes, same raise point as
-     [Interp.charge], with the profile/counter records captured at
-     compile time (a compiled body only ever runs in the state that
-     compiled it). *)
-  let charge_op (st : state) =
-    st.steps <- st.steps + 1;
-    ctrs.c_ops <- ctrs.c_ops + 1;
-    if st.steps > limit then raise Step_limit_exceeded
-  in
-  let charge_fp (st : state) =
-    st.steps <- st.steps + 1;
-    ctrs.c_fp <- ctrs.c_fp + 1;
-    if st.steps > limit then raise Step_limit_exceeded
-  in
-  let charge_mem (st : state) =
-    st.steps <- st.steps + 1;
-    ctrs.c_mem <- ctrs.c_mem + 1;
-    if st.steps > limit then raise Step_limit_exceeded
-  in
-  (* Opstat bumps ride on the charge only when metrics were on at create
-     time, so the metrics-off hot path carries no per-op branch at all. *)
-  let stat bump ch = if obs then fun st -> ch st; bump () else ch in
-  let ch_alloca = stat (fun () -> os.os_alloca <- os.os_alloca + 1) charge_op in
-  let ch_load = stat (fun () -> os.os_load <- os.os_load + 1) charge_mem in
-  let ch_store = stat (fun () -> os.os_store <- os.os_store + 1) charge_mem in
-  let ch_gep = stat (fun () -> os.os_gep <- os.os_gep + 1) charge_op in
-  let ch_binop cls =
-    let ch = match cls with Cfp -> charge_fp | Cop | Cmem -> charge_op in
-    stat (fun () -> os.os_binop <- os.os_binop + 1) ch
-  in
-  let ch_icmp = stat (fun () -> os.os_icmp <- os.os_icmp + 1) charge_op in
-  let ch_fcmp = stat (fun () -> os.os_fcmp <- os.os_fcmp + 1) charge_fp in
-  let ch_cast = stat (fun () -> os.os_cast <- os.os_cast + 1) charge_op in
-  let ch_select = stat (fun () -> os.os_select <- os.os_select + 1) charge_op in
-  let ch_sancheck =
-    stat (fun () -> os.os_sancheck <- os.os_sancheck + 1) charge_op
-  in
-  let ch_call = stat (fun () -> os.os_call <- os.os_call + 1) charge_op in
-  let ch_term = stat (fun () -> os.os_term <- os.os_term + 1) charge_op in
-  let ch_phi = stat (fun () -> os.os_phi_copy <- os.os_phi_copy + 1) charge_op in
+  if Array.length pf.pf_blocks = 0 then
+    {
+      cb_entry =
+        (fun _st _fr ->
+          (* same failure as the interpreter touching [pf_blocks.(0)] *)
+          ignore pf.pf_blocks.(0);
+          assert false);
+      cb_osr = None;
+      cb_frame = None;
+      cb_release = None;
+    }
+  else begin
+    let sites, nregs = plan_inlines st0 pf in
+    let blocks_list =
+      pf.pf_blocks :: Hashtbl.fold (fun _ s acc -> s.is_blocks :: acc) sites []
+    in
+    let boxed_roots =
+      pf.pf_param_regs
+      :: Hashtbl.fold (fun _ s acc -> s.is_params :: acc) sites []
+    in
+    let uses = reg_use_counts_of blocks_list pf.pf_entry_copies nregs in
+    (* Uninitialized-read detection watches the real init bitmap, so
+       allocas must stay real objects when it is on. *)
+    let slots =
+      if st0.detect_uninit then Hashtbl.create 0
+      else plan_slots blocks_list pf.pf_entry_copies boxed_roots nregs
+    in
+    let cls = classify blocks_list pf.pf_entry_copies boxed_roots slots nregs in
+    let empty_sites : (int * int, inline_site) Hashtbl.t = Hashtbl.create 1 in
 
-  let nblocks = Array.length pf.pf_blocks in
-  let unset : cont = fun _ _ -> failwith "closcomp: block not compiled" in
-  let cells = Array.init nblocks (fun _ -> ref unset) in
-  let uses = reg_use_counts pf in
-  let unboxed = small_int_regs pf in
+    (* --- class-aware operand access (shared by all instances) --- *)
 
-  (* --- class-aware operand access --- *)
+    (* Boxed view of any operand; unboxed registers re-box on read
+       (their unboxed slot holds exactly what the interpreter's box
+       would). *)
+    let getter (v : pval) : frame -> Mval.t =
+      match v with
+      | Preg r -> begin
+        match cls.(r) with
+        | Rint ->
+          fun fr -> Mval.Vint (Int64.of_int (Array.unsafe_get fr.fr_iregs r))
+        | Rfloat -> fun fr -> Mval.Vfloat (Array.unsafe_get fr.fr_fregs r)
+        | Rptr ->
+          fun fr ->
+            Mval.Vptr
+              (Mobject.Pobj
+                 {
+                   Mobject.obj = Array.unsafe_get fr.fr_pobj r;
+                   moff = Array.unsafe_get fr.fr_poff r;
+                 })
+        | Rbox -> fun fr -> Array.unsafe_get fr.fr_regs r
+      end
+      | Pimm v -> fun _ -> v
+      | Pfail msg -> fun _ -> failwith msg
+    in
+    (* Native-int view, for operands of small-scalar operations.  The
+       [Int64.to_int] truncation of a boxed operand is exact for every
+       well-typed small operand (normalized <=32-bit values), and for
+       any other int64 every consumer below re-masks/re-normalizes to
+       <=32 bits, which only depends on the low bits [to_int]
+       preserves.  Float/pointer-classified operands fall through the
+       boxed view so [Mval.as_int] raises or cookies exactly like the
+       interpreter. *)
+    let iget (v : pval) : frame -> int =
+      match v with
+      | Preg r when cls.(r) = Rint ->
+        fun fr -> Array.unsafe_get fr.fr_iregs r
+      | Preg r when cls.(r) = Rbox ->
+        fun fr -> Int64.to_int (Mval.as_int (Array.unsafe_get fr.fr_regs r))
+      | Pimm (Mval.Vint v) ->
+        let c = Int64.to_int v in
+        fun _ -> c
+      | v ->
+        let g = getter v in
+        fun fr -> Int64.to_int (Mval.as_int (g fr))
+    in
+    (* Result writers for int-producing operations (classification
+       guarantees such destinations are [Rint] or [Rbox]). *)
+    let iset (r : int) : frame -> int -> unit =
+      if cls.(r) = Rint then fun fr v -> Array.unsafe_set fr.fr_iregs r v
+      else fun fr v -> Array.unsafe_set fr.fr_regs r (Mval.Vint (Int64.of_int v))
+    in
+    (* Native-float view; non-float operands fall through [Mval.as_float]
+       (int-to-float widening, invalid_arg on pointers) like the
+       interpreter. *)
+    let fget (v : pval) : frame -> float =
+      match v with
+      | Preg r when cls.(r) = Rfloat ->
+        fun fr -> Array.unsafe_get fr.fr_fregs r
+      | Preg r when cls.(r) = Rint ->
+        fun fr -> float_of_int (Array.unsafe_get fr.fr_iregs r)
+      | Preg r when cls.(r) = Rbox ->
+        fun fr -> Mval.as_float (Array.unsafe_get fr.fr_regs r)
+      | Pimm (Mval.Vfloat f) -> fun _ -> f
+      | Pimm (Mval.Vint v) ->
+        let c = Int64.to_float v in
+        fun _ -> c
+      | v ->
+        let g = getter v in
+        fun fr -> Mval.as_float (g fr)
+    in
+    (* Result writers for float-producing operations (destinations are
+       [Rfloat] or [Rbox] by classification). *)
+    let fset (r : int) : frame -> float -> unit =
+      if cls.(r) = Rfloat then fun fr v -> Array.unsafe_set fr.fr_fregs r v
+      else fun fr v -> Array.unsafe_set fr.fr_regs r (Mval.Vfloat v)
+    in
+    (* Split views of a proven object-pointer operand.  Precondition
+       (enforced by classification): the operand is an [Rptr] register
+       or an object-pointer immediate — anything else cannot reach an
+       [Rptr] destination. *)
+    let pget_obj (v : pval) : frame -> Mobject.t =
+      match v with
+      | Preg r when cls.(r) = Rptr -> fun fr -> Array.unsafe_get fr.fr_pobj r
+      | Pimm (Mval.Vptr (Mobject.Pobj a)) ->
+        let o = a.Mobject.obj in
+        fun _ -> o
+      | _ -> assert false
+    in
+    let pget_off (v : pval) : frame -> int =
+      match v with
+      | Preg r when cls.(r) = Rptr -> fun fr -> Array.unsafe_get fr.fr_poff r
+      | Pimm (Mval.Vptr (Mobject.Pobj a)) ->
+        let off = a.Mobject.moff in
+        fun _ -> off
+      | _ -> assert false
+    in
 
-  (* Boxed view of any operand; unboxed registers re-box on read (their
-     int holds exactly the int64 the interpreter's [Vint] would). *)
-  let getter (v : pval) : frame -> Mval.t =
-    match v with
-    | Preg r when unboxed.(r) ->
-      fun fr -> Mval.Vint (Int64.of_int (Array.unsafe_get fr.fr_iregs r))
-    | Preg r -> fun fr -> Array.unsafe_get fr.fr_regs r
-    | Pimm v -> fun _ -> v
-    | Pfail msg -> fun _ -> failwith msg
-  in
-  (* Native-int view, for operands of small-scalar operations.  The
-     [Int64.to_int] truncation of a boxed operand is exact for every
-     well-typed small operand (normalized <=32-bit values), and for any
-     other int64 every consumer below re-masks/re-normalizes to <=32
-     bits, which only depends on the low bits [to_int] preserves. *)
-  let iget (v : pval) : frame -> int =
-    match v with
-    | Preg r when unboxed.(r) -> fun fr -> Array.unsafe_get fr.fr_iregs r
-    | Preg r ->
-      fun fr -> Int64.to_int (Mval.as_int (Array.unsafe_get fr.fr_regs r))
-    | Pimm (Mval.Vint v) ->
-      let c = Int64.to_int v in
-      fun _ -> c
-    | Pimm v -> fun _ -> Int64.to_int (Mval.as_int v)
-    | Pfail msg -> fun _ -> failwith msg
-  in
-  (* Result writers for int-producing operations. *)
-  let iset (r : int) : frame -> int -> unit =
-    if unboxed.(r) then fun fr v -> Array.unsafe_set fr.fr_iregs r v
-    else fun fr v -> Array.unsafe_set fr.fr_regs r (Mval.Vint (Int64.of_int v))
-  in
+    (* --- narrow memory access fast paths ---
 
-  (* --- edges: phi parallel copy, then a direct-threaded jump --- *)
-  let compile_jump (copies : phicopy) (jump : cont ref) : cont =
-    match copies with
-    | Pc_none -> fun st fr -> !jump st fr
-    | Pc_missing ->
-      fun _ _ -> failwith "interp: phi has no incoming edge for predecessor"
-    | Pc_copy (dests, srcs) ->
-      let n = Array.length dests in
-      if n = 1 then begin
-        let d = dests.(0) in
-        if unboxed.(d) then begin
-          let ig = iget srcs.(0) in
+       The inlined path performs the interpreter's checks on the managed
+       object in the interpreter's order — dereference, memento
+       observation, liveness, bounds, the uninitialized-read map — and
+       bails to the real [Mobject] accessors the moment any of them
+       would take an interesting branch, so every error is raised by the
+       exact same code with the exact same message. *)
+    let iload_fast (s : Irtype.scalar) : Bytes.t -> int -> int =
+      match s with
+      | Irtype.I1 -> fun b off -> Char.code (Bytes.get b off) land 1
+      | Irtype.I8 -> fun b off -> (Char.code (Bytes.get b off) lsl 55) asr 55
+      | Irtype.I16 -> fun b off -> (Bytes.get_uint16_le b off lsl 47) asr 47
+      | Irtype.I32 -> fun b off -> Int32.to_int (Bytes.get_int32_le b off)
+      | _ -> invalid_arg "Closcomp.iload_fast: not a small scalar"
+    in
+    let istore_fast (s : Irtype.scalar) : Bytes.t -> int -> int -> unit =
+      match s with
+      | Irtype.I1 | Irtype.I8 ->
+        fun b off v -> Bytes.set b off (Char.chr (v land 0xFF))
+      | Irtype.I16 -> fun b off v -> Bytes.set_uint16_le b off (v land 0xFFFF)
+      | Irtype.I32 -> fun b off v -> Bytes.set_int32_le b off (Int32.of_int v)
+      | _ -> invalid_arg "Closcomp.istore_fast: not a small scalar"
+    in
+    (* Raw-bits float access: [Mobject.load_float]/[store_float] are
+       [load_int]/[store_int] plus a bits conversion, so the fast path
+       is the byte access and the conversion fused. *)
+    let fload_fast (s : Irtype.scalar) : Bytes.t -> int -> float =
+      if s = Irtype.F32 then fun b off ->
+        Int32.float_of_bits (Bytes.get_int32_le b off)
+      else fun b off -> Int64.float_of_bits (Bytes.get_int64_le b off)
+    in
+    let fstore_fast (s : Irtype.scalar) : Bytes.t -> int -> float -> unit =
+      if s = Irtype.F32 then fun b off v ->
+        Bytes.set_int32_le b off (Int32.bits_of_float v)
+      else fun b off v -> Bytes.set_int64_le b off (Int64.bits_of_float v)
+    in
+
+    (* --- one instance: the caller, or an inlined callee --- *)
+    let rec instance (ipf : pfunc) (iblocks : pblock array)
+        (isites : (int * int, inline_site) Hashtbl.t) (ret : ret_mode)
+        (entry_copies : phicopy) : cont * cont ref array =
+      let ctx = ipf.pf_context in
+      let ctrs = ipf.pf_counters in
+      let nblocks = Array.length iblocks in
+      let cells = Array.init nblocks (fun _ -> ref unset) in
+
+      (* --- edges: phi parallel copy, then a direct-threaded jump --- *)
+      let compile_jump (copies : phicopy) (jump : cont ref) : cont =
+        match copies with
+        | Pc_none -> fun st fr -> !jump st fr
+        | Pc_missing ->
+          fun _ _ -> failwith "interp: phi has no incoming edge for predecessor"
+        | Pc_copy (dests, srcs) ->
+          let n = Array.length dests in
+          if n = 1 then begin
+            let d = dests.(0) in
+            match cls.(d) with
+            | Rint ->
+              let ig = iget srcs.(0) in
+              fun st fr ->
+                st.steps <- st.steps + 1;
+                ctrs.c_ops <- ctrs.c_ops + 1;
+                if st.steps > limit then raise Step_limit_exceeded;
+                if obs then os.os_phi_copy <- os.os_phi_copy + 1;
+                Array.unsafe_set fr.fr_iregs d (ig fr);
+                !jump st fr
+            | Rfloat ->
+              let fg = fget srcs.(0) in
+              fun st fr ->
+                st.steps <- st.steps + 1;
+                ctrs.c_ops <- ctrs.c_ops + 1;
+                if st.steps > limit then raise Step_limit_exceeded;
+                if obs then os.os_phi_copy <- os.os_phi_copy + 1;
+                Array.unsafe_set fr.fr_fregs d (fg fr);
+                !jump st fr
+            | Rptr ->
+              let go = pget_obj srcs.(0) and gf = pget_off srcs.(0) in
+              fun st fr ->
+                st.steps <- st.steps + 1;
+                ctrs.c_ops <- ctrs.c_ops + 1;
+                if st.steps > limit then raise Step_limit_exceeded;
+                if obs then os.os_phi_copy <- os.os_phi_copy + 1;
+                Array.unsafe_set fr.fr_pobj d (go fr);
+                Array.unsafe_set fr.fr_poff d (gf fr);
+                !jump st fr
+            | Rbox -> begin
+              match srcs.(0) with
+              | Preg rs when cls.(rs) = Rbox ->
+                fun st fr ->
+                  st.steps <- st.steps + 1;
+                  ctrs.c_ops <- ctrs.c_ops + 1;
+                  if st.steps > limit then raise Step_limit_exceeded;
+                  if obs then os.os_phi_copy <- os.os_phi_copy + 1;
+                  fr.fr_regs.(d) <- fr.fr_regs.(rs);
+                  !jump st fr
+              | src ->
+                let g = getter src in
+                fun st fr ->
+                  st.steps <- st.steps + 1;
+                  ctrs.c_ops <- ctrs.c_ops + 1;
+                  if st.steps > limit then raise Step_limit_exceeded;
+                  if obs then os.os_phi_copy <- os.os_phi_copy + 1;
+                  fr.fr_regs.(d) <- g fr;
+                  !jump st fr
+            end
+          end
+          else begin
+            (* parallel copy with a mixed register file: each class
+               moves through its own scratch array; all sources are
+               read before any write, as in the interpreter *)
+            let kinds = Array.map (fun d -> cls.(d)) dests in
+            let igs =
+              Array.mapi
+                (fun i s -> if kinds.(i) = Rint then iget s else fun _ -> 0)
+                srcs
+            in
+            let fgs =
+              Array.mapi
+                (fun i s -> if kinds.(i) = Rfloat then fget s else fun _ -> 0.0)
+                srcs
+            in
+            let pos =
+              Array.mapi
+                (fun i s ->
+                  if kinds.(i) = Rptr then pget_obj s
+                  else fun _ -> Mobject.dummy)
+                srcs
+            in
+            let poffs =
+              Array.mapi
+                (fun i s -> if kinds.(i) = Rptr then pget_off s else fun _ -> 0)
+                srcs
+            in
+            let gs =
+              Array.mapi
+                (fun i s ->
+                  if kinds.(i) = Rbox then getter s else fun _ -> Mval.zero)
+                srcs
+            in
+            fun st fr ->
+              let tmpi = Array.make n 0 in
+              let tmpf = Array.make n 0.0 in
+              let tmpo = Array.make n Mobject.dummy in
+              let tmpoff = Array.make n 0 in
+              let tmpv = Array.make n Mval.zero in
+              for i = 0 to n - 1 do
+                st.steps <- st.steps + 1;
+                ctrs.c_ops <- ctrs.c_ops + 1;
+                if st.steps > limit then raise Step_limit_exceeded;
+                match kinds.(i) with
+                | Rint -> tmpi.(i) <- igs.(i) fr
+                | Rfloat -> tmpf.(i) <- fgs.(i) fr
+                | Rptr ->
+                  tmpo.(i) <- pos.(i) fr;
+                  tmpoff.(i) <- poffs.(i) fr
+                | Rbox -> tmpv.(i) <- gs.(i) fr
+              done;
+              for i = 0 to n - 1 do
+                match kinds.(i) with
+                | Rint -> Array.unsafe_set fr.fr_iregs dests.(i) tmpi.(i)
+                | Rfloat -> Array.unsafe_set fr.fr_fregs dests.(i) tmpf.(i)
+                | Rptr ->
+                  Array.unsafe_set fr.fr_pobj dests.(i) tmpo.(i);
+                  Array.unsafe_set fr.fr_poff dests.(i) tmpoff.(i)
+                | Rbox -> fr.fr_regs.(dests.(i)) <- tmpv.(i)
+              done;
+              if obs then os.os_phi_copy <- os.os_phi_copy + n;
+              !jump st fr
+          end
+      in
+      let compile_edge (e : pedge) : cont =
+        match e with
+        | Edge (idx, copies) -> compile_jump copies cells.(idx)
+        | Edge_unknown l ->
+          fun _ _ -> failwith ("interp: jump to unknown block " ^ l)
+      in
+      (* A copy-free edge is just its target cell: branch closures inline
+         the [!cell] dereference instead of hopping through a wrapper
+         closure. *)
+      let edge_plain (e : pedge) : cont ref option =
+        match e with Edge (idx, Pc_none) -> Some cells.(idx) | _ -> None
+      in
+
+      (* --- terminators --- *)
+      (* [Pret] under [Ret_inline] replays the interpreter's post-call
+         order exactly: terminator charge, result read, depth decrement
+         (the frame pop has no observable effect — no frame was pushed),
+         then the call's result write and continuation. *)
+      let compile_ret (v : pval option) : cont =
+        match (ret, v) with
+        | Ret_fun, Some v ->
+          let g = getter v in
           fun st fr ->
-            ch_phi st;
-            Array.unsafe_set fr.fr_iregs d (ig fr);
-            !jump st fr
+            st.steps <- st.steps + 1;
+            ctrs.c_ops <- ctrs.c_ops + 1;
+            if st.steps > limit then raise Step_limit_exceeded;
+            if obs then os.os_term <- os.os_term + 1;
+            Some (g fr)
+        | Ret_fun, None ->
+          fun st _fr ->
+            st.steps <- st.steps + 1;
+            ctrs.c_ops <- ctrs.c_ops + 1;
+            if st.steps > limit then raise Step_limit_exceeded;
+            if obs then os.os_term <- os.os_term + 1;
+            None
+        | Ret_inline (rres, next), Some v ->
+          let g = getter v in
+          if rres >= 0 then fun st fr ->
+            st.steps <- st.steps + 1;
+            ctrs.c_ops <- ctrs.c_ops + 1;
+            if st.steps > limit then raise Step_limit_exceeded;
+            if obs then os.os_term <- os.os_term + 1;
+            let res = g fr in
+            st.depth <- st.depth - 1;
+            fr.fr_regs.(rres) <- res;
+            next st fr
+          else fun st fr ->
+            st.steps <- st.steps + 1;
+            ctrs.c_ops <- ctrs.c_ops + 1;
+            if st.steps > limit then raise Step_limit_exceeded;
+            if obs then os.os_term <- os.os_term + 1;
+            ignore (g fr);
+            st.depth <- st.depth - 1;
+            next st fr
+        | Ret_inline (rres, next), None ->
+          if rres >= 0 then fun st fr ->
+            st.steps <- st.steps + 1;
+            ctrs.c_ops <- ctrs.c_ops + 1;
+            if st.steps > limit then raise Step_limit_exceeded;
+            if obs then os.os_term <- os.os_term + 1;
+            st.depth <- st.depth - 1;
+            fr.fr_regs.(rres) <- Mval.zero;
+            next st fr
+          else fun st fr ->
+            st.steps <- st.steps + 1;
+            ctrs.c_ops <- ctrs.c_ops + 1;
+            if st.steps > limit then raise Step_limit_exceeded;
+            if obs then os.os_term <- os.os_term + 1;
+            st.depth <- st.depth - 1;
+            next st fr
+      in
+      let compile_term (t : pterm) : cont =
+        match t with
+        | Pret v -> compile_ret v
+        | Pbr e -> begin
+          match edge_plain e with
+          | Some cell ->
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_term <- os.os_term + 1;
+              !cell st fr
+          | None ->
+            let k = compile_edge e in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_term <- os.os_term + 1;
+              k st fr
         end
-        else
-          match srcs.(0) with
-          | Preg rs when not unboxed.(rs) ->
+        | Pcondbr (c, a, b) -> begin
+          match (c, edge_plain a, edge_plain b) with
+          | Preg rc, Some ca, Some cb when cls.(rc) = Rint ->
             fun st fr ->
-              ch_phi st;
-              fr.fr_regs.(d) <- fr.fr_regs.(rs);
-              !jump st fr
-          | src ->
-            let g = getter src in
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_term <- os.os_term + 1;
+              if Array.unsafe_get fr.fr_iregs rc = 0 then !cb st fr
+              else !ca st fr
+          | Preg rc, Some ca, Some cb when cls.(rc) = Rbox ->
             fun st fr ->
-              ch_phi st;
-              fr.fr_regs.(d) <- g fr;
-              !jump st fr
-      end
-      else begin
-        (* parallel copy with a mixed register file: unboxed slots move
-           through an int scratch array, boxed slots through an Mval
-           one; all sources are read before any write, as in the
-           interpreter *)
-        let kinds = Array.map (fun d -> unboxed.(d)) dests in
-        let igs =
-          Array.mapi (fun i s -> if kinds.(i) then iget s else fun _ -> 0) srcs
-        in
-        let gs =
-          Array.mapi
-            (fun i s -> if kinds.(i) then (fun _ -> Mval.zero) else getter s)
-            srcs
-        in
-        fun st fr ->
-          let tmpi = Array.make n 0 in
-          let tmpv = Array.make n Mval.zero in
-          for i = 0 to n - 1 do
-            charge_op st;
-            if kinds.(i) then tmpi.(i) <- igs.(i) fr
-            else tmpv.(i) <- gs.(i) fr
-          done;
-          for i = 0 to n - 1 do
-            if kinds.(i) then Array.unsafe_set fr.fr_iregs dests.(i) tmpi.(i)
-            else fr.fr_regs.(dests.(i)) <- tmpv.(i)
-          done;
-          if obs then os.os_phi_copy <- os.os_phi_copy + n;
-          !jump st fr
-      end
-  in
-  let compile_edge (e : pedge) : cont =
-    match e with
-    | Edge (idx, copies) -> compile_jump copies cells.(idx)
-    | Edge_unknown l -> fun _ _ -> failwith ("interp: jump to unknown block " ^ l)
-  in
-  (* A copy-free edge is just its target cell: branch closures inline the
-     [!cell] dereference instead of hopping through a wrapper closure. *)
-  let edge_plain (e : pedge) : cont ref option =
-    match e with Edge (idx, Pc_none) -> Some cells.(idx) | _ -> None
-  in
-
-  (* --- terminators --- *)
-  let compile_term (t : pterm) : cont =
-    match t with
-    | Pret (Some (Preg r)) when unboxed.(r) ->
-      fun st fr ->
-        ch_term st;
-        Some (Mval.Vint (Int64.of_int (Array.unsafe_get fr.fr_iregs r)))
-    | Pret (Some (Preg r)) ->
-      fun st fr ->
-        ch_term st;
-        Some fr.fr_regs.(r)
-    | Pret (Some v) ->
-      let g = getter v in
-      fun st fr ->
-        ch_term st;
-        Some (g fr)
-    | Pret None ->
-      fun st _fr ->
-        ch_term st;
-        None
-    | Pbr e -> begin
-      match edge_plain e with
-      | Some cell ->
-        fun st fr ->
-          ch_term st;
-          !cell st fr
-      | None ->
-        let k = compile_edge e in
-        fun st fr ->
-          ch_term st;
-          k st fr
-    end
-    | Pcondbr (c, a, b) -> begin
-      match (c, edge_plain a, edge_plain b) with
-      | Preg rc, Some ca, Some cb when unboxed.(rc) ->
-        fun st fr ->
-          ch_term st;
-          if Array.unsafe_get fr.fr_iregs rc = 0 then !cb st fr else !ca st fr
-      | Preg rc, Some ca, Some cb ->
-        fun st fr ->
-          ch_term st;
-          if Int64.equal (Mval.as_int fr.fr_regs.(rc)) 0L then !cb st fr
-          else !ca st fr
-      | c, _, _ ->
-        let ka = compile_edge a and kb = compile_edge b in
-        (match c with
-        | Preg rc when unboxed.(rc) ->
-          fun st fr ->
-            ch_term st;
-            if Array.unsafe_get fr.fr_iregs rc = 0 then kb st fr else ka st fr
-        | Preg rc ->
-          fun st fr ->
-            ch_term st;
-            if Int64.equal (Mval.as_int fr.fr_regs.(rc)) 0L then kb st fr
-            else ka st fr
-        | c ->
-          let g = getter c in
-          fun st fr ->
-            ch_term st;
-            if Int64.equal (Mval.as_int (g fr)) 0L then kb st fr else ka st fr)
-    end
-    | Pswitch (v, impl, default) ->
-      let gv = getter v in
-      let kd = compile_edge default in
-      (match impl with
-      | Sw_linear (keys, edges) ->
-        let ks = Array.map compile_edge edges in
-        let nk = Array.length keys in
-        fun st fr ->
-          ch_term st;
-          let x = Mval.as_int (gv fr) in
-          let rec find i =
-            if i >= nk then kd
-            else if Int64.equal keys.(i) x then ks.(i)
-            else find (i + 1)
-          in
-          (find 0) st fr
-      | Sw_table tbl ->
-        let ctbl = Hashtbl.create (2 * Hashtbl.length tbl) in
-        Hashtbl.iter (fun k e -> Hashtbl.replace ctbl k (compile_edge e)) tbl;
-        fun st fr ->
-          ch_term st;
-          let x = Mval.as_int (gv fr) in
-          (match Hashtbl.find_opt ctbl x with Some k -> k | None -> kd) st fr)
-    | Punreachable ->
-      fun st _fr ->
-        ch_term st;
-        Merror.raise_error
-          (Merror.Type_violation "reached an unreachable instruction")
-          ctx
-  in
-
-  (* --- narrow memory access fast paths ---
-
-     The inlined path performs the interpreter's checks on the managed
-     object in the interpreter's order — dereference, memento
-     observation, liveness, bounds, the uninitialized-read map — and
-     bails to the real [Mobject] accessors the moment any of them would
-     take an interesting branch, so every error is raised by the exact
-     same code with the exact same message. *)
-  let iload_fast (s : Irtype.scalar) : Bytes.t -> int -> int =
-    match s with
-    | Irtype.I1 -> fun b off -> Char.code (Bytes.get b off) land 1
-    | Irtype.I8 -> fun b off -> (Char.code (Bytes.get b off) lsl 55) asr 55
-    | Irtype.I16 -> fun b off -> (Bytes.get_uint16_le b off lsl 47) asr 47
-    | Irtype.I32 -> fun b off -> Int32.to_int (Bytes.get_int32_le b off)
-    | _ -> invalid_arg "Closcomp.iload_fast: not a small scalar"
-  in
-  let istore_fast (s : Irtype.scalar) : Bytes.t -> int -> int -> unit =
-    match s with
-    | Irtype.I1 | Irtype.I8 ->
-      fun b off v -> Bytes.set b off (Char.chr (v land 0xFF))
-    | Irtype.I16 -> fun b off v -> Bytes.set_uint16_le b off (v land 0xFFFF)
-    | Irtype.I32 -> fun b off v -> Bytes.set_int32_le b off (Int32.of_int v)
-    | _ -> invalid_arg "Closcomp.istore_fast: not a small scalar"
-  in
-
-  (* --- instructions, chained through their continuation --- *)
-  let compile_instr (i : pinstr) (next : cont) : cont =
-    match i with
-    | Palloca (r, mty, size) ->
-      fun st fr ->
-        ch_alloca st;
-        let obj = Mobject.alloc ~storage:Merror.Stack ~mty size in
-        fr.fr_regs.(r) <- Mval.Vptr (Mobject.Pobj { Mobject.obj; moff = 0 });
-        next st fr
-    | Pload (r, s, p) when small s ->
-      let size = Irtype.scalar_size s in
-      let fast = iload_fast s in
-      let norm = inorm s in
-      let observe = s <> Irtype.I8 in
-      (* the hottest operation in alloca-based code (every read of a
-         local): for the dominant register-pointer/unboxed-result shape
-         everything is inlined — the register reads, the object-pointer
-         match, the byte access and the result write *)
-      (match p with
-      | Preg rp when (not unboxed.(rp)) && unboxed.(r) ->
-        fun st fr ->
-          ch_load st;
-          let a =
-            match Array.unsafe_get fr.fr_regs rp with
-            | Mval.Vptr (Mobject.Pobj a) -> a
-            | pm -> deref_c ctx pm
-          in
-          let obj = a.Mobject.obj in
-          if observe then (
-            match obj.Mobject.storage with
-            | Merror.Heap -> Mheap.observe heap obj s
-            | _ -> ());
-          let off = a.Mobject.moff in
-          let v =
-            match (obj.Mobject.data, obj.Mobject.init_map) with
-            | Some b, None when off >= 0 && off + size <= obj.Mobject.byte_size
-              ->
-              fast b off
-            | _ -> norm (Int64.to_int (Mobject.load_int a ~size ctx))
-          in
-          Array.unsafe_set fr.fr_iregs r v;
-          next st fr
-      | p ->
-        let g = getter p in
-        let set = iset r in
-        fun st fr ->
-          ch_load st;
-          let a =
-            match g fr with
-            | Mval.Vptr (Mobject.Pobj a) -> a
-            | pm -> deref_c ctx pm
-          in
-          let obj = a.Mobject.obj in
-          if observe then (
-            match obj.Mobject.storage with
-            | Merror.Heap -> Mheap.observe heap obj s
-            | _ -> ());
-          let off = a.Mobject.moff in
-          let v =
-            match (obj.Mobject.data, obj.Mobject.init_map) with
-            | Some b, None when off >= 0 && off + size <= obj.Mobject.byte_size
-              ->
-              fast b off
-            | _ -> norm (Int64.to_int (Mobject.load_int a ~size ctx))
-          in
-          set fr v;
-          next st fr)
-    | Pload (r, s, p) ->
-      let size = Irtype.scalar_size s in
-      let load : Mobject.addr -> Mval.t =
-        match s with
-        | Irtype.Ptr -> fun a -> Mval.Vptr (Mobject.load_ptr a ctx)
-        | Irtype.F32 | Irtype.F64 ->
-          fun a -> Mval.Vfloat (Mobject.load_float a ~size ctx)
-        | _ ->
-          (* I64: bounds+liveness inline, [Mobject] on any slow branch *)
-          fun a ->
-            let obj = a.Mobject.obj in
-            let off = a.Mobject.moff in
-            (match (obj.Mobject.data, obj.Mobject.init_map) with
-            | Some b, None when off >= 0 && off + 8 <= obj.Mobject.byte_size
-              ->
-              Mval.Vint (Bytes.get_int64_le b off)
-            | _ -> Mval.Vint (Mobject.load_int a ~size:8 ctx))
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_term <- os.os_term + 1;
+              if Int64.equal (Mval.as_int fr.fr_regs.(rc)) 0L then !cb st fr
+              else !ca st fr
+          | c, _, _ ->
+            let ka = compile_edge a and kb = compile_edge b in
+            (match c with
+            | Preg rc when cls.(rc) = Rint ->
+              fun st fr ->
+                st.steps <- st.steps + 1;
+                ctrs.c_ops <- ctrs.c_ops + 1;
+                if st.steps > limit then raise Step_limit_exceeded;
+                if obs then os.os_term <- os.os_term + 1;
+                if Array.unsafe_get fr.fr_iregs rc = 0 then kb st fr
+                else ka st fr
+            | Preg rc when cls.(rc) = Rbox ->
+              fun st fr ->
+                st.steps <- st.steps + 1;
+                ctrs.c_ops <- ctrs.c_ops + 1;
+                if st.steps > limit then raise Step_limit_exceeded;
+                if obs then os.os_term <- os.os_term + 1;
+                if Int64.equal (Mval.as_int fr.fr_regs.(rc)) 0L then kb st fr
+                else ka st fr
+            | c ->
+              let g = getter c in
+              fun st fr ->
+                st.steps <- st.steps + 1;
+                ctrs.c_ops <- ctrs.c_ops + 1;
+                if st.steps > limit then raise Step_limit_exceeded;
+                if obs then os.os_term <- os.os_term + 1;
+                if Int64.equal (Mval.as_int (g fr)) 0L then kb st fr
+                else ka st fr)
+        end
+        | Pswitch (v, impl, default) ->
+          let gv = getter v in
+          let kd = compile_edge default in
+          (match impl with
+          | Sw_linear (keys, edges) ->
+            let ks = Array.map compile_edge edges in
+            let nk = Array.length keys in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_term <- os.os_term + 1;
+              let x = Mval.as_int (gv fr) in
+              let rec find i =
+                if i >= nk then kd
+                else if Int64.equal keys.(i) x then ks.(i)
+                else find (i + 1)
+              in
+              (find 0) st fr
+          | Sw_table tbl ->
+            let ctbl = Hashtbl.create (2 * Hashtbl.length tbl) in
+            Hashtbl.iter (fun k e -> Hashtbl.replace ctbl k (compile_edge e)) tbl;
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_term <- os.os_term + 1;
+              let x = Mval.as_int (gv fr) in
+              (match Hashtbl.find_opt ctbl x with Some k -> k | None -> kd)
+                st fr)
+        | Punreachable ->
+          fun st _fr ->
+            st.steps <- st.steps + 1;
+            ctrs.c_ops <- ctrs.c_ops + 1;
+            if st.steps > limit then raise Step_limit_exceeded;
+            if obs then os.os_term <- os.os_term + 1;
+            Merror.raise_error
+              (Merror.Type_violation "reached an unreachable instruction")
+              ctx
       in
-      (* allocation-memento observation applies to non-i8 heap accesses
-         only; the predicate on the scalar is compile-time *)
-      (match p with
-      | Preg rp when not unboxed.(rp) ->
-        fun st fr ->
-          ch_load st;
-          let a =
-            match Array.unsafe_get fr.fr_regs rp with
-            | Mval.Vptr (Mobject.Pobj a) -> a
-            | pm -> deref_c ctx pm
+      (* --- instructions, chained through their continuation --- *)
+      let compile_instr (key : int * int) (i : pinstr) (next : cont) : cont =
+        match i with
+        (* --- scalar-replaced allocas (virtual stack slots) ---
+           [plan_slots] proved the object unobservable, so the slot
+           lives in a register of its scalar's class and every access
+           replays the exact memory round trip.  The alloca still
+           consumes an allocation id (the ids of later allocations are
+           observable through cookies) and re-zeroes the slot — for an
+           I64 slot the boxed zero [Vint 0] is exactly what a load of
+           the fresh object's zero bytes would box. *)
+        | Palloca (r, _, _) when Hashtbl.mem slots r -> begin
+          match cls.(r) with
+          | Rint ->
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_alloca <- os.os_alloca + 1;
+              ignore (Mobject.fresh_id ());
+              Array.unsafe_set fr.fr_iregs r 0;
+              next st fr
+          | Rfloat ->
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_alloca <- os.os_alloca + 1;
+              ignore (Mobject.fresh_id ());
+              Array.unsafe_set fr.fr_fregs r 0.0;
+              next st fr
+          | Rbox | Rptr ->
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_alloca <- os.os_alloca + 1;
+              ignore (Mobject.fresh_id ());
+              Array.unsafe_set fr.fr_regs r Mval.zero;
+              next st fr
+        end
+        | Pload (r, _, Preg rp) when Hashtbl.mem slots rp -> begin
+          (* whole-slot load: forward the slot register (already the
+             exact value a memory load would produce).  These are the
+             hottest operations in alloca-based code, so each shape is
+             a fully inlined register move — no accessor closures. *)
+          match cls.(rp) with
+          | Rint when cls.(r) = Rint ->
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_mem <- ctrs.c_mem + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_load <- os.os_load + 1;
+              let ir = fr.fr_iregs in
+              Array.unsafe_set ir r (Array.unsafe_get ir rp);
+              next st fr
+          | Rint ->
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_mem <- ctrs.c_mem + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_load <- os.os_load + 1;
+              fr.fr_regs.(r) <-
+                Mval.Vint (Int64.of_int (Array.unsafe_get fr.fr_iregs rp));
+              next st fr
+          | Rfloat when cls.(r) = Rfloat ->
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_mem <- ctrs.c_mem + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_load <- os.os_load + 1;
+              let fl = fr.fr_fregs in
+              Array.unsafe_set fl r (Array.unsafe_get fl rp);
+              next st fr
+          | Rfloat ->
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_mem <- ctrs.c_mem + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_load <- os.os_load + 1;
+              fr.fr_regs.(r) <-
+                Mval.Vfloat (Array.unsafe_get fr.fr_fregs rp);
+              next st fr
+          | Rbox | Rptr ->
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_mem <- ctrs.c_mem + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_load <- os.os_load + 1;
+              Array.unsafe_set fr.fr_regs r (Array.unsafe_get fr.fr_regs rp);
+              next st fr
+        end
+        | Pstore (s, v, Preg rp) when Hashtbl.mem slots rp -> begin
+          (* whole-slot store: normalize exactly like the memory round
+             trip would — small ints sign-extend their stored low bits,
+             F32 rounds through its bit pattern, I64 re-boxes through
+             [Mval.as_int] (same pointer-cookie side effect as the
+             interpreter's store). *)
+          match cls.(rp) with
+          | Rint -> begin
+            (* specialize the hot shapes: register and immediate sources
+               store straight-line, with the sign-extension shifts of
+               [inorm] inlined (I1 masks instead) *)
+            let sh = if s = Irtype.I1 then 0 else 63 - ibits s in
+            match v with
+            | Preg rv when cls.(rv) = Rint && s <> Irtype.I1 ->
+              fun st fr ->
+                st.steps <- st.steps + 1;
+                ctrs.c_mem <- ctrs.c_mem + 1;
+                if st.steps > limit then raise Step_limit_exceeded;
+                if obs then os.os_store <- os.os_store + 1;
+                let x = Array.unsafe_get fr.fr_iregs rv in
+                Array.unsafe_set fr.fr_iregs rp ((x lsl sh) asr sh);
+                next st fr
+            | Pimm (Mval.Vint imm) ->
+              let c = inorm s (Int64.to_int imm) in
+              fun st fr ->
+                st.steps <- st.steps + 1;
+                ctrs.c_mem <- ctrs.c_mem + 1;
+                if st.steps > limit then raise Step_limit_exceeded;
+                if obs then os.os_store <- os.os_store + 1;
+                Array.unsafe_set fr.fr_iregs rp c;
+                next st fr
+            | _ ->
+              let g = iget v in
+              let nrm = inorm s in
+              fun st fr ->
+                st.steps <- st.steps + 1;
+                ctrs.c_mem <- ctrs.c_mem + 1;
+                if st.steps > limit then raise Step_limit_exceeded;
+                if obs then os.os_store <- os.os_store + 1;
+                Array.unsafe_set fr.fr_iregs rp (nrm (g fr));
+                next st fr
+          end
+          | Rfloat ->
+            let g = fget v in
+            if s = Irtype.F32 then
+              fun st fr ->
+                st.steps <- st.steps + 1;
+                ctrs.c_mem <- ctrs.c_mem + 1;
+                if st.steps > limit then raise Step_limit_exceeded;
+                if obs then os.os_store <- os.os_store + 1;
+                Array.unsafe_set fr.fr_fregs rp (Irtype.round_to_f32 (g fr));
+                next st fr
+            else
+              fun st fr ->
+                st.steps <- st.steps + 1;
+                ctrs.c_mem <- ctrs.c_mem + 1;
+                if st.steps > limit then raise Step_limit_exceeded;
+                if obs then os.os_store <- os.os_store + 1;
+                Array.unsafe_set fr.fr_fregs rp (g fr);
+                next st fr
+          | Rbox | Rptr ->
+            let g = getter v in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_mem <- ctrs.c_mem + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_store <- os.os_store + 1;
+              Array.unsafe_set fr.fr_regs rp (Mval.Vint (Mval.as_int (g fr)));
+              next st fr
+        end
+        | Palloca (r, mty, size) -> begin
+          match cls.(r) with
+          | Rptr ->
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_alloca <- os.os_alloca + 1;
+              let obj = Mobject.alloc ~storage:Merror.Stack ~mty size in
+              Array.unsafe_set fr.fr_pobj r obj;
+              Array.unsafe_set fr.fr_poff r 0;
+              next st fr
+          | _ ->
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_alloca <- os.os_alloca + 1;
+              let obj = Mobject.alloc ~storage:Merror.Stack ~mty size in
+              fr.fr_regs.(r) <- Mval.Vptr (Mobject.Pobj { Mobject.obj; moff = 0 });
+              next st fr
+        end
+        | Pload (r, s, p) when small s ->
+          let size = Irtype.scalar_size s in
+          let fast = iload_fast s in
+          let norm = inorm s in
+          let observe = s <> Irtype.I8 in
+          let set = iset r in
+          (* the hottest operation in alloca-based code (every read of a
+             local): for the dominant register-pointer/unboxed-result
+             shapes everything is inlined — the register reads, the
+             pointer access, the byte load and the result write *)
+          (match p with
+          | Preg rp when cls.(rp) = Rptr && cls.(r) = Rint ->
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_mem <- ctrs.c_mem + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_load <- os.os_load + 1;
+              let obj = Array.unsafe_get fr.fr_pobj rp in
+              let off = Array.unsafe_get fr.fr_poff rp in
+              if observe then (
+                match obj.Mobject.storage with
+                | Merror.Heap -> Mheap.observe heap obj s
+                | _ -> ());
+              let v =
+                match (obj.Mobject.data, obj.Mobject.init_map) with
+                | Some b, None
+                  when off >= 0 && off + size <= obj.Mobject.byte_size ->
+                  fast b off
+                | _ ->
+                  norm
+                    (Int64.to_int
+                       (Mobject.load_int { Mobject.obj; moff = off } ~size ctx))
+              in
+              Array.unsafe_set fr.fr_iregs r v;
+              next st fr
+          | Preg rp when cls.(rp) = Rptr ->
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_mem <- ctrs.c_mem + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_load <- os.os_load + 1;
+              let obj = Array.unsafe_get fr.fr_pobj rp in
+              let off = Array.unsafe_get fr.fr_poff rp in
+              if observe then (
+                match obj.Mobject.storage with
+                | Merror.Heap -> Mheap.observe heap obj s
+                | _ -> ());
+              let v =
+                match (obj.Mobject.data, obj.Mobject.init_map) with
+                | Some b, None
+                  when off >= 0 && off + size <= obj.Mobject.byte_size ->
+                  fast b off
+                | _ ->
+                  norm
+                    (Int64.to_int
+                       (Mobject.load_int { Mobject.obj; moff = off } ~size ctx))
+              in
+              set fr v;
+              next st fr
+          | Preg rp when cls.(rp) = Rbox && cls.(r) = Rint ->
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_mem <- ctrs.c_mem + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_load <- os.os_load + 1;
+              let a =
+                match Array.unsafe_get fr.fr_regs rp with
+                | Mval.Vptr (Mobject.Pobj a) -> a
+                | pm -> deref_c ctx pm
+              in
+              let obj = a.Mobject.obj in
+              if observe then (
+                match obj.Mobject.storage with
+                | Merror.Heap -> Mheap.observe heap obj s
+                | _ -> ());
+              let off = a.Mobject.moff in
+              let v =
+                match (obj.Mobject.data, obj.Mobject.init_map) with
+                | Some b, None
+                  when off >= 0 && off + size <= obj.Mobject.byte_size ->
+                  fast b off
+                | _ -> norm (Int64.to_int (Mobject.load_int a ~size ctx))
+              in
+              Array.unsafe_set fr.fr_iregs r v;
+              next st fr
+          | p ->
+            let g = getter p in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_mem <- ctrs.c_mem + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_load <- os.os_load + 1;
+              let a =
+                match g fr with
+                | Mval.Vptr (Mobject.Pobj a) -> a
+                | pm -> deref_c ctx pm
+              in
+              let obj = a.Mobject.obj in
+              if observe then (
+                match obj.Mobject.storage with
+                | Merror.Heap -> Mheap.observe heap obj s
+                | _ -> ());
+              let off = a.Mobject.moff in
+              let v =
+                match (obj.Mobject.data, obj.Mobject.init_map) with
+                | Some b, None
+                  when off >= 0 && off + size <= obj.Mobject.byte_size ->
+                  fast b off
+                | _ -> norm (Int64.to_int (Mobject.load_int a ~size ctx))
+              in
+              set fr v;
+              next st fr)
+        | Pload (r, s, p) when (s = Irtype.F32 || s = Irtype.F64) && cls.(r) = Rfloat ->
+          let size = Irtype.scalar_size s in
+          let fast = fload_fast s in
+          (* float loads always observe heap mementos (s <> I8) *)
+          (match p with
+          | Preg rp when cls.(rp) = Rptr ->
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_mem <- ctrs.c_mem + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_load <- os.os_load + 1;
+              let obj = Array.unsafe_get fr.fr_pobj rp in
+              let off = Array.unsafe_get fr.fr_poff rp in
+              (match obj.Mobject.storage with
+              | Merror.Heap -> Mheap.observe heap obj s
+              | _ -> ());
+              let v =
+                match (obj.Mobject.data, obj.Mobject.init_map) with
+                | Some b, None
+                  when off >= 0 && off + size <= obj.Mobject.byte_size ->
+                  fast b off
+                | _ -> Mobject.load_float { Mobject.obj; moff = off } ~size ctx
+              in
+              Array.unsafe_set fr.fr_fregs r v;
+              next st fr
+          | p ->
+            let g = getter p in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_mem <- ctrs.c_mem + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_load <- os.os_load + 1;
+              let a =
+                match g fr with
+                | Mval.Vptr (Mobject.Pobj a) -> a
+                | pm -> deref_c ctx pm
+              in
+              let obj = a.Mobject.obj in
+              (match obj.Mobject.storage with
+              | Merror.Heap -> Mheap.observe heap obj s
+              | _ -> ());
+              let off = a.Mobject.moff in
+              let v =
+                match (obj.Mobject.data, obj.Mobject.init_map) with
+                | Some b, None
+                  when off >= 0 && off + size <= obj.Mobject.byte_size ->
+                  fast b off
+                | _ -> Mobject.load_float a ~size ctx
+              in
+              Array.unsafe_set fr.fr_fregs r v;
+              next st fr)
+        | Pload (r, s, p) ->
+          let size = Irtype.scalar_size s in
+          let load : Mobject.addr -> Mval.t =
+            match s with
+            | Irtype.Ptr -> fun a -> Mval.Vptr (Mobject.load_ptr a ctx)
+            | Irtype.F32 | Irtype.F64 ->
+              fun a -> Mval.Vfloat (Mobject.load_float a ~size ctx)
+            | _ ->
+              (* I64: bounds+liveness inline, [Mobject] on any slow branch *)
+              fun a ->
+                let obj = a.Mobject.obj in
+                let off = a.Mobject.moff in
+                (match (obj.Mobject.data, obj.Mobject.init_map) with
+                | Some b, None when off >= 0 && off + 8 <= obj.Mobject.byte_size
+                  ->
+                  Mval.Vint (Bytes.get_int64_le b off)
+                | _ -> Mval.Vint (Mobject.load_int a ~size:8 ctx))
           in
-          (match a.Mobject.obj.Mobject.storage with
-          | Merror.Heap -> Mheap.observe heap a.Mobject.obj s
-          | _ -> ());
-          fr.fr_regs.(r) <- load a;
-          next st fr
-      | p ->
-        let g = getter p in
-        fun st fr ->
-          ch_load st;
-          let a =
-            match g fr with
-            | Mval.Vptr (Mobject.Pobj a) -> a
-            | pm -> deref_c ctx pm
+          (* allocation-memento observation applies to non-i8 heap
+             accesses only; the predicate on the scalar is compile-time *)
+          (match p with
+          | Preg rp when cls.(rp) = Rptr ->
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_mem <- ctrs.c_mem + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_load <- os.os_load + 1;
+              let a =
+                {
+                  Mobject.obj = Array.unsafe_get fr.fr_pobj rp;
+                  moff = Array.unsafe_get fr.fr_poff rp;
+                }
+              in
+              (match a.Mobject.obj.Mobject.storage with
+              | Merror.Heap -> Mheap.observe heap a.Mobject.obj s
+              | _ -> ());
+              fr.fr_regs.(r) <- load a;
+              next st fr
+          | Preg rp when cls.(rp) = Rbox ->
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_mem <- ctrs.c_mem + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_load <- os.os_load + 1;
+              let a =
+                match Array.unsafe_get fr.fr_regs rp with
+                | Mval.Vptr (Mobject.Pobj a) -> a
+                | pm -> deref_c ctx pm
+              in
+              (match a.Mobject.obj.Mobject.storage with
+              | Merror.Heap -> Mheap.observe heap a.Mobject.obj s
+              | _ -> ());
+              fr.fr_regs.(r) <- load a;
+              next st fr
+          | p ->
+            let g = getter p in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_mem <- ctrs.c_mem + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_load <- os.os_load + 1;
+              let a =
+                match g fr with
+                | Mval.Vptr (Mobject.Pobj a) -> a
+                | pm -> deref_c ctx pm
+              in
+              (match a.Mobject.obj.Mobject.storage with
+              | Merror.Heap -> Mheap.observe heap a.Mobject.obj s
+              | _ -> ());
+              fr.fr_regs.(r) <- load a;
+              next st fr)
+        | Pstore (s, v, p) when small s ->
+          let gv = iget v in
+          let size = Irtype.scalar_size s in
+          let fast = istore_fast s in
+          let observe = s <> Irtype.I8 in
+          (* operand order matches the interpreter — pointer, then value
+             — and a plain register read cannot raise, so inlining the
+             pointer read keeps every raise point in place *)
+          (match p with
+          | Preg rp when cls.(rp) = Rptr ->
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_mem <- ctrs.c_mem + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_store <- os.os_store + 1;
+              let obj = Array.unsafe_get fr.fr_pobj rp in
+              let off = Array.unsafe_get fr.fr_poff rp in
+              let vv = gv fr in
+              if observe then (
+                match obj.Mobject.storage with
+                | Merror.Heap -> Mheap.observe heap obj s
+                | _ -> ());
+              (match (obj.Mobject.data, obj.Mobject.init_map) with
+              | Some b, None
+                when off >= 0
+                     && off + size <= obj.Mobject.byte_size
+                     && obj.Mobject.ptr_slots = None ->
+                fast b off vv
+              | _ ->
+                Mobject.store_int { Mobject.obj; moff = off } ~size
+                  (Int64.of_int vv) ctx);
+              next st fr
+          | Preg rp when cls.(rp) = Rbox ->
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_mem <- ctrs.c_mem + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_store <- os.os_store + 1;
+              let pm = Array.unsafe_get fr.fr_regs rp in
+              let vv = gv fr in
+              let a =
+                match pm with
+                | Mval.Vptr (Mobject.Pobj a) -> a
+                | pm -> deref_c ctx pm
+              in
+              let obj = a.Mobject.obj in
+              if observe then (
+                match obj.Mobject.storage with
+                | Merror.Heap -> Mheap.observe heap obj s
+                | _ -> ());
+              let off = a.Mobject.moff in
+              (match (obj.Mobject.data, obj.Mobject.init_map) with
+              | Some b, None
+                when off >= 0
+                     && off + size <= obj.Mobject.byte_size
+                     && obj.Mobject.ptr_slots = None ->
+                fast b off vv
+              | _ -> Mobject.store_int a ~size (Int64.of_int vv) ctx);
+              next st fr
+          | p ->
+            let gp = getter p in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_mem <- ctrs.c_mem + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_store <- os.os_store + 1;
+              let pp = gp fr in
+              let vv = gv fr in
+              let a =
+                match pp with
+                | Mval.Vptr (Mobject.Pobj a) -> a
+                | pm -> deref_c ctx pm
+              in
+              let obj = a.Mobject.obj in
+              if observe then (
+                match obj.Mobject.storage with
+                | Merror.Heap -> Mheap.observe heap obj s
+                | _ -> ());
+              let off = a.Mobject.moff in
+              (match (obj.Mobject.data, obj.Mobject.init_map) with
+              | Some b, None
+                when off >= 0
+                     && off + size <= obj.Mobject.byte_size
+                     && obj.Mobject.ptr_slots = None ->
+                fast b off vv
+              | _ -> Mobject.store_int a ~size (Int64.of_int vv) ctx);
+              next st fr)
+        | Pstore (s, v, p) when s = Irtype.F32 || s = Irtype.F64 ->
+          let gv = fget v in
+          let size = Irtype.scalar_size s in
+          let fast = fstore_fast s in
+          (* float stores always observe heap mementos (s <> I8) *)
+          (match p with
+          | Preg rp when cls.(rp) = Rptr ->
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_mem <- ctrs.c_mem + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_store <- os.os_store + 1;
+              let obj = Array.unsafe_get fr.fr_pobj rp in
+              let off = Array.unsafe_get fr.fr_poff rp in
+              let vv = gv fr in
+              (match obj.Mobject.storage with
+              | Merror.Heap -> Mheap.observe heap obj s
+              | _ -> ());
+              (match (obj.Mobject.data, obj.Mobject.init_map) with
+              | Some b, None
+                when off >= 0
+                     && off + size <= obj.Mobject.byte_size
+                     && obj.Mobject.ptr_slots = None ->
+                fast b off vv
+              | _ ->
+                Mobject.store_float { Mobject.obj; moff = off } ~size vv ctx);
+              next st fr
+          | p ->
+            let gp = getter p in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_mem <- ctrs.c_mem + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_store <- os.os_store + 1;
+              let pp = gp fr in
+              let vv = gv fr in
+              let a =
+                match pp with
+                | Mval.Vptr (Mobject.Pobj a) -> a
+                | pm -> deref_c ctx pm
+              in
+              let obj = a.Mobject.obj in
+              (match obj.Mobject.storage with
+              | Merror.Heap -> Mheap.observe heap obj s
+              | _ -> ());
+              let off = a.Mobject.moff in
+              (match (obj.Mobject.data, obj.Mobject.init_map) with
+              | Some b, None
+                when off >= 0
+                     && off + size <= obj.Mobject.byte_size
+                     && obj.Mobject.ptr_slots = None ->
+                fast b off vv
+              | _ -> Mobject.store_float a ~size vv ctx);
+              next st fr)
+        | Pstore (s, v, p) ->
+          let gv = getter v and gp = getter p in
+          let size = Irtype.scalar_size s in
+          let store : Mobject.addr -> Mval.t -> unit =
+            match s with
+            | Irtype.Ptr -> fun a x -> Mobject.store_ptr a (Mval.as_ptr ctx x) ctx
+            | _ -> fun a x -> Mobject.store_int a ~size (Mval.as_int x) ctx
           in
-          (match a.Mobject.obj.Mobject.storage with
-          | Merror.Heap -> Mheap.observe heap a.Mobject.obj s
-          | _ -> ());
-          fr.fr_regs.(r) <- load a;
-          next st fr)
-    | Pstore (s, v, p) when small s ->
-      let gv = iget v in
-      let size = Irtype.scalar_size s in
-      let fast = istore_fast s in
-      let observe = s <> Irtype.I8 in
-      (* operand order matches the interpreter — pointer, then value —
-         and a plain register read cannot raise, so inlining the pointer
-         read keeps every raise point in place *)
-      (match p with
-      | Preg rp when not unboxed.(rp) ->
-        fun st fr ->
-          ch_store st;
-          let pm = Array.unsafe_get fr.fr_regs rp in
-          let vv = gv fr in
-          let a =
-            match pm with
-            | Mval.Vptr (Mobject.Pobj a) -> a
-            | pm -> deref_c ctx pm
-          in
-          let obj = a.Mobject.obj in
-          if observe then (
-            match obj.Mobject.storage with
-            | Merror.Heap -> Mheap.observe heap obj s
-            | _ -> ());
-          let off = a.Mobject.moff in
-          (match (obj.Mobject.data, obj.Mobject.init_map) with
-          | Some b, None
-            when off >= 0
-                 && off + size <= obj.Mobject.byte_size
-                 && obj.Mobject.ptr_slots = None ->
-            fast b off vv
-          | _ -> Mobject.store_int a ~size (Int64.of_int vv) ctx);
-          next st fr
-      | p ->
-        let gp = getter p in
-        fun st fr ->
-          ch_store st;
-          let pp = gp fr in
-          let vv = gv fr in
-          let a =
-            match pp with
-            | Mval.Vptr (Mobject.Pobj a) -> a
-            | pm -> deref_c ctx pm
-          in
-          let obj = a.Mobject.obj in
-          if observe then (
-            match obj.Mobject.storage with
-            | Merror.Heap -> Mheap.observe heap obj s
-            | _ -> ());
-          let off = a.Mobject.moff in
-          (match (obj.Mobject.data, obj.Mobject.init_map) with
-          | Some b, None
-            when off >= 0
-                 && off + size <= obj.Mobject.byte_size
-                 && obj.Mobject.ptr_slots = None ->
-            fast b off vv
-          | _ -> Mobject.store_int a ~size (Int64.of_int vv) ctx);
-          next st fr)
-    | Pstore (s, v, p) ->
-      let gv = getter v and gp = getter p in
-      let size = Irtype.scalar_size s in
-      let store : Mobject.addr -> Mval.t -> unit =
-        match s with
-        | Irtype.Ptr -> fun a x -> Mobject.store_ptr a (Mval.as_ptr ctx x) ctx
-        | Irtype.F32 | Irtype.F64 ->
-          fun a x -> Mobject.store_float a ~size (Mval.as_float x) ctx
-        | _ -> fun a x -> Mobject.store_int a ~size (Mval.as_int x) ctx
-      in
-      fun st fr ->
-        ch_store st;
-        let pp = gp fr in
-        let vv = gv fr in
-        let a =
-          match pp with
-          | Mval.Vptr (Mobject.Pobj a) -> a
-          | pm -> deref_c ctx pm
-        in
-        (match a.Mobject.obj.Mobject.storage with
-        | Merror.Heap -> Mheap.observe heap a.Mobject.obj s
-        | _ -> ());
-        store a vv;
-        next st fr
-    | Pgep (r, base, g) ->
-      let gb = getter base in
-      let apply delta (pm : Mval.t) : Mval.t =
-        match Mval.as_ptr ctx pm with
-        | Mobject.Pnull -> Mval.Vptr Mobject.Pnull
-        | Mobject.Pobj a ->
-          Mval.Vptr
-            (Mobject.Pobj { a with Mobject.moff = a.Mobject.moff + delta })
-        | Mobject.Pfunc _ as p ->
-          Mval.Vptr
-            (Mobject.Pinvalid
-               (Int64.add (Mobject.ptr_to_int p) (Int64.of_int delta)))
-        | Mobject.Pinvalid c ->
-          Mval.Vptr (Mobject.Pinvalid (Int64.add c (Int64.of_int delta)))
-      in
-      let static = g.pg_static in
-      (match g.pg_dyn with
-      | [||] ->
-        fun st fr ->
-          ch_gep st;
-          fr.fr_regs.(r) <- apply static (gb fr);
-          next st fr
-      | [| (iv, stride) |] ->
-        let gi = iget iv in
-        fun st fr ->
-          ch_gep st;
-          let b = gb fr in
-          let d = static + (gi fr * stride) in
-          fr.fr_regs.(r) <- apply d b;
-          next st fr
-      | dyn ->
-        let gis = Array.map (fun (v, stride) -> (iget v, stride)) dyn in
-        fun st fr ->
-          ch_gep st;
-          let b = gb fr in
-          let d = ref static in
-          for i = 0 to Array.length gis - 1 do
-            let gi, stride = gis.(i) in
-            d := !d + (gi fr * stride)
-          done;
-          fr.fr_regs.(r) <- apply !d b;
-          next st fr)
-    | Pbinop (r, op, s, a, b, cls) when cls <> Cfp && small s ->
-      let f = ibinop_fn ctx op s in
-      let ch = ch_binop cls in
-      (match (a, b) with
-      | Preg ra, Preg rb when unboxed.(ra) && unboxed.(rb) && unboxed.(r) ->
-        fun st fr ->
-          ch st;
-          let ir = fr.fr_iregs in
-          Array.unsafe_set ir r
-            (f (Array.unsafe_get ir ra) (Array.unsafe_get ir rb));
-          next st fr
-      | a, b ->
-        let ga = iget a and gb = iget b in
-        let set = iset r in
-        fun st fr ->
-          ch st;
-          (* right-to-left like the interpreter's application order *)
-          let y = gb fr in
-          set fr (f (ga fr) y);
-          next st fr)
-    | Pbinop (r, op, s, a, b, cls) ->
-      let f = binop_fn ctx op s in
-      let ch = ch_binop cls in
-      let ga = getter a and gb = getter b in
-      fun st fr ->
-        ch st;
-        let y = gb fr in
-        fr.fr_regs.(r) <- f (ga fr) y;
-        next st fr
-    | Picmp (r, op, s, a, b) when small s ->
-      let cmp = iicmp_fn op s in
-      (match (a, b) with
-      | Preg ra, Preg rb when unboxed.(ra) && unboxed.(rb) && unboxed.(r) ->
-        fun st fr ->
-          ch_icmp st;
-          let ir = fr.fr_iregs in
-          Array.unsafe_set ir r
-            (if cmp (Array.unsafe_get ir ra) (Array.unsafe_get ir rb) then 1
-             else 0);
-          next st fr
-      | a, b ->
-        let ga = iget a and gb = iget b in
-        if unboxed.(r) then
           fun st fr ->
-            ch_icmp st;
+            st.steps <- st.steps + 1;
+            ctrs.c_mem <- ctrs.c_mem + 1;
+            if st.steps > limit then raise Step_limit_exceeded;
+            if obs then os.os_store <- os.os_store + 1;
+            let pp = gp fr in
+            let vv = gv fr in
+            let a =
+              match pp with
+              | Mval.Vptr (Mobject.Pobj a) -> a
+              | pm -> deref_c ctx pm
+            in
+            (match a.Mobject.obj.Mobject.storage with
+            | Merror.Heap -> Mheap.observe heap a.Mobject.obj s
+            | _ -> ());
+            store a vv;
+            next st fr
+        | Pgep (r, base, g) when cls.(r) = Rptr ->
+          (* classification proved the base an object pointer, so the
+             pointer-shape dispatch of [exec_gep] vanishes: the result
+             is the base's pointee with an adjusted offset *)
+          let go = pget_obj base and gf = pget_off base in
+          let static = g.pg_static in
+          (match g.pg_dyn with
+          | [||] ->
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_gep <- os.os_gep + 1;
+              Array.unsafe_set fr.fr_pobj r (go fr);
+              Array.unsafe_set fr.fr_poff r (gf fr + static);
+              next st fr
+          | [| (iv, stride) |] ->
+            let gi = iget iv in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_gep <- os.os_gep + 1;
+              let obj = go fr in
+              let off = gf fr + static + (gi fr * stride) in
+              Array.unsafe_set fr.fr_pobj r obj;
+              Array.unsafe_set fr.fr_poff r off;
+              next st fr
+          | dyn ->
+            let gis = Array.map (fun (v, stride) -> (iget v, stride)) dyn in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_gep <- os.os_gep + 1;
+              let obj = go fr in
+              let d = ref (gf fr + static) in
+              for i = 0 to Array.length gis - 1 do
+                let gi, stride = gis.(i) in
+                d := !d + (gi fr * stride)
+              done;
+              Array.unsafe_set fr.fr_pobj r obj;
+              Array.unsafe_set fr.fr_poff r !d;
+              next st fr)
+        | Pgep (r, base, g) ->
+          let gb = getter base in
+          let apply delta (pm : Mval.t) : Mval.t =
+            match Mval.as_ptr ctx pm with
+            | Mobject.Pnull -> Mval.Vptr Mobject.Pnull
+            | Mobject.Pobj a ->
+              Mval.Vptr
+                (Mobject.Pobj { a with Mobject.moff = a.Mobject.moff + delta })
+            | Mobject.Pfunc _ as p ->
+              Mval.Vptr
+                (Mobject.Pinvalid
+                   (Int64.add (Mobject.ptr_to_int p) (Int64.of_int delta)))
+            | Mobject.Pinvalid c ->
+              Mval.Vptr (Mobject.Pinvalid (Int64.add c (Int64.of_int delta)))
+          in
+          let static = g.pg_static in
+          (match g.pg_dyn with
+          | [||] ->
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_gep <- os.os_gep + 1;
+              fr.fr_regs.(r) <- apply static (gb fr);
+              next st fr
+          | [| (iv, stride) |] ->
+            let gi = iget iv in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_gep <- os.os_gep + 1;
+              let b = gb fr in
+              let d = static + (gi fr * stride) in
+              fr.fr_regs.(r) <- apply d b;
+              next st fr
+          | dyn ->
+            let gis = Array.map (fun (v, stride) -> (iget v, stride)) dyn in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_gep <- os.os_gep + 1;
+              let b = gb fr in
+              let d = ref static in
+              for i = 0 to Array.length gis - 1 do
+                let gi, stride = gis.(i) in
+                d := !d + (gi fr * stride)
+              done;
+              fr.fr_regs.(r) <- apply !d b;
+              next st fr)
+        | Pbinop (r, op, s, a, b, cls_op) when cls_op <> Cfp && small s ->
+          let f = ibinop_fn ctx op s in
+          (match (a, b) with
+          | Preg ra, Preg rb
+            when cls.(ra) = Rint && cls.(rb) = Rint && cls.(r) = Rint ->
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_binop <- os.os_binop + 1;
+              let ir = fr.fr_iregs in
+              Array.unsafe_set ir r
+                (f (Array.unsafe_get ir ra) (Array.unsafe_get ir rb));
+              next st fr
+          | a, b ->
+            let ga = iget a and gb = iget b in
+            let set = iset r in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_binop <- os.os_binop + 1;
+              (* right-to-left like the interpreter's application order *)
+              let y = gb fr in
+              set fr (f (ga fr) y);
+              next st fr)
+        | Pbinop (r, op, s, a, b, Cfp)
+          when (match op with
+               | Instr.FAdd | Instr.FSub | Instr.FMul | Instr.FDiv -> true
+               | _ -> false) ->
+          let f = fbinop_fn op s in
+          (match (a, b) with
+          | Preg ra, Preg rb
+            when cls.(ra) = Rfloat && cls.(rb) = Rfloat && cls.(r) = Rfloat ->
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_fp <- ctrs.c_fp + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_binop <- os.os_binop + 1;
+              let fl = fr.fr_fregs in
+              Array.unsafe_set fl r
+                (f (Array.unsafe_get fl ra) (Array.unsafe_get fl rb));
+              next st fr
+          | a, b ->
+            let ga = fget a and gb = fget b in
+            let set = fset r in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_fp <- ctrs.c_fp + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_binop <- os.os_binop + 1;
+              let y = gb fr in
+              set fr (f (ga fr) y);
+              next st fr)
+        | Pbinop (r, op, s, a, b, cls_op) ->
+          let f = binop_fn ctx op s in
+          let fp = cls_op = Cfp in
+          let ga = getter a and gb = getter b in
+          fun st fr ->
+            st.steps <- st.steps + 1;
+            (if fp then ctrs.c_fp <- ctrs.c_fp + 1
+             else ctrs.c_ops <- ctrs.c_ops + 1);
+            if st.steps > limit then raise Step_limit_exceeded;
+            if obs then os.os_binop <- os.os_binop + 1;
             let y = gb fr in
-            Array.unsafe_set fr.fr_iregs r (if cmp (ga fr) y then 1 else 0);
+            fr.fr_regs.(r) <- f (ga fr) y;
             next st fr
-        else
+        | Picmp (r, op, s, a, b) when small s ->
+          let cmp = iicmp_fn op s in
+          (match (a, b) with
+          | Preg ra, Preg rb
+            when cls.(ra) = Rint && cls.(rb) = Rint && cls.(r) = Rint ->
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_icmp <- os.os_icmp + 1;
+              let ir = fr.fr_iregs in
+              Array.unsafe_set ir r
+                (if cmp (Array.unsafe_get ir ra) (Array.unsafe_get ir rb) then 1
+                 else 0);
+              next st fr
+          | a, b ->
+            let ga = iget a and gb = iget b in
+            if cls.(r) = Rint then
+              fun st fr ->
+                st.steps <- st.steps + 1;
+                ctrs.c_ops <- ctrs.c_ops + 1;
+                if st.steps > limit then raise Step_limit_exceeded;
+                if obs then os.os_icmp <- os.os_icmp + 1;
+                let y = gb fr in
+                Array.unsafe_set fr.fr_iregs r (if cmp (ga fr) y then 1 else 0);
+                next st fr
+            else
+              fun st fr ->
+                st.steps <- st.steps + 1;
+                ctrs.c_ops <- ctrs.c_ops + 1;
+                if st.steps > limit then raise Step_limit_exceeded;
+                if obs then os.os_icmp <- os.os_icmp + 1;
+                let y = gb fr in
+                fr.fr_regs.(r) <- (if cmp (ga fr) y then vtrue else vfalse);
+                next st fr)
+        | Picmp (r, op, s, a, b) ->
+          let cmp = icmp_fn op s in
+          let ga = getter a and gb = getter b in
+          let set = iset r in
           fun st fr ->
-            ch_icmp st;
-            let y = gb fr in
-            fr.fr_regs.(r) <- (if cmp (ga fr) y then vtrue else vfalse);
-            next st fr)
-    | Picmp (r, op, s, a, b) ->
-      let cmp = icmp_fn op s in
-      let ga = getter a and gb = getter b in
-      let set = iset r in
-      fun st fr ->
-        ch_icmp st;
-        let y = Mval.as_int (gb fr) in
-        set fr (if cmp (Mval.as_int (ga fr)) y then 1 else 0)
-        |> fun () -> next st fr
-    | Pfcmp (r, op, a, b) ->
-      let ga = getter a and gb = getter b in
-      fun st fr ->
-        ch_fcmp st;
-        let y = gb fr in
-        fr.fr_regs.(r) <- exec_fcmp op (ga fr) y;
-        next st fr
-    | Pcast (r, op, from, into, v) ->
-      (match op with
-      | (Instr.Trunc | Instr.Sext | Instr.Zext) when small into ->
-        let ig = iget v in
-        let set = iset r in
-        let n = inorm into in
-        let conv =
-          match op with
-          | Instr.Zext when small from ->
-            let mf = imask from in
-            fun x -> n (x land mf)
-          | _ -> n
-        in
-        fun st fr ->
-          ch_cast st;
-          set fr (conv (ig fr));
-          next st fr
-      | Instr.Sext ->
-        (* into I64/Ptr: the operand's normalized value IS the result *)
-        let g = getter v in
-        fun st fr ->
-          ch_cast st;
-          fr.fr_regs.(r) <- Mval.Vint (Mval.as_int (g fr));
-          next st fr
-      | Instr.Trunc ->
-        let n = normalizer into in
-        let g = getter v in
-        fun st fr ->
-          ch_cast st;
-          fr.fr_regs.(r) <- Mval.Vint (n (Mval.as_int (g fr)));
-          next st fr
-      | Instr.Zext ->
-        let u = Irtype.unsigned_of from in
-        let n = normalizer into in
-        let g = getter v in
-        fun st fr ->
-          ch_cast st;
-          fr.fr_regs.(r) <- Mval.Vint (n (u (Mval.as_int (g fr))));
-          next st fr
-      | op ->
-        let g = getter v in
-        fun st fr ->
-          ch_cast st;
-          fr.fr_regs.(r) <- exec_cast op from into (g fr);
-          next st fr)
-    | Pselect (r, c, a, b) when unboxed.(r) ->
-      let gc = iget c and ga = iget a and gb = iget b in
-      fun st fr ->
-        ch_select st;
-        Array.unsafe_set fr.fr_iregs r (if gc fr = 0 then gb fr else ga fr);
-        next st fr
-    | Pselect (r, c, a, b) ->
-      let gc = getter c and ga = getter a and gb = getter b in
-      fun st fr ->
-        ch_select st;
-        fr.fr_regs.(r) <-
-          (if Int64.equal (Mval.as_int (gc fr)) 0L then gb fr else ga fr);
-        next st fr
-    | Psancheck ->
-      fun st fr ->
-        ch_sancheck st;
-        next st fr
-    | Ploc (line, col) ->
-      (* provenance marker: free, exactly like the interpreter *)
-      fun st fr ->
-        fr.fr_line <- line;
-        fr.fr_col <- col;
-        next st fr
-    | Pcall (r, callee, pargs, scalars) ->
-      let na = Array.length pargs in
-      let gs = Array.map getter pargs in
-      let eval_args fr =
-        let argv = Array.make na Mval.zero in
-        for k = 0 to na - 1 do
-          argv.(k) <- gs.(k) fr
-        done;
-        argv
-      in
-      let finish : frame -> Mval.t option -> unit =
-        if r < 0 then fun _ _ -> ()
-        else fun fr res ->
-          fr.fr_regs.(r) <- (match res with Some v -> v | None -> Mval.zero)
-      in
-      (match callee with
-      | Pdirect tgt -> begin
-        (* the link pass ran before execution began: [!tgt] is stable,
-           so the target resolves at compile time *)
-        match !tgt with
-        | Tgt_user callee_pf ->
-          fun st fr ->
-            ch_call st;
-            ctrs.c_calls <- ctrs.c_calls + 1;
-            finish fr (call_function st callee_pf (eval_args fr) scalars);
-            next st fr
-        | Tgt_builtin fn ->
-          fun st fr ->
-            ch_call st;
-            ctrs.c_calls <- ctrs.c_calls + 1;
-            finish fr (fn st (eval_args fr));
-            next st fr
-        | Tgt_unknown name ->
-          fun st fr ->
-            ch_call st;
-            ctrs.c_calls <- ctrs.c_calls + 1;
-            ignore (eval_args fr);
-            failwith ("interp: unknown builtin " ^ name)
-      end
-      | Pindirect (v, ic) ->
-        let gv = getter v in
-        fun st fr ->
-          ch_call st;
-          ctrs.c_calls <- ctrs.c_calls + 1;
-          let argv = eval_args fr in
-          (match Mval.as_ptr ctx (gv fr) with
-          | Mobject.Pfunc name ->
-            let tgt =
-              if name == ic.ic_name || String.equal name ic.ic_name then begin
-                if obs then os.os_ic_hit <- os.os_ic_hit + 1;
-                ic.ic_target
+            st.steps <- st.steps + 1;
+            ctrs.c_ops <- ctrs.c_ops + 1;
+            if st.steps > limit then raise Step_limit_exceeded;
+            if obs then os.os_icmp <- os.os_icmp + 1;
+            let y = Mval.as_int (gb fr) in
+            set fr (if cmp (Mval.as_int (ga fr)) y then 1 else 0)
+            |> fun () -> next st fr
+        | Pfcmp (r, op, a, b) ->
+          let cmp = fcmp_fn op in
+          (match (a, b) with
+          | Preg ra, Preg rb
+            when cls.(ra) = Rfloat && cls.(rb) = Rfloat && cls.(r) = Rint ->
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_fp <- ctrs.c_fp + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_fcmp <- os.os_fcmp + 1;
+              let fl = fr.fr_fregs in
+              Array.unsafe_set fr.fr_iregs r
+                (if cmp (Array.unsafe_get fl ra) (Array.unsafe_get fl rb) then 1
+                 else 0);
+              next st fr
+          | a, b ->
+            let ga = fget a and gb = fget b in
+            if cls.(r) = Rint then
+              fun st fr ->
+                st.steps <- st.steps + 1;
+                ctrs.c_fp <- ctrs.c_fp + 1;
+                if st.steps > limit then raise Step_limit_exceeded;
+                if obs then os.os_fcmp <- os.os_fcmp + 1;
+                let y = gb fr in
+                Array.unsafe_set fr.fr_iregs r (if cmp (ga fr) y then 1 else 0);
+                next st fr
+            else
+              fun st fr ->
+                st.steps <- st.steps + 1;
+                ctrs.c_fp <- ctrs.c_fp + 1;
+                if st.steps > limit then raise Step_limit_exceeded;
+                if obs then os.os_fcmp <- os.os_fcmp + 1;
+                let y = gb fr in
+                fr.fr_regs.(r) <- (if cmp (ga fr) y then vtrue else vfalse);
+                next st fr)
+        | Pcast (r, op, from, into, v) ->
+          (match op with
+          | (Instr.Trunc | Instr.Sext | Instr.Zext) when small into ->
+            let ig = iget v in
+            let set = iset r in
+            let n = inorm into in
+            let conv =
+              match op with
+              | Instr.Zext when small from ->
+                let mf = imask from in
+                fun x -> n (x land mf)
+              | _ -> n
+            in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_cast <- os.os_cast + 1;
+              set fr (conv (ig fr));
+              next st fr
+          | (Instr.Fptosi | Instr.Fptoui) when small into ->
+            let g = fget v in
+            let set = iset r in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_cast <- os.os_cast + 1;
+              set fr
+                (Int64.to_int
+                   (Irtype.normalize_int into (Irtype.float_to_int (g fr))));
+              next st fr
+          | Instr.Fptrunc ->
+            let g = fget v in
+            let set = fset r in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_cast <- os.os_cast + 1;
+              set fr (Irtype.round_to_f32 (g fr));
+              next st fr
+          | Instr.Fpext ->
+            let g = fget v in
+            let set = fset r in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_cast <- os.os_cast + 1;
+              set fr (g fr);
+              next st fr
+          | Instr.Sitofp ->
+            let set = fset r in
+            let rr : float -> float =
+              if into = Irtype.F32 then Irtype.round_to_f32 else fun f -> f
+            in
+            (match v with
+            | Preg rv when cls.(rv) = Rint ->
+              fun st fr ->
+                st.steps <- st.steps + 1;
+                ctrs.c_ops <- ctrs.c_ops + 1;
+                if st.steps > limit then raise Step_limit_exceeded;
+                if obs then os.os_cast <- os.os_cast + 1;
+                set fr (rr (float_of_int (Array.unsafe_get fr.fr_iregs rv)));
+                next st fr
+            | v ->
+              let g = getter v in
+              fun st fr ->
+                st.steps <- st.steps + 1;
+                ctrs.c_ops <- ctrs.c_ops + 1;
+                if st.steps > limit then raise Step_limit_exceeded;
+                if obs then os.os_cast <- os.os_cast + 1;
+                set fr (rr (Int64.to_float (Mval.as_int (g fr))));
+                next st fr)
+          | Instr.Uitofp ->
+            let set = fset r in
+            let rr : float -> float =
+              if into = Irtype.F32 then Irtype.round_to_f32 else fun f -> f
+            in
+            (match v with
+            | Preg rv when cls.(rv) = Rint && small from ->
+              let mask = imask from in
+              fun st fr ->
+                st.steps <- st.steps + 1;
+                ctrs.c_ops <- ctrs.c_ops + 1;
+                if st.steps > limit then raise Step_limit_exceeded;
+                if obs then os.os_cast <- os.os_cast + 1;
+                set fr
+                  (rr (float_of_int (Array.unsafe_get fr.fr_iregs rv land mask)));
+                next st fr
+            | v ->
+              let g = getter v in
+              fun st fr ->
+                st.steps <- st.steps + 1;
+                ctrs.c_ops <- ctrs.c_ops + 1;
+                if st.steps > limit then raise Step_limit_exceeded;
+                if obs then os.os_cast <- os.os_cast + 1;
+                let u = Irtype.unsigned_of from (Mval.as_int (g fr)) in
+                let f =
+                  if u >= 0L then Int64.to_float u
+                  else Int64.to_float u +. 18446744073709551616.0
+                in
+                set fr (rr f);
+                next st fr)
+          | Instr.Bitcast when Irtype.is_float_scalar from && into = Irtype.I32
+            ->
+            let g = fget v in
+            let set = iset r in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_cast <- os.os_cast + 1;
+              set fr (Int32.to_int (Int32.bits_of_float (g fr)));
+              next st fr
+          | Instr.Bitcast
+            when (not (Irtype.is_float_scalar from))
+                 && Irtype.is_float_scalar into ->
+            let set = fset r in
+            if into = Irtype.F32 then (
+              match v with
+              | Preg rv when cls.(rv) = Rint ->
+                fun st fr ->
+                  st.steps <- st.steps + 1;
+                  ctrs.c_ops <- ctrs.c_ops + 1;
+                  if st.steps > limit then raise Step_limit_exceeded;
+                  if obs then os.os_cast <- os.os_cast + 1;
+                  set fr
+                    (Int32.float_of_bits
+                       (Int32.of_int (Array.unsafe_get fr.fr_iregs rv)));
+                  next st fr
+              | v ->
+                let g = getter v in
+                fun st fr ->
+                  st.steps <- st.steps + 1;
+                  ctrs.c_ops <- ctrs.c_ops + 1;
+                  if st.steps > limit then raise Step_limit_exceeded;
+                  if obs then os.os_cast <- os.os_cast + 1;
+                  set fr
+                    (Int32.float_of_bits (Int64.to_int32 (Mval.as_int (g fr))));
+                  next st fr)
+            else
+              let g = getter v in
+              fun st fr ->
+                st.steps <- st.steps + 1;
+                ctrs.c_ops <- ctrs.c_ops + 1;
+                if st.steps > limit then raise Step_limit_exceeded;
+                if obs then os.os_cast <- os.os_cast + 1;
+                set fr (Int64.float_of_bits (Mval.as_int (g fr)));
+                next st fr
+          | Instr.Sext ->
+            (* into I64/Ptr: the operand's normalized value IS the result *)
+            let g = getter v in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_cast <- os.os_cast + 1;
+              fr.fr_regs.(r) <- Mval.Vint (Mval.as_int (g fr));
+              next st fr
+          | Instr.Trunc ->
+            let n = normalizer into in
+            let g = getter v in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_cast <- os.os_cast + 1;
+              fr.fr_regs.(r) <- Mval.Vint (n (Mval.as_int (g fr)));
+              next st fr
+          | Instr.Zext ->
+            let u = Irtype.unsigned_of from in
+            let n = normalizer into in
+            let g = getter v in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_cast <- os.os_cast + 1;
+              fr.fr_regs.(r) <- Mval.Vint (n (u (Mval.as_int (g fr))));
+              next st fr
+          | op ->
+            let g = getter v in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_cast <- os.os_cast + 1;
+              fr.fr_regs.(r) <- exec_cast op from into (g fr);
+              next st fr)
+        | Pselect (r, c, a, b) -> begin
+          match cls.(r) with
+          | Rint ->
+            let gc = iget c and ga = iget a and gb = iget b in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_select <- os.os_select + 1;
+              Array.unsafe_set fr.fr_iregs r (if gc fr = 0 then gb fr else ga fr);
+              next st fr
+          | Rfloat ->
+            let gc = iget c and ga = fget a and gb = fget b in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_select <- os.os_select + 1;
+              Array.unsafe_set fr.fr_fregs r (if gc fr = 0 then gb fr else ga fr);
+              next st fr
+          | Rptr ->
+            let gc = iget c in
+            let goa = pget_obj a and gfa = pget_off a in
+            let gob = pget_obj b and gfb = pget_off b in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_select <- os.os_select + 1;
+              if gc fr = 0 then begin
+                Array.unsafe_set fr.fr_pobj r (gob fr);
+                Array.unsafe_set fr.fr_poff r (gfb fr)
               end
               else begin
-                if obs then os.os_ic_miss <- os.os_ic_miss + 1;
-                let t = resolve_callee st name in
-                ic.ic_name <- name;
-                ic.ic_target <- t;
-                t
-              end
+                Array.unsafe_set fr.fr_pobj r (goa fr);
+                Array.unsafe_set fr.fr_poff r (gfa fr)
+              end;
+              next st fr
+          | Rbox ->
+            let gc = getter c and ga = getter a and gb = getter b in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_select <- os.os_select + 1;
+              fr.fr_regs.(r) <-
+                (if Int64.equal (Mval.as_int (gc fr)) 0L then gb fr else ga fr);
+              next st fr
+        end
+        | Psancheck ->
+          fun st fr ->
+            st.steps <- st.steps + 1;
+            ctrs.c_ops <- ctrs.c_ops + 1;
+            if st.steps > limit then raise Step_limit_exceeded;
+            if obs then os.os_sancheck <- os.os_sancheck + 1;
+            next st fr
+        | Ploc (line, col) ->
+          (* provenance marker: free, exactly like the interpreter *)
+          fun st fr ->
+            fr.fr_line <- line;
+            fr.fr_col <- col;
+            next st fr
+        | Pcall (r, callee, pargs, scalars) -> begin
+          match Hashtbl.find_opt isites key with
+          | Some site ->
+            (* Inlined direct call: the callee's blocks were compiled as
+               an instance at a disjoint register window; replay the
+               interpreter's call protocol without the frame push.
+               Order, as in [exec_instrs]/[call_function]: call charge,
+               caller's c_calls, argument evaluation (ascending), depth
+               increment and guard (context = caller's: the interpreter
+               checks before pushing the callee frame), callee's
+               c_invocations, then the callee entry. *)
+            let callee_pf = site.is_callee in
+            let cctrs = callee_pf.pf_counters in
+            let centry, _ccells =
+              instance callee_pf site.is_blocks
+                empty_sites
+                (Ret_inline (r, next))
+                Pc_none
             in
-            finish fr (exec_target st tgt argv scalars)
-          | Mobject.Pnull -> Merror.raise_error Merror.Null_deref ctx
-          | Mobject.Pobj _ | Mobject.Pinvalid _ ->
-            Merror.raise_error
-              (Merror.Type_violation "indirect call through a data pointer")
-              ctx);
-          next st fr)
-  in
-
-  (* --- blocks: fold the instruction chain onto the terminator, fusing
-     a trailing icmp into its condbr when the compare register is dead
-     otherwise (its only read is the branch itself) --- *)
-  let compile_block (blk : pblock) : cont =
-    let n = Array.length blk.pb_instrs in
-    let fused =
-      if n = 0 then None
-      else
-        match (blk.pb_instrs.(n - 1), blk.pb_term) with
-        | Picmp (r, op, s, a, b), Pcondbr (Preg rc, ta, tb)
-          when rc = r && uses.(r) = 1 && small s ->
-          let cmp = iicmp_fn op s in
-          (* two charges, exactly like the unfused icmp + terminator *)
-          (match (a, b, edge_plain ta, edge_plain tb) with
-          | Preg ra, Preg rb, Some ca, Some cb
-            when unboxed.(ra) && unboxed.(rb) ->
-            (* the whole loop-control idiom in one closure: native
-               compare of two unboxed registers, direct cell jump *)
-            Some
-              (fun st fr ->
-                ch_icmp st;
-                let ir = fr.fr_iregs in
-                let taken =
-                  cmp (Array.unsafe_get ir ra) (Array.unsafe_get ir rb)
-                in
-                ch_term st;
-                if taken then !ca st fr else !cb st fr)
-          | a, b, Some ca, Some cb ->
-            let ga = iget a and gb = iget b in
-            Some
-              (fun st fr ->
-                ch_icmp st;
-                let y = gb fr in
-                let taken = cmp (ga fr) y in
-                ch_term st;
-                if taken then !ca st fr else !cb st fr)
-          | a, b, _, _ ->
-            let ka = compile_edge ta and kb = compile_edge tb in
-            (match (a, b) with
-            | Preg ra, Preg rb when unboxed.(ra) && unboxed.(rb) ->
-              Some
-                (fun st fr ->
-                  ch_icmp st;
-                  let ir = fr.fr_iregs in
-                  let taken =
-                    cmp (Array.unsafe_get ir ra) (Array.unsafe_get ir rb)
+            let na = Array.length pargs in
+            let gs = Array.map getter pargs in
+            let params = site.is_params in
+            let bound = min (Array.length params) na in
+            fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_call <- os.os_call + 1;
+              ctrs.c_calls <- ctrs.c_calls + 1;
+              (* direct writes into the callee window are equivalent to
+                 the interpreter's argv: the windows are disjoint, so
+                 later argument reads cannot observe them *)
+              for k = 0 to bound - 1 do
+                fr.fr_regs.(params.(k)) <- gs.(k) fr
+              done;
+              for k = bound to na - 1 do
+                ignore (gs.(k) fr)
+              done;
+              st.depth <- st.depth + 1;
+              if st.depth > st.depth_limit then
+                Merror.raise_error Merror.Stack_overflow_guard ctx;
+              cctrs.c_invocations <- cctrs.c_invocations + 1;
+              centry st fr
+          | None ->
+            let na = Array.length pargs in
+            let gs = Array.map getter pargs in
+            let eval_args fr =
+              let argv = Array.make na Mval.zero in
+              for k = 0 to na - 1 do
+                argv.(k) <- gs.(k) fr
+              done;
+              argv
+            in
+            let finish : frame -> Mval.t option -> unit =
+              if r < 0 then fun _ _ -> ()
+              else fun fr res ->
+                fr.fr_regs.(r) <- (match res with Some v -> v | None -> Mval.zero)
+            in
+            (match callee with
+            | Pdirect tgt -> begin
+              (* the link pass ran before execution began: [!tgt] is
+                 stable, so the target resolves at compile time *)
+              match !tgt with
+              | Tgt_user callee_pf ->
+                fun st fr ->
+                  st.steps <- st.steps + 1;
+                  ctrs.c_ops <- ctrs.c_ops + 1;
+                  if st.steps > limit then raise Step_limit_exceeded;
+                  if obs then os.os_call <- os.os_call + 1;
+                  ctrs.c_calls <- ctrs.c_calls + 1;
+                  finish fr (call_function st callee_pf (eval_args fr) scalars);
+                  next st fr
+              | Tgt_builtin (_, fn) ->
+                fun st fr ->
+                  st.steps <- st.steps + 1;
+                  ctrs.c_ops <- ctrs.c_ops + 1;
+                  if st.steps > limit then raise Step_limit_exceeded;
+                  if obs then os.os_call <- os.os_call + 1;
+                  ctrs.c_calls <- ctrs.c_calls + 1;
+                  finish fr (fn st (eval_args fr));
+                  next st fr
+              | Tgt_unknown name ->
+                fun st fr ->
+                  st.steps <- st.steps + 1;
+                  ctrs.c_ops <- ctrs.c_ops + 1;
+                  if st.steps > limit then raise Step_limit_exceeded;
+                  if obs then os.os_call <- os.os_call + 1;
+                  ctrs.c_calls <- ctrs.c_calls + 1;
+                  ignore (eval_args fr);
+                  failwith ("interp: unknown builtin " ^ name)
+            end
+            | Pindirect (v, ic) ->
+              let gv = getter v in
+              fun st fr ->
+                st.steps <- st.steps + 1;
+                ctrs.c_ops <- ctrs.c_ops + 1;
+                if st.steps > limit then raise Step_limit_exceeded;
+                if obs then os.os_call <- os.os_call + 1;
+                ctrs.c_calls <- ctrs.c_calls + 1;
+                let argv = eval_args fr in
+                (match Mval.as_ptr ctx (gv fr) with
+                | Mobject.Pfunc name ->
+                  let tgt =
+                    if name == ic.ic_name || String.equal name ic.ic_name
+                    then begin
+                      if obs then os.os_ic_hit <- os.os_ic_hit + 1;
+                      ic.ic_target
+                    end
+                    else begin
+                      if obs then os.os_ic_miss <- os.os_ic_miss + 1;
+                      let t = resolve_callee st name in
+                      ic.ic_name <- name;
+                      ic.ic_target <- t;
+                      t
+                    end
                   in
-                  ch_term st;
-                  if taken then ka st fr else kb st fr)
-            | a, b ->
-              let ga = iget a and gb = iget b in
+                  finish fr (exec_target st tgt argv scalars)
+                | Mobject.Pnull -> Merror.raise_error Merror.Null_deref ctx
+                | Mobject.Pobj _ | Mobject.Pinvalid _ ->
+                  Merror.raise_error
+                    (Merror.Type_violation
+                       "indirect call through a data pointer")
+                    ctx);
+                next st fr)
+        end
+      in
+
+      (* --- blocks: fold the instruction chain onto the terminator,
+         fusing a trailing icmp/fcmp into its condbr when the compare
+         register is dead otherwise (its only read is the branch
+         itself) --- *)
+      let compile_block (blk : pblock) : cont =
+        let n = Array.length blk.pb_instrs in
+        let fused : cont option =
+          if n = 0 then None
+          else
+            match (blk.pb_instrs.(n - 1), blk.pb_term) with
+            | Picmp (r, op, s, a, b), Pcondbr (Preg rc, ta, tb)
+              when rc = r && uses.(r) = 1 && small s ->
+              let cmp = iicmp_fn op s in
+              (* two charges, exactly like the unfused icmp + terminator *)
+              (match (a, b, edge_plain ta, edge_plain tb) with
+              | Preg ra, Preg rb, Some ca, Some cb
+                when cls.(ra) = Rint && cls.(rb) = Rint ->
+                (* the whole loop-control idiom in one closure: native
+                   compare of two unboxed registers, direct cell jump *)
+                Some
+                  (fun st fr ->
+                    st.steps <- st.steps + 1;
+                    ctrs.c_ops <- ctrs.c_ops + 1;
+                    if st.steps > limit then raise Step_limit_exceeded;
+                    if obs then os.os_icmp <- os.os_icmp + 1;
+                    let ir = fr.fr_iregs in
+                    let taken =
+                      cmp (Array.unsafe_get ir ra) (Array.unsafe_get ir rb)
+                    in
+                    st.steps <- st.steps + 1;
+                    ctrs.c_ops <- ctrs.c_ops + 1;
+                    if st.steps > limit then raise Step_limit_exceeded;
+                    if obs then os.os_term <- os.os_term + 1;
+                    if taken then !ca st fr else !cb st fr)
+              | a, b, Some ca, Some cb ->
+                let ga = iget a and gb = iget b in
+                Some
+                  (fun st fr ->
+                    st.steps <- st.steps + 1;
+                    ctrs.c_ops <- ctrs.c_ops + 1;
+                    if st.steps > limit then raise Step_limit_exceeded;
+                    if obs then os.os_icmp <- os.os_icmp + 1;
+                    let y = gb fr in
+                    let taken = cmp (ga fr) y in
+                    st.steps <- st.steps + 1;
+                    ctrs.c_ops <- ctrs.c_ops + 1;
+                    if st.steps > limit then raise Step_limit_exceeded;
+                    if obs then os.os_term <- os.os_term + 1;
+                    if taken then !ca st fr else !cb st fr)
+              | a, b, _, _ ->
+                let ka = compile_edge ta and kb = compile_edge tb in
+                (match (a, b) with
+                | Preg ra, Preg rb when cls.(ra) = Rint && cls.(rb) = Rint ->
+                  Some
+                    (fun st fr ->
+                      st.steps <- st.steps + 1;
+                      ctrs.c_ops <- ctrs.c_ops + 1;
+                      if st.steps > limit then raise Step_limit_exceeded;
+                      if obs then os.os_icmp <- os.os_icmp + 1;
+                      let ir = fr.fr_iregs in
+                      let taken =
+                        cmp (Array.unsafe_get ir ra) (Array.unsafe_get ir rb)
+                      in
+                      st.steps <- st.steps + 1;
+                      ctrs.c_ops <- ctrs.c_ops + 1;
+                      if st.steps > limit then raise Step_limit_exceeded;
+                      if obs then os.os_term <- os.os_term + 1;
+                      if taken then ka st fr else kb st fr)
+                | a, b ->
+                  let ga = iget a and gb = iget b in
+                  Some
+                    (fun st fr ->
+                      st.steps <- st.steps + 1;
+                      ctrs.c_ops <- ctrs.c_ops + 1;
+                      if st.steps > limit then raise Step_limit_exceeded;
+                      if obs then os.os_icmp <- os.os_icmp + 1;
+                      let y = gb fr in
+                      let taken = cmp (ga fr) y in
+                      st.steps <- st.steps + 1;
+                      ctrs.c_ops <- ctrs.c_ops + 1;
+                      if st.steps > limit then raise Step_limit_exceeded;
+                      if obs then os.os_term <- os.os_term + 1;
+                      if taken then ka st fr else kb st fr)))
+            | Picmp (r, op, s, a, b), Pcondbr (Preg rc, ta, tb)
+              when rc = r && uses.(r) = 1 ->
+              let cmp = icmp_fn op s in
+              let ka = compile_edge ta and kb = compile_edge tb in
+              let ga = getter a and gb = getter b in
               Some
                 (fun st fr ->
-                  ch_icmp st;
-                  let y = gb fr in
-                  let taken = cmp (ga fr) y in
-                  ch_term st;
-                  if taken then ka st fr else kb st fr)))
-        | Picmp (r, op, s, a, b), Pcondbr (Preg rc, ta, tb)
-          when rc = r && uses.(r) = 1 ->
-          let cmp = icmp_fn op s in
-          let ka = compile_edge ta and kb = compile_edge tb in
-          let ga = getter a and gb = getter b in
-          Some
-            (fun st fr ->
-              ch_icmp st;
-              let y = Mval.as_int (gb fr) in
-              let taken = cmp (Mval.as_int (ga fr)) y in
-              ch_term st;
-              if taken then ka st fr else kb st fr)
-        | _ -> None
-    in
-    let seed, upto =
-      match fused with
-      | Some k -> (k, n - 2)
-      | None -> (compile_term blk.pb_term, n - 1)
-    in
-    let rec build i acc =
-      if i < 0 then acc else build (i - 1) (compile_instr blk.pb_instrs.(i) acc)
-    in
-    build upto seed
-  in
+                  st.steps <- st.steps + 1;
+                  ctrs.c_ops <- ctrs.c_ops + 1;
+                  if st.steps > limit then raise Step_limit_exceeded;
+                  if obs then os.os_icmp <- os.os_icmp + 1;
+                  let y = Mval.as_int (gb fr) in
+                  let taken = cmp (Mval.as_int (ga fr)) y in
+                  st.steps <- st.steps + 1;
+                  ctrs.c_ops <- ctrs.c_ops + 1;
+                  if st.steps > limit then raise Step_limit_exceeded;
+                  if obs then os.os_term <- os.os_term + 1;
+                  if taken then ka st fr else kb st fr)
+            | Pfcmp (r, op, a, b), Pcondbr (Preg rc, ta, tb)
+              when rc = r && uses.(r) = 1 ->
+              (* float loop controls (whetstone, fig15-float): compare
+                 two unboxed floats and branch in one closure *)
+              let cmp = fcmp_fn op in
+              (match (a, b, edge_plain ta, edge_plain tb) with
+              | Preg ra, Preg rb, Some ca, Some cb
+                when cls.(ra) = Rfloat && cls.(rb) = Rfloat ->
+                Some
+                  (fun st fr ->
+                    st.steps <- st.steps + 1;
+                    ctrs.c_fp <- ctrs.c_fp + 1;
+                    if st.steps > limit then raise Step_limit_exceeded;
+                    if obs then os.os_fcmp <- os.os_fcmp + 1;
+                    let fl = fr.fr_fregs in
+                    let taken =
+                      cmp (Array.unsafe_get fl ra) (Array.unsafe_get fl rb)
+                    in
+                    st.steps <- st.steps + 1;
+                    ctrs.c_ops <- ctrs.c_ops + 1;
+                    if st.steps > limit then raise Step_limit_exceeded;
+                    if obs then os.os_term <- os.os_term + 1;
+                    if taken then !ca st fr else !cb st fr)
+              | a, b, Some ca, Some cb ->
+                let ga = fget a and gb = fget b in
+                Some
+                  (fun st fr ->
+                    st.steps <- st.steps + 1;
+                    ctrs.c_fp <- ctrs.c_fp + 1;
+                    if st.steps > limit then raise Step_limit_exceeded;
+                    if obs then os.os_fcmp <- os.os_fcmp + 1;
+                    let y = gb fr in
+                    let taken = cmp (ga fr) y in
+                    st.steps <- st.steps + 1;
+                    ctrs.c_ops <- ctrs.c_ops + 1;
+                    if st.steps > limit then raise Step_limit_exceeded;
+                    if obs then os.os_term <- os.os_term + 1;
+                    if taken then !ca st fr else !cb st fr)
+              | a, b, _, _ ->
+                let ka = compile_edge ta and kb = compile_edge tb in
+                let ga = fget a and gb = fget b in
+                Some
+                  (fun st fr ->
+                    st.steps <- st.steps + 1;
+                    ctrs.c_fp <- ctrs.c_fp + 1;
+                    if st.steps > limit then raise Step_limit_exceeded;
+                    if obs then os.os_fcmp <- os.os_fcmp + 1;
+                    let y = gb fr in
+                    let taken = cmp (ga fr) y in
+                    st.steps <- st.steps + 1;
+                    ctrs.c_ops <- ctrs.c_ops + 1;
+                    if st.steps > limit then raise Step_limit_exceeded;
+                    if obs then os.os_term <- os.os_term + 1;
+                    if taken then ka st fr else kb st fr))
+            | _ -> None
+        in
+        let seed, upto =
+          match fused with
+          | Some k -> (k, n - 2)
+          | None -> (compile_term blk.pb_term, n - 1)
+        in
+        let rec build i acc =
+          if i < 0 then acc
+          else build (i - 1) (compile_instr (blk.pb_index, i) blk.pb_instrs.(i) acc)
+        in
+        build upto seed
+      in
 
-  for j = 0 to nblocks - 1 do
-    cells.(j) := compile_block pf.pf_blocks.(j)
-  done;
-  if nblocks = 0 then fun _st _fr ->
-    (* same failure as the interpreter touching [pf_blocks.(0)] *)
-    ignore pf.pf_blocks.(0);
-    assert false
-  else begin
-    let entry = compile_jump pf.pf_entry_copies cells.(0) in
-    let ni = pf.pf_nregs in
-    if Array.exists Fun.id unboxed then
-      (* the unboxed register file, one flat int array per invocation *)
-      fun st fr ->
-        fr.fr_iregs <- Array.make ni 0;
-        entry st fr
-    else entry
+      for j = 0 to nblocks - 1 do
+        cells.(j) := compile_block iblocks.(j)
+      done;
+      let entry =
+        match entry_copies with
+        | Pc_none ->
+          let c0 = cells.(0) in
+          fun st fr -> !c0 st fr
+        | copies -> compile_jump copies cells.(0)
+      in
+      (entry, cells)
+    in
+
+    let entry, cells =
+      instance pf pf.pf_blocks sites Ret_fun
+        pf.pf_entry_copies
+    in
+
+    (* --- register-file installation and OSR frame transfer --- *)
+    let any_i = ref false and any_f = ref false and any_p = ref false in
+    Array.iter
+      (function
+        | Rint -> any_i := true
+        | Rfloat -> any_f := true
+        | Rptr -> any_p := true
+        | Rbox -> ())
+      cls;
+    let any_i = !any_i and any_f = !any_f and any_p = !any_p in
+    let install (fr : frame) =
+      if nregs > Array.length fr.fr_regs then begin
+        (* inlined callees enlarged the register file *)
+        let regs = Array.make nregs Mval.zero in
+        Array.blit fr.fr_regs 0 regs 0 (Array.length fr.fr_regs);
+        fr.fr_regs <- regs
+      end;
+      if any_i then fr.fr_iregs <- Array.make nregs 0;
+      if any_f then fr.fr_fregs <- Array.make nregs 0.0;
+      if any_p then begin
+        fr.fr_pobj <- Array.make nregs Mobject.dummy;
+        fr.fr_poff <- Array.make nregs 0
+      end
+    in
+    (* Direct frame construction (DESIGN.md §11): [call_function]
+       obtains frames through [cb_frame], which builds the register
+       files right-sized in one shot — the generic path would allocate
+       a [pf_nregs] boxed file only for [install] to immediately
+       replace it with the enlarged copy.  (A recycling pool was
+       measured and rejected: re-zeroing promoted arrays pays a write
+       barrier per element, which loses to the minor allocator.)
+       [cb_entry] therefore starts execution directly: acquired frames
+       arrive fully installed. *)
+    let nparams = pf.pf_nparams in
+    let param_regs = pf.pf_param_regs in
+    let acquire args arg_scalars =
+      let regs = Array.make nregs Mval.zero in
+      let bound = min nparams (Array.length args) in
+      for i = 0 to bound - 1 do
+        regs.(param_regs.(i)) <- args.(i)
+      done;
+      {
+        fr_func = pf;
+        fr_regs = regs;
+        fr_iregs = (if any_i then Array.make nregs 0 else [||]);
+        fr_fregs = (if any_f then Array.make nregs 0.0 else [||]);
+        fr_pobj = (if any_p then Array.make nregs Mobject.dummy else [||]);
+        fr_poff = (if any_p then Array.make nregs 0 else [||]);
+        fr_args = args;
+        fr_arg_scalars = arg_scalars;
+        fr_variadic = pf.pf_variadic;
+        fr_nparams = nparams;
+        fr_line = 0;
+        fr_col = 0;
+      }
+    in
+    let cb_entry = entry in
+    let cb_osr =
+      if not (Array.exists (fun b -> b.pb_osr) pf.pf_blocks) then None
+      else
+        Some
+          (fun st fr idx ->
+            (* Frame transfer: the interpreter ran this invocation so
+               far, so every live register sits boxed in [fr_regs];
+               move each into its compiled class file.  A register
+               whose box does not match its class is either unwritten
+               (still [Mval.zero], represented identically by every
+               class' zero — [as_float (Vint 0)] is [0.0]) or dead by
+               SSA dominance, so the transfer is exact. *)
+            let boxed = fr.fr_regs in
+            let nold = Array.length boxed in
+            install fr;
+            for r = 0 to nold - 1 do
+              match cls.(r) with
+              | Rint -> begin
+                match boxed.(r) with
+                | Mval.Vint v -> fr.fr_iregs.(r) <- Int64.to_int v
+                | Mval.Vfloat _ | Mval.Vptr _ -> ()
+              end
+              | Rfloat -> begin
+                match boxed.(r) with
+                | Mval.Vfloat f -> fr.fr_fregs.(r) <- f
+                | Mval.Vint v -> fr.fr_fregs.(r) <- Int64.to_float v
+                | Mval.Vptr _ -> ()
+              end
+              | Rptr -> begin
+                match boxed.(r) with
+                | Mval.Vptr (Mobject.Pobj a) ->
+                  fr.fr_pobj.(r) <- a.Mobject.obj;
+                  fr.fr_poff.(r) <- a.Mobject.moff
+                | Mval.Vint _ | Mval.Vfloat _ | Mval.Vptr _ -> ()
+              end
+              | Rbox -> ()
+            done;
+            (* Scalar-replaced allocas: the interpreter prefix kept the
+               slot in a real stack object (the box holds its pointer);
+               read the live value through it into the slot register.
+               The object itself goes stale from here on — sound
+               because [plan_slots] proved its address unreachable from
+               anywhere else.  The entry block (no predecessors) always
+               ran before any OSR-able loop header, so the box is
+               always a written pointer; anything else means the
+               register is dead and the class zero stands. *)
+            Hashtbl.iter
+              (fun r s ->
+                if r < nold then
+                  match boxed.(r) with
+                  | Mval.Vptr (Mobject.Pobj a) -> begin
+                    let size = Irtype.scalar_size s in
+                    match cls.(r) with
+                    | Rint ->
+                      fr.fr_iregs.(r) <-
+                        Int64.to_int
+                          (Irtype.normalize_int s
+                             (Mobject.load_int a ~size pf.pf_context))
+                    | Rfloat ->
+                      fr.fr_fregs.(r) <- Mobject.load_float a ~size pf.pf_context
+                    | Rbox | Rptr ->
+                      fr.fr_regs.(r) <-
+                        Mval.Vint (Mobject.load_int a ~size:8 pf.pf_context)
+                  end
+                  | Mval.Vint _ | Mval.Vfloat _ | Mval.Vptr _ -> ())
+              slots;
+            !(cells.(idx)) st fr)
+    in
+    { cb_entry; cb_osr; cb_frame = Some acquire; cb_release = None }
   end
+

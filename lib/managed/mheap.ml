@@ -82,3 +82,16 @@ let free heap (p : Mobject.ptr) context =
     extension — here implemented eagerly at exit). *)
 let leaked heap =
   List.filter (fun obj -> not (Mobject.is_freed obj)) heap.live
+
+(** Forget everything from previous runs, including the allocation-site
+    mementos: a [clear]ed heap behaves exactly like a fresh [create], so
+    [Interp.reset] re-runs are bit-identical to first runs. *)
+let clear heap =
+  Hashtbl.reset heap.site_types;
+  Hashtbl.reset heap.site_names;
+  heap.live <- [];
+  heap.alloc_count <- 0;
+  heap.alloc_bytes <- 0;
+  heap.free_count <- 0;
+  heap.live_bytes <- 0;
+  heap.peak_bytes <- 0

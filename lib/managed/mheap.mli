@@ -34,3 +34,7 @@ val free : t -> Mobject.ptr -> string -> unit
 
 (** Heap objects never freed. *)
 val leaked : t -> Mobject.t list
+
+(** Forget all allocations and site mementos, restoring the heap to its
+    freshly-[create]d behaviour (used by [Interp.reset]). *)
+val clear : t -> unit

@@ -95,6 +95,28 @@ let reset () =
   registry := Array.make 1024 None;
   next_id := 1
 
+(** A saved registry prefix.  [Interp.reset] captures one right after
+    [create] (registry = the module's globals) and reinstalls it before
+    every re-run, so object ids — which are observable through pointer
+    cookies and uninitialized-read messages — replay identically even if
+    other engine states ran (and [reset] the registry) in between. *)
+type checkpoint = { ck_next : int; ck_entries : t option array }
+
+let checkpoint () =
+  let n = !next_id in
+  let entries = Array.make n None in
+  let arr = !registry in
+  for i = 0 to min (n - 1) (Array.length arr - 1) do
+    entries.(i) <- arr.(i)
+  done;
+  { ck_next = n; ck_entries = entries }
+
+let restore ck =
+  let fresh = Array.make (max 1024 ck.ck_next) None in
+  Array.blit ck.ck_entries 0 fresh 0 ck.ck_next;
+  registry := fresh;
+  next_id := ck.ck_next
+
 let fresh_id () =
   let id = !next_id in
   incr next_id;
@@ -371,6 +393,23 @@ let read_cstring (a : addr) context : string =
   in
   go 0;
   Buffer.contents buf
+
+(** A placeholder object for unboxed pointer-register files
+    ([Jit.Closcomp]): constructed directly — never through [alloc] —
+    because ids are observable (pointer cookies, uninitialized-read
+    messages) and a dummy must not consume one.  Id 0 is never handed
+    out by [fresh_id]. *)
+let dummy : t =
+  {
+    id = 0;
+    storage = Merror.Stack;
+    byte_size = 0;
+    mty = Irtype.MScalar Irtype.I8;
+    data = Some Bytes.empty;
+    ptr_slots = None;
+    site = -1;
+    init_map = None;
+  }
 
 let write_bytes (a : addr) (s : string) context : unit =
   String.iteri

@@ -35,9 +35,30 @@ val track_uninitialized : bool ref
 (** Reset the global object registry (between engine runs). *)
 val reset : unit -> unit
 
+(** A saved registry prefix.  [Interp.reset] captures one right after
+    [create] and reinstalls it before each re-run so that object ids —
+    observable through pointer cookies and error messages — replay
+    identically across runs of the same prepared state. *)
+type checkpoint
+
+val checkpoint : unit -> checkpoint
+val restore : checkpoint -> unit
+
+(** Placeholder for unboxed pointer-register files (id 0, never handed
+    out by allocation); reading through it is prevented structurally by
+    the JIT's write-before-read rules, never checked dynamically. *)
+val dummy : t
+
 (** Allocate a managed object of [byte_size] bytes, zero-filled. *)
 val alloc :
   ?site:int -> storage:Merror.storage -> mty:Irtype.mty -> int -> t
+
+(** Consume the next allocation id without allocating.  Used by the
+    closure compiler's scalar-replaced allocas: the virtual slot takes
+    the id its real stack object would have taken, so the ids of every
+    later allocation — observable through pointer cookies and error
+    messages — replay exactly as in the interpreter. *)
+val fresh_id : unit -> int
 
 (** Mark a byte range as written (used by calloc and the loaders). *)
 val mark_initialized : t -> off:int -> size:int -> unit

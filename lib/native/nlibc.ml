@@ -263,22 +263,15 @@ let format_engine ctx dest (fmt : string) (args : Nvalue.t list) : int =
           let v = pop_arg args in
           check_def v;
           out (Printf.sprintf "0x%Lx" (Nvalue.as_int v))
-        | 'f' | 'F' ->
+        | ('f' | 'F' | 'e' | 'E' | 'g' | 'G') as conv ->
+          (* decimal rendering is delegated to the shared [Floatfmt] so
+             the native model, the managed libc and the difftest
+             reference agree on every float digit by construction
+             (DESIGN.md §10) *)
           let v = pop_arg args in
           check_def v;
-          let p = if !prec < 0 then 6 else !prec in
-          out (pad_num (Printf.sprintf "%.*f" p (Nvalue.as_float v))
+          out (pad_num (Floatfmt.format conv !prec (Nvalue.as_float v))
                  ~width:!width ~zero:!zero ~left:!left)
-        | 'e' | 'E' ->
-          let v = pop_arg args in
-          check_def v;
-          let p = if !prec < 0 then 6 else !prec in
-          out (Printf.sprintf "%.*e" p (Nvalue.as_float v))
-        | 'g' | 'G' ->
-          let v = pop_arg args in
-          check_def v;
-          let p = if !prec < 0 then 6 else !prec in
-          out (Printf.sprintf "%.*g" p (Nvalue.as_float v))
         | c -> out (Printf.sprintf "%%%c" c)
       end
     end

@@ -1,0 +1,33 @@
+(** C-style floating-point formatting (%f / %e / %g), shared by every
+    printf engine in the tree: the managed libc ([Interp]'s
+    [__sulong_format_double] builtin behind lib/interp/libc_src.ml), the
+    native-model libc (lib/native/nlibc.ml), and the differential-test
+    oracle's expected-output renderer (lib/difftest/cprog.ml).
+
+    Having one implementation is what lets difftest print float results
+    as decimals instead of bit-punning them through an unsigned-long
+    reinterpretation (DESIGN.md §10): all engines and the oracle
+    agree by construction, and any engine that diverges from the shared
+    renderer is a real bug.
+
+    OCaml's [Printf] implements the C conversion semantics for
+    [%f]/[%e]/[%g] (default precision 6, %g strips trailing zeros and
+    switches to exponent notation outside [1e-4, 10^prec)), so this is a
+    thin, total wrapper: no exceptions, NaN and infinities render as
+    ["nan"]/["inf"] the way glibc prints them. *)
+
+(** [format conv prec v] renders [v] like C's [printf("%.*<conv>", prec, v)].
+    [conv] is one of ['f' 'F' 'e' 'E' 'g' 'G']; a negative [prec] means
+    "no precision given" (C default, 6). *)
+let format (conv : char) (prec : int) (v : float) : string =
+  let prec = if prec < 0 then 6 else prec in
+  let lower =
+    match Char.lowercase_ascii conv with
+    | 'f' -> Printf.sprintf "%.*f" prec v
+    | 'e' -> Printf.sprintf "%.*e" prec v
+    | 'g' -> Printf.sprintf "%.*g" (max prec 1) v
+    | c -> invalid_arg (Printf.sprintf "Floatfmt.format: %%%c" c)
+  in
+  match conv with
+  | 'F' | 'E' | 'G' -> String.uppercase_ascii lower
+  | _ -> lower

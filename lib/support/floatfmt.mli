@@ -1,0 +1,9 @@
+(** C-style floating-point formatting (%f / %e / %g), shared by the
+    managed libc, the native-model libc, and the difftest oracle so all
+    printf engines agree on decimal float rendering by construction. *)
+
+(** [format conv prec v] renders [v] like C's
+    [printf("%.*<conv>", prec, v)].  [conv] is one of
+    ['f' 'F' 'e' 'E' 'g' 'G']; a negative [prec] means the C default
+    precision (6).  Total: NaN/infinities render as ["nan"]/["inf"]. *)
+val format : char -> int -> float -> string

@@ -12,6 +12,10 @@ let create seed = { state = Int64.of_int seed }
 
 let copy t = { state = t.state }
 
+(** Rewind [t] to the state [create seed] would produce; used by
+    [Interp.reset] to make re-runs of a prepared state reproducible. *)
+let reseed t seed = t.state <- Int64.of_int seed
+
 (* One SplitMix64 step: add the Weyl constant, then finalize with the
    murmur-inspired mixer. *)
 let next_int64 t =

@@ -11,6 +11,9 @@ val create : int -> t
 (** [copy t] snapshots the generator state. *)
 val copy : t -> t
 
+(** [reseed t seed] rewinds [t] to the state [create seed] produces. *)
+val reseed : t -> int -> unit
+
 (** Next raw 64-bit output. *)
 val next_int64 : t -> int64
 

@@ -474,7 +474,7 @@ let test_reference_evaluator_floats () =
       body = [];
     }
   in
-  Alcotest.(check string) "float expected prefix" "rc0=3fd5555560000000\n"
+  Alcotest.(check string) "float expected prefix" "rc0=0.3333333432674408\n"
     (expected_prefix p)
 
 let test_reference_evaluator_calls () =

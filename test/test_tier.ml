@@ -161,6 +161,156 @@ let test_f32_nan_tiered () =
   | None -> ());
   Alcotest.(check string) "tiered output" f32_nan_expected r.Interp.output
 
+(* ---------------- on-stack replacement ---------------- *)
+
+(* A single long [main] invocation: with a low (but non-zero) threshold
+   the function is cold at its only call, becomes hot inside the loop,
+   and the interpreter's loop-header probe must transfer the live frame
+   into the compiled register files mid-iteration (DESIGN.md §11).  The
+   observable results must match a plain interpreter run exactly. *)
+let osr_src =
+  {|
+int main(void) {
+  long s = 0;
+  double f = 1.0;
+  for (int i = 0; i < 200000; i++) {
+    s += i & 7;
+    f = f + 0.5;
+  }
+  printf("%ld %f\n", s, f);
+  return 0;
+}
+|}
+
+let run_src ?tier ?(argv = [ "prog" ]) (src : string) : Interp.run_result =
+  let m = Loader.load_program src in
+  Pipeline.compile_sulong m;
+  let st = Interp.create ~step_limit ~mementos:true ~input:"" ?tier m in
+  Interp.run ~argv st
+
+let test_osr_fires_and_matches () =
+  let osr = Metrics.counter "jit.osr_entries" in
+  let before = osr.Metrics.c_value in
+  let interp = observe (run_src osr_src) in
+  Alcotest.(check int) "interp run never OSRs" before osr.Metrics.c_value;
+  let tiered =
+    observe (run_src ~tier:(Tier.controller ~threshold:1000 ()) osr_src)
+  in
+  if osr.Metrics.c_value <= before then
+    Alcotest.fail "hot loop in a single invocation did not OSR";
+  Alcotest.(check string) "OSR run bit-identical" interp tiered
+
+(* ---------------- deoptimization out of unboxed frames ---------------- *)
+
+(* The callee's registers classify into the unboxed float file and its
+   locals scalar-replace into virtual slots; the out-of-bounds access at
+   the end then raises a managed error from inside the compiled body.
+   Error category, faulting C source position, step count and the
+   provenance report must be what the interpreter produces. *)
+let float_deopt_src =
+  {|
+double kernel(double *a, int n, int i) {
+  double s = 0.0;
+  float t = 1.5f;
+  for (int j = 0; j < n; j++) {
+    s = s + a[j] * t;
+    t = t * 2.0f;
+  }
+  return s + a[i];
+}
+int main(void) {
+  double a[4];
+  for (int k = 0; k < 4; k++) a[k] = k * 0.5;
+  printf("%f\n", kernel(a, 4, 7));
+  return 0;
+}
+|}
+
+let test_deopt_from_float_frame () =
+  let deopts = Metrics.counter "jit.deopts" in
+  let interp = observe (run_src float_deopt_src) in
+  let before = deopts.Metrics.c_value in
+  let tiered =
+    observe (run_src ~tier:(Tier.controller ~threshold:0 ()) float_deopt_src)
+  in
+  if deopts.Metrics.c_value <= before then
+    Alcotest.fail "error in compiled float kernel did not deoptimize";
+  Alcotest.(check string) "deopt out of unboxed-float frame" interp tiered
+
+(* Same shape, but the error fires after the loop made [main] hot — so
+   the failing frame is one the interpreter handed over mid-loop via
+   OSR, not one built by a compiled entry. *)
+let osr_deopt_src =
+  {|
+int main(void) {
+  int a[8];
+  int s = 0;
+  for (int i = 0; i < 8; i++) a[i] = i;
+  for (int i = 0; i < 100000; i++) s += i & 3;
+  return a[s / 10000] + (s & 1);
+}
+|}
+
+let test_deopt_from_osr_frame () =
+  let osr = Metrics.counter "jit.osr_entries" in
+  let deopts = Metrics.counter "jit.deopts" in
+  let interp = observe (run_src osr_deopt_src) in
+  let o0 = osr.Metrics.c_value and d0 = deopts.Metrics.c_value in
+  let tiered =
+    observe (run_src ~tier:(Tier.controller ~threshold:1000 ()) osr_deopt_src)
+  in
+  if osr.Metrics.c_value <= o0 then Alcotest.fail "loop never OSR'd";
+  if deopts.Metrics.c_value <= d0 then
+    Alcotest.fail "error after OSR did not deoptimize";
+  Alcotest.(check string) "deopt out of an OSR'd loop" interp tiered
+
+(* ---------------- scalar-replaced slots keep allocation ids ----------- *)
+
+(* Pointer-to-integer casts expose object ids through cookies, so if the
+   compiled tier virtualized the [x]/[y] allocas without consuming their
+   allocation ids (Mobject.fresh_id), the malloc'd object would take a
+   different id than under the interpreter and the printed cookie (and
+   the error report for the out-of-bounds store) would differ. *)
+let slot_id_src =
+  {|
+int f(void) {
+  int x = 5;
+  int *p = malloc(3 * sizeof(int));
+  int y = 2;
+  printf("%ld\n", (long)p);
+  p[x] = y;
+  return 0;
+}
+int main(void) { return f(); }
+|}
+
+let test_slot_allocation_ids () =
+  let interp = observe (run_src slot_id_src) in
+  let tiered =
+    observe (run_src ~tier:(Tier.controller ~threshold:0 ()) slot_id_src)
+  in
+  Alcotest.(check string) "allocation-id sequence survives slots" interp tiered
+
+(* ---------------- compiled-body cache across reset ---------------- *)
+
+(* [Interp.reset] must preserve [pf_tier] (the compiled-body cache): a
+   second run replays bit-identically without recompiling anything. *)
+let test_reset_keeps_compiled_bodies () =
+  let compiles = Metrics.counter "jit.compiles" in
+  let m = Loader.load_program osr_src in
+  Pipeline.compile_sulong m;
+  let st =
+    Interp.create ~step_limit ~mementos:true ~input:""
+      ~tier:(Tier.controller ~threshold:0 ()) m
+  in
+  let first = observe (Interp.run ~argv:[ "prog" ] st) in
+  let after_first = compiles.Metrics.c_value in
+  Interp.reset st;
+  let second = observe (Interp.run ~argv:[ "prog" ] st) in
+  Alcotest.(check int) "no recompilation after reset" after_first
+    compiles.Metrics.c_value;
+  Alcotest.(check string) "cached body replays bit-identically" first second
+
 (* ---------------- difftest seeds ---------------- *)
 
 (* The oracle's 8 configurations include [sulong/tiered]; any
@@ -198,6 +348,28 @@ let () =
         [
           Alcotest.test_case "F32 rounding + NaN pinning, forced hot" `Quick
             test_f32_nan_tiered;
+        ] );
+      ( "osr",
+        [
+          Alcotest.test_case "hot loop OSRs mid-invocation, bit-identical"
+            `Quick test_osr_fires_and_matches;
+          Alcotest.test_case "deopt out of an OSR'd loop" `Quick
+            test_deopt_from_osr_frame;
+        ] );
+      ( "deopt",
+        [
+          Alcotest.test_case "deopt out of an unboxed-float frame" `Quick
+            test_deopt_from_float_frame;
+        ] );
+      ( "slots",
+        [
+          Alcotest.test_case "scalar replacement keeps allocation ids" `Quick
+            test_slot_allocation_ids;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "reset keeps compiled bodies, replay identical"
+            `Quick test_reset_keeps_compiled_bodies;
         ] );
       ( "difftest",
         [
