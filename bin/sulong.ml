@@ -364,7 +364,8 @@ let report_cmd =
 
 (* ---------------- difftest ---------------- *)
 
-let do_difftest seeds seed_start features_str shrink json_file jobs metrics =
+let do_difftest seeds seed_start features_str shrink json_file jobs chunk
+    ledger resume_file bugdb metrics =
   obs_begin ~metrics ~trace_file:None;
   let features =
     try Cgen.features_of_string features_str
@@ -372,13 +373,6 @@ let do_difftest seeds seed_start features_str shrink json_file jobs metrics =
       prerr_endline ("difftest: " ^ msg);
       exit 2
   in
-  Printf.printf
-    "difftest: %d seed(s) from %d across %d configurations [features %s]%s%s\n%!"
-    seeds seed_start
-    (List.length Oracle.configs)
-    (Cgen.features_name features)
-    (if shrink then " (shrinking divergences)" else "")
-    (if jobs > 1 then Printf.sprintf " [%d jobs]" jobs else "");
   (* The checked-in reproducers run first: a folding regression makes
      the campaign fail before any seed is spent. *)
   let regression_failures =
@@ -390,16 +384,59 @@ let do_difftest seeds seed_start features_str shrink json_file jobs metrics =
       Difftest.regressions
   in
   List.iter (Printf.printf "REGRESSION %s\n") regression_failures;
+  (* Per-chunk completions stream back from the workers; print whenever
+     another century of seeds is crossed (chunks rarely land on
+     multiples of 100). *)
+  let last_printed = ref 0 in
   let progress i =
-    if i mod 100 = 0 then Printf.printf "  ...%d seeds checked\n%!" i
+    if i / 100 > !last_printed / 100 || i = seeds then begin
+      last_printed := i;
+      Printf.printf "  ...%d seeds checked\n%!" i
+    end
   in
-  let r =
-    Difftest.run_sharded ~features ~shrink ~jobs ~progress ~seed_start ~seeds ()
+  let campaign_needed = jobs > 1 || ledger <> None || resume_file <> None in
+  let outcome =
+    match resume_file with
+    | Some file -> (
+      match Campaign.resume ~jobs ?bugdb ~progress ~ledger:file () with
+      | o ->
+        Printf.printf
+          "difftest: resumed %s: %d seed(s) already in the ledger\n%!" file
+          o.Campaign.co_resumed_seeds;
+        Some o
+      | exception Campaign.Ledger_error msg ->
+        prerr_endline ("difftest: --resume: " ^ msg);
+        exit 2)
+    | None ->
+      Printf.printf
+        "difftest: %d seed(s) from %d across %d configurations [features \
+         %s]%s%s\n%!"
+        seeds seed_start
+        (List.length Oracle.configs)
+        (Cgen.features_name features)
+        (if shrink then " (shrinking divergences)" else "")
+        (if jobs > 1 then Printf.sprintf " [%d jobs, chunks of %d]" jobs chunk
+         else "");
+      if campaign_needed then
+        Some
+          (Campaign.run ~features ~shrink ~jobs ~chunk ?ledger ?bugdb
+             ~progress ~seed_start ~seeds ())
+      else None
+  in
+  let r, deaths, interrupted =
+    match outcome with
+    | Some o ->
+      (o.Campaign.co_report, o.Campaign.co_worker_deaths,
+       o.Campaign.co_interrupted)
+    | None ->
+      (Difftest.run ~features ~shrink ~progress ~seed_start ~seeds (), 0, false)
   in
   List.iter
     (fun (d : Difftest.divergence) ->
-      Printf.printf "\nDIVERGENCE seed %d: %s\n%s" d.Difftest.dv_seed
-        d.Difftest.dv_mismatch d.Difftest.dv_source;
+      Printf.printf "\nDIVERGENCE seed %d: %s\n  signature: %s\n%s"
+        d.Difftest.dv_seed d.Difftest.dv_mismatch
+        (Difftest.signature_key d.Difftest.dv_sig)
+        d.Difftest.dv_source;
       match d.Difftest.dv_reduced with
       | Some reduced ->
         Printf.printf "reduced (%d oracle calls):\n%s" d.Difftest.dv_oracle_calls
@@ -408,16 +445,51 @@ let do_difftest seeds seed_start features_str shrink json_file jobs metrics =
     r.Difftest.rp_divergences;
   let n_div = List.length r.Difftest.rp_divergences in
   Printf.printf
-    "difftest: %d agree, %d rejected, %d divergence(s) in %.1fs (%.1f seeds/s)\n"
+    "difftest: %d agree, %d rejected, %d divergence(s) in %.1fs (%.1f seeds/s)%s\n"
     r.Difftest.rp_agree r.Difftest.rp_reject n_div r.Difftest.rp_elapsed_s
-    (float_of_int seeds /. (r.Difftest.rp_elapsed_s +. 1e-9));
-  (match json_file with
-  | Some file ->
-    Difftest.append_row ~file (Difftest.report_row r);
-    Printf.printf "appended row to %s\n" file
-  | None -> ());
-  obs_end ~metrics ~trace_file:None
-    (if n_div > 0 || regression_failures <> [] then 1 else 0)
+    (float_of_int
+       (r.Difftest.rp_agree + r.Difftest.rp_reject + n_div
+       - (match outcome with
+         | Some o -> o.Campaign.co_resumed_seeds
+         | None -> 0))
+    /. (r.Difftest.rp_elapsed_s +. 1e-9))
+    (match outcome with
+    | Some o when deaths > 0 ->
+      Printf.sprintf " [%d worker death(s), %d chunk(s) requeued]" deaths
+        o.Campaign.co_requeues
+    | _ -> "");
+  (match outcome with
+  | Some o when Bugstore.size o.Campaign.co_bugs > 0 ->
+    Printf.printf "unique bug signatures: %d (%d new)\n"
+      (Bugstore.size o.Campaign.co_bugs)
+      o.Campaign.co_new_bugs;
+    List.iter
+      (fun (e : Bugstore.entry) ->
+        Printf.printf "  %-40s first seed %d, %d hit(s)\n" e.Bugstore.be_key
+          e.Bugstore.be_first_seed e.Bugstore.be_count)
+      (Bugstore.entries o.Campaign.co_bugs)
+  | _ -> ());
+  if interrupted then begin
+    (match ledger with
+    | Some file ->
+      Printf.printf "interrupted; resume with: sulong difftest --resume %s\n"
+        file
+    | None ->
+      print_endline
+        "interrupted (no --ledger given, so the finished seeds are lost)");
+    ignore (obs_end ~metrics ~trace_file:None 130);
+    130
+  end
+  else begin
+    (match json_file with
+    | Some file ->
+      Difftest.append_row ~file
+        (Difftest.report_row ~jobs ~worker_deaths:deaths r);
+      Printf.printf "appended row to %s\n" file
+    | None -> ());
+    obs_end ~metrics ~trace_file:None
+      (if n_div > 0 || regression_failures <> [] then 1 else 0)
+  end
 
 let seeds_arg =
   Arg.(
@@ -455,8 +527,47 @@ let jobs_arg =
     value & opt int 1
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "Fork $(docv) worker processes over contiguous seed shards and \
-           merge their reports and metrics.")
+          "Run the campaign on a pool of $(docv) forked workers fed from a \
+           work-stealing chunk queue; dead workers are respawned and their \
+           in-flight chunk is requeued, so no seed is lost.")
+
+let chunk_arg =
+  Arg.(
+    value & opt int Campaign.default_chunk
+    & info [ "chunk" ] ~docv:"N"
+        ~doc:
+          "Seeds per work-stealing chunk (the unit of scheduling, ledger \
+           writes and loss-on-worker-death).")
+
+let ledger_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger" ] ~docv:"FILE"
+        ~doc:
+          "Write the campaign ledger to $(docv): a JSON-lines file with one \
+           header line and one line per completed chunk, flushed as results \
+           arrive, so an interrupted campaign is resumable with --resume.")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "resume" ] ~docv:"LEDGER"
+        ~doc:
+          "Continue the interrupted campaign recorded in $(docv): campaign \
+           parameters come from the ledger header, completed chunks are \
+           skipped, and new completions append to the same file.")
+
+let bugdb_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bugdb" ] ~docv:"FILE"
+        ~doc:
+          "Persist deduplicated divergences to the JSON bug store $(docv) \
+           (read-modify-write): one entry per provenance signature with the \
+           first-seen seed and smallest reproducer.")
 
 let difftest_cmd =
   let doc =
@@ -466,7 +577,8 @@ let difftest_cmd =
   Cmd.v (Cmd.info "difftest" ~doc)
     Term.(
       const do_difftest $ seeds_arg $ seed_start_arg $ features_arg
-      $ shrink_arg $ json_arg $ jobs_arg $ metrics_arg)
+      $ shrink_arg $ json_arg $ jobs_arg $ chunk_arg $ ledger_arg
+      $ resume_arg $ bugdb_arg $ metrics_arg)
 
 (* ---------------- bench ---------------- *)
 

@@ -1,0 +1,145 @@
+(** Persistent, deduplicated store of campaign-convicted bugs.
+
+    A long differential-testing campaign convicts the same underlying
+    bug over and over: hundreds of seeds hit one bad fold.  The store
+    keys every divergence on its *provenance signature* — error kind ×
+    faulting [file:line:col] (from the managed bug report) × the bitset
+    of engine configurations that disagreed — and keeps one entry per
+    signature: the first seed that hit it, the smallest reproducer seen
+    (the shrunk program when shrinking was on), and a hit count.
+
+    Persistence is a JSON array on disk ([save]/[load]); [load] of a
+    missing file is an empty store, so a campaign can always
+    read-modify-write its `--bugdb` file.  The classifier database
+    synthesis next door ([Entry]/[Classify]/[Gen]) models the paper's
+    CVE/ExploitDB study; this module is the store those campaigns feed. *)
+
+type entry = {
+  be_key : string;     (** rendered signature, the dedup key *)
+  be_kind : string;    (** outcome keys joined, e.g. "detected:oob|finished:0" *)
+  be_loc : string;     (** faulting file:line:col, "" when none was reported *)
+  be_configs : int;    (** bitset of disagreeing oracle configurations *)
+  be_first_seed : int; (** first seed that produced this signature *)
+  be_count : int;      (** total divergences folded into this entry *)
+  be_mismatch : string;
+  be_repro : string;   (** smallest reproducer source seen so far *)
+}
+
+type t = (string, entry) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let entries (t : t) : entry list =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t []
+  |> List.sort (fun a b -> compare a.be_first_seed b.be_first_seed)
+
+let size (t : t) : int = Hashtbl.length t
+
+(** Fold one divergence in; returns [`New] the first time a signature is
+    seen and [`Dup] after.  The entry keeps the *earliest* seed and the
+    *shortest* reproducer across all hits, so resuming a campaign (which
+    replays ledger entries in chunk order) converges to the same store
+    as an uninterrupted run. *)
+let record (t : t) ~(key : string) ~(kind : string) ~(loc : string)
+    ~(configs : int) ~(seed : int) ~(mismatch : string) ~(repro : string) :
+    [ `New | `Dup ] =
+  match Hashtbl.find_opt t key with
+  | None ->
+    Hashtbl.replace t key
+      {
+        be_key = key;
+        be_kind = kind;
+        be_loc = loc;
+        be_configs = configs;
+        be_first_seed = seed;
+        be_count = 1;
+        be_mismatch = mismatch;
+        be_repro = repro;
+      };
+    `New
+  | Some e ->
+    let first_seed = min e.be_first_seed seed in
+    let mismatch, repro =
+      if seed < e.be_first_seed then (mismatch, repro)
+      else (e.be_mismatch, e.be_repro)
+    in
+    let repro =
+      if String.length repro <= String.length e.be_repro then repro
+      else e.be_repro
+    in
+    Hashtbl.replace t key
+      { e with be_first_seed = first_seed; be_count = e.be_count + 1;
+        be_mismatch = mismatch; be_repro = repro };
+    `Dup
+
+(* ------------------------------------------------------------------ *)
+(* JSON persistence                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let entry_json (e : entry) : string =
+  let esc = Metrics.json_escape in
+  Printf.sprintf
+    "  {\"key\": \"%s\", \"kind\": \"%s\", \"loc\": \"%s\", \"configs\": %d, \
+     \"first_seed\": %d, \"count\": %d, \"mismatch\": \"%s\", \"repro\": \
+     \"%s\"}"
+    (esc e.be_key) (esc e.be_kind) (esc e.be_loc) e.be_configs e.be_first_seed
+    e.be_count (esc e.be_mismatch) (esc e.be_repro)
+
+let save (t : t) ~(file : string) : unit =
+  let oc = open_out_bin file in
+  output_string oc "[\n";
+  List.iteri
+    (fun i e ->
+      if i > 0 then output_string oc ",\n";
+      output_string oc (entry_json e))
+    (entries t);
+  output_string oc "\n]\n";
+  close_out oc
+
+exception Malformed of string
+
+let entry_of_json (j : Trace.json) : entry =
+  match j with
+  | Trace.Jobj fields ->
+    let str k =
+      match List.assoc_opt k fields with
+      | Some (Trace.Jstr s) -> s
+      | _ -> raise (Malformed (Printf.sprintf "missing string %S" k))
+    in
+    let num k =
+      match List.assoc_opt k fields with
+      | Some (Trace.Jnum v) -> int_of_float v
+      | _ -> raise (Malformed (Printf.sprintf "missing number %S" k))
+    in
+    {
+      be_key = str "key";
+      be_kind = str "kind";
+      be_loc = str "loc";
+      be_configs = num "configs";
+      be_first_seed = num "first_seed";
+      be_count = num "count";
+      be_mismatch = str "mismatch";
+      be_repro = str "repro";
+    }
+  | _ -> raise (Malformed "entry is not an object")
+
+(** Load a store; a missing file is an empty store, a malformed one
+    raises [Malformed] (better to stop than to silently forget every
+    known bug and re-report them all as new). *)
+let load ~(file : string) : t =
+  let t = create () in
+  if Sys.file_exists file then begin
+    let ic = open_in_bin file in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Trace.parse_json s with
+    | Trace.Jarr es ->
+      List.iter
+        (fun j ->
+          let e = entry_of_json j in
+          Hashtbl.replace t e.be_key e)
+        es
+    | _ -> raise (Malformed (file ^ ": top level is not an array"))
+    | exception Trace.Bad msg -> raise (Malformed (file ^ ": " ^ msg))
+  end;
+  t

@@ -1,0 +1,695 @@
+(** Work-stealing, fault-tolerant difftest campaigns.
+
+    The original [--jobs] path forked one worker per contiguous shard
+    and read a bare [Marshal.from_channel] payload from each: one dead
+    worker aborted the whole campaign via [failwith] and discarded every
+    finished shard, the [?progress] callback was silently dropped, and
+    SIGINT left orphaned workers behind.  This driver replaces it:
+
+    - the parent keeps a queue of small seed *chunks* and hands them to
+      a pool of forked workers over pipes, so a fast worker steals the
+      work a slow one would have serialized behind;
+    - every message is a length-prefixed, checksummed [Wire] frame — a
+      truncated or corrupted payload reads as a worker death, never as
+      a parent crash;
+    - a worker that dies is reaped and respawned, and its in-flight
+      chunk is requeued: no seed is ever lost or run twice;
+    - completed chunks are appended to a JSON ledger on disk as they
+      arrive, so an interrupted campaign resumes from the last completed
+      chunk ([resume]);
+    - divergences are folded into a [Bugstore] keyed by provenance
+      signature (error kind × file:line:col × disagreeing-config
+      bitset), so ten thousand seeds hitting one bad fold surface as one
+      bug with a first-seen seed and a smallest reproducer;
+    - SIGINT reaps the pool and leaves the ledger flushed, so Ctrl-C is
+      just a pause.
+
+    The ledger is JSON Lines: the first line is a header object with the
+    campaign parameters, each following line one completed chunk.  Every
+    line is a complete JSON document, so an append interrupted mid-write
+    corrupts at most the final line, which [load_ledger] drops. *)
+
+type chunk = { ck_start : int; ck_len : int }
+
+(** Split [seeds] seeds from [seed_start] into chunks of [chunk_size]
+    (the last chunk takes the remainder). *)
+let chunks_of ~seed_start ~seeds ~chunk_size : chunk list =
+  let size = max 1 chunk_size in
+  let rec go start acc =
+    if start >= seed_start + seeds then List.rev acc
+    else
+      let len = min size (seed_start + seeds - start) in
+      go (start + len) ({ ck_start = start; ck_len = len } :: acc)
+  in
+  if seeds <= 0 then [] else go seed_start []
+
+type chunk_result = {
+  cr_start : int;
+  cr_len : int;
+  cr_agree : int;
+  cr_reject : int;
+  cr_divergences : Difftest.divergence list;
+}
+
+(* Wire messages.  The worker exits cleanly on request-pipe EOF. *)
+type to_worker = C_run of chunk
+type from_worker = W_result of chunk_result * Metrics.snapshot
+
+type outcome = {
+  co_report : Difftest.report;
+  co_chunks : chunk_result list;  (** ascending [cr_start]; includes resumed *)
+  co_bugs : Bugstore.t;  (** deduplicated divergences, persisted via --bugdb *)
+  co_new_bugs : int;  (** signatures first seen during this run *)
+  co_worker_deaths : int;
+  co_requeues : int;  (** in-flight chunks rescued from dead workers *)
+  co_resumed_seeds : int;  (** seeds skipped thanks to the ledger *)
+  co_interrupted : bool;  (** SIGINT: partial but resumable *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* The ledger                                                          *)
+(* ------------------------------------------------------------------ *)
+
+exception Ledger_error of string
+
+type header = {
+  lh_seed_start : int;
+  lh_seeds : int;
+  lh_features : Cgen.features;
+  lh_chunk : int;
+  lh_shrink : bool;
+  lh_shrink_budget : int;
+}
+
+let ledger_tag = "sulong-difftest-campaign"
+
+let header_line (h : header) : string =
+  Printf.sprintf
+    "{\"ledger\": \"%s\", \"version\": 1, \"seed_start\": %d, \"seeds\": %d, \
+     \"features\": \"%s\", \"chunk\": %d, \"shrink\": %b, \"shrink_budget\": \
+     %d}"
+    ledger_tag h.lh_seed_start h.lh_seeds
+    (Cgen.features_name h.lh_features)
+    h.lh_chunk h.lh_shrink h.lh_shrink_budget
+
+let divergence_json (d : Difftest.divergence) : string =
+  let esc = Metrics.json_escape in
+  Printf.sprintf
+    "{\"seed\": %d, \"mismatch\": \"%s\", \"kind\": \"%s\", \"loc\": \"%s\", \
+     \"configs\": %d, \"source\": \"%s\", \"reduced\": %s, \"oracle_calls\": \
+     %d}"
+    d.Difftest.dv_seed
+    (esc d.Difftest.dv_mismatch)
+    (esc d.Difftest.dv_sig.Difftest.sg_kind)
+    (esc d.Difftest.dv_sig.Difftest.sg_loc)
+    d.Difftest.dv_sig.Difftest.sg_configs
+    (esc d.Difftest.dv_source)
+    (match d.Difftest.dv_reduced with
+    | None -> "null"
+    | Some r -> "\"" ^ esc r ^ "\"")
+    d.Difftest.dv_oracle_calls
+
+let chunk_line (cr : chunk_result) : string =
+  Printf.sprintf
+    "{\"chunk_start\": %d, \"len\": %d, \"agree\": %d, \"rejects\": %d, \
+     \"divergences\": [%s]}"
+    cr.cr_start cr.cr_len cr.cr_agree cr.cr_reject
+    (String.concat ", " (List.map divergence_json cr.cr_divergences))
+
+(* JSON accessors over the Trace parser (shared with trace validation). *)
+let jstr fields k =
+  match List.assoc_opt k fields with
+  | Some (Trace.Jstr s) -> s
+  | _ -> raise (Ledger_error (Printf.sprintf "missing string %S" k))
+
+let jnum fields k =
+  match List.assoc_opt k fields with
+  | Some (Trace.Jnum v) -> int_of_float v
+  | _ -> raise (Ledger_error (Printf.sprintf "missing number %S" k))
+
+let jbool fields k =
+  match List.assoc_opt k fields with
+  | Some (Trace.Jbool b) -> b
+  | _ -> raise (Ledger_error (Printf.sprintf "missing bool %S" k))
+
+let divergence_of_json (j : Trace.json) : Difftest.divergence =
+  match j with
+  | Trace.Jobj f ->
+    {
+      Difftest.dv_seed = jnum f "seed";
+      dv_mismatch = jstr f "mismatch";
+      dv_sig =
+        {
+          Difftest.sg_kind = jstr f "kind";
+          sg_loc = jstr f "loc";
+          sg_configs = jnum f "configs";
+        };
+      dv_source = jstr f "source";
+      dv_reduced =
+        (match List.assoc_opt "reduced" f with
+        | Some (Trace.Jstr s) -> Some s
+        | _ -> None);
+      dv_oracle_calls = jnum f "oracle_calls";
+    }
+  | _ -> raise (Ledger_error "divergence is not an object")
+
+let chunk_result_of_json (j : Trace.json) : chunk_result =
+  match j with
+  | Trace.Jobj f ->
+    {
+      cr_start = jnum f "chunk_start";
+      cr_len = jnum f "len";
+      cr_agree = jnum f "agree";
+      cr_reject = jnum f "rejects";
+      cr_divergences =
+        (match List.assoc_opt "divergences" f with
+        | Some (Trace.Jarr ds) -> List.map divergence_of_json ds
+        | _ -> raise (Ledger_error "missing divergences array"));
+    }
+  | _ -> raise (Ledger_error "chunk record is not an object")
+
+let header_of_json (j : Trace.json) : header =
+  match j with
+  | Trace.Jobj f ->
+    if (try jstr f "ledger" with Ledger_error _ -> "") <> ledger_tag then
+      raise (Ledger_error "not a campaign ledger (bad tag)");
+    {
+      lh_seed_start = jnum f "seed_start";
+      lh_seeds = jnum f "seeds";
+      lh_features = Cgen.features_of_string (jstr f "features");
+      lh_chunk = jnum f "chunk";
+      lh_shrink = jbool f "shrink";
+      lh_shrink_budget = jnum f "shrink_budget";
+    }
+  | _ -> raise (Ledger_error "header is not an object")
+
+(** Parse a ledger file into its header, completed chunks, and the byte
+    offset at which a resumed campaign should append.  A final line that
+    fails to parse — or that the crashed writer never newline-terminated
+    — is a write the previous campaign did not survive: it is dropped
+    (its chunk simply reruns) and the append offset points at its first
+    byte so [resume] can truncate the torn tail away.  A malformed line
+    anywhere else is an error. *)
+let load_ledger ~(file : string) : header * chunk_result list * int =
+  let ic =
+    try open_in_bin file
+    with Sys_error msg -> raise (Ledger_error msg)
+  in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let full = String.length s in
+  let ends_nl = full > 0 && s.[full - 1] = '\n' in
+  (* Split into (byte offset, line) pairs, dropping blank lines. *)
+  let lines =
+    let acc = ref [] and start = ref 0 in
+    String.iteri
+      (fun i c ->
+        if c = '\n' then begin
+          acc := (!start, String.sub s !start (i - !start)) :: !acc;
+          start := i + 1
+        end)
+      s;
+    if !start < full then acc := (!start, String.sub s !start (full - !start)) :: !acc;
+    List.rev !acc |> List.filter (fun (_, l) -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> raise (Ledger_error (file ^ ": empty ledger"))
+  | (_, hd) :: rest ->
+    let header =
+      try header_of_json (Trace.parse_json hd)
+      with Trace.Bad msg -> raise (Ledger_error (file ^ ": header: " ^ msg))
+    in
+    if rest = [] && not ends_nl then
+      raise (Ledger_error (file ^ ": header line not newline-terminated"));
+    let n = List.length rest in
+    let append_at = ref full in
+    let chunks =
+      List.filteri
+        (fun i (off, line) ->
+          let torn msg =
+            if i = n - 1 then begin
+              (* torn final append: rerun that chunk *)
+              append_at := off;
+              false
+            end
+            else
+              raise
+                (Ledger_error (Printf.sprintf "%s: line %d: %s" file (i + 2) msg))
+          in
+          match Trace.parse_json line with
+          | _ ->
+            if i = n - 1 && not ends_nl then torn "missing final newline"
+            else true
+          | exception Trace.Bad msg -> torn msg)
+        rest
+      |> List.map (fun (_, line) -> chunk_result_of_json (Trace.parse_json line))
+    in
+    (* Resume-after-resume appends to the same file; keep one record per
+       chunk start (they are identical re-runs anyway). *)
+    let seen = Hashtbl.create 64 in
+    let chunks =
+      List.filter
+        (fun cr ->
+          if Hashtbl.mem seen cr.cr_start then false
+          else begin
+            Hashtbl.add seen cr.cr_start ();
+            true
+          end)
+        chunks
+    in
+    (header, chunks, !append_at)
+
+(* ------------------------------------------------------------------ *)
+(* Worker processes                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_chunk ~features ~shrink ~shrink_budget (ck : chunk) : chunk_result =
+  let agree = ref 0 and reject = ref 0 and divs = ref [] in
+  for i = 0 to ck.ck_len - 1 do
+    match Difftest.run_seed ~features ~shrink ~shrink_budget (ck.ck_start + i) with
+    | `Agree -> incr agree
+    | `Reject _ -> incr reject
+    | `Diverge d -> divs := d :: !divs
+  done;
+  {
+    cr_start = ck.ck_start;
+    cr_len = ck.ck_len;
+    cr_agree = !agree;
+    cr_reject = !reject;
+    cr_divergences = List.rev !divs;
+  }
+
+(* The worker: read a chunk request, run it, ship the result plus this
+   chunk's metric snapshot, repeat until the request pipe closes.  The
+   parent owns SIGINT shutdown, so workers ignore it; exit is always via
+   [Unix._exit] (no atexit, no flushing of inherited channels). *)
+let worker_loop ~features ~shrink ~shrink_budget (req : Unix.file_descr)
+    (resp : Unix.file_descr) : 'a =
+  Sys.set_signal Sys.sigint Sys.Signal_ignore;
+  let code =
+    try
+      let rec loop () =
+        match (Wire.recv req : (to_worker, Wire.error) result) with
+        | Error `Eof -> 0
+        | Error (`Corrupt _) -> 3
+        | Ok (C_run ck) ->
+          Metrics.reset ();
+          let cr = run_chunk ~features ~shrink ~shrink_budget ck in
+          Wire.send resp (W_result (cr, Metrics.snapshot ()));
+          loop ()
+      in
+      loop ()
+    with _ -> 2
+  in
+  Unix._exit code
+
+type worker = {
+  mutable w_pid : int;
+  mutable w_req : Unix.file_descr;  (** parent -> worker *)
+  mutable w_resp : Unix.file_descr;  (** worker -> parent *)
+  mutable w_cur : chunk option;  (** in-flight chunk, requeued on death *)
+  mutable w_alive : bool;
+}
+
+(** Fork a worker.  The child must close its inherited copies of every
+    *other* worker's pipe ends ([others]): a later-forked worker holding
+    an earlier worker's request-pipe write end would keep that worker's
+    [Wire.recv] from ever seeing EOF, deadlocking the orderly
+    shutdown. *)
+let spawn ~features ~shrink ~shrink_budget
+    ~(others : worker option array) () : worker =
+  flush stdout;
+  flush stderr;
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close req_w;
+    Unix.close resp_r;
+    Array.iter
+      (function
+        | Some o when o.w_alive ->
+          (try Unix.close o.w_req with Unix.Unix_error _ -> ());
+          (try Unix.close o.w_resp with Unix.Unix_error _ -> ())
+        | _ -> ())
+      others;
+    worker_loop ~features ~shrink ~shrink_budget req_r resp_w
+  | pid ->
+    Unix.close req_r;
+    Unix.close resp_w;
+    { w_pid = pid; w_req = req_w; w_resp = resp_r; w_cur = None; w_alive = true }
+
+(** Close a worker's pipes and collect the process.  The EOF on its
+    request pipe makes a healthy worker exit on its own; one that does
+    not go within the grace period is killed, so shutdown can never
+    deadlock on a wedged (or EOF-blind) child. *)
+let reap ?(grace_s = 5.0) (w : worker) : unit =
+  if w.w_alive then begin
+    w.w_alive <- false;
+    (try Unix.close w.w_req with Unix.Unix_error _ -> ());
+    (try Unix.close w.w_resp with Unix.Unix_error _ -> ());
+    let deadline = Unix.gettimeofday () +. grace_s in
+    let rec wait killed =
+      match Unix.waitpid [ Unix.WNOHANG ] w.w_pid with
+      | 0, _ ->
+        if (not killed) && Unix.gettimeofday () > deadline then begin
+          (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
+          wait true
+        end
+        else begin
+          ignore (Unix.select [] [] [] 0.01);
+          wait killed
+        end
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait killed
+      | exception Unix.Unix_error _ -> ()
+    in
+    wait false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The driver                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let drive ~(features : Cgen.features) ~(shrink : bool) ~(shrink_budget : int)
+    ~(jobs : int) ~(chunk_size : int) ~(ledger_oc : out_channel option)
+    ~(bugs : Bugstore.t) ~(progress : int -> unit)
+    ~(chaos : chunk -> bool) ~(seed_start : int) ~(seeds : int)
+    ~(done_chunks : chunk_result list) : outcome =
+  let t0 = Unix.gettimeofday () in
+  let all = chunks_of ~seed_start ~seeds ~chunk_size in
+  let completed : (int, chunk_result) Hashtbl.t =
+    Hashtbl.create (List.length all)
+  in
+  let new_bugs = ref 0 in
+  let record_bugs (cr : chunk_result) =
+    List.iter
+      (fun (d : Difftest.divergence) ->
+        let s = d.Difftest.dv_sig in
+        let repro =
+          match d.Difftest.dv_reduced with
+          | Some r -> r
+          | None -> d.Difftest.dv_source
+        in
+        match
+          Bugstore.record bugs
+            ~key:(Difftest.signature_key s)
+            ~kind:s.Difftest.sg_kind ~loc:s.Difftest.sg_loc
+            ~configs:s.Difftest.sg_configs ~seed:d.Difftest.dv_seed
+            ~mismatch:d.Difftest.dv_mismatch ~repro
+        with
+        | `New -> incr new_bugs
+        | `Dup -> ())
+      cr.cr_divergences
+  in
+  let resumed_seeds = ref 0 in
+  List.iter
+    (fun cr ->
+      if not (Hashtbl.mem completed cr.cr_start) then begin
+        Hashtbl.replace completed cr.cr_start cr;
+        resumed_seeds := !resumed_seeds + cr.cr_len;
+        record_bugs cr
+      end)
+    done_chunks;
+  (* Bugs resumed from the ledger are known, not new. *)
+  new_bugs := 0;
+  let pending : chunk Queue.t = Queue.create () in
+  List.iter
+    (fun ck -> if not (Hashtbl.mem completed ck.ck_start) then Queue.add ck pending)
+    all;
+  let total_chunks = List.length all in
+  let seeds_done = ref !resumed_seeds in
+  let deaths = ref 0 and requeues = ref 0 in
+  let interrupted = ref false in
+  let old_int =
+    Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> interrupted := true))
+  in
+  (* A dead worker's request pipe must raise EPIPE, not kill the parent. *)
+  let old_pipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ -> None
+  in
+  let jobs = max 1 (min jobs (max 1 (Queue.length pending))) in
+  let workers = Array.make jobs None in
+  let finally () =
+    Array.iter
+      (function
+        | Some w when w.w_alive ->
+          (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
+          reap w
+        | _ -> ())
+      workers;
+    Sys.set_signal Sys.sigint old_int;
+    (match old_pipe with
+    | Some b -> Sys.set_signal Sys.sigpipe b
+    | None -> ())
+  in
+  Fun.protect ~finally (fun () ->
+      let worker_died w =
+        incr deaths;
+        (match w.w_cur with
+        | Some ck when not (Hashtbl.mem completed ck.ck_start) ->
+          Queue.add ck pending;
+          incr requeues
+        | _ -> ());
+        w.w_cur <- None;
+        reap w
+      in
+      let complete w (cr : chunk_result) (snap : Metrics.snapshot) =
+        w.w_cur <- None;
+        if not (Hashtbl.mem completed cr.cr_start) then begin
+          Hashtbl.replace completed cr.cr_start cr;
+          seeds_done := !seeds_done + cr.cr_len;
+          Metrics.merge snap;
+          (match ledger_oc with
+          | Some oc ->
+            output_string oc (chunk_line cr);
+            output_char oc '\n';
+            flush oc
+          | None -> ());
+          record_bugs cr;
+          let elapsed = Unix.gettimeofday () -. t0 in
+          Trace.counter "campaign"
+            [
+              ("seeds_done", float_of_int !seeds_done);
+              ( "seeds_per_s",
+                if elapsed > 0.0 then
+                  float_of_int (!seeds_done - !resumed_seeds) /. elapsed
+                else 0.0 );
+              ("unique_bugs", float_of_int (Bugstore.size bugs));
+            ];
+          progress !seeds_done
+        end
+      in
+      while Hashtbl.length completed < total_chunks && not !interrupted do
+        (* Keep the pool at strength while work remains: replace dead
+           slots, then feed every idle worker from the queue. *)
+        Array.iteri
+          (fun i slot ->
+            match slot with
+            | (None | Some { w_alive = false; _ })
+              when not (Queue.is_empty pending) ->
+              workers.(i)
+              <- Some
+                   (spawn ~features ~shrink ~shrink_budget ~others:workers ())
+            | _ -> ())
+          workers;
+        Array.iter
+          (fun slot ->
+            match slot with
+            | Some w when w.w_alive && w.w_cur = None
+                          && not (Queue.is_empty pending) -> (
+              let ck = Queue.pop pending in
+              match Wire.send w.w_req (C_run ck) with
+              | () ->
+                w.w_cur <- Some ck;
+                (* test/chaos hook: SIGKILL mid-chunk; the death shows
+                   up as EOF on the response pipe and the chunk is
+                   requeued *)
+                if chaos ck then begin
+                  try Unix.kill w.w_pid Sys.sigkill
+                  with Unix.Unix_error _ -> ()
+                end
+              | exception Unix.Unix_error _ ->
+                Queue.add ck pending;
+                worker_died w)
+            | _ -> ())
+          workers;
+        let fds =
+          Array.fold_left
+            (fun acc slot ->
+              match slot with
+              | Some w when w.w_alive -> w.w_resp :: acc
+              | _ -> acc)
+            [] workers
+        in
+        (* [fds] can only be empty transiently (every chunk completed or
+           a death emptied the pool while the queue refilled); the next
+           iteration respawns.  Select with a timeout so a respawned
+           idle pool is fed promptly. *)
+        if fds <> [] then begin
+          match Unix.select fds [] [] 0.5 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | ready, _, _ ->
+            List.iter
+              (fun fd ->
+                let w =
+                  Array.fold_left
+                    (fun acc slot ->
+                      match slot with
+                      | Some w when w.w_alive && w.w_resp = fd -> Some w
+                      | _ -> acc)
+                    None workers
+                in
+                match w with
+                | None -> ()
+                | Some w -> (
+                  match
+                    (Wire.recv w.w_resp
+                      : (from_worker, Wire.error) result)
+                  with
+                  | Ok (W_result (cr, snap)) -> complete w cr snap
+                  | Error (`Eof | `Corrupt _) -> worker_died w))
+              ready
+        end
+      done;
+      (* Orderly shutdown: close request pipes, workers exit on EOF. *)
+      Array.iter
+        (function
+          | Some w when w.w_alive ->
+            if !interrupted then begin
+              (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ())
+            end;
+            reap w
+          | _ -> ())
+        workers;
+      let crs =
+        Hashtbl.fold (fun _ cr acc -> cr :: acc) completed []
+        |> List.sort (fun a b -> compare a.cr_start b.cr_start)
+      in
+      let report : Difftest.report =
+        {
+          Difftest.rp_seed_start = seed_start;
+          rp_seeds = seeds;
+          rp_features = Cgen.features_name features;
+          rp_agree = List.fold_left (fun n cr -> n + cr.cr_agree) 0 crs;
+          rp_reject = List.fold_left (fun n cr -> n + cr.cr_reject) 0 crs;
+          rp_divergences = List.concat_map (fun cr -> cr.cr_divergences) crs;
+          rp_elapsed_s = Unix.gettimeofday () -. t0;
+        }
+      in
+      Difftest.record_report report;
+      Metrics.add (Metrics.counter "campaign.chunks")
+        (Hashtbl.length completed);
+      Metrics.add (Metrics.counter "campaign.worker_deaths") !deaths;
+      Metrics.add (Metrics.counter "campaign.requeues") !requeues;
+      Metrics.add (Metrics.counter "campaign.resumed_seeds") !resumed_seeds;
+      Metrics.set (Metrics.gauge "campaign.jobs") (float_of_int jobs);
+      (if report.Difftest.rp_elapsed_s > 0.0 then
+         Metrics.set
+           (Metrics.gauge "campaign.seeds_per_s")
+           (float_of_int (!seeds_done - !resumed_seeds)
+           /. report.Difftest.rp_elapsed_s));
+      Trace.instant
+        ~args:
+          [
+            ("jobs", string_of_int jobs);
+            ("seeds", string_of_int seeds);
+            ("deaths", string_of_int !deaths);
+            ("requeues", string_of_int !requeues);
+            ("unique_bugs", string_of_int (Bugstore.size bugs));
+          ]
+        "campaign-merge";
+      {
+        co_report = report;
+        co_chunks = crs;
+        co_bugs = bugs;
+        co_new_bugs = !new_bugs;
+        co_worker_deaths = !deaths;
+        co_requeues = !requeues;
+        co_resumed_seeds = !resumed_seeds;
+        co_interrupted = !interrupted;
+      })
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let default_chunk = 25
+
+let load_bugs = function
+  | None -> Bugstore.create ()
+  | Some file -> Bugstore.load ~file
+
+let save_bugs bugdb (bugs : Bugstore.t) =
+  match bugdb with
+  | Some file -> Bugstore.save bugs ~file
+  | None -> ()
+
+(** Run a fresh campaign.  [ledger] (re)creates the ledger file;
+    [bugdb] loads/saves the persistent bug store; [chaos] is a test
+    hook that SIGKILLs the worker a chunk was just assigned to. *)
+let run ?(features = Cgen.all_features) ?(shrink = false)
+    ?(shrink_budget = 200) ?(jobs = 1) ?(chunk = default_chunk) ?ledger
+    ?bugdb ?(progress = fun (_ : int) -> ())
+    ?(chaos = fun (_ : chunk) -> false) ~(seed_start : int) ~(seeds : int) ()
+    : outcome =
+  let header =
+    {
+      lh_seed_start = seed_start;
+      lh_seeds = seeds;
+      lh_features = features;
+      lh_chunk = chunk;
+      lh_shrink = shrink;
+      lh_shrink_budget = shrink_budget;
+    }
+  in
+  let ledger_oc =
+    match ledger with
+    | None -> None
+    | Some file ->
+      let oc = open_out_bin file in
+      output_string oc (header_line header);
+      output_char oc '\n';
+      flush oc;
+      Some oc
+  in
+  let bugs = load_bugs bugdb in
+  Fun.protect
+    ~finally:(fun () ->
+      match ledger_oc with Some oc -> close_out_noerr oc | None -> ())
+    (fun () ->
+      let o =
+        drive ~features ~shrink ~shrink_budget ~jobs ~chunk_size:chunk
+          ~ledger_oc ~bugs ~progress ~chaos ~seed_start ~seeds
+          ~done_chunks:[]
+      in
+      save_bugs bugdb bugs;
+      o)
+
+(** Continue an interrupted campaign from its ledger: parameters come
+    from the ledger header, completed chunks are skipped, and new
+    completions append to the same file. *)
+let resume ?(jobs = 1) ?bugdb ?(progress = fun (_ : int) -> ())
+    ?(chaos = fun (_ : chunk) -> false) ~(ledger : string) () : outcome =
+  let header, done_chunks, append_at = load_ledger ~file:ledger in
+  (* Cut off a torn final line before appending, or the first new record
+     would concatenate onto the fragment and poison the next resume. *)
+  (let fd = Unix.openfile ledger [ Unix.O_WRONLY ] 0o644 in
+   Fun.protect
+     ~finally:(fun () -> Unix.close fd)
+     (fun () -> Unix.ftruncate fd append_at));
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 ledger in
+  let bugs = load_bugs bugdb in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let o =
+        drive ~features:header.lh_features ~shrink:header.lh_shrink
+          ~shrink_budget:header.lh_shrink_budget ~jobs
+          ~chunk_size:header.lh_chunk ~ledger_oc:(Some oc) ~bugs ~progress
+          ~chaos ~seed_start:header.lh_seed_start ~seeds:header.lh_seeds
+          ~done_chunks
+      in
+      save_bugs bugdb bugs;
+      o)

@@ -11,9 +11,53 @@
     precision).  Reverting any one fix makes the corresponding
     regression fail. *)
 
+(** Provenance signature of a divergence: the same underlying bug keeps
+    convicting different seeds, so campaigns deduplicate on (error kind,
+    faulting source position, which-configurations-disagree bitset)
+    rather than on seeds.  [sg_kind] joins the distinct outcome keys
+    observed ("detected:out-of-bounds|finished:0"); [sg_loc] is the
+    managed bug report's [file:line:col] when one configuration produced
+    a report (empty otherwise); [sg_configs] sets bit [i] when
+    observation [i] — the order of [Oracle.configs], plus the reference
+    evaluator as the final pseudo-observation — disagrees with
+    observation 0. *)
+type signature = {
+  sg_kind : string;
+  sg_loc : string;
+  sg_configs : int;
+}
+
+let signature_of_observations (obs : Oracle.observation list) : signature =
+  match obs with
+  | [] -> { sg_kind = "?"; sg_loc = ""; sg_configs = 0 }
+  | first :: _ ->
+    let bits = ref 0 in
+    List.iteri
+      (fun i (o : Oracle.observation) ->
+        if
+          o.Oracle.ob_key <> first.Oracle.ob_key
+          || o.Oracle.ob_output <> first.Oracle.ob_output
+        then bits := !bits lor (1 lsl i))
+      obs;
+    let kinds =
+      List.sort_uniq compare (List.map (fun o -> o.Oracle.ob_key) obs)
+    in
+    let loc =
+      match List.filter_map (fun o -> o.Oracle.ob_loc) obs with
+      | l :: _ -> l
+      | [] -> ""
+    in
+    { sg_kind = String.concat "|" kinds; sg_loc = loc; sg_configs = !bits }
+
+let signature_key (s : signature) : string =
+  Printf.sprintf "%s @ %s # 0x%x" s.sg_kind
+    (if s.sg_loc = "" then "-" else s.sg_loc)
+    s.sg_configs
+
 type divergence = {
   dv_seed : int;
   dv_mismatch : string;
+  dv_sig : signature;
   dv_source : string;
   dv_reduced : string option;
   dv_oracle_calls : int;  (** oracle calls spent shrinking *)
@@ -44,7 +88,7 @@ let run_seed ?(features = Cgen.all_features) ?(shrink = false)
   match Oracle.check ~expected:(Cprog.expected_prefix p) src with
   | Oracle.Agree _ -> `Agree
   | Oracle.Reject why -> `Reject why
-  | Oracle.Diverge { mismatch; _ } ->
+  | Oracle.Diverge { mismatch; observations } ->
     let reduced, calls =
       if shrink then begin
         let r = Shrink.reduce ~test:diverges ~budget:shrink_budget p in
@@ -56,6 +100,7 @@ let run_seed ?(features = Cgen.all_features) ?(shrink = false)
       {
         dv_seed = seed;
         dv_mismatch = mismatch;
+        dv_sig = signature_of_observations observations;
         dv_source = src;
         dv_reduced = reduced;
         dv_oracle_calls = calls;
@@ -119,123 +164,26 @@ let run ?(features = Cgen.all_features) ?(shrink = false) ?(shrink_budget = 200)
 (* ------------------------------------------------------------------ *)
 
 (** Contiguous shard [i] of [seeds] seeds split [jobs] ways: the first
-    [seeds mod jobs] shards take one extra seed. *)
+    [seeds mod jobs] shards take one extra seed.
+
+    This was the unit of the original fork-per-shard driver, where one
+    dead worker aborted the whole campaign and discarded every finished
+    shard.  Multi-process campaigns now run through [Campaign.run],
+    which hands out small chunks from a work-stealing queue, respawns
+    dead workers, and requeues their in-flight chunk — [shard_range]
+    remains the static split used when a caller wants one contiguous
+    range per worker (and keeps its boundary tests). *)
 let shard_range ~seed_start ~seeds ~jobs i : int * int =
   let base = seeds / jobs and rem = seeds mod jobs in
   let len = base + if i < rem then 1 else 0 in
   let start = seed_start + (i * base) + min i rem in
   (start, len)
 
-(** Fork one worker per shard and merge the per-shard reports and
-    metric registries in the parent.  Each worker resets its inherited
-    registry right after the fork, so [Metrics.merge] never
-    double-counts the parent's pre-fork values; it ships
-    [(report, Metrics.snapshot)] back over a pipe.  Tracing is per
-    process, so worker trace events are dropped; the parent emits one
-    merge instant with the aggregate. *)
-let run_sharded ?(features = Cgen.all_features) ?(shrink = false)
-    ?(shrink_budget = 200) ?(jobs = 1) ?progress ~(seed_start : int)
-    ~(seeds : int) () : report =
-  if jobs <= 1 || seeds <= 1 then
-    run ~features ~shrink ~shrink_budget ?progress ~seed_start ~seeds ()
-  else begin
-    let t0 = Unix.gettimeofday () in
-    let jobs = min jobs seeds in
-    let children =
-      List.init jobs (fun i ->
-          let rd, wr = Unix.pipe () in
-          match Unix.fork () with
-          | 0 ->
-            Unix.close rd;
-            let status =
-              try
-                Metrics.reset ();
-                let start, len = shard_range ~seed_start ~seeds ~jobs i in
-                let r =
-                  run ~features ~shrink ~shrink_budget ~seed_start:start
-                    ~seeds:len ()
-                in
-                let oc = Unix.out_channel_of_descr wr in
-                Marshal.to_channel oc (r, Metrics.snapshot ()) [];
-                flush oc;
-                0
-              with _ -> 1
-            in
-            Unix._exit status
-          | pid ->
-            Unix.close wr;
-            (i, pid, rd))
-    in
-    let shards =
-      List.map
-        (fun (i, pid, rd) ->
-          let ic = Unix.in_channel_of_descr rd in
-          let payload =
-            try Some (Marshal.from_channel ic : report * Metrics.snapshot)
-            with End_of_file | Failure _ -> None
-          in
-          close_in ic;
-          let _, status = Unix.waitpid [] pid in
-          match (payload, status) with
-          | Some p, Unix.WEXITED 0 -> p
-          | _ ->
-            failwith
-              (Printf.sprintf "difftest: shard %d (pid %d) died without a report"
-                 i pid))
-        children
-    in
-    List.iter (fun (_, sn) -> Metrics.merge sn) shards;
-    let merged =
-      List.fold_left
-        (fun acc ((r : report), _) ->
-          {
-            acc with
-            rp_agree = acc.rp_agree + r.rp_agree;
-            rp_reject = acc.rp_reject + r.rp_reject;
-            rp_divergences = acc.rp_divergences @ r.rp_divergences;
-          })
-        {
-          rp_seed_start = seed_start;
-          rp_seeds = seeds;
-          rp_features = Cgen.features_name features;
-          rp_agree = 0;
-          rp_reject = 0;
-          rp_divergences = [];
-          rp_elapsed_s = 0.0;
-        }
-        shards
-    in
-    let merged =
-      {
-        merged with
-        rp_divergences =
-          List.sort (fun a b -> compare a.dv_seed b.dv_seed) merged.rp_divergences;
-        rp_elapsed_s = Unix.gettimeofday () -. t0;
-      }
-    in
-    (* The shard gauges merged with max; recompute the campaign-wide
-       divergence rate from the merged report. *)
-    if merged.rp_seeds > 0 then
-      Metrics.set
-        (Metrics.gauge "difftest.divergence_rate")
-        (float_of_int (List.length merged.rp_divergences)
-        /. float_of_int merged.rp_seeds);
-    Trace.instant
-      ~args:
-        [
-          ("jobs", string_of_int jobs);
-          ("seeds", string_of_int seeds);
-          ("divergences", string_of_int (List.length merged.rp_divergences));
-        ]
-      "difftest-sharded-merge";
-    merged
-  end
-
 (* ------------------------------------------------------------------ *)
 (* JSON log                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let report_row (r : report) : string =
+let report_row ?(jobs = 1) ?(worker_deaths = 0) (r : report) : string =
   let seeds_per_s =
     if r.rp_elapsed_s > 0.0 then float_of_int r.rp_seeds /. r.rp_elapsed_s
     else 0.0
@@ -243,10 +191,14 @@ let report_row (r : report) : string =
   Printf.sprintf
     "  {\"name\": \"difftest\", \"features\": \"%s\", \"seed_start\": %d, \
      \"seeds\": %d, \"agree\": %d, \"rejects\": %d, \"divergences\": %d, \
-     \"elapsed_s\": %.3f, \"seeds_per_s\": %.1f%s}"
+     \"elapsed_s\": %.3f, \"seeds_per_s\": %.1f%s%s}"
     r.rp_features r.rp_seed_start r.rp_seeds r.rp_agree r.rp_reject
     (List.length r.rp_divergences)
     r.rp_elapsed_s seeds_per_s
+    (if jobs > 1 then
+       Printf.sprintf ", \"jobs\": %d, \"worker_deaths\": %d" jobs
+         worker_deaths
+     else "")
     (match r.rp_divergences with
     | [] -> ""
     | ds ->

@@ -15,6 +15,10 @@ type observation = {
   ob_config : string;
   ob_key : string;  (** normalized outcome: [finished:N], [detected:K], … *)
   ob_output : string;
+  ob_loc : string option;
+      (** fault provenance [file:line:col] from the managed bug report,
+          when the configuration detected an error with one — feeds the
+          campaign's deduplication signature (Difftest.signature) *)
 }
 
 type verdict =
@@ -115,20 +119,20 @@ let frontend_of (src : string) (fold : bool) : frontend =
   { fe_user; fe_managed }
 
 let run_config (fe : frontend) (c : config) : observation =
-  let key, output =
+  let key, output, loc =
     match c.cfg_target with
     | `Native level -> (
       match Lazy.force fe.fe_user with
-      | Error key -> (key, "")
+      | Error key -> (key, "", None)
       | Ok user -> (
         match
           guard (fun () -> Engine.run_clang_module ~step_limit ~level user)
         with
-        | Error key -> (key, "")
-        | Ok r -> (outcome_key r.Engine.outcome, r.Engine.output)))
+        | Error key -> (key, "", None)
+        | Ok r -> (outcome_key r.Engine.outcome, r.Engine.output, None)))
     | `Managed mode -> (
       match Lazy.force fe.fe_managed with
-      | Error key -> (key, "")
+      | Error key -> (key, "", None)
       | Ok linked -> (
         match
           guard (fun () ->
@@ -160,7 +164,7 @@ let run_config (fe : frontend) (c : config) : observation =
               in
               Interp.run ~argv:[ "program" ] st)
         with
-        | Error key -> (key, "")
+        | Error key -> (key, "", None)
         | Ok r ->
           let key =
             if r.Interp.timed_out then "timeout"
@@ -169,9 +173,15 @@ let run_config (fe : frontend) (c : config) : observation =
               | Some (cat, _) -> "detected:" ^ Merror.category_name cat
               | None -> Printf.sprintf "finished:%d" r.Interp.exit_code
           in
-          (key, r.Interp.output)))
+          let loc =
+            match r.Interp.report with
+            | None -> None
+            | Some rep ->
+              Option.map Bugreport.frame_loc (Bugreport.fault_frame rep)
+          in
+          (key, r.Interp.output, loc)))
   in
-  { ob_config = c.cfg_name; ob_key = key; ob_output = output }
+  { ob_config = c.cfg_name; ob_key = key; ob_output = output; ob_loc = loc }
 
 let has_prefix ~prefix s =
   let pl = String.length prefix in
@@ -222,7 +232,7 @@ let check ?expected (src : string) : verdict =
             observations =
               obs
               @ [ { ob_config = "reference"; ob_key = "finished:0";
-                    ob_output = prefix } ];
+                    ob_output = prefix; ob_loc = None } ];
           }
       | _ -> Agree first.ob_output
     end

@@ -1,0 +1,87 @@
+(** Framed, checksummed messages over pipes for the campaign driver.
+
+    The old sharded path shipped bare [Marshal.from_channel] payloads: a
+    worker dying mid-write left the parent blocked on (or crashing in)
+    an unframed, half-written value.  Here every message is a frame
+
+      4 bytes magic | 4 bytes payload length | 8 bytes FNV-1a checksum
+      | payload (Marshal bytes)
+
+    so the parent can always tell a complete message from a truncated or
+    corrupted one and treat anything else as a worker death.  All
+    lengths are little-endian via [Bytes.set_*]. *)
+
+let magic = 0x53554C47l (* "SULG" *)
+
+(** Frames above this are certainly garbage (a campaign message is a
+    chunk of seed results, a few KB with sources attached). *)
+let max_payload = 64 * 1024 * 1024
+
+let fnv1a64 (b : Bytes.t) : int64 =
+  let h = ref 0xCBF29CE484222325L in
+  for i = 0 to Bytes.length b - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code (Bytes.unsafe_get b i)));
+    h := Int64.mul !h 0x100000001B3L
+  done;
+  !h
+
+let rec write_all fd b off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd b off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd b (off + n) (len - n)
+  end
+
+(** [None] on clean EOF before the first byte; [Some false] on EOF
+    mid-buffer (a truncated frame); [Some true] when [len] bytes were
+    read. *)
+let read_all fd b off len : bool option =
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < len do
+    match Unix.read fd b (off + !got) (len - !got) with
+    | 0 -> eof := true
+    | n -> got := !got + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  if !got = 0 && len > 0 then None else Some (!got = len)
+
+type error = [ `Eof | `Corrupt of string ]
+
+let send (fd : Unix.file_descr) (v : 'a) : unit =
+  let payload = Marshal.to_bytes v [] in
+  let len = Bytes.length payload in
+  let header = Bytes.create 16 in
+  Bytes.set_int32_le header 0 magic;
+  Bytes.set_int32_le header 4 (Int32.of_int len);
+  Bytes.set_int64_le header 8 (fnv1a64 payload);
+  write_all fd header 0 16;
+  write_all fd payload 0 len
+
+let recv (fd : Unix.file_descr) : ('a, error) result =
+  let header = Bytes.create 16 in
+  match read_all fd header 0 16 with
+  | None -> Error `Eof
+  | Some false -> Error (`Corrupt "truncated header")
+  | Some true ->
+    if Bytes.get_int32_le header 0 <> magic then
+      Error (`Corrupt "bad magic")
+    else begin
+      let len = Int32.to_int (Bytes.get_int32_le header 4) in
+      if len < 0 || len > max_payload then
+        Error (`Corrupt (Printf.sprintf "implausible length %d" len))
+      else begin
+        let payload = Bytes.create len in
+        match read_all fd payload 0 len with
+        | (None | Some false) when len > 0 ->
+          Error (`Corrupt "truncated payload")
+        | _ ->
+          let sum = fnv1a64 payload in
+          if sum <> Bytes.get_int64_le header 8 then
+            Error (`Corrupt "checksum mismatch")
+          else
+            Ok (Marshal.from_bytes payload 0)
+      end
+    end

@@ -50,6 +50,29 @@ let emit (s : sink) ~(ph : string) ~(name : string) (args : (string * string) li
 let instant ?(args = []) (name : string) =
   match !sink with None -> () | Some s -> emit s ~ph:"i" ~name args
 
+(** Emit a counter sample (ph "C"): [series] maps series names to
+    numeric values, which chrome://tracing and Perfetto chart over time
+    — the campaign driver emits throughput/in-flight samples this way so
+    a long run shows up as a live graph, not just instants. *)
+let counter (name : string) (series : (string * float) list) =
+  match !sink with
+  | None -> ()
+  | Some s ->
+    if s.count > 0 then Buffer.add_char s.buf ',';
+    s.count <- s.count + 1;
+    Buffer.add_string s.buf
+      (Printf.sprintf
+         "\n{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%d,\"pid\":%d,\"tid\":1,\"args\":{"
+         (Metrics.json_escape name) (ts s) s.pid);
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char s.buf ',';
+        Buffer.add_string s.buf
+          (Printf.sprintf "\"%s\":%s" (Metrics.json_escape k)
+             (Metrics.float_str v)))
+      series;
+    Buffer.add_string s.buf "}}"
+
 (** Run [f] inside a [name] span. *)
 let span ?(args = []) (name : string) (f : unit -> 'a) : 'a =
   match !sink with
