@@ -54,12 +54,37 @@ let obs_end ~metrics ~trace_file (code : int) : int =
   | None -> ());
   code
 
+(* Render the guest profile in the requested format and deliver it to
+   [--profile-out FILE] or stderr (so program output on stdout stays
+   clean, like --metrics). *)
+let emit_profile (p : Profile.t) ~(format : string)
+    ~(out : string option) : unit =
+  let text =
+    match format with
+    | "folded" -> Profile.folded p
+    | "json" -> Profile.to_json p ^ "\n"
+    | _ -> Profile.top_table p
+  in
+  match out with
+  | Some path ->
+    let oc = open_out_bin path in
+    output_string oc text;
+    close_out oc;
+    Printf.eprintf "profile written to %s\n" path
+  | None -> prerr_string text
+
 let do_run file engine level tiered args input_text detect_uninit detect_leaks
-    trace_calls metrics trace_file =
+    trace_calls profile profile_out metrics trace_file =
   let src = read_file file in
   match engine_of_string engine level with
   | Error msg ->
     prerr_endline msg;
+    2
+  | Ok _ when
+      (match profile with
+      | Some f -> f <> "top" && f <> "folded" && f <> "json"
+      | None -> false) ->
+    Printf.eprintf "run: --profile takes top, folded or json\n";
     2
   | Ok tool -> begin
     obs_begin ~metrics ~trace_file;
@@ -71,13 +96,22 @@ let do_run file engine level tiered args input_text detect_uninit detect_leaks
            full managed run result. *)
         if tool = Engine.Safe_sulong then begin
           let m = Loader.load_program ~file src in
+          let prof =
+            match profile with
+            | Some _ -> Some (Profile.create ())
+            | None -> None
+          in
           let st =
             Interp.create
               ?tier:(if tiered then Some (Tier.controller ()) else None)
-              ~detect_uninit ~trace:trace_calls ~input:input_text m
+              ?profile:prof ~detect_uninit ~trace:trace_calls
+              ~input:input_text m
           in
           let r = Interp.run ~argv st in
           if trace_calls then prerr_string r.Interp.trace_output;
+          (match (prof, profile) with
+          | Some p, Some format -> emit_profile p ~format ~out:profile_out
+          | _ -> ());
           print_string r.Interp.output;
           (match (r.Interp.error, r.Interp.report) with
           | Some _, Some rep -> prerr_string (Bugreport.render rep)
@@ -100,6 +134,8 @@ let do_run file engine level tiered args input_text detect_uninit detect_leaks
           else r.Interp.exit_code
         end
         else begin
+          if profile <> None then
+            Printf.eprintf "run: --profile is Safe Sulong only; ignored\n";
           let r = Engine.run ~argv ~input:input_text ~detect_uninit tool src in
           print_string r.Engine.output;
           match r.Engine.outcome with
@@ -204,13 +240,33 @@ let trace_file_arg =
            sema, lower, prepare, link, execute, JIT compiles) to $(docv); \
            load it via chrome://tracing or Perfetto.")
 
+let profile_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "top") (some string) None
+    & info [ "profile" ] ~docv:"FORMAT"
+        ~doc:
+          "Profile the guest program (Safe Sulong only): exact per-function \
+           and per-block attribution of managed steps and wall time, \
+           identical across the interpreter and the closure-compiled tier. \
+           FORMAT is top (default; a top-N table), folded \
+           (flamegraph-compatible folded stacks for flamegraph.pl or \
+           speedscope), or json.")
+
+let profile_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-out" ] ~docv:"FILE"
+        ~doc:"Write the profile to $(docv) instead of stderr.")
+
 let run_cmd =
   let doc = "compile and execute a C file under a bug-finding engine" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const do_run $ file_arg $ engine_arg $ level_arg $ tier_flag $ args_arg
-      $ input_arg $ uninit_flag $ leaks_flag $ trace_flag $ metrics_arg
-      $ trace_file_arg)
+      $ input_arg $ uninit_flag $ leaks_flag $ trace_flag $ profile_arg
+      $ profile_out_arg $ metrics_arg $ trace_file_arg)
 
 (* ---------------- ir ---------------- *)
 
@@ -365,8 +421,8 @@ let report_cmd =
 (* ---------------- difftest ---------------- *)
 
 let do_difftest seeds seed_start features_str shrink json_file jobs chunk
-    ledger resume_file bugdb metrics =
-  obs_begin ~metrics ~trace_file:None;
+    ledger resume_file bugdb metrics trace_file =
+  obs_begin ~metrics ~trace_file;
   let features =
     try Cgen.features_of_string features_str
     with Invalid_argument msg ->
@@ -437,6 +493,11 @@ let do_difftest seeds seed_start features_str shrink json_file jobs chunk
         d.Difftest.dv_seed d.Difftest.dv_mismatch
         (Difftest.signature_key d.Difftest.dv_sig)
         d.Difftest.dv_source;
+      (match d.Difftest.dv_events with
+      | [] -> ()
+      | evs ->
+        Printf.printf "  engine events at detection:\n";
+        List.iter (Printf.printf "    %s\n") evs);
       match d.Difftest.dv_reduced with
       | Some reduced ->
         Printf.printf "reduced (%d oracle calls):\n%s" d.Difftest.dv_oracle_calls
@@ -469,6 +530,22 @@ let do_difftest seeds seed_start features_str shrink json_file jobs chunk
           e.Bugstore.be_first_seed e.Bugstore.be_count)
       (Bugstore.entries o.Campaign.co_bugs)
   | _ -> ());
+  (* Per-seed cost lands in the ledger, so a --resume can rank the
+     expensive seeds without rerunning anything. *)
+  (match outcome with
+  | Some o -> (
+    match Campaign.slowest_seeds ~n:5 o.Campaign.co_chunks with
+    | [] -> ()
+    | slow ->
+      Printf.printf "slowest seeds:\n";
+      List.iter
+        (fun (s : Difftest.seed_stat) ->
+          Printf.printf "  seed %-8d %8.1f ms %14d managed steps\n"
+            s.Difftest.ss_seed
+            (s.Difftest.ss_elapsed_s *. 1e3)
+            s.Difftest.ss_steps)
+        slow)
+  | None -> ());
   if interrupted then begin
     (match ledger with
     | Some file ->
@@ -477,7 +554,7 @@ let do_difftest seeds seed_start features_str shrink json_file jobs chunk
     | None ->
       print_endline
         "interrupted (no --ledger given, so the finished seeds are lost)");
-    ignore (obs_end ~metrics ~trace_file:None 130);
+    ignore (obs_end ~metrics ~trace_file 130);
     130
   end
   else begin
@@ -487,7 +564,7 @@ let do_difftest seeds seed_start features_str shrink json_file jobs chunk
         (Difftest.report_row ~jobs ~worker_deaths:deaths r);
       Printf.printf "appended row to %s\n" file
     | None -> ());
-    obs_end ~metrics ~trace_file:None
+    obs_end ~metrics ~trace_file
       (if n_div > 0 || regression_failures <> [] then 1 else 0)
   end
 
@@ -578,7 +655,7 @@ let difftest_cmd =
     Term.(
       const do_difftest $ seeds_arg $ seed_start_arg $ features_arg
       $ shrink_arg $ json_arg $ jobs_arg $ chunk_arg $ ledger_arg
-      $ resume_arg $ bugdb_arg $ metrics_arg)
+      $ resume_arg $ bugdb_arg $ metrics_arg $ trace_file_arg)
 
 (* ---------------- bench ---------------- *)
 
@@ -607,29 +684,47 @@ let bench_time ?(quota_s = 0.5) ?(min_runs = 3) (thunk : unit -> unit) : float =
   done;
   (Sys.time () -. t0) *. 1e9 /. float_of_int !runs
 
-(* (label, interp ns/op, tiered ns/op) for one benchmark program. *)
-let bench_pair ~quota_s (label : string) (src : string) :
+(* (label, interp ns/op, tiered ns/op) for one benchmark program.  With
+   [~profile], each engine gets a guest profiler whose attribution
+   accumulates across the timing iterations ([Interp.reset] rewinds the
+   delta markers but keeps the books); the top-N tables go to stderr so
+   the ns/op lines on stdout stay log-greppable. *)
+let bench_pair ~quota_s ?(profile = false) (label : string) (src : string) :
     string * float * float =
   let m = Loader.load_program src in
-  let sti = Interp.create m in
+  let mkprof () = if profile then Some (Profile.create ()) else None in
+  let profi = mkprof () in
+  let sti = Interp.create ?profile:profi m in
   let interp_ns =
     bench_time ~quota_s (fun () ->
         Interp.reset sti;
         ignore (Interp.run sti))
   in
-  let stt = Interp.create ~tier:(Tier.controller ~threshold:0 ()) m in
+  let proft = mkprof () in
+  let stt =
+    Interp.create ~tier:(Tier.controller ~threshold:0 ()) ?profile:proft m
+  in
   let tiered_ns =
     bench_time ~quota_s (fun () ->
         Interp.reset stt;
         ignore (Interp.run stt))
   in
+  List.iter
+    (fun (engine, p) ->
+      match p with
+      | Some p ->
+        Printf.eprintf "%s (%s)\n%s" label engine (Profile.top_table p)
+      | None -> ())
+    [ ("managed interpreter", profi); ("closure-compiled tier", proft) ];
   (label, interp_ns, tiered_ns)
 
-let do_bench_run quota_s json_file =
+let do_bench_run quota_s profile json_file =
   let pairs =
     [
-      bench_pair ~quota_s "fig15 meteor" Benchprogs.meteor.Benchprogs.b_source;
-      bench_pair ~quota_s "whetstone" Benchprogs.whetstone.Benchprogs.b_source;
+      bench_pair ~quota_s ~profile "fig15 meteor"
+        Benchprogs.meteor.Benchprogs.b_source;
+      bench_pair ~quota_s ~profile "whetstone"
+        Benchprogs.whetstone.Benchprogs.b_source;
     ]
   in
   let rows =
@@ -731,9 +826,9 @@ let do_bench_compare old_file new_file =
     0
   end
 
-let do_bench quota_s json_file compare_files =
+let do_bench quota_s profile json_file compare_files =
   match compare_files with
-  | [] -> do_bench_run quota_s json_file
+  | [] -> do_bench_run quota_s profile json_file
   | [ old_file; new_file ] -> do_bench_compare old_file new_file
   | _ ->
     prerr_endline "bench: --compare takes exactly OLD.json NEW.json";
@@ -766,10 +861,21 @@ let bench_compare_arg =
            bench logs instead of timing, and exit nonzero when any \
            ns_per_op row regressed by more than 10%.")
 
+let bench_profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Print each benchmark's guest profile (top functions and hot \
+           blocks by managed steps) for both engines to stderr after \
+           timing.")
+
 let bench_cmd =
   let doc = "time the interpreter vs. the closure-compiled tier (Fig 15 unit)" in
   Cmd.v (Cmd.info "bench" ~doc)
-    Term.(const do_bench $ bench_quota_arg $ bench_json_arg $ bench_compare_arg)
+    Term.(
+      const do_bench $ bench_quota_arg $ bench_profile_arg $ bench_json_arg
+      $ bench_compare_arg)
 
 (* ---------------- obs-selftest ---------------- *)
 
@@ -825,6 +931,73 @@ let do_obs_selftest () =
     (List.exists
        (fun (n, _, _, _) -> n = "heap.alloc_size_bytes")
        sn.Metrics.sn_histograms);
+  (* Guest profiler smoke: folded stacks non-empty and the conservation
+     law — tree total and folded-line sum both equal the engine's final
+     step counter. *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  let psrc =
+    "int add(int a, int b) { return a + b; }\n\
+     int main(void) {\n\
+    \  int s = 0;\n\
+    \  for (int i = 0; i < 50; i++) s = add(s, i);\n\
+    \  printf(\"%d\\n\", s);\n\
+    \  return 0;\n\
+     }\n"
+  in
+  let prof = Profile.create () in
+  let pr = Interp.run (Interp.create ~profile:prof (Loader.load_program psrc)) in
+  check "profile: run finished" (pr.Interp.error = None && not pr.Interp.timed_out);
+  check "profile: tree total equals step counter"
+    (Profile.total_steps prof = pr.Interp.steps);
+  let folded = Profile.folded prof in
+  check "profile: folded output non-empty" (folded <> "");
+  check "profile: folded names the callee" (contains folded "main;add ");
+  let folded_sum =
+    String.split_on_char '\n' folded
+    |> List.fold_left
+         (fun acc line ->
+           match String.rindex_opt line ' ' with
+           | Some i -> (
+             match
+               int_of_string_opt
+                 (String.sub line (i + 1) (String.length line - i - 1))
+             with
+             | Some n -> acc + n
+             | None -> acc)
+           | None -> acc)
+         0
+  in
+  check "profile: folded stacks sum to step counter"
+    (folded_sum = pr.Interp.steps);
+  (* Flight recorder smoke: a forced-hot erroring run records tier-up
+     and deopt events, and the bug report embeds the ring. *)
+  Events.reset ();
+  let bsrc =
+    "int main(void) {\n\
+    \  int a[3];\n\
+    \  for (int i = 0; i <= 3; i++) a[i] = i;\n\
+    \  return a[0];\n\
+     }\n"
+  in
+  let br =
+    Interp.run
+      (Interp.create ~tier:(Tier.controller ~threshold:0 ())
+         (Loader.load_program bsrc))
+  in
+  check "events: managed error detected" (br.Interp.error <> None);
+  let ev_lines = Events.to_lines () in
+  check "events: ring non-empty" (ev_lines <> []);
+  check "events: tier-up recorded"
+    (List.exists (fun l -> contains l "tier-up") ev_lines);
+  check "events: deopt recorded"
+    (List.exists (fun l -> contains l "deopt") ev_lines);
+  (match br.Interp.report with
+  | Some rep -> check "events: bug report embeds ring" (rep.Bugreport.br_events <> [])
+  | None -> check "events: provenance report present" false);
   Metrics.enabled := false;
   match List.rev !failures with
   | [] ->

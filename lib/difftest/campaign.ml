@@ -49,6 +49,9 @@ type chunk_result = {
   cr_agree : int;
   cr_reject : int;
   cr_divergences : Difftest.divergence list;
+  cr_stats : Difftest.seed_stat list;
+      (** per-seed wall-clock and managed-step cost, ascending seed;
+          [[]] when read from a ledger written before stats existed *)
 }
 
 (* Wire messages.  The worker exits cleanly on request-pipe EOF. *)
@@ -97,7 +100,7 @@ let divergence_json (d : Difftest.divergence) : string =
   Printf.sprintf
     "{\"seed\": %d, \"mismatch\": \"%s\", \"kind\": \"%s\", \"loc\": \"%s\", \
      \"configs\": %d, \"source\": \"%s\", \"reduced\": %s, \"oracle_calls\": \
-     %d}"
+     %d%s}"
     d.Difftest.dv_seed
     (esc d.Difftest.dv_mismatch)
     (esc d.Difftest.dv_sig.Difftest.sg_kind)
@@ -108,13 +111,23 @@ let divergence_json (d : Difftest.divergence) : string =
     | None -> "null"
     | Some r -> "\"" ^ esc r ^ "\"")
     d.Difftest.dv_oracle_calls
+    (match d.Difftest.dv_events with
+    | [] -> ""
+    | evs ->
+      Printf.sprintf ", \"events\": [%s]"
+        (String.concat ", " (List.map (fun e -> "\"" ^ esc e ^ "\"") evs)))
+
+let seed_stat_json (s : Difftest.seed_stat) : string =
+  Printf.sprintf "[%d, %.6f, %d]" s.Difftest.ss_seed s.Difftest.ss_elapsed_s
+    s.Difftest.ss_steps
 
 let chunk_line (cr : chunk_result) : string =
   Printf.sprintf
     "{\"chunk_start\": %d, \"len\": %d, \"agree\": %d, \"rejects\": %d, \
-     \"divergences\": [%s]}"
+     \"divergences\": [%s], \"seed_stats\": [%s]}"
     cr.cr_start cr.cr_len cr.cr_agree cr.cr_reject
     (String.concat ", " (List.map divergence_json cr.cr_divergences))
+    (String.concat ", " (List.map seed_stat_json cr.cr_stats))
 
 (* JSON accessors over the Trace parser (shared with trace validation). *)
 let jstr fields k =
@@ -150,6 +163,14 @@ let divergence_of_json (j : Trace.json) : Difftest.divergence =
         | Some (Trace.Jstr s) -> Some s
         | _ -> None);
       dv_oracle_calls = jnum f "oracle_calls";
+      dv_events =
+        (* absent in ledgers written before the flight recorder *)
+        (match List.assoc_opt "events" f with
+        | Some (Trace.Jarr evs) ->
+          List.filter_map
+            (function Trace.Jstr s -> Some s | _ -> None)
+            evs
+        | _ -> []);
     }
   | _ -> raise (Ledger_error "divergence is not an object")
 
@@ -165,6 +186,23 @@ let chunk_result_of_json (j : Trace.json) : chunk_result =
         (match List.assoc_opt "divergences" f with
         | Some (Trace.Jarr ds) -> List.map divergence_of_json ds
         | _ -> raise (Ledger_error "missing divergences array"));
+      cr_stats =
+        (* absent in ledgers written before per-seed stats *)
+        (match List.assoc_opt "seed_stats" f with
+        | Some (Trace.Jarr ss) ->
+          List.filter_map
+            (function
+              | Trace.Jarr [ Trace.Jnum seed; Trace.Jnum el; Trace.Jnum st ]
+                ->
+                Some
+                  {
+                    Difftest.ss_seed = int_of_float seed;
+                    ss_elapsed_s = el;
+                    ss_steps = int_of_float st;
+                  }
+              | _ -> None)
+            ss
+        | _ -> []);
     }
   | _ -> raise (Ledger_error "chunk record is not an object")
 
@@ -259,14 +297,29 @@ let load_ledger ~(file : string) : header * chunk_result list * int =
     in
     (header, chunks, !append_at)
 
+(** The [n] costliest seeds by wall-clock across [crs], descending.
+    Chunks resumed from a pre-stats ledger carry no stats and simply
+    don't compete. *)
+let slowest_seeds ?(n = 10) (crs : chunk_result list) :
+    Difftest.seed_stat list =
+  List.concat_map (fun cr -> cr.cr_stats) crs
+  |> List.sort (fun a b ->
+         compare b.Difftest.ss_elapsed_s a.Difftest.ss_elapsed_s)
+  |> List.filteri (fun i _ -> i < n)
+
 (* ------------------------------------------------------------------ *)
 (* Worker processes                                                    *)
 (* ------------------------------------------------------------------ *)
 
 let run_chunk ~features ~shrink ~shrink_budget (ck : chunk) : chunk_result =
-  let agree = ref 0 and reject = ref 0 and divs = ref [] in
+  let agree = ref 0 and reject = ref 0 and divs = ref [] and stats = ref [] in
   for i = 0 to ck.ck_len - 1 do
-    match Difftest.run_seed ~features ~shrink ~shrink_budget (ck.ck_start + i) with
+    let r, stat =
+      Difftest.run_seed_timed ~features ~shrink ~shrink_budget
+        (ck.ck_start + i)
+    in
+    stats := stat :: !stats;
+    match r with
     | `Agree -> incr agree
     | `Reject _ -> incr reject
     | `Diverge d -> divs := d :: !divs
@@ -277,6 +330,7 @@ let run_chunk ~features ~shrink ~shrink_budget (ck : chunk) : chunk_result =
     cr_agree = !agree;
     cr_reject = !reject;
     cr_divergences = List.rev !divs;
+    cr_stats = List.rev !stats;
   }
 
 (* The worker: read a chunk request, run it, ship the result plus this
@@ -377,6 +431,7 @@ let drive ~(features : Cgen.features) ~(shrink : bool) ~(shrink_budget : int)
     ~(chaos : chunk -> bool) ~(seed_start : int) ~(seeds : int)
     ~(done_chunks : chunk_result list) : outcome =
   let t0 = Unix.gettimeofday () in
+  Trace.metadata ~pid:(Unix.getpid ()) ~name:"process_name" "campaign parent";
   let all = chunks_of ~seed_start ~seeds ~chunk_size in
   let completed : (int, chunk_result) Hashtbl.t =
     Hashtbl.create (List.length all)
@@ -489,9 +544,14 @@ let drive ~(features : Cgen.features) ~(shrink : bool) ~(shrink_budget : int)
             match slot with
             | (None | Some { w_alive = false; _ })
               when not (Queue.is_empty pending) ->
-              workers.(i)
-              <- Some
-                   (spawn ~features ~shrink ~shrink_budget ~others:workers ())
+              let w =
+                spawn ~features ~shrink ~shrink_budget ~others:workers ()
+              in
+              (* Perfetto track label: the forked pid reads as
+                 "worker N", not a bare number. *)
+              Trace.metadata ~pid:w.w_pid ~name:"process_name"
+                (Printf.sprintf "worker %d" i);
+              workers.(i) <- Some w
             | _ -> ())
           workers;
         Array.iter

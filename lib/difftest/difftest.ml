@@ -61,6 +61,11 @@ type divergence = {
   dv_source : string;
   dv_reduced : string option;
   dv_oracle_calls : int;  (** oracle calls spent shrinking *)
+  dv_events : string list;
+      (** the engine flight recorder's ring at detection time
+          ([Events.to_lines], oldest first): which tier-up / deopt /
+          cache decisions preceded the divergence.  Captured before
+          shrinking, which would flood the ring with reduction runs. *)
 }
 
 type report = {
@@ -83,12 +88,17 @@ let diverges (p : Cprog.program) : bool =
 let run_seed ?(features = Cgen.all_features) ?(shrink = false)
     ?(shrink_budget = 200) (seed : int) :
     [ `Agree | `Reject of string | `Diverge of divergence ] =
+  (* A fresh ring per seed keeps the recorded event trail deterministic
+     (a campaign worker and an in-process rerun of the same seed attach
+     identical [dv_events] to the divergence). *)
+  Events.reset ();
   let p = Cgen.generate ~features ~seed () in
   let src = Cprog.render p in
   match Oracle.check ~expected:(Cprog.expected_prefix p) src with
   | Oracle.Agree _ -> `Agree
   | Oracle.Reject why -> `Reject why
   | Oracle.Diverge { mismatch; observations } ->
+    let events = Events.to_lines () in
     let reduced, calls =
       if shrink then begin
         let r = Shrink.reduce ~test:diverges ~budget:shrink_budget p in
@@ -104,7 +114,32 @@ let run_seed ?(features = Cgen.all_features) ?(shrink = false)
         dv_source = src;
         dv_reduced = reduced;
         dv_oracle_calls = calls;
+        dv_events = events;
       }
+
+(** Per-seed cost record for the campaign ledger: wall-clock spent on
+    the seed (including shrinking) and the guest steps its managed
+    configurations executed.  What lets a [--resume] print a
+    slowest-seeds table without rerunning anything. *)
+type seed_stat = {
+  ss_seed : int;
+  ss_elapsed_s : float;
+  ss_steps : int;
+}
+
+(** [run_seed] plus its cost: wall time and the [Oracle.steps_total]
+    delta (shrink replays count toward the seed that needed them). *)
+let run_seed_timed ?features ?shrink ?shrink_budget (seed : int) :
+    [ `Agree | `Reject of string | `Diverge of divergence ] * seed_stat =
+  let t0 = Unix.gettimeofday () in
+  let s0 = Oracle.steps_total () in
+  let r = run_seed ?features ?shrink ?shrink_budget seed in
+  ( r,
+    {
+      ss_seed = seed;
+      ss_elapsed_s = Unix.gettimeofday () -. t0;
+      ss_steps = Oracle.steps_total () - s0;
+    } )
 
 (* Observability: campaign counters plus a trace instant every
    [progress_every] seeds, so a long campaign shows up as a heartbeat in

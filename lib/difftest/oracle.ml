@@ -62,6 +62,13 @@ let configs : config list =
    step budget keeps a pathological case from stalling a whole run. *)
 let step_limit = 10_000_000
 
+(* Guest-step accounting for the campaign's per-seed cost ledger: every
+   managed configuration's final [steps] adds to this process-wide
+   total; callers read the delta around a [check] (native configurations
+   execute no managed steps and contribute nothing). *)
+let steps_counter = ref 0
+let steps_total () = !steps_counter
+
 let with_fe_fold flag f =
   let saved = !Lower.fold_immediates in
   Lower.fold_immediates := flag;
@@ -166,6 +173,7 @@ let run_config (fe : frontend) (c : config) : observation =
         with
         | Error key -> (key, "", None)
         | Ok r ->
+          steps_counter := !steps_counter + r.Interp.steps;
           let key =
             if r.Interp.timed_out then "timeout"
             else

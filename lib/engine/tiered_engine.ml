@@ -135,13 +135,20 @@ end = struct
 
   let states t = List.length t.entries
 
+  (* Modules carry no name; a coarse shape string is enough to tell
+     cache traffic apart in the flight recorder. *)
+  let cache_key (m : Irmod.t) : string =
+    Printf.sprintf "module[%d funcs]" (List.length m.Irmod.funcs)
+
   let state_for (t : t) (m : Irmod.t) ~(input : string) : Interp.state =
     match List.partition (fun (m', _) -> m' == m) t.entries with
     | [ ((_, st) as hit) ], rest ->
       t.entries <- hit :: rest;
+      Events.record (Events.Cache_hit { ev_key = cache_key m });
       Interp.reset ~input st;
       st
     | _ ->
+      Events.record (Events.Cache_miss { ev_key = cache_key m });
       let tier =
         match t.tier with
         | `Interp -> None

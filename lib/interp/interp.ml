@@ -318,6 +318,11 @@ and state = {
   opstats : opstats;
   seed : int;                   (** rng seed, kept for deterministic rerun *)
   tier : tierctl option;        (** tier controller; [None]: interp only *)
+  prof : Profile.t option;
+      (** guest profiler handle; [None] (the default) keeps the hot
+          paths at one predictable branch per block/call.  Shared with
+          compiled bodies: the closure compiler captures it at compile
+          time, so both tiers attribute into the same books. *)
   detect_uninit : bool;         (** uninitialized-read detection, kept so
                                     [reset] can restore the global flag *)
   mutable snapshot : Mobject.checkpoint option;
@@ -1101,6 +1106,16 @@ let rec call_function st (pf : pfunc) (args : Mval.t array)
   | Some ctl -> begin
     match pf.pf_tier with
     | Tier_interp when ctl.tc_hot pf.pf_counters ->
+      Events.record
+        (Events.Tier_up
+           {
+             ev_fn = pf.pf_name;
+             ev_ops =
+               pf.pf_counters.c_ops + pf.pf_counters.c_fp
+               + pf.pf_counters.c_mem;
+             ev_invocations = pf.pf_counters.c_invocations;
+             ev_osr = false;
+           });
       pf.pf_tier <- Tier_compiled (ctl.tc_compile st pf)
     | Tier_interp | Tier_compiled _ | Tier_deopt -> ()
   end
@@ -1135,12 +1150,22 @@ let rec call_function st (pf : pfunc) (args : Mval.t array)
       fr
   in
   st.frames <- fr :: st.frames;
+  (* Guest-profiler call event.  The call instruction's own charge
+     already landed on the caller (the [Pcall] site charges before
+     dispatch, in both tiers), so everything from here to the matching
+     [leave] is the callee's. *)
+  (match st.prof with
+  | Some p -> Profile.enter p ~steps:st.steps pf.pf_name
+  | None -> ());
   let result =
     match pf.pf_tier with
     | Tier_compiled c -> exec_compiled st pf fr c.cb_entry
     | Tier_interp | Tier_deopt ->
       exec_block st fr pf.pf_blocks.(0) pf.pf_entry_copies
   in
+  (match st.prof with
+  | Some p -> Profile.leave p ~steps:st.steps
+  | None -> ());
   (match st.trace with
   | Some buf ->
     Buffer.add_string buf
@@ -1172,9 +1197,16 @@ let rec call_function st (pf : pfunc) (args : Mval.t array)
 and exec_compiled st (pf : pfunc) (fr : frame) (body : compiled_body) :
     Mval.t option =
   try body st fr
-  with Merror.Error _ as e ->
+  with Merror.Error (cat, _) as e ->
     pf.pf_tier <- Tier_deopt;
     Metrics.incr (Metrics.counter "jit.deopts");
+    Events.record
+      (Events.Deopt
+         {
+           ev_fn = pf.pf_name;
+           ev_kind = Merror.category_name cat;
+           ev_osr = false;
+         });
     Trace.instant ~args:[ ("function", pf.pf_name); ("tier", "interp") ]
       "jit-deopt";
     raise e
@@ -1212,6 +1244,16 @@ and exec_block st (fr : frame) (blk : pblock) (copies : phicopy) :
     let pf = fr.fr_func in
     (match pf.pf_tier with
     | Tier_interp when ctl.tc_hot pf.pf_counters ->
+      Events.record
+        (Events.Tier_up
+           {
+             ev_fn = pf.pf_name;
+             ev_ops =
+               pf.pf_counters.c_ops + pf.pf_counters.c_fp
+               + pf.pf_counters.c_mem;
+             ev_invocations = pf.pf_counters.c_invocations;
+             ev_osr = true;
+           });
       pf.pf_tier <- Tier_compiled (ctl.tc_compile st pf)
     | Tier_interp | Tier_compiled _ | Tier_deopt -> ());
     (match pf.pf_tier with
@@ -1226,15 +1268,34 @@ and exec_block st (fr : frame) (blk : pblock) (copies : phicopy) :
 and exec_compiled_osr st (pf : pfunc) (fr : frame) (osr : osr_body)
     (idx : int) : Mval.t option =
   Metrics.incr (Metrics.counter "jit.osr_entries");
+  Events.record
+    (Events.Osr_enter
+       { ev_fn = pf.pf_name; ev_block = pf.pf_blocks.(idx).pb_label });
   try osr st fr idx
-  with Merror.Error _ as e ->
+  with Merror.Error (cat, _) as e ->
     pf.pf_tier <- Tier_deopt;
     Metrics.incr (Metrics.counter "jit.deopts");
+    Events.record
+      (Events.Deopt
+         {
+           ev_fn = pf.pf_name;
+           ev_kind = Merror.category_name cat;
+           ev_osr = true;
+         });
     Trace.instant ~args:[ ("function", pf.pf_name); ("tier", "interp") ]
       "jit-deopt";
     raise e
 
 and exec_instrs st (fr : frame) (blk : pblock) : Mval.t option =
+  (* Guest-profiler block event.  Placed after the edge's phi copies
+     (charged by [exec_block] above, credited to the predecessor — the
+     closure compiler runs copies before the target block's closure,
+     so both tiers split the edge cost identically). *)
+  (match st.prof with
+  | Some p ->
+    Profile.note_block p ~steps:st.steps
+      (Profile.block_stat p ~func:fr.fr_func.pf_name ~label:blk.pb_label)
+  | None -> ());
   let instrs = blk.pb_instrs in
   let n = Array.length instrs in
   let rec run i =
@@ -1419,8 +1480,8 @@ let detail_of_category (cat : Merror.category) : string list =
 
 let create ?(step_limit = 500_000_000) ?(depth_limit = 4096)
     ?(mementos = true) ?(detect_uninit = false) ?(trace = false)
-    ?(input = "") ?(seed = 42) ?tier ?(provenance = false) (m : Irmod.t) :
-    state =
+    ?(input = "") ?(seed = 42) ?tier ?profile:prof ?(provenance = false)
+    (m : Irmod.t) : state =
   Mobject.reset ();
   Mobject.track_uninitialized := detect_uninit;
   let profile = fresh_profile () in
@@ -1445,6 +1506,7 @@ let create ?(step_limit = 500_000_000) ?(depth_limit = 4096)
       opstats = fresh_opstats ();
       seed;
       tier;
+      prof;
       detect_uninit;
       snapshot = None;
       provenance;
@@ -1533,6 +1595,9 @@ let reset ?input (st : state) : unit =
   os.os_ic_hit <- 0;
   os.os_ic_miss <- 0;
   (match st.trace with Some b -> Buffer.clear b | None -> ());
+  (* Step counter rewound to zero: re-arm the profiler's delta markers
+     (accumulated attribution survives — bench iterations sum). *)
+  (match st.prof with Some p -> Profile.rewind p | None -> ());
   Prng.reseed st.rng st.seed
 
 (** Build the [main] argument objects: an argv array of [MainArgs]
@@ -1580,6 +1645,10 @@ let report_of_error st (cat : Merror.category) (msg : string) : Bugreport.t =
             bf_col = fr.fr_col;
           })
         st.frames;
+    (* The flight recorder's ring at detection time.  During the
+       deoptimizing provenance replay recording is masked, so these are
+       the decisions of the run that found the bug, not the replay's. *)
+    br_events = Events.to_lines ();
   }
 
 let flush_metrics st =
@@ -1646,6 +1715,15 @@ let rec run ?(argv = [ "program" ]) (st : state) : run_result =
         ([| vargc; vargv |], [| Irtype.I32; Irtype.Ptr |])
       else ([||], [||])
     in
+    let finish ?code ?error ?report ~timed_out () =
+      (* Close the profiler's books with the final counter value even
+         when an error or timeout left the guest stack deep — the
+         conservation law (folded sums = steps) holds on every path. *)
+      (match st.prof with
+      | Some p -> Profile.finalize p ~steps:st.steps
+      | None -> ());
+      finish ?code ?error ?report ~timed_out ()
+    in
     try
       let r =
         Trace.span "execute" (fun () -> call_function st main args scalars)
@@ -1657,6 +1735,9 @@ let rec run ?(argv = [ "program" ]) (st : state) : run_result =
     with
     | Exit_program code -> finish ~code ~timed_out:false ()
     | Merror.Error (cat, msg) ->
+      Events.record
+        (Events.Error_raised
+           { ev_kind = Merror.category_name cat; ev_msg = msg });
       let report =
         if st.provenance then report_of_error st cat msg
         else
@@ -1684,6 +1765,11 @@ and rerun_for_report (st : state) (argv : string list)
   Fun.protect
     ~finally:(fun () -> Metrics.enabled := saved)
     (fun () ->
+      (* Flight-recorder mask: the replay re-raises the same managed
+         error (and never tiers up), so without the mask the ring would
+         gain a duplicate error event and the report would describe the
+         replay instead of the original run. *)
+      Events.mask @@ fun () ->
       try
         (* No [~tier]: the replay always runs in the marker-carrying
            interpreter, so the report is the same whether the original

@@ -219,6 +219,10 @@ and state = {
   opstats : opstats;
   seed : int;
   tier : tierctl option;
+  prof : Profile.t option;
+      (** guest profiler handle; [None] (the default) keeps the hot
+          paths branch-free.  Shared with compiled bodies, which capture
+          it at compile time. *)
   detect_uninit : bool;
   mutable snapshot : Mobject.checkpoint option;
       (** object-registry state right after [create]; used by [reset] *)
@@ -299,6 +303,7 @@ val create :
   ?input:string ->
   ?seed:int ->
   ?tier:tierctl ->
+  ?profile:Profile.t ->
   ?provenance:bool ->
   Irmod.t ->
   state
@@ -306,6 +311,11 @@ val create :
 (** [tier] (default none) plugs in the tier controller: hot functions
     are swapped to their closure-compiled body at the next call and
     deoptimize back to the interpreter on any managed error.
+
+    [profile] (default none) attaches a guest profiler: every call,
+    return and block entry flushes the step delta into a per-function /
+    per-block attribution tree (see [Profile]).  Both tiers feed the same
+    handle, and the attribution is pinned to agree between them.
 
     [provenance] (default false) keeps source-location markers in the
     prepared code so the current line is tracked eagerly.  The default

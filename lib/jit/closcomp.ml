@@ -456,6 +456,14 @@ let plan_inlines (st0 : state) (pf : pfunc) :
                   || (hot && size <= Costmodel.inline_max_callee_instrs))
                   && size <= !budget
                 then begin
+                  Events.record
+                    (Events.Inline_accept
+                       {
+                         ev_caller = pf.pf_name;
+                         ev_callee = callee.pf_name;
+                         ev_size = size;
+                         ev_budget = !budget;
+                       });
                   budget := !budget - size;
                   let base = !next_base in
                   next_base := base + callee.pf_nregs;
@@ -468,6 +476,22 @@ let plan_inlines (st0 : state) (pf : pfunc) :
                         Array.map (fun r -> r + base) callee.pf_param_regs;
                     }
                 end
+                else
+                  (* An inlinable-shaped site the cost model turned
+                     down: record which number said no. *)
+                  Events.record
+                    (Events.Inline_reject
+                       {
+                         ev_caller = pf.pf_name;
+                         ev_callee = callee.pf_name;
+                         ev_size = size;
+                         ev_budget = !budget;
+                         ev_reason =
+                           (if size > !budget then "over caller budget"
+                            else if hot then
+                              "hot but over inline_max_callee_instrs"
+                            else "cold and over inline_always_instrs");
+                       })
               | _ -> ()
             end
             | _ -> ())
@@ -949,6 +973,7 @@ let compile (st0 : state) (pf : pfunc) : compiled =
   let os = st0.opstats in
   let limit = st0.step_limit in
   let heap = st0.heap in
+  let prof = st0.prof in
   if Array.length pf.pf_blocks = 0 then
     {
       cb_entry =
@@ -1283,41 +1308,89 @@ let compile (st0 : state) (pf : pfunc) : compiled =
             if st.steps > limit then raise Step_limit_exceeded;
             if obs then os.os_term <- os.os_term + 1;
             None
-        | Ret_inline (rres, next), Some v ->
+        | Ret_inline (rres, next), Some v -> (
+          (* Guest-profiler leave: the ret charge lands before [leave]
+             flushes, so it is attributed to the callee exactly as in
+             the interpreter (whose next flush after the ret charge is
+             the [Profile.leave] in [call_function]).  [prof] is fixed
+             at compile time, so the unprofiled closures keep their
+             exact shape — no per-return branch. *)
           let g = getter v in
-          if rres >= 0 then fun st fr ->
-            st.steps <- st.steps + 1;
-            ctrs.c_ops <- ctrs.c_ops + 1;
-            if st.steps > limit then raise Step_limit_exceeded;
-            if obs then os.os_term <- os.os_term + 1;
-            let res = g fr in
-            st.depth <- st.depth - 1;
-            fr.fr_regs.(rres) <- res;
-            next st fr
-          else fun st fr ->
-            st.steps <- st.steps + 1;
-            ctrs.c_ops <- ctrs.c_ops + 1;
-            if st.steps > limit then raise Step_limit_exceeded;
-            if obs then os.os_term <- os.os_term + 1;
-            ignore (g fr);
-            st.depth <- st.depth - 1;
-            next st fr
-        | Ret_inline (rres, next), None ->
-          if rres >= 0 then fun st fr ->
-            st.steps <- st.steps + 1;
-            ctrs.c_ops <- ctrs.c_ops + 1;
-            if st.steps > limit then raise Step_limit_exceeded;
-            if obs then os.os_term <- os.os_term + 1;
-            st.depth <- st.depth - 1;
-            fr.fr_regs.(rres) <- Mval.zero;
-            next st fr
-          else fun st fr ->
-            st.steps <- st.steps + 1;
-            ctrs.c_ops <- ctrs.c_ops + 1;
-            if st.steps > limit then raise Step_limit_exceeded;
-            if obs then os.os_term <- os.os_term + 1;
-            st.depth <- st.depth - 1;
-            next st fr
+          match prof with
+          | None ->
+            if rres >= 0 then fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_term <- os.os_term + 1;
+              let res = g fr in
+              st.depth <- st.depth - 1;
+              fr.fr_regs.(rres) <- res;
+              next st fr
+            else fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_term <- os.os_term + 1;
+              ignore (g fr);
+              st.depth <- st.depth - 1;
+              next st fr
+          | Some p ->
+            if rres >= 0 then fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_term <- os.os_term + 1;
+              Profile.leave p ~steps:st.steps;
+              let res = g fr in
+              st.depth <- st.depth - 1;
+              fr.fr_regs.(rres) <- res;
+              next st fr
+            else fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_term <- os.os_term + 1;
+              Profile.leave p ~steps:st.steps;
+              ignore (g fr);
+              st.depth <- st.depth - 1;
+              next st fr)
+        | Ret_inline (rres, next), None -> (
+          match prof with
+          | None ->
+            if rres >= 0 then fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_term <- os.os_term + 1;
+              st.depth <- st.depth - 1;
+              fr.fr_regs.(rres) <- Mval.zero;
+              next st fr
+            else fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_term <- os.os_term + 1;
+              st.depth <- st.depth - 1;
+              next st fr
+          | Some p ->
+            if rres >= 0 then fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_term <- os.os_term + 1;
+              Profile.leave p ~steps:st.steps;
+              st.depth <- st.depth - 1;
+              fr.fr_regs.(rres) <- Mval.zero;
+              next st fr
+            else fun st fr ->
+              st.steps <- st.steps + 1;
+              ctrs.c_ops <- ctrs.c_ops + 1;
+              if st.steps > limit then raise Step_limit_exceeded;
+              if obs then os.os_term <- os.os_term + 1;
+              Profile.leave p ~steps:st.steps;
+              st.depth <- st.depth - 1;
+              next st fr)
       in
       let compile_term (t : pterm) : cont =
         match t with
@@ -2527,6 +2600,19 @@ let compile (st0 : state) (pf : pfunc) : compiled =
                 (Ret_inline (r, next))
                 Pc_none
             in
+            (* Guest-profiler enter: fires after the call charge (so the
+               call instruction is attributed to the caller, as in
+               [call_function]) and before any callee charge.  Wrapping
+               [centry] keeps the non-profiling closure untouched. *)
+            let centry =
+              match prof with
+              | None -> centry
+              | Some p ->
+                let cname = callee_pf.pf_name in
+                fun st fr ->
+                  Profile.enter p ~steps:st.steps cname;
+                  centry st fr
+            in
             let na = Array.length pargs in
             let gs = Array.map getter pargs in
             let params = site.is_params in
@@ -2807,6 +2893,26 @@ let compile (st0 : state) (pf : pfunc) : compiled =
       for j = 0 to nblocks - 1 do
         cells.(j) := compile_block iblocks.(j)
       done;
+      (* Guest-profiler block notes: when profiling, wrap every block
+         cell so entering the block flushes the step delta into the
+         previous block and switches attribution — the same point the
+         interpreter notes in [exec_instrs], i.e. after the edge's phi
+         copies (credited to the predecessor, [compile_jump] runs them
+         before dereferencing the cell).  When not profiling the cells
+         stay untouched: zero cost. *)
+      (match prof with
+      | None -> ()
+      | Some p ->
+        for j = 0 to nblocks - 1 do
+          let inner = !(cells.(j)) in
+          let bs =
+            Profile.block_stat p ~func:ipf.pf_name ~label:iblocks.(j).pb_label
+          in
+          cells.(j) :=
+            fun st fr ->
+              Profile.note_block p ~steps:st.steps bs;
+              inner st fr
+        done);
       let entry =
         match entry_copies with
         | Pc_none ->

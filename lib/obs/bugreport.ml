@@ -24,6 +24,10 @@ type t = {
   br_detail : string list;
       (** access offset vs object bounds, storage class, ... *)
   br_stack : frame list;  (** innermost first *)
+  br_events : string list;
+      (** the engine flight recorder's ring at detection time
+          ([Events.to_lines]), oldest first: the last-N tier-up / deopt
+          / inline / cache decisions that led to this bug *)
 }
 
 let frame_loc (f : frame) : string =
@@ -49,4 +53,10 @@ let render (r : t) : string =
       Buffer.add_string b
         (Printf.sprintf "    #%d %s %s\n" i f.bf_func (frame_loc f)))
     r.br_stack;
+  if r.br_events <> [] then begin
+    Buffer.add_string b "  recent engine events:\n";
+    List.iter
+      (fun line -> Buffer.add_string b ("    " ^ line ^ "\n"))
+      r.br_events
+  end;
   Buffer.contents b

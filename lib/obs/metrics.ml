@@ -143,6 +143,44 @@ let float_str v =
   if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%g" v
 
+(** JSON-safe float rendering.  JSON has no literal for NaN or the
+    infinities, and [float_str] happily emits "nan"/"inf" (a gauge set
+    from a 0/0 rate, a histogram sum that overflowed), which no parser
+    accepts.  Non-finite values render as [null]; finite ones defer to
+    [float_str]. *)
+let json_float v =
+  match Float.classify_float v with
+  | Float.FP_nan | Float.FP_infinite -> "null"
+  | _ -> float_str v
+
+(** Estimate the [q]-quantile (0 <= q <= 1) of a log2-bucketed
+    histogram by linear interpolation inside the bucket holding the
+    target rank: bucket 0 spans [0, 1), bucket i spans [2^(i-1), 2^i).
+    Coarse by construction (the bucket bounds are exact, positions
+    inside a bucket are assumed uniform), but enough to read a latency
+    histogram without a plotting step. *)
+let quantile ~(count : int) (bs : int array) (q : float) : float =
+  if count <= 0 then 0.0
+  else begin
+    let target = q *. float_of_int count in
+    let cum = ref 0.0 and result = ref 0.0 and found = ref false in
+    Array.iteri
+      (fun i v ->
+        if (not !found) && v > 0 then begin
+          let c = float_of_int v in
+          if !cum +. c >= target then begin
+            let lo = if i = 0 then 0.0 else Float.pow 2.0 (float_of_int (i - 1)) in
+            let hi = Float.pow 2.0 (float_of_int i) in
+            let frac = Float.max 0.0 (Float.min 1.0 ((target -. !cum) /. c)) in
+            result := lo +. ((hi -. lo) *. frac);
+            found := true
+          end;
+          cum := !cum +. c
+        end)
+      bs;
+    !result
+  end
+
 let to_text () : string =
   let s = snapshot () in
   let b = Buffer.create 1024 in
@@ -163,7 +201,11 @@ let to_text () : string =
       (fun (n, count, sum, bs) ->
         let mean = if count = 0 then 0.0 else sum /. float_of_int count in
         Buffer.add_string b
-          (Printf.sprintf "  %-44s count=%d mean=%s\n" n count (float_str mean));
+          (Printf.sprintf "  %-44s count=%d mean=%s p50=%s p90=%s p99=%s\n" n
+             count (float_str mean)
+             (float_str (quantile ~count bs 0.50))
+             (float_str (quantile ~count bs 0.90))
+             (float_str (quantile ~count bs 0.99)));
         Array.iteri
           (fun i v ->
             if v > 0 then
@@ -202,15 +244,19 @@ let to_json () : string =
   List.iteri
     (fun i (n, v) ->
       if i > 0 then Buffer.add_char b ',';
-      Buffer.add_string b (Printf.sprintf "\"%s\":%s" (json_escape n) (float_str v)))
+      Buffer.add_string b (Printf.sprintf "\"%s\":%s" (json_escape n) (json_float v)))
     s.sn_gauges;
   Buffer.add_string b "},\"histograms\":{";
   List.iteri
     (fun i (n, count, sum, bs) ->
       if i > 0 then Buffer.add_char b ',';
       Buffer.add_string b
-        (Printf.sprintf "\"%s\":{\"count\":%d,\"sum\":%s,\"buckets\":[%s]}"
-           (json_escape n) count (float_str sum)
+        (Printf.sprintf
+           "\"%s\":{\"count\":%d,\"sum\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s,\"buckets\":[%s]}"
+           (json_escape n) count (json_float sum)
+           (json_float (quantile ~count bs 0.50))
+           (json_float (quantile ~count bs 0.90))
+           (json_float (quantile ~count bs 0.99))
            (String.concat "," (List.map string_of_int (Array.to_list bs)))))
     s.sn_histograms;
   Buffer.add_string b "}}";

@@ -1,0 +1,321 @@
+(** The guest profiler: exact per-function and per-block attribution of
+    managed steps (and wall time) for the C program under execution.
+
+    The engine already pays for one precise clock — every executed
+    instruction bumps [st.steps] at a charge site, in both the
+    interpreter and the closure-compiled tier.  The profiler piggybacks
+    on it with *delta attribution*: instead of touching the profile per
+    instruction, the engine notifies it only at control events (function
+    enter/leave, basic-block entry), and each notification flushes
+    [steps - last_steps] into the node for the current guest stack and
+    into the current block's stat.  Between two notifications every
+    charged step belongs to exactly one (stack, block) pair, so the
+    books balance to the step counter *exactly*:
+
+      sum over folded stacks of self-steps = [st.steps]
+
+    — the conservation law pinned by test_obs/test_tier.  Wall time is
+    sampled (gettimeofday) only at function enter/leave, never at block
+    granularity, keeping the per-block hook a handful of integer ops.
+
+    The same [t] is shared by tier-1 and tier-2: the interpreter calls
+    [enter]/[leave]/[note_block] from [call_function]/[exec_instrs], and
+    the closure compiler captures the handle at compile time, wrapping
+    each block closure and each inlined call with the same hooks — so
+    per-function attribution is identical whichever tier executed the
+    code (pinned by test_tier). *)
+
+type blockstat = {
+  bs_func : string;
+  bs_label : string;
+  mutable bs_steps : int;
+}
+
+(** One node per distinct guest call stack ([pn_name] is the innermost
+    frame; the path to the root spells the stack). *)
+type node = {
+  pn_name : string;
+  pn_children : (string, node) Hashtbl.t;
+  mutable pn_self_steps : int;  (** steps charged with this exact stack *)
+  mutable pn_self_s : float;  (** wall seconds, same attribution *)
+  mutable pn_calls : int;
+}
+
+type frame = { fr_node : node; fr_saved_block : blockstat option }
+
+type t = {
+  pr_root : node;
+  mutable pr_stack : frame list;  (** enclosing frames; current is [pr_cur] *)
+  mutable pr_cur : node;
+  mutable pr_cur_block : blockstat option;
+  mutable pr_last_steps : int;  (** step counter at the last flush *)
+  mutable pr_last_s : float;  (** wall clock at the last time flush *)
+  pr_blocks : (string, blockstat) Hashtbl.t;  (** key: "func:label" *)
+}
+
+let fresh_node name =
+  {
+    pn_name = name;
+    pn_children = Hashtbl.create 4;
+    pn_self_steps = 0;
+    pn_self_s = 0.0;
+    pn_calls = 0;
+  }
+
+(** Steps charged before [main] (global initializers) or between guest
+    frames land on the root node under this name. *)
+let root_name = "(engine)"
+
+let create () : t =
+  let root = fresh_node root_name in
+  {
+    pr_root = root;
+    pr_stack = [];
+    pr_cur = root;
+    pr_cur_block = None;
+    pr_last_steps = 0;
+    pr_last_s = Unix.gettimeofday ();
+    pr_blocks = Hashtbl.create 64;
+  }
+
+(* Flush the steps accumulated since the last notification into the
+   current stack node and the current block. *)
+let flush_steps (p : t) ~(steps : int) : unit =
+  let d = steps - p.pr_last_steps in
+  if d <> 0 then begin
+    p.pr_cur.pn_self_steps <- p.pr_cur.pn_self_steps + d;
+    (match p.pr_cur_block with
+    | Some b -> b.bs_steps <- b.bs_steps + d
+    | None -> ());
+    p.pr_last_steps <- steps
+  end
+
+let flush_time (p : t) : unit =
+  let now = Unix.gettimeofday () in
+  p.pr_cur.pn_self_s <- p.pr_cur.pn_self_s +. (now -. p.pr_last_s);
+  p.pr_last_s <- now
+
+(** Guest call: push [name] onto the profile stack.  [steps] is the
+    engine step counter at the call (the call instruction's own charge
+    is attributed to the caller, matching both tiers' charge order). *)
+let enter (p : t) ~(steps : int) (name : string) : unit =
+  flush_steps p ~steps;
+  flush_time p;
+  let child =
+    match Hashtbl.find_opt p.pr_cur.pn_children name with
+    | Some n -> n
+    | None ->
+      let n = fresh_node name in
+      Hashtbl.replace p.pr_cur.pn_children name n;
+      n
+  in
+  child.pn_calls <- child.pn_calls + 1;
+  p.pr_stack <- { fr_node = p.pr_cur; fr_saved_block = p.pr_cur_block } :: p.pr_stack;
+  p.pr_cur <- child;
+  (* No steps are charged between a call and its entry block's note, so
+     clearing the block here loses nothing from the block books. *)
+  p.pr_cur_block <- None
+
+(** Guest return: pop one frame, restoring the caller's current block
+    (the code after the call keeps charging the caller's block). *)
+let leave (p : t) ~(steps : int) : unit =
+  flush_steps p ~steps;
+  flush_time p;
+  match p.pr_stack with
+  | fr :: rest ->
+    p.pr_cur <- fr.fr_node;
+    p.pr_cur_block <- fr.fr_saved_block;
+    p.pr_stack <- rest
+  | [] -> ()
+
+(** Find-or-create the stat for block [label] of [func].  Resolved once
+    per block at closure-compile time (tier-2) or per block execution
+    (tier-1); [note_block] is the per-entry hot hook. *)
+let block_stat (p : t) ~(func : string) ~(label : string) : blockstat =
+  let key = func ^ ":" ^ label in
+  match Hashtbl.find_opt p.pr_blocks key with
+  | Some b -> b
+  | None ->
+    let b = { bs_func = func; bs_label = label; bs_steps = 0 } in
+    Hashtbl.replace p.pr_blocks key b;
+    b
+
+(** Basic-block entry: steps since the last event belong to the block we
+    are leaving; subsequent charges (including the edge's phi copies
+    already charged by the predecessor before the jump) go to [bs]. *)
+let note_block (p : t) ~(steps : int) (bs : blockstat) : unit =
+  flush_steps p ~steps;
+  p.pr_cur_block <- Some bs
+
+(** End of run (normal exit, managed error, or step-limit timeout):
+    flush the tail and unwind to the root so the books close with the
+    final counter value even when the guest stack never returned. *)
+let finalize (p : t) ~(steps : int) : unit =
+  flush_steps p ~steps;
+  flush_time p;
+  p.pr_stack <- [];
+  p.pr_cur <- p.pr_root;
+  p.pr_cur_block <- None
+
+(** [Interp.reset] rewinds the step counter to zero for a fresh run on
+    the same state; re-arm the deltas without discarding what previous
+    runs accumulated (bench iterations sum across runs). *)
+let rewind (p : t) : unit =
+  p.pr_stack <- [];
+  p.pr_cur <- p.pr_root;
+  p.pr_cur_block <- None;
+  p.pr_last_steps <- 0;
+  p.pr_last_s <- Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* Views                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic child order for rendering. *)
+let children_sorted (n : node) : node list =
+  Hashtbl.fold (fun _ c acc -> c :: acc) n.pn_children []
+  |> List.sort (fun a b -> compare a.pn_name b.pn_name)
+
+(** Conservation check: total self-steps across every stack, root
+    included.  Equals the engine's final step counter after
+    [finalize]. *)
+let total_steps (p : t) : int =
+  let rec go n =
+    Hashtbl.fold (fun _ c acc -> acc + go c) n.pn_children n.pn_self_steps
+  in
+  go p.pr_root
+
+(** Total steps attributed at block granularity (excludes charges made
+    with no current block, e.g. global initializers and call/return
+    glue attributed only at function level). *)
+let total_block_steps (p : t) : int =
+  Hashtbl.fold (fun _ b acc -> acc + b.bs_steps) p.pr_blocks 0
+
+(** Flamegraph-compatible folded stacks: one [a;b;c N] line per stack
+    with nonzero self-steps, feedable straight into [flamegraph.pl] or
+    speedscope.  The root's own line (engine glue outside any guest
+    frame) renders as [(engine) N]. *)
+let folded (p : t) : string =
+  let b = Buffer.create 1024 in
+  let rec go path n =
+    let path = if path = "" then n.pn_name else path ^ ";" ^ n.pn_name in
+    if n.pn_self_steps > 0 then
+      Buffer.add_string b (Printf.sprintf "%s %d\n" path n.pn_self_steps);
+    List.iter (go path) (children_sorted n)
+  in
+  go "" p.pr_root;
+  Buffer.contents b
+
+(* Per-function aggregation across all stacks. *)
+type func_stat = {
+  fs_name : string;
+  fs_steps : int;
+  fs_s : float;
+  fs_calls : int;
+}
+
+let by_function (p : t) : func_stat list =
+  let tbl : (string, int * float * int) Hashtbl.t = Hashtbl.create 32 in
+  let rec go n =
+    let s, t, c =
+      match Hashtbl.find_opt tbl n.pn_name with
+      | Some (s, t, c) -> (s, t, c)
+      | None -> (0, 0.0, 0)
+    in
+    Hashtbl.replace tbl n.pn_name
+      (s + n.pn_self_steps, t +. n.pn_self_s, c + n.pn_calls);
+    Hashtbl.iter (fun _ c -> go c) n.pn_children
+  in
+  go p.pr_root;
+  Hashtbl.fold
+    (fun name (s, t, c) acc ->
+      { fs_name = name; fs_steps = s; fs_s = t; fs_calls = c } :: acc)
+    tbl []
+  |> List.sort (fun a b ->
+         match compare b.fs_steps a.fs_steps with
+         | 0 -> compare a.fs_name b.fs_name
+         | c -> c)
+
+(** Human-readable top-N table: self steps, share, calls, self wall
+    time per guest function, plus the hottest basic blocks. *)
+let top_table ?(n = 10) (p : t) : string =
+  let total = total_steps p in
+  let total_f = float_of_int (max 1 total) in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "guest profile: %d steps total\n" total);
+  Buffer.add_string b
+    (Printf.sprintf "  %-28s %14s %6s %10s %10s\n" "function" "self steps"
+       "%" "calls" "self ms");
+  List.iteri
+    (fun i fs ->
+      if i < n && fs.fs_steps > 0 then
+        Buffer.add_string b
+          (Printf.sprintf "  %-28s %14d %5.1f%% %10d %10.2f\n" fs.fs_name
+             fs.fs_steps
+             (100.0 *. float_of_int fs.fs_steps /. total_f)
+             fs.fs_calls (fs.fs_s *. 1e3)))
+    (by_function p);
+  let blocks =
+    Hashtbl.fold (fun _ bs acc -> bs :: acc) p.pr_blocks []
+    |> List.filter (fun bs -> bs.bs_steps > 0)
+    |> List.sort (fun a b ->
+           match compare b.bs_steps a.bs_steps with
+           | 0 -> compare (a.bs_func, a.bs_label) (b.bs_func, b.bs_label)
+           | c -> c)
+  in
+  if blocks <> [] then begin
+    Buffer.add_string b
+      (Printf.sprintf "  %-28s %14s %6s\n" "hot blocks" "self steps" "%");
+    List.iteri
+      (fun i bs ->
+        if i < n then
+          Buffer.add_string b
+            (Printf.sprintf "  %-28s %14d %5.1f%%\n"
+               (bs.bs_func ^ ":" ^ bs.bs_label)
+               bs.bs_steps
+               (100.0 *. float_of_int bs.bs_steps /. total_f)))
+      blocks
+  end;
+  Buffer.contents b
+
+(** JSON form: the stack tree plus the per-block table.  Numbers only,
+    so no float-formatting hazards beyond [secs], rendered with [%g]
+    guarded by the metrics JSON float rules. *)
+let to_json (p : t) : string =
+  let b = Buffer.create 4096 in
+  let rec node n =
+    Buffer.add_string b
+      (Printf.sprintf "{\"name\":\"%s\",\"self_steps\":%d,\"self_s\":%s,\"calls\":%d,\"children\":["
+         (Metrics.json_escape n.pn_name)
+         n.pn_self_steps
+         (Metrics.json_float n.pn_self_s)
+         n.pn_calls);
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_char b ',';
+        node c)
+      (children_sorted n);
+    Buffer.add_string b "]}"
+  in
+  Buffer.add_string b "{\"total_steps\":";
+  Buffer.add_string b (string_of_int (total_steps p));
+  Buffer.add_string b ",\"tree\":";
+  node p.pr_root;
+  Buffer.add_string b ",\"blocks\":[";
+  let blocks =
+    Hashtbl.fold (fun _ bs acc -> bs :: acc) p.pr_blocks []
+    |> List.sort (fun a b ->
+           compare (a.bs_func, a.bs_label) (b.bs_func, b.bs_label))
+  in
+  List.iteri
+    (fun i bs ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"func\":\"%s\",\"label\":\"%s\",\"steps\":%d}"
+           (Metrics.json_escape bs.bs_func)
+           (Metrics.json_escape bs.bs_label)
+           bs.bs_steps))
+    blocks;
+  Buffer.add_string b "]}";
+  Buffer.contents b

@@ -69,9 +69,25 @@ let counter (name : string) (series : (string * float) list) =
         if i > 0 then Buffer.add_char s.buf ',';
         Buffer.add_string s.buf
           (Printf.sprintf "\"%s\":%s" (Metrics.json_escape k)
-             (Metrics.float_str v)))
+             (Metrics.json_float v)))
       series;
     Buffer.add_string s.buf "}}"
+
+(** Emit a Chrome metadata event ("ph":"M") such as "process_name" or
+    "thread_name", attached to an explicit [pid]/[tid] rather than the
+    sink's own: the campaign driver labels each forked worker's pid so
+    Perfetto shows a "worker N" track instead of a bare number. *)
+let metadata ?(tid = 1) ~(pid : int) ~(name : string) (value : string) =
+  match !sink with
+  | None -> ()
+  | Some s ->
+    if s.count > 0 then Buffer.add_char s.buf ',';
+    s.count <- s.count + 1;
+    Buffer.add_string s.buf
+      (Printf.sprintf
+         "\n{\"name\":\"%s\",\"ph\":\"M\",\"ts\":%d,\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+         (Metrics.json_escape name) (ts s) pid tid
+         (Metrics.json_escape value))
 
 (** Run [f] inside a [name] span. *)
 let span ?(args = []) (name : string) (f : unit -> 'a) : 'a =

@@ -282,6 +282,63 @@ let test_ledger_rejects_garbage () =
       close_out oc;
       expect_error "mid-file corruption" file)
 
+(* A chunk line carrying everything at once — a divergence with hostile
+   characters, flight-recorder events and a reduced form, plus per-seed
+   stats — must survive the serialize/parse round trip (the ledger is
+   the only path where these travel as JSON rather than Marshal). *)
+let test_ledger_divergence_roundtrip () =
+  let d =
+    {
+      Difftest.dv_seed = 42;
+      dv_mismatch = "outcome \"a\" vs b\\c";
+      dv_sig =
+        { Difftest.sg_kind = "detected:oob"; sg_loc = "t.c:3:1"; sg_configs = 6 };
+      dv_source = "int main(void) {\n  return \"x\"[9];\n}";
+      dv_reduced = Some "int main(void) { return 1; }";
+      dv_oracle_calls = 17;
+      dv_events =
+        [ "#0     tier-up        main (ops=3, invocations=1)"; "#1     deopt  main (\"oob\")" ];
+    }
+  in
+  let cr =
+    {
+      Campaign.cr_start = 40;
+      cr_len = 5;
+      cr_agree = 4;
+      cr_reject = 0;
+      cr_divergences = [ d ];
+      cr_stats =
+        [
+          { Difftest.ss_seed = 40; ss_elapsed_s = 0.125; ss_steps = 9001 };
+          { Difftest.ss_seed = 41; ss_elapsed_s = 0.5; ss_steps = 12 };
+        ];
+    }
+  in
+  let cr' =
+    Campaign.chunk_result_of_json (Trace.parse_json (Campaign.chunk_line cr))
+  in
+  Alcotest.(check int) "start" cr.Campaign.cr_start cr'.Campaign.cr_start;
+  (match cr'.Campaign.cr_divergences with
+  | [ d' ] ->
+    Alcotest.(check int) "seed" d.Difftest.dv_seed d'.Difftest.dv_seed;
+    Alcotest.(check string) "mismatch" d.Difftest.dv_mismatch
+      d'.Difftest.dv_mismatch;
+    Alcotest.(check string) "source" d.Difftest.dv_source d'.Difftest.dv_source;
+    Alcotest.(check (option string)) "reduced" d.Difftest.dv_reduced
+      d'.Difftest.dv_reduced;
+    Alcotest.(check (list string)) "events" d.Difftest.dv_events
+      d'.Difftest.dv_events;
+    Alcotest.(check int) "configs" d.Difftest.dv_sig.Difftest.sg_configs
+      d'.Difftest.dv_sig.Difftest.sg_configs
+  | ds -> Alcotest.failf "expected 1 divergence, got %d" (List.length ds));
+  match cr'.Campaign.cr_stats with
+  | [ s0; s1 ] ->
+    Alcotest.(check int) "stat seed" 40 s0.Difftest.ss_seed;
+    Alcotest.(check (float 1e-6)) "stat elapsed" 0.125 s0.Difftest.ss_elapsed_s;
+    Alcotest.(check int) "stat steps" 9001 s0.Difftest.ss_steps;
+    Alcotest.(check int) "stat seed 2" 41 s1.Difftest.ss_seed
+  | ss -> Alcotest.failf "expected 2 seed stats, got %d" (List.length ss)
+
 (* ---------------- bug store ---------------- *)
 
 let test_bugstore_dedup () =
@@ -379,6 +436,8 @@ let () =
           Alcotest.test_case "write, tear, resume" `Slow test_ledger_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick
             test_ledger_rejects_garbage;
+          Alcotest.test_case "divergence with events + stats round-trips"
+            `Quick test_ledger_divergence_roundtrip;
         ] );
       ( "bug store",
         [

@@ -85,6 +85,64 @@ let test_disabled_time_is_noop () =
   Alcotest.(check int) "no histogram created" 0
     (List.length sn.Metrics.sn_histograms)
 
+(* ---------------- metrics: JSON float safety ---------------- *)
+
+(* JSON has no NaN/Infinity literals; a gauge set from a 0/0 rate must
+   render as null, not "nan" (which every parser rejects). *)
+let test_json_float_nonfinite () =
+  Alcotest.(check string) "nan" "null" (Metrics.json_float Float.nan);
+  Alcotest.(check string) "+inf" "null" (Metrics.json_float Float.infinity);
+  Alcotest.(check string) "-inf" "null" (Metrics.json_float Float.neg_infinity);
+  Alcotest.(check string) "finite" "3.5" (Metrics.json_float 3.5);
+  Alcotest.(check string) "integral" "42" (Metrics.json_float 42.0)
+
+let test_to_json_nonfinite_parses () =
+  with_metrics (fun () ->
+      Metrics.set (Metrics.gauge "t.rate") (0.0 /. 0.0);
+      Metrics.set (Metrics.gauge "t.peak") Float.infinity;
+      let doc = Metrics.to_json () in
+      Alcotest.(check bool) "no bare nan" false (contains doc "nan");
+      Alcotest.(check bool) "no bare inf" false (contains doc "inf");
+      match Trace.parse_json doc with
+      | _ -> ()
+      | exception Trace.Bad msg ->
+        Alcotest.fail ("metrics JSON with non-finite gauges rejected: " ^ msg))
+
+(* ---------------- metrics: quantile interpolation ---------------- *)
+
+(* Bucket 0 spans [0,1), bucket i spans [2^(i-1), 2^i); positions inside
+   a bucket interpolate linearly. *)
+let test_quantile_interpolation () =
+  let bs = Array.make 64 0 in
+  bs.(1) <- 4;
+  (* four samples in [1,2): p50 lands halfway through the bucket *)
+  Alcotest.(check (float 1e-9)) "p50 mid-bucket" 1.5
+    (Metrics.quantile ~count:4 bs 0.50);
+  Alcotest.(check (float 1e-9)) "p100 bucket top" 2.0
+    (Metrics.quantile ~count:4 bs 1.0);
+  let bs2 = Array.make 64 0 in
+  bs2.(1) <- 2;
+  bs2.(3) <- 2;
+  (* two in [1,2), two in [4,8): p90's target rank 3.6 sits 0.8 into
+     the second populated bucket -> 4 + 0.8*4 = 7.2 *)
+  Alcotest.(check (float 1e-9)) "p90 across buckets" 7.2
+    (Metrics.quantile ~count:4 bs2 0.90);
+  Alcotest.(check (float 1e-9)) "empty histogram" 0.0
+    (Metrics.quantile ~count:0 bs2 0.99)
+
+let test_quantiles_in_renderings () =
+  with_metrics (fun () ->
+      let h = Metrics.histogram "t.lat" in
+      List.iter (Metrics.observe h) [ 1.0; 1.2; 1.4; 1.6 ];
+      let txt = Metrics.to_text () in
+      Alcotest.(check bool) "to_text has p50" true (contains txt "p50=1.5");
+      Alcotest.(check bool) "to_text has p99" true (contains txt "p99=");
+      let doc = Metrics.to_json () in
+      Alcotest.(check bool) "to_json has p50" true (contains doc "\"p50\":1.5");
+      match Trace.parse_json doc with
+      | _ -> ()
+      | exception Trace.Bad msg -> Alcotest.fail ("metrics JSON rejected: " ^ msg))
+
 (* ---------------- tracing: spans and validation ---------------- *)
 
 let test_span_nesting () =
@@ -135,6 +193,154 @@ let test_trace_inactive_noop () =
   Alcotest.(check bool) "inactive" false (Trace.active ());
   Trace.instant "nothing";
   Alcotest.(check int) "span passes through" 9 (Trace.span "s" (fun () -> 9))
+
+(* Hostile strings — quotes, backslashes, control characters — pushed
+   through every emitter; the resulting document must stay parseable
+   and the validator must accept it. *)
+let test_trace_escaping_torture () =
+  let nasty = "qu\"ote\\back\nnew\tline\x01ctl" in
+  Trace.start ();
+  Trace.span nasty ~args:[ (nasty, nasty) ] (fun () ->
+      Trace.instant ~args:[ ("k\"", "v\\") ] nasty);
+  Trace.counter nasty [ (nasty, 1.5); ("n", Float.nan) ];
+  Trace.metadata ~pid:7 ~name:"process_name" nasty;
+  let doc = Trace.finish () in
+  (match Trace.validate doc with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("torture trace rejected: " ^ msg));
+  match Trace.parse_json doc with
+  | Trace.Jobj fields ->
+    (match List.assoc_opt "traceEvents" fields with
+    | Some (Trace.Jarr evs) ->
+      (* every hostile name must round-trip through escape+parse *)
+      let names =
+        List.filter_map
+          (function
+            | Trace.Jobj f -> (
+              match List.assoc_opt "name" f with
+              | Some (Trace.Jstr s) -> Some s
+              | _ -> None)
+            | _ -> None)
+          evs
+      in
+      Alcotest.(check bool) "nasty name round-trips" true
+        (List.mem nasty names)
+    | _ -> Alcotest.fail "traceEvents not an array")
+  | _ -> Alcotest.fail "torture trace did not parse to an object"
+  | exception Trace.Bad msg ->
+    Alcotest.fail ("torture trace did not parse: " ^ msg)
+
+(* "M" metadata events label pid/tid tracks; the validator must accept
+   the phase and the document must carry the label. *)
+let test_trace_metadata_event () =
+  Trace.start ();
+  Trace.metadata ~pid:1234 ~name:"process_name" "worker 3";
+  Trace.metadata ~pid:1234 ~tid:2 ~name:"thread_name" "replay";
+  let doc = Trace.finish () in
+  (match Trace.validate doc with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("metadata trace rejected: " ^ msg));
+  Alcotest.(check bool) "ph M present" true (contains doc "\"ph\":\"M\"");
+  Alcotest.(check bool) "worker label present" true (contains doc "worker 3");
+  Alcotest.(check bool) "explicit pid present" true (contains doc "\"pid\":1234")
+
+(* ---------------- flight recorder: ring semantics ---------------- *)
+
+let test_events_ring_capacity () =
+  with_metrics (fun () ->
+      Events.reset ();
+      for i = 0 to 299 do
+        Events.record
+          (Events.Cache_hit { ev_key = Printf.sprintf "k%d" i })
+      done;
+      let entries = Events.recent () in
+      Alcotest.(check int) "ring keeps last capacity entries" Events.capacity
+        (List.length entries);
+      (match entries with
+      | first :: _ ->
+        Alcotest.(check int) "oldest surviving seq" (300 - Events.capacity)
+          first.Events.e_seq
+      | [] -> Alcotest.fail "empty ring");
+      let last = List.nth entries (List.length entries - 1) in
+      Alcotest.(check int) "newest seq" 299 last.Events.e_seq;
+      (* per-kind counters count every record, not just survivors *)
+      Alcotest.(check int) "events.cache_hit counter" 300
+        (Metrics.counter "events.cache_hit").Metrics.c_value;
+      Events.reset ();
+      Alcotest.(check int) "reset empties the ring" 0
+        (List.length (Events.recent ())))
+
+let test_events_mask_and_render () =
+  with_metrics (fun () ->
+      Events.reset ();
+      Events.mask (fun () ->
+          Events.record (Events.Deopt { ev_fn = "f"; ev_kind = "oob"; ev_osr = false }));
+      Alcotest.(check int) "masked record dropped" 0
+        (List.length (Events.recent ()));
+      Events.record
+        (Events.Tier_up { ev_fn = "hot"; ev_ops = 12; ev_invocations = 3; ev_osr = true });
+      match Events.to_lines () with
+      | [ line ] ->
+        Alcotest.(check bool) "renders kind" true (contains line "tier-up");
+        Alcotest.(check bool) "renders fn" true (contains line "hot");
+        Alcotest.(check bool) "renders hotness" true (contains line "ops=12");
+        Alcotest.(check bool) "renders osr flag" true
+          (contains line "at loop header")
+      | ls -> Alcotest.failf "expected one line, got %d" (List.length ls))
+
+
+(* ---------------- guest profiler: delta attribution ---------------- *)
+
+(* Synthetic step counters drive the delta bookkeeping: every steps-
+   since-last-event span lands on the node that was current when the
+   event fired, and the books always sum to the final counter. *)
+let test_profile_delta_attribution () =
+  let p = Profile.create () in
+  Profile.enter p ~steps:10 "main";
+  (* 10 steps of pre-main glue -> root *)
+  Profile.enter p ~steps:30 "f";
+  (* 20 steps of main before the call *)
+  Profile.leave p ~steps:75;
+  (* 45 steps inside f *)
+  Profile.finalize p ~steps:100;
+  (* 25 steps of main after the return *)
+  Alcotest.(check int) "conservation: folded sums == counter" 100
+    (Profile.total_steps p);
+  let folded = Profile.folded p in
+  Alcotest.(check bool) "root glue line" true (contains folded "(engine) 10\n");
+  Alcotest.(check bool) "main self" true
+    (contains folded "(engine);main 45\n");
+  Alcotest.(check bool) "f under main" true
+    (contains folded "(engine);main;f 45\n")
+
+let test_profile_block_attribution () =
+  let p = Profile.create () in
+  Profile.enter p ~steps:0 "main";
+  let entry = Profile.block_stat p ~func:"main" ~label:"entry" in
+  let body = Profile.block_stat p ~func:"main" ~label:"for.body" in
+  Profile.note_block p ~steps:0 entry;
+  Profile.note_block p ~steps:12 body;
+  (* the 12 steps belong to entry, the block being left *)
+  Profile.finalize p ~steps:40;
+  Alcotest.(check int) "entry block" 12 entry.Profile.bs_steps;
+  Alcotest.(check int) "body block" 28 body.Profile.bs_steps;
+  Alcotest.(check int) "block books complete" 40 (Profile.total_block_steps p)
+
+(* [Interp.reset] rewinds the step counter; [rewind] must re-arm the
+   deltas without discarding earlier runs (bench iterations sum). *)
+let test_profile_rewind_accumulates () =
+  let p = Profile.create () in
+  Profile.enter p ~steps:10 "main";
+  Profile.finalize p ~steps:100;
+  Profile.rewind p;
+  Profile.enter p ~steps:7 "main";
+  Profile.finalize p ~steps:9;
+  Alcotest.(check int) "two runs sum" 109 (Profile.total_steps p);
+  match Profile.by_function p with
+  | fs :: _ ->
+    Alcotest.(check string) "main hottest" "main" fs.Profile.fs_name;
+    Alcotest.(check int) "calls across runs" 2 fs.Profile.fs_calls
+  | [] -> Alcotest.fail "no function stats"
 
 (* ---------------- provenance: one golden bug per kind -------------- *)
 
@@ -251,6 +457,25 @@ let test_report_varargs () =
       ]
   in
   ignore (check_report ~kind:"varargs" ~line:2 r)
+
+(* Every provenance report must embed the flight-recorder ring: the
+   managed-error raise itself is recorded, so even an untiered run has
+   at least one event. *)
+let test_bugreport_embeds_events () =
+  Events.reset ();
+  let r =
+    run_lines [ "int main(void) {"; "  int *p = 0;"; "  return *p;"; "}" ]
+  in
+  match r.Interp.report with
+  | None -> Alcotest.fail "no report"
+  | Some rep ->
+    Alcotest.(check bool) "report carries events" true
+      (rep.Bugreport.br_events <> []);
+    let rendered = Bugreport.render rep in
+    Alcotest.(check bool) "render has events section" true
+      (contains rendered "recent engine events:");
+    Alcotest.(check bool) "error raise recorded" true
+      (contains rendered "null-dereference")
 
 let test_report_division_by_zero () =
   let r =
@@ -420,6 +645,14 @@ let () =
           Alcotest.test_case "snapshot merge" `Quick test_snapshot_merge;
           Alcotest.test_case "disabled time is a no-op" `Quick
             test_disabled_time_is_noop;
+          Alcotest.test_case "non-finite floats render as null" `Quick
+            test_json_float_nonfinite;
+          Alcotest.test_case "to_json with non-finite gauges parses" `Quick
+            test_to_json_nonfinite_parses;
+          Alcotest.test_case "quantile interpolation" `Quick
+            test_quantile_interpolation;
+          Alcotest.test_case "p50/p90/p99 in renderings" `Quick
+            test_quantiles_in_renderings;
         ] );
       ( "trace",
         [
@@ -430,6 +663,28 @@ let () =
             test_validate_rejects;
           Alcotest.test_case "inactive sink is a no-op" `Quick
             test_trace_inactive_noop;
+          Alcotest.test_case "escaping torture stays well-formed" `Quick
+            test_trace_escaping_torture;
+          Alcotest.test_case "metadata events label tracks" `Quick
+            test_trace_metadata_event;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "ring capacity and ordering" `Quick
+            test_events_ring_capacity;
+          Alcotest.test_case "mask suppresses, render shapes" `Quick
+            test_events_mask_and_render;
+          Alcotest.test_case "bug reports embed the ring" `Quick
+            test_bugreport_embeds_events;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "delta attribution + conservation" `Quick
+            test_profile_delta_attribution;
+          Alcotest.test_case "block attribution" `Quick
+            test_profile_block_attribution;
+          Alcotest.test_case "rewind accumulates across runs" `Quick
+            test_profile_rewind_accumulates;
         ] );
       ( "provenance",
         [

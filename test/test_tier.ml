@@ -30,7 +30,9 @@ let run_program ?tier (p : Groundtruth.program) : Interp.run_result =
 (* Everything the paper's reports surface, flattened for comparison.
    [report] is reduced to the rendered text, which covers the error
    kind, the faulting C file:line:col, the bounds detail and the
-   managed stack. *)
+   managed stack.  The flight-recorder section is blanked: engine
+   events (tier-up, deopt) intentionally differ across tiers — the
+   equivalence contract covers guest-observable behavior only. *)
 let observe (r : Interp.run_result) : string =
   let error =
     match r.Interp.error with
@@ -40,7 +42,7 @@ let observe (r : Interp.run_result) : string =
   let report =
     match r.Interp.report with
     | None -> "<no report>"
-    | Some rep -> Bugreport.render rep
+    | Some rep -> Bugreport.render { rep with Bugreport.br_events = [] }
   in
   Printf.sprintf
     "exit=%d timed_out=%b steps=%d leaks=%d error=%s\noutput:\n%s\nreport:\n%s"
@@ -311,6 +313,125 @@ let test_reset_keeps_compiled_bodies () =
     compiles.Metrics.c_value;
   Alcotest.(check string) "cached body replays bit-identically" first second
 
+(* ---------------- guest profiler across tiers ---------------- *)
+
+(* The profiler's two laws (DESIGN.md §13), pinned on real programs:
+
+   1. Conservation: the folded stacks and the per-function table sum to
+      exactly the engine's final step counter — no step unattributed,
+      none double-counted.
+   2. Cross-tier agreement: per-function attribution from a forced-hot
+      tiered run is bit-identical to the interpreter's (both tiers
+      charge calls to the caller, returns to the callee, and edge phi
+      copies to the predecessor block). *)
+
+let profile_src =
+  {|
+int cmp(int a, int b) { return a - b; }
+int work(int n) {
+  int s = 0;
+  for (int i = 0; i < n; i++)
+    s += cmp(i, n - i);
+  return s;
+}
+int main(void) {
+  long t = 0;
+  for (int r = 0; r < 50; r++)
+    t += work(100);
+  printf("%ld\n", t);
+  return 0;
+}
+|}
+
+let run_profiled ?tier (src : string) : Profile.t * Interp.run_result =
+  let m = Loader.load_program src in
+  Pipeline.compile_sulong m;
+  let prof = Profile.create () in
+  let st =
+    Interp.create ~step_limit ~mementos:true ~input:"" ?tier ~profile:prof m
+  in
+  let r = Interp.run ~argv:[ "prog" ] st in
+  (prof, r)
+
+let folded_sum (folded : string) : int =
+  String.split_on_char '\n' folded
+  |> List.fold_left
+       (fun acc line ->
+         match String.rindex_opt line ' ' with
+         | None -> acc
+         | Some i -> (
+           match
+             int_of_string_opt
+               (String.sub line (i + 1) (String.length line - i - 1))
+           with
+           | Some n -> acc + n
+           | None -> acc))
+       0
+
+let func_table (p : Profile.t) : (string * int * int) list =
+  List.map
+    (fun fs -> (fs.Profile.fs_name, fs.Profile.fs_steps, fs.Profile.fs_calls))
+    (Profile.by_function p)
+
+let test_profile_conservation () =
+  let check_engine what tier =
+    let prof, r = run_profiled ?tier profile_src in
+    (match r.Interp.error with
+    | Some (_, m) -> Alcotest.failf "%s: unexpected error: %s" what m
+    | None -> ());
+    Alcotest.(check int)
+      (what ^ ": folded sums == engine steps")
+      r.Interp.steps
+      (folded_sum (Profile.folded prof));
+    Alcotest.(check int)
+      (what ^ ": tree total == engine steps")
+      r.Interp.steps (Profile.total_steps prof)
+  in
+  check_engine "interp" None;
+  check_engine "tiered" (Some (Tier.controller ~threshold:0 ()))
+
+let test_profile_tier_agreement () =
+  let compiles = Metrics.counter "jit.compiles" in
+  let before = compiles.Metrics.c_value in
+  let pi, ri = run_profiled profile_src in
+  let pt, rt =
+    run_profiled ~tier:(Tier.controller ~threshold:0 ()) profile_src
+  in
+  if compiles.Metrics.c_value <= before then
+    Alcotest.fail "forced-hot profiled run compiled nothing";
+  Alcotest.(check int) "step counters agree" ri.Interp.steps rt.Interp.steps;
+  Alcotest.(check (list (triple string int int)))
+    "per-function attribution bit-identical" (func_table pi) (func_table pt);
+  Alcotest.(check string) "folded stacks bit-identical"
+    (Profile.folded pi) (Profile.folded pt)
+
+(* The whole corpus, profiled under both tiers: conservation must hold
+   even when the run ends in a managed error (the error path finalizes
+   the books mid-frame), and the attribution must still agree. *)
+let test_profile_corpus_agreement () =
+  List.iter
+    (fun (p : Groundtruth.program) ->
+      let run ?tier () =
+        let m = Loader.load_program p.Groundtruth.source in
+        Pipeline.compile_sulong m;
+        let prof = Profile.create () in
+        let st =
+          Interp.create ~step_limit ~mementos:true ~input:p.Groundtruth.input
+            ?tier ~profile:prof m
+        in
+        let r = Interp.run ~argv:p.Groundtruth.argv st in
+        (prof, r)
+      in
+      let pi, ri = run () in
+      let pt, _ = run ~tier:(Tier.controller ~threshold:0 ()) () in
+      Alcotest.(check int)
+        (p.Groundtruth.id ^ ": conservation under error")
+        ri.Interp.steps (Profile.total_steps pi);
+      Alcotest.(check (list (triple string int int)))
+        (p.Groundtruth.id ^ ": attribution agrees")
+        (func_table pi) (func_table pt))
+    Corpus.all
+
 (* ---------------- difftest seeds ---------------- *)
 
 (* The oracle's 8 configurations include [sulong/tiered]; any
@@ -370,6 +491,15 @@ let () =
         [
           Alcotest.test_case "reset keeps compiled bodies, replay identical"
             `Quick test_reset_keeps_compiled_bodies;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "conservation: folded sums == step counter"
+            `Quick test_profile_conservation;
+          Alcotest.test_case "tier-1 vs tier-2 attribution bit-identical"
+            `Quick test_profile_tier_agreement;
+          Alcotest.test_case "whole corpus profiled, both tiers agree" `Quick
+            test_profile_corpus_agreement;
         ] );
       ( "difftest",
         [
