@@ -421,7 +421,7 @@ let report_cmd =
 (* ---------------- difftest ---------------- *)
 
 let do_difftest seeds seed_start features_str shrink json_file jobs chunk
-    ledger resume_file bugdb metrics trace_file =
+    ledger resume_file bugdb corpus metrics trace_file =
   obs_begin ~metrics ~trace_file;
   let features =
     try Cgen.features_of_string features_str
@@ -429,15 +429,29 @@ let do_difftest seeds seed_start features_str shrink json_file jobs chunk
       prerr_endline ("difftest: " ^ msg);
       exit 2
   in
-  (* The checked-in reproducers run first: a folding regression makes
-     the campaign fail before any seed is spent. *)
+  (* The checked-in reproducers run first — plus any exported corpus
+     directory — so a regression makes the campaign fail before any
+     seed is spent. *)
+  let corpus_regressions =
+    match corpus with
+    | None -> []
+    | Some dir -> (
+      match Difftest.load_corpus ~dir with
+      | [] ->
+        prerr_endline ("difftest: --corpus: no reproducers in " ^ dir);
+        exit 2
+      | rs -> rs
+      | exception Invalid_argument msg ->
+        prerr_endline ("difftest: --corpus: " ^ msg);
+        exit 2)
+  in
   let regression_failures =
     List.filter_map
       (fun reg ->
         match Difftest.check_regression reg with
         | Ok () -> None
         | Error msg -> Some msg)
-      Difftest.regressions
+      (Difftest.regressions @ corpus_regressions)
   in
   List.iter (Printf.printf "REGRESSION %s\n") regression_failures;
   (* Per-chunk completions stream back from the workers; print whenever
@@ -580,11 +594,11 @@ let seed_start_arg =
 
 let features_arg =
   Arg.(
-    value & opt string "int,float,call,mem"
+    value & opt string "int,float,call,mem,ptr"
     & info [ "features" ] ~docv:"LIST"
         ~doc:
           "Generator feature set: a comma-separated subset of \
-           int,float,call,mem (int is always on).")
+           int,float,call,mem,ptr (int is always on).")
 
 let shrink_arg =
   Arg.(
@@ -646,6 +660,16 @@ let bugdb_arg =
            (read-modify-write): one entry per provenance signature with the \
            first-seen seed and smallest reproducer.")
 
+let corpus_dir_arg =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "corpus" ] ~docv:"DIR"
+        ~doc:
+          "Also run every exported reproducer in $(docv) (pairs of NAME.c \
+           and NAME.expected, as written by `sulong bugdb export`) as \
+           regressions before spending any seed.")
+
 let difftest_cmd =
   let doc =
     "differential testing: generated well-defined programs must behave \
@@ -655,7 +679,119 @@ let difftest_cmd =
     Term.(
       const do_difftest $ seeds_arg $ seed_start_arg $ features_arg
       $ shrink_arg $ json_arg $ jobs_arg $ chunk_arg $ ledger_arg
-      $ resume_arg $ bugdb_arg $ metrics_arg $ trace_file_arg)
+      $ resume_arg $ bugdb_arg $ corpus_dir_arg $ metrics_arg
+      $ trace_file_arg)
+
+(* ---------------- bugdb ---------------- *)
+
+(* `sulong bugdb export` promotes the smallest shrunk reproducer of
+   every convicted signature in a campaign bug store into an on-disk
+   regressions corpus: NAME.c plus NAME.expected, the format
+   [Difftest.load_corpus] (and `difftest --corpus`) consumes.  Each
+   reproducer re-runs through the full oracle first — an entry whose
+   bug is still unfixed (the oracle still diverges) is reported and
+   fails the export, so the corpus only ever contains programs with an
+   agreed-upon expected output. *)
+
+let slug s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' -> c
+      | _ -> '-')
+    s
+  |> String.lowercase_ascii
+  |> fun s ->
+  (* collapse runs of '-' and trim to keep file names readable *)
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if c <> '-' || (Buffer.length b > 0
+                      && Buffer.nth b (Buffer.length b - 1) <> '-')
+      then Buffer.add_char b c)
+    s;
+  let s = Buffer.contents b in
+  let s = if String.length s > 40 then String.sub s 0 40 else s in
+  match String.length s with
+  | 0 -> "bug"
+  | n when s.[n - 1] = '-' -> String.sub s 0 (n - 1)
+  | _ -> s
+
+let do_bugdb_export bugdb_file out_dir =
+  let store =
+    try Bugstore.load ~file:bugdb_file
+    with Bugstore.Malformed msg ->
+      prerr_endline ("bugdb export: " ^ msg);
+      exit 2
+  in
+  match Bugstore.entries store with
+  | [] ->
+    Printf.printf "bugdb export: %s has no entries; nothing to export\n"
+      bugdb_file;
+    0
+  | entries ->
+    if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+    let unfixed = ref 0 in
+    List.iter
+      (fun (e : Bugstore.entry) ->
+        let name =
+          Printf.sprintf "seed%04d-%s" e.Bugstore.be_first_seed
+            (slug e.Bugstore.be_kind)
+        in
+        match Oracle.check e.Bugstore.be_repro with
+        | Oracle.Agree out ->
+          let write file s =
+            let oc = open_out_bin (Filename.concat out_dir file) in
+            output_string oc s;
+            close_out oc
+          in
+          write (name ^ ".c") e.Bugstore.be_repro;
+          write (name ^ ".expected") out;
+          Printf.printf "exported %-44s (%d hit(s), %d bytes)\n" name
+            e.Bugstore.be_count
+            (String.length e.Bugstore.be_repro)
+        | Oracle.Reject why ->
+          incr unfixed;
+          Printf.printf "REJECTED %-44s %s\n" name why
+        | Oracle.Diverge { mismatch; _ } ->
+          incr unfixed;
+          Printf.printf "UNFIXED  %-44s %s\n" name mismatch)
+      entries;
+    if !unfixed > 0 then begin
+      Printf.printf
+        "bugdb export: %d entr%s still diverge — fix the engines (or rerun \
+         the campaign) before promoting\n"
+        !unfixed
+        (if !unfixed = 1 then "y" else "ies");
+      1
+    end
+    else 0
+
+let bugdb_file_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "bugdb" ] ~docv:"FILE" ~doc:"Campaign bug store to export from.")
+
+let out_dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "out" ] ~docv:"DIR"
+        ~doc:"Directory receiving NAME.c/NAME.expected pairs (created).")
+
+let bugdb_cmd =
+  let doc = "operations on campaign bug stores" in
+  let export_doc =
+    "re-verify every stored reproducer and promote it into a regressions \
+     corpus"
+  in
+  Cmd.group (Cmd.info "bugdb" ~doc)
+    [
+      Cmd.v
+        (Cmd.info "export" ~doc:export_doc)
+        Term.(const do_bugdb_export $ bugdb_file_arg $ out_dir_arg);
+    ]
 
 (* ---------------- bench ---------------- *)
 
@@ -1021,4 +1157,4 @@ let () =
   let info = Cmd.info "sulong" ~version:"1.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
        [ run_cmd; ir_cmd; run_ir_cmd; compare_cmd; corpus_cmd; report_cmd;
-         difftest_cmd; bench_cmd; obs_selftest_cmd ]))
+         difftest_cmd; bugdb_cmd; bench_cmd; obs_selftest_cmd ]))

@@ -33,19 +33,25 @@ type features = {
   f_float : bool;  (** float/double scalars, arithmetic, conversions *)
   f_call : bool;   (** generated helper functions and direct calls *)
   f_mem : bool;    (** memcpy/memset/strlen over generated arrays *)
+  f_ptr : bool;
+      (** address-of, in-bounds pointer arithmetic, aliased loads and
+          stores, pointer-typed helper parameters, pointer comparisons —
+          plus helpers/rcs reading globals (the reference evaluator
+          models their initial values) *)
 }
 
-let int_only = { f_float = false; f_call = false; f_mem = false }
-let all_features = { f_float = true; f_call = true; f_mem = true }
+let int_only = { f_float = false; f_call = false; f_mem = false; f_ptr = false }
+let all_features = { f_float = true; f_call = true; f_mem = true; f_ptr = true }
 
 let features_name f =
   "int"
   ^ (if f.f_float then ",float" else "")
   ^ (if f.f_call then ",call" else "")
-  ^ if f.f_mem then ",mem" else ""
+  ^ (if f.f_mem then ",mem" else "")
+  ^ if f.f_ptr then ",ptr" else ""
 
 (** Parse a [--features] flag value: a comma-separated subset of
-    [int,float,call,mem] ([int] is implied). *)
+    [int,float,call,mem,ptr] ([int] is implied). *)
 let features_of_string (s : string) : features =
   List.fold_left
     (fun acc tok ->
@@ -54,8 +60,11 @@ let features_of_string (s : string) : features =
       | "float" -> { acc with f_float = true }
       | "call" -> { acc with f_call = true }
       | "mem" -> { acc with f_mem = true }
+      | "ptr" -> { acc with f_ptr = true }
       | "all" -> all_features
-      | t -> invalid_arg (Printf.sprintf "unknown feature %S (want int,float,call,mem)" t))
+      | t ->
+        invalid_arg
+          (Printf.sprintf "unknown feature %S (want int,float,call,mem,ptr)" t))
     int_only
     (String.split_on_char ',' s)
 
@@ -138,6 +147,22 @@ let gen_fconst rng =
 (* Expressions                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(** What the generator knows about an in-scope pointer — the same
+    static resolution [well_formed] recomputes, carried forward so every
+    deref/store index can be drawn from the provably-in-bounds range. *)
+type pinfo = {
+  pi_name : string;
+  pi_ty : ity;  (** element type *)
+  pi_obj : string;
+      (** referent object name; [""] for a helper's pointer parameter
+          (no static referent: deref-only, never relational) *)
+  pi_off : int;  (** static element offset inside the referent *)
+  pi_ext : int;  (** referent extent in elements (1 for scalars) *)
+  pi_char_guard : bool;
+      (** referent is a char array: writes spare the final element so
+          its NUL survives for [strlen] (mirrors [gen_index]) *)
+}
+
 (** Leaves legal in the current context. *)
 type leaves = {
   lv_enums : string list;
@@ -147,11 +172,12 @@ type leaves = {
   lv_loops : (string * int) list;  (** in-scope loop vars with bounds *)
   lv_funcs : func list;            (** callable helpers *)
   lv_strlen : string list;         (** char arrays usable with strlen *)
+  lv_ptrs : pinfo list;            (** in-scope pointers *)
 }
 
 let const_leaves enums =
   { lv_enums = enums; lv_scalars = []; lv_arrays = []; lv_fields = [];
-    lv_loops = []; lv_funcs = []; lv_strlen = [] }
+    lv_loops = []; lv_funcs = []; lv_strlen = []; lv_ptrs = [] }
 
 (** Expression contexts, matching the validity modes of
     [Cprog.well_formed]: the two constant modes are integer-only and
@@ -174,6 +200,21 @@ let gen_index rng (lv : leaves) ~(for_write : bool) (t : ity) (len : int) : idx
   if usable <> [] && Prng.int rng 2 = 0 then Ixv (fst (Prng.pick rng usable))
   else Ixc (Prng.int rng limit)
 
+(* Index for an access through pointer [pi]: drawn from the range its
+   static (offset, extent) proves in bounds.  A helper's pointer
+   parameter has no static referent, so only [*p] is safe there. *)
+let gen_ptr_index rng (lv : leaves) ~(for_write : bool) (pi : pinfo) : idx =
+  if pi.pi_obj = "" then Ixc 0
+  else begin
+    let ext =
+      if for_write && pi.pi_char_guard then pi.pi_ext - 1 else pi.pi_ext
+    in
+    let limit = max 1 (ext - pi.pi_off) in
+    let usable = List.filter (fun (_, b) -> b <= limit) lv.lv_loops in
+    if usable <> [] && Prng.int rng 2 = 0 then Ixv (fst (Prng.pick rng usable))
+    else Ixc (Prng.int rng limit)
+  end
+
 let rec gen_expr rng ~(feat : features) ~(mode : gmode) ~(lv : leaves)
     ~(depth : int) ~(want : [ `I | `F ]) : expr =
   let float_ok =
@@ -182,12 +223,29 @@ let rec gen_expr rng ~(feat : features) ~(mode : gmode) ~(lv : leaves)
   let cmp_ok = match mode with `Restricted -> false | _ -> true in
   let want = if want = `F && not float_ok then `I else want in
   let sub ?(d = depth - 1) w = gen_expr rng ~feat ~mode ~lv ~depth:d ~want:w in
+  (* A helper is callable here only if every pointer parameter can be
+     fed an in-scope pointer of the exact element type (arguments to
+     pointer parameters are bare names, never synthesized). *)
+  let ptr_args_available f =
+    List.for_all
+      (fun (_, ps) ->
+        match ps with
+        | Pt t -> List.exists (fun pi -> pi.pi_ty = t) lv.lv_ptrs
+        | It _ | Ft _ -> true)
+      f.fn_params
+  in
   let int_funcs =
-    List.filter (fun f -> match f.fn_ret with It _ -> true | Ft _ -> false)
+    List.filter
+      (fun f ->
+        (match f.fn_ret with It _ -> true | Ft _ | Pt _ -> false)
+        && ptr_args_available f)
       lv.lv_funcs
   in
   let flt_funcs =
-    List.filter (fun f -> match f.fn_ret with Ft _ -> true | It _ -> false)
+    List.filter
+      (fun f ->
+        (match f.fn_ret with Ft _ -> true | It _ | Pt _ -> false)
+        && ptr_args_available f)
       lv.lv_funcs
   in
   let gen_call f =
@@ -195,12 +253,15 @@ let rec gen_expr rng ~(feat : features) ~(mode : gmode) ~(lv : leaves)
       ( f.fn_name, f.fn_ret,
         List.map
           (fun (_, ps) ->
-            let w =
-              match ps with
-              | Ft _ -> if Prng.int rng 3 = 0 then `I else `F
-              | It _ -> `I
-            in
-            sub ~d:(min (depth - 1) 2) w)
+            match ps with
+            | Pt t ->
+              let cands = List.filter (fun pi -> pi.pi_ty = t) lv.lv_ptrs in
+              let pi = Prng.pick rng cands in
+              Var (pi.pi_name, Pt t)
+            | Ft _ ->
+              sub ~d:(min (depth - 1) 2)
+                (if Prng.int rng 3 = 0 then `I else `F)
+            | It _ -> sub ~d:(min (depth - 1) 2) `I)
           f.fn_params )
   in
   let leaf () =
@@ -226,7 +287,8 @@ let rec gen_expr rng ~(feat : features) ~(mode : gmode) ~(lv : leaves)
         @ (if ivars <> [] then [ `Scalar; `Scalar; `Scalar ] else [])
         @ (if lv.lv_arrays <> [] then [ `Read ] else [])
         @ (if lv.lv_fields <> [] then [ `Field ] else [])
-        @ if feat.f_mem && lv.lv_strlen <> [] then [ `StrlenL ] else []
+        @ (if feat.f_mem && lv.lv_strlen <> [] then [ `StrlenL ] else [])
+        @ if lv.lv_ptrs <> [] then [ `PReadL; `PReadL; `PCmpL ] else []
       in
       match Prng.pick rng options with
       | `Const -> gen_const rng
@@ -241,6 +303,23 @@ let rec gen_expr rng ~(feat : features) ~(mode : gmode) ~(lv : leaves)
         let f, t = Prng.pick rng lv.lv_fields in
         Field (f, t)
       | `StrlenL -> Strlen (Prng.pick rng lv.lv_strlen)
+      | `PReadL ->
+        let pi = Prng.pick rng lv.lv_ptrs in
+        PRead (pi.pi_name, pi.pi_ty, gen_ptr_index rng lv ~for_write:false pi)
+      | `PCmpL ->
+        (* Eq/Ne is defined between any two same-element-type pointers;
+           relational comparison and subtraction need one object — only
+           pointers with a (matching) static referent qualify. *)
+        let a = Prng.pick rng lv.lv_ptrs in
+        let same_ty = List.filter (fun b -> b.pi_ty = a.pi_ty) lv.lv_ptrs in
+        let b = Prng.pick rng same_ty in
+        let same_obj = a.pi_obj <> "" && a.pi_obj = b.pi_obj in
+        if same_obj && Prng.int rng 3 = 0 then PDiff (a.pi_name, b.pi_name)
+        else
+          let ops =
+            if same_obj then [ Eq; Ne; Lt; Le; Gt; Ge ] else [ Eq; Ne ]
+          in
+          PCmp (Prng.pick rng ops, a.pi_name, b.pi_name)
     end
   in
   if depth <= 0 || Prng.int rng 4 = 0 then leaf ()
@@ -297,7 +376,9 @@ let rec gen_expr rng ~(feat : features) ~(mode : gmode) ~(lv : leaves)
         | `Shift op ->
           let a = sub `I in
           let w =
-            match type_of a with It t -> bits (promote t) | Ft _ -> 32
+            match type_of a with
+            | It t -> bits (promote t)
+            | Ft _ | Pt _ -> 32
           in
           Bin (op, a, Const (Int64.of_int (Prng.int rng w), I32))
         | `Neg -> Un (Neg, sub `I)
@@ -336,7 +417,7 @@ let fresh_loop_var st =
 let want_for (s : sty) rng ~(float_ok : bool) : [ `I | `F ] =
   match s with
   | Ft _ -> if Prng.int rng 4 = 0 then `I else `F
-  | It _ -> if float_ok && Prng.int rng 6 = 0 then `F else `I
+  | It _ | Pt _ -> if float_ok && Prng.int rng 6 = 0 then `F else `I
 
 let rec gen_stmt rng st ~(feat : features) ~(lv : leaves)
     ~(assignable : (string * sty) list) ~(depth : int) : stmt =
@@ -346,12 +427,23 @@ let rec gen_stmt rng st ~(feat : features) ~(lv : leaves)
   in
   let structured = depth > 0 in
   let memcpy_ok = feat.f_mem && List.length lv.lv_arrays >= 2 in
+  (* A pointer is a store target only when its static window proves at
+     least one element writable (char referents spare the NUL slot). *)
+  let writable_ptrs =
+    List.filter
+      (fun pi ->
+        pi.pi_obj <> ""
+        && (if pi.pi_char_guard then pi.pi_ext - 1 else pi.pi_ext) - pi.pi_off
+           >= 1)
+      lv.lv_ptrs
+  in
   let options =
     [ `Assign; `Assign; `Assign ]
     @ (if lv.lv_arrays <> [] then [ `AStore ] else [])
     @ (if lv.lv_fields <> [] then [ `FStore ] else [])
     @ (if feat.f_mem && lv.lv_arrays <> [] then [ `Memset ] else [])
     @ (if memcpy_ok then [ `Memcpy ] else [])
+    @ (if writable_ptrs <> [] then [ `PStoreS; `PStoreS ] else [])
     @ (if structured then [ `If; `Loop; `Switch ] else [])
   in
   match Prng.pick rng options with
@@ -367,6 +459,11 @@ let rec gen_stmt rng st ~(feat : features) ~(lv : leaves)
   | `FStore ->
     let f, _ = Prng.pick rng lv.lv_fields in
     FStore (f, rexpr `I)
+  | `PStoreS ->
+    (* Integer stored values only: a float source could overflow the
+       conversion to the element type, which is UB. *)
+    let pi = Prng.pick rng writable_ptrs in
+    PStore (pi.pi_name, gen_ptr_index rng lv ~for_write:true pi, rexpr `I)
   | `Memset ->
     let a, t, len = Prng.pick rng lv.lv_arrays in
     let cap = ity_bytes t * len - if is_char t then 1 else 0 in
@@ -466,15 +563,37 @@ let pick_sty rng ~feat : sty =
     expression over the full scope.  [earlier] helpers are callable from
     everywhere inside (acyclic by construction). *)
 let gen_func rng ~feat ~(idx : int) ~(earlier : func list)
-    ~(enum_names : string list) : func =
+    ~(enum_names : string list) ~(globals : (string * sty) list) : func =
   let fn_name = Printf.sprintf "h%d" idx in
   let fn_params =
     List.init
       (1 + Prng.int rng 3)
-      (fun k -> (Printf.sprintf "%s_p%d" fn_name k, pick_sty rng ~feat))
+      (fun k ->
+        let s =
+          if feat.f_ptr && Prng.int rng 4 = 0 then Pt (pick_ity rng)
+          else pick_sty rng ~feat
+        in
+        (Printf.sprintf "%s_p%d" fn_name k, s))
+  in
+  (* A pointer parameter has no static referent ([pi_obj = ""]): the
+     body may only dereference it as [*p] or compare it for (in)equality
+     — exactly what any valid argument makes safe. *)
+  let param_ptrs =
+    List.filter_map
+      (fun (n, s) ->
+        match s with
+        | Pt t ->
+          Some
+            { pi_name = n; pi_ty = t; pi_obj = ""; pi_off = 0; pi_ext = 1;
+              pi_char_guard = false }
+        | It _ | Ft _ -> None)
+      fn_params
   in
   let base_lv scope =
-    { (const_leaves enum_names) with lv_scalars = scope; lv_funcs = earlier }
+    { (const_leaves enum_names) with
+      lv_scalars = scope @ globals;
+      lv_funcs = earlier;
+      lv_ptrs = param_ptrs }
   in
   let scope = ref fn_params in
   let fn_locals =
@@ -532,7 +651,7 @@ let generate ?(features = all_features) ~(seed : int) () : program =
       match
         (match type_of e with
         | It t -> as_long t (eval_int { const_env with ev_enums = !env } e)
-        | Ft _ -> raise Not_const)
+        | Ft _ | Pt _ -> raise Not_const)
       with
       | v when v >= -2147483648L && v <= 2147483647L -> (e, v)
       | _ -> if attempts > 0 then try_gen (attempts - 1) else fallback ()
@@ -586,23 +705,37 @@ let generate ?(features = all_features) ~(seed : int) () : program =
       (fun (a, t, _) -> if is_char t then Some a else None)
       arrays
   in
-  (* Helper functions (acyclic: each sees only earlier ones). *)
+  (* Helper functions (acyclic: each sees only earlier ones).  With
+     [ptr] on they may also read globals: the reference evaluator models
+     the initial values, and every predicted call evaluates before the
+     body's first mutation. *)
+  let global_scope =
+    if feat.f_ptr then List.map (fun (n, t, _) -> (n, It t)) globals else []
+  in
   let funcs =
     if not feat.f_call then []
     else begin
       let n = 1 + Prng.int rng 2 in
       let acc = ref [] in
       for i = 0 to n - 1 do
-        acc := !acc @ [ gen_func rng ~feat ~idx:i ~earlier:!acc ~enum_names ]
+        acc :=
+          !acc
+          @ [ gen_func rng ~feat ~idx:i ~earlier:!acc ~enum_names
+                ~globals:global_scope ]
       done;
       !acc
     end
   in
   (* Recomputed pure expressions: the oracle checks the engines' runtime
      result of these against the reference evaluator — including float
-     results (compared bit-exactly) and helper calls with constant
-     arguments (arbitrating the whole call machinery). *)
-  let rc_lv = { (const_leaves enum_names) with lv_funcs = funcs } in
+     results (compared bit-exactly), helper calls with constant
+     arguments (arbitrating the whole call machinery), and — with [ptr]
+     — global reads (arbitrating the initializer fold). *)
+  let rc_lv =
+    { (const_leaves enum_names) with
+      lv_funcs = funcs;
+      lv_scalars = global_scope }
+  in
   let rcs =
     List.init
       (2 + Prng.int rng 3)
@@ -622,7 +755,8 @@ let generate ?(features = all_features) ~(seed : int) () : program =
       lv_fields = List.map (fun (f, t, _) -> (f, t)) fields;
       lv_loops = [];
       lv_funcs = funcs;
-      lv_strlen = strlen_arrays }
+      lv_strlen = strlen_arrays;
+      lv_ptrs = [] }
   in
   for i = 0 to n_locals - 1 do
     let declared = List.map (fun (n, s, _) -> (n, s)) !locals in
@@ -636,14 +770,86 @@ let generate ?(features = all_features) ~(seed : int) () : program =
   done;
   let locals = !locals in
   let local_tys = List.map (fun (n, s, _) -> (n, s)) locals in
+  (* The address universe: single-assignment pointers into int-typed
+     locals, globals and array elements, plus aliases rebased anywhere
+     inside an earlier pointer's referent (two names, one object).  The
+     static (referent, offset, extent) rides along as [pinfo], so every
+     use emitted below is in bounds by construction.  Finally, each
+     helper pointer-parameter type that can be satisfied gets a
+     guaranteed pointer, keeping pointer-taking helpers callable. *)
+  let ptr_decls = ref [] and ptr_infos = ref [] in
+  let fresh_ptr () = Printf.sprintf "p%d" (List.length !ptr_infos) in
+  let add_scalar_ptr (n, t) =
+    let pname = fresh_ptr () in
+    ptr_decls := !ptr_decls @ [ (pname, t, PaddrScalar n) ];
+    ptr_infos :=
+      !ptr_infos
+      @ [ { pi_name = pname; pi_ty = t; pi_obj = n; pi_off = 0; pi_ext = 1;
+            pi_char_guard = false } ]
+  in
+  let add_arr_ptr (a, t, len) k =
+    let pname = fresh_ptr () in
+    ptr_decls := !ptr_decls @ [ (pname, t, PaddrArr (a, k)) ];
+    ptr_infos :=
+      !ptr_infos
+      @ [ { pi_name = pname; pi_ty = t; pi_obj = a; pi_off = k; pi_ext = len;
+            pi_char_guard = is_char t } ]
+  in
+  let add_alias q =
+    let off' = Prng.int rng q.pi_ext in
+    let pname = fresh_ptr () in
+    ptr_decls := !ptr_decls @ [ (pname, q.pi_ty, Palias (q.pi_name, off' - q.pi_off)) ];
+    ptr_infos := !ptr_infos @ [ { q with pi_name = pname; pi_off = off' } ]
+  in
+  if feat.f_ptr then begin
+    let scalar_objs =
+      List.filter_map
+        (fun (n, s, _) ->
+          match s with It t -> Some (n, t) | Ft _ | Pt _ -> None)
+        locals
+      @ List.map (fun (n, t, _) -> (n, t)) globals
+    in
+    let n_ptrs = 2 + Prng.int rng 3 in
+    for _ = 1 to n_ptrs do
+      let can_alias = !ptr_infos <> [] in
+      if can_alias && Prng.int rng 3 = 0 then
+        add_alias (Prng.pick rng !ptr_infos)
+      else if arrays <> [] && Prng.int rng 2 = 0 then begin
+        let (a, t, len) = Prng.pick rng arrays in
+        add_arr_ptr (a, t, len) (Prng.int rng len)
+      end
+      else add_scalar_ptr (Prng.pick rng scalar_objs)
+    done;
+    List.iter
+      (fun f ->
+        List.iter
+          (fun (_, ps) ->
+            match ps with
+            | Pt t
+              when not (List.exists (fun pi -> pi.pi_ty = t) !ptr_infos) -> begin
+              match
+                List.find_opt (fun (_, t', _) -> t' = t) arrays
+              with
+              | Some (a, _, len) -> add_arr_ptr (a, t, len) (Prng.int rng len)
+              | None -> begin
+                match List.find_opt (fun (_, t') -> t' = t) scalar_objs with
+                | Some obj -> add_scalar_ptr obj
+                | None -> () (* this helper just stays uncalled *)
+              end
+            end
+            | _ -> ())
+          f.fn_params)
+      funcs
+  end;
+  let ptrs = !ptr_decls in
   let st = { next_loop = 0; loop_prefix = "" } in
   (* The body may store to globals as well as locals: the rendering
      snapshots the reference-predicted initial values before the body. *)
   let body =
     gen_stmts rng st ~feat
-      ~lv:(base_lv local_tys)
+      ~lv:{ (base_lv local_tys) with lv_ptrs = !ptr_infos }
       ~assignable:(List.map (fun (n, t, _) -> (n, It t)) globals @ local_tys)
       ~depth:2
       ~n:(3 + Prng.int rng 6)
   in
-  { seed; enums; globals; fields; arrays; funcs; rcs; locals; body }
+  { seed; enums; globals; fields; arrays; funcs; rcs; locals; ptrs; body }

@@ -41,8 +41,11 @@ type ity = I8 | U8 | I16 | U16 | I32 | U32 | I64 | U64
     single precision (the same invariant the engines keep). *)
 type fty = F32 | F64
 
-(** A scalar C type: integer or floating. *)
-type sty = It of ity | Ft of fty
+(** A scalar C type: integer, floating, or pointer-to-integer.  [Pt]
+    appears only where pointers are legal by construction — helper
+    parameters and the pointer declarations of [program.ptrs]; it never
+    types an arithmetic operand ([well_formed] rejects those shapes). *)
+type sty = It of ity | Ft of fty | Pt of ity
 
 let all_itys = [ I8; U8; I16; U16; I32; U32; I64; U64 ]
 
@@ -67,7 +70,12 @@ let c_name = function
   | U64 -> "unsigned long"
 
 let f_name = function F32 -> "float" | F64 -> "double"
-let sty_name = function It t -> c_name t | Ft t -> f_name t
+
+let sty_name = function
+  | It t -> c_name t
+  | Ft t -> f_name t
+  | Pt t -> c_name t ^ " *"
+
 let ity_bytes t = bits t / 8
 
 (** Integer promotion: anything narrower than [int] promotes to [int].
@@ -92,6 +100,10 @@ let usual_sty a b =
   | It x, It y -> It (usual x y)
   | Ft x, Ft y -> Ft (usual_f x y)
   | (Ft _ as f), It _ | It _, (Ft _ as f) -> f
+  (* Pointers have no usual arithmetic conversion; give ill-typed shapes
+     a stable answer so [type_of] stays total ([well_formed] rejects
+     them before any engine sees the program). *)
+  | Pt _, _ | _, Pt _ -> It I64
 
 (** Canonical constant representation: truncate to the width of [t] and
     sign-extend back to 64 bits (the engines' register invariant). *)
@@ -190,9 +202,24 @@ type expr =
   | Cond of expr * expr * expr
   | Call of string * sty * expr list
       (** direct call of a generated helper; carries the declared return
-          type so [type_of] needs no symbol table *)
+          type so [type_of] needs no symbol table.  An argument aligned
+          to a pointer-typed parameter must be exactly [Var (p, Pt t)]
+          for an in-scope pointer [p] — the only place a bare pointer
+          value is a legal expression *)
   | Strlen of string
       (** [strlen] of a NUL-safe char array; type [unsigned long] *)
+  | PRead of string * ity * idx
+      (** load through a pointer: ["*p"] when the index is [Ixc 0],
+          [p[k]] otherwise.  Kept in bounds of the pointer's statically
+          resolved referent by [well_formed]; a helper's pointer
+          parameter (no static referent) admits only [Ixc 0] *)
+  | PCmp of binop * string * string
+      (** pointer comparison by name; type [int].  [Eq]/[Ne] compare any
+          two same-element-type pointers; relational operators require
+          both to resolve to the same object (C99 6.5.8) *)
+  | PDiff of string * string
+      (** [(long)(p - q)] for two pointers into the same object; the
+          element-count difference, type [long] *)
 
 type stmt =
   | Assign of string * expr
@@ -208,6 +235,11 @@ type stmt =
           distinct labels *)
   | Memcpy of string * string * int  (** dst array, src array, bytes *)
   | Memset of string * int * int     (** array, byte value, bytes *)
+  | PStore of string * idx * expr
+      (** store through a pointer: [*p = e] / [p[k] = e].  Main-body
+          only; the write lands in the pointer's resolved referent (a
+          scalar local/global or an array), aliasing whatever other
+          names reach the same storage *)
 
 (** A generated helper function.  Helpers are pure over their parameters
     and own locals: no globals, arrays, fields or builtins — so the
@@ -226,6 +258,16 @@ type func = {
   fn_ret_expr : expr;
 }
 
+(** Pointer initializer: where a pointer points is static, decided at
+    its (single) declaration — the address universe is generated, never
+    computed at runtime, so every load/store through a pointer has a
+    statically resolvable referent and offset that [well_formed] can
+    check bounds against. *)
+type pinit =
+  | PaddrScalar of string     (** [&x]: a scalar local or global *)
+  | PaddrArr of string * int  (** [a + k]: element [k] of array [a] *)
+  | Palias of string * int    (** [q + k]: offset from an earlier pointer *)
+
 type program = {
   seed : int;
   enums : (string * expr) list;  (** full integer constant expressions *)
@@ -237,11 +279,49 @@ type program = {
   funcs : func list;                     (** helper functions, in order *)
   rcs : (string * expr) list;
       (** runtime recomputations of pure expressions (possibly float,
-          possibly calling helpers with constant arguments): evaluated
-          by the engines, predicted by the reference evaluator *)
+          possibly calling helpers with constant arguments, possibly
+          reading globals — whose *initial* values the evaluator knows):
+          evaluated by the engines, predicted by the reference
+          evaluator *)
   locals : (string * sty * expr) list;   (** runtime initializers *)
+  ptrs : (string * ity * pinit) list;
+      (** pointer locals, declared after [locals] (so [&local] works)
+          and never reassigned; [Palias] may reference earlier pointers
+          only.  Pointer values are never printed — only the integer
+          data reached through them is *)
   body : stmt list;
 }
+
+(** The statically resolved storage a pointer designates. *)
+type referent = RScalar of string | RArr of string * int  (** name, len *)
+
+let referent_extent = function RScalar _ -> 1 | RArr (_, len) -> len
+
+(** Resolve pointer [name] to its referent and element offset by
+    following the (acyclic, earlier-only) alias chain.  [None] when the
+    chain dangles — ill-formed programs only. *)
+let resolve_ptr (p : program) (name : string) : (referent * int) option =
+  let rec go ptrs name =
+    let rec find acc = function
+      | [] -> None
+      | (n, _, pi) :: _ when n = name -> Some (List.rev acc, pi)
+      | x :: rest -> find (x :: acc) rest
+    in
+    match find [] ptrs with
+    | None -> None
+    | Some (prefix, pi) -> (
+      match pi with
+      | PaddrScalar x -> Some (RScalar x, 0)
+      | PaddrArr (a, k) -> (
+        match List.find_opt (fun (n, _, _) -> n = a) p.arrays with
+        | Some (_, _, len) -> Some (RArr (a, len), k)
+        | None -> None)
+      | Palias (q, k) -> (
+        match go prefix q with
+        | Some (r, off) -> Some (r, off + k)
+        | None -> None))
+  in
+  go p.ptrs name
 
 let binop_str = function
   | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
@@ -259,25 +339,27 @@ let binop_str = function
     arbitrary candidates. *)
 let rec type_of (e : expr) : sty =
   match e with
-  | Const (_, t) | Read (_, t, _) | Field (_, t) -> It t
+  | Const (_, t) | Read (_, t, _) | Field (_, t) | PRead (_, t, _) -> It t
   | FConst (_, ft) -> Ft ft
   | Var (_, s) -> s
   | EnumRef _ -> It I32
   | Strlen _ -> It U64
+  | PCmp _ -> It I32
+  | PDiff _ -> It I64
   | Call (_, ret, _) -> ret
   | Un (Lnot, _) -> It I32
   | Un ((Neg | Bnot), a) -> begin
-    match type_of a with It t -> It (promote t) | Ft _ as f -> f
+    match type_of a with It t -> It (promote t) | (Ft _ | Pt _) as f -> f
   end
   | Bin ((Lt | Le | Gt | Ge | Eq | Ne | LAnd | LOr), _, _) -> It I32
   | Bin ((Shl | Shr), a, _) -> begin
-    match type_of a with It t -> It (promote t) | Ft _ as f -> f
+    match type_of a with It t -> It (promote t) | (Ft _ | Pt _) as f -> f
   end
   | Bin (_, a, b) -> usual_sty (type_of a) (type_of b)
   | Cast (s, _) -> s
   | Cond (_, a, b) -> usual_sty (type_of a) (type_of b)
 
-let is_int_expr e = match type_of e with It _ -> true | Ft _ -> false
+let is_int_expr e = match type_of e with It _ -> true | Ft _ | Pt _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* Reference evaluator                                                 *)
@@ -287,16 +369,21 @@ exception Not_const
 
 type value = VI of int64 | VF of float
 
-(** Evaluation environment: enum constants (already canonical at [int])
-    and the helper functions callable by name.  This is the independent
-    arbiter the oracle compares every configuration against: it shares
-    no code with the front end's folders or the engines. *)
+(** Evaluation environment: enum constants (already canonical at [int]),
+    the helper functions callable by name, and the *initial* values of
+    the program's globals ([VI] at the global's declared type).  Globals
+    are sound to model because everything the reference predicts — enum
+    lines, global snapshots, the [rcs] — is evaluated/printed before the
+    body's first mutation.  This is the independent arbiter the oracle
+    compares every configuration against: it shares no code with the
+    front end's folders or the engines. *)
 type env = {
   ev_enums : (string * int64) list;
   ev_funcs : func list;
+  ev_globals : (string * value) list;
 }
 
-let const_env = { ev_enums = []; ev_funcs = [] }
+let const_env = { ev_enums = []; ev_funcs = []; ev_globals = [] }
 
 let vi = function VI v -> v | VF _ -> raise Not_const
 let vf = function VF f -> f | VI _ -> raise Not_const
@@ -336,9 +423,19 @@ let rec eval_var (env : env) (lookup : string -> value option) (e : expr) :
     | None -> raise Not_const
   end
   | Var (n, _) -> begin
-    match lookup n with Some v -> v | None -> raise Not_const
+    match lookup n with
+    | Some v -> v
+    | None -> begin
+      (* Globals resolve to their initial values — valid wherever the
+         reference predicts anything (all predictions print before the
+         body's first mutation). *)
+      match List.assoc_opt n env.ev_globals with
+      | Some v -> v
+      | None -> raise Not_const
+    end
   end
-  | Read _ | Field _ | Strlen _ -> raise Not_const
+  | Read _ | Field _ | Strlen _ | PRead _ | PCmp _ | PDiff _ ->
+    raise Not_const
   | Un (Neg, a) -> begin
     match type_of a with
     | Ft ft ->
@@ -348,13 +445,14 @@ let rec eval_var (env : env) (lookup : string -> value option) (e : expr) :
     | It t ->
       let pt = promote t in
       VI (normalize pt (Int64.neg (int_at a pt)))
+    | Pt _ -> raise Not_const
   end
   | Un (Bnot, a) -> begin
     match type_of a with
     | It t ->
       let pt = promote t in
       VI (normalize pt (Int64.lognot (int_at a pt)))
-    | Ft _ -> raise Not_const
+    | Ft _ | Pt _ -> raise Not_const
   end
   | Un (Lnot, a) -> VI (if vi (recur a) = 0L then 1L else 0L)
   | Bin (LAnd, a, b) ->
@@ -396,10 +494,11 @@ let rec eval_var (env : env) (lookup : string -> value option) (e : expr) :
         | _ -> cmp <> 0
       in
       VI (if r then 1L else 0L)
+    | Pt _ -> raise Not_const
   end
   | Bin (((Shl | Shr) as op), a, b) -> begin
     match type_of a with
-    | Ft _ -> raise Not_const
+    | Ft _ | Pt _ -> raise Not_const
     | It ta ->
       let t = promote ta in
       let x = int_at a t in
@@ -448,6 +547,7 @@ let rec eval_var (env : env) (lookup : string -> value option) (e : expr) :
         | _ -> raise Not_const
       in
       VI (normalize t r)
+    | Pt _ -> raise Not_const
   end
   | Cast (s, a) -> conv a s
   | Cond (c, a, b) ->
@@ -499,7 +599,8 @@ and eval_func (env : env) (f : func) (argv : value list) : value =
         Hashtbl.replace vars v (VI (Int64.of_int k));
         List.iter exec body
       done
-    | AStore _ | FStore _ | Switch _ | Memcpy _ | Memset _ -> raise Not_const
+    | AStore _ | FStore _ | Switch _ | Memcpy _ | Memset _ | PStore _ ->
+      raise Not_const
   in
   List.iter exec f.fn_body;
   conv_to f.fn_ret f.fn_ret_expr
@@ -518,7 +619,7 @@ let enum_env (p : program) : (string * int64) list =
       let v =
         match type_of e with
         | It t -> as_long t (eval_int { const_env with ev_enums = env } e)
-        | Ft _ -> raise Not_const
+        | Ft _ | Pt _ -> raise Not_const
       in
       (n, normalize I32 v) :: env)
     [] p.enums
@@ -534,14 +635,23 @@ type line = Lint of int64 | Lfloat of float
     exact bit pattern of the (double-widened) result. *)
 let expected_lines (p : program) : (string * line) list =
   let enums = enum_env p in
-  let env = { ev_enums = enums; ev_funcs = p.funcs } in
-  List.map (fun (n, _) -> (n, Lint (List.assoc n enums))) p.enums
-  @ List.map
+  let env0 = { ev_enums = enums; ev_funcs = p.funcs; ev_globals = [] } in
+  (* Global initial values first (their initializers are [`Restricted]
+     and cannot read other globals), then an environment carrying them
+     for the rcs — which may read globals directly or through helpers. *)
+  let gvals =
+    List.map
       (fun (n, gt, e) ->
-        match (type_of e, eval env e) with
-        | It t, VI v -> (n, Lint (as_long gt (convert ~from_:t ~to_:gt v)))
+        match (type_of e, eval env0 e) with
+        | It t, VI v -> (n, gt, convert ~from_:t ~to_:gt v)
         | _ -> raise Not_const)
       p.globals
+  in
+  let env =
+    { env0 with ev_globals = List.map (fun (n, _, v) -> (n, VI v)) gvals }
+  in
+  List.map (fun (n, _) -> (n, Lint (List.assoc n enums))) p.enums
+  @ List.map (fun (n, gt, v) -> (n, Lint (as_long gt v))) gvals
   @ List.map
       (fun (n, e) ->
         match (type_of e, eval env e) with
@@ -618,6 +728,12 @@ let rec render_expr (e : expr) : string =
   | Call (n, _, args) ->
     Printf.sprintf "%s(%s)" n (String.concat ", " (List.map render_expr args))
   | Strlen a -> Printf.sprintf "strlen(%s)" a
+  (* "*p" vs "p[k]" deliberately exercises both front-end lowerings
+     (Deref and Index) of the same load. *)
+  | PRead (p, _, Ixc 0) -> Printf.sprintf "(*%s)" p
+  | PRead (p, _, ix) -> Printf.sprintf "%s[%s]" p (render_idx ix)
+  | PCmp (op, a, b) -> Printf.sprintf "(%s %s %s)" a (binop_str op) b
+  | PDiff (a, b) -> Printf.sprintf "((long)(%s - %s))" a b
 
 let rec render_stmt b ind (s : stmt) =
   let pad = String.make ind ' ' in
@@ -664,6 +780,11 @@ let rec render_stmt b ind (s : stmt) =
     Buffer.add_string b (Printf.sprintf "%smemcpy(%s, %s, %d);\n" pad dst src len)
   | Memset (a, v, len) ->
     Buffer.add_string b (Printf.sprintf "%smemset(%s, %d, %d);\n" pad a v len)
+  | PStore (p, Ixc 0, e) ->
+    Buffer.add_string b (Printf.sprintf "%s*%s = %s;\n" pad p (render_expr e))
+  | PStore (p, ix, e) ->
+    Buffer.add_string b
+      (Printf.sprintf "%s%s[%s] = %s;\n" pad p (render_idx ix) (render_expr e))
 
 let render_func b (f : func) =
   let params =
@@ -698,6 +819,7 @@ let print_line b name (s : sty) what =
   | Ft _ ->
     Buffer.add_string b
       (Printf.sprintf "  printf(\"%s=%%.17g\\n\", (double)%s);\n" name what)
+  | Pt _ -> () (* addresses are never printed: not deterministic *)
 
 let render (p : program) : string =
   let b = Buffer.create 1024 in
@@ -746,6 +868,22 @@ let render (p : program) : string =
       Buffer.add_string b
         (Printf.sprintf "  %s %s = %s;\n" (sty_name s) n (render_expr e)))
     p.locals;
+  (* Pointers come after every addressable local so [&local] refers to a
+     declared name; [a + 0] and [q + 0] shorten to the bare name (array
+     decay / plain copy), and negative alias offsets render as [q - k]. *)
+  let render_pinit = function
+    | PaddrScalar x -> "&" ^ x
+    | PaddrArr (a, 0) -> a
+    | PaddrArr (a, k) -> Printf.sprintf "%s + %d" a k
+    | Palias (q, 0) -> q
+    | Palias (q, k) when k < 0 -> Printf.sprintf "%s - %d" q (-k)
+    | Palias (q, k) -> Printf.sprintf "%s + %d" q k
+  in
+  List.iter
+    (fun (n, t, pi) ->
+      Buffer.add_string b
+        (Printf.sprintf "  %s *%s = %s;\n" (c_name t) n (render_pinit pi)))
+    p.ptrs;
   (* Globals are mutable at runtime (the body may assign them), but the
      reference evaluator predicts only their *initial* values — so those
      are snapshot before the body runs, and the snapshots feed the
@@ -836,6 +974,7 @@ let well_formed (p : program) : bool =
   List.iter (fun (a, _, _) -> declare a) p.arrays;
   List.iter (fun (n, _) -> declare n) p.rcs;
   List.iter (fun (n, _, _) -> declare n) p.locals;
+  List.iter (fun (n, _, _) -> declare n) p.ptrs;
   let rec declare_loop_vars s =
     match s with
     | Loop (v, _, body) ->
@@ -847,7 +986,7 @@ let well_formed (p : program) : bool =
     | Switch (_, arms, d) ->
       List.iter (fun (_, body) -> List.iter declare_loop_vars body) arms;
       List.iter declare_loop_vars d
-    | Assign _ | AStore _ | FStore _ | Memcpy _ | Memset _ -> ()
+    | Assign _ | AStore _ | FStore _ | PStore _ | Memcpy _ | Memset _ -> ()
   in
   List.iter declare_loop_vars p.body;
   List.iter
@@ -864,6 +1003,75 @@ let well_formed (p : program) : bool =
   let array_bytes (t, len) = ity_bytes t * len in
   let local_ty = List.map (fun (n, s, _) -> (n, s)) p.locals in
   let func_by_name = List.map (fun f -> (f.fn_name, f)) p.funcs in
+  (* Pointer table: every pointer resolves *statically* to a (referent,
+     offset) pair with the offset strictly inside the referent's extent
+     — that resolution is what makes every later deref/compare bounds-
+     checkable without dataflow.  Pointers are single-assignment and an
+     alias may only name an *earlier* pointer, so insertion order makes
+     the chain check acyclic for free.  Targets are scalar locals,
+     globals and arrays only: locals are merely config-compared and
+     globals are snapshotted before the body runs, so a store through
+     any pointer can never falsify a reference-predicted print line. *)
+  let ptr_tbl : (string, ity * referent * int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (n, t, pi) ->
+      (match pi with
+      | PaddrScalar x -> begin
+        match (List.assoc_opt x local_ty, List.assoc_opt x global_ty) with
+        | Some (It t'), None when t' = t ->
+          Hashtbl.replace ptr_tbl n (t, RScalar x, 0)
+        | None, Some t' when t' = t -> Hashtbl.replace ptr_tbl n (t, RScalar x, 0)
+        | _ -> fail ()
+      end
+      | PaddrArr (a, k) -> begin
+        match List.assoc_opt a array_info with
+        | Some (t', len) when t' = t && k >= 0 && k < len ->
+          Hashtbl.replace ptr_tbl n (t, RArr (a, len), k)
+        | _ -> fail ()
+      end
+      | Palias (q, k) -> begin
+        match Hashtbl.find_opt ptr_tbl q with
+        | Some (t', r, off) when t' = t ->
+          let off' = off + k in
+          if off' >= 0 && off' < referent_extent r then
+            Hashtbl.replace ptr_tbl n (t, r, off')
+          else fail ()
+        | _ -> fail ()
+      end))
+    p.ptrs;
+  let ptr_scope = List.map (fun (n, t, _) -> (n, Pt t)) p.ptrs in
+  (* Pointer names live in the same scope lists as scalars (with a [Pt]
+     sty), but only these helpers may look them up — the Var case
+     rejects [Pt] so pointer values cannot leak into scalar contexts. *)
+  let scope_ptr_ty ~mode n =
+    match mode with
+    | `Runtime (locals, _) -> begin
+      match List.assoc_opt n locals with Some (Pt t) -> Some t | _ -> None
+    end
+    | `Func (scope, _) -> begin
+      match List.assoc_opt n scope with Some (Pt t) -> Some t | _ -> None
+    end
+    | `Full | `Restricted | `Pure -> None
+  in
+  let ptr_in_scope ~mode n t = scope_ptr_ty ~mode n = Some t in
+  (* In-bounds proof for [p[ix]]: the static (referent, offset) plus a
+     constant index — or a loop variable's bound — must stay strictly
+     inside the referent's extent. *)
+  let check_ptr_idx ~mode ~r ~off ix =
+    let ext = referent_extent r in
+    match ix with
+    | Ixc k -> if off + k < 0 || off + k >= ext then fail ()
+    | Ixv v -> begin
+      let loops =
+        match mode with
+        | `Runtime (_, l) | `Func (_, l) -> l
+        | `Full | `Restricted | `Pure -> []
+      in
+      match List.assoc_opt v loops with
+      | Some bound -> if off + bound > ext then fail ()
+      | None -> fail ()
+    end
+  in
   (* Generic expression check.  [funcs] is the callable set (a prefix of
      the definition order inside helper bodies, enforcing acyclicity). *)
   let rec check_expr ~(enums : string list) ~(funcs : (string * func) list)
@@ -886,6 +1094,11 @@ let well_formed (p : program) : bool =
       if not (fconst_ok f ft) then fail ()
     | EnumRef n -> if not (List.mem n enums) then fail ()
     | Var (n, s) -> begin
+      (* Pointer values never appear as bare rvalues: they are only
+         dereferenced (PRead/PStore), compared (PCmp/PDiff) or passed
+         verbatim to a pointer parameter — the Call case checks those
+         arguments itself, so [recur] never reaches a [Pt] leaf. *)
+      (match s with Pt _ -> fail () | It _ | Ft _ -> ());
       match mode with
       | `Runtime (locals, loops) ->
         let found =
@@ -899,13 +1112,27 @@ let well_formed (p : program) : bool =
         in
         if not found then fail ()
       | `Func (scope, loops) ->
+        (* Helpers may read globals: calls reachable from a reference-
+           predicted context evaluate before the body's first mutation,
+           so the initial value the evaluator uses is the true one. *)
         let found =
           match List.assoc_opt n scope with
           | Some s' -> s' = s
-          | None -> List.mem_assoc n loops && s = It I64
+          | None -> begin
+            match List.assoc_opt n global_ty with
+            | Some t' -> It t' = s
+            | None -> List.mem_assoc n loops && s = It I64
+          end
         in
         if not found then fail ()
-      | `Full | `Restricted | `Pure -> fail ()
+      | `Pure -> begin
+        (* Recomputations evaluate before the body runs, so a global's
+           initial value is exactly what the C program reads. *)
+        match List.assoc_opt n global_ty with
+        | Some t' -> if It t' <> s then fail ()
+        | None -> fail ()
+      end
+      | `Full | `Restricted -> fail ()
     end
     | Read (a, t, ix) -> begin
       match (List.assoc_opt a array_info, mode) with
@@ -940,6 +1167,43 @@ let well_formed (p : program) : bool =
       end
       | _ -> fail ()
     end
+    | PRead (pn, t, ix) -> begin
+      if not (ptr_in_scope ~mode pn t) then fail ();
+      match Hashtbl.find_opt ptr_tbl pn with
+      | Some (_, r, off) -> check_ptr_idx ~mode ~r ~off ix
+      | None ->
+        (* Not a main pointer, so a helper's pointer parameter: no
+           static referent, hence deref-only — any valid argument has
+           extent >= 1 at its own offset, so exactly [*p] is safe. *)
+        if ix <> Ixc 0 then fail ()
+    end
+    | PCmp (op, a, b) -> begin
+      (match op with
+      | Eq | Ne | Lt | Le | Gt | Ge -> ()
+      | _ -> fail ());
+      let ta = scope_ptr_ty ~mode a and tb = scope_ptr_ty ~mode b in
+      (match (ta, tb) with
+      | Some t, Some t' when t = t' -> ()
+      | _ -> fail ());
+      match op with
+      | Eq | Ne -> ()
+      | _ -> begin
+        (* Relational comparison is only defined inside one object
+           (C99 6.5.8p5), so both sides need the same static referent. *)
+        match (Hashtbl.find_opt ptr_tbl a, Hashtbl.find_opt ptr_tbl b) with
+        | Some (_, ra, _), Some (_, rb, _) -> if ra <> rb then fail ()
+        | _ -> fail ()
+      end
+    end
+    | PDiff (a, b) -> begin
+      (match (scope_ptr_ty ~mode a, scope_ptr_ty ~mode b) with
+      | Some t, Some t' when t = t' -> ()
+      | _ -> fail ());
+      (* Subtraction needs one object too (C99 6.5.6p9). *)
+      match (Hashtbl.find_opt ptr_tbl a, Hashtbl.find_opt ptr_tbl b) with
+      | Some (_, ra, _), Some (_, rb, _) -> if ra <> rb then fail ()
+      | _ -> fail ()
+    end
     | Call (name, rty, args) -> begin
       (match mode with
       | `Pure | `Runtime _ | `Func _ -> ()
@@ -948,8 +1212,22 @@ let well_formed (p : program) : bool =
       | None -> fail ()
       | Some f ->
         if f.fn_ret <> rty then fail ();
-        if List.length args <> List.length f.fn_params then fail ();
-        List.iter recur args
+        if List.length args <> List.length f.fn_params then fail ()
+        else
+          List.iter2
+            (fun (_, ps) arg ->
+              match ps with
+              | Pt pt -> begin
+                (* Pointer arguments are passed verbatim — a bare name
+                   with the parameter's exact element type — so the
+                   callee's deref-only use stays in bounds. *)
+                match arg with
+                | Var (an, Pt at) when at = pt ->
+                  if not (ptr_in_scope ~mode an pt) then fail ()
+                | _ -> fail ()
+              end
+              | It _ | Ft _ -> recur arg)
+            f.fn_params args
     end
     | Un (Neg, a) -> recur a
     | Un ((Bnot | Lnot), a) ->
@@ -963,6 +1241,7 @@ let well_formed (p : program) : bool =
       recur a;
       recur b;
       (match type_of e with
+      | Pt _ -> fail ()
       | Ft _ ->
         (* Float division is total under IEEE; % never types as float. *)
         if (match e with Bin (Rem, _, _) -> true | _ -> false) then fail ()
@@ -978,7 +1257,7 @@ let well_formed (p : program) : bool =
     | Bin ((Shl | Shr), a, b) -> begin
       recur a;
       match type_of a with
-      | Ft _ -> fail ()
+      | Ft _ | Pt _ -> fail ()
       | It ta -> begin
         match b with
         | Const (k, _) ->
@@ -996,6 +1275,7 @@ let well_formed (p : program) : bool =
     | Cast (s, a) ->
       (match (mode, s) with
       | (`Full | `Restricted), Ft _ -> fail ()
+      | _, Pt _ -> fail () (* no casts to pointer types: provenance *)
       | _ -> ());
       recur a
     | Cond (c, a, b) ->
@@ -1032,6 +1312,13 @@ let well_formed (p : program) : bool =
   List.iter
     (fun f ->
       let callable = List.rev !funcs_so_far in
+      (* Only *parameters* may be pointer-typed: a pointer local or a
+         pointer return value would need a static referent the callee
+         cannot have. *)
+      (match f.fn_ret with Pt _ -> fail () | It _ | Ft _ -> ());
+      List.iter
+        (fun (_, s, _) -> match s with Pt _ -> fail () | It _ | Ft _ -> ())
+        f.fn_locals;
       let param_scope = f.fn_params in
       let scope_ref = ref param_scope in
       List.iter
@@ -1060,8 +1347,10 @@ let well_formed (p : program) : bool =
         | Loop (v, n, body) ->
           if n < 1 || n > max_loop_bound then fail ();
           List.iter (check_fstmt ((v, n) :: loops)) body
-        | AStore _ | FStore _ | Switch _ | Memcpy _ | Memset _ ->
-          (* no arrays, fields or builtins in a helper: purity *)
+        | AStore _ | FStore _ | PStore _ | Switch _ | Memcpy _ | Memset _ ->
+          (* no arrays, fields, builtins or pointer stores in a helper:
+             reads (globals included) keep calls predictable, writes
+             would not be *)
           fail ()
       in
       List.iter (check_fstmt []) f.fn_body;
@@ -1081,6 +1370,9 @@ let well_formed (p : program) : bool =
   let locals_so_far = ref [] in
   List.iter
     (fun (n, s, e) ->
+      (* Scalar locals only — pointers live in [p.ptrs], declared after
+         every local so their initializers can take any address. *)
+      (match s with Pt _ -> fail () | It _ | Ft _ -> ());
       check_expr ~enums:all_enums ~funcs:all_funcs
         ~mode:(`Runtime (!locals_so_far, []))
         e;
@@ -1092,9 +1384,12 @@ let well_formed (p : program) : bool =
      rendering snapshots the initial values before the body runs, so the
      reference-predicted print lines are unaffected. *)
   let rec check_stmt loops s =
+    (* The body (and only the body) sees the pointers: declared after
+       the last local initializer, never visible to helpers or rcs. *)
+    let body_scope = local_ty @ ptr_scope in
     let check_e =
       check_expr ~enums:all_enums ~funcs:all_funcs
-        ~mode:(`Runtime (local_ty, loops))
+        ~mode:(`Runtime (body_scope, loops))
     in
     match s with
     | Assign (n, e) ->
@@ -1118,6 +1413,16 @@ let well_formed (p : program) : bool =
     | FStore (f, e) ->
       if not (List.mem_assoc f field_ty) then fail ();
       check_e e
+    | PStore (pn, ix, e) -> begin
+      check_e e;
+      (* Stored value converts to the element's integer type; float
+         sources could overflow the conversion (UB), so keep them out. *)
+      if not (is_int_expr e) then fail ();
+      match Hashtbl.find_opt ptr_tbl pn with
+      | Some (_, r, off) ->
+        check_ptr_idx ~mode:(`Runtime (body_scope, loops)) ~r ~off ix
+      | None -> fail ()
+    end
     | If (c, a, b) ->
       check_e c;
       if not (is_int_expr c) then fail ();
@@ -1160,7 +1465,8 @@ let well_formed (p : program) : bool =
         strlen_targets := a :: !strlen_targets
     | _ -> ());
     match e with
-    | Const _ | FConst _ | EnumRef _ | Var _ | Read _ | Field _ | Strlen _ -> ()
+    | Const _ | FConst _ | EnumRef _ | Var _ | Read _ | Field _ | Strlen _
+    | PRead _ | PCmp _ | PDiff _ -> ()
     | Un (_, a) | Cast (_, a) -> scan_expr a
     | Bin (_, a, b) -> scan_expr a; scan_expr b
     | Cond (c, a, b) -> scan_expr c; scan_expr a; scan_expr b
@@ -1168,7 +1474,8 @@ let well_formed (p : program) : bool =
   in
   let rec scan_stmt s =
     match s with
-    | Assign (_, e) | AStore (_, _, e) | FStore (_, e) -> scan_expr e
+    | Assign (_, e) | AStore (_, _, e) | FStore (_, e) | PStore (_, _, e) ->
+      scan_expr e
     | If (c, a, b) -> scan_expr c; List.iter scan_stmt a; List.iter scan_stmt b
     | Loop (_, _, body) -> List.iter scan_stmt body
     | Switch (e, arms, d) ->
@@ -1202,6 +1509,22 @@ let well_formed (p : program) : bool =
               | Some bound -> if bound > len - 1 then fail ()
               | None -> ()
             end
+          end
+          | PStore (pn, ix, _) -> begin
+            (* A store through a pointer can hit the array too: resolve
+               the pointer's static referent and apply the same
+               last-element protection as a direct [AStore]. *)
+            match Hashtbl.find_opt ptr_tbl pn with
+            | Some (_, RArr (a', _), off) when a' = a -> begin
+              match ix with
+              | Ixc k -> if off + k > len - 2 then fail ()
+              | Ixv v -> begin
+                match List.assoc_opt v loops with
+                | Some bound -> if off + bound > len - 1 then fail ()
+                | None -> ()
+              end
+            end
+            | _ -> ()
           end
           | Memset (a', _, l) when a' = a -> if l > len - 1 then fail ()
           | Memcpy (d, _, l) when d = a -> if l > len - 1 then fail ()

@@ -400,6 +400,29 @@ let regressions : (string * string * string) list =
       \  return 0;\n\
        }\n",
       "4170000000000000 4170000000000000\n" );
+    ( "mem2reg-late-phi-operand",
+      (* Two-round promotion: round 1 promotes the pointer alloca [p0],
+         turning [*p0] into direct loads of [v0]'s alloca; round 2
+         promotes [v0] itself.  A phi's incoming operand names a value
+         from its *predecessor*, a block the renaming walk's pre-order
+         dominator-tree traversal may visit after the phi's own block —
+         pre-fix, the walk rewrote the phi before the predecessor's
+         load had a substitution, then deleted the load, leaving the
+         safe-jit and -O3 pipelines with IR that fails verification
+         ("phi uses undefined register").  Found by the first ptr
+         campaign (seeds 411 and 479), shrunk to this form. *)
+      "static short g0 = 0;\n\
+       static unsigned short g1 = 1;\n\
+       int main(void) {\n\
+      \  unsigned int v0 = 7;\n\
+      \  unsigned int *p0 = &v0;\n\
+      \  g1 = ((*p0) && g0);\n\
+      \  int r = (g0 ? 1 : (*p0));\n\
+      \  printf(\"g1_end=%ld\\n\", (long)g1);\n\
+      \  printf(\"r=%ld\\n\", (long)r);\n\
+      \  return 0;\n\
+       }\n",
+      "g1_end=0\nr=7\n" );
   ]
 
 (** Run one regression through the full oracle; the common output must
@@ -420,3 +443,30 @@ let check_regression ((name, src, expected) : string * string * string) :
                  Printf.sprintf "  %-18s %-14s %S" o.Oracle.ob_config
                    o.Oracle.ob_key o.Oracle.ob_output)
                observations)))
+
+(** On-disk regressions corpus, as written by `sulong bugdb export`:
+    [<name>.c] next to [<name>.expected], both read whole.  Entries are
+    the same [(name, source, expected)] triples as [regressions], so
+    [check_regression] runs them unchanged.  A missing directory is an
+    empty corpus; a [.c] without its [.expected] is an error (a corpus
+    that silently skips members would pass vacuously). *)
+let load_corpus ~(dir : string) : (string * string * string) list =
+  if not (Sys.file_exists dir) then []
+  else
+    let read file =
+      let ic = open_in_bin file in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    in
+    Sys.readdir dir |> Array.to_list |> List.sort compare
+    |> List.filter_map (fun f ->
+           if Filename.check_suffix f ".c" then begin
+             let name = Filename.chop_suffix f ".c" in
+             let expected_file = Filename.concat dir (name ^ ".expected") in
+             if not (Sys.file_exists expected_file) then
+               invalid_arg
+                 (Printf.sprintf "corpus %s: %s has no %s.expected" dir f name);
+             Some (name, read (Filename.concat dir f), read expected_file)
+           end
+           else None)

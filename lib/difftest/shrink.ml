@@ -23,8 +23,13 @@ let hoistable_children (e : expr) : expr list =
     | Un (_, a) | Cast (_, a) -> [ a ]
     | Bin (_, a, b) -> [ a; b ]
     | Cond (c, a, b) -> [ c; a; b ]
-    | Call (_, _, args) -> args
-    | Const _ | FConst _ | EnumRef _ | Var _ | Read _ | Field _ | Strlen _ ->
+    | Call (_, _, args) ->
+      (* Pointer arguments are bare names, not hoistable values. *)
+      List.filter
+        (fun a -> match type_of a with Pt _ -> false | It _ | Ft _ -> true)
+        args
+    | Const _ | FConst _ | EnumRef _ | Var _ | Read _ | Field _ | Strlen _
+    | PRead _ | PCmp _ | PDiff _ ->
       []
   in
   List.map coerce kids
@@ -59,6 +64,10 @@ let expr_reductions (e : expr) : expr list =
       | _ -> [ Const (0L, t); Const (1L, t) ]
     in
     hoistable_children e @ consts
+  | Pt _ ->
+    (* A bare pointer value (a call's pointer argument): nothing to
+       reduce — dropping the pointer itself is a separate candidate. *)
+    []
 
 (* Every subexpression occurrence of [e], paired with a rebuild of the
    whole expression from a replacement at that occurrence. *)
@@ -84,7 +93,8 @@ let rec expr_sites (e : expr) (rebuild : expr -> 'a) : (expr * (expr -> 'a)) lis
                rebuild
                  (Call (n, r, List.mapi (fun j x -> if i = j then a' else x) args))))
          args)
-  | Const _ | FConst _ | EnumRef _ | Var _ | Read _ | Field _ | Strlen _ -> [])
+  | Const _ | FConst _ | EnumRef _ | Var _ | Read _ | Field _ | Strlen _
+  | PRead _ | PCmp _ | PDiff _ -> [])
 
 (* ---------------- statement-level variants ---------------- *)
 
@@ -102,7 +112,7 @@ let stmt_unwraps (s : stmt) : stmt list list =
   | If (_, a, b) -> [ a; b; a @ b ]
   | Loop (_, _, body) -> [ body ]
   | Switch (_, arms, d) -> [] :: d :: List.map snd arms
-  | Assign _ | AStore _ | FStore _ | Memcpy _ | Memset _ -> [ [] ]
+  | Assign _ | AStore _ | FStore _ | PStore _ | Memcpy _ | Memset _ -> [ [] ]
 
 (* All one-change variants of a statement list: drop a statement, unwrap
    a structured statement, shrink a loop bound or a memcpy/memset
@@ -146,7 +156,7 @@ and stmt_variants (s : stmt) : stmt list =
   | Memset (a, v, l) ->
     (if v <> 0 then [ Memset (a, 0, l) ] else [])
     @ if l > 1 then [ Memset (a, v, 1) ] else []
-  | Assign _ | AStore _ | FStore _ -> []
+  | Assign _ | AStore _ | FStore _ | PStore _ -> []
 
 (* ---------------- expression sites of a whole program ---------------- *)
 
@@ -156,6 +166,7 @@ let rec stmt_expr_sites (s : stmt) (rb : stmt -> program) :
   | Assign (n, e) -> expr_sites e (fun e' -> rb (Assign (n, e')))
   | AStore (a, ix, e) -> expr_sites e (fun e' -> rb (AStore (a, ix, e')))
   | FStore (f, e) -> expr_sites e (fun e' -> rb (FStore (f, e')))
+  | PStore (n, ix, e) -> expr_sites e (fun e' -> rb (PStore (n, ix, e')))
   | If (c, a, b) ->
     expr_sites c (fun c' -> rb (If (c', a, b)))
     @ stmts_expr_sites a (fun a' -> rb (If (c, a', b)))
@@ -243,13 +254,15 @@ let rec subst_call name repl (e : expr) : expr =
   | Bin (op, a, b) -> Bin (op, r a, r b)
   | Cast (s, a) -> Cast (s, r a)
   | Cond (c, a, b) -> Cond (r c, r a, r b)
-  | Const _ | FConst _ | EnumRef _ | Var _ | Read _ | Field _ | Strlen _ -> e
+  | Const _ | FConst _ | EnumRef _ | Var _ | Read _ | Field _ | Strlen _
+  | PRead _ | PCmp _ | PDiff _ -> e
 
 let rec map_stmt_exprs f (s : stmt) : stmt =
   match s with
   | Assign (n, e) -> Assign (n, f e)
   | AStore (a, ix, e) -> AStore (a, ix, f e)
   | FStore (g, e) -> FStore (g, f e)
+  | PStore (n, ix, e) -> PStore (n, ix, f e)
   | If (c, a, b) ->
     If (f c, List.map (map_stmt_exprs f) a, List.map (map_stmt_exprs f) b)
   | Loop (v, n, body) -> Loop (v, n, List.map (map_stmt_exprs f) body)
@@ -264,7 +277,7 @@ let drop_func (p : program) (i : int) : program =
   let fc = List.nth p.funcs i in
   let repl =
     match fc.fn_ret with
-    | It t -> Const (0L, t)
+    | It t | Pt t -> Const (0L, t) (* Pt unreachable: no pointer returns *)
     | Ft ft -> FConst (0.0, ft)
   in
   let fx = subst_call fc.fn_name repl in
@@ -280,6 +293,85 @@ let drop_func (p : program) (i : int) : program =
     locals = List.map (fun (n, s, e) -> (n, s, fx e)) p.locals;
     body = List.map (map_stmt_exprs fx) p.body }
 
+(* ---------------- pointer removal ---------------- *)
+
+(* Drop pointer [i] wholesale: any later alias of it is rebased directly
+   onto its initializer (static resolution composes, so the rebased
+   alias resolves to the same cell), loads/compares of it collapse to
+   zero constants, calls passing it rebind the argument to a surviving
+   same-element-type pointer or collapse to a constant themselves, and
+   stores through it disappear.  [well_formed] re-validates the result,
+   so any rebase this gets wrong is filtered, never shipped. *)
+let drop_ptr (p : program) (i : int) : program =
+  let pn, pt, pinit = List.nth p.ptrs i in
+  let rebase (n, t, pi) =
+    match pi with
+    | Palias (q, k) when q = pn -> begin
+      match pinit with
+      | PaddrScalar x ->
+        (n, t, PaddrScalar x) (* extent 1 forces k = 0 when well-formed *)
+      | PaddrArr (a, j) -> (n, t, PaddrArr (a, j + k))
+      | Palias (r, j) -> (n, t, Palias (r, j + k))
+    end
+    | _ -> (n, t, pi)
+  in
+  let ptrs = List.map rebase (remove_nth i p.ptrs) in
+  let replacement = List.find_opt (fun (_, t, _) -> t = pt) ptrs in
+  let rec fx e =
+    match e with
+    | Var (n, Pt t) when n = pn -> begin
+      match replacement with
+      | Some (rn, _, _) -> Var (rn, Pt t)
+      | None -> e (* left dangling here; the Call case collapses it *)
+    end
+    | PRead (n, t, _) when n = pn -> Const (0L, t)
+    | PCmp (_, a, b) when a = pn || b = pn -> Const (0L, I32)
+    | PDiff (a, b) when a = pn || b = pn -> Const (0L, I64)
+    | Call (n, rt, args) ->
+      let args' = List.map fx args in
+      let dangling =
+        List.exists (function Var (an, Pt _) -> an = pn | _ -> false) args'
+      in
+      if dangling then (
+        match rt with
+        | It t | Pt t -> Const (0L, t)
+        | Ft ft -> FConst (0.0, ft))
+      else Call (n, rt, args')
+    | Un (u, a) -> Un (u, fx a)
+    | Bin (op, a, b) -> Bin (op, fx a, fx b)
+    | Cast (s, a) -> Cast (s, fx a)
+    | Cond (c, a, b) -> Cond (fx c, fx a, fx b)
+    | Const _ | FConst _ | EnumRef _ | Var _ | Read _ | Field _ | Strlen _
+    | PRead _ | PCmp _ | PDiff _ -> e
+  in
+  let rec fstmt s =
+    match s with
+    | PStore (n, _, _) when n = pn -> None
+    | PStore (n, ix, e) -> Some (PStore (n, ix, fx e))
+    | Assign (n, e) -> Some (Assign (n, fx e))
+    | AStore (a, ix, e) -> Some (AStore (a, ix, fx e))
+    | FStore (f, e) -> Some (FStore (f, fx e))
+    | If (c, a, b) -> Some (If (fx c, fstmts a, fstmts b))
+    | Loop (v, n, body) -> Some (Loop (v, n, fstmts body))
+    | Switch (e, arms, d) ->
+      Some
+        (Switch (fx e, List.map (fun (k, b) -> (k, fstmts b)) arms, fstmts d))
+    | Memcpy _ | Memset _ -> Some s
+  and fstmts ss = List.filter_map fstmt ss in
+  { p with
+    ptrs;
+    funcs =
+      List.map
+        (fun f ->
+          { f with
+            fn_locals = List.map (fun (n, s, e) -> (n, s, fx e)) f.fn_locals;
+            fn_body = fstmts f.fn_body;
+            fn_ret_expr = fx f.fn_ret_expr })
+        p.funcs;
+    rcs = List.map (fun (n, e) -> (n, fx e)) p.rcs;
+    locals = List.map (fun (n, s, e) -> (n, s, fx e)) p.locals;
+    body = fstmts p.body }
+
 (* ---------------- candidates ---------------- *)
 
 (** All one-change reduction candidates, structural drops first (they
@@ -291,6 +383,7 @@ let candidates (p : program) : program list =
     @ List.mapi (fun i _ -> { p with fields = remove_nth i p.fields }) p.fields
     @ List.mapi (fun i _ -> { p with arrays = remove_nth i p.arrays }) p.arrays
     @ List.mapi (fun i _ -> drop_func p i) p.funcs
+    @ List.mapi (fun i _ -> drop_ptr p i) p.ptrs
     @ List.mapi (fun i _ -> { p with rcs = remove_nth i p.rcs }) p.rcs
     @ List.mapi (fun i _ -> { p with locals = remove_nth i p.locals }) p.locals
   in

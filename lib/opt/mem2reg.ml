@@ -235,6 +235,35 @@ let run_func (f : Irfunc.t) : bool =
         !pushed
     in
     walk info.Cfg.order.(0);
+    (* A phi's incoming operand for predecessor P names a value visible
+       at the end of P — a block the pre-order dominator-tree walk may
+       visit *after* the phi's own block.  If that operand was the
+       result of a promoted load, the walk rewrote the phi before the
+       load's substitution existed and then deleted the load, leaving a
+       dangling register.  Re-resolve phi incoming through the final
+       substitution map (stack values are pushed pre-resolved, so one
+       pass suffices). *)
+    List.iter
+      (fun (b : Irfunc.block) ->
+        b.Irfunc.instrs <-
+          List.map
+            (function
+              | Instr.Phi (r, s, incoming) ->
+                Instr.Phi
+                  ( r,
+                    s,
+                    List.map
+                      (fun (l, v) ->
+                        match v with
+                        | Instr.Reg rr -> (
+                          match Hashtbl.find_opt subst rr with
+                          | Some x -> (l, x)
+                          | None -> (l, v))
+                        | v -> (l, v))
+                      incoming )
+              | i -> i)
+            b.Irfunc.instrs)
+      f.Irfunc.blocks;
     (* materialize the phi instructions at block heads *)
     Hashtbl.iter
       (fun (label, var_reg) phi_reg ->

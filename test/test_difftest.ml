@@ -56,6 +56,8 @@ let feature_sets =
     { Cgen.int_only with Cgen.f_float = true };
     { Cgen.int_only with Cgen.f_call = true };
     { Cgen.int_only with Cgen.f_mem = true };
+    { Cgen.int_only with Cgen.f_ptr = true };
+    { Cgen.int_only with Cgen.f_call = true; Cgen.f_ptr = true };
     Cgen.all_features;
   ]
 
@@ -79,12 +81,35 @@ let test_generator_deterministic () =
     (gen 20180324 <> gen 20180325)
 
 let test_features_parse () =
-  Alcotest.(check string) "parse all" "int,float,call,mem"
-    (Cgen.features_name (Cgen.features_of_string "float,call,mem"));
+  Alcotest.(check string) "parse all" "int,float,call,mem,ptr"
+    (Cgen.features_name (Cgen.features_of_string "float,call,mem,ptr"));
   Alcotest.(check string) "parse subset" "int,float"
     (Cgen.features_name (Cgen.features_of_string "int,float"));
+  Alcotest.(check string) "parse ptr" "int,ptr"
+    (Cgen.features_name (Cgen.features_of_string "ptr"));
   Alcotest.(check string) "parse base" "int"
     (Cgen.features_name (Cgen.features_of_string "int"));
+  (* Round-trip: [features_name] output re-parses to the same set, for
+     every subset of the flags. *)
+  List.iter
+    (fun f ->
+      let name = Cgen.features_name f in
+      Alcotest.(check string)
+        (Printf.sprintf "round-trip %s" name)
+        name
+        (Cgen.features_name (Cgen.features_of_string name)))
+    (List.concat_map
+       (fun f_float ->
+         List.concat_map
+           (fun f_call ->
+             List.concat_map
+               (fun f_mem ->
+                 List.map
+                   (fun f_ptr -> { Cgen.f_float; f_call; f_mem; f_ptr })
+                   [ false; true ])
+               [ false; true ])
+           [ false; true ])
+       [ false; true ]);
   Alcotest.(check bool) "unknown rejected" true
     (try
        ignore (Cgen.features_of_string "int,quux");
@@ -105,12 +130,14 @@ let test_generator_uses_features () =
     | Cond (c, a, b) ->
       expr_has pred c || expr_has pred a || expr_has pred b
     | Call (_, _, args) -> List.exists (expr_has pred) args
-    | Const _ | FConst _ | EnumRef _ | Var _ | Read _ | Field _ | Strlen _ ->
+    | Const _ | FConst _ | EnumRef _ | Var _ | Read _ | Field _ | Strlen _
+    | PRead _ | PCmp _ | PDiff _ ->
       false
   in
   let rec stmt_exprs s =
     match s with
-    | Assign (_, e) | AStore (_, _, e) | FStore (_, e) -> [ e ]
+    | Assign (_, e) | AStore (_, _, e) | FStore (_, e) | PStore (_, _, e) ->
+      [ e ]
     | If (c, a, b) -> c :: List.concat_map stmt_exprs (a @ b)
     | Loop (_, _, b) -> List.concat_map stmt_exprs b
     | Switch (e, arms, d) ->
@@ -137,7 +164,7 @@ let test_generator_uses_features () =
     | Loop (_, _, b) -> List.exists stmt_has_mem b
     | Switch (_, arms, d) ->
       List.exists stmt_has_mem (List.concat_map snd arms @ d)
-    | Assign _ | AStore _ | FStore _ -> false
+    | Assign _ | AStore _ | FStore _ | PStore _ -> false
   in
   let progs features =
     List.init 30 (fun s -> Cgen.generate ~features ~seed:(s + 1) ())
@@ -163,15 +190,65 @@ let test_generator_uses_features () =
     (List.exists
        (fun p -> List.exists stmt_has_mem p.body)
        (progs { Cgen.int_only with Cgen.f_mem = true }));
+  let rec stmt_has_pstore s =
+    match s with
+    | PStore _ -> true
+    | If (_, a, b) -> List.exists stmt_has_pstore (a @ b)
+    | Loop (_, _, b) -> List.exists stmt_has_pstore b
+    | Switch (_, arms, d) ->
+      List.exists stmt_has_pstore (List.concat_map snd arms @ d)
+    | Assign _ | AStore _ | FStore _ | Memcpy _ | Memset _ -> false
+  in
+  let ptr_progs = progs { Cgen.int_only with Cgen.f_ptr = true } in
+  Alcotest.(check bool) "ptr feature declares pointers" true
+    (List.exists (fun p -> p.ptrs <> []) ptr_progs);
+  Alcotest.(check bool) "ptr feature emits aliases" true
+    (List.exists
+       (fun p ->
+         List.exists
+           (fun (_, _, pi) -> match pi with Palias _ -> true | _ -> false)
+           p.ptrs)
+       ptr_progs);
+  Alcotest.(check bool) "ptr feature emits pointer loads" true
+    (List.exists
+       (fun p ->
+         List.exists
+           (expr_has (function PRead _ -> true | _ -> false))
+           (prog_exprs p))
+       ptr_progs);
+  Alcotest.(check bool) "ptr feature emits pointer compares" true
+    (List.exists
+       (fun p ->
+         List.exists
+           (expr_has (function PCmp _ | PDiff _ -> true | _ -> false))
+           (prog_exprs p))
+       ptr_progs);
+  Alcotest.(check bool) "ptr feature emits pointer stores" true
+    (List.exists
+       (fun p -> List.exists stmt_has_pstore p.body)
+       ptr_progs);
+  Alcotest.(check bool)
+    "ptr+call emits pointer-typed helper parameters" true
+    (List.exists
+       (fun p ->
+         List.exists
+           (fun f ->
+             List.exists
+               (fun (_, s) -> match s with Pt _ -> true | _ -> false)
+               f.fn_params)
+           p.funcs)
+       (progs { Cgen.int_only with Cgen.f_call = true; Cgen.f_ptr = true }));
   Alcotest.(check bool) "int-only emits none of the above" true
     (List.for_all
        (fun p ->
          p.funcs = []
+         && p.ptrs = []
          && (not (List.exists stmt_has_mem p.body))
          && not
               (List.exists
                  (expr_has (function
-                   | FConst _ | Call _ | Strlen _ -> true
+                   | FConst _ | Call _ | Strlen _ | PRead _ | PCmp _ | PDiff _
+                     -> true
                    | _ -> false))
                  (prog_exprs p)))
        (progs Cgen.int_only))
@@ -185,7 +262,7 @@ let test_generator_mutates_globals () =
   let rec stmt_stores gs s =
     match s with
     | Assign (n, _) -> List.mem n gs
-    | AStore _ | FStore _ | Memcpy _ | Memset _ -> false
+    | AStore _ | FStore _ | PStore _ | Memcpy _ | Memset _ -> false
     | If (_, a, b) -> List.exists (stmt_stores gs) (a @ b)
     | Loop (_, _, b) -> List.exists (stmt_stores gs) b
     | Switch (_, arms, d) ->
@@ -262,6 +339,7 @@ let test_shrinker_reduces () =
       funcs = [];
       rcs = [ ("rc0", Bin (Mul, Const (3L, I32), Const (9L, I32))) ];
       locals = [ ("v0", It I32, Const (5L, I32)) ];
+      ptrs = [ ("p0", I32, PaddrArr ("a0", 1)) ];
       body =
         [
           Loop ("i0", 4, [ AStore ("a0", Ixv "i0", Var ("v0", It I32)) ]);
@@ -276,7 +354,8 @@ let test_shrinker_reduces () =
     | Un (_, a) | Cast (_, a) -> has_shr a
     | Cond (c, a, b) -> has_shr c || has_shr a || has_shr b
     | Call (_, _, args) -> List.exists has_shr args
-    | Const _ | FConst _ | EnumRef _ | Var _ | Read _ | Field _ | Strlen _ ->
+    | Const _ | FConst _ | EnumRef _ | Var _ | Read _ | Field _ | Strlen _
+    | PRead _ | PCmp _ | PDiff _ ->
       false
   in
   let prog_has_shr q =
@@ -337,6 +416,7 @@ let test_shrinker_drops_helper () =
           ("rc1", Call ("h1", Ft F64, [ FConst (1.5, F64) ]));
         ];
       locals = [];
+      ptrs = [];
       body = [];
     }
   in
@@ -421,6 +501,7 @@ let test_reference_evaluator () =
       funcs = [];
       rcs = [ ("rc0", Bin (Add, EnumRef "E0", Const (1L, I32))) ];
       locals = [];
+      ptrs = [];
       body = [];
     }
   in
@@ -471,11 +552,50 @@ let test_reference_evaluator_floats () =
       funcs = [];
       rcs = [ ("rc0", Bin (Div, FConst (1.0, F32), FConst (3.0, F32))) ];
       locals = [];
+      ptrs = [];
       body = [];
     }
   in
   Alcotest.(check string) "float expected prefix" "rc0=0.3333333432674408\n"
     (expected_prefix p)
+
+let test_reference_evaluator_globals () =
+  let open Cprog in
+  (* Recomputations and helpers may read globals: the reference models
+     the *initial* values, which is sound because every predicted line
+     prints before the body's first mutation. *)
+  let h0 =
+    {
+      fn_name = "h0";
+      fn_params = [ ("h0_p0", It I32) ];
+      fn_locals = [];
+      fn_body = [];
+      fn_ret = It I64;
+      fn_ret_expr = Bin (Add, Var ("g0", It I32), Var ("h0_p0", It I32));
+    }
+  in
+  let p =
+    {
+      seed = 3;
+      enums = [];
+      globals = [ ("g0", I32, Const (40L, I32)) ];
+      fields = [];
+      arrays = [];
+      funcs = [ h0 ];
+      rcs =
+        [
+          ("rc0", Bin (Add, Var ("g0", It I32), Const (1L, I32)));
+          ("rc1", Call ("h0", It I64, [ Const (2L, I32) ]));
+        ];
+      locals = [];
+      ptrs = [];
+      body = [ Assign ("g0", Const (0L, I32)) ];
+    }
+  in
+  Alcotest.(check bool) "global-reading program well-formed" true
+    (well_formed p);
+  Alcotest.(check string) "globals in rcs and helper calls"
+    "g0=40\nrc0=41\nrc1=42\n" (expected_prefix p)
 
 let test_reference_evaluator_calls () =
   let open Cprog in
@@ -538,6 +658,61 @@ let test_reference_evaluator_calls () =
        false
      with Not_const -> true)
 
+(* ------------------------------------------------------------------ *)
+(* Exported reproducer corpus (bugdb export -> difftest --corpus)      *)
+(* ------------------------------------------------------------------ *)
+
+let test_load_corpus () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "difftest_corpus_%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let write file s =
+    let oc = open_out_bin (Filename.concat dir file) in
+    output_string oc s;
+    close_out oc
+  in
+  (* Entries come back sorted by file name, paired with .expected. *)
+  let src = "int main(void) { printf(\"ok\\n\"); return 0; }\n" in
+  write "b-bug.c" src;
+  write "b-bug.expected" "ok\n";
+  write "a-bug.c" src;
+  write "a-bug.expected" "ok\n";
+  write "notes.txt" "ignored";
+  (match Difftest.load_corpus ~dir with
+  | [ (n1, s1, e1); (n2, s2, e2) ] ->
+    Alcotest.(check string) "first name" "a-bug" n1;
+    Alcotest.(check string) "second name" "b-bug" n2;
+    Alcotest.(check string) "source round-trips" src s1;
+    Alcotest.(check string) "source round-trips" src s2;
+    Alcotest.(check string) "expected round-trips" "ok\n" e1;
+    Alcotest.(check string) "expected round-trips" "ok\n" e2
+  | l ->
+    Alcotest.failf "expected 2 corpus entries, got %d" (List.length l));
+  (* Loaded entries run through the same oracle check as the
+     checked-in regressions. *)
+  List.iter
+    (fun reg ->
+      match Difftest.check_regression reg with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg)
+    (Difftest.load_corpus ~dir);
+  (* A .c without its .expected is an error, not a silent skip. *)
+  write "orphan.c" src;
+  Alcotest.(check bool) "orphan .c rejected" true
+    (try
+       ignore (Difftest.load_corpus ~dir);
+       false
+     with Invalid_argument _ -> true);
+  (* A missing directory is an empty corpus. *)
+  Alcotest.(check int) "missing dir is empty" 0
+    (List.length (Difftest.load_corpus ~dir:(dir ^ "_nonexistent")));
+  Array.iter
+    (fun f -> Sys.remove (Filename.concat dir f))
+    (Sys.readdir dir);
+  Unix.rmdir dir
+
 let () =
   Alcotest.run "difftest"
     [
@@ -553,10 +728,15 @@ let () =
             test_reference_evaluator_floats;
           Alcotest.test_case "reference evaluator: calls" `Quick
             test_reference_evaluator_calls;
+          Alcotest.test_case "reference evaluator: globals" `Quick
+            test_reference_evaluator_globals;
         ] );
       ( "regressions",
-        [ Alcotest.test_case "checked-in reproducers" `Quick test_regressions ]
-      );
+        [
+          Alcotest.test_case "checked-in reproducers" `Quick test_regressions;
+          Alcotest.test_case "exported corpus loads and replays" `Quick
+            test_load_corpus;
+        ] );
       ( "generator",
         [
           Alcotest.test_case "well-formed output" `Quick
